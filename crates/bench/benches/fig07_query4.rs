@@ -1,0 +1,76 @@
+//! Figure 7 — Query 4 (Cartel location circle query) runtime vs radius,
+//! QT = 0.5: Continuous UPI vs a secondary U-Tree over an unclustered heap.
+//!
+//! `SELECT * FROM CarObservation WHERE Distance(location, q) ≤ Radius`
+//!
+//! Paper shape: the continuous UPI is ~50–60× faster across radii because
+//! its heap pages are clustered by the R-Tree's hierarchical leaf order,
+//! while the secondary U-Tree pays one unclustered-heap fetch per
+//! candidate.
+//!
+//! Columns: total simulated time, plus `*_io` with the fixed per-file
+//! `Cost_init` charges removed. Both systems open two files, so the open
+//! charges are a constant that the paper amortizes against multi-second
+//! queries; at laptop scale they compress the visible ratio, so both views
+//! are printed.
+
+use upi_bench::setups::cartel_setup;
+use upi_bench::{banner, header, measure_cold, ms, summary};
+
+fn main() {
+    let s = cartel_setup();
+    let (qx, qy) = s.data.query_center();
+    banner(
+        "Figure 7",
+        "Query 4 runtime vs radius (Continuous UPI vs secondary U-Tree, QT=0.5)",
+        "continuous UPI ~50-60x faster across radii",
+    );
+    header(&[
+        "radius_m",
+        "U-Tree_ms",
+        "ContinuousUPI_ms",
+        "speedup",
+        "U-Tree_io_ms",
+        "CUPI_io_ms",
+        "io_speedup",
+        "rows",
+    ]);
+    let mut speedups = Vec::new();
+    let mut io_speedups = Vec::new();
+    for step in 1..=10 {
+        let radius = 100.0 * step as f64;
+        let ut = measure_cold(&s.store, || {
+            s.utree
+                .query_circle(&s.heap, qx, qy, radius, 0.5)
+                .unwrap()
+                .len()
+        });
+        let cu = measure_cold(&s.store, || {
+            s.cupi.query_circle(qx, qy, radius, 0.5).unwrap().len()
+        });
+        assert_eq!(ut.rows, cu.rows, "indexes disagree at radius {radius}");
+        let speedup = ut.sim_ms / cu.sim_ms;
+        let ut_io = ut.sim_ms - ut.io.init_ms;
+        let cu_io = cu.sim_ms - cu.io.init_ms;
+        let io_speedup = ut_io / cu_io.max(1e-9);
+        speedups.push(speedup);
+        io_speedups.push(io_speedup);
+        println!(
+            "{radius:.0}\t{}\t{}\t{:.1}x\t{}\t{}\t{:.1}x\t{}",
+            ms(ut.sim_ms),
+            ms(cu.sim_ms),
+            speedup,
+            ms(ut_io),
+            ms(cu_io),
+            io_speedup,
+            cu.rows
+        );
+    }
+    let rng = |v: &[f64]| {
+        let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = v.iter().cloned().fold(0.0, f64::max);
+        format!("{min:.1}x - {max:.1}x")
+    };
+    summary("fig7.speedup_range", rng(&speedups));
+    summary("fig7.io_speedup_range", rng(&io_speedups));
+}

@@ -1,0 +1,71 @@
+//! Figure 8 — Query 5 (Cartel road segment) runtime vs probability
+//! threshold: a PII-style segment index over the Continuous UPI vs the same
+//! index over an unclustered heap.
+//!
+//! `SELECT * FROM CarObservation WHERE Segment=123 (confidence ≥ QT)`
+//!
+//! Paper shape: the continuous-UPI variant is up to ~180× faster at low QT
+//! (the lat/long ↔ segment correlation collapses its pointers onto a few
+//! heap pages); the gap narrows but stays large (> 50×) for selective
+//! thresholds. As in Figure 7, `*_io` columns show the ratio without the
+//! constant per-file open charges.
+
+use upi_bench::setups::cartel_setup;
+use upi_bench::{banner, header, measure_cold, ms, summary};
+
+fn main() {
+    let s = cartel_setup();
+    let seg = s.data.busy_segment();
+    banner(
+        "Figure 8",
+        "Query 5 runtime vs QT (segment index on Continuous UPI vs on unclustered heap)",
+        "up to ~180x faster on the UPI at low QT; gap narrows at high QT",
+    );
+    header(&[
+        "QT",
+        "PII_on_heap_ms",
+        "PII_on_CUPI_ms",
+        "speedup",
+        "heap_io_ms",
+        "CUPI_io_ms",
+        "io_speedup",
+        "rows",
+    ]);
+    let mut speedups = Vec::new();
+    let mut io_speedups = Vec::new();
+    for qt10 in 1..=8 {
+        let qt = qt10 as f64 / 10.0;
+        let on_heap = measure_cold(&s.store, || {
+            s.seg_on_heap.ptq(&s.heap, seg, qt).unwrap().len()
+        });
+        let on_cupi = measure_cold(&s.store, || {
+            s.seg_on_cupi.ptq(&s.cupi, seg, qt).unwrap().len()
+        });
+        assert_eq!(on_heap.rows, on_cupi.rows, "indexes disagree at QT={qt}");
+        let speedup = on_heap.sim_ms / on_cupi.sim_ms;
+        let h_io = on_heap.sim_ms - on_heap.io.init_ms;
+        let c_io = on_cupi.sim_ms - on_cupi.io.init_ms;
+        let io_speedup = h_io / c_io.max(1e-9);
+        if on_cupi.rows > 0 {
+            speedups.push(speedup);
+            io_speedups.push(io_speedup);
+        }
+        println!(
+            "{qt:.1}\t{}\t{}\t{:.1}x\t{}\t{}\t{:.1}x\t{}",
+            ms(on_heap.sim_ms),
+            ms(on_cupi.sim_ms),
+            speedup,
+            ms(h_io),
+            ms(c_io),
+            io_speedup,
+            on_cupi.rows
+        );
+    }
+    let rng = |v: &[f64]| {
+        let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = v.iter().cloned().fold(0.0, f64::max);
+        format!("{min:.1}x - {max:.1}x")
+    };
+    summary("fig8.speedup_range", rng(&speedups));
+    summary("fig8.io_speedup_range", rng(&io_speedups));
+}

@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks for the substrate data structures (CPU-side
+//! costs, complementing the simulated-I/O figure benches).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
+
+use upi_btree::BTree;
+use upi_rtree::{LeafEntry, Point, RTree, Rect};
+use upi_storage::codec::KeyBuf;
+use upi_storage::{DiskConfig, SimDisk, Store};
+use upi_uncertain::ConstrainedGaussian;
+
+fn store() -> Store {
+    Store::new(Arc::new(SimDisk::new(DiskConfig::default())), 64 << 20)
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.sample_size(20);
+
+    g.bench_function("insert_8k_pages", |b| {
+        b.iter_batched(
+            || BTree::create(store(), "t", 8192).unwrap(),
+            |mut t| {
+                for i in 0u32..2000 {
+                    t.insert(&i.to_be_bytes(), b"value-bytes-here").unwrap();
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("bulk_load_20k", |b| {
+        let items: Vec<(Vec<u8>, Vec<u8>)> = (0u32..20_000)
+            .map(|i| (i.to_be_bytes().to_vec(), b"value-bytes-here".to_vec()))
+            .collect();
+        b.iter_batched(
+            || (BTree::create(store(), "t", 8192).unwrap(), items.clone()),
+            |(mut t, items)| {
+                t.bulk_load(items).unwrap();
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut t = BTree::create(store(), "probe", 8192).unwrap();
+    t.bulk_load(
+        (0u32..50_000)
+            .map(|i| (i.to_be_bytes().to_vec(), b"v".to_vec()))
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    g.bench_function("point_get_50k", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i.wrapping_mul(2654435761)) % 50_000;
+            t.get(&i.to_be_bytes()).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtree");
+    g.sample_size(20);
+    let entries: Vec<LeafEntry> = (0..20_000u64)
+        .map(|i| {
+            let x = (i % 141) as f64 * 35.0;
+            let y = (i / 141) as f64 * 35.0;
+            LeafEntry {
+                rect: Rect::new(x, y, x + 10.0, y + 10.0),
+                tid: i,
+                aux: [x, y, 3.0, 10.0],
+            }
+        })
+        .collect();
+    let mut t = RTree::create(store(), "rt", 4096).unwrap();
+    t.bulk_load(entries).unwrap();
+    g.bench_function("circle_query_20k", |b| {
+        b.iter(|| t.query_circle(Point::new(2500.0, 2500.0), 300.0).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_gaussian(c: &mut Criterion) {
+    let g2 = ConstrainedGaussian::new(0.0, 0.0, 10.0, 50.0);
+    c.bench_function("gaussian_prob_in_circle", |b| {
+        b.iter(|| g2.prob_in_circle(20.0, 5.0, 15.0))
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    c.bench_function("codec_composite_key", |b| {
+        b.iter(|| {
+            let mut k = KeyBuf::new();
+            k.u64(123456).prob_desc(0.37).u64(98765);
+            k.into_bytes()
+        })
+    });
+}
+
+criterion_group!(benches, bench_btree, bench_rtree, bench_gaussian, bench_codec);
+criterion_main!(benches);

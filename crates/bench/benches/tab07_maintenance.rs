@@ -1,0 +1,119 @@
+//! Table 7 — maintenance cost: insert 10 % new tuples / delete 1 % of
+//! existing tuples on (a) an unclustered heap, (b) a non-fractured UPI,
+//! (c) a Fractured UPI.
+//!
+//! Paper numbers (700 k authors): unclustered 7.8 s / 75 s, UPI 650 s /
+//! 212 s, Fractured UPI 4.0 s / 0.03 s. Shape: the UPI pays a random
+//! read-modify-write per alternative; the unclustered heap appends cheaply
+//! but deletes randomly; the Fractured UPI buffers in RAM and writes one
+//! sequential fracture (deletes are nearly free — just an id list).
+
+use upi::{DiscreteUpi, FracturedConfig, FracturedUpi, UnclusteredHeap, UpiConfig};
+use upi_bench::{banner, dblp_config, fresh_store, header, measure_cold, ms, summary};
+use upi_uncertain::Tuple;
+use upi_workloads::dblp::{self, author_fields};
+
+fn main() {
+    let data = dblp::generate(&dblp_config());
+    let n = data.authors.len();
+    let inserts = data.more_authors(n / 10, n as u64, 42);
+    // Every 100th tuple is deleted (1%).
+    let deletes: Vec<&Tuple> = data.authors.iter().step_by(100).collect();
+    eprintln!("[setup] base={n} inserts={} deletes={}", inserts.len(), deletes.len());
+
+    banner(
+        "Table 7",
+        "Maintenance cost (insert 10% / delete 1%)",
+        "UPI slowest by far; fractured cheapest, deletes nearly free",
+    );
+    header(&["system", "insert_ms", "delete_ms"]);
+
+    // (a) Unclustered heap (auto-increment clustered).
+    {
+        let store = fresh_store();
+        let mut heap = UnclusteredHeap::create(store.clone(), "t7.heap", 8192).unwrap();
+        heap.bulk_load(&data.authors).unwrap();
+        let ins = measure_cold(&store, || {
+            for t in &inserts {
+                heap.insert(t).unwrap();
+            }
+            store.pool.flush_all();
+            inserts.len()
+        });
+        let del = measure_cold(&store, || {
+            for t in &deletes {
+                heap.delete(t.id).unwrap();
+            }
+            store.pool.flush_all();
+            deletes.len()
+        });
+        println!("Unclustered\t{}\t{}", ms(ins.sim_ms), ms(del.sim_ms));
+        summary("tab7.unclustered", format!("{} / {}", ms(ins.sim_ms), ms(del.sim_ms)));
+    }
+
+    // (b) Non-fractured UPI.
+    {
+        let store = fresh_store();
+        let mut upi = DiscreteUpi::create(
+            store.clone(),
+            "t7.upi",
+            author_fields::INSTITUTION,
+            UpiConfig::default(),
+        )
+        .unwrap();
+        upi.bulk_load(&data.authors).unwrap();
+        let ins = measure_cold(&store, || {
+            for t in &inserts {
+                upi.insert(t).unwrap();
+            }
+            store.pool.flush_all();
+            inserts.len()
+        });
+        let del = measure_cold(&store, || {
+            for t in &deletes {
+                upi.delete(t).unwrap();
+            }
+            store.pool.flush_all();
+            deletes.len()
+        });
+        println!("UPI\t{}\t{}", ms(ins.sim_ms), ms(del.sim_ms));
+        summary("tab7.upi", format!("{} / {}", ms(ins.sim_ms), ms(del.sim_ms)));
+    }
+
+    // (c) Fractured UPI: buffer + one flush ("we drop the insert buffer
+    // after all insertions and deletions" — i.e. the flush is included).
+    {
+        let store = fresh_store();
+        let mut f = FracturedUpi::create(
+            store.clone(),
+            "t7.fupi",
+            author_fields::INSTITUTION,
+            &[],
+            FracturedConfig {
+                upi: UpiConfig::default(),
+                buffer_ops: 0,
+            },
+        )
+        .unwrap();
+        f.load_initial(&data.authors).unwrap();
+        let ins = measure_cold(&store, || {
+            for t in &inserts {
+                f.insert(t.clone()).unwrap();
+            }
+            f.flush().unwrap();
+            inserts.len()
+        });
+        let del = measure_cold(&store, || {
+            for t in &deletes {
+                f.delete(t.id).unwrap();
+            }
+            f.flush().unwrap();
+            deletes.len()
+        });
+        println!("FracturedUPI\t{}\t{}", ms(ins.sim_ms), ms(del.sim_ms));
+        summary(
+            "tab7.fractured",
+            format!("{} / {}", ms(ins.sim_ms), ms(del.sim_ms)),
+        );
+    }
+}

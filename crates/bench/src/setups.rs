@@ -1,0 +1,241 @@
+//! Pre-built experimental setups shared by the figure/table benches.
+
+use upi::{
+    ContinuousConfig, ContinuousSecondary, ContinuousUpi, DiscreteUpi, FracturedConfig,
+    FracturedUpi, Pii, SecondaryUTree, UnclusteredHeap, UpiConfig,
+};
+use upi_storage::Store;
+use upi_workloads::dblp::{author_fields, publication_fields};
+use upi_workloads::{cartel, dblp, CartelData, DblpData};
+
+use crate::{cartel_config, dblp_config, fresh_store};
+
+/// The Author-table setup: unclustered heap + PII baseline + a UPI
+/// (both on `Institution`).
+pub struct AuthorSetup {
+    /// Simulated machine.
+    pub store: Store,
+    /// Generated dataset.
+    pub data: DblpData,
+    /// Unclustered heap (baseline storage).
+    pub heap: UnclusteredHeap,
+    /// PII over the unclustered heap.
+    pub pii: Pii,
+    /// The UPI under test.
+    pub upi: DiscreteUpi,
+}
+
+/// Build the Author setup with cutoff threshold `c`.
+pub fn author_setup(c: f64) -> AuthorSetup {
+    author_setup_with(c, None)
+}
+
+/// Build the Author setup with an explicit payload size. The cutoff-index
+/// figures (3/11/12) use small tuples like the paper's Author table, so
+/// that an unsaturated pointer chase is expensive *relative to* a table
+/// scan; the comparative figures keep the default payload.
+pub fn author_setup_with(c: f64, payload_bytes: Option<usize>) -> AuthorSetup {
+    let store = fresh_store();
+    let mut cfg = dblp_config();
+    if let Some(p) = payload_bytes {
+        cfg.payload_bytes = p;
+    }
+    let data = dblp::generate(&cfg);
+    eprintln!(
+        "[setup] authors={} institutions={}",
+        data.authors.len(),
+        data.config.n_institutions
+    );
+    let mut heap = UnclusteredHeap::create(store.clone(), "author.heap", 8192).unwrap();
+    heap.bulk_load(&data.authors).unwrap();
+    let mut pii = Pii::create(
+        store.clone(),
+        "author.pii",
+        author_fields::INSTITUTION,
+        8192,
+    )
+    .unwrap();
+    pii.bulk_load(&data.authors).unwrap();
+    let mut upi = DiscreteUpi::create(
+        store.clone(),
+        "author.upi",
+        author_fields::INSTITUTION,
+        UpiConfig {
+            cutoff: c,
+            ..UpiConfig::default()
+        },
+    )
+    .unwrap();
+    upi.bulk_load(&data.authors).unwrap();
+    AuthorSetup {
+        store,
+        data,
+        heap,
+        pii,
+        upi,
+    }
+}
+
+/// The Publication-table setup for Queries 2–3: PII baselines on
+/// institution and country over an unclustered heap, and a UPI on
+/// institution with a country secondary index.
+pub struct PublicationSetup {
+    /// Simulated machine.
+    pub store: Store,
+    /// Generated dataset.
+    pub data: DblpData,
+    /// Unclustered heap.
+    pub heap: UnclusteredHeap,
+    /// PII on Institution over the unclustered heap (Query 2 baseline).
+    pub pii_inst: Pii,
+    /// PII on Country over the unclustered heap (Query 3 baseline).
+    pub pii_country: Pii,
+    /// UPI on Institution with a Country secondary (index 0).
+    pub upi: DiscreteUpi,
+}
+
+/// Build the Publication setup with cutoff threshold `c`.
+pub fn publication_setup(c: f64) -> PublicationSetup {
+    let store = fresh_store();
+    let data = dblp::generate(&dblp_config());
+    eprintln!("[setup] publications={}", data.publications.len());
+    let mut heap = UnclusteredHeap::create(store.clone(), "pub.heap", 8192).unwrap();
+    heap.bulk_load(&data.publications).unwrap();
+    let mut pii_inst = Pii::create(
+        store.clone(),
+        "pub.pii_inst",
+        publication_fields::INSTITUTION,
+        8192,
+    )
+    .unwrap();
+    pii_inst.bulk_load(&data.publications).unwrap();
+    let mut pii_country = Pii::create(
+        store.clone(),
+        "pub.pii_country",
+        publication_fields::COUNTRY,
+        8192,
+    )
+    .unwrap();
+    pii_country.bulk_load(&data.publications).unwrap();
+    let mut upi = DiscreteUpi::create(
+        store.clone(),
+        "pub.upi",
+        publication_fields::INSTITUTION,
+        UpiConfig {
+            cutoff: c,
+            ..UpiConfig::default()
+        },
+    )
+    .unwrap();
+    upi.add_secondary(publication_fields::COUNTRY).unwrap();
+    upi.bulk_load(&data.publications).unwrap();
+    PublicationSetup {
+        store,
+        data,
+        heap,
+        pii_inst,
+        pii_country,
+        upi,
+    }
+}
+
+/// The Cartel setup for Queries 4–5.
+pub struct CartelSetup {
+    /// Simulated machine.
+    pub store: Store,
+    /// Generated dataset.
+    pub data: CartelData,
+    /// Continuous UPI on location.
+    pub cupi: ContinuousUpi,
+    /// PII-style segment index over the continuous UPI.
+    pub seg_on_cupi: ContinuousSecondary,
+    /// Unclustered heap.
+    pub heap: UnclusteredHeap,
+    /// Secondary U-Tree over the unclustered heap (Query 4 baseline).
+    pub utree: SecondaryUTree,
+    /// PII on segment over the unclustered heap (Query 5 baseline).
+    pub seg_on_heap: Pii,
+}
+
+/// Build the Cartel setup.
+pub fn cartel_setup() -> CartelSetup {
+    use cartel::observation_fields as f;
+    let store = fresh_store();
+    let data = cartel::generate(&cartel_config());
+    eprintln!(
+        "[setup] observations={} segments={}",
+        data.observations.len(),
+        data.config.n_segments()
+    );
+    // Heap pages sized so one R-Tree leaf's tuples roughly fill one page
+    // (the paper's 64 KB pages against ~300-byte tuples; our leaves hold
+    // ~45 entries, so 16 KB keeps the same one-leaf-one-page mapping
+    // without 4x internal fragmentation).
+    let mut cupi = ContinuousUpi::create(
+        store.clone(),
+        "cartel.cupi",
+        f::LOCATION,
+        ContinuousConfig {
+            node_page: 4096,
+            heap_page: 16384,
+        },
+    )
+    .unwrap();
+    cupi.bulk_load(&data.observations).unwrap();
+    let mut seg_on_cupi =
+        ContinuousSecondary::create(store.clone(), "cartel.seg_cupi", f::SEGMENT, 8192).unwrap();
+    seg_on_cupi.bulk_load(&cupi, &data.observations).unwrap();
+    let mut heap = UnclusteredHeap::create(store.clone(), "cartel.heap", 8192).unwrap();
+    heap.bulk_load(&data.observations).unwrap();
+    let mut utree = SecondaryUTree::create(store.clone(), "cartel.utree", f::LOCATION, 4096).unwrap();
+    utree.bulk_load(&data.observations).unwrap();
+    let mut seg_on_heap =
+        Pii::create(store.clone(), "cartel.seg_heap", f::SEGMENT, 8192).unwrap();
+    seg_on_heap.bulk_load(&data.observations).unwrap();
+    CartelSetup {
+        store,
+        data,
+        cupi,
+        seg_on_cupi,
+        heap,
+        utree,
+        seg_on_heap,
+    }
+}
+
+/// A fractured-UPI author setup for the maintenance experiments
+/// (Figures 9–10, Tables 7–8).
+pub struct MaintenanceSetup {
+    /// Simulated machine.
+    pub store: Store,
+    /// Generated dataset.
+    pub data: DblpData,
+    /// Fractured UPI preloaded with the authors.
+    pub fractured: FracturedUpi,
+}
+
+/// Build a fractured author setup with cutoff threshold `c`.
+pub fn fractured_author_setup(c: f64) -> MaintenanceSetup {
+    let store = fresh_store();
+    let data = dblp::generate(&dblp_config());
+    let mut fractured = FracturedUpi::create(
+        store.clone(),
+        "author.fupi",
+        author_fields::INSTITUTION,
+        &[],
+        FracturedConfig {
+            upi: UpiConfig {
+                cutoff: c,
+                ..UpiConfig::default()
+            },
+            buffer_ops: 0,
+        },
+    )
+    .unwrap();
+    fractured.load_initial(&data.authors).unwrap();
+    MaintenanceSetup {
+        store,
+        data,
+        fractured,
+    }
+}

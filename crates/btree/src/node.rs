@@ -1,0 +1,235 @@
+//! On-page node representation.
+//!
+//! Pages are decoded into an in-memory [`Node`] for manipulation and
+//! re-encoded on write. Layout (all integers little-endian):
+//!
+//! ```text
+//! [0]      tag: 1 = leaf, 2 = internal
+//! [1]      reserved
+//! [2..4]   entry count (u16)
+//! [4..12]  leaf: next-leaf page id / internal: leftmost child page id
+//! [12..16] reserved
+//! [16..]   entries: (klen u16, vlen u16, key bytes, value bytes)*
+//! ```
+//!
+//! Internal-node "values" are 8-byte child page ids. Entry `i` of an
+//! internal node holds separator `k_i` and child `c_i`, where `c_i` covers
+//! keys in `[k_i, k_{i+1})` and the leftmost child covers keys below `k_0`.
+
+use bytes::Bytes;
+use upi_storage::{PageId, INVALID_PAGE};
+
+/// Fixed per-page header length.
+pub(crate) const HEADER_LEN: usize = 16;
+/// Per-entry overhead beyond key and value bytes.
+pub(crate) const ENTRY_OVERHEAD: usize = 4;
+
+const TAG_LEAF: u8 = 1;
+const TAG_INTERNAL: u8 = 2;
+
+/// Node kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NodeKind {
+    /// Holds user entries and a `next` chain pointer.
+    Leaf,
+    /// Holds separators and child pointers.
+    Internal,
+}
+
+/// One decoded entry: key bytes and value bytes (internal-node values are
+/// 8-byte child ids).
+pub(crate) type Entry = (Box<[u8]>, Box<[u8]>);
+
+/// Decoded node.
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub kind: NodeKind,
+    /// Leaf: next leaf in key order (or [`INVALID_PAGE`]).
+    /// Internal: leftmost child.
+    pub link: PageId,
+    /// Sorted entries. For internal nodes the value is the 8-byte child id.
+    pub entries: Vec<Entry>,
+}
+
+impl Node {
+    pub fn new_leaf() -> Node {
+        Node {
+            kind: NodeKind::Leaf,
+            link: INVALID_PAGE,
+            entries: Vec::new(),
+        }
+    }
+
+    pub fn new_internal(child0: PageId) -> Node {
+        Node {
+            kind: NodeKind::Internal,
+            link: child0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Bytes this node occupies when encoded.
+    pub fn used_bytes(&self) -> usize {
+        HEADER_LEN
+            + self
+                .entries
+                .iter()
+                .map(|(k, v)| ENTRY_OVERHEAD + k.len() + v.len())
+                .sum::<usize>()
+    }
+
+    /// Encode into a page buffer of exactly `page_size` bytes.
+    ///
+    /// Panics if the node does not fit; callers must split first (enforced
+    /// by the tree layer via [`Node::used_bytes`]).
+    pub fn encode(&self, page_size: usize) -> Bytes {
+        let used = self.used_bytes();
+        assert!(
+            used <= page_size,
+            "node of {used} bytes exceeds page size {page_size}"
+        );
+        let mut buf = vec![0u8; page_size];
+        buf[0] = match self.kind {
+            NodeKind::Leaf => TAG_LEAF,
+            NodeKind::Internal => TAG_INTERNAL,
+        };
+        buf[2..4].copy_from_slice(&(self.entries.len() as u16).to_le_bytes());
+        buf[4..12].copy_from_slice(&self.link.0.to_le_bytes());
+        let mut at = HEADER_LEN;
+        for (k, v) in &self.entries {
+            buf[at..at + 2].copy_from_slice(&(k.len() as u16).to_le_bytes());
+            buf[at + 2..at + 4].copy_from_slice(&(v.len() as u16).to_le_bytes());
+            at += 4;
+            buf[at..at + k.len()].copy_from_slice(k);
+            at += k.len();
+            buf[at..at + v.len()].copy_from_slice(v);
+            at += v.len();
+        }
+        Bytes::from(buf)
+    }
+
+    /// Decode a page buffer.
+    pub fn decode(data: &[u8]) -> Node {
+        let kind = match data[0] {
+            TAG_LEAF => NodeKind::Leaf,
+            TAG_INTERNAL => NodeKind::Internal,
+            t => panic!("corrupt node tag {t}"),
+        };
+        let count = u16::from_le_bytes(data[2..4].try_into().unwrap()) as usize;
+        let link = PageId(u64::from_le_bytes(data[4..12].try_into().unwrap()));
+        let mut entries = Vec::with_capacity(count);
+        let mut at = HEADER_LEN;
+        for _ in 0..count {
+            let klen = u16::from_le_bytes(data[at..at + 2].try_into().unwrap()) as usize;
+            let vlen = u16::from_le_bytes(data[at + 2..at + 4].try_into().unwrap()) as usize;
+            at += 4;
+            let key = data[at..at + klen].to_vec().into_boxed_slice();
+            at += klen;
+            let val = data[at..at + vlen].to_vec().into_boxed_slice();
+            at += vlen;
+            entries.push((key, val));
+        }
+        Node {
+            kind,
+            link,
+            entries,
+        }
+    }
+
+    /// Index of the first entry with key `>= target` (binary search).
+    pub fn lower_bound(&self, target: &[u8]) -> usize {
+        self.entries
+            .partition_point(|(k, _)| k.as_ref() < target)
+    }
+
+    /// For internal nodes: the child that covers `target`.
+    pub fn route(&self, target: &[u8]) -> PageId {
+        debug_assert_eq!(self.kind, NodeKind::Internal);
+        // Rightmost separator <= target.
+        let idx = self.entries.partition_point(|(k, _)| k.as_ref() <= target);
+        if idx == 0 {
+            self.link
+        } else {
+            child_id(&self.entries[idx - 1].1)
+        }
+    }
+}
+
+/// Decode an internal entry value into a child page id.
+#[inline]
+pub(crate) fn child_id(v: &[u8]) -> PageId {
+    PageId(u64::from_le_bytes(v.try_into().expect("8-byte child id")))
+}
+
+/// Encode a child page id as an internal entry value.
+#[inline]
+pub(crate) fn child_val(p: PageId) -> Box<[u8]> {
+    p.0.to_le_bytes().to_vec().into_boxed_slice()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let mut n = Node::new_leaf();
+        n.link = PageId(77);
+        n.entries.push((b"a".to_vec().into(), b"1".to_vec().into()));
+        n.entries
+            .push((b"bb".to_vec().into(), b"22".to_vec().into()));
+        let enc = n.encode(256);
+        assert_eq!(enc.len(), 256);
+        let back = Node::decode(&enc);
+        assert_eq!(back.kind, NodeKind::Leaf);
+        assert_eq!(back.link, PageId(77));
+        assert_eq!(back.entries.len(), 2);
+        assert_eq!(&*back.entries[1].0, b"bb");
+        assert_eq!(&*back.entries[1].1, b"22");
+    }
+
+    #[test]
+    fn internal_roundtrip_and_route() {
+        let mut n = Node::new_internal(PageId(1));
+        n.entries.push((b"m".to_vec().into(), child_val(PageId(2))));
+        n.entries.push((b"t".to_vec().into(), child_val(PageId(3))));
+        let back = Node::decode(&n.encode(256));
+        assert_eq!(back.route(b"a"), PageId(1));
+        assert_eq!(back.route(b"m"), PageId(2));
+        assert_eq!(back.route(b"p"), PageId(2));
+        assert_eq!(back.route(b"t"), PageId(3));
+        assert_eq!(back.route(b"z"), PageId(3));
+    }
+
+    #[test]
+    fn lower_bound_finds_first_ge() {
+        let mut n = Node::new_leaf();
+        for k in ["b", "d", "f"] {
+            n.entries
+                .push((k.as_bytes().to_vec().into(), b"".to_vec().into()));
+        }
+        assert_eq!(n.lower_bound(b"a"), 0);
+        assert_eq!(n.lower_bound(b"b"), 0);
+        assert_eq!(n.lower_bound(b"c"), 1);
+        assert_eq!(n.lower_bound(b"f"), 2);
+        assert_eq!(n.lower_bound(b"g"), 3);
+    }
+
+    #[test]
+    fn used_bytes_matches_definition() {
+        let mut n = Node::new_leaf();
+        assert_eq!(n.used_bytes(), HEADER_LEN);
+        n.entries
+            .push((b"key".to_vec().into(), b"value".to_vec().into()));
+        assert_eq!(n.used_bytes(), HEADER_LEN + ENTRY_OVERHEAD + 3 + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page size")]
+    fn encode_rejects_overflow() {
+        let mut n = Node::new_leaf();
+        n.entries
+            .push((vec![0u8; 300].into(), vec![0u8; 300].into()));
+        n.encode(256);
+    }
+}

@@ -1,0 +1,113 @@
+//! Model-based property test: the B+Tree must behave exactly like
+//! `std::collections::BTreeMap` under arbitrary operation sequences.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use upi_btree::BTree;
+use upi_storage::{DiskConfig, SimDisk, Store};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+    Get(Vec<u8>),
+    Seek(Vec<u8>),
+    FullScan,
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Small alphabet and lengths maximize collisions between operations.
+    proptest::collection::vec(0u8..4, 0..5)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (key_strategy(), proptest::collection::vec(any::<u8>(), 0..12))
+            .prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => key_strategy().prop_map(Op::Delete),
+        2 => key_strategy().prop_map(Op::Get),
+        1 => key_strategy().prop_map(Op::Seek),
+        1 => Just(Op::FullScan),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn btree_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let store = Store::new(Arc::new(SimDisk::new(DiskConfig::default())), 1 << 20);
+        // Tiny pages force frequent splits/merges even with short keys.
+        let mut tree = BTree::create(store, "model", 256).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let was_new = tree.insert(&k, &v).unwrap();
+                    let model_new = model.insert(k, v).is_none();
+                    prop_assert_eq!(was_new, model_new);
+                }
+                Op::Delete(k) => {
+                    let removed = tree.delete(&k).unwrap();
+                    prop_assert_eq!(removed, model.remove(&k).is_some());
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(&k).unwrap(), model.get(&k).cloned());
+                }
+                Op::Seek(k) => {
+                    let c = tree.seek(&k).unwrap();
+                    let expect = model.range(k.clone()..).next();
+                    match expect {
+                        Some((mk, mv)) => {
+                            prop_assert!(c.valid());
+                            prop_assert_eq!(c.key(), mk.as_slice());
+                            prop_assert_eq!(c.value(), mv.as_slice());
+                        }
+                        None => prop_assert!(!c.valid()),
+                    }
+                }
+                Op::FullScan => {
+                    let got: Vec<_> = tree.iter().unwrap().collect();
+                    let want: Vec<_> = model
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(tree.len() as usize, model.len());
+        }
+        // Final full check.
+        let got: Vec<_> = tree.iter().unwrap().collect();
+        let want: Vec<_> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental(
+        mut keys in proptest::collection::btree_set(
+            proptest::collection::vec(any::<u8>(), 1..10), 0..300)
+    ) {
+        let store = Store::new(Arc::new(SimDisk::new(DiskConfig::default())), 1 << 20);
+        let items: Vec<(Vec<u8>, Vec<u8>)> = std::mem::take(&mut keys)
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k, format!("v{i}").into_bytes()))
+            .collect();
+
+        let mut bulk = BTree::create(store.clone(), "bulk", 256).unwrap();
+        bulk.bulk_load(items.clone()).unwrap();
+
+        let mut incr = BTree::create(store, "incr", 256).unwrap();
+        for (k, v) in &items {
+            incr.insert(k, v).unwrap();
+        }
+
+        let a: Vec<_> = bulk.iter().unwrap().collect();
+        let b: Vec<_> = incr.iter().unwrap().collect();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(bulk.len(), incr.len());
+    }
+}

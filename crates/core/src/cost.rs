@@ -1,0 +1,301 @@
+//! Cost models (§6).
+//!
+//! Two models, verbatim from the paper:
+//!
+//! * **Fractured UPI** (§6.2):
+//!   `Cost_frac = Cost_scan · Selectivity + N_frac (Cost_init + H·T_seek)`
+//! * **Cutoff index** (§6.3):
+//!   `Cost_cut = Cost_scan · Selectivity + 2(Cost_init + H·T_seek) + f(#Pointers)`
+//!   where `f(x) = Cost_scan · (1 − e^{−kx}) / (1 + e^{−kx})` is a
+//!   generalized logistic (sigmoid) capturing *saturation*: beyond a point,
+//!   more cutoff pointers land on already-visited pages and the access
+//!   pattern degenerates into a full scan. `k` is fixed by the paper's
+//!   heuristic `f(0.05 · N_leaf) = 0.99 · Cost_scan`.
+//!
+//! Selectivity and pointer counts come from the §6.1 probability
+//! histograms ([`upi_uncertain::AttrStats`]); the bridge functions at the
+//! bottom assemble everything from a live index.
+
+use upi_storage::DiskConfig;
+
+use crate::fractured::FracturedUpi;
+use crate::upi::DiscreteUpi;
+
+/// Inputs of the cost formulas (Table 6).
+#[derive(Debug, Clone, Copy)]
+pub struct CostParams {
+    /// Random seek cost, ms (`T_seek`).
+    pub t_seek_ms: f64,
+    /// Sequential read rate, ms/MiB (`T_read`).
+    pub t_read_ms_per_mb: f64,
+    /// Sequential write rate, ms/MiB (`T_write`).
+    pub t_write_ms_per_mb: f64,
+    /// File open cost, ms (`Cost_init`).
+    pub cost_init_ms: f64,
+    /// B+Tree height (`H`).
+    pub height: usize,
+    /// Heap-file size in bytes (`S_table`).
+    pub table_bytes: u64,
+    /// Heap leaf pages (`N_leaf`).
+    pub n_leaf: u64,
+}
+
+impl CostParams {
+    /// Assemble from the disk configuration plus heap-tree statistics.
+    pub fn new(disk: &DiskConfig, height: usize, table_bytes: u64, n_leaf: u64) -> CostParams {
+        CostParams {
+            t_seek_ms: disk.seek_ms,
+            t_read_ms_per_mb: disk.read_ms_per_mb,
+            t_write_ms_per_mb: disk.write_ms_per_mb,
+            cost_init_ms: disk.init_ms,
+            height,
+            table_bytes,
+            n_leaf: n_leaf.max(1),
+        }
+    }
+
+    /// `Cost_scan = T_read · S_table` (Table 6).
+    pub fn cost_scan_ms(&self) -> f64 {
+        self.table_bytes as f64 * self.t_read_ms_per_mb / (1024.0 * 1024.0)
+    }
+}
+
+/// The §6 cost models over a fixed set of parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Model parameters.
+    pub params: CostParams,
+}
+
+impl CostModel {
+    /// Build from parameters.
+    pub fn new(params: CostParams) -> CostModel {
+        CostModel { params }
+    }
+
+    /// The saturation constant `k`, from the paper's heuristic
+    /// `f(0.05 · N_leaf) = 0.99 · Cost_scan`.
+    ///
+    /// Solving `(1 − e^{−kx})/(1 + e^{−kx}) = 0.99` gives
+    /// `e^{−kx} = 0.01/1.99`, i.e. `k = ln(199) / x` at `x = 0.05·N_leaf`.
+    pub fn sigmoid_k(&self) -> f64 {
+        (199.0f64).ln() / (0.05 * self.params.n_leaf as f64)
+    }
+
+    /// `f(x)`: the cost of dereferencing `x` cutoff pointers, saturating at
+    /// a full scan.
+    pub fn pointer_fetch_ms(&self, n_pointers: f64) -> f64 {
+        if n_pointers <= 0.0 {
+            return 0.0;
+        }
+        let k = self.sigmoid_k();
+        let e = (-k * n_pointers).exp();
+        self.params.cost_scan_ms() * (1.0 - e) / (1.0 + e)
+    }
+
+    /// `Cost_frac` (§6.2). `n_components` counts every independently opened
+    /// index (the paper's `N_frac`; we pass fractures + 1 so the main UPI's
+    /// open is included, which the measured runtime also pays).
+    pub fn cost_fractured_ms(&self, selectivity: f64, n_components: usize) -> f64 {
+        self.params.cost_scan_ms() * selectivity
+            + n_components as f64
+                * (self.params.cost_init_ms + self.params.height as f64 * self.t_seek())
+    }
+
+    /// `Cost_cut` (§6.3): heap scan + two file opens (heap + cutoff index)
+    /// + saturating pointer dereferences.
+    pub fn cost_cutoff_ms(&self, selectivity: f64, n_pointers: f64) -> f64 {
+        self.params.cost_scan_ms() * selectivity
+            + 2.0 * (self.params.cost_init_ms + self.params.height as f64 * self.t_seek())
+            + self.pointer_fetch_ms(n_pointers)
+    }
+
+    /// `Cost_merge = S_table (T_read + T_write)` (§6.2), for `db_bytes` of
+    /// data.
+    pub fn merge_cost_ms(&self, db_bytes: u64) -> f64 {
+        db_bytes as f64 * (self.params.t_read_ms_per_mb + self.params.t_write_ms_per_mb)
+            / (1024.0 * 1024.0)
+    }
+
+    fn t_seek(&self) -> f64 {
+        self.t_seek_ms()
+    }
+
+    fn t_seek_ms(&self) -> f64 {
+        self.params.t_seek_ms
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bridges from live structures
+// ---------------------------------------------------------------------------
+
+/// Cost model for a standalone (non-fractured) UPI, using its heap size.
+pub fn model_for_upi(disk: &DiskConfig, upi: &DiscreteUpi) -> CostModel {
+    let heap = upi.heap_stats();
+    CostModel::new(CostParams::new(
+        disk,
+        heap.height,
+        heap.bytes,
+        heap.leaf_pages as u64,
+    ))
+}
+
+/// Cost model for a fractured UPI, sized over all components' heaps.
+pub fn model_for_fractured(disk: &DiskConfig, f: &FracturedUpi) -> CostModel {
+    let heap = f.main().heap_stats();
+    CostModel::new(CostParams::new(
+        disk,
+        heap.height,
+        f.total_bytes(),
+        heap.leaf_pages as u64,
+    ))
+}
+
+/// Estimated number of cutoff pointers a PTQ `(value, qt)` reads — the
+/// "Estimated" series of Figure 11. Zero when `qt ≥ C`.
+pub fn estimate_cutoff_pointers(upi: &DiscreteUpi, value: u64, qt: f64) -> f64 {
+    let c = upi.config().cutoff;
+    if qt >= c {
+        return 0.0;
+    }
+    upi.attr_stats().est_cutoff_pointers(value, qt, c)
+}
+
+/// Estimated fraction of the heap file a PTQ `(value, qt)` scans:
+/// alternatives at/above `max(qt, C)` plus the first alternatives in
+/// `[qt, C)`, which Algorithm 1 keeps heap-resident.
+pub fn estimate_heap_selectivity(upi: &DiscreteUpi, value: u64, qt: f64) -> f64 {
+    let c = upi.config().cutoff;
+    let heap_entries = upi.heap_stats().entries.max(1) as f64;
+    let matching = upi.attr_stats().est_heap_count_ge(value, qt, c);
+    (matching / heap_entries).min(1.0)
+}
+
+/// Estimated runtime of Query 1 on a standalone UPI with a cutoff index
+/// (the "Estimated" curves of Figure 12).
+pub fn estimate_query_cutoff_ms(
+    disk: &DiskConfig,
+    upi: &DiscreteUpi,
+    value: u64,
+    qt: f64,
+) -> f64 {
+    let model = model_for_upi(disk, upi);
+    let sel = estimate_heap_selectivity(upi, value, qt);
+    if qt >= upi.config().cutoff {
+        // Heap-only path: one file open + descent + sequential run.
+        model.params.cost_scan_ms() * sel
+            + (model.params.cost_init_ms + model.params.height as f64 * model.params.t_seek_ms)
+    } else {
+        model.cost_cutoff_ms(sel, estimate_cutoff_pointers(upi, value, qt))
+    }
+}
+
+/// Estimated runtime of Query 1 on a fractured UPI (the "Estimated" series
+/// of Figure 10).
+pub fn estimate_query_fractured_ms(
+    disk: &DiskConfig,
+    f: &FracturedUpi,
+    value: u64,
+    qt: f64,
+) -> f64 {
+    let model = model_for_fractured(disk, f);
+    let main = f.main();
+    let heap_entries = main.heap_stats().entries.max(1) as f64;
+    let sel = (main
+        .attr_stats()
+        .est_heap_count_ge(value, qt, main.config().cutoff)
+        / heap_entries)
+        .min(1.0);
+    model.cost_fractured_ms(sel, f.n_fractures() + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CostParams {
+        // Table 6's running configuration, scaled to a 100 MiB table.
+        CostParams {
+            t_seek_ms: 10.0,
+            t_read_ms_per_mb: 20.0,
+            t_write_ms_per_mb: 50.0,
+            cost_init_ms: 100.0,
+            height: 4,
+            table_bytes: 100 << 20,
+            n_leaf: (100 << 20) / 8192,
+        }
+    }
+
+    #[test]
+    fn cost_scan_matches_table6_definition() {
+        let p = params();
+        assert!((p.cost_scan_ms() - 2000.0).abs() < 1e-9, "100MiB * 20ms/MiB");
+    }
+
+    #[test]
+    fn sigmoid_k_satisfies_heuristic() {
+        let m = CostModel::new(params());
+        let x = 0.05 * m.params.n_leaf as f64;
+        let f = m.pointer_fetch_ms(x);
+        assert!(
+            (f - 0.99 * m.params.cost_scan_ms()).abs() < 1e-6,
+            "f(0.05*Nleaf) = {f}, want {}",
+            0.99 * m.params.cost_scan_ms()
+        );
+    }
+
+    #[test]
+    fn pointer_fetch_saturates_at_cost_scan() {
+        let m = CostModel::new(params());
+        assert_eq!(m.pointer_fetch_ms(0.0), 0.0);
+        let huge = m.pointer_fetch_ms(1e12);
+        assert!(huge <= m.params.cost_scan_ms() + 1e-9);
+        assert!(huge > 0.999 * m.params.cost_scan_ms());
+    }
+
+    #[test]
+    fn pointer_fetch_is_monotone_nondecreasing() {
+        let m = CostModel::new(params());
+        let mut prev = 0.0;
+        for x in (0..10_000).step_by(100) {
+            let f = m.pointer_fetch_ms(x as f64);
+            assert!(f + 1e-12 >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn pointer_fetch_is_initially_steep_then_flat() {
+        // Near zero, each pointer costs roughly k/2 * Cost_scan (expensive
+        // seeks); near saturation, marginal cost approaches zero.
+        let m = CostModel::new(params());
+        let early = m.pointer_fetch_ms(200.0) - m.pointer_fetch_ms(100.0);
+        let late = m.pointer_fetch_ms(5000.0) - m.pointer_fetch_ms(4900.0);
+        assert!(early > late * 2.0, "early {early} vs late {late}");
+    }
+
+    #[test]
+    fn fractured_cost_is_linear_in_components() {
+        let m = CostModel::new(params());
+        let c1 = m.cost_fractured_ms(0.01, 1);
+        let c5 = m.cost_fractured_ms(0.01, 5);
+        let per = m.params.cost_init_ms + m.params.height as f64 * m.params.t_seek_ms;
+        assert!(((c5 - c1) - 4.0 * per).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cutoff_cost_includes_two_opens() {
+        let m = CostModel::new(params());
+        let base = m.cost_cutoff_ms(0.0, 0.0);
+        let per = m.params.cost_init_ms + m.params.height as f64 * m.params.t_seek_ms;
+        assert!((base - 2.0 * per).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_cost_matches_formula() {
+        let m = CostModel::new(params());
+        // 1 GiB: 1024 * (20 + 50) ms.
+        assert!((m.merge_cost_ms(1 << 30) - 1024.0 * 70.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,108 @@
+//! Query results and executor helpers (aggregates, top-k).
+
+use upi_storage::error::Result;
+use upi_uncertain::{Datum, Field, Tuple};
+
+use crate::upi::DiscreteUpi;
+
+/// One row of a probabilistic threshold query answer: the tuple plus the
+/// confidence that it satisfies the predicate (`existence × P(value)`,
+/// e.g. `(Alice, 18%)` for Query 1 of the paper).
+#[derive(Debug, Clone)]
+pub struct PtqResult {
+    /// The qualifying tuple.
+    pub tuple: Tuple,
+    /// Confidence that the tuple satisfies the query predicate.
+    pub confidence: f64,
+}
+
+/// `SELECT field, COUNT(*) ... GROUP BY field` over PTQ results — the shape
+/// of Queries 2 and 3 ("Publication Aggregate on Institution/Country").
+/// Returns `(value, count)` sorted by value. `field` must be a certain
+/// `U64` column (the journal id).
+pub fn group_count(results: &[PtqResult], field: usize) -> Vec<(u64, u64)> {
+    let mut counts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for r in results {
+        let v = match &r.tuple.fields[field] {
+            Field::Certain(Datum::U64(v)) => *v,
+            other => panic!("group_count expects a certain u64 field, got {other:?}"),
+        };
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let mut out: Vec<(u64, u64)> = counts.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Top-k query through the UPI, used as the paper's §9 future-work
+/// *Tuple Access Layer*: because the UPI heap is ordered by
+/// `{value, probability DESC}`, the k most confident tuples for a value are
+/// the first `k` heap entries. When the heap run is exhausted — or its
+/// k-th entry falls below the cutoff threshold `C` — candidates from the
+/// cutoff index (also probability-ordered, so at most `k` of them matter)
+/// are merged in.
+pub fn top_k(upi: &DiscreteUpi, value: u64, k: usize) -> Result<Vec<PtqResult>> {
+    let mut results = upi.scan_value_limit(value, 0.0, Some(k))?;
+    let kth = results.last().map(|r| r.confidence).unwrap_or(0.0);
+    if results.len() < k || kth < upi.config().cutoff {
+        for cp in upi.cutoff_index().scan_limit(value, 0.0, Some(k))? {
+            let tuple = upi
+                .fetch_by_pointer(cp.first_value, cp.first_prob, cp.tid)?
+                .expect("cutoff pointer must dereference");
+            results.push(PtqResult {
+                tuple,
+                confidence: cp.prob,
+            });
+        }
+        results.sort_by(|a, b| {
+            b.confidence
+                .partial_cmp(&a.confidence)
+                .unwrap()
+                .then_with(|| a.tuple.id.cmp(&b.tuple.id))
+        });
+        results.truncate(k);
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upi_uncertain::TupleId;
+
+    fn result(journal: u64, conf: f64) -> PtqResult {
+        PtqResult {
+            tuple: Tuple::new(
+                TupleId(journal * 100),
+                1.0,
+                vec![Field::Certain(Datum::U64(journal))],
+            ),
+            confidence: conf,
+        }
+    }
+
+    #[test]
+    fn group_count_counts_per_value() {
+        let rows = vec![result(3, 0.9), result(1, 0.5), result(3, 0.2), result(2, 0.8)];
+        assert_eq!(group_count(&rows, 0), vec![(1, 1), (2, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn group_count_empty() {
+        assert!(group_count(&[], 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "certain u64")]
+    fn group_count_rejects_wrong_field() {
+        let r = PtqResult {
+            tuple: Tuple::new(
+                TupleId(0),
+                1.0,
+                vec![Field::Certain(Datum::Str("x".into()))],
+            ),
+            confidence: 1.0,
+        };
+        group_count(&[r], 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Multi-pointer secondary indexes over a UPI (§3.2).
+//!
+//! "Unlike traditional secondary indexes, in UPIs, we employ a different
+//! secondary index data structure that stores multiple pointers in one
+//! index entry, since there are multiple copies of a given tuple in the UPI
+//! heap" (Table 5). Each entry, keyed `(secondary value, confidence DESC,
+//! tid)`, stores the primary-key pointers of every **non-cutoff** copy of
+//! the tuple (cutoff alternatives appear as no pointer at all — the
+//! `<cutoff>` marker of Table 5), optionally capped at a configurable
+//! maximum ("one tuning option … is to limit the number of pointers stored
+//! in each secondary index entry").
+//!
+//! The choice *among* the pointers — Tailored Secondary Index Access,
+//! Algorithm 3 — lives in [`crate::upi::DiscreteUpi::ptq_secondary`]
+//! because it needs the UPI heap.
+
+use upi_btree::BTree;
+use upi_storage::error::Result;
+use upi_storage::Store;
+use upi_uncertain::Tuple;
+
+use crate::keys;
+
+/// One scanned secondary-index entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SecEntry {
+    /// Tuple id.
+    pub tid: u64,
+    /// Folded confidence of the secondary value (`existence × P(value)`).
+    pub prob: f64,
+    /// Primary-key pointers `(primary value, folded prob)` of the tuple's
+    /// heap copies, in descending probability order.
+    pub pointers: Vec<(u64, f64)>,
+}
+
+/// A secondary index on one discrete uncertain attribute of a UPI table.
+pub struct SecondaryIndex {
+    attr: usize,
+    tree: BTree,
+    max_pointers: usize,
+}
+
+impl SecondaryIndex {
+    /// Create an empty index on field `attr`, storing at most
+    /// `max_pointers` pointers per entry.
+    pub fn create(
+        store: Store,
+        name: &str,
+        attr: usize,
+        page_size: u32,
+        max_pointers: usize,
+    ) -> Result<SecondaryIndex> {
+        assert!(max_pointers >= 1, "entries need at least one pointer");
+        Ok(SecondaryIndex {
+            attr,
+            tree: BTree::create(store, name, page_size)?,
+            max_pointers,
+        })
+    }
+
+    /// The indexed field.
+    pub fn attr(&self) -> usize {
+        self.attr
+    }
+
+    /// The pointer cap.
+    pub fn max_pointers(&self) -> usize {
+        self.max_pointers
+    }
+
+    fn payload(&self, heap_ptrs: &[(u64, f64)]) -> Vec<u8> {
+        let n = heap_ptrs.len().min(self.max_pointers);
+        let mut out = Vec::with_capacity(2 + n * keys::POINTER_LEN);
+        out.extend_from_slice(&(n as u16).to_le_bytes());
+        for &(v, p) in &heap_ptrs[..n] {
+            out.extend_from_slice(&keys::pointer_bytes(v, p));
+        }
+        out
+    }
+
+    fn decode_payload(data: &[u8]) -> Vec<(u64, f64)> {
+        let n = u16::from_le_bytes(data[..2].try_into().unwrap()) as usize;
+        (0..n)
+            .map(|i| {
+                let at = 2 + i * keys::POINTER_LEN;
+                keys::decode_pointer(&data[at..at + keys::POINTER_LEN])
+            })
+            .collect()
+    }
+
+    /// Append this tuple's index entries (one per secondary alternative) to
+    /// `out`, for bulk loading. `heap_ptrs` are the primary-key pointers of
+    /// the tuple's heap (non-cutoff) copies.
+    pub fn prepare_entries(
+        &self,
+        t: &Tuple,
+        heap_ptrs: &[(u64, f64)],
+        out: &mut Vec<(Vec<u8>, Vec<u8>)>,
+    ) {
+        let payload = self.payload(heap_ptrs);
+        for &(v, p) in t.discrete(self.attr).alternatives() {
+            out.push((keys::entry_key(v, p * t.exist, t.id.0), payload.clone()));
+        }
+    }
+
+    /// Bulk-load prepared entries (must be sorted by key).
+    pub fn bulk_load(&mut self, entries: Vec<(Vec<u8>, Vec<u8>)>) -> Result<u64> {
+        self.tree.bulk_load(entries)
+    }
+
+    /// Index one tuple.
+    pub fn insert_for(&mut self, t: &Tuple, heap_ptrs: &[(u64, f64)]) -> Result<()> {
+        let payload = self.payload(heap_ptrs);
+        for &(v, p) in t.discrete(self.attr).alternatives() {
+            self.tree
+                .insert(&keys::entry_key(v, p * t.exist, t.id.0), &payload)?;
+        }
+        Ok(())
+    }
+
+    /// Remove a tuple's entries.
+    pub fn delete_for(&mut self, t: &Tuple) -> Result<()> {
+        for &(v, p) in t.discrete(self.attr).alternatives() {
+            self.tree.delete(&keys::entry_key(v, p * t.exist, t.id.0))?;
+        }
+        Ok(())
+    }
+
+    /// All entries for `value` with confidence `≥ qt`, descending.
+    pub fn scan(&self, value: u64, qt: f64) -> Result<Vec<SecEntry>> {
+        let mut out = Vec::new();
+        let mut cur = self.tree.seek(&keys::value_prefix(value))?;
+        while cur.valid() {
+            let (v, prob, tid) = keys::decode_entry_key(cur.key());
+            if v != value || prob < qt {
+                break;
+            }
+            out.push(SecEntry {
+                tid,
+                prob,
+                pointers: Self::decode_payload(cur.value()),
+            });
+            cur.advance()?;
+        }
+        Ok(out)
+    }
+
+    /// Entry count.
+    pub fn len(&self) -> u64 {
+        self.tree.len()
+    }
+
+    /// True if the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Live bytes of the backing file.
+    pub fn bytes(&self) -> u64 {
+        self.tree.stats().bytes
+    }
+
+    /// The storage file backing this index.
+    pub fn file(&self) -> upi_storage::FileId {
+        self.tree.file()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use upi_storage::{DiskConfig, SimDisk};
+    use upi_uncertain::{Datum, DiscretePmf, Field, TupleId};
+
+    const US: u64 = 0;
+    const JAPAN: u64 = 1;
+
+    fn sec() -> SecondaryIndex {
+        let store = Store::new(Arc::new(SimDisk::new(DiskConfig::default())), 4 << 20);
+        SecondaryIndex::create(store, "sec", 1, 4096, 8).unwrap()
+    }
+
+    fn carol() -> Tuple {
+        // Table 4: Carol country = {US: 60%, Japan: 40%}, existence 80%.
+        Tuple::new(
+            TupleId(3),
+            0.8,
+            vec![
+                Field::Certain(Datum::Str("Carol".into())),
+                Field::Discrete(DiscretePmf::new(vec![(US, 0.6), (JAPAN, 0.4)])),
+            ],
+        )
+    }
+
+    #[test]
+    fn table5_entries() {
+        let mut s = sec();
+        // Carol's UPI copies live at Brown(48%) and U.Tokyo(32%).
+        s.insert_for(&carol(), &[(10, 0.48), (13, 0.32)]).unwrap();
+        // Japan (32%) → pointers {Brown, U.Tokyo}.
+        let japan = s.scan(JAPAN, 0.0).unwrap();
+        assert_eq!(japan.len(), 1);
+        assert_eq!(japan[0].tid, 3);
+        assert!((japan[0].prob - 0.32).abs() < 1e-6);
+        assert_eq!(japan[0].pointers.len(), 2);
+        assert_eq!(japan[0].pointers[0].0, 10);
+        assert_eq!(japan[0].pointers[1].0, 13);
+        // US (48%) carries the same pointer list.
+        let us = s.scan(US, 0.0).unwrap();
+        assert!((us[0].prob - 0.48).abs() < 1e-6);
+        assert_eq!(us[0].pointers.len(), 2);
+    }
+
+    #[test]
+    fn pointer_cap_is_enforced() {
+        let store = Store::new(Arc::new(SimDisk::new(DiskConfig::default())), 4 << 20);
+        let mut s = SecondaryIndex::create(store, "sec", 1, 4096, 2).unwrap();
+        let ptrs: Vec<(u64, f64)> = (0..6).map(|i| (i, 0.5 - i as f64 * 0.05)).collect();
+        s.insert_for(&carol(), &ptrs).unwrap();
+        let got = s.scan(US, 0.0).unwrap();
+        assert_eq!(got[0].pointers.len(), 2, "cap at 2 pointers");
+        // The highest-probability pointers are the ones kept.
+        assert_eq!(got[0].pointers[0].0, 0);
+        assert_eq!(got[0].pointers[1].0, 1);
+    }
+
+    #[test]
+    fn scan_thresholds_on_confidence() {
+        let mut s = sec();
+        s.insert_for(&carol(), &[(10, 0.48)]).unwrap();
+        // Japan confidence is 0.32: filtered at 0.4.
+        assert!(s.scan(JAPAN, 0.4).unwrap().is_empty());
+        assert_eq!(s.scan(US, 0.4).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn delete_removes_all_alternatives() {
+        let mut s = sec();
+        let c = carol();
+        s.insert_for(&c, &[(10, 0.48)]).unwrap();
+        assert_eq!(s.len(), 2);
+        s.delete_for(&c).unwrap();
+        assert_eq!(s.len(), 0);
+        assert!(s.scan(US, 0.0).unwrap().is_empty());
+    }
+}

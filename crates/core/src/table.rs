@@ -1,0 +1,502 @@
+//! A table facade unifying the paper's three physical layouts.
+//!
+//! Downstream users pick a [`TableLayout`] — the unclustered-heap + PII
+//! baseline, a [`DiscreteUpi`], or a [`FracturedUpi`] — and get one API for
+//! loading, maintenance and probabilistic threshold queries, making the
+//! paper's comparisons ("same query, different clustering") one-line
+//! configuration changes.
+
+use upi_storage::error::Result;
+use upi_storage::Store;
+use upi_uncertain::{Field, FieldKind, Schema, Tuple, TupleId};
+
+use crate::exec::PtqResult;
+use crate::fractured::{FracturedConfig, FracturedUpi};
+use crate::heap::UnclusteredHeap;
+use crate::pii::Pii;
+use crate::upi::{DiscreteUpi, UpiConfig};
+
+/// Physical layout of an [`UncertainTable`].
+#[derive(Debug, Clone)]
+pub enum TableLayout {
+    /// Auto-increment-clustered heap with PII secondary indexes (the
+    /// baseline of the paper's evaluation).
+    Unclustered,
+    /// A UPI clustered on the primary uncertain attribute (§§2–3).
+    Upi(UpiConfig),
+    /// An LSM-maintained UPI (§4).
+    FracturedUpi(FracturedConfig),
+}
+
+enum Inner {
+    Unclustered {
+        heap: UnclusteredHeap,
+        primary: Pii,
+        secondaries: Vec<Pii>,
+    },
+    // Boxed: the index structs are much larger than the Unclustered
+    // variant and a table is a long-lived singleton anyway.
+    Upi(Box<DiscreteUpi>),
+    Fractured(Box<FracturedUpi>),
+}
+
+/// A schema-checked uncertain table over one of the three layouts.
+pub struct UncertainTable {
+    name: String,
+    store: Store,
+    schema: Schema,
+    primary_attr: usize,
+    sec_attrs: Vec<usize>,
+    inner: Inner,
+    next_id: u64,
+    page_size: u32,
+}
+
+impl UncertainTable {
+    /// Create an empty table. `primary_attr` must name a
+    /// [`FieldKind::Discrete`] column of `schema`.
+    pub fn create(
+        store: Store,
+        name: &str,
+        schema: Schema,
+        primary_attr: usize,
+        layout: TableLayout,
+    ) -> Result<UncertainTable> {
+        assert!(
+            primary_attr < schema.len(),
+            "primary attribute {primary_attr} out of range"
+        );
+        assert_eq!(
+            schema.field(primary_attr).1,
+            FieldKind::Discrete,
+            "the clustering attribute must be discrete-uncertain"
+        );
+        let page_size = match &layout {
+            TableLayout::Upi(cfg) => cfg.page_size,
+            TableLayout::FracturedUpi(cfg) => cfg.upi.page_size,
+            TableLayout::Unclustered => 8192,
+        };
+        let inner = match layout {
+            TableLayout::Unclustered => Inner::Unclustered {
+                heap: UnclusteredHeap::create(store.clone(), &format!("{name}.heap"), page_size)?,
+                primary: Pii::create(
+                    store.clone(),
+                    &format!("{name}.pii"),
+                    primary_attr,
+                    page_size,
+                )?,
+                secondaries: Vec::new(),
+            },
+            TableLayout::Upi(cfg) => Inner::Upi(Box::new(DiscreteUpi::create(
+                store.clone(),
+                name,
+                primary_attr,
+                cfg,
+            )?)),
+            TableLayout::FracturedUpi(cfg) => Inner::Fractured(Box::new(FracturedUpi::create(
+                store.clone(),
+                name,
+                primary_attr,
+                &[],
+                cfg,
+            )?)),
+        };
+        Ok(UncertainTable {
+            name: name.to_string(),
+            store,
+            schema,
+            primary_attr,
+            sec_attrs: Vec::new(),
+            inner,
+            next_id: 0,
+            page_size,
+        })
+    }
+
+    /// Attach a secondary index on a discrete column (before loading data).
+    /// Returns the index position for [`ptq_secondary`](Self::ptq_secondary).
+    pub fn add_secondary(&mut self, attr: usize) -> Result<usize> {
+        assert_eq!(
+            self.schema.field(attr).1,
+            FieldKind::Discrete,
+            "secondary indexes require a discrete-uncertain column"
+        );
+        let pos = self.sec_attrs.len();
+        match &mut self.inner {
+            Inner::Unclustered { secondaries, .. } => {
+                secondaries.push(Pii::create(
+                    self.store.clone(),
+                    &format!("{}.sec{}", self.name, pos),
+                    attr,
+                    self.page_size,
+                )?);
+            }
+            Inner::Upi(upi) => {
+                upi.add_secondary(attr)?;
+            }
+            Inner::Fractured(_) => {
+                panic!(
+                    "fractured tables must declare secondaries at creation \
+                     (see FracturedUpi::create); facade support is load-order \
+                     limited"
+                );
+            }
+        }
+        self.sec_attrs.push(attr);
+        Ok(pos)
+    }
+
+    /// Validate a tuple against the schema.
+    fn check(&self, t: &Tuple) {
+        assert_eq!(
+            t.fields.len(),
+            self.schema.len(),
+            "tuple arity {} != schema arity {}",
+            t.fields.len(),
+            self.schema.len()
+        );
+        for (i, f) in t.fields.iter().enumerate() {
+            let (name, kind) = self.schema.field(i);
+            let ok = matches!(
+                (f, kind),
+                (
+                    Field::Certain(upi_uncertain::Datum::U64(_)),
+                    FieldKind::U64
+                ) | (
+                    Field::Certain(upi_uncertain::Datum::F64(_)),
+                    FieldKind::F64
+                ) | (
+                    Field::Certain(upi_uncertain::Datum::Str(_)),
+                    FieldKind::Str
+                ) | (Field::Discrete(_), FieldKind::Discrete)
+                    | (Field::Point(_), FieldKind::Point)
+            );
+            assert!(ok, "field '{name}' (index {i}) does not match {kind:?}");
+        }
+    }
+
+    /// Bulk-load tuples into an empty table (ids must be ascending; the
+    /// auto-id counter resumes past the maximum).
+    pub fn load(&mut self, tuples: &[Tuple]) -> Result<()> {
+        for t in tuples {
+            self.check(t);
+            self.next_id = self.next_id.max(t.id.0 + 1);
+        }
+        match &mut self.inner {
+            Inner::Unclustered {
+                heap,
+                primary,
+                secondaries,
+            } => {
+                heap.bulk_load(tuples)?;
+                primary.bulk_load(tuples)?;
+                for s in secondaries {
+                    s.bulk_load(tuples)?;
+                }
+            }
+            Inner::Upi(upi) => upi.bulk_load(tuples)?,
+            Inner::Fractured(f) => f.load_initial(tuples)?,
+        }
+        Ok(())
+    }
+
+    /// Insert a row, assigning the next tuple id. Returns the id.
+    pub fn insert(&mut self, exist: f64, fields: Vec<Field>) -> Result<TupleId> {
+        let id = TupleId(self.next_id);
+        self.next_id += 1;
+        let t = Tuple::new(id, exist, fields);
+        self.insert_tuple(&t)?;
+        Ok(id)
+    }
+
+    /// Insert a fully-formed tuple (caller manages ids; they must never
+    /// repeat except to supersede a deleted tuple on fractured tables).
+    pub fn insert_tuple(&mut self, t: &Tuple) -> Result<()> {
+        self.check(t);
+        self.next_id = self.next_id.max(t.id.0 + 1);
+        match &mut self.inner {
+            Inner::Unclustered {
+                heap,
+                primary,
+                secondaries,
+            } => {
+                heap.insert(t)?;
+                primary.insert(t)?;
+                for s in secondaries {
+                    s.insert(t)?;
+                }
+            }
+            Inner::Upi(upi) => upi.insert(t)?,
+            Inner::Fractured(f) => f.insert(t.clone())?,
+        }
+        Ok(())
+    }
+
+    /// Delete a tuple.
+    pub fn delete(&mut self, t: &Tuple) -> Result<()> {
+        match &mut self.inner {
+            Inner::Unclustered {
+                heap,
+                primary,
+                secondaries,
+            } => {
+                heap.delete(t.id)?;
+                primary.delete(t)?;
+                for s in secondaries {
+                    s.delete(t)?;
+                }
+            }
+            Inner::Upi(upi) => upi.delete(t)?,
+            Inner::Fractured(f) => f.delete(t.id)?,
+        }
+        Ok(())
+    }
+
+    /// Point PTQ on the primary attribute.
+    pub fn ptq(&self, value: u64, qt: f64) -> Result<Vec<PtqResult>> {
+        match &self.inner {
+            Inner::Unclustered { heap, primary, .. } => primary.ptq(heap, value, qt),
+            Inner::Upi(upi) => upi.ptq(value, qt),
+            Inner::Fractured(f) => f.ptq(value, qt),
+        }
+    }
+
+    /// Range PTQ on the primary attribute (inclusive bounds).
+    pub fn ptq_range(&self, lo: u64, hi: u64, qt: f64) -> Result<Vec<PtqResult>> {
+        match &self.inner {
+            Inner::Unclustered { heap, primary, .. } => primary.ptq_range(heap, lo, hi, qt),
+            Inner::Upi(upi) => upi.ptq_range(lo, hi, qt),
+            Inner::Fractured(f) => f.ptq_range(lo, hi, qt),
+        }
+    }
+
+    /// PTQ through secondary index `idx` (tailored access on UPI layouts).
+    pub fn ptq_secondary(&self, idx: usize, value: u64, qt: f64) -> Result<Vec<PtqResult>> {
+        match &self.inner {
+            Inner::Unclustered {
+                heap, secondaries, ..
+            } => secondaries[idx].ptq(heap, value, qt),
+            Inner::Upi(upi) => upi.ptq_secondary(idx, value, qt, true),
+            Inner::Fractured(f) => f.ptq_secondary(idx, value, qt, true),
+        }
+    }
+
+    /// Top-k most confident rows for a primary value.
+    pub fn top_k(&self, value: u64, k: usize) -> Result<Vec<PtqResult>> {
+        match &self.inner {
+            Inner::Unclustered { heap, primary, .. } => primary.top_k(heap, value, k),
+            Inner::Upi(upi) => crate::exec::top_k(upi, value, k),
+            Inner::Fractured(f) => {
+                let mut all = f.ptq(value, 0.0)?;
+                all.truncate(k);
+                Ok(all)
+            }
+        }
+    }
+
+    /// Flush buffered changes (fractured layout only; no-op otherwise —
+    /// the buffer pool flushes through [`Store::go_cold`] or eviction).
+    pub fn flush(&mut self) -> Result<()> {
+        if let Inner::Fractured(f) = &mut self.inner {
+            f.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Merge fractures (fractured layout only; no-op otherwise).
+    pub fn merge(&mut self) -> Result<()> {
+        if let Inner::Fractured(f) = &mut self.inner {
+            f.merge()?;
+        }
+        Ok(())
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The clustered (primary) uncertain attribute.
+    pub fn primary_attr(&self) -> usize {
+        self.primary_attr
+    }
+
+    /// Direct access to the underlying UPI, when the layout has one
+    /// (for cost models and statistics).
+    pub fn as_upi(&self) -> Option<&DiscreteUpi> {
+        match &self.inner {
+            Inner::Upi(upi) => Some(upi),
+            Inner::Fractured(f) => Some(f.main()),
+            Inner::Unclustered { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fractured::FracturedConfig;
+    use std::sync::Arc;
+    use upi_storage::{DiskConfig, SimDisk};
+    use upi_uncertain::{Datum, DiscretePmf};
+
+    fn store() -> Store {
+        Store::new(Arc::new(SimDisk::new(DiskConfig::default())), 8 << 20)
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("name", FieldKind::Str),
+            ("institution", FieldKind::Discrete),
+            ("country", FieldKind::Discrete),
+        ])
+    }
+
+    fn row(inst: u64, p: f64, country: u64) -> Vec<Field> {
+        vec![
+            Field::Certain(Datum::Str("x".into())),
+            Field::Discrete(DiscretePmf::new(vec![
+                (inst, p),
+                (inst + 100, (1.0 - p) * 0.5),
+            ])),
+            Field::Discrete(DiscretePmf::new(vec![(country, 1.0)])),
+        ]
+    }
+
+    fn table(layout: TableLayout) -> UncertainTable {
+        let mut t = UncertainTable::create(store(), "t", schema(), 1, layout).unwrap();
+        if !matches!(
+            t.inner,
+            Inner::Fractured(_)
+        ) {
+            t.add_secondary(2).unwrap();
+        }
+        t
+    }
+
+    fn layouts() -> Vec<UncertainTable> {
+        vec![
+            table(TableLayout::Unclustered),
+            table(TableLayout::Upi(UpiConfig::default())),
+            table(TableLayout::FracturedUpi(FracturedConfig {
+                upi: UpiConfig::default(),
+                buffer_ops: 0,
+            })),
+        ]
+    }
+
+    #[test]
+    fn all_layouts_answer_identically() {
+        let mut tables = layouts();
+        for t in &mut tables {
+            for i in 0..200u64 {
+                t.insert(0.9, row(i % 7, 0.6, i % 3)).unwrap();
+            }
+        }
+        let reference: Vec<u64> = tables[0]
+            .ptq(3, 0.2)
+            .unwrap()
+            .iter()
+            .map(|r| r.tuple.id.0)
+            .collect();
+        assert!(!reference.is_empty());
+        for t in &tables[1..] {
+            let mut got: Vec<u64> = t.ptq(3, 0.2).unwrap().iter().map(|r| r.tuple.id.0).collect();
+            let mut want = reference.clone();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+        // Range queries agree too.
+        let range_ref = tables[0].ptq_range(2, 5, 0.3).unwrap().len();
+        for t in &tables[1..] {
+            assert_eq!(t.ptq_range(2, 5, 0.3).unwrap().len(), range_ref);
+        }
+    }
+
+    #[test]
+    fn auto_ids_are_dense_and_resume_after_load() {
+        let mut t = table(TableLayout::Upi(UpiConfig::default()));
+        let preloaded: Vec<Tuple> = (0..10u64)
+            .map(|i| Tuple::new(TupleId(i), 1.0, row(1, 0.8, 0)))
+            .collect();
+        t.load(&preloaded).unwrap();
+        let id = t.insert(1.0, row(1, 0.8, 0)).unwrap();
+        assert_eq!(id, TupleId(10));
+    }
+
+    #[test]
+    fn secondary_and_topk_paths() {
+        let mut unc = table(TableLayout::Unclustered);
+        let mut upi = table(TableLayout::Upi(UpiConfig::default()));
+        for i in 0..150u64 {
+            let r = row(i % 5, 0.5 + (i % 4) as f64 * 0.1, i % 3);
+            unc.insert(0.9, r.clone()).unwrap();
+            upi.insert(0.9, r).unwrap();
+        }
+        let a: Vec<u64> = unc
+            .ptq_secondary(0, 1, 0.3)
+            .unwrap()
+            .iter()
+            .map(|r| r.tuple.id.0)
+            .collect();
+        let mut b: Vec<u64> = upi
+            .ptq_secondary(0, 1, 0.3)
+            .unwrap()
+            .iter()
+            .map(|r| r.tuple.id.0)
+            .collect();
+        let mut a = a;
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+
+        let top = upi.top_k(2, 3).unwrap();
+        assert_eq!(top.len(), 3);
+        assert!(top.windows(2).all(|w| w[0].confidence >= w[1].confidence));
+    }
+
+    #[test]
+    fn fractured_lifecycle_through_facade() {
+        let mut t = table(TableLayout::FracturedUpi(FracturedConfig {
+            upi: UpiConfig::default(),
+            buffer_ops: 0,
+        }));
+        for i in 0..100u64 {
+            t.insert(0.9, row(i % 5, 0.7, 0)).unwrap();
+        }
+        let before = t.ptq(2, 0.3).unwrap().len();
+        t.flush().unwrap();
+        assert_eq!(t.ptq(2, 0.3).unwrap().len(), before);
+        t.merge().unwrap();
+        assert_eq!(t.ptq(2, 0.3).unwrap().len(), before);
+        assert!(t.as_upi().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn schema_violations_are_rejected() {
+        let mut t = table(TableLayout::Unclustered);
+        t.insert(
+            1.0,
+            vec![
+                Field::Certain(Datum::U64(3)), // schema says Str
+                Field::Discrete(DiscretePmf::certain(1)),
+                Field::Discrete(DiscretePmf::certain(1)),
+            ],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be discrete")]
+    fn primary_attr_must_be_discrete() {
+        let _ = UncertainTable::create(
+            store(),
+            "bad",
+            schema(),
+            0, // "name" is a string column
+            TableLayout::Unclustered,
+        );
+    }
+}

@@ -1,0 +1,706 @@
+//! The discrete UPI: clustered heap + cutoff index + secondary indexes
+//! (§§2–3, Algorithms 1–3).
+
+use std::collections::HashSet;
+
+use upi_btree::{BTree, TreeStats};
+use upi_storage::codec::quantize_prob;
+use upi_storage::error::Result;
+use upi_storage::Store;
+use upi_uncertain::tuple::{decode_tuple, encode_tuple};
+use upi_uncertain::{AttrStats, Tuple};
+
+use crate::cutoff::CutoffIndex;
+use crate::exec::PtqResult;
+use crate::keys;
+use crate::secondary::SecondaryIndex;
+
+/// Tuning parameters of a UPI (per-fracture tunable, §4.2).
+#[derive(Debug, Clone, Copy)]
+pub struct UpiConfig {
+    /// The cutoff threshold `C`: alternatives with folded probability below
+    /// it are stored in the cutoff index instead of the heap (§3.1).
+    pub cutoff: f64,
+    /// Page size of the heap / cutoff / secondary B+Trees.
+    pub page_size: u32,
+    /// Maximum pointers per secondary-index entry (§3.2's tuning option).
+    pub max_secondary_pointers: usize,
+}
+
+impl Default for UpiConfig {
+    fn default() -> Self {
+        UpiConfig {
+            cutoff: 0.1,
+            page_size: 8192,
+            max_secondary_pointers: 10,
+        }
+    }
+}
+
+/// Folded `(value, confidence)` alternatives of one tuple.
+type Alts = Vec<(u64, f64)>;
+
+/// A primary (clustered) index on a discrete uncertain attribute.
+///
+/// The heap file is a B+Tree keyed `{value ASC, confidence DESC, tid}`
+/// whose values are whole encoded tuples, duplicated once per non-cutoff
+/// alternative (Table 2). Below-cutoff alternatives live in the
+/// [`CutoffIndex`]; secondary indexes carry multi-pointer entries.
+pub struct DiscreteUpi {
+    cfg: UpiConfig,
+    attr: usize,
+    name: String,
+    store: Store,
+    heap: BTree,
+    cutoff: CutoffIndex,
+    secondaries: Vec<SecondaryIndex>,
+    stats: AttrStats,
+    n_tuples: u64,
+}
+
+impl DiscreteUpi {
+    /// Create an empty UPI named `name` on discrete field `attr`.
+    pub fn create(store: Store, name: &str, attr: usize, cfg: UpiConfig) -> Result<DiscreteUpi> {
+        let heap = BTree::create(store.clone(), &format!("{name}.heap"), cfg.page_size)?;
+        let cutoff = CutoffIndex::create(store.clone(), &format!("{name}.cutoff"), cfg.page_size)?;
+        Ok(DiscreteUpi {
+            cfg,
+            attr,
+            name: name.to_string(),
+            store,
+            heap,
+            cutoff,
+            secondaries: Vec::new(),
+            stats: AttrStats::new(),
+            n_tuples: 0,
+        })
+    }
+
+    /// Attach a secondary index on discrete field `attr` (before loading
+    /// data). Returns its position for [`ptq_secondary`](Self::ptq_secondary).
+    pub fn add_secondary(&mut self, attr: usize) -> Result<usize> {
+        assert!(
+            self.n_tuples == 0,
+            "secondary indexes must be added before data is loaded"
+        );
+        let idx = self.secondaries.len();
+        self.secondaries.push(SecondaryIndex::create(
+            self.store.clone(),
+            &format!("{}.sec{}", self.name, idx),
+            attr,
+            self.cfg.page_size,
+            self.cfg.max_secondary_pointers,
+        )?);
+        Ok(idx)
+    }
+
+    /// The primary uncertain attribute's field index.
+    pub fn attr(&self) -> usize {
+        self.attr
+    }
+
+    /// Configuration in force.
+    pub fn config(&self) -> &UpiConfig {
+        &self.cfg
+    }
+
+    /// Folded `(value, confidence)` alternatives of a tuple, descending.
+    fn folded_alts(&self, t: &Tuple) -> Alts {
+        t.discrete(self.attr)
+            .alternatives()
+            .iter()
+            .map(|&(v, p)| (v, p * t.exist))
+            .collect()
+    }
+
+    /// Algorithm 1's partition: the first alternative always stays in the
+    /// heap; others go to the heap iff their folded probability `≥ C`.
+    fn partition(&self, alts: &[(u64, f64)]) -> (Alts, Alts) {
+        let mut heap = Vec::with_capacity(alts.len());
+        let mut cut = Vec::new();
+        for (i, &(v, p)) in alts.iter().enumerate() {
+            if i == 0 || p >= self.cfg.cutoff {
+                heap.push((v, p));
+            } else {
+                cut.push((v, p));
+            }
+        }
+        (heap, cut)
+    }
+
+    /// Insert a tuple (Algorithm 1).
+    pub fn insert(&mut self, t: &Tuple) -> Result<()> {
+        let alts = self.folded_alts(t);
+        let (heap_alts, cut_alts) = self.partition(&alts);
+        let bytes = encode_tuple(t);
+        for &(v, p) in &heap_alts {
+            self.heap.insert(&keys::entry_key(v, p, t.id.0), &bytes)?;
+        }
+        let (fv, fp) = heap_alts[0];
+        for &(v, p) in &cut_alts {
+            self.cutoff.insert(v, p, t.id.0, fv, fp)?;
+        }
+        for sec in &mut self.secondaries {
+            sec.insert_for(t, &heap_alts)?;
+        }
+        for (i, &(v, p)) in alts.iter().enumerate() {
+            self.stats.add(v, p, i == 0);
+        }
+        self.n_tuples += 1;
+        Ok(())
+    }
+
+    /// Delete a tuple ("deleting entries from the heap file or cutoff index
+    /// depends on the probability"). The caller supplies the tuple, as a
+    /// real system would have fetched it to execute the `DELETE`.
+    pub fn delete(&mut self, t: &Tuple) -> Result<()> {
+        let alts = self.folded_alts(t);
+        let (heap_alts, cut_alts) = self.partition(&alts);
+        for &(v, p) in &heap_alts {
+            self.heap.delete(&keys::entry_key(v, p, t.id.0))?;
+        }
+        for &(v, p) in &cut_alts {
+            self.cutoff.delete(v, p, t.id.0)?;
+        }
+        for sec in &mut self.secondaries {
+            sec.delete_for(t)?;
+        }
+        for (i, &(v, p)) in alts.iter().enumerate() {
+            self.stats.remove(v, p, i == 0);
+        }
+        self.n_tuples -= 1;
+        Ok(())
+    }
+
+    /// Bulk-load tuples into an empty UPI (sequential writes for every
+    /// component file — the fracture-flush path of §4.2).
+    pub fn bulk_load<'a, I>(&mut self, tuples: I) -> Result<()>
+    where
+        I: IntoIterator<Item = &'a Tuple>,
+    {
+        assert!(self.n_tuples == 0, "bulk_load requires an empty UPI");
+        let mut heap_entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut cut_entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut sec_entries: Vec<Vec<(Vec<u8>, Vec<u8>)>> =
+            self.secondaries.iter().map(|_| Vec::new()).collect();
+        for t in tuples {
+            let alts = self.folded_alts(t);
+            let (heap_alts, cut_alts) = self.partition(&alts);
+            let bytes = encode_tuple(t);
+            for &(v, p) in &heap_alts {
+                heap_entries.push((keys::entry_key(v, p, t.id.0), bytes.clone()));
+            }
+            let (fv, fp) = heap_alts[0];
+            for &(v, p) in &cut_alts {
+                cut_entries.push((
+                    keys::entry_key(v, p, t.id.0),
+                    keys::pointer_bytes(fv, fp),
+                ));
+            }
+            for (i, sec) in self.secondaries.iter().enumerate() {
+                sec.prepare_entries(t, &heap_alts, &mut sec_entries[i]);
+            }
+            for (i, &(v, p)) in alts.iter().enumerate() {
+                self.stats.add(v, p, i == 0);
+            }
+            self.n_tuples += 1;
+        }
+        heap_entries.sort();
+        cut_entries.sort();
+        self.heap.bulk_load(heap_entries)?;
+        self.cutoff.bulk_load(cut_entries)?;
+        for (i, mut entries) in sec_entries.into_iter().enumerate() {
+            entries.sort();
+            self.secondaries[i].bulk_load(entries)?;
+        }
+        Ok(())
+    }
+
+    /// Scan heap entries of `value` with confidence `≥ qt`, optionally
+    /// stopping after `limit` results (the top-k path). One index seek, then
+    /// sequential.
+    pub(crate) fn scan_value_limit(
+        &self,
+        value: u64,
+        qt: f64,
+        limit: Option<usize>,
+    ) -> Result<Vec<PtqResult>> {
+        let mut out = Vec::new();
+        let mut cur = self.heap.seek(&keys::value_prefix(value))?;
+        while cur.valid() {
+            let (v, prob, _tid) = keys::decode_entry_key(cur.key());
+            if v != value || prob < qt {
+                break;
+            }
+            out.push(PtqResult {
+                tuple: decode_tuple(cur.value()),
+                confidence: prob,
+            });
+            if limit.is_some_and(|k| out.len() >= k) {
+                break;
+            }
+            cur.advance()?;
+        }
+        Ok(out)
+    }
+
+    /// Fetch the heap copy stored under primary key `(value, prob, tid)`.
+    pub fn fetch_by_pointer(&self, value: u64, prob: f64, tid: u64) -> Result<Option<Tuple>> {
+        Ok(self
+            .heap
+            .get(&keys::entry_key(value, prob, tid))?
+            .map(|b| decode_tuple(&b)))
+    }
+
+    /// Probabilistic threshold query (Algorithm 2):
+    /// `SELECT * WHERE attr = value, confidence ≥ qt`.
+    ///
+    /// Reads the heap run for `value` (sequential); when `qt < C` it
+    /// additionally scans the cutoff index and dereferences each pointer,
+    /// visiting targets in heap order.
+    pub fn ptq(&self, value: u64, qt: f64) -> Result<Vec<PtqResult>> {
+        let mut results = self.scan_value_limit(value, qt, None)?;
+        if qt < self.cfg.cutoff {
+            let mut pointers = self.cutoff.scan(value, qt)?;
+            // Visit heap targets in physical (key) order.
+            pointers.sort_unstable_by_key(|cp| {
+                (
+                    cp.first_value,
+                    u32::MAX - quantize_prob(cp.first_prob),
+                    cp.tid,
+                )
+            });
+            for cp in pointers {
+                let tuple = self
+                    .fetch_by_pointer(cp.first_value, cp.first_prob, cp.tid)?
+                    .expect("cutoff pointer must dereference");
+                results.push(PtqResult {
+                    tuple,
+                    confidence: cp.prob,
+                });
+            }
+        }
+        results.sort_by(|a, b| {
+            b.confidence
+                .partial_cmp(&a.confidence)
+                .unwrap()
+                .then_with(|| a.tuple.id.cmp(&b.tuple.id))
+        });
+        Ok(results)
+    }
+
+    /// Range PTQ: `SELECT * WHERE attr BETWEEN lo AND hi, confidence ≥ qt`
+    /// (inclusive bounds).
+    ///
+    /// Under possible-world semantics a tuple's confidence for a range
+    /// predicate is `existence × Σ_{v ∈ [lo,hi]} P(v)` — alternatives
+    /// *sum*, so per-alternative probability pruning is unsound and the
+    /// scan reads every entry in the range: one index seek plus one
+    /// sequential run over the clustered heap (the UPI's analytic-query
+    /// strength), plus the below-cutoff alternatives from the cutoff
+    /// index.
+    pub fn ptq_range(&self, lo: u64, hi: u64, qt: f64) -> Result<Vec<PtqResult>> {
+        assert!(lo <= hi, "inverted range");
+        // tid -> (tuple if already materialized, accumulated confidence).
+        let mut acc: std::collections::HashMap<u64, (Option<Tuple>, f64)> =
+            std::collections::HashMap::new();
+        let mut cur = self.heap.seek(&keys::value_prefix(lo))?;
+        while cur.valid() {
+            let (v, prob, tid) = keys::decode_entry_key(cur.key());
+            if v > hi {
+                break;
+            }
+            let e = acc.entry(tid).or_insert((None, 0.0));
+            if e.0.is_none() {
+                e.0 = Some(decode_tuple(cur.value()));
+            }
+            e.1 += prob;
+            cur.advance()?;
+        }
+        // Cutoff alternatives contribute probability mass. Accumulate all
+        // sums first; tuple data is fetched only for tuples that end up
+        // qualifying and were not already materialized by the heap scan —
+        // a tuple whose in-range mass is entirely below-cutoff rarely
+        // reaches the threshold, so this usually avoids pointer chasing
+        // entirely.
+        let mut pointer_of: std::collections::HashMap<u64, (u64, f64)> =
+            std::collections::HashMap::new();
+        for (_, cp) in self.cutoff.scan_range(lo, hi)? {
+            let e = acc.entry(cp.tid).or_insert((None, 0.0));
+            e.1 += cp.prob;
+            if e.0.is_none() {
+                pointer_of.insert(cp.tid, (cp.first_value, cp.first_prob));
+            }
+        }
+        let mut pending: Vec<(u64, f64, u64)> = acc
+            .iter()
+            .filter(|(_, (tuple, conf))| tuple.is_none() && *conf >= qt)
+            .map(|(&tid, _)| {
+                let (v, p) = pointer_of[&tid];
+                (v, p, tid)
+            })
+            .collect();
+        pending.sort_unstable_by_key(|&(v, p, tid)| (v, u32::MAX - quantize_prob(p), tid));
+        for (v, p, tid) in pending {
+            let tuple = self
+                .fetch_by_pointer(v, p, tid)?
+                .expect("cutoff pointer must dereference");
+            acc.get_mut(&tid).unwrap().0 = Some(tuple);
+        }
+        let mut out: Vec<PtqResult> = acc
+            .into_values()
+            .filter(|(tuple, conf)| *conf >= qt && tuple.is_some())
+            .map(|(tuple, confidence)| PtqResult {
+                tuple: tuple.expect("qualifying tuples were materialized"),
+                confidence,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.confidence
+                .partial_cmp(&a.confidence)
+                .unwrap()
+                .then_with(|| a.tuple.id.cmp(&b.tuple.id))
+        });
+        Ok(out)
+    }
+
+    /// PTQ through secondary index `sec_idx` (Queries 3 and 5 of the
+    /// paper): `SELECT * WHERE sec_attr = value, confidence ≥ qt`.
+    ///
+    /// With `tailored = true` this is Algorithm 3 — Tailored Secondary
+    /// Index Access: entries with a single pointer fix the set of heap
+    /// regions first; multi-pointer entries then prefer a pointer into an
+    /// already-visited region. With `tailored = false` every entry uses its
+    /// first (highest-probability) pointer, i.e. a conventional secondary
+    /// index over the UPI.
+    pub fn ptq_secondary(
+        &self,
+        sec_idx: usize,
+        value: u64,
+        qt: f64,
+        tailored: bool,
+    ) -> Result<Vec<PtqResult>> {
+        let entries = self.secondaries[sec_idx].scan(value, qt)?;
+        // (pointer value, pointer prob, tid, result confidence)
+        let mut chosen: Vec<(u64, f64, u64, f64)> = Vec::with_capacity(entries.len());
+        if tailored {
+            let mut seen: HashSet<u64> = HashSet::new();
+            for e in &entries {
+                if e.pointers.len() == 1 {
+                    seen.insert(e.pointers[0].0);
+                }
+            }
+            for e in &entries {
+                let ptr = e
+                    .pointers
+                    .iter()
+                    .find(|p| seen.contains(&p.0))
+                    .copied()
+                    .unwrap_or(e.pointers[0]);
+                seen.insert(ptr.0);
+                chosen.push((ptr.0, ptr.1, e.tid, e.prob));
+            }
+        } else {
+            for e in &entries {
+                let ptr = e.pointers[0];
+                chosen.push((ptr.0, ptr.1, e.tid, e.prob));
+            }
+        }
+        // Bitmap-scan style: dereference in heap key order.
+        chosen.sort_unstable_by_key(|&(v, p, tid, _)| (v, u32::MAX - quantize_prob(p), tid));
+        let mut out = Vec::with_capacity(chosen.len());
+        for (v, p, tid, confidence) in chosen {
+            let tuple = self
+                .fetch_by_pointer(v, p, tid)?
+                .expect("secondary pointer must dereference");
+            out.push(PtqResult { tuple, confidence });
+        }
+        out.sort_by(|a, b| {
+            b.confidence
+                .partial_cmp(&a.confidence)
+                .unwrap()
+                .then_with(|| a.tuple.id.cmp(&b.tuple.id))
+        });
+        Ok(out)
+    }
+
+    /// Enumerate every distinct tuple by scanning the heap sequentially,
+    /// keeping only each tuple's first-alternative copy (which Algorithm 1
+    /// guarantees to be present). This is the merge path's full read (§4.3).
+    pub fn scan_tuples(&self) -> Result<Vec<Tuple>> {
+        let mut out = Vec::new();
+        let mut cur = self.heap.first()?;
+        while cur.valid() {
+            let (v, prob, _tid) = keys::decode_entry_key(cur.key());
+            let t = decode_tuple(cur.value());
+            let first = t.discrete(self.attr).first();
+            // Is this copy the first alternative? Compare on the quantized
+            // grid the key uses.
+            if first.0 == v && quantize_prob(first.1 * t.exist) == quantize_prob(prob) {
+                out.push(t);
+            }
+            cur.advance()?;
+        }
+        Ok(out)
+    }
+
+    /// Number of distinct tuples.
+    pub fn n_tuples(&self) -> u64 {
+        self.n_tuples
+    }
+
+    /// Heap tree statistics (feeds the cost models' `H`, `N_leaf`,
+    /// `S_table`).
+    pub fn heap_stats(&self) -> TreeStats {
+        self.heap.stats()
+    }
+
+    /// The cutoff index.
+    pub fn cutoff_index(&self) -> &CutoffIndex {
+        &self.cutoff
+    }
+
+    /// Attached secondary indexes.
+    pub fn secondaries(&self) -> &[SecondaryIndex] {
+        &self.secondaries
+    }
+
+    /// Histogram statistics of the primary attribute (folded
+    /// probabilities), for selectivity estimation (§6.1).
+    pub fn attr_stats(&self) -> &AttrStats {
+        &self.stats
+    }
+
+    /// Total live bytes across heap + cutoff + secondaries.
+    pub fn total_bytes(&self) -> u64 {
+        self.heap.stats().bytes
+            + self.cutoff.bytes()
+            + self.secondaries.iter().map(|s| s.bytes()).sum::<u64>()
+    }
+
+    /// Free every page of every component file (used after a merge
+    /// replaces this UPI). Metadata-only: dropping an index does not
+    /// transfer data, but freeing keeps `total_live_bytes` — the "DB size"
+    /// column of Table 8 — honest.
+    pub fn destroy(self) -> Result<()> {
+        let mut files = vec![self.heap.file(), self.cutoff.file()];
+        files.extend(self.secondaries.iter().map(|s| s.file()));
+        for f in files {
+            self.store.disk.free_file_pages(f)?;
+        }
+        // Drop any cached frames of the freed pages; flush errors on freed
+        // pages are ignored by the pool.
+        self.store.pool.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use upi_storage::{DiskConfig, SimDisk};
+    use upi_uncertain::{Datum, DiscretePmf, Field, TupleId};
+
+    const BROWN: u64 = 0;
+    const MIT: u64 = 1;
+    const UCB: u64 = 2;
+    const UTOKYO: u64 = 3;
+    const US: u64 = 0;
+    const JAPAN: u64 = 1;
+
+    fn store() -> Store {
+        Store::new(Arc::new(SimDisk::new(DiskConfig::default())), 4 << 20)
+    }
+
+    /// Table 4's Author table: name, institution, country.
+    fn table4() -> Vec<Tuple> {
+        let author = |id, exist, inst: Vec<(u64, f64)>, country: Vec<(u64, f64)>| {
+            Tuple::new(
+                TupleId(id),
+                exist,
+                vec![
+                    Field::Certain(Datum::Str(format!("author-{id}"))),
+                    Field::Discrete(DiscretePmf::new(inst)),
+                    Field::Discrete(DiscretePmf::new(country)),
+                ],
+            )
+        };
+        vec![
+            author(1, 0.9, vec![(BROWN, 0.8), (MIT, 0.2)], vec![(US, 1.0)]),
+            author(2, 1.0, vec![(MIT, 0.95), (UCB, 0.05)], vec![(US, 1.0)]),
+            author(
+                3,
+                0.8,
+                vec![(BROWN, 0.6), (UTOKYO, 0.4)],
+                vec![(US, 0.6), (JAPAN, 0.4)],
+            ),
+        ]
+    }
+
+    fn upi_with(c: f64) -> DiscreteUpi {
+        let mut u = DiscreteUpi::create(
+            store(),
+            "authors",
+            1,
+            UpiConfig {
+                cutoff: c,
+                ..UpiConfig::default()
+            },
+        )
+        .unwrap();
+        u.add_secondary(2).unwrap();
+        for t in &table4() {
+            u.insert(t).unwrap();
+        }
+        u
+    }
+
+    #[test]
+    fn table3_partition() {
+        // C=10%: only Bob's UCB (5%) is cut off; 5 heap entries remain.
+        let u = upi_with(0.1);
+        assert_eq!(u.heap_stats().entries, 5);
+        assert_eq!(u.cutoff_index().len(), 1);
+        let ptrs = u.cutoff_index().scan(UCB, 0.0).unwrap();
+        assert_eq!(ptrs.len(), 1);
+        assert_eq!(ptrs[0].tid, 2);
+        assert_eq!(ptrs[0].first_value, MIT, "points at Bob's MIT copy");
+    }
+
+    #[test]
+    fn query1_matches_paper_with_and_without_cutoff_path() {
+        let u = upi_with(0.1);
+        // QT=0.5 ≥ C: heap only. MIT → Bob (95%).
+        let res = u.ptq(MIT, 0.5).unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].tuple.id, TupleId(2));
+        // QT=0.1: Bob + Alice (18%).
+        let res = u.ptq(MIT, 0.1).unwrap();
+        assert_eq!(res.len(), 2);
+        assert!((res[0].confidence - 0.95).abs() < 1e-6);
+        assert!((res[1].confidence - 0.18).abs() < 1e-6);
+        // QT=0.01 < C: the cutoff path must surface Bob's UCB copy.
+        let res = u.ptq(UCB, 0.01).unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].tuple.id, TupleId(2));
+        assert!((res[0].confidence - 0.05).abs() < 1e-6);
+        // Without the cutoff path (QT ≥ C) the UCB copy is invisible.
+        assert!(u.ptq(UCB, 0.1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn high_cutoff_keeps_first_alternatives_queryable() {
+        // C=0.99 pushes everything but first alternatives to the cutoff
+        // index; every tuple must still be found via pointers.
+        let u = upi_with(0.99);
+        assert_eq!(u.heap_stats().entries, 3, "only first alternatives");
+        let res = u.ptq(MIT, 0.01).unwrap();
+        assert_eq!(res.len(), 2, "Alice via cutoff pointer, Bob direct");
+        let ids: Vec<u64> = res.iter().map(|r| r.tuple.id.0).collect();
+        assert!(ids.contains(&1) && ids.contains(&2));
+    }
+
+    #[test]
+    fn secondary_tailored_equals_untailored_results() {
+        let u = upi_with(0.1);
+        // Query 3's shape: WHERE Country=US, QT=0.4.
+        let mut tailored = u.ptq_secondary(0, US, 0.4, true).unwrap();
+        let mut plain = u.ptq_secondary(0, US, 0.4, false).unwrap();
+        let key = |r: &PtqResult| (r.tuple.id.0, (r.confidence * 1e6) as u64);
+        tailored.sort_by_key(key);
+        plain.sort_by_key(key);
+        assert_eq!(tailored.len(), plain.len());
+        for (a, b) in tailored.iter().zip(&plain) {
+            assert_eq!(a.tuple.id, b.tuple.id);
+            assert!((a.confidence - b.confidence).abs() < 1e-9);
+        }
+        // Paper's example: US with QT=0.8 returns Bob (100%) and Alice (90%).
+        let res = u.ptq_secondary(0, US, 0.8, true).unwrap();
+        let ids: Vec<u64> = res.iter().map(|r| r.tuple.id.0).collect();
+        assert_eq!(ids, vec![2, 1]);
+    }
+
+    #[test]
+    fn delete_removes_every_copy() {
+        let mut u = upi_with(0.1);
+        let bob = table4().remove(1);
+        u.delete(&bob).unwrap();
+        assert!(u.ptq(MIT, 0.5).unwrap().is_empty());
+        assert!(u.ptq(UCB, 0.01).unwrap().is_empty());
+        assert_eq!(u.n_tuples(), 2);
+        // Alice's MIT copy is still there.
+        assert_eq!(u.ptq(MIT, 0.1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental() {
+        let tuples = table4();
+        let mut bulk = DiscreteUpi::create(store(), "b", 1, UpiConfig::default()).unwrap();
+        bulk.add_secondary(2).unwrap();
+        bulk.bulk_load(&tuples).unwrap();
+        let incr = upi_with(0.1);
+        for value in [BROWN, MIT, UCB, UTOKYO] {
+            for qt in [0.01, 0.1, 0.5] {
+                let a = bulk.ptq(value, qt).unwrap();
+                let b = incr.ptq(value, qt).unwrap();
+                assert_eq!(a.len(), b.len(), "value={value} qt={qt}");
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.tuple.id, y.tuple.id);
+                }
+            }
+        }
+        assert_eq!(bulk.heap_stats().entries, incr.heap_stats().entries);
+        assert_eq!(bulk.cutoff_index().len(), incr.cutoff_index().len());
+    }
+
+    #[test]
+    fn scan_tuples_enumerates_each_once() {
+        let u = upi_with(0.1);
+        let mut ids: Vec<u64> = u.scan_tuples().unwrap().iter().map(|t| t.id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn stats_track_alternatives() {
+        let u = upi_with(0.1);
+        // 6 alternatives total across 3 tuples.
+        assert_eq!(u.attr_stats().total(), 6);
+        // MIT has two alternatives: 0.95 and 0.18.
+        assert_eq!(u.attr_stats().value_count(MIT), 2);
+        assert!(u.attr_stats().est_count_ge(MIT, 0.5) >= 0.9);
+    }
+
+    #[test]
+    fn heap_scan_is_one_seek_then_sequential() {
+        // The core UPI claim (§2): a PTQ needs one index seek followed by a
+        // sequential scan. Build a larger UPI and measure.
+        let st = store();
+        let mut u = DiscreteUpi::create(st.clone(), "big", 1, UpiConfig::default()).unwrap();
+        let tuples: Vec<Tuple> = (0..5000)
+            .map(|i| {
+                Tuple::new(
+                    TupleId(i),
+                    1.0,
+                    vec![
+                        Field::Certain(Datum::Str(format!("pad-{i}-{}", "x".repeat(64)))),
+                        Field::Discrete(DiscretePmf::new(vec![
+                            (i % 5, 0.7),
+                            ((i % 5) + 5, 0.3),
+                        ])),
+                    ],
+                )
+            })
+            .collect();
+        u.bulk_load(&tuples).unwrap();
+        st.go_cold();
+        let before = st.disk.stats();
+        let res = u.ptq(2, 0.5).unwrap();
+        assert_eq!(res.len(), 1000);
+        let d = st.disk.stats().since(&before);
+        // Root-to-leaf descent plus the initial positioning: a handful of
+        // seeks regardless of result size.
+        assert!(d.seeks <= 6, "expected ~1 seek, saw {}", d.seeks);
+    }
+}

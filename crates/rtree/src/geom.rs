@@ -1,0 +1,180 @@
+//! 2-D geometry primitives.
+
+/// A 2-D point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// X coordinate (meters in the Cartel projection).
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point.
+    pub fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn dist(&self, other: &Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Axis-aligned rectangle (MBR).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Minimum corner x.
+    pub min_x: f64,
+    /// Minimum corner y.
+    pub min_y: f64,
+    /// Maximum corner x.
+    pub max_x: f64,
+    /// Maximum corner y.
+    pub max_y: f64,
+}
+
+impl Rect {
+    /// Construct; panics if the corners are inverted.
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Rect {
+        assert!(min_x <= max_x && min_y <= max_y, "inverted rectangle");
+        Rect {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
+    }
+
+    /// A degenerate rectangle at a point.
+    pub fn point(x: f64, y: f64) -> Rect {
+        Rect::new(x, y, x, y)
+    }
+
+    /// The empty-union identity (inverted infinite rect; `union` fixes it).
+    pub fn empty() -> Rect {
+        Rect {
+            min_x: f64::INFINITY,
+            min_y: f64::INFINITY,
+            max_x: f64::NEG_INFINITY,
+            max_y: f64::NEG_INFINITY,
+        }
+    }
+
+    /// True for the [`Rect::empty`] identity.
+    pub fn is_empty(&self) -> bool {
+        self.min_x > self.max_x
+    }
+
+    /// Smallest rectangle containing both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Area (0 for empty).
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            (self.max_x - self.min_x) * (self.max_y - self.min_y)
+        }
+    }
+
+    /// Area increase needed to also cover `other`.
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// True if the rectangles overlap (closed).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// True if `self` fully contains `other`.
+    pub fn contains(&self, other: &Rect) -> bool {
+        self.min_x <= other.min_x
+            && self.min_y <= other.min_y
+            && self.max_x >= other.max_x
+            && self.max_y >= other.max_y
+    }
+
+    /// Minimum distance from the rectangle to a point (0 if inside).
+    pub fn min_dist(&self, p: &Point) -> f64 {
+        let dx = (self.min_x - p.x).max(0.0).max(p.x - self.max_x);
+        let dy = (self.min_y - p.y).max(0.0).max(p.y - self.max_y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// True if the rectangle intersects the circle `(center, r)`.
+    pub fn intersects_circle(&self, center: &Point, r: f64) -> bool {
+        !self.is_empty() && self.min_dist(center) <= r
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_area() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 4.0, 3.0);
+        let u = a.union(&b);
+        assert_eq!(u, Rect::new(0.0, 0.0, 4.0, 3.0));
+        assert_eq!(a.area(), 4.0);
+        assert_eq!(u.area(), 12.0);
+        assert_eq!(a.enlargement(&b), 8.0);
+    }
+
+    #[test]
+    fn empty_identity() {
+        let e = Rect::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        let a = Rect::new(1.0, 1.0, 2.0, 2.0);
+        assert_eq!(e.union(&a), a);
+        assert!(!e.intersects(&a));
+    }
+
+    #[test]
+    fn intersections() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        assert!(a.intersects(&Rect::new(2.0, 2.0, 3.0, 3.0)), "corner touch");
+        assert!(!a.intersects(&Rect::new(2.1, 0.0, 3.0, 1.0)));
+        assert!(a.contains(&Rect::new(0.5, 0.5, 1.5, 1.5)));
+        assert!(!a.contains(&Rect::new(0.5, 0.5, 2.5, 1.5)));
+    }
+
+    #[test]
+    fn min_dist_and_circle() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(a.min_dist(&Point::new(1.0, 1.0)), 0.0);
+        assert_eq!(a.min_dist(&Point::new(5.0, 1.0)), 3.0);
+        assert!((a.min_dist(&Point::new(5.0, 6.0)) - 5.0).abs() < 1e-12);
+        assert!(a.intersects_circle(&Point::new(5.0, 1.0), 3.0));
+        assert!(!a.intersects_circle(&Point::new(5.0, 1.0), 2.9));
+    }
+
+    #[test]
+    fn point_distance() {
+        assert!((Point::new(0.0, 0.0).dist(&Point::new(3.0, 4.0)) - 5.0).abs() < 1e-12);
+    }
+}

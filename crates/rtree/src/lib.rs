@@ -1,0 +1,30 @@
+//! # upi-rtree
+//!
+//! R-Tree substrate for the **Continuous UPI** (§5 of the UPI paper) and the
+//! secondary U-Tree baseline.
+//!
+//! The paper builds its continuous primary index "on top of R-Tree variants
+//! like PTIs and U-Trees": small (4 KB) R-Tree node pages whose leaves are
+//! mapped to large (64 KB) heap pages, clustered by the hierarchical
+//! location of the leaf in the tree. This crate provides that R-Tree:
+//!
+//! * fixed-size leaf entries carrying the MBR, the tuple id, and the
+//!   parameters of the tuple's constrained-Gaussian location distribution
+//!   (the pruning metadata a U-Tree keeps in its entries);
+//! * quadratic-split insertion and **STR bulk loading** (the bulk path is
+//!   what the read-only Cartel experiments of Figures 7–8 use);
+//! * circle-range candidate search with MBR pruning;
+//! * [`RTree::leaf_order`] — the depth-first "hierarchical node location"
+//!   order (`<2,1,3>` keys in Figure 2) that the continuous UPI uses to
+//!   cluster its heap file;
+//! * leaf-split events surfaced to the caller so a synchronized heap file
+//!   can split its pages accordingly (§5: "when R-Tree nodes are merged or
+//!   split, we merge and split heap pages accordingly").
+
+mod geom;
+mod node;
+mod tree;
+
+pub use geom::{Point, Rect};
+pub use node::LeafEntry;
+pub use tree::{RTree, RTreeStats, SplitEvent};

@@ -1,0 +1,239 @@
+//! On-page R-Tree node encoding.
+//!
+//! Fixed-size entries keep the layout trivial:
+//!
+//! ```text
+//! header: [0] tag (1=leaf, 2=internal), [2..4] count u16, [4..16] reserved
+//! leaf entry     (72 B): rect 4×f64 | tid u64 | aux 4×f64
+//! internal entry (40 B): rect 4×f64 | child page id u64
+//! ```
+//!
+//! `aux` carries the constrained-Gaussian parameters `(cx, cy, sigma,
+//! bound)` of the entry's location distribution — the per-entry
+//! probabilistic metadata a U-Tree stores so that threshold pruning can run
+//! without touching the heap.
+
+use bytes::Bytes;
+use upi_storage::PageId;
+
+use crate::geom::Rect;
+
+pub(crate) const HEADER_LEN: usize = 16;
+pub(crate) const LEAF_ENTRY_LEN: usize = 32 + 8 + 32;
+pub(crate) const INTERNAL_ENTRY_LEN: usize = 32 + 8;
+
+const TAG_LEAF: u8 = 1;
+const TAG_INTERNAL: u8 = 2;
+
+/// A leaf entry: one alternative location record of one tuple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeafEntry {
+    /// MBR of the uncertainty region (the boundary circle's bbox).
+    pub rect: Rect,
+    /// Tuple id this entry refers to.
+    pub tid: u64,
+    /// Distribution parameters `(cx, cy, sigma, bound)`.
+    pub aux: [f64; 4],
+}
+
+/// Decoded R-Tree node.
+#[derive(Debug, Clone)]
+pub(crate) enum RNode {
+    Leaf(Vec<LeafEntry>),
+    Internal(Vec<(Rect, PageId)>),
+}
+
+impl RNode {
+    pub fn len(&self) -> usize {
+        match self {
+            RNode::Leaf(v) => v.len(),
+            RNode::Internal(v) => v.len(),
+        }
+    }
+
+    /// MBR of every entry in the node.
+    pub fn mbr(&self) -> Rect {
+        let mut r = Rect::empty();
+        match self {
+            RNode::Leaf(v) => {
+                for e in v {
+                    r = r.union(&e.rect);
+                }
+            }
+            RNode::Internal(v) => {
+                for (er, _) in v {
+                    r = r.union(er);
+                }
+            }
+        }
+        r
+    }
+
+    pub fn encode(&self, page_size: usize) -> Bytes {
+        let mut buf = vec![0u8; page_size];
+        let count = self.len();
+        match self {
+            RNode::Leaf(entries) => {
+                assert!(
+                    HEADER_LEN + count * LEAF_ENTRY_LEN <= page_size,
+                    "leaf overflow: {count} entries"
+                );
+                buf[0] = TAG_LEAF;
+                buf[2..4].copy_from_slice(&(count as u16).to_le_bytes());
+                let mut at = HEADER_LEN;
+                for e in entries {
+                    write_rect(&mut buf, &mut at, &e.rect);
+                    buf[at..at + 8].copy_from_slice(&e.tid.to_le_bytes());
+                    at += 8;
+                    for v in e.aux {
+                        buf[at..at + 8].copy_from_slice(&v.to_le_bytes());
+                        at += 8;
+                    }
+                }
+            }
+            RNode::Internal(entries) => {
+                assert!(
+                    HEADER_LEN + count * INTERNAL_ENTRY_LEN <= page_size,
+                    "internal overflow: {count} entries"
+                );
+                buf[0] = TAG_INTERNAL;
+                buf[2..4].copy_from_slice(&(count as u16).to_le_bytes());
+                let mut at = HEADER_LEN;
+                for (r, child) in entries {
+                    write_rect(&mut buf, &mut at, r);
+                    buf[at..at + 8].copy_from_slice(&child.0.to_le_bytes());
+                    at += 8;
+                }
+            }
+        }
+        Bytes::from(buf)
+    }
+
+    pub fn decode(data: &[u8]) -> RNode {
+        let count = u16::from_le_bytes(data[2..4].try_into().unwrap()) as usize;
+        let mut at = HEADER_LEN;
+        match data[0] {
+            TAG_LEAF => {
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let rect = read_rect(data, &mut at);
+                    let tid = u64::from_le_bytes(data[at..at + 8].try_into().unwrap());
+                    at += 8;
+                    let mut aux = [0.0; 4];
+                    for v in &mut aux {
+                        *v = f64::from_le_bytes(data[at..at + 8].try_into().unwrap());
+                        at += 8;
+                    }
+                    entries.push(LeafEntry { rect, tid, aux });
+                }
+                RNode::Leaf(entries)
+            }
+            TAG_INTERNAL => {
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let rect = read_rect(data, &mut at);
+                    let child = PageId(u64::from_le_bytes(data[at..at + 8].try_into().unwrap()));
+                    at += 8;
+                    entries.push((rect, child));
+                }
+                RNode::Internal(entries)
+            }
+            t => panic!("corrupt r-tree node tag {t}"),
+        }
+    }
+}
+
+fn write_rect(buf: &mut [u8], at: &mut usize, r: &Rect) {
+    for v in [r.min_x, r.min_y, r.max_x, r.max_y] {
+        buf[*at..*at + 8].copy_from_slice(&v.to_le_bytes());
+        *at += 8;
+    }
+}
+
+fn read_rect(data: &[u8], at: &mut usize) -> Rect {
+    let mut vals = [0.0f64; 4];
+    for v in &mut vals {
+        *v = f64::from_le_bytes(data[*at..*at + 8].try_into().unwrap());
+        *at += 8;
+    }
+    Rect {
+        min_x: vals[0],
+        min_y: vals[1],
+        max_x: vals[2],
+        max_y: vals[3],
+    }
+}
+
+/// Maximum leaf entries for a page size.
+pub(crate) fn leaf_capacity(page_size: usize) -> usize {
+    (page_size - HEADER_LEN) / LEAF_ENTRY_LEN
+}
+
+/// Maximum internal entries for a page size.
+pub(crate) fn internal_capacity(page_size: usize) -> usize {
+    (page_size - HEADER_LEN) / INTERNAL_ENTRY_LEN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let entries = vec![
+            LeafEntry {
+                rect: Rect::new(0.0, 1.0, 2.0, 3.0),
+                tid: 42,
+                aux: [1.0, 2.0, 3.0, 4.0],
+            },
+            LeafEntry {
+                rect: Rect::new(-5.0, -5.0, 5.0, 5.0),
+                tid: 7,
+                aux: [0.0, 0.0, 10.0, 50.0],
+            },
+        ];
+        let n = RNode::Leaf(entries.clone());
+        let dec = RNode::decode(&n.encode(4096));
+        match dec {
+            RNode::Leaf(got) => assert_eq!(got, entries),
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn internal_roundtrip() {
+        let entries = vec![
+            (Rect::new(0.0, 0.0, 1.0, 1.0), PageId(3)),
+            (Rect::new(2.0, 2.0, 3.0, 3.0), PageId(9)),
+        ];
+        let n = RNode::Internal(entries.clone());
+        match RNode::decode(&n.encode(4096)) {
+            RNode::Internal(got) => assert_eq!(got, entries),
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn capacities_for_4k_pages() {
+        // The paper's 4 KB node pages: ~56 leaf entries, ~102 fan-out.
+        assert_eq!(leaf_capacity(4096), 56);
+        assert_eq!(internal_capacity(4096), 102);
+    }
+
+    #[test]
+    fn node_mbr_covers_entries() {
+        let n = RNode::Leaf(vec![
+            LeafEntry {
+                rect: Rect::new(0.0, 0.0, 1.0, 1.0),
+                tid: 1,
+                aux: [0.0; 4],
+            },
+            LeafEntry {
+                rect: Rect::new(5.0, -2.0, 6.0, 0.5),
+                tid: 2,
+                aux: [0.0; 4],
+            },
+        ]);
+        assert_eq!(n.mbr(), Rect::new(0.0, -2.0, 6.0, 1.0));
+    }
+}

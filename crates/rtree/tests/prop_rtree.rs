@@ -1,0 +1,104 @@
+//! Property tests: the R-Tree must agree with a linear scan for arbitrary
+//! entry sets and circle queries, under both incremental insertion and STR
+//! bulk loading, and its structural invariants must hold throughout.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use upi_rtree::{LeafEntry, Point, RTree, Rect};
+use upi_storage::{DiskConfig, SimDisk, Store};
+
+fn store() -> Store {
+    Store::new(Arc::new(SimDisk::new(DiskConfig::default())), 8 << 20)
+}
+
+fn entry_strategy(tid: u64) -> impl Strategy<Value = LeafEntry> {
+    (0.0f64..1000.0, 0.0f64..1000.0, 1.0f64..40.0).prop_map(move |(x, y, r)| LeafEntry {
+        rect: Rect::new(x - r, y - r, x + r, y + r),
+        tid,
+        aux: [x, y, r / 3.0, r],
+    })
+}
+
+fn entries_strategy() -> impl Strategy<Value = Vec<LeafEntry>> {
+    (1usize..300).prop_flat_map(|n| (0..n as u64).map(entry_strategy).collect::<Vec<_>>())
+}
+
+fn linear(entries: &[LeafEntry], c: Point, r: f64) -> Vec<u64> {
+    let mut v: Vec<u64> = entries
+        .iter()
+        .filter(|e| e.rect.intersects_circle(&c, r))
+        .map(|e| e.tid)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn incremental_matches_linear(
+        entries in entries_strategy(),
+        qx in -100.0f64..1100.0,
+        qy in -100.0f64..1100.0,
+        qr in 1.0f64..500.0,
+    ) {
+        let mut t = RTree::create(store(), "rt", 1024).unwrap();
+        let mut events = Vec::new();
+        for e in &entries {
+            t.insert(*e, &mut events).unwrap();
+        }
+        t.check_invariants().unwrap();
+        let mut got: Vec<u64> = t
+            .query_circle(Point::new(qx, qy), qr)
+            .unwrap()
+            .iter()
+            .map(|e| e.tid)
+            .collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, linear(&entries, Point::new(qx, qy), qr));
+    }
+
+    #[test]
+    fn bulk_matches_linear(
+        entries in entries_strategy(),
+        qx in 0.0f64..1000.0,
+        qy in 0.0f64..1000.0,
+        qr in 1.0f64..400.0,
+    ) {
+        let mut t = RTree::create(store(), "rt", 1024).unwrap();
+        t.bulk_load(entries.clone()).unwrap();
+        t.check_invariants().unwrap();
+        let mut got: Vec<u64> = t
+            .query_circle(Point::new(qx, qy), qr)
+            .unwrap()
+            .iter()
+            .map(|e| e.tid)
+            .collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, linear(&entries, Point::new(qx, qy), qr));
+        // Leaf order must enumerate every entry exactly once.
+        let total: usize = t
+            .leaf_order()
+            .unwrap()
+            .iter()
+            .map(|&p| t.leaf_entries(p).unwrap().len())
+            .sum();
+        prop_assert_eq!(total, entries.len());
+    }
+
+    #[test]
+    fn split_events_partition_tids(entries in entries_strategy()) {
+        // Whenever a leaf splits, the moved set must be a strict non-empty
+        // subset of the leaf's entries.
+        let mut t = RTree::create(store(), "rt", 1024).unwrap();
+        let mut events = Vec::new();
+        for e in &entries {
+            t.insert(*e, &mut events).unwrap();
+        }
+        for ev in &events {
+            prop_assert!(!ev.moved.is_empty());
+            prop_assert_ne!(ev.old_leaf, ev.new_leaf);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for the storage layer.
+
+use crate::file::FileId;
+use crate::page::PageId;
+
+/// Errors raised by the storage layer.
+///
+/// Callers in the index crates generally treat these as fatal programming
+/// errors (a dangling page id is a bug, not an environmental condition), but
+/// they are surfaced as `Result`s so that fuzzing and property tests can
+/// observe them instead of aborting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The page id does not exist on the device.
+    UnknownPage(PageId),
+    /// The page was freed and not reallocated.
+    FreedPage(PageId),
+    /// The file id does not exist.
+    UnknownFile(FileId),
+    /// A write supplied a buffer whose length differs from the file's page size.
+    PageSizeMismatch {
+        /// Page being written.
+        page: PageId,
+        /// The file's configured page size.
+        expected: usize,
+        /// Length of the supplied buffer.
+        got: usize,
+    },
+    /// A record is too large to ever fit in a node/page of the given size.
+    RecordTooLarge {
+        /// Encoded record length.
+        len: usize,
+        /// Hard per-page limit.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::UnknownPage(p) => write!(f, "unknown page {p:?}"),
+            StorageError::FreedPage(p) => write!(f, "access to freed page {p:?}"),
+            StorageError::UnknownFile(id) => write!(f, "unknown file {id:?}"),
+            StorageError::PageSizeMismatch {
+                page,
+                expected,
+                got,
+            } => write!(
+                f,
+                "page {page:?}: buffer length {got} does not match page size {expected}"
+            ),
+            StorageError::RecordTooLarge { len, max } => {
+                write!(f, "record of {len} bytes exceeds page capacity {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience alias used across storage-facing crates.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,51 @@
+//! Page identifiers and small helpers for page buffers.
+
+/// Physical page identifier, global across all files on a [`SimDisk`].
+///
+/// Page ids are dense indices into the device's page table; the *physical
+/// byte offset* of a page is a separate property (pages of different files
+/// interleave on the platter in allocation order, which is exactly how
+/// fragmentation arises).
+///
+/// [`SimDisk`]: crate::disk::SimDisk
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+/// Sentinel for "no page" (e.g. the last leaf's `next` pointer).
+pub const INVALID_PAGE: PageId = PageId(u64::MAX);
+
+impl PageId {
+    /// True if this id is the [`INVALID_PAGE`] sentinel.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self != INVALID_PAGE
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_valid() {
+            write!(f, "P{}", self.0)
+        } else {
+            write!(f, "P-nil")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_page_is_not_valid() {
+        assert!(!INVALID_PAGE.is_valid());
+        assert!(PageId(0).is_valid());
+        assert!(PageId(12345).is_valid());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PageId(7).to_string(), "P7");
+        assert_eq!(INVALID_PAGE.to_string(), "P-nil");
+    }
+}

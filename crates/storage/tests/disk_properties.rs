@@ -1,0 +1,105 @@
+//! Property tests for the simulated disk's accounting invariants.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use upi_storage::{BufferPool, DiskConfig, SimDisk};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc,
+    Write(usize, u8),
+    Read(usize),
+    Free(usize),
+    CloseAll,
+    ResetHead,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Alloc),
+        4 => (0usize..64, any::<u8>()).prop_map(|(i, b)| Op::Write(i, b)),
+        4 => (0usize..64).prop_map(Op::Read),
+        1 => (0usize..64).prop_map(Op::Free),
+        1 => Just(Op::CloseAll),
+        1 => Just(Op::ResetHead),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn clock_is_monotone_and_equals_stat_sum(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let disk = SimDisk::new(DiskConfig::default());
+        let f = disk.create_file("t", 512);
+        let mut pages = Vec::new();
+        let mut freed = std::collections::HashSet::new();
+        let mut prev_clock = 0.0f64;
+        for op in ops {
+            match op {
+                Op::Alloc => {
+                    let p = disk.alloc_page(f).unwrap();
+                    freed.remove(&p);
+                    if !pages.contains(&p) {
+                        pages.push(p);
+                    }
+                }
+                Op::Write(i, b) => {
+                    if let Some(&p) = pages.get(i % pages.len().max(1)) {
+                        if !freed.contains(&p) {
+                            disk.write_page(p, bytes::Bytes::from(vec![b; 512])).unwrap();
+                        }
+                    }
+                }
+                Op::Read(i) => {
+                    if let Some(&p) = pages.get(i % pages.len().max(1)) {
+                        if !freed.contains(&p) {
+                            disk.read_page(p).unwrap();
+                        }
+                    }
+                }
+                Op::Free(i) => {
+                    if let Some(&p) = pages.get(i % pages.len().max(1)) {
+                        if freed.insert(p) {
+                            disk.free_page(p).unwrap();
+                        }
+                    }
+                }
+                Op::CloseAll => disk.close_all_files(),
+                Op::ResetHead => disk.reset_head(),
+            }
+            let clock = disk.clock_ms();
+            prop_assert!(clock + 1e-12 >= prev_clock, "clock must be monotone");
+            prev_clock = clock;
+            // The stats breakdown partitions the clock.
+            prop_assert!((disk.stats().total_ms() - clock).abs() < 1e-6);
+        }
+        // Live bytes equal allocated minus freed pages.
+        let live = pages.len() - freed.len();
+        prop_assert_eq!(disk.file_bytes(f).unwrap(), live as u64 * 512);
+    }
+
+    #[test]
+    fn pool_never_loses_writes(
+        writes in proptest::collection::vec((0usize..16, any::<u8>()), 1..100),
+        cap_pages in 1usize..8,
+    ) {
+        let disk = Arc::new(SimDisk::new(DiskConfig::default()));
+        let f = disk.create_file("t", 256);
+        let pages: Vec<_> = (0..16).map(|_| disk.alloc_page(f).unwrap()).collect();
+        let pool = BufferPool::new(disk.clone(), cap_pages * 256);
+        let mut model = std::collections::HashMap::new();
+        for (i, b) in writes {
+            let p = pages[i];
+            pool.put(p, bytes::Bytes::from(vec![b; 256]));
+            model.insert(p, b);
+        }
+        pool.clear();
+        // After a full flush+drop, the device holds the latest value of
+        // every page.
+        for (p, b) in model {
+            let data = disk.read_page(p).unwrap();
+            prop_assert!(data.iter().all(|&x| x == b), "page {p:?} lost write");
+        }
+    }
+}

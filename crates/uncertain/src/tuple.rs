@@ -1,0 +1,311 @@
+//! Tuples, fields, schemas, and their byte serialization.
+
+use crate::gaussian::ConstrainedGaussian;
+use crate::pmf::DiscretePmf;
+
+/// Logical tuple identifier. Assigned monotonically by the table layer;
+/// never reused (the Fractured UPI's delete sets rely on that, §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleId(pub u64);
+
+/// A certain (deterministic) value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Datum {
+    /// Dictionary-encoded id (institutions, countries, journals, segments…).
+    U64(u64),
+    /// Floating point measure.
+    F64(f64),
+    /// Free text (names, padding payloads).
+    Str(String),
+}
+
+/// A field of a tuple: certain, discretely uncertain, or a continuous
+/// 2-D location distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// Deterministic value.
+    Certain(Datum),
+    /// Uncertain attribute with a discrete PMF (paper's `Institution_p`).
+    Discrete(DiscretePmf),
+    /// Uncertain 2-D point (paper's Cartel `location`).
+    Point(ConstrainedGaussian),
+}
+
+/// Kind tag for schema declarations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKind {
+    /// [`Datum::U64`]
+    U64,
+    /// [`Datum::F64`]
+    F64,
+    /// [`Datum::Str`]
+    Str,
+    /// [`Field::Discrete`]
+    Discrete,
+    /// [`Field::Point`]
+    Point,
+}
+
+/// Named field layout of a table.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    fields: Vec<(String, FieldKind)>,
+}
+
+impl Schema {
+    /// Build from `(name, kind)` pairs.
+    pub fn new(fields: Vec<(&str, FieldKind)>) -> Schema {
+        Schema {
+            fields: fields
+                .into_iter()
+                .map(|(n, k)| (n.to_string(), k))
+                .collect(),
+        }
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of a field by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|(n, _)| n == name)
+    }
+
+    /// Name and kind of field `i`.
+    pub fn field(&self, i: usize) -> (&str, FieldKind) {
+        (&self.fields[i].0, self.fields[i].1)
+    }
+}
+
+/// An uncertain tuple: id, existence probability, and fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    /// Stable identifier.
+    pub id: TupleId,
+    /// Existence probability (possible-worlds semantics).
+    pub exist: f64,
+    /// Field values, positionally matching the table [`Schema`].
+    pub fields: Vec<Field>,
+}
+
+impl Tuple {
+    /// Build a tuple; panics if `exist` is outside `(0, 1]`.
+    pub fn new(id: TupleId, exist: f64, fields: Vec<Field>) -> Tuple {
+        assert!(
+            exist > 0.0 && exist <= 1.0,
+            "existence probability {exist} out of (0,1]"
+        );
+        Tuple { id, exist, fields }
+    }
+
+    /// The discrete PMF stored in field `idx` (panics if not discrete).
+    pub fn discrete(&self, idx: usize) -> &DiscretePmf {
+        match &self.fields[idx] {
+            Field::Discrete(p) => p,
+            other => panic!("field {idx} is not discrete: {other:?}"),
+        }
+    }
+
+    /// The point distribution stored in field `idx` (panics otherwise).
+    pub fn point(&self, idx: usize) -> &ConstrainedGaussian {
+        match &self.fields[idx] {
+            Field::Point(g) => g,
+            other => panic!("field {idx} is not a point: {other:?}"),
+        }
+    }
+
+    /// Confidence of this tuple for predicate `field[idx] = value`:
+    /// `existence × P(value)` (the index key probability of Table 2).
+    pub fn confidence_eq(&self, idx: usize, value: u64) -> f64 {
+        self.exist * self.discrete(idx).prob_of(value)
+    }
+
+    /// Serialized size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        encode_tuple(self).len()
+    }
+}
+
+/// Serialize a tuple to bytes (little-endian, length-prefixed strings).
+pub fn encode_tuple(t: &Tuple) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&t.id.0.to_le_bytes());
+    out.extend_from_slice(&t.exist.to_le_bytes());
+    out.extend_from_slice(&(t.fields.len() as u16).to_le_bytes());
+    for f in &t.fields {
+        match f {
+            Field::Certain(Datum::U64(v)) => {
+                out.push(0);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Field::Certain(Datum::F64(v)) => {
+                out.push(1);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Field::Certain(Datum::Str(s)) => {
+                out.push(2);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Field::Discrete(pmf) => {
+                out.push(3);
+                out.extend_from_slice(&(pmf.support_len() as u16).to_le_bytes());
+                for &(v, p) in pmf.alternatives() {
+                    out.extend_from_slice(&v.to_le_bytes());
+                    out.extend_from_slice(&p.to_le_bytes());
+                }
+            }
+            Field::Point(g) => {
+                out.push(4);
+                out.extend_from_slice(&g.cx.to_le_bytes());
+                out.extend_from_slice(&g.cy.to_le_bytes());
+                out.extend_from_slice(&g.sigma.to_le_bytes());
+                out.extend_from_slice(&g.bound.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Deserialize a tuple produced by [`encode_tuple`].
+pub fn decode_tuple(data: &[u8]) -> Tuple {
+    let mut at = 0usize;
+    let mut take = |n: usize| {
+        let s = &data[at..at + n];
+        at += n;
+        s
+    };
+    let id = TupleId(u64::from_le_bytes(take(8).try_into().unwrap()));
+    let exist = f64::from_le_bytes(take(8).try_into().unwrap());
+    let nfields = u16::from_le_bytes(take(2).try_into().unwrap()) as usize;
+    let mut fields = Vec::with_capacity(nfields);
+    for _ in 0..nfields {
+        let tag = take(1)[0];
+        let field = match tag {
+            0 => Field::Certain(Datum::U64(u64::from_le_bytes(take(8).try_into().unwrap()))),
+            1 => Field::Certain(Datum::F64(f64::from_le_bytes(take(8).try_into().unwrap()))),
+            2 => {
+                let len = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
+                Field::Certain(Datum::Str(
+                    String::from_utf8(take(len).to_vec()).expect("valid utf-8"),
+                ))
+            }
+            3 => {
+                let n = u16::from_le_bytes(take(2).try_into().unwrap()) as usize;
+                let mut alts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let v = u64::from_le_bytes(take(8).try_into().unwrap());
+                    let p = f64::from_le_bytes(take(8).try_into().unwrap());
+                    alts.push((v, p));
+                }
+                Field::Discrete(DiscretePmf::new(alts))
+            }
+            4 => {
+                let cx = f64::from_le_bytes(take(8).try_into().unwrap());
+                let cy = f64::from_le_bytes(take(8).try_into().unwrap());
+                let sigma = f64::from_le_bytes(take(8).try_into().unwrap());
+                let bound = f64::from_le_bytes(take(8).try_into().unwrap());
+                Field::Point(ConstrainedGaussian::new(cx, cy, sigma, bound))
+            }
+            t => panic!("corrupt field tag {t}"),
+        };
+        fields.push(field);
+    }
+    Tuple { id, exist, fields }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn alice() -> Tuple {
+        // The running example of Table 1.
+        Tuple::new(
+            TupleId(1),
+            0.9,
+            vec![
+                Field::Certain(Datum::Str("Alice".into())),
+                Field::Discrete(DiscretePmf::new(vec![(0, 0.8), (1, 0.2)])),
+            ],
+        )
+    }
+
+    #[test]
+    fn confidence_matches_paper_example() {
+        // Alice works for MIT (id 1) with conf 90% * 20% = 18%.
+        let t = alice();
+        assert!((t.confidence_eq(1, 1) - 0.18).abs() < 1e-12);
+        assert!((t.confidence_eq(1, 0) - 0.72).abs() < 1e-12);
+        assert_eq!(t.confidence_eq(1, 99), 0.0);
+    }
+
+    #[test]
+    fn roundtrip_all_field_kinds() {
+        let t = Tuple::new(
+            TupleId(42),
+            0.8,
+            vec![
+                Field::Certain(Datum::U64(7)),
+                Field::Certain(Datum::F64(-1.25)),
+                Field::Certain(Datum::Str("héllo".into())),
+                Field::Discrete(DiscretePmf::new(vec![(1, 0.5), (2, 0.25)])),
+                Field::Point(ConstrainedGaussian::new(1.0, 2.0, 3.0, 4.0)),
+            ],
+        );
+        let enc = encode_tuple(&t);
+        assert_eq!(decode_tuple(&enc), t);
+        assert_eq!(t.encoded_len(), enc.len());
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new(vec![
+            ("name", FieldKind::Str),
+            ("institution", FieldKind::Discrete),
+            ("country", FieldKind::Discrete),
+        ]);
+        assert_eq!(s.index_of("institution"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.field(2).0, "country");
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "existence probability")]
+    fn rejects_bad_existence() {
+        Tuple::new(TupleId(0), 0.0, vec![]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            id: u64,
+            exist in 0.01f64..=1.0,
+            v: u64,
+            f in -1e6f64..1e6,
+            s in "[a-z]{0,16}",
+            p1 in 0.01f64..0.5,
+            p2 in 0.01f64..0.5,
+        ) {
+            let t = Tuple::new(
+                TupleId(id),
+                exist,
+                vec![
+                    Field::Certain(Datum::U64(v)),
+                    Field::Certain(Datum::F64(f)),
+                    Field::Certain(Datum::Str(s)),
+                    Field::Discrete(DiscretePmf::new(vec![(10, p1), (20, p2)])),
+                ],
+            );
+            prop_assert_eq!(decode_tuple(&encode_tuple(&t)), t);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Brute-force possible-worlds enumeration (test oracle).
+//!
+//! Possible world semantics \[6\] define an uncertain database as a
+//! distribution over deterministic instances. Query confidences computed by
+//! any index must equal the mass of worlds in which the tuple satisfies the
+//! predicate. This module enumerates those worlds exhaustively for small
+//! tables so integration tests can check the identity
+//! `confidence = existence × P(value)` end to end — the same arithmetic as
+//! the paper's §1 example (a world where "Alice exists and works for Brown,
+//! Bob works for MIT and Carol does not exist" has probability
+//! `90% × 80% × 95% × 20% ≈ 13.7%`).
+
+use crate::tuple::{Tuple, TupleId};
+
+/// One possible world: for each input tuple, `None` if it does not exist in
+/// this world, otherwise the value its uncertain attribute took.
+pub type World = Vec<Option<u64>>;
+
+/// Enumerate every possible world of `tuples` over the discrete uncertain
+/// attribute at `field_idx`, with its probability.
+///
+/// PMFs whose mass is below 1 get an implicit "exists with an unknown
+/// value" outcome (`Some(u64::MAX)` is *not* used; the leftover mass is
+/// attached to existence-with-no-matching-value as `None`-with-existence is
+/// indistinguishable for equality predicates, we fold it into non-existence
+/// for predicate purposes — documented approximation valid because queries
+/// only test equality against real value ids).
+///
+/// Complexity is exponential; intended for tables of ≲ a dozen tuples.
+pub fn enumerate_worlds(tuples: &[Tuple], field_idx: usize) -> Vec<(World, f64)> {
+    let mut worlds: Vec<(World, f64)> = vec![(Vec::new(), 1.0)];
+    for t in tuples {
+        let pmf = t.discrete(field_idx);
+        let mut next = Vec::with_capacity(worlds.len() * (pmf.support_len() + 1));
+        for (world, wp) in &worlds {
+            // Outcome: tuple absent (or present with untracked leftover value).
+            let leftover = 1.0 - t.exist * pmf.mass();
+            if leftover > 1e-12 {
+                let mut w = world.clone();
+                w.push(None);
+                next.push((w, wp * leftover));
+            }
+            for &(v, p) in pmf.alternatives() {
+                let mut w = world.clone();
+                w.push(Some(v));
+                next.push((w, wp * t.exist * p));
+            }
+        }
+        worlds = next;
+    }
+    worlds
+}
+
+/// Confidence that tuple `id` satisfies `attr = value`, computed by summing
+/// world probabilities — the possible-worlds definition of Query 1.
+pub fn confidence_from_worlds(
+    tuples: &[Tuple],
+    worlds: &[(World, f64)],
+    id: TupleId,
+    value: u64,
+) -> f64 {
+    let pos = tuples
+        .iter()
+        .position(|t| t.id == id)
+        .expect("unknown tuple id");
+    worlds
+        .iter()
+        .filter(|(w, _)| w[pos] == Some(value))
+        .map(|(_, p)| p)
+        .sum()
+}
+
+/// Expected COUNT(*) of tuples satisfying `attr = value` with confidence at
+/// least `qt` — the quantity a probabilistic threshold aggregate reports.
+pub fn threshold_count(tuples: &[Tuple], field_idx: usize, value: u64, qt: f64) -> usize {
+    tuples
+        .iter()
+        .filter(|t| t.confidence_eq(field_idx, value) >= qt)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmf::DiscretePmf;
+    use crate::tuple::{Field, TupleId};
+
+    const BROWN: u64 = 0;
+    const MIT: u64 = 1;
+    const UCB: u64 = 2;
+    const UTOKYO: u64 = 3;
+
+    /// The Table 1 running example.
+    fn author_table() -> Vec<Tuple> {
+        vec![
+            Tuple::new(
+                TupleId(1),
+                0.9,
+                vec![Field::Discrete(DiscretePmf::new(vec![
+                    (BROWN, 0.8),
+                    (MIT, 0.2),
+                ]))],
+            ),
+            Tuple::new(
+                TupleId(2),
+                1.0,
+                vec![Field::Discrete(DiscretePmf::new(vec![
+                    (MIT, 0.95),
+                    (UCB, 0.05),
+                ]))],
+            ),
+            Tuple::new(
+                TupleId(3),
+                0.8,
+                vec![Field::Discrete(DiscretePmf::new(vec![
+                    (BROWN, 0.6),
+                    (UTOKYO, 0.4),
+                ]))],
+            ),
+        ]
+    }
+
+    #[test]
+    fn world_probabilities_sum_to_one() {
+        let tuples = author_table();
+        let worlds = enumerate_worlds(&tuples, 0);
+        let total: f64 = worlds.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9, "sum={total}");
+        // 3 outcomes for Alice (absent/Brown/MIT) × 2 for Bob × 3 for Carol.
+        assert_eq!(worlds.len(), 3 * 2 * 3);
+    }
+
+    #[test]
+    fn paper_section1_example_world() {
+        // "Alice exists and works for Brown, Bob works for MIT and Carol
+        //  does not exist" ≈ 13.7%.
+        let tuples = author_table();
+        let worlds = enumerate_worlds(&tuples, 0);
+        let w = worlds
+            .iter()
+            .find(|(w, _)| w[0] == Some(BROWN) && w[1] == Some(MIT) && w[2].is_none())
+            .unwrap();
+        let expect = 0.9 * 0.8 * 0.95 * 0.2;
+        assert!((w.1 - expect).abs() < 1e-12);
+        assert!((w.1 - 0.1368).abs() < 1e-4);
+    }
+
+    #[test]
+    fn query1_confidences_match_paper() {
+        // Query 1: WHERE Institution=MIT → {(Alice, 18%), (Bob, 95%)}.
+        let tuples = author_table();
+        let worlds = enumerate_worlds(&tuples, 0);
+        let alice = confidence_from_worlds(&tuples, &worlds, TupleId(1), MIT);
+        let bob = confidence_from_worlds(&tuples, &worlds, TupleId(2), MIT);
+        let carol = confidence_from_worlds(&tuples, &worlds, TupleId(3), MIT);
+        assert!((alice - 0.18).abs() < 1e-9);
+        assert!((bob - 0.95).abs() < 1e-9);
+        assert!(carol.abs() < 1e-12);
+    }
+
+    #[test]
+    fn worlds_agree_with_closed_form_confidence() {
+        let tuples = author_table();
+        let worlds = enumerate_worlds(&tuples, 0);
+        for t in &tuples {
+            for &(v, _) in t.discrete(0).alternatives() {
+                let from_worlds = confidence_from_worlds(&tuples, &worlds, t.id, v);
+                let closed = t.confidence_eq(0, v);
+                assert!(
+                    (from_worlds - closed).abs() < 1e-9,
+                    "tuple {:?} value {v}: {from_worlds} vs {closed}",
+                    t.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_count_applies_qt() {
+        let tuples = author_table();
+        // MIT with QT=0.5: only Bob (95%). With QT=0.1: Alice (18%) + Bob.
+        assert_eq!(threshold_count(&tuples, 0, MIT, 0.5), 1);
+        assert_eq!(threshold_count(&tuples, 0, MIT, 0.1), 2);
+        assert_eq!(threshold_count(&tuples, 0, MIT, 0.96), 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Zipfian sampling.
+//!
+//! The paper synthesizes its uncertain DBLP affiliations by weighting web
+//! search ranks with a Zipfian distribution (§7.1); the workload generator
+//! uses this sampler both to pick institutions (value skew: "thousands of
+//! researchers work for MIT") and to assign per-rank alternative
+//! probabilities (long-tailed PMFs).
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(rank k) ∝ 1 / k^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Precompute the CDF for `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "need at least one rank");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let norm = acc;
+        for v in &mut cdf {
+            *v /= norm;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Probability of rank `k` (1-based).
+    pub fn prob(&self, k: usize) -> f64 {
+        assert!((1..=self.cdf.len()).contains(&k));
+        if k == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[k - 1] - self.cdf[k - 2]
+        }
+    }
+
+    /// Sample a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u) + 1
+    }
+
+    /// The first `k` rank probabilities, renormalized to sum to `mass`.
+    /// Used to turn "search ranking" positions into alternative
+    /// probabilities the way §7.1 describes.
+    pub fn head_probs(&self, k: usize, mass: f64) -> Vec<f64> {
+        assert!(k >= 1 && k <= self.cdf.len());
+        let total = self.cdf[k - 1];
+        (1..=k).map(|i| self.prob(i) / total * mass).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = Zipf::new(100, 1.0);
+        let sum: f64 = (1..=100).map(|k| z.prob(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank1_dominates() {
+        let z = Zipf::new(1000, 1.0);
+        assert!(z.prob(1) > z.prob(2));
+        assert!(z.prob(2) > z.prob(10));
+        assert!(z.prob(10) > z.prob(500));
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 1..=10 {
+            assert!((z.prob(k) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let z = Zipf::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0u64; 51];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in [1usize, 2, 5, 20] {
+            let emp = counts[k] as f64 / n as f64;
+            let theo = z.prob(k);
+            assert!(
+                (emp - theo).abs() < 0.01,
+                "rank {k}: empirical {emp} vs {theo}"
+            );
+        }
+    }
+
+    #[test]
+    fn head_probs_renormalize() {
+        let z = Zipf::new(100, 1.0);
+        let probs = z.head_probs(5, 0.9);
+        assert_eq!(probs.len(), 5);
+        let sum: f64 = probs.iter().sum();
+        assert!((sum - 0.9).abs() < 1e-9);
+        // Still descending.
+        for w in probs.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! Synthetic Cartel-like GPS observation generator (§7.1 of the paper).
+//!
+//! Cars drive a Manhattan road grid; each simulation tick, every car
+//! advances along its current road segment and emits one observation:
+//!
+//! * `location` — the true position blurred by a constrained Gaussian
+//!   (GPS error with a hard boundary, as in the paper / U-Tree work \[16\]);
+//! * `segment` — a discrete PMF concentrated on the true segment with some
+//!   probability leaked to adjacent segments (map-matching uncertainty);
+//! * `speed` — a certain float.
+//!
+//! Tuple ids are assigned in emission (time) order and all cars interleave,
+//! so one segment's observations are contiguous in *space* but scattered in
+//! *tid* order — exactly the correlation structure that makes the
+//! continuous UPI fast for Query 5 while the unclustered heap seeks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use upi_uncertain::{
+    ConstrainedGaussian, Datum, DiscretePmf, Field, FieldKind, Schema, Tuple, TupleId,
+};
+
+/// Generator parameters. Defaults are a laptop-scale rendition of the
+/// paper's 15 M-reading Boston dataset.
+#[derive(Debug, Clone)]
+pub struct CartelConfig {
+    /// Total observations to emit.
+    pub n_observations: usize,
+    /// Road grid has `grid × grid` intersections.
+    pub grid: usize,
+    /// Distance between adjacent intersections, meters.
+    pub cell_meters: f64,
+    /// Number of simultaneously driving cars.
+    pub n_cars: usize,
+    /// GPS Gaussian sigma, meters.
+    pub sigma_meters: f64,
+    /// Hard uncertainty boundary, meters.
+    pub bound_meters: f64,
+    /// Mean probability mass on the true segment (rest goes to neighbors).
+    /// Each observation jitters around this (map-matching quality varies),
+    /// which spreads confidences so threshold sweeps are informative.
+    pub segment_confidence: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Extra payload bytes per tuple.
+    pub payload_bytes: usize,
+}
+
+impl Default for CartelConfig {
+    fn default() -> Self {
+        CartelConfig {
+            n_observations: 120_000,
+            grid: 16,
+            cell_meters: 500.0,
+            n_cars: 400,
+            sigma_meters: 10.0,
+            bound_meters: 50.0,
+            segment_confidence: 0.75,
+            seed: 0xCA87E1,
+            payload_bytes: 48,
+        }
+    }
+}
+
+impl CartelConfig {
+    /// Small configuration for unit tests.
+    pub fn tiny() -> CartelConfig {
+        CartelConfig {
+            n_observations: 5_000,
+            grid: 8,
+            n_cars: 40,
+            payload_bytes: 16,
+            ..CartelConfig::default()
+        }
+    }
+
+    /// Total number of road segments on the grid.
+    pub fn n_segments(&self) -> usize {
+        2 * self.grid * (self.grid - 1)
+    }
+
+    /// Side length of the covered square area, meters.
+    pub fn area_side(&self) -> f64 {
+        (self.grid - 1) as f64 * self.cell_meters
+    }
+}
+
+/// Field indexes of the CarObservation table.
+pub mod observation_fields {
+    /// `location: Point` — the continuous UPI attribute.
+    pub const LOCATION: usize = 0;
+    /// `segment: Discrete` — the secondary attribute of Query 5.
+    pub const SEGMENT: usize = 1;
+    /// `speed: F64`
+    pub const SPEED: usize = 2;
+    /// opaque payload
+    pub const PAYLOAD: usize = 3;
+}
+
+/// Generated observations plus ground-truth segment geometry.
+#[derive(Debug)]
+pub struct CartelData {
+    /// Generator configuration used.
+    pub config: CartelConfig,
+    /// Observation tuples in time (tid) order.
+    pub observations: Vec<Tuple>,
+    /// Midpoint of each segment, for picking query centers.
+    pub segment_midpoints: Vec<(f64, f64)>,
+    /// Number of observations whose *true* segment was `s`.
+    pub segment_truth_counts: Vec<u64>,
+}
+
+impl CartelData {
+    /// Observation schema.
+    pub fn schema() -> Schema {
+        Schema::new(vec![
+            ("location", FieldKind::Point),
+            ("segment", FieldKind::Discrete),
+            ("speed", FieldKind::F64),
+            ("payload", FieldKind::Str),
+        ])
+    }
+
+    /// A well-traveled segment (Query 5's `Segment=123`).
+    pub fn busy_segment(&self) -> u64 {
+        self.segment_truth_counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i as u64)
+            .unwrap_or(0)
+    }
+
+    /// A query circle center in the middle of the area, snapped to a road
+    /// intersection so small radii still catch traffic (Query 4's point).
+    pub fn query_center(&self) -> (f64, f64) {
+        let mid = ((self.config.grid - 1) / 2) as f64 * self.config.cell_meters;
+        (mid, mid)
+    }
+}
+
+/// Grid topology helper: segments are horizontal `(x, y)→(x+1, y)` first,
+/// then vertical `(x, y)→(x, y+1)`.
+#[derive(Debug, Clone, Copy)]
+struct Grid {
+    n: usize,
+    cell: f64,
+}
+
+impl Grid {
+    fn horizontal_id(&self, x: usize, y: usize) -> usize {
+        y * (self.n - 1) + x
+    }
+
+    fn vertical_id(&self, x: usize, y: usize) -> usize {
+        (self.n - 1) * self.n + x * (self.n - 1) + y
+    }
+
+    fn midpoint(&self, seg: usize) -> (f64, f64) {
+        let h_count = (self.n - 1) * self.n;
+        if seg < h_count {
+            let y = seg / (self.n - 1);
+            let x = seg % (self.n - 1);
+            ((x as f64 + 0.5) * self.cell, y as f64 * self.cell)
+        } else {
+            let v = seg - h_count;
+            let x = v / (self.n - 1);
+            let y = v % (self.n - 1);
+            (x as f64 * self.cell, (y as f64 + 0.5) * self.cell)
+        }
+    }
+
+    /// Segments sharing an endpoint with `seg` (map-matching confusables).
+    fn neighbors(&self, seg: usize) -> Vec<usize> {
+        let (mx, my) = self.midpoint(seg);
+        let mut out = Vec::new();
+        let total = 2 * self.n * (self.n - 1);
+        for other in 0..total {
+            if other == seg {
+                continue;
+            }
+            let (ox, oy) = self.midpoint(other);
+            let d = ((mx - ox).powi(2) + (my - oy).powi(2)).sqrt();
+            if d <= self.cell {
+                out.push(other);
+            }
+        }
+        out
+    }
+}
+
+struct Car {
+    /// Intersection coordinates.
+    x: usize,
+    y: usize,
+    /// Target intersection of the segment being driven.
+    tx: usize,
+    ty: usize,
+    /// Progress along the segment in [0, 1).
+    progress: f64,
+    speed: f64,
+}
+
+/// Generate the dataset.
+pub fn generate(cfg: &CartelConfig) -> CartelData {
+    assert!(cfg.grid >= 2, "grid must be at least 2x2");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let grid = Grid {
+        n: cfg.grid,
+        cell: cfg.cell_meters,
+    };
+    let n_segments = cfg.n_segments();
+
+    // Precompute neighbor lists once (used for the segment PMFs).
+    let neighbor_lists: Vec<Vec<usize>> = (0..n_segments).map(|s| grid.neighbors(s)).collect();
+
+    let mut cars: Vec<Car> = (0..cfg.n_cars)
+        .map(|_| {
+            let x = rng.gen_range(0..cfg.grid);
+            let y = rng.gen_range(0..cfg.grid);
+            let mut c = Car {
+                x,
+                y,
+                tx: x,
+                ty: y,
+                progress: 0.0,
+                speed: rng.gen_range(5.0..20.0),
+            };
+            pick_next_target(&mut c, cfg.grid, &mut rng);
+            c
+        })
+        .collect();
+
+    let mut observations = Vec::with_capacity(cfg.n_observations);
+    let mut segment_truth_counts = vec![0u64; n_segments];
+    let mut tid = 0u64;
+
+    'outer: loop {
+        for car in &mut cars {
+            if observations.len() >= cfg.n_observations {
+                break 'outer;
+            }
+            // Advance along the current segment.
+            car.progress += car.speed / cfg.cell_meters * rng.gen_range(0.5..1.5);
+            if car.progress >= 1.0 {
+                car.x = car.tx;
+                car.y = car.ty;
+                car.progress = 0.0;
+                pick_next_target(car, cfg.grid, &mut rng);
+            }
+            // True position and segment.
+            let (sx, sy) = (car.x as f64 * grid.cell, car.y as f64 * grid.cell);
+            let (txf, tyf) = (car.tx as f64 * grid.cell, car.ty as f64 * grid.cell);
+            let px = sx + (txf - sx) * car.progress;
+            let py = sy + (tyf - sy) * car.progress;
+            let seg = if car.ty == car.y {
+                grid.horizontal_id(car.x.min(car.tx), car.y)
+            } else {
+                grid.vertical_id(car.x, car.y.min(car.ty))
+            };
+            segment_truth_counts[seg] += 1;
+
+            // Observed (blurred) center of the uncertainty region.
+            let ox = px + rng.gen_range(-cfg.sigma_meters..cfg.sigma_meters);
+            let oy = py + rng.gen_range(-cfg.sigma_meters..cfg.sigma_meters);
+            let gauss = ConstrainedGaussian::new(ox, oy, cfg.sigma_meters, cfg.bound_meters);
+
+            // Segment PMF: true segment + up to 3 neighbors. Per-observation
+            // map-matching quality varies around the configured mean.
+            let conf = (cfg.segment_confidence + rng.gen_range(-0.2..0.2)).clamp(0.5, 0.95);
+            let neighbors = &neighbor_lists[seg];
+            let mut alts = vec![(seg as u64, conf)];
+            let spill = 1.0 - conf;
+            let take = neighbors.len().min(3);
+            for (i, &nb) in neighbors.iter().take(take).enumerate() {
+                // Geometric share of the spill.
+                let share = spill / 2f64.powi(i as i32 + 1);
+                alts.push((nb as u64, share.max(1e-4)));
+            }
+            // Deterministic filler payload (content never matters to the
+            // disk model; avoids per-byte RNG cost at large scales).
+            let payload: String = {
+                let head = format!("{:016x}", tid.wrapping_mul(0x9E3779B97F4A7C15));
+                let mut s = String::with_capacity(cfg.payload_bytes);
+                while s.len() < cfg.payload_bytes {
+                    s.push_str(&head);
+                }
+                s.truncate(cfg.payload_bytes);
+                s
+            };
+            observations.push(Tuple::new(
+                TupleId(tid),
+                rng.gen_range(0.9..=1.0),
+                vec![
+                    Field::Point(gauss),
+                    Field::Discrete(DiscretePmf::new(alts)),
+                    Field::Certain(Datum::F64(car.speed)),
+                    Field::Certain(Datum::Str(payload)),
+                ],
+            ));
+            tid += 1;
+        }
+    }
+
+    let segment_midpoints = (0..n_segments).map(|s| grid.midpoint(s)).collect();
+    CartelData {
+        config: cfg.clone(),
+        observations,
+        segment_midpoints,
+        segment_truth_counts,
+    }
+}
+
+fn pick_next_target(car: &mut Car, grid: usize, rng: &mut StdRng) {
+    let mut options: Vec<(usize, usize)> = Vec::with_capacity(4);
+    if car.x + 1 < grid {
+        options.push((car.x + 1, car.y));
+    }
+    if car.x > 0 {
+        options.push((car.x - 1, car.y));
+    }
+    if car.y + 1 < grid {
+        options.push((car.x, car.y + 1));
+    }
+    if car.y > 0 {
+        options.push((car.x, car.y - 1));
+    }
+    let (tx, ty) = options[rng.gen_range(0..options.len())];
+    car.tx = tx;
+    car.ty = ty;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observation_fields as f;
+
+    fn data() -> CartelData {
+        generate(&CartelConfig::tiny())
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = data();
+        let b = data();
+        assert_eq!(a.observations[100], b.observations[100]);
+        assert_eq!(a.segment_truth_counts, b.segment_truth_counts);
+    }
+
+    #[test]
+    fn observations_are_on_the_map() {
+        let d = data();
+        let side = d.config.area_side();
+        assert_eq!(d.observations.len(), 5000);
+        for t in &d.observations {
+            let g = t.point(f::LOCATION);
+            assert!(g.cx >= -3.0 * d.config.sigma_meters);
+            assert!(g.cx <= side + 3.0 * d.config.sigma_meters);
+            assert!(g.cy >= -3.0 * d.config.sigma_meters);
+            assert!(g.cy <= side + 3.0 * d.config.sigma_meters);
+            assert_eq!(g.sigma, d.config.sigma_meters);
+            assert_eq!(g.bound, d.config.bound_meters);
+        }
+    }
+
+    #[test]
+    fn segment_pmf_is_dominated_by_true_segment() {
+        let d = data();
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for t in d.observations.iter().take(300) {
+            let pmf = t.discrete(f::SEGMENT);
+            let (top, p) = pmf.first();
+            assert!(p >= 0.5 - 1e-9, "true segment keeps the majority");
+            assert!((top as usize) < d.config.n_segments());
+            seen_low |= p < d.config.segment_confidence;
+            seen_high |= p > d.config.segment_confidence;
+            assert!(p <= 0.95 + 1e-9);
+        }
+        assert!(seen_low && seen_high, "confidence must vary per observation");
+    }
+
+    #[test]
+    fn busy_segment_has_many_observations() {
+        let d = data();
+        let busy = d.busy_segment() as usize;
+        assert!(d.segment_truth_counts[busy] > 20);
+    }
+
+    #[test]
+    fn one_segments_observations_are_scattered_in_tid_order() {
+        // The Figure 8 premise: a segment's observations are NOT contiguous
+        // in tid (time) order.
+        let d = data();
+        let busy = d.busy_segment();
+        let tids: Vec<u64> = d
+            .observations
+            .iter()
+            .filter(|t| t.discrete(f::SEGMENT).first().0 == busy)
+            .map(|t| t.id.0)
+            .collect();
+        assert!(tids.len() >= 10);
+        let span = tids.last().unwrap() - tids.first().unwrap();
+        assert!(
+            span > tids.len() as u64 * 5,
+            "observations must interleave: {} tids spanning {}",
+            tids.len(),
+            span
+        );
+    }
+
+    #[test]
+    fn one_segments_observations_are_spatially_clustered() {
+        let d = data();
+        let busy = d.busy_segment();
+        let (mx, my) = d.segment_midpoints[busy as usize];
+        for t in d
+            .observations
+            .iter()
+            .filter(|t| t.discrete(f::SEGMENT).first().0 == busy)
+        {
+            let g = t.point(f::LOCATION);
+            let dist = ((g.cx - mx).powi(2) + (g.cy - my).powi(2)).sqrt();
+            assert!(
+                dist <= d.config.cell_meters,
+                "observation {} is {dist:.0}m from its segment midpoint",
+                t.id.0
+            );
+        }
+    }
+
+    #[test]
+    fn grid_ids_are_dense_and_midpoints_distinct() {
+        let cfg = CartelConfig::tiny();
+        let d = generate(&cfg);
+        assert_eq!(d.segment_midpoints.len(), cfg.n_segments());
+        let mut seen = std::collections::HashSet::new();
+        for &(x, y) in &d.segment_midpoints {
+            assert!(seen.insert(((x * 10.0) as i64, (y * 10.0) as i64)));
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Synthetic uncertain-DBLP generator (§7.1 of the paper).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use upi_uncertain::{Datum, DiscretePmf, Field, FieldKind, Schema, Tuple, TupleId, Zipf};
+
+/// Generator parameters. Defaults are a laptop-scale rendition of the
+/// paper's 700 k-author / 1.3 M-publication dataset; every experiment's
+/// *shape* (selectivity fractions, tail mass) is scale-free.
+#[derive(Debug, Clone)]
+pub struct DblpConfig {
+    /// Number of authors (paper: ~700 k).
+    pub n_authors: usize,
+    /// Distinct institutions; ids are assigned in popularity order
+    /// (id 0 ≈ "MIT", the most frequent institution).
+    pub n_institutions: usize,
+    /// Distinct countries (each institution maps to one country).
+    pub n_countries: usize,
+    /// Distinct journals for the Publication table.
+    pub n_journals: usize,
+    /// Number of publications (paper: ~1.3 M).
+    pub n_publications: usize,
+    /// Maximum alternatives per uncertain attribute (paper: 10 search hits).
+    pub max_alternatives: usize,
+    /// Zipf exponent over the *number* of alternatives: most authors have
+    /// one or two strong affiliations, a long tail has many weak ones.
+    pub alt_count_skew: f64,
+    /// Zipf exponent for institution popularity.
+    pub value_skew: f64,
+    /// Zipf exponent weighting search ranks into probabilities.
+    pub rank_skew: f64,
+    /// Extra opaque payload bytes per tuple (simulates the non-indexed
+    /// attributes a `SELECT *` must fetch).
+    pub payload_bytes: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        DblpConfig {
+            n_authors: 40_000,
+            n_institutions: 2_000,
+            n_countries: 40,
+            n_journals: 400,
+            n_publications: 80_000,
+            max_alternatives: 10,
+            alt_count_skew: 1.0,
+            value_skew: 0.6,
+            rank_skew: 1.4,
+            payload_bytes: 80,
+            seed: 0xDB1F,
+        }
+    }
+}
+
+impl DblpConfig {
+    /// A smaller configuration for unit tests.
+    pub fn tiny() -> DblpConfig {
+        DblpConfig {
+            n_authors: 2_000,
+            n_institutions: 200,
+            n_countries: 12,
+            n_journals: 50,
+            n_publications: 4_000,
+            payload_bytes: 24,
+            ..DblpConfig::default()
+        }
+    }
+}
+
+/// Generated dataset.
+#[derive(Debug)]
+pub struct DblpData {
+    /// Generator configuration used.
+    pub config: DblpConfig,
+    /// Author tuples. Fields: `[name: Str, institution: Discrete,
+    /// country: Discrete, payload: Str]`.
+    pub authors: Vec<Tuple>,
+    /// Publication tuples. Fields: `[journal: U64, institution: Discrete,
+    /// country: Discrete, payload: Str]`.
+    pub publications: Vec<Tuple>,
+    /// Country id of each institution.
+    pub institution_country: Vec<u64>,
+}
+
+/// Field indexes of the Author table.
+pub mod author_fields {
+    /// `name: Str`
+    pub const NAME: usize = 0;
+    /// `institution: Discrete` — the UPI attribute.
+    pub const INSTITUTION: usize = 1;
+    /// `country: Discrete` — the secondary-index attribute.
+    pub const COUNTRY: usize = 2;
+    /// opaque payload
+    pub const PAYLOAD: usize = 3;
+}
+
+/// Field indexes of the Publication table.
+pub mod publication_fields {
+    /// `journal: U64` — the GROUP BY attribute of Queries 2–3.
+    pub const JOURNAL: usize = 0;
+    /// `institution: Discrete` — the UPI attribute.
+    pub const INSTITUTION: usize = 1;
+    /// `country: Discrete` — the secondary-index attribute.
+    pub const COUNTRY: usize = 2;
+    /// opaque payload
+    pub const PAYLOAD: usize = 3;
+}
+
+impl DblpData {
+    /// Author table schema.
+    pub fn author_schema() -> Schema {
+        Schema::new(vec![
+            ("name", FieldKind::Str),
+            ("institution", FieldKind::Discrete),
+            ("country", FieldKind::Discrete),
+            ("payload", FieldKind::Str),
+        ])
+    }
+
+    /// Publication table schema.
+    pub fn publication_schema() -> Schema {
+        Schema::new(vec![
+            ("journal", FieldKind::U64),
+            ("institution", FieldKind::Discrete),
+            ("country", FieldKind::Discrete),
+            ("payload", FieldKind::Str),
+        ])
+    }
+
+    /// The paper's non-selective key ("MIT"): the most popular institution.
+    pub fn popular_institution(&self) -> u64 {
+        0
+    }
+
+    /// A selective institution (mid-tail), analogous to the ~300-author
+    /// query of Figure 3 (bottom).
+    pub fn selective_institution(&self) -> u64 {
+        (self.config.n_institutions / 2) as u64
+    }
+
+    /// A mid-popularity country ("Japan" in Query 3).
+    pub fn query_country(&self) -> u64 {
+        (self.config.n_countries / 8).max(1) as u64
+    }
+
+    /// Generate fresh author tuples (used by the maintenance experiments to
+    /// create insert batches drawn from the same distribution). Ids start
+    /// at `first_id`.
+    pub fn more_authors(&self, n: usize, first_id: u64, seed: u64) -> Vec<Tuple> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA17E);
+        let gen = Generator::new(&self.config, &self.institution_country);
+        (0..n)
+            .map(|i| gen.author(&mut rng, TupleId(first_id + i as u64)))
+            .collect()
+    }
+}
+
+struct Generator<'a> {
+    cfg: &'a DblpConfig,
+    inst_zipf: Zipf,
+    alt_count_zipf: Zipf,
+    journal_zipf: Zipf,
+    inst_country: &'a [u64],
+}
+
+impl<'a> Generator<'a> {
+    fn new(cfg: &'a DblpConfig, inst_country: &'a [u64]) -> Generator<'a> {
+        Generator {
+            cfg,
+            inst_zipf: Zipf::new(cfg.n_institutions, cfg.value_skew),
+            alt_count_zipf: Zipf::new(cfg.max_alternatives, cfg.alt_count_skew),
+            journal_zipf: Zipf::new(cfg.n_journals, cfg.value_skew),
+            inst_country,
+        }
+    }
+
+    /// Sample an institution PMF the way §7.1 derives one: take the top
+    /// `k` "search hits" (institutions, popularity-skewed), weight ranks
+    /// Zipfian-ly, and keep a little probability mass unassigned.
+    fn institution_pmf(&self, rng: &mut StdRng) -> DiscretePmf {
+        let k = self.alt_count_zipf.sample(rng);
+        let mut insts: Vec<u64> = Vec::with_capacity(k);
+        while insts.len() < k {
+            let inst = (self.inst_zipf.sample(rng) - 1) as u64;
+            if !insts.contains(&inst) {
+                insts.push(inst);
+            }
+        }
+        let mass = rng.gen_range(0.75..1.0);
+        // Per-author search-result quality varies: some homepages give one
+        // dominant hit, others are ambiguous. Jittering the rank exponent
+        // spreads alternative probabilities across (0, 1) instead of
+        // quantizing them onto a few rank-share values.
+        let skew = self.cfg.rank_skew * rng.gen_range(0.6..1.6);
+        let rank_zipf = Zipf::new(k, skew);
+        let probs = rank_zipf.head_probs(k, mass);
+        DiscretePmf::new(insts.into_iter().zip(probs).collect())
+    }
+
+    /// Aggregate an institution PMF into a country PMF (sum alternative
+    /// probabilities per country) — this is where the institution↔country
+    /// correlation comes from.
+    fn country_pmf(&self, inst: &DiscretePmf) -> DiscretePmf {
+        let mut acc: Vec<(u64, f64)> = Vec::new();
+        for &(i, p) in inst.alternatives() {
+            let c = self.inst_country[i as usize];
+            match acc.iter_mut().find(|(v, _)| *v == c) {
+                Some((_, q)) => *q += p,
+                None => acc.push((c, p)),
+            }
+        }
+        DiscretePmf::new(acc)
+    }
+
+    /// Deterministic filler payload (content is irrelevant to the disk
+    /// model; avoiding per-byte RNG keeps large-scale generation fast).
+    fn payload(&self, rng: &mut StdRng) -> String {
+        let tag: u64 = rng.gen();
+        let head = format!("{tag:016x}");
+        let mut s = String::with_capacity(self.cfg.payload_bytes);
+        while s.len() < self.cfg.payload_bytes {
+            s.push_str(&head);
+        }
+        s.truncate(self.cfg.payload_bytes);
+        s
+    }
+
+    fn author(&self, rng: &mut StdRng, id: TupleId) -> Tuple {
+        let inst = self.institution_pmf(rng);
+        let country = self.country_pmf(&inst);
+        let exist = rng.gen_range(0.7..=1.0);
+        Tuple::new(
+            id,
+            exist,
+            vec![
+                Field::Certain(Datum::Str(format!("author-{}", id.0))),
+                Field::Discrete(inst),
+                Field::Discrete(country),
+                Field::Certain(Datum::Str(self.payload(rng))),
+            ],
+        )
+    }
+
+    fn publication(&self, rng: &mut StdRng, id: TupleId, authors: &[Tuple]) -> Tuple {
+        // "assuming the last author represents the paper's affiliation":
+        // copy a random author's affiliation PMFs.
+        let a = &authors[rng.gen_range(0..authors.len())];
+        let journal = (self.journal_zipf.sample(rng) - 1) as u64;
+        Tuple::new(
+            id,
+            a.exist,
+            vec![
+                Field::Certain(Datum::U64(journal)),
+                Field::Discrete(a.discrete(author_fields::INSTITUTION).clone()),
+                Field::Discrete(a.discrete(author_fields::COUNTRY).clone()),
+                Field::Certain(Datum::Str(self.payload(rng))),
+            ],
+        )
+    }
+}
+
+/// Generate the dataset.
+pub fn generate(cfg: &DblpConfig) -> DblpData {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Assign each institution a country, Zipf-skewed (big countries host
+    // many institutions).
+    let country_zipf = Zipf::new(cfg.n_countries, 1.0);
+    let institution_country: Vec<u64> = (0..cfg.n_institutions)
+        .map(|_| (country_zipf.sample(&mut rng) - 1) as u64)
+        .collect();
+
+    let gen = Generator::new(cfg, &institution_country);
+    let authors: Vec<Tuple> = (0..cfg.n_authors)
+        .map(|i| gen.author(&mut rng, TupleId(i as u64)))
+        .collect();
+    let publications: Vec<Tuple> = (0..cfg.n_publications)
+        .map(|i| gen.publication(&mut rng, TupleId(i as u64), &authors))
+        .collect();
+
+    DblpData {
+        config: cfg.clone(),
+        authors,
+        publications,
+        institution_country,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> DblpData {
+        generate(&DblpConfig::tiny())
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&DblpConfig::tiny());
+        let b = generate(&DblpConfig::tiny());
+        assert_eq!(a.authors[17], b.authors[17]);
+        assert_eq!(a.publications[33], b.publications[33]);
+    }
+
+    #[test]
+    fn shapes_match_paper_description() {
+        let d = data();
+        assert_eq!(d.authors.len(), 2000);
+        // Alternative count is bounded by 10 and varies.
+        let mut max_alts = 0;
+        let mut multi = 0;
+        for a in &d.authors {
+            let n = a.discrete(author_fields::INSTITUTION).support_len();
+            assert!((1..=10).contains(&n));
+            max_alts = max_alts.max(n);
+            if n > 1 {
+                multi += 1;
+            }
+        }
+        assert!(max_alts >= 8, "long alternative lists must occur");
+        assert!(multi > d.authors.len() / 2, "most authors are uncertain");
+        // Existence in (0.7, 1.0].
+        assert!(d.authors.iter().all(|a| a.exist > 0.69 && a.exist <= 1.0));
+    }
+
+    #[test]
+    fn institution_popularity_is_skewed() {
+        let d = data();
+        let count = |inst: u64| {
+            d.authors
+                .iter()
+                .filter(|a| {
+                    a.discrete(author_fields::INSTITUTION)
+                        .alternatives()
+                        .iter()
+                        .any(|&(v, _)| v == inst)
+                })
+                .count()
+        };
+        let popular = count(d.popular_institution());
+        let selective = count(d.selective_institution());
+        assert!(
+            popular > selective * 10,
+            "popular {popular} vs selective {selective}"
+        );
+        assert!(selective > 0, "selective key must still match something");
+    }
+
+    #[test]
+    fn country_is_correlated_with_institution() {
+        let d = data();
+        for a in d.authors.iter().take(200) {
+            let inst = a.discrete(author_fields::INSTITUTION);
+            let country = a.discrete(author_fields::COUNTRY);
+            // Country PMF mass equals institution PMF mass (it is an
+            // aggregation of it).
+            assert!((inst.mass() - country.mass()).abs() < 1e-9);
+            // The top institution's country appears in the country PMF.
+            let (top_inst, _) = inst.first();
+            let c = d.institution_country[top_inst as usize];
+            assert!(country.prob_of(c) > 0.0);
+        }
+    }
+
+    #[test]
+    fn probabilities_are_long_tailed() {
+        let d = data();
+        // Across all alternatives, low-probability entries dominate
+        // high-probability ones in count (the premise of the cutoff index).
+        let mut low = 0u64;
+        let mut high = 0u64;
+        for a in &d.authors {
+            for &(_, p) in a.discrete(author_fields::INSTITUTION).alternatives() {
+                if p < 0.1 {
+                    low += 1;
+                } else if p > 0.5 {
+                    high += 1;
+                }
+            }
+        }
+        assert!(low > high, "tail must outnumber head: low={low} high={high}");
+    }
+
+    #[test]
+    fn more_authors_extends_ids() {
+        let d = data();
+        let extra = d.more_authors(100, 5000, 1);
+        assert_eq!(extra.len(), 100);
+        assert_eq!(extra[0].id.0, 5000);
+        assert_eq!(extra[99].id.0, 5099);
+        // Distribution is the same family (bounded alternatives).
+        assert!(extra
+            .iter()
+            .all(|a| a.discrete(author_fields::INSTITUTION).support_len() <= 10));
+    }
+
+    #[test]
+    fn publications_inherit_author_affiliations() {
+        let d = data();
+        for p in d.publications.iter().take(100) {
+            let inst = p.discrete(publication_fields::INSTITUTION);
+            // Must match some author's institution PMF.
+            assert!(inst.support_len() >= 1);
+            assert!(inst.mass() <= 1.0 + 1e-9);
+        }
+    }
+}

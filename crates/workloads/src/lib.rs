@@ -1,0 +1,28 @@
+//! # upi-workloads
+//!
+//! Seeded synthetic generators for the two datasets of the UPI paper's
+//! evaluation (§7.1).
+//!
+//! * [`dblp`] — the **uncertain DBLP** dataset: an `Author` table whose
+//!   `Institution`/`Country` attributes are discrete PMFs derived (in the
+//!   paper) from web-search rankings weighted by a Zipfian distribution,
+//!   and a `Publication` table inheriting the last author's affiliation.
+//!   The paper's real dataset is not redistributable, so this generator
+//!   reproduces its *distributional shape*: Zipf-skewed institution
+//!   popularity, long-tailed per-author alternative lists (up to 10),
+//!   existence probabilities below 1, and an institution↔country
+//!   correlation (the mechanism exploited by Figure 6).
+//! * [`cartel`] — the **Cartel** mobile-sensor dataset: cars driving a road
+//!   grid emit GPS observations with constrained-Gaussian position
+//!   uncertainty and an uncertain road-segment attribute correlated with
+//!   position. Observations are interleaved in time across cars, so
+//!   tuple-id order (the unclustered heap order) scatters any one segment's
+//!   observations — the mechanism behind Figure 8.
+//!
+//! Both generators are deterministic given their seed.
+
+pub mod cartel;
+pub mod dblp;
+
+pub use cartel::{CartelConfig, CartelData};
+pub use dblp::{DblpConfig, DblpData};

@@ -1,0 +1,2 @@
+//! The runnable programs live in `examples/`; this library is intentionally
+//! empty. Run them with `cargo run -p upi-examples --example <name>`.

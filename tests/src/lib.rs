@@ -1,0 +1,2 @@
+//! Integration-test helpers live in the `tests/` directory of this package;
+//! the library itself is intentionally empty.

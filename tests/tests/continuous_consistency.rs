@@ -1,0 +1,144 @@
+//! Continuous UPI integration: against the Cartel generator, the
+//! continuous UPI, the secondary U-Tree and a linear scan must agree, and
+//! the segment index over the UPI must agree with the PII baseline.
+
+use std::sync::Arc;
+
+use upi::{
+    ContinuousConfig, ContinuousSecondary, ContinuousUpi, Pii, SecondaryUTree, UnclusteredHeap,
+};
+use upi_storage::{DiskConfig, SimDisk, Store};
+use upi_uncertain::Tuple;
+use upi_workloads::cartel::{self, observation_fields as f, CartelConfig};
+
+fn store() -> Store {
+    Store::new(Arc::new(SimDisk::new(DiskConfig::default())), 16 << 20)
+}
+
+fn linear_circle(tuples: &[Tuple], qx: f64, qy: f64, r: f64, qt: f64) -> Vec<u64> {
+    let mut out: Vec<u64> = tuples
+        .iter()
+        .filter(|t| t.exist * t.point(f::LOCATION).prob_in_circle(qx, qy, r) >= qt)
+        .map(|t| t.id.0)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn circle_queries_agree_across_paths() {
+    let data = cartel::generate(&CartelConfig::tiny());
+    let st = store();
+    let mut cupi = ContinuousUpi::create(
+        st.clone(),
+        "cupi",
+        f::LOCATION,
+        ContinuousConfig {
+            node_page: 4096,
+            heap_page: 16384,
+        },
+    )
+    .unwrap();
+    cupi.bulk_load(&data.observations).unwrap();
+    let mut heap = UnclusteredHeap::create(st.clone(), "heap", 8192).unwrap();
+    heap.bulk_load(&data.observations).unwrap();
+    let mut utree = SecondaryUTree::create(st.clone(), "ut", f::LOCATION, 4096).unwrap();
+    utree.bulk_load(&data.observations).unwrap();
+
+    let (cx, cy) = data.query_center();
+    for (dx, dy, r, qt) in [
+        (0.0, 0.0, 300.0, 0.5),
+        (500.0, -250.0, 600.0, 0.2),
+        (-900.0, 400.0, 150.0, 0.8),
+        (0.0, 0.0, 40.0, 0.05),
+    ] {
+        let (qx, qy) = (cx + dx, cy + dy);
+        let truth = linear_circle(&data.observations, qx, qy, r, qt);
+        let mut via_cupi: Vec<u64> = cupi
+            .query_circle(qx, qy, r, qt)
+            .unwrap()
+            .iter()
+            .map(|x| x.tuple.id.0)
+            .collect();
+        via_cupi.sort_unstable();
+        let mut via_ut: Vec<u64> = utree
+            .query_circle(&heap, qx, qy, r, qt)
+            .unwrap()
+            .iter()
+            .map(|x| x.tuple.id.0)
+            .collect();
+        via_ut.sort_unstable();
+        assert_eq!(via_cupi, truth, "cupi q=({qx},{qy},{r},{qt})");
+        assert_eq!(via_ut, truth, "utree q=({qx},{qy},{r},{qt})");
+    }
+}
+
+#[test]
+fn segment_index_agrees_with_pii_baseline() {
+    let data = cartel::generate(&CartelConfig::tiny());
+    let st = store();
+    let mut cupi =
+        ContinuousUpi::create(st.clone(), "cupi", f::LOCATION, ContinuousConfig::default())
+            .unwrap();
+    cupi.bulk_load(&data.observations).unwrap();
+    let mut seg_cupi = ContinuousSecondary::create(st.clone(), "sc", f::SEGMENT, 8192).unwrap();
+    seg_cupi.bulk_load(&cupi, &data.observations).unwrap();
+    let mut heap = UnclusteredHeap::create(st.clone(), "heap", 8192).unwrap();
+    heap.bulk_load(&data.observations).unwrap();
+    let mut seg_pii = Pii::create(st.clone(), "sp", f::SEGMENT, 8192).unwrap();
+    seg_pii.bulk_load(&data.observations).unwrap();
+
+    for seg in [data.busy_segment(), 0, 5] {
+        for qt in [0.05, 0.4, 0.8] {
+            let mut a: Vec<u64> = seg_cupi
+                .ptq(&cupi, seg, qt)
+                .unwrap()
+                .iter()
+                .map(|r| r.tuple.id.0)
+                .collect();
+            a.sort_unstable();
+            let mut b: Vec<u64> = seg_pii
+                .ptq(&heap, seg, qt)
+                .unwrap()
+                .iter()
+                .map(|r| r.tuple.id.0)
+                .collect();
+            b.sort_unstable();
+            assert_eq!(a, b, "segment={seg} qt={qt}");
+        }
+    }
+}
+
+#[test]
+fn incremental_continuous_inserts_stay_consistent() {
+    let data = cartel::generate(&CartelConfig::tiny());
+    let st = store();
+    let mut cupi = ContinuousUpi::create(
+        st.clone(),
+        "cupi",
+        f::LOCATION,
+        ContinuousConfig {
+            node_page: 4096,
+            heap_page: 8192,
+        },
+    )
+    .unwrap();
+    let split = data.observations.len() / 2;
+    cupi.bulk_load(&data.observations[..split]).unwrap();
+    for t in &data.observations[split..] {
+        cupi.insert(t).unwrap();
+    }
+    assert_eq!(cupi.n_tuples() as usize, data.observations.len());
+    let (cx, cy) = data.query_center();
+    for (r, qt) in [(400.0, 0.3), (900.0, 0.1)] {
+        let truth = linear_circle(&data.observations, cx, cy, r, qt);
+        let mut got: Vec<u64> = cupi
+            .query_circle(cx, cy, r, qt)
+            .unwrap()
+            .iter()
+            .map(|x| x.tuple.id.0)
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, truth, "r={r} qt={qt}");
+    }
+}
