@@ -20,7 +20,13 @@ fn main() {
         "Secondary-index pointer cap: tailored Query 3 runtime vs index size",
         "tighter caps shrink the index but erode the tailored advantage",
     );
-    header(&["max_pointers", "tailored_ms", "plain_ms", "secondary_bytes", "rows"]);
+    header(&[
+        "max_pointers",
+        "tailored_ms",
+        "plain_ms",
+        "secondary_bytes",
+        "rows",
+    ]);
     let mut first_size = 0u64;
     let mut last_size = 0u64;
     for cap in [1usize, 2, 4, 10] {

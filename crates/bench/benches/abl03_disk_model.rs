@@ -37,8 +37,7 @@ fn main() {
         let store = Store::new(Arc::new(SimDisk::new(disk)), POOL_BYTES);
         let mut heap = UnclusteredHeap::create(store.clone(), "heap", 8192).unwrap();
         heap.bulk_load(&data.authors).unwrap();
-        let mut pii =
-            Pii::create(store.clone(), "pii", author_fields::INSTITUTION, 8192).unwrap();
+        let mut pii = Pii::create(store.clone(), "pii", author_fields::INSTITUTION, 8192).unwrap();
         pii.bulk_load(&data.authors).unwrap();
         let mut upi = DiscreteUpi::create(
             store.clone(),

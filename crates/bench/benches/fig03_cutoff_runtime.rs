@@ -25,7 +25,11 @@ fn main() {
     for selective in [false, true] {
         println!(
             "\n# {} query",
-            if selective { "selective" } else { "non-selective" }
+            if selective {
+                "selective"
+            } else {
+                "non-selective"
+            }
         );
         header(&["C", "QT=0.05_ms", "QT=0.15_ms", "QT=0.25_ms", "rows@0.05"]);
         let mut rows_at_005 = 0usize;
@@ -51,8 +55,7 @@ fn main() {
             println!("{c:.1}\t{}\t{rows_at_005}", cells.join("\t"));
         }
         if !selective && flat_check.len() >= 2 {
-            let spread = (flat_check[0] - flat_check[1]).abs()
-                / flat_check[0].max(flat_check[1]);
+            let spread = (flat_check[0] - flat_check[1]).abs() / flat_check[0].max(flat_check[1]);
             summary(
                 "fig3.saturation_flatness_C>=0.4",
                 format!("{:.0}% spread", spread * 100.0),

@@ -38,8 +38,5 @@ fn main() {
     let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = speedups.iter().cloned().fold(0.0, f64::max);
     summary("fig4.speedup_range", format!("{min:.1}x - {max:.1}x"));
-    summary(
-        "fig4.upi_always_faster",
-        speedups.iter().all(|&s| s > 1.0),
-    );
+    summary("fig4.upi_always_faster", speedups.iter().all(|&s| s > 1.0));
 }

@@ -26,11 +26,15 @@ fn main() {
         let qt = qt10 as f64 / 10.0;
         let pii = measure_cold(&s.store, || {
             let rows = s.pii_inst.ptq(&s.heap, mit, qt).unwrap();
-            group_count(&rows, publication_fields::JOURNAL).len()
+            group_count(&rows, publication_fields::JOURNAL)
+                .unwrap()
+                .len()
         });
         let upi = measure_cold(&s.store, || {
             let rows = s.upi.ptq(mit, qt).unwrap();
-            group_count(&rows, publication_fields::JOURNAL).len()
+            group_count(&rows, publication_fields::JOURNAL)
+                .unwrap()
+                .len()
         });
         assert_eq!(pii.rows, upi.rows, "aggregates disagree at QT={qt}");
         let speedup = pii.sim_ms / upi.sim_ms;

@@ -38,17 +38,26 @@ fn main() {
         let qt = qt10 as f64 / 10.0;
         let pii = measure_cold(&s.store, || {
             let rows = s.pii_country.ptq(&s.heap, japan, qt).unwrap();
-            group_count(&rows, publication_fields::JOURNAL).len()
+            group_count(&rows, publication_fields::JOURNAL)
+                .unwrap()
+                .len()
         });
         let plain = measure_cold(&s.store, || {
             let rows = s.upi.ptq_secondary(0, japan, qt, false).unwrap();
-            group_count(&rows, publication_fields::JOURNAL).len()
+            group_count(&rows, publication_fields::JOURNAL)
+                .unwrap()
+                .len()
         });
         let tailored = measure_cold(&s.store, || {
             let rows = s.upi.ptq_secondary(0, japan, qt, true).unwrap();
-            group_count(&rows, publication_fields::JOURNAL).len()
+            group_count(&rows, publication_fields::JOURNAL)
+                .unwrap()
+                .len()
         });
-        assert_eq!(plain.rows, tailored.rows, "access paths disagree at QT={qt}");
+        assert_eq!(
+            plain.rows, tailored.rows,
+            "access paths disagree at QT={qt}"
+        );
         let ratio = pii.sim_ms / tailored.sim_ms;
         best = best.max(ratio);
         println!(

@@ -9,9 +9,7 @@
 //! and the Fractured UPI ~9× slower (per-fracture open + seek overhead) —
 //! fracturing eliminates fragmentation but accumulates components.
 
-use upi::{
-    DiscreteUpi, FracturedConfig, FracturedUpi, Pii, UnclusteredHeap, UpiConfig,
-};
+use upi::{DiscreteUpi, FracturedConfig, FracturedUpi, Pii, UnclusteredHeap, UpiConfig};
 use upi_bench::setups::author_setup;
 use upi_bench::{banner, fresh_store, header, measure_cold, ms, summary};
 use upi_uncertain::Tuple;

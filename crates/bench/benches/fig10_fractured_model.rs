@@ -27,7 +27,9 @@ fn main() {
     let mut ratios = Vec::new();
     for batch in 0..=BATCHES {
         if batch > 0 {
-            let new = s.data.more_authors(batch_inserts, next_id, 1000 + batch as u64);
+            let new = s
+                .data
+                .more_authors(batch_inserts, next_id, 1000 + batch as u64);
             next_id += batch_inserts as u64;
             for t in new {
                 s.fractured.insert(t).unwrap();
@@ -36,9 +38,7 @@ fn main() {
             let n_del = s.data.authors.len() / 100;
             for i in 0..n_del {
                 let idx = (batch * 7919 + i * 104729) % s.data.authors.len();
-                s.fractured
-                    .delete(s.data.authors[idx].id)
-                    .ok();
+                s.fractured.delete(s.data.authors[idx].id).ok();
             }
             s.fractured.flush().unwrap();
         }

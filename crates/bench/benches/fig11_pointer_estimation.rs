@@ -4,9 +4,9 @@
 //! Paper shape: the bar pairs match closely — the per-value probability
 //! histogram is an accurate selectivity estimator.
 
+use upi::cost::estimate_cutoff_pointers;
 use upi_bench::setups::author_setup_with;
 use upi_bench::{banner, header, summary};
-use upi::cost::estimate_cutoff_pointers;
 
 fn main() {
     banner(

@@ -22,7 +22,11 @@ fn main() {
     for selective in [false, true] {
         println!(
             "\n# {} query (estimated_ms / measured_ms per cell)",
-            if selective { "selective" } else { "non-selective" }
+            if selective {
+                "selective"
+            } else {
+                "non-selective"
+            }
         );
         header(&["C", "QT=0.05", "QT=0.15", "QT=0.25"]);
         for &c in &CS {

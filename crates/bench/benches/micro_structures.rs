@@ -101,5 +101,11 @@ fn bench_codec(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_btree, bench_rtree, bench_gaussian, bench_codec);
+criterion_group!(
+    benches,
+    bench_btree,
+    bench_rtree,
+    bench_gaussian,
+    bench_codec
+);
 criterion_main!(benches);

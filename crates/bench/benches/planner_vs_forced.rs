@@ -1,0 +1,196 @@
+//! Planner validation — each figure query (4–8) executed under the
+//! cost-based planner and under every forced access path.
+//!
+//! For every query point this prints the planner's chosen path, its
+//! measured simulated runtime, and the runtime of each forced candidate;
+//! it asserts that
+//!
+//! 1. every access path returns the **same result set**, and
+//! 2. the planner-chosen plan is within **10%** of the best forced path
+//!    (plus a small absolute slack for the sub-millisecond regime).
+//!
+//! This is the acceptance gate for the `upi-query` subsystem: the §6 cost
+//! models, fed with live statistics, must actually pick the access path
+//! the simulated disk agrees is fastest.
+
+use upi_bench::setups::{author_setup, cartel_setup, publication_setup};
+use upi_bench::{banner, header, measure_cold, ms, summary};
+use upi_query::{Catalog, PhysicalPlan, PtqQuery, QueryOutput};
+use upi_workloads::cartel::observation_fields;
+use upi_workloads::dblp::{author_fields, publication_fields};
+
+/// Comparable fingerprint of an output: sorted `(tid, confidence)` rows or
+/// the group table.
+fn fingerprint(out: &QueryOutput) -> Vec<(u64, u64)> {
+    match &out.groups {
+        Some(g) => g.clone(),
+        None => {
+            let mut rows: Vec<(u64, u64)> = out
+                .rows
+                .iter()
+                .map(|r| (r.tuple.id.0, (r.confidence * 1e9).round() as u64))
+                .collect();
+            rows.sort_unstable();
+            rows
+        }
+    }
+}
+
+/// Execute the planner's choice and each forced candidate cold; check
+/// agreement and the 10% optimality bound. Returns
+/// `(chosen_ms, best_forced_ms)`.
+fn run_point(
+    label: &str,
+    q: &PtqQuery,
+    catalog: &Catalog<'_>,
+    store: &upi_storage::Store,
+) -> (f64, f64) {
+    let plan = q.plan(catalog).expect("planner must find a path");
+    if std::env::var("UPI_PLANNER_EXPLAIN").is_ok() {
+        eprintln!("--- {label}\n{}", plan.explain());
+    }
+    let chosen_label = plan.path().label();
+
+    let mut chosen_out = None;
+    let chosen = measure_cold(store, || {
+        let out = plan.execute(catalog).unwrap();
+        let n = out.len();
+        chosen_out = Some(out);
+        n
+    });
+    let reference = fingerprint(&chosen_out.expect("measured closure ran"));
+
+    let mut best_forced = f64::INFINITY;
+    let mut best_label = String::new();
+    let mut cols = vec![label.to_string(), chosen_label.clone(), ms(chosen.sim_ms)];
+    for cand in &plan.candidates {
+        let forced = PhysicalPlan {
+            query: q.clone(),
+            candidates: vec![cand.clone()],
+        };
+        let mut forced_out = None;
+        let m = measure_cold(store, || {
+            let out = forced.execute(catalog).unwrap();
+            let n = out.len();
+            forced_out = Some(out);
+            n
+        });
+        assert_eq!(
+            fingerprint(&forced_out.expect("measured closure ran")),
+            reference,
+            "{label}: path {} disagrees with planner result",
+            cand.path.label()
+        );
+        if m.sim_ms < best_forced {
+            best_forced = m.sim_ms;
+            best_label = cand.path.label();
+        }
+        cols.push(format!("{}={}", cand.path.label(), ms(m.sim_ms)));
+    }
+    println!("{}", cols.join("\t"));
+
+    // 10% relative + 2 simulated ms absolute slack (sub-ms costs round in
+    // the I/O ledger).
+    assert!(
+        chosen.sim_ms <= best_forced * 1.10 + 2.0,
+        "{label}: planner chose {chosen_label} ({:.1} ms) but {best_label} is faster ({:.1} ms)",
+        chosen.sim_ms,
+        best_forced
+    );
+    (chosen.sim_ms, best_forced)
+}
+
+fn main() {
+    let mut worst_ratio = 1.0f64;
+    let mut track = |(chosen, best): (f64, f64)| {
+        if best > 0.0 {
+            worst_ratio = worst_ratio.max(chosen / best);
+        }
+    };
+
+    banner(
+        "Planner",
+        "planner-chosen plan vs every forced access path (Queries 1-5)",
+        "chosen within 10% of the best forced path at every point",
+    );
+
+    // --- Query 1 (fig04): point PTQ on the clustered attribute ---------
+    {
+        let s = author_setup(0.1);
+        let mit = s.data.popular_institution();
+        let catalog = Catalog::new(s.store.disk.config())
+            .with_upi(&s.upi)
+            .with_heap(&s.heap)
+            .with_pii(&s.pii);
+        header(&["query1", "chosen", "chosen_ms", "forced..."]);
+        for qt10 in [1, 3, 5, 7, 9] {
+            let qt = qt10 as f64 / 10.0;
+            let q = PtqQuery::eq(author_fields::INSTITUTION, mit).with_qt(qt);
+            track(run_point(&format!("q1@{qt:.1}"), &q, &catalog, &s.store));
+        }
+    }
+
+    // --- Queries 2-3 (fig05/fig06): aggregates, primary + secondary ----
+    {
+        let s = publication_setup(0.1);
+        let mit = s.data.popular_institution();
+        let japan = s.data.query_country();
+        let catalog = Catalog::new(s.store.disk.config())
+            .with_upi(&s.upi)
+            .with_heap(&s.heap)
+            .with_pii(&s.pii_inst)
+            .with_pii(&s.pii_country);
+        header(&["query2", "chosen", "chosen_ms", "forced..."]);
+        for qt10 in [1, 5, 9] {
+            let qt = qt10 as f64 / 10.0;
+            let q = PtqQuery::eq(publication_fields::INSTITUTION, mit)
+                .with_qt(qt)
+                .with_group_count(publication_fields::JOURNAL);
+            track(run_point(&format!("q2@{qt:.1}"), &q, &catalog, &s.store));
+        }
+        header(&["query3", "chosen", "chosen_ms", "forced..."]);
+        for qt10 in [1, 5, 9] {
+            let qt = qt10 as f64 / 10.0;
+            let q = PtqQuery::eq(publication_fields::COUNTRY, japan)
+                .with_qt(qt)
+                .with_group_count(publication_fields::JOURNAL);
+            track(run_point(&format!("q3@{qt:.1}"), &q, &catalog, &s.store));
+        }
+    }
+
+    // --- Queries 4-5 (fig07/fig08): continuous circle + segment --------
+    {
+        let s = cartel_setup();
+        let (qx, qy) = s.data.query_center();
+        let seg = s.data.busy_segment();
+        let catalog = Catalog::new(s.store.disk.config())
+            .with_cupi(&s.cupi)
+            .with_cont_secondary(&s.seg_on_cupi)
+            .with_heap(&s.heap)
+            .with_utree(&s.utree)
+            .with_pii(&s.seg_on_heap);
+        header(&["query4", "chosen", "chosen_ms", "forced..."]);
+        for step in [2, 5, 10] {
+            let radius = 100.0 * step as f64;
+            let q = PtqQuery::circle(observation_fields::LOCATION, qx, qy, radius).with_qt(0.5);
+            track(run_point(
+                &format!("q4@r{radius:.0}"),
+                &q,
+                &catalog,
+                &s.store,
+            ));
+        }
+        header(&["query5", "chosen", "chosen_ms", "forced..."]);
+        for qt10 in [1, 4, 8] {
+            let qt = qt10 as f64 / 10.0;
+            let q = PtqQuery::eq(observation_fields::SEGMENT, seg).with_qt(qt);
+            track(run_point(&format!("q5@{qt:.1}"), &q, &catalog, &s.store));
+        }
+    }
+
+    summary(
+        "planner.worst_chosen_vs_best_forced",
+        format!("{worst_ratio:.3}x"),
+    );
+    summary("planner.within_10pct", worst_ratio <= 1.10);
+}

@@ -19,7 +19,11 @@ fn main() {
     let inserts = data.more_authors(n / 10, n as u64, 42);
     // Every 100th tuple is deleted (1%).
     let deletes: Vec<&Tuple> = data.authors.iter().step_by(100).collect();
-    eprintln!("[setup] base={n} inserts={} deletes={}", inserts.len(), deletes.len());
+    eprintln!(
+        "[setup] base={n} inserts={} deletes={}",
+        inserts.len(),
+        deletes.len()
+    );
 
     banner(
         "Table 7",
@@ -48,7 +52,10 @@ fn main() {
             deletes.len()
         });
         println!("Unclustered\t{}\t{}", ms(ins.sim_ms), ms(del.sim_ms));
-        summary("tab7.unclustered", format!("{} / {}", ms(ins.sim_ms), ms(del.sim_ms)));
+        summary(
+            "tab7.unclustered",
+            format!("{} / {}", ms(ins.sim_ms), ms(del.sim_ms)),
+        );
     }
 
     // (b) Non-fractured UPI.
@@ -77,7 +84,10 @@ fn main() {
             deletes.len()
         });
         println!("UPI\t{}\t{}", ms(ins.sim_ms), ms(del.sim_ms));
-        summary("tab7.upi", format!("{} / {}", ms(ins.sim_ms), ms(del.sim_ms)));
+        summary(
+            "tab7.upi",
+            format!("{} / {}", ms(ins.sim_ms), ms(del.sim_ms)),
+        );
     }
 
     // (c) Fractured UPI: buffer + one flush ("we drop the insert buffer

@@ -22,9 +22,7 @@ fn main() {
     let mut ratios = Vec::new();
     for round in 1..=3 {
         for b in 0..2 {
-            let new = s
-                .data
-                .more_authors(batch, next_id, (round * 10 + b) as u64);
+            let new = s.data.more_authors(batch, next_id, (round * 10 + b) as u64);
             next_id += batch as u64;
             for t in new {
                 s.fractured.insert(t).unwrap();

@@ -187,10 +187,10 @@ pub fn cartel_setup() -> CartelSetup {
     seg_on_cupi.bulk_load(&cupi, &data.observations).unwrap();
     let mut heap = UnclusteredHeap::create(store.clone(), "cartel.heap", 8192).unwrap();
     heap.bulk_load(&data.observations).unwrap();
-    let mut utree = SecondaryUTree::create(store.clone(), "cartel.utree", f::LOCATION, 4096).unwrap();
+    let mut utree =
+        SecondaryUTree::create(store.clone(), "cartel.utree", f::LOCATION, 4096).unwrap();
     utree.bulk_load(&data.observations).unwrap();
-    let mut seg_on_heap =
-        Pii::create(store.clone(), "cartel.seg_heap", f::SEGMENT, 8192).unwrap();
+    let mut seg_on_heap = Pii::create(store.clone(), "cartel.seg_heap", f::SEGMENT, 8192).unwrap();
     seg_on_heap.bulk_load(&data.observations).unwrap();
     CartelSetup {
         store,

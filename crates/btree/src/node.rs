@@ -138,8 +138,7 @@ impl Node {
 
     /// Index of the first entry with key `>= target` (binary search).
     pub fn lower_bound(&self, target: &[u8]) -> usize {
-        self.entries
-            .partition_point(|(k, _)| k.as_ref() < target)
+        self.entries.partition_point(|(k, _)| k.as_ref() < target)
     }
 
     /// For internal nodes: the child that covers `target`.

@@ -163,7 +163,8 @@ impl BTree {
             let old_root = self.root;
             let new_root = self.store.disk.alloc_page(self.file)?;
             let mut node = Node::new_internal(old_root);
-            node.entries.push((sep.into_boxed_slice(), child_val(right)));
+            node.entries
+                .push((sep.into_boxed_slice(), child_val(right)));
             self.write_node(new_root, &node);
             self.root = new_root;
             self.height += 1;
@@ -177,12 +178,7 @@ impl BTree {
 
     /// Recursive insert; returns (inserted-new-key, optional split
     /// (separator, new right sibling page)).
-    fn insert_rec(
-        &mut self,
-        pid: PageId,
-        key: &[u8],
-        value: &[u8],
-    ) -> Result<(bool, SplitResult)> {
+    fn insert_rec(&mut self, pid: PageId, key: &[u8], value: &[u8]) -> Result<(bool, SplitResult)> {
         let mut node = self.read_node(pid)?;
         match node.kind {
             NodeKind::Leaf => {

@@ -28,7 +28,7 @@ use upi_rtree::{LeafEntry, Point, RTree, RTreeStats, SplitEvent};
 use upi_storage::error::Result;
 use upi_storage::{FileId, PageId, Store};
 use upi_uncertain::tuple::{decode_tuple, encode_tuple};
-use upi_uncertain::{ConstrainedGaussian, Tuple, TupleId};
+use upi_uncertain::{AttrStats, ConstrainedGaussian, Tuple, TupleId};
 
 use crate::exec::PtqResult;
 use crate::heap::UnclusteredHeap;
@@ -101,10 +101,7 @@ fn decode_heap_page(data: &[u8]) -> Vec<Tuple> {
 }
 
 fn heap_page_bytes_needed(tuples: &[&Tuple]) -> usize {
-    2 + tuples
-        .iter()
-        .map(|t| 4 + t.encoded_len())
-        .sum::<usize>()
+    2 + tuples.iter().map(|t| 4 + t.encoded_len()).sum::<usize>()
 }
 
 // ---------------------------------------------------------------------------
@@ -136,7 +133,9 @@ impl ContinuousUpi {
         cfg: ContinuousConfig,
     ) -> Result<ContinuousUpi> {
         let rtree = RTree::create(store.clone(), &format!("{name}.rtree"), cfg.node_page)?;
-        let heap_file = store.disk.create_file(&format!("{name}.cheap"), cfg.heap_page);
+        let heap_file = store
+            .disk
+            .create_file(&format!("{name}.cheap"), cfg.heap_page);
         Ok(ContinuousUpi {
             store,
             cfg,
@@ -218,7 +217,9 @@ impl ContinuousUpi {
     /// splits, §5) then append to the destination leaf's chain.
     pub fn insert(&mut self, t: &Tuple) -> Result<()> {
         let mut events: Vec<SplitEvent> = Vec::new();
-        let dest_leaf = self.rtree.insert(leaf_entry(t, self.loc_attr), &mut events)?;
+        let dest_leaf = self
+            .rtree
+            .insert(leaf_entry(t, self.loc_attr), &mut events)?;
 
         for ev in &events {
             self.split_chain(ev)?;
@@ -243,9 +244,7 @@ impl ContinuousUpi {
         }
         if !placed {
             let pid = self.store.disk.alloc_page(self.heap_file)?;
-            self.store
-                .pool
-                .put(pid, encode_heap_page(&[t], page_size));
+            self.store.pool.put(pid, encode_heap_page(&[t], page_size));
             self.leaf_chain
                 .get_mut(&dest_leaf)
                 .expect("chain just ensured")
@@ -288,7 +287,9 @@ impl ContinuousUpi {
     /// which are contiguous thanks to the hierarchical clustering — and
     /// evaluates the exact circle probability on each candidate.
     pub fn query_circle(&self, qx: f64, qy: f64, radius: f64, qt: f64) -> Result<Vec<PtqResult>> {
-        let groups = self.rtree.query_circle_grouped(Point::new(qx, qy), radius)?;
+        let groups = self
+            .rtree
+            .query_circle_grouped(Point::new(qx, qy), radius)?;
         // Collect candidate tids per heap page, pruning with the aux
         // distribution parameters (sound: existence ≤ 1).
         let mut page_tids: HashMap<PageId, Vec<u64>> = HashMap::new();
@@ -343,6 +344,17 @@ impl ContinuousUpi {
         self.n_tuples
     }
 
+    /// The indexed point field.
+    pub fn attr(&self) -> usize {
+        self.loc_attr
+    }
+
+    /// Bounding rectangle of every indexed location (`None` when empty) —
+    /// the spatial domain for the planner's circle selectivity estimate.
+    pub fn bounds(&self) -> Result<Option<upi_rtree::Rect>> {
+        self.rtree.bounds()
+    }
+
     /// R-Tree statistics.
     pub fn rtree_stats(&self) -> RTreeStats {
         self.rtree.stats()
@@ -353,11 +365,7 @@ impl ContinuousUpi {
         let rtree_bytes = (self.rtree.stats().leaf_pages + self.rtree.stats().internal_pages)
             as u64
             * self.cfg.node_page as u64;
-        let heap_bytes = self
-            .store
-            .disk
-            .file_bytes(self.heap_file)
-            .unwrap_or(0);
+        let heap_bytes = self.store.disk.file_bytes(self.heap_file).unwrap_or(0);
         rtree_bytes + heap_bytes
     }
 }
@@ -400,7 +408,8 @@ impl SecondaryUTree {
     /// Insert one tuple's entry.
     pub fn insert(&mut self, t: &Tuple) -> Result<()> {
         let mut events = Vec::new();
-        self.rtree.insert(leaf_entry(t, self.loc_attr), &mut events)?;
+        self.rtree
+            .insert(leaf_entry(t, self.loc_attr), &mut events)?;
         Ok(())
     }
 
@@ -449,6 +458,16 @@ impl SecondaryUTree {
     pub fn stats(&self) -> RTreeStats {
         self.rtree.stats()
     }
+
+    /// The indexed point field.
+    pub fn attr(&self) -> usize {
+        self.loc_attr
+    }
+
+    /// Bounding rectangle of every indexed location (`None` when empty).
+    pub fn bounds(&self) -> Result<Option<upi_rtree::Rect>> {
+        self.rtree.bounds()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -463,6 +482,7 @@ impl SecondaryUTree {
 pub struct ContinuousSecondary {
     attr: usize,
     tree: BTree,
+    stats: AttrStats,
 }
 
 impl ContinuousSecondary {
@@ -476,6 +496,7 @@ impl ContinuousSecondary {
         Ok(ContinuousSecondary {
             attr,
             tree: BTree::create(store, name, page_size)?,
+            stats: AttrStats::new(),
         })
     }
 
@@ -486,11 +507,12 @@ impl ContinuousSecondary {
             let page = upi
                 .page_of(t.id)
                 .expect("tuple must be loaded into the continuous UPI first");
-            for &(v, p) in t.discrete(self.attr).alternatives() {
+            for (i, &(v, p)) in t.discrete(self.attr).alternatives().iter().enumerate() {
                 entries.push((
                     keys::entry_key(v, p * t.exist, t.id.0),
                     page.0.to_le_bytes().to_vec(),
                 ));
+                self.stats.add(v, p * t.exist, i == 0);
             }
         }
         entries.sort();
@@ -570,6 +592,22 @@ impl ContinuousSecondary {
     pub fn bytes(&self) -> u64 {
         self.tree.stats().bytes
     }
+
+    /// The indexed discrete field.
+    pub fn attr(&self) -> usize {
+        self.attr
+    }
+
+    /// Height of the backing tree (cost-model `H`).
+    pub fn height(&self) -> usize {
+        self.tree.height()
+    }
+
+    /// Histogram statistics of the indexed attribute (folded
+    /// probabilities) — selectivity estimation for the planner.
+    pub fn attr_stats(&self) -> &AttrStats {
+        &self.stats
+    }
 }
 
 #[cfg(test)]
@@ -642,7 +680,11 @@ mod tests {
                 .map(|r| r.tuple.id.0)
                 .collect();
             got.sort_unstable();
-            assert_eq!(got, linear_query(&tuples, qx, qy, r, qt), "q=({qx},{qy},{r},{qt})");
+            assert_eq!(
+                got,
+                linear_query(&tuples, qx, qy, r, qt),
+                "q=({qx},{qy},{r},{qt})"
+            );
         }
     }
 
@@ -717,10 +759,15 @@ mod tests {
     #[test]
     fn incremental_insert_with_splits_preserves_queries() {
         let tuples = cloud(1500);
-        let mut upi = ContinuousUpi::create(store(), "c", 0, ContinuousConfig {
-            node_page: 4096,
-            heap_page: 8192, // small pages force overflow + split handling
-        })
+        let mut upi = ContinuousUpi::create(
+            store(),
+            "c",
+            0,
+            ContinuousConfig {
+                node_page: 4096,
+                heap_page: 8192, // small pages force overflow + split handling
+            },
+        )
         .unwrap();
         upi.bulk_load(&tuples[..500]).unwrap();
         for t in &tuples[500..] {

@@ -174,12 +174,7 @@ pub fn estimate_heap_selectivity(upi: &DiscreteUpi, value: u64, qt: f64) -> f64 
 
 /// Estimated runtime of Query 1 on a standalone UPI with a cutoff index
 /// (the "Estimated" curves of Figure 12).
-pub fn estimate_query_cutoff_ms(
-    disk: &DiskConfig,
-    upi: &DiscreteUpi,
-    value: u64,
-    qt: f64,
-) -> f64 {
+pub fn estimate_query_cutoff_ms(disk: &DiskConfig, upi: &DiscreteUpi, value: u64, qt: f64) -> f64 {
     let model = model_for_upi(disk, upi);
     let sel = estimate_heap_selectivity(upi, value, qt);
     if qt >= upi.config().cutoff {
@@ -230,7 +225,10 @@ mod tests {
     #[test]
     fn cost_scan_matches_table6_definition() {
         let p = params();
-        assert!((p.cost_scan_ms() - 2000.0).abs() < 1e-9, "100MiB * 20ms/MiB");
+        assert!(
+            (p.cost_scan_ms() - 2000.0).abs() < 1e-9,
+            "100MiB * 20ms/MiB"
+        );
     }
 
     #[test]

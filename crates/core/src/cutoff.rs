@@ -197,7 +197,10 @@ mod tests {
             c.insert(7, p, i, 99, 0.9).unwrap();
         }
         let got = c.scan(7, 0.05).unwrap();
-        let probs: Vec<f64> = got.iter().map(|p| (p.prob * 100.0).round() / 100.0).collect();
+        let probs: Vec<f64> = got
+            .iter()
+            .map(|p| (p.prob * 100.0).round() / 100.0)
+            .collect();
         assert_eq!(probs, vec![0.09, 0.08, 0.05], "descending, >= qt");
         // Unknown value: empty.
         assert!(c.scan(8, 0.0).unwrap().is_empty());

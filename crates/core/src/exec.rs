@@ -1,4 +1,9 @@
 //! Query results and executor helpers (aggregates, top-k).
+//!
+//! These are the original ad-hoc helpers of the repository; the cost-based
+//! planner and streaming operator tree live in the `upi-query` crate, which
+//! re-exports these names for compatibility. New code should prefer
+//! `upi_query::PtqQuery`.
 
 use upi_storage::error::Result;
 use upi_uncertain::{Datum, Field, Tuple};
@@ -16,22 +21,77 @@ pub struct PtqResult {
     pub confidence: f64,
 }
 
+/// Typed executor errors (library code must not panic on malformed
+/// queries — a bad field index or type comes from the caller, not a bug).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The referenced field index is out of bounds for the tuple.
+    FieldOutOfBounds {
+        /// The requested field index.
+        field: usize,
+        /// The tuple's arity.
+        arity: usize,
+    },
+    /// A grouping field was not a certain `U64` column.
+    NotCertainU64 {
+        /// The requested field index.
+        field: usize,
+        /// Debug rendering of the offending field value.
+        got: String,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::FieldOutOfBounds { field, arity } => {
+                write!(
+                    f,
+                    "field index {field} out of bounds for arity-{arity} tuple"
+                )
+            }
+            ExecError::NotCertainU64 { field, got } => {
+                write!(
+                    f,
+                    "group_count expects a certain u64 field at index {field}, got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Read the certain `U64` grouping key of `field` from a tuple.
+pub fn group_key(tuple: &Tuple, field: usize) -> std::result::Result<u64, ExecError> {
+    match tuple.fields.get(field) {
+        Some(Field::Certain(Datum::U64(v))) => Ok(*v),
+        Some(other) => Err(ExecError::NotCertainU64 {
+            field,
+            got: format!("{other:?}"),
+        }),
+        None => Err(ExecError::FieldOutOfBounds {
+            field,
+            arity: tuple.fields.len(),
+        }),
+    }
+}
+
 /// `SELECT field, COUNT(*) ... GROUP BY field` over PTQ results — the shape
 /// of Queries 2 and 3 ("Publication Aggregate on Institution/Country").
 /// Returns `(value, count)` sorted by value. `field` must be a certain
-/// `U64` column (the journal id).
-pub fn group_count(results: &[PtqResult], field: usize) -> Vec<(u64, u64)> {
+/// `U64` column (the journal id); anything else is a typed [`ExecError`].
+pub fn group_count(
+    results: &[PtqResult],
+    field: usize,
+) -> std::result::Result<Vec<(u64, u64)>, ExecError> {
     let mut counts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
     for r in results {
-        let v = match &r.tuple.fields[field] {
-            Field::Certain(Datum::U64(v)) => *v,
-            other => panic!("group_count expects a certain u64 field, got {other:?}"),
-        };
-        *counts.entry(v).or_insert(0) += 1;
+        *counts.entry(group_key(&r.tuple, field)?).or_insert(0) += 1;
     }
     let mut out: Vec<(u64, u64)> = counts.into_iter().collect();
     out.sort_unstable();
-    out
+    Ok(out)
 }
 
 /// Top-k query through the UPI, used as the paper's §9 future-work
@@ -83,18 +143,22 @@ mod tests {
 
     #[test]
     fn group_count_counts_per_value() {
-        let rows = vec![result(3, 0.9), result(1, 0.5), result(3, 0.2), result(2, 0.8)];
-        assert_eq!(group_count(&rows, 0), vec![(1, 1), (2, 1), (3, 2)]);
+        let rows = vec![
+            result(3, 0.9),
+            result(1, 0.5),
+            result(3, 0.2),
+            result(2, 0.8),
+        ];
+        assert_eq!(group_count(&rows, 0).unwrap(), vec![(1, 1), (2, 1), (3, 2)]);
     }
 
     #[test]
     fn group_count_empty() {
-        assert!(group_count(&[], 0).is_empty());
+        assert!(group_count(&[], 0).unwrap().is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "certain u64")]
-    fn group_count_rejects_wrong_field() {
+    fn group_count_rejects_wrong_field_type() {
         let r = PtqResult {
             tuple: Tuple::new(
                 TupleId(0),
@@ -103,6 +167,18 @@ mod tests {
             ),
             confidence: 1.0,
         };
-        group_count(&[r], 0);
+        match group_count(&[r], 0) {
+            Err(ExecError::NotCertainU64 { field: 0, .. }) => {}
+            other => panic!("expected NotCertainU64, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_count_rejects_out_of_bounds_field() {
+        let r = result(1, 0.5);
+        match group_count(&[r], 9) {
+            Err(ExecError::FieldOutOfBounds { field: 9, arity: 1 }) => {}
+            other => panic!("expected FieldOutOfBounds, got {other:?}"),
+        }
     }
 }

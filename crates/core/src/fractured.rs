@@ -386,6 +386,13 @@ impl FracturedUpi {
         &self.main
     }
 
+    /// Every on-disk component in age order (main first, then fractures
+    /// oldest-to-newest) — the planner prices one open + descent per
+    /// component (`N_frac + 1` of the §6.2 model).
+    pub fn components(&self) -> impl Iterator<Item = &DiscreteUpi> {
+        std::iter::once(&self.main).chain(self.fractures.iter().map(|f| &f.upi))
+    }
+
     /// Live bytes across every on-disk component.
     pub fn total_bytes(&self) -> u64 {
         self.main.total_bytes()
@@ -517,7 +524,8 @@ mod tests {
         f.load_initial(&initial).unwrap();
         for batch in 0..3u64 {
             for i in 0..50u64 {
-                f.insert(author(1000 + batch * 50 + i, i % 10, 0.85)).unwrap();
+                f.insert(author(1000 + batch * 50 + i, i % 10, 0.85))
+                    .unwrap();
             }
             for i in 0..5u64 {
                 f.delete(TupleId(batch * 5 + i)).unwrap();

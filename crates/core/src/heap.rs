@@ -6,7 +6,7 @@
 //! (sequential) while point fetches by id from an index scatter across the
 //! file.
 
-use upi_btree::BTree;
+use upi_btree::{BTree, Cursor, TreeStats};
 use upi_storage::error::Result;
 use upi_storage::Store;
 use upi_uncertain::tuple::{decode_tuple, encode_tuple};
@@ -59,11 +59,15 @@ impl UnclusteredHeap {
 
     /// Sequentially scan every tuple in id order.
     pub fn scan(&self) -> Result<Vec<Tuple>> {
-        Ok(self
-            .tree
-            .iter()?
-            .map(|(_, v)| decode_tuple(&v))
-            .collect())
+        Ok(self.tree.iter()?.map(|(_, v)| decode_tuple(&v)).collect())
+    }
+
+    /// Streaming sequential scan in id order (the full-table-scan access
+    /// path of the `upi-query` executor).
+    pub fn scan_run(&self) -> Result<HeapScanRun<'_>> {
+        Ok(HeapScanRun {
+            cur: self.tree.first()?,
+        })
     }
 
     /// Number of tuples.
@@ -84,6 +88,32 @@ impl UnclusteredHeap {
     /// Height of the backing B+Tree (cost-model `H`).
     pub fn height(&self) -> usize {
         self.tree.height()
+    }
+
+    /// Tree statistics of the backing file (cost-model `S_table`,
+    /// `N_leaf`, `H`).
+    pub fn stats(&self) -> TreeStats {
+        self.tree.stats()
+    }
+}
+
+/// Streaming full-scan iterator (see [`UnclusteredHeap::scan_run`]).
+pub struct HeapScanRun<'a> {
+    cur: Cursor<'a>,
+}
+
+impl Iterator for HeapScanRun<'_> {
+    type Item = Result<Tuple>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if !self.cur.valid() {
+            return None;
+        }
+        let tuple = decode_tuple(self.cur.value());
+        if let Err(e) = self.cur.advance() {
+            return Some(Err(e));
+        }
+        Some(Ok(tuple))
     }
 }
 

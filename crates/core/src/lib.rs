@@ -58,11 +58,11 @@ pub mod upi;
 pub use continuous::{ContinuousConfig, ContinuousSecondary, ContinuousUpi, SecondaryUTree};
 pub use cost::{CostModel, CostParams};
 pub use cutoff::CutoffIndex;
-pub use exec::{group_count, top_k, PtqResult};
+pub use exec::{group_count, top_k, ExecError, PtqResult};
 pub use fractured::{FracturedConfig, FracturedUpi};
-pub use heap::UnclusteredHeap;
-pub use pii::Pii;
-pub use secondary::SecondaryIndex;
+pub use heap::{HeapScanRun, UnclusteredHeap};
+pub use pii::{Pii, PiiRun};
+pub use secondary::{SecEntry, SecondaryIndex};
 pub use table::{TableLayout, UncertainTable};
 pub use tuning::{CutoffChoice, TuningAdvisor, WorkloadProfile};
-pub use upi::{DiscreteUpi, UpiConfig};
+pub use upi::{DiscreteUpi, DistinctScan, HeapRun, UpiConfig};

@@ -11,10 +11,10 @@
 //! is what produces the saturation behaviour of §6.3 — at low thresholds
 //! the fetch degenerates into a near-full table scan.
 
-use upi_btree::BTree;
+use upi_btree::{BTree, Cursor};
 use upi_storage::error::Result;
 use upi_storage::Store;
-use upi_uncertain::{Tuple, TupleId};
+use upi_uncertain::{AttrStats, Tuple, TupleId};
 
 use crate::exec::PtqResult;
 use crate::heap::UnclusteredHeap;
@@ -24,6 +24,7 @@ use crate::keys;
 pub struct Pii {
     attr: usize,
     tree: BTree,
+    stats: AttrStats,
 }
 
 impl Pii {
@@ -32,6 +33,7 @@ impl Pii {
         Ok(Pii {
             attr,
             tree: BTree::create(store, name, page_size)?,
+            stats: AttrStats::new(),
         })
     }
 
@@ -56,8 +58,9 @@ impl Pii {
     {
         let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
         for t in tuples {
-            for (v, p) in self.folded_alts(t) {
+            for (i, (v, p)) in self.folded_alts(t).into_iter().enumerate() {
                 entries.push((keys::entry_key(v, p, t.id.0), Vec::new()));
+                self.stats.add(v, p, i == 0);
             }
         }
         entries.sort();
@@ -66,16 +69,18 @@ impl Pii {
 
     /// Index one tuple.
     pub fn insert(&mut self, t: &Tuple) -> Result<()> {
-        for (v, p) in self.folded_alts(t) {
+        for (i, (v, p)) in self.folded_alts(t).into_iter().enumerate() {
             self.tree.insert(&keys::entry_key(v, p, t.id.0), &[])?;
+            self.stats.add(v, p, i == 0);
         }
         Ok(())
     }
 
     /// Remove a tuple's entries.
     pub fn delete(&mut self, t: &Tuple) -> Result<()> {
-        for (v, p) in self.folded_alts(t) {
+        for (i, (v, p)) in self.folded_alts(t).into_iter().enumerate() {
             self.tree.delete(&keys::entry_key(v, p, t.id.0))?;
+            self.stats.remove(v, p, i == 0);
         }
         Ok(())
     }
@@ -83,17 +88,16 @@ impl Pii {
     /// Index-only part of a PTQ: `(tid, confidence)` of every entry for
     /// `value` with confidence `≥ qt`, in descending confidence order.
     pub fn matching(&self, value: u64, qt: f64) -> Result<Vec<(u64, f64)>> {
-        let mut out = Vec::new();
-        let mut cur = self.tree.seek(&keys::value_prefix(value))?;
-        while cur.valid() {
-            let (v, prob, tid) = keys::decode_entry_key(cur.key());
-            if v != value || prob < qt {
-                break;
-            }
-            out.push((tid, prob));
-            cur.advance()?;
-        }
-        Ok(out)
+        self.matching_run(value, qt)?.collect()
+    }
+
+    /// Streaming variant of [`matching`](Self::matching): yields
+    /// `(tid, confidence)` in descending-confidence order without
+    /// materializing the inverted list (the `upi-query` executor's PII
+    /// probe operator).
+    pub fn matching_run(&self, value: u64, qt: f64) -> Result<PiiRun<'_>> {
+        let cur = self.tree.seek(&keys::value_prefix(value))?;
+        Ok(PiiRun { cur, value, qt })
     }
 
     /// Full PTQ: read qualifying pointers, sort them in heap (tid) order,
@@ -137,10 +141,8 @@ impl Pii {
             *sums.entry(tid).or_insert(0.0) += prob;
             cur.advance()?;
         }
-        let mut qualifying: Vec<(u64, f64)> = sums
-            .into_iter()
-            .filter(|&(_, conf)| conf >= qt)
-            .collect();
+        let mut qualifying: Vec<(u64, f64)> =
+            sums.into_iter().filter(|&(_, conf)| conf >= qt).collect();
         qualifying.sort_unstable_by_key(|&(tid, _)| tid);
         let mut out = Vec::with_capacity(qualifying.len());
         for (tid, confidence) in qualifying {
@@ -191,6 +193,43 @@ impl Pii {
     /// Live bytes of the backing file.
     pub fn bytes(&self) -> u64 {
         self.tree.stats().bytes
+    }
+
+    /// Height of the backing tree (cost-model `H`).
+    pub fn height(&self) -> usize {
+        self.tree.height()
+    }
+
+    /// Histogram statistics of the indexed attribute (folded
+    /// probabilities) — selectivity estimation for the planner.
+    pub fn stats(&self) -> &AttrStats {
+        &self.stats
+    }
+}
+
+/// Streaming iterator over one value's inverted list (see
+/// [`Pii::matching_run`]). Yields `(tid, confidence)` descending.
+pub struct PiiRun<'a> {
+    cur: Cursor<'a>,
+    value: u64,
+    qt: f64,
+}
+
+impl Iterator for PiiRun<'_> {
+    type Item = Result<(u64, f64)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if !self.cur.valid() {
+            return None;
+        }
+        let (v, prob, tid) = keys::decode_entry_key(self.cur.key());
+        if v != self.value || prob < self.qt {
+            return None;
+        }
+        if let Err(e) = self.cur.advance() {
+            return Some(Err(e));
+        }
+        Some(Ok((tid, prob)))
     }
 }
 

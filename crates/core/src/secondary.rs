@@ -17,7 +17,7 @@
 use upi_btree::BTree;
 use upi_storage::error::Result;
 use upi_storage::Store;
-use upi_uncertain::Tuple;
+use upi_uncertain::{AttrStats, Tuple};
 
 use crate::keys;
 
@@ -38,6 +38,7 @@ pub struct SecondaryIndex {
     attr: usize,
     tree: BTree,
     max_pointers: usize,
+    stats: AttrStats,
 }
 
 impl SecondaryIndex {
@@ -55,6 +56,7 @@ impl SecondaryIndex {
             attr,
             tree: BTree::create(store, name, page_size)?,
             max_pointers,
+            stats: AttrStats::new(),
         })
     }
 
@@ -105,6 +107,10 @@ impl SecondaryIndex {
 
     /// Bulk-load prepared entries (must be sorted by key).
     pub fn bulk_load(&mut self, entries: Vec<(Vec<u8>, Vec<u8>)>) -> Result<u64> {
+        for (key, _) in &entries {
+            let (v, p, _tid) = keys::decode_entry_key(key);
+            self.stats.add(v, p, false);
+        }
         self.tree.bulk_load(entries)
     }
 
@@ -114,6 +120,7 @@ impl SecondaryIndex {
         for &(v, p) in t.discrete(self.attr).alternatives() {
             self.tree
                 .insert(&keys::entry_key(v, p * t.exist, t.id.0), &payload)?;
+            self.stats.add(v, p * t.exist, false);
         }
         Ok(())
     }
@@ -122,6 +129,7 @@ impl SecondaryIndex {
     pub fn delete_for(&mut self, t: &Tuple) -> Result<()> {
         for &(v, p) in t.discrete(self.attr).alternatives() {
             self.tree.delete(&keys::entry_key(v, p * t.exist, t.id.0))?;
+            self.stats.remove(v, p * t.exist, false);
         }
         Ok(())
     }
@@ -163,6 +171,19 @@ impl SecondaryIndex {
     /// The storage file backing this index.
     pub fn file(&self) -> upi_storage::FileId {
         self.tree.file()
+    }
+
+    /// Height of the backing tree (cost-model `H`).
+    pub fn height(&self) -> usize {
+        self.tree.height()
+    }
+
+    /// Histogram statistics of the secondary attribute (folded
+    /// probabilities, entry granularity) — selectivity estimation for the
+    /// planner. First-alternative tracking is not meaningful at entry
+    /// granularity, so only the per-value totals are populated.
+    pub fn stats(&self) -> &AttrStats {
+        &self.stats
     }
 }
 

@@ -28,6 +28,10 @@ pub enum TableLayout {
     FracturedUpi(FracturedConfig),
 }
 
+// The unclustered variant now carries inline statistics, so variant sizes
+// differ; a table is a long-lived singleton, making the boxing churn of
+// equalizing them pointless.
+#[allow(clippy::large_enum_variant)]
 enum Inner {
     Unclustered {
         heap: UnclusteredHeap,
@@ -159,16 +163,10 @@ impl UncertainTable {
             let (name, kind) = self.schema.field(i);
             let ok = matches!(
                 (f, kind),
-                (
-                    Field::Certain(upi_uncertain::Datum::U64(_)),
-                    FieldKind::U64
-                ) | (
-                    Field::Certain(upi_uncertain::Datum::F64(_)),
-                    FieldKind::F64
-                ) | (
-                    Field::Certain(upi_uncertain::Datum::Str(_)),
-                    FieldKind::Str
-                ) | (Field::Discrete(_), FieldKind::Discrete)
+                (Field::Certain(upi_uncertain::Datum::U64(_)), FieldKind::U64)
+                    | (Field::Certain(upi_uncertain::Datum::F64(_)), FieldKind::F64)
+                    | (Field::Certain(upi_uncertain::Datum::Str(_)), FieldKind::Str)
+                    | (Field::Discrete(_), FieldKind::Discrete)
                     | (Field::Point(_), FieldKind::Point)
             );
             assert!(ok, "field '{name}' (index {i}) does not match {kind:?}");
@@ -365,10 +363,7 @@ mod tests {
 
     fn table(layout: TableLayout) -> UncertainTable {
         let mut t = UncertainTable::create(store(), "t", schema(), 1, layout).unwrap();
-        if !matches!(
-            t.inner,
-            Inner::Fractured(_)
-        ) {
+        if !matches!(t.inner, Inner::Fractured(_)) {
             t.add_secondary(2).unwrap();
         }
         t
@@ -401,7 +396,12 @@ mod tests {
             .collect();
         assert!(!reference.is_empty());
         for t in &tables[1..] {
-            let mut got: Vec<u64> = t.ptq(3, 0.2).unwrap().iter().map(|r| r.tuple.id.0).collect();
+            let mut got: Vec<u64> = t
+                .ptq(3, 0.2)
+                .unwrap()
+                .iter()
+                .map(|r| r.tuple.id.0)
+                .collect();
             let mut want = reference.clone();
             got.sort_unstable();
             want.sort_unstable();

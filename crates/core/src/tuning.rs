@@ -242,14 +242,8 @@ mod tests {
             w.record(0.3);
             w
         };
-        let (choices, _) = advisor.evaluate_cutoffs(
-            store.disk.config(),
-            &upi,
-            0,
-            &w,
-            u64::MAX,
-            &[0.0, 0.2, 0.6],
-        );
+        let (choices, _) =
+            advisor.evaluate_cutoffs(store.disk.config(), &upi, 0, &w, u64::MAX, &[0.0, 0.2, 0.6]);
         assert!(choices[0].est_bytes >= choices[1].est_bytes);
         assert!(choices[1].est_bytes >= choices[2].est_bytes);
     }
@@ -263,14 +257,8 @@ mod tests {
             deep.record(0.02); // every query dives below any cutoff
         }
         let candidates = [0.0, 0.3, 0.6];
-        let (choices, pick) = advisor.evaluate_cutoffs(
-            store.disk.config(),
-            &upi,
-            0,
-            &deep,
-            u64::MAX,
-            &candidates,
-        );
+        let (choices, pick) =
+            advisor.evaluate_cutoffs(store.disk.config(), &upi, 0, &deep, u64::MAX, &candidates);
         assert_eq!(
             candidates[pick], 0.0,
             "deep scans should pick no cutoff: {choices:?}"

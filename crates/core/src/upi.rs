@@ -3,7 +3,7 @@
 
 use std::collections::HashSet;
 
-use upi_btree::{BTree, TreeStats};
+use upi_btree::{BTree, Cursor, TreeStats};
 use upi_storage::codec::quantize_prob;
 use upi_storage::error::Result;
 use upi_storage::Store;
@@ -192,10 +192,7 @@ impl DiscreteUpi {
             }
             let (fv, fp) = heap_alts[0];
             for &(v, p) in &cut_alts {
-                cut_entries.push((
-                    keys::entry_key(v, p, t.id.0),
-                    keys::pointer_bytes(fv, fp),
-                ));
+                cut_entries.push((keys::entry_key(v, p, t.id.0), keys::pointer_bytes(fv, fp)));
             }
             for (i, sec) in self.secondaries.iter().enumerate() {
                 sec.prepare_entries(t, &heap_alts, &mut sec_entries[i]);
@@ -226,22 +223,34 @@ impl DiscreteUpi {
         limit: Option<usize>,
     ) -> Result<Vec<PtqResult>> {
         let mut out = Vec::new();
-        let mut cur = self.heap.seek(&keys::value_prefix(value))?;
-        while cur.valid() {
-            let (v, prob, _tid) = keys::decode_entry_key(cur.key());
-            if v != value || prob < qt {
-                break;
-            }
-            out.push(PtqResult {
-                tuple: decode_tuple(cur.value()),
-                confidence: prob,
-            });
+        for r in self.heap_run(value, qt)? {
+            out.push(r?);
             if limit.is_some_and(|k| out.len() >= k) {
                 break;
             }
-            cur.advance()?;
         }
         Ok(out)
+    }
+
+    /// Streaming cursor over the heap run of `value` with confidence
+    /// `≥ qt`: one index seek, then sequential leaf-chain reads, yielding
+    /// results in descending-confidence order without materializing the
+    /// run. This is the accessor the `upi-query` streaming executor builds
+    /// its `IndexRun` operator on.
+    pub fn heap_run(&self, value: u64, qt: f64) -> Result<HeapRun<'_>> {
+        let cur = self.heap.seek(&keys::value_prefix(value))?;
+        Ok(HeapRun { cur, value, qt })
+    }
+
+    /// Streaming scan of the whole heap yielding each distinct tuple once
+    /// (its first-alternative copy, which Algorithm 1 guarantees to be
+    /// heap-resident) — the full-scan fallback access path.
+    pub fn distinct_scan(&self) -> Result<DistinctScan<'_>> {
+        let cur = self.heap.first()?;
+        Ok(DistinctScan {
+            cur,
+            attr: self.attr,
+        })
     }
 
     /// Fetch the heap copy stored under primary key `(value, prob, tid)`.
@@ -428,20 +437,7 @@ impl DiscreteUpi {
     /// keeping only each tuple's first-alternative copy (which Algorithm 1
     /// guarantees to be present). This is the merge path's full read (§4.3).
     pub fn scan_tuples(&self) -> Result<Vec<Tuple>> {
-        let mut out = Vec::new();
-        let mut cur = self.heap.first()?;
-        while cur.valid() {
-            let (v, prob, _tid) = keys::decode_entry_key(cur.key());
-            let t = decode_tuple(cur.value());
-            let first = t.discrete(self.attr).first();
-            // Is this copy the first alternative? Compare on the quantized
-            // grid the key uses.
-            if first.0 == v && quantize_prob(first.1 * t.exist) == quantize_prob(prob) {
-                out.push(t);
-            }
-            cur.advance()?;
-        }
-        Ok(out)
+        self.distinct_scan()?.collect()
     }
 
     /// Number of distinct tuples.
@@ -492,6 +488,66 @@ impl DiscreteUpi {
         // pages are ignored by the pool.
         self.store.pool.clear();
         Ok(())
+    }
+}
+
+/// Streaming iterator over one value's heap run (see
+/// [`DiscreteUpi::heap_run`]). Yields entries in `{prob DESC, tid}` order
+/// and stops at the first entry of a different value or below the
+/// threshold.
+pub struct HeapRun<'a> {
+    cur: Cursor<'a>,
+    value: u64,
+    qt: f64,
+}
+
+impl Iterator for HeapRun<'_> {
+    type Item = Result<PtqResult>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if !self.cur.valid() {
+            return None;
+        }
+        let (v, prob, _tid) = keys::decode_entry_key(self.cur.key());
+        if v != self.value || prob < self.qt {
+            return None;
+        }
+        let tuple = decode_tuple(self.cur.value());
+        if let Err(e) = self.cur.advance() {
+            return Some(Err(e));
+        }
+        Some(Ok(PtqResult {
+            tuple,
+            confidence: prob,
+        }))
+    }
+}
+
+/// Streaming full-heap scan yielding each distinct tuple once (see
+/// [`DiscreteUpi::distinct_scan`]).
+pub struct DistinctScan<'a> {
+    cur: Cursor<'a>,
+    attr: usize,
+}
+
+impl Iterator for DistinctScan<'_> {
+    type Item = Result<Tuple>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.cur.valid() {
+            let (v, prob, _tid) = keys::decode_entry_key(self.cur.key());
+            let t = decode_tuple(self.cur.value());
+            if let Err(e) = self.cur.advance() {
+                return Some(Err(e));
+            }
+            let first = t.discrete(self.attr).first();
+            // Keep only the first-alternative copy, comparing on the
+            // quantized grid the key uses (as in scan_tuples).
+            if first.0 == v && quantize_prob(first.1 * t.exist) == quantize_prob(prob) {
+                return Some(Ok(t));
+            }
+        }
+        None
     }
 }
 
@@ -685,10 +741,7 @@ mod tests {
                     1.0,
                     vec![
                         Field::Certain(Datum::Str(format!("pad-{i}-{}", "x".repeat(64)))),
-                        Field::Discrete(DiscretePmf::new(vec![
-                            (i % 5, 0.7),
-                            ((i % 5) + 5, 0.3),
-                        ])),
+                        Field::Discrete(DiscretePmf::new(vec![(i % 5, 0.7), ((i % 5) + 5, 0.3)])),
                     ],
                 )
             })

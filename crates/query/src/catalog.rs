@@ -1,0 +1,93 @@
+//! The catalog: which access structures exist for planning.
+
+use upi::{
+    ContinuousSecondary, ContinuousUpi, DiscreteUpi, FracturedUpi, Pii, SecondaryUTree,
+    UnclusteredHeap,
+};
+use upi_storage::DiskConfig;
+
+/// Everything the planner may route a query through, with the disk
+/// parameters it prices I/O against. All references borrow the caller's
+/// live structures, so estimates always reflect current sizes and
+/// statistics.
+///
+/// A catalog usually describes *one* table's physical design (e.g. an
+/// unclustered heap + PII baseline next to a UPI over the same rows, as in
+/// the paper's evaluation setups); the planner assumes every structure
+/// indexes the same logical row set.
+pub struct Catalog<'a> {
+    /// Disk cost parameters (Table 6).
+    pub disk: &'a DiskConfig,
+    /// A discrete UPI (clustered heap + cutoff index + secondaries).
+    pub upi: Option<&'a DiscreteUpi>,
+    /// A fractured (LSM-maintained) UPI.
+    pub fractured: Option<&'a FracturedUpi>,
+    /// An unclustered heap (required by the PII and full-scan paths).
+    pub heap: Option<&'a UnclusteredHeap>,
+    /// PII baselines over the unclustered heap, any attributes.
+    pub piis: Vec<&'a Pii>,
+    /// A continuous UPI (R-Tree-clustered heap).
+    pub cupi: Option<&'a ContinuousUpi>,
+    /// PII-style segment indexes over the continuous UPI.
+    pub cont_secondaries: Vec<&'a ContinuousSecondary>,
+    /// A secondary U-Tree over the unclustered heap.
+    pub utree: Option<&'a SecondaryUTree>,
+}
+
+impl<'a> Catalog<'a> {
+    /// Empty catalog over the given disk parameters.
+    pub fn new(disk: &'a DiskConfig) -> Catalog<'a> {
+        Catalog {
+            disk,
+            upi: None,
+            fractured: None,
+            heap: None,
+            piis: Vec::new(),
+            cupi: None,
+            cont_secondaries: Vec::new(),
+            utree: None,
+        }
+    }
+
+    /// Register a discrete UPI.
+    pub fn with_upi(mut self, upi: &'a DiscreteUpi) -> Catalog<'a> {
+        self.upi = Some(upi);
+        self
+    }
+
+    /// Register a fractured UPI.
+    pub fn with_fractured(mut self, f: &'a FracturedUpi) -> Catalog<'a> {
+        self.fractured = Some(f);
+        self
+    }
+
+    /// Register an unclustered heap.
+    pub fn with_heap(mut self, heap: &'a UnclusteredHeap) -> Catalog<'a> {
+        self.heap = Some(heap);
+        self
+    }
+
+    /// Register a PII over the unclustered heap.
+    pub fn with_pii(mut self, pii: &'a Pii) -> Catalog<'a> {
+        self.piis.push(pii);
+        self
+    }
+
+    /// Register a continuous UPI.
+    pub fn with_cupi(mut self, cupi: &'a ContinuousUpi) -> Catalog<'a> {
+        self.cupi = Some(cupi);
+        self
+    }
+
+    /// Register a segment index over the continuous UPI.
+    pub fn with_cont_secondary(mut self, s: &'a ContinuousSecondary) -> Catalog<'a> {
+        self.cont_secondaries.push(s);
+        self
+    }
+
+    /// Register a secondary U-Tree over the unclustered heap.
+    pub fn with_utree(mut self, utree: &'a SecondaryUTree) -> Catalog<'a> {
+        self.utree = Some(utree);
+        self
+    }
+}

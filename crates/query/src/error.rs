@@ -1,0 +1,81 @@
+//! Typed planner / executor errors.
+
+use upi::ExecError;
+use upi_storage::StorageError;
+
+/// Why no physical plan could be produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// No access structure in the catalog can answer the predicate.
+    NoAccessPath {
+        /// Human-readable description of what was missing.
+        reason: String,
+    },
+    /// The query itself is malformed (inverted range, QT out of `[0, 1]`,
+    /// zero-sized top-k, …).
+    InvalidQuery {
+        /// What is wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::NoAccessPath { reason } => write!(f, "no access path: {reason}"),
+            PlanError::InvalidQuery { reason } => write!(f, "invalid query: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Errors surfaced while executing a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The storage layer failed (dangling page, …).
+    Storage(StorageError),
+    /// An executor helper rejected the query shape (bad group field, …).
+    Exec(ExecError),
+    /// Planning failed.
+    Plan(PlanError),
+    /// The plan references a catalog entry that is no longer present
+    /// (e.g. planned against one catalog, executed against another).
+    CatalogMismatch {
+        /// What the plan needed.
+        missing: String,
+    },
+}
+
+impl From<StorageError> for QueryError {
+    fn from(e: StorageError) -> QueryError {
+        QueryError::Storage(e)
+    }
+}
+
+impl From<ExecError> for QueryError {
+    fn from(e: ExecError) -> QueryError {
+        QueryError::Exec(e)
+    }
+}
+
+impl From<PlanError> for QueryError {
+    fn from(e: PlanError) -> QueryError {
+        QueryError::Plan(e)
+    }
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Storage(e) => write!(f, "storage error: {e}"),
+            QueryError::Exec(e) => write!(f, "executor error: {e}"),
+            QueryError::Plan(e) => write!(f, "plan error: {e}"),
+            QueryError::CatalogMismatch { missing } => {
+                write!(f, "catalog no longer provides {missing}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

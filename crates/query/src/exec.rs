@@ -1,0 +1,481 @@
+//! The streaming executor.
+//!
+//! Rows flow as `Iterator<Item = Result<PtqResult, QueryError>>` from a
+//! source operator into the sink pipeline (`Filter` is fused into every
+//! source; `TopK`, `GroupCount`, `Project` run at the sink). Sources that
+//! have a natural streaming cursor (`IndexRun`, `CutoffMerge`, `PiiProbe`,
+//! the two full scans) stream page-at-a-time through the B+Tree cursors;
+//! algorithms that are inherently batch (tailored secondary access,
+//! fractured merges, R-Tree circle queries) delegate to the owning index
+//! structure and feed its rows through the same sinks.
+
+use upi::exec::group_count;
+use upi::{DiscreteUpi, HeapRun, HeapScanRun, Pii, PtqResult, UnclusteredHeap};
+use upi_storage::codec::{dequantize_prob, quantize_prob};
+use upi_storage::error::Result as StorageResult;
+use upi_uncertain::Tuple;
+
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+use crate::plan::{AccessPath, PhysicalPlan};
+use crate::query::{Predicate, PtqQuery};
+
+/// The answer of an executed plan.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutput {
+    /// Qualifying rows, descending confidence then ascending tuple id.
+    /// Empty when the query aggregates (`group_count`).
+    pub rows: Vec<PtqResult>,
+    /// `(group value, count)` pairs, ascending, when the query groups.
+    pub groups: Option<Vec<(u64, u64)>>,
+}
+
+impl QueryOutput {
+    /// Row count (or number of groups for aggregates).
+    pub fn len(&self) -> usize {
+        match &self.groups {
+            Some(g) => g.len(),
+            None => self.rows.len(),
+        }
+    }
+
+    /// True when nothing qualified.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming source operators
+// ---------------------------------------------------------------------------
+
+/// `IndexRun` — streams one value's UPI heap run (seek + sequential).
+pub struct IndexRun<'a> {
+    inner: HeapRun<'a>,
+}
+
+impl<'a> IndexRun<'a> {
+    /// Open the run for `value` at threshold `qt`.
+    pub fn open(upi: &'a DiscreteUpi, value: u64, qt: f64) -> StorageResult<IndexRun<'a>> {
+        Ok(IndexRun {
+            inner: upi.heap_run(value, qt)?,
+        })
+    }
+}
+
+impl Iterator for IndexRun<'_> {
+    type Item = Result<PtqResult, QueryError>;
+    fn next(&mut self) -> Option<Self::Item> {
+        Some(self.inner.next()?.map_err(QueryError::from))
+    }
+}
+
+/// `CutoffMerge` — drains the heap run, then dereferences the qualifying
+/// cutoff pointers in heap (physical) order, lazily: Algorithm 2 as a
+/// streaming operator.
+pub struct CutoffMerge<'a> {
+    run: Option<IndexRun<'a>>,
+    upi: &'a DiscreteUpi,
+    /// `(first_value, first_prob, tid, confidence)` in heap key order.
+    pending: std::vec::IntoIter<(u64, f64, u64, f64)>,
+}
+
+impl<'a> CutoffMerge<'a> {
+    /// Open over `upi` for a point PTQ `(value, qt)`; reads the cutoff
+    /// index eagerly (it is a compact pointer list) but fetches heap
+    /// targets lazily.
+    pub fn open(
+        upi: &'a DiscreteUpi,
+        value: u64,
+        qt: f64,
+        use_cutoff: bool,
+    ) -> StorageResult<CutoffMerge<'a>> {
+        let run = IndexRun::open(upi, value, qt)?;
+        let mut pointers = Vec::new();
+        if use_cutoff {
+            for cp in upi.cutoff_index().scan(value, qt)? {
+                pointers.push((cp.first_value, cp.first_prob, cp.tid, cp.prob));
+            }
+            // Visit heap targets in physical (key) order.
+            pointers.sort_unstable_by_key(|&(v, p, tid, _)| (v, u32::MAX - quantize_prob(p), tid));
+        }
+        Ok(CutoffMerge {
+            run: Some(run),
+            upi,
+            pending: pointers.into_iter(),
+        })
+    }
+}
+
+impl Iterator for CutoffMerge<'_> {
+    type Item = Result<PtqResult, QueryError>;
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(run) = &mut self.run {
+            match run.next() {
+                Some(item) => return Some(item),
+                None => self.run = None,
+            }
+        }
+        let (v, p, tid, confidence) = self.pending.next()?;
+        match self.upi.fetch_by_pointer(v, p, tid) {
+            Ok(Some(tuple)) => Some(Ok(PtqResult { tuple, confidence })),
+            Ok(None) => Some(Err(QueryError::CatalogMismatch {
+                missing: format!("heap copy for cutoff pointer ({v}, {p}, {tid})"),
+            })),
+            Err(e) => Some(Err(e.into())),
+        }
+    }
+}
+
+/// `PiiProbe` — streams the inverted list, then fetches qualifying tuples
+/// from the unclustered heap in tid (bitmap) order, lazily.
+pub struct PiiProbe<'a> {
+    heap: &'a UnclusteredHeap,
+    pending: std::vec::IntoIter<(u64, f64)>,
+}
+
+impl<'a> PiiProbe<'a> {
+    /// Open over `pii` + `heap` for a point PTQ `(value, qt)`.
+    pub fn open(
+        pii: &'a Pii,
+        heap: &'a UnclusteredHeap,
+        value: u64,
+        qt: f64,
+    ) -> StorageResult<PiiProbe<'a>> {
+        let mut matches: Vec<(u64, f64)> = Vec::new();
+        for m in pii.matching_run(value, qt)? {
+            matches.push(m?);
+        }
+        matches.sort_unstable_by_key(|&(tid, _)| tid);
+        Ok(PiiProbe {
+            heap,
+            pending: matches.into_iter(),
+        })
+    }
+}
+
+impl Iterator for PiiProbe<'_> {
+    type Item = Result<PtqResult, QueryError>;
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (tid, confidence) = self.pending.next()?;
+            match self.heap.get(upi_uncertain::TupleId(tid)) {
+                Ok(Some(tuple)) => return Some(Ok(PtqResult { tuple, confidence })),
+                Ok(None) => continue, // tuple deleted under the index
+                Err(e) => return Some(Err(e.into())),
+            }
+        }
+    }
+}
+
+/// Confidence of `tuple` for a discrete predicate, on the quantized grid
+/// the index keys use (so scans agree bit-for-bit with index paths).
+fn scan_confidence(tuple: &Tuple, pred: &Predicate) -> f64 {
+    let q = |p: f64| dequantize_prob(quantize_prob(p));
+    match *pred {
+        Predicate::Eq { attr, value } => q(tuple.confidence_eq(attr, value)),
+        Predicate::Range { attr, lo, hi } => tuple
+            .discrete(attr)
+            .alternatives()
+            .iter()
+            .filter(|&&(v, _)| (lo..=hi).contains(&v))
+            .map(|&(_, p)| q(p * tuple.exist))
+            .sum(),
+        Predicate::Circle { .. } => 0.0, // circle scans are not enumerated
+    }
+}
+
+/// `HeapScan` — full sequential scan with a fused confidence `Filter`.
+pub struct HeapScan<'a> {
+    inner: HeapScanRun<'a>,
+    pred: Predicate,
+    qt: f64,
+}
+
+impl<'a> HeapScan<'a> {
+    /// Open over the unclustered heap.
+    pub fn open(
+        heap: &'a UnclusteredHeap,
+        pred: Predicate,
+        qt: f64,
+    ) -> StorageResult<HeapScan<'a>> {
+        Ok(HeapScan {
+            inner: heap.scan_run()?,
+            pred,
+            qt,
+        })
+    }
+}
+
+impl Iterator for HeapScan<'_> {
+    type Item = Result<PtqResult, QueryError>;
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let tuple = match self.inner.next()? {
+                Ok(t) => t,
+                Err(e) => return Some(Err(e.into())),
+            };
+            let confidence = scan_confidence(&tuple, &self.pred);
+            if confidence > 0.0 && confidence >= self.qt {
+                return Some(Ok(PtqResult { tuple, confidence }));
+            }
+        }
+    }
+}
+
+/// `UpiFullScan` — sequential scan of the clustered heap's distinct
+/// tuples with a fused confidence `Filter`.
+pub struct UpiFullScan<'a> {
+    inner: upi::DistinctScan<'a>,
+    pred: Predicate,
+    qt: f64,
+}
+
+impl<'a> UpiFullScan<'a> {
+    /// Open over the UPI's clustered heap.
+    pub fn open(upi: &'a DiscreteUpi, pred: Predicate, qt: f64) -> StorageResult<UpiFullScan<'a>> {
+        Ok(UpiFullScan {
+            inner: upi.distinct_scan()?,
+            pred,
+            qt,
+        })
+    }
+}
+
+impl Iterator for UpiFullScan<'_> {
+    type Item = Result<PtqResult, QueryError>;
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let tuple = match self.inner.next()? {
+                Ok(t) => t,
+                Err(e) => return Some(Err(e.into())),
+            };
+            let confidence = scan_confidence(&tuple, &self.pred);
+            if confidence > 0.0 && confidence >= self.qt {
+                return Some(Ok(PtqResult { tuple, confidence }));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+fn collect_stream(
+    stream: impl Iterator<Item = Result<PtqResult, QueryError>>,
+) -> Result<Vec<PtqResult>, QueryError> {
+    let mut rows = Vec::new();
+    for r in stream {
+        rows.push(r?);
+    }
+    Ok(rows)
+}
+
+/// Present rows the way every index path does: descending confidence,
+/// ties by ascending tuple id.
+fn sort_rows(rows: &mut [PtqResult]) {
+    rows.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .unwrap()
+            .then_with(|| a.tuple.id.cmp(&b.tuple.id))
+    });
+}
+
+fn project_rows(rows: &mut [PtqResult], fields: &[usize]) -> Result<(), QueryError> {
+    for r in rows.iter_mut() {
+        let mut projected = Vec::with_capacity(fields.len());
+        for &f in fields {
+            match r.tuple.fields.get(f) {
+                Some(field) => projected.push(field.clone()),
+                None => {
+                    return Err(upi::ExecError::FieldOutOfBounds {
+                        field: f,
+                        arity: r.tuple.fields.len(),
+                    }
+                    .into())
+                }
+            }
+        }
+        r.tuple = Tuple::new(r.tuple.id, r.tuple.exist, projected);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Plan execution
+// ---------------------------------------------------------------------------
+
+fn eq_params(q: &PtqQuery) -> Result<(usize, u64), QueryError> {
+    match q.predicate {
+        Predicate::Eq { attr, value } => Ok((attr, value)),
+        _ => Err(QueryError::CatalogMismatch {
+            missing: "equality predicate for a point access path".into(),
+        }),
+    }
+}
+
+fn need<T: Copy>(entry: Option<T>, what: &str) -> Result<T, QueryError> {
+    entry.ok_or_else(|| QueryError::CatalogMismatch {
+        missing: what.to_string(),
+    })
+}
+
+/// Produce the (threshold-filtered, unsorted) row set of the chosen path.
+fn fetch_rows(
+    path: &AccessPath,
+    q: &PtqQuery,
+    catalog: &Catalog<'_>,
+) -> Result<Vec<PtqResult>, QueryError> {
+    match path {
+        AccessPath::UpiHeap { use_cutoff } => {
+            let upi = need(catalog.upi, "the discrete UPI")?;
+            let (_, value) = eq_params(q)?;
+            if let Some(k) = q.top_k {
+                // Early-terminating top-k (§3.1): the heap run and cutoff
+                // list are both probability-ordered, so at most k entries
+                // of each matter. Thresholding keeps the sorted prefix.
+                let mut rows = upi::top_k(upi, value, k)?;
+                rows.retain(|r| r.confidence >= q.qt);
+                return Ok(rows);
+            }
+            collect_stream(CutoffMerge::open(upi, value, q.qt, *use_cutoff)?)
+        }
+        AccessPath::UpiRange => {
+            let upi = need(catalog.upi, "the discrete UPI")?;
+            match q.predicate {
+                Predicate::Range { lo, hi, .. } => Ok(upi.ptq_range(lo, hi, q.qt)?),
+                _ => Err(QueryError::CatalogMismatch {
+                    missing: "range predicate for UpiRange".into(),
+                }),
+            }
+        }
+        AccessPath::UpiSecondary { index, tailored } => {
+            let upi = need(catalog.upi, "the discrete UPI")?;
+            if *index >= upi.secondaries().len() {
+                return Err(QueryError::CatalogMismatch {
+                    missing: format!("upi secondary #{index}"),
+                });
+            }
+            let (_, value) = eq_params(q)?;
+            Ok(upi.ptq_secondary(*index, value, q.qt, *tailored)?)
+        }
+        AccessPath::FracturedProbe => {
+            let f = need(catalog.fractured, "the fractured UPI")?;
+            let (_, value) = eq_params(q)?;
+            Ok(f.ptq(value, q.qt)?)
+        }
+        AccessPath::FracturedRange => {
+            let f = need(catalog.fractured, "the fractured UPI")?;
+            match q.predicate {
+                Predicate::Range { lo, hi, .. } => Ok(f.ptq_range(lo, hi, q.qt)?),
+                _ => Err(QueryError::CatalogMismatch {
+                    missing: "range predicate for FracturedRange".into(),
+                }),
+            }
+        }
+        AccessPath::FracturedSecondary { index, tailored } => {
+            let f = need(catalog.fractured, "the fractured UPI")?;
+            if *index >= f.main().secondaries().len() {
+                return Err(QueryError::CatalogMismatch {
+                    missing: format!("fractured secondary #{index}"),
+                });
+            }
+            let (_, value) = eq_params(q)?;
+            Ok(f.ptq_secondary(*index, value, q.qt, *tailored)?)
+        }
+        AccessPath::PiiProbe { index } => {
+            let heap = need(catalog.heap, "the unclustered heap")?;
+            let pii = *catalog
+                .piis
+                .get(*index)
+                .ok_or(QueryError::CatalogMismatch {
+                    missing: format!("pii #{index}"),
+                })?;
+            let (_, value) = eq_params(q)?;
+            collect_stream(PiiProbe::open(pii, heap, value, q.qt)?)
+        }
+        AccessPath::PiiRange { index } => {
+            let heap = need(catalog.heap, "the unclustered heap")?;
+            let pii = *catalog
+                .piis
+                .get(*index)
+                .ok_or(QueryError::CatalogMismatch {
+                    missing: format!("pii #{index}"),
+                })?;
+            match q.predicate {
+                Predicate::Range { lo, hi, .. } => Ok(pii.ptq_range(heap, lo, hi, q.qt)?),
+                _ => Err(QueryError::CatalogMismatch {
+                    missing: "range predicate for PiiRange".into(),
+                }),
+            }
+        }
+        AccessPath::HeapScan => {
+            let heap = need(catalog.heap, "the unclustered heap")?;
+            collect_stream(HeapScan::open(heap, q.predicate.clone(), q.qt)?)
+        }
+        AccessPath::UpiFullScan => {
+            let upi = need(catalog.upi, "the discrete UPI")?;
+            collect_stream(UpiFullScan::open(upi, q.predicate.clone(), q.qt)?)
+        }
+        AccessPath::ContinuousCircle => {
+            let cupi = need(catalog.cupi, "the continuous UPI")?;
+            match q.predicate {
+                Predicate::Circle { x, y, radius, .. } => {
+                    Ok(cupi.query_circle(x, y, radius, q.qt)?)
+                }
+                _ => Err(QueryError::CatalogMismatch {
+                    missing: "circle predicate for ContinuousCircle".into(),
+                }),
+            }
+        }
+        AccessPath::UTreeCircle => {
+            let utree = need(catalog.utree, "the secondary U-Tree")?;
+            let heap = need(catalog.heap, "the unclustered heap")?;
+            match q.predicate {
+                Predicate::Circle { x, y, radius, .. } => {
+                    Ok(utree.query_circle(heap, x, y, radius, q.qt)?)
+                }
+                _ => Err(QueryError::CatalogMismatch {
+                    missing: "circle predicate for UTreeCircle".into(),
+                }),
+            }
+        }
+        AccessPath::ContinuousSecondaryProbe { index } => {
+            let cupi = need(catalog.cupi, "the continuous UPI")?;
+            let cs = *catalog
+                .cont_secondaries
+                .get(*index)
+                .ok_or(QueryError::CatalogMismatch {
+                    missing: format!("continuous secondary #{index}"),
+                })?;
+            let (_, value) = eq_params(q)?;
+            Ok(cs.ptq(cupi, value, q.qt)?)
+        }
+    }
+}
+
+/// Run a plan: source → sort → top-k → group/project.
+pub(crate) fn execute(
+    plan: &PhysicalPlan,
+    catalog: &Catalog<'_>,
+) -> Result<QueryOutput, QueryError> {
+    let q = &plan.query;
+    let mut rows = fetch_rows(plan.path(), q, catalog)?;
+    sort_rows(&mut rows);
+    if let Some(k) = q.top_k {
+        rows.truncate(k);
+    }
+    if let Some(field) = q.group_count {
+        // Aggregate output: rows feed the counting sink and are dropped.
+        return Ok(QueryOutput {
+            rows: Vec::new(),
+            groups: Some(group_count(&rows, field)?),
+        });
+    }
+    if let Some(fields) = &q.projection {
+        project_rows(&mut rows, fields)?;
+    }
+    Ok(QueryOutput { rows, groups: None })
+}

@@ -1,0 +1,80 @@
+//! # upi-query — cost-based access-path planning for PTQs
+//!
+//! The paper's central argument is that the *choice of access path* —
+//! clustered UPI heap run vs. cutoff-index merge vs. tailored secondary
+//! access vs. the PII baseline (Singh et al., ICDE'07) — dominates the
+//! cost of a probabilistic threshold query, and that the §6 cost models
+//! make that choice analytically. This crate closes the loop: it turns a
+//! *logical* query description into the cheapest *physical* plan over
+//! whatever index structures exist, and executes it through one streaming
+//! engine.
+//!
+//! ## The three layers
+//!
+//! 1. **[`PtqQuery`]** — the logical query: a point, range, or circle
+//!    predicate, a confidence threshold `QT`, and optional top-k,
+//!    group-count, and projection clauses. Queries 1–5 of the paper's
+//!    evaluation are all expressible.
+//! 2. **The planner** ([`PtqQuery::plan`]) — enumerates every *candidate*
+//!    access path the [`Catalog`] supports for the predicate, prices each
+//!    with the §6 cost models (`upi::CostModel`) fed by **live
+//!    statistics** (tree heights, live bytes, leaf counts, the §6.1
+//!    probability histograms, fracture counts), and returns a
+//!    [`PhysicalPlan`] whose [`explain`](PhysicalPlan::explain) rendering
+//!    shows the operator tree and the full ranked candidate table.
+//! 3. **The executor** ([`PhysicalPlan::execute`]) — iterator-based
+//!    streaming operators (`IndexRun`, `CutoffMerge`, `PiiProbe`,
+//!    `HeapScan`, `Filter`, `TopK`, `GroupCount`, `Project`) over the
+//!    streaming cursors the index crates expose (`DiscreteUpi::heap_run`,
+//!    `Pii::matching_run`, `UnclusteredHeap::scan_run`). Access paths
+//!    whose algorithms are inherently batch (tailored secondary access,
+//!    fractured multi-component probes, R-Tree circle queries) delegate to
+//!    the index structure and feed its rows through the same sink
+//!    operators, so every query — whatever its path — runs through one
+//!    engine.
+//!
+//! ## Plan enumeration
+//!
+//! For an equality predicate on attribute `a` with threshold `QT`, the
+//! candidates are:
+//!
+//! | path | requires | cost model |
+//! |---|---|---|
+//! | `UpiHeap` | UPI clustered on `a` | §6.3 `Cost_cut` (heap run + cutoff merge when `QT < C`) |
+//! | `FracturedProbe` | fractured UPI on `a` | §6.2 `Cost_frac` over `N_frac + 1` components |
+//! | `UpiSecondary` (tailored / plain) | UPI secondary index on `a` | opens + saturating pointer fetch `f(x)`; tailored divides fetches by the replication factor |
+//! | `FracturedSecondary` | fractured UPI secondary on `a` | same, per component |
+//! | `PiiProbe` | PII on `a` + unclustered heap | opens + `f(x)` over the heap (the bitmap-scan saturation of §6.3) |
+//! | `ContinuousSecondaryProbe` | segment index over a continuous UPI | `f(x)` with fetches collapsed by spatial correlation |
+//! | `HeapScan` / `UpiFullScan` | a heap to scan | `Cost_init + T_read · S_table` |
+//!
+//! Range predicates swap the probe paths for `UpiRange` / `PiiRange` /
+//! `FracturedRange` (selectivity from the value histograms); circle
+//! predicates compare the continuous UPI's clustered read against the
+//! secondary U-Tree's per-candidate fetch, with selectivity from the
+//! R-Tree bounding box.
+//!
+//! Every estimate is in **simulated-disk milliseconds**, the same unit the
+//! benchmarks measure, so `planner_vs_forced` can directly check the
+//! planner's choice against ground truth.
+//!
+//! ## Compatibility
+//!
+//! The pre-planner helpers (`group_count`, `top_k`, `PtqResult`) remain in
+//! `upi::exec` and are re-exported here unchanged.
+
+pub mod catalog;
+pub mod error;
+pub mod exec;
+pub mod plan;
+pub mod planner;
+pub mod query;
+
+pub use catalog::Catalog;
+pub use error::{PlanError, QueryError};
+pub use exec::QueryOutput;
+pub use plan::{AccessPath, CandidatePlan, PhysicalPlan};
+pub use query::{Predicate, PtqQuery};
+
+// Re-exported for compatibility with pre-planner code paths.
+pub use upi::exec::{group_count, top_k, PtqResult};

@@ -1,0 +1,271 @@
+//! Physical plans: access paths, cost-ranked candidates, `explain()`.
+
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+use crate::exec::QueryOutput;
+use crate::query::{Predicate, PtqQuery};
+
+/// One physical access path for a PTQ. Variants carry whatever identifies
+/// the concrete structure inside the [`Catalog`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPath {
+    /// Clustered UPI heap run; merges the cutoff index when
+    /// `use_cutoff` (i.e. `QT < C`).
+    UpiHeap {
+        /// Whether the cutoff-index merge half of Algorithm 2 runs.
+        use_cutoff: bool,
+    },
+    /// UPI clustered range scan (+ cutoff range merge).
+    UpiRange,
+    /// Secondary-index access on the UPI (Algorithm 3 when `tailored`).
+    UpiSecondary {
+        /// Position in `DiscreteUpi::secondaries()`.
+        index: usize,
+        /// Tailored (pointer-overlap-aware) vs. first-pointer access.
+        tailored: bool,
+    },
+    /// Point probe across a fractured UPI's components.
+    FracturedProbe,
+    /// Range scan across a fractured UPI's components.
+    FracturedRange,
+    /// Secondary access across a fractured UPI's components.
+    FracturedSecondary {
+        /// Position in the fractured UPI's secondary list.
+        index: usize,
+        /// Tailored vs. first-pointer access.
+        tailored: bool,
+    },
+    /// PII probe (inverted-list scan + bitmap-order heap fetch).
+    PiiProbe {
+        /// Position in `Catalog::piis`.
+        index: usize,
+    },
+    /// PII range (inverted-list range read + heap fetch).
+    PiiRange {
+        /// Position in `Catalog::piis`.
+        index: usize,
+    },
+    /// Full sequential scan of the unclustered heap with a residual
+    /// confidence filter.
+    HeapScan,
+    /// Full sequential scan of the UPI heap (distinct tuples) with a
+    /// residual confidence filter.
+    UpiFullScan,
+    /// R-Tree circle query on the continuous UPI's clustered heap.
+    ContinuousCircle,
+    /// Circle query via the secondary U-Tree + per-candidate heap fetch.
+    UTreeCircle,
+    /// Segment-index probe over the continuous UPI's heap pages.
+    ContinuousSecondaryProbe {
+        /// Position in `Catalog::cont_secondaries`.
+        index: usize,
+    },
+}
+
+impl AccessPath {
+    /// Short display name for candidate tables.
+    pub fn label(&self) -> String {
+        match self {
+            AccessPath::UpiHeap { use_cutoff: true } => "UpiHeap+CutoffMerge".into(),
+            AccessPath::UpiHeap { use_cutoff: false } => "UpiHeap".into(),
+            AccessPath::UpiRange => "UpiRange".into(),
+            AccessPath::UpiSecondary {
+                index,
+                tailored: true,
+            } => {
+                format!("UpiSecondary#{index}(tailored)")
+            }
+            AccessPath::UpiSecondary {
+                index,
+                tailored: false,
+            } => {
+                format!("UpiSecondary#{index}(plain)")
+            }
+            AccessPath::FracturedProbe => "FracturedProbe".into(),
+            AccessPath::FracturedRange => "FracturedRange".into(),
+            AccessPath::FracturedSecondary {
+                index,
+                tailored: true,
+            } => {
+                format!("FracturedSecondary#{index}(tailored)")
+            }
+            AccessPath::FracturedSecondary {
+                index,
+                tailored: false,
+            } => {
+                format!("FracturedSecondary#{index}(plain)")
+            }
+            AccessPath::PiiProbe { index } => format!("PiiProbe#{index}"),
+            AccessPath::PiiRange { index } => format!("PiiRange#{index}"),
+            AccessPath::HeapScan => "HeapScan".into(),
+            AccessPath::UpiFullScan => "UpiFullScan".into(),
+            AccessPath::ContinuousCircle => "ContinuousCircle".into(),
+            AccessPath::UTreeCircle => "UTreeCircle".into(),
+            AccessPath::ContinuousSecondaryProbe { index } => {
+                format!("ContinuousSecondaryProbe#{index}")
+            }
+        }
+    }
+}
+
+/// One priced candidate plan.
+#[derive(Debug, Clone)]
+pub struct CandidatePlan {
+    /// The access path.
+    pub path: AccessPath,
+    /// Estimated simulated-disk milliseconds.
+    pub est_ms: f64,
+    /// How the estimate was assembled (for `explain()`).
+    pub note: String,
+}
+
+/// An executable physical plan: the chosen access path plus the full
+/// ranked candidate list it won against.
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    /// The query this plan answers.
+    pub query: PtqQuery,
+    /// Candidates in ascending estimated cost; `candidates[0]` is chosen.
+    pub candidates: Vec<CandidatePlan>,
+}
+
+impl PhysicalPlan {
+    /// The chosen access path.
+    pub fn path(&self) -> &AccessPath {
+        &self.candidates[0].path
+    }
+
+    /// Estimated cost of the chosen path, simulated-disk ms.
+    pub fn est_ms(&self) -> f64 {
+        self.candidates[0].est_ms
+    }
+
+    /// Execute the plan against the catalog it was planned over.
+    pub fn execute(&self, catalog: &Catalog<'_>) -> Result<QueryOutput, QueryError> {
+        crate::exec::execute(self, catalog)
+    }
+
+    /// Human-readable plan rendering: the logical query, the operator
+    /// tree of the chosen path, and the ranked candidate table.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("PtqQuery: {}\n", describe_query(&self.query)));
+        out.push_str(&format!(
+            "chosen: {} (est {:.1} ms)\n",
+            self.path().label(),
+            self.est_ms()
+        ));
+        for line in operator_tree(&self.query, self.path()) {
+            out.push_str(&format!("  {line}\n"));
+        }
+        out.push_str("candidates:\n");
+        for (i, c) in self.candidates.iter().enumerate() {
+            let marker = if i == 0 { "  <- chosen" } else { "" };
+            out.push_str(&format!(
+                "  {:<34} {:>12.1} ms{}  [{}]\n",
+                c.path.label(),
+                c.est_ms,
+                marker,
+                c.note
+            ));
+        }
+        out
+    }
+}
+
+fn describe_query(q: &PtqQuery) -> String {
+    let pred = match &q.predicate {
+        Predicate::Eq { attr, value } => format!("field#{attr} = {value}"),
+        Predicate::Range { attr, lo, hi } => format!("field#{attr} IN [{lo}, {hi}]"),
+        Predicate::Circle { attr, x, y, radius } => {
+            format!("Distance(field#{attr}, ({x:.1}, {y:.1})) <= {radius:.1}")
+        }
+    };
+    let mut s = format!("{pred} (confidence >= {:.2})", q.qt);
+    if let Some(k) = q.top_k {
+        s.push_str(&format!(" TOP {k}"));
+    }
+    if let Some(f) = q.group_count {
+        s.push_str(&format!(" GROUP COUNT BY field#{f}"));
+    }
+    if let Some(p) = &q.projection {
+        s.push_str(&format!(" PROJECT {p:?}"));
+    }
+    s
+}
+
+/// Render the operator tree for a chosen path, innermost source last.
+fn operator_tree(q: &PtqQuery, path: &AccessPath) -> Vec<String> {
+    let mut ops: Vec<String> = Vec::new();
+    if let Some(f) = q.group_count {
+        ops.push(format!("GroupCount(field#{f})"));
+    }
+    if let Some(p) = &q.projection {
+        ops.push(format!("Project({p:?})"));
+    }
+    if let Some(k) = q.top_k {
+        ops.push(format!("TopK({k})"));
+    }
+    ops.push(format!("Filter(confidence >= {:.2})", q.qt));
+    let source = match path {
+        AccessPath::UpiHeap { use_cutoff: false } => vec!["IndexRun(upi.heap)".to_string()],
+        AccessPath::UpiHeap { use_cutoff: true } => vec![
+            "CutoffMerge".to_string(),
+            "  IndexRun(upi.heap)".to_string(),
+            "  PointerFetch(upi.cutoff, heap-order)".to_string(),
+        ],
+        AccessPath::UpiRange => vec![
+            "RangeAccumulate(sum per tuple)".to_string(),
+            "  IndexRun(upi.heap, range)".to_string(),
+            "  PointerFetch(upi.cutoff, range)".to_string(),
+        ],
+        AccessPath::UpiSecondary { index, tailored } => vec![format!(
+            "SecondaryFetch(upi.sec#{index}, {})",
+            if *tailored {
+                "tailored"
+            } else {
+                "first-pointer"
+            }
+        )],
+        AccessPath::FracturedProbe => vec!["FracturedMerge(main + fractures + buffer)".to_string()],
+        AccessPath::FracturedRange => {
+            vec!["FracturedMerge(range, main + fractures + buffer)".to_string()]
+        }
+        AccessPath::FracturedSecondary { index, tailored } => vec![format!(
+            "FracturedMerge(sec#{index}, {})",
+            if *tailored {
+                "tailored"
+            } else {
+                "first-pointer"
+            }
+        )],
+        AccessPath::PiiProbe { index } => vec![
+            "BitmapHeapFetch(unclustered heap, tid-order)".to_string(),
+            format!("  PiiProbe(pii#{index} inverted list)"),
+        ],
+        AccessPath::PiiRange { index } => vec![
+            "BitmapHeapFetch(unclustered heap, tid-order)".to_string(),
+            format!("  RangeAccumulate(pii#{index} inverted lists)"),
+        ],
+        AccessPath::HeapScan => vec!["HeapScan(unclustered heap, sequential)".to_string()],
+        AccessPath::UpiFullScan => vec!["HeapScan(upi.heap distinct, sequential)".to_string()],
+        AccessPath::ContinuousCircle => vec![
+            "ClusteredPageRead(cupi.heap, leaf order)".to_string(),
+            "  RTreeProbe(cupi.rtree, circle)".to_string(),
+        ],
+        AccessPath::UTreeCircle => vec![
+            "BitmapHeapFetch(unclustered heap, tid-order)".to_string(),
+            "  RTreeProbe(utree, circle)".to_string(),
+        ],
+        AccessPath::ContinuousSecondaryProbe { index } => vec![
+            "PageCollapseFetch(cupi.heap, physical order)".to_string(),
+            format!("  PiiProbe(cont_sec#{index} inverted list)"),
+        ],
+    };
+    ops.extend(source);
+    // Indent into a tree.
+    ops.iter()
+        .enumerate()
+        .map(|(i, op)| format!("{}{op}", "  ".repeat(i.min(4))))
+        .collect()
+}

@@ -1,0 +1,537 @@
+//! Plan enumeration and costing.
+//!
+//! Every candidate an access structure in the [`Catalog`] supports for the
+//! query's predicate is priced in **simulated-disk milliseconds** with the
+//! §6 cost models over live statistics:
+//!
+//! * clustered-probe paths reuse `upi::cost::estimate_query_cutoff_ms` /
+//!   `estimate_query_fractured_ms` verbatim (those are the models Figures
+//!   10/12 validate against measurements);
+//! * pointer-chasing paths (PII probe, secondary access, U-Tree circle)
+//!   use [`bitmap_fetch_ms`], a bitmap-scan model derived from the
+//!   simulated disk's own move-cost curve — sparse target sets pay seeks,
+//!   dense sets degenerate into a sequential read of the span (the §6.3
+//!   saturation mechanism, priced from disk parameters instead of the
+//!   fitted sigmoid) — with pointer counts from the structure's
+//!   probability histogram;
+//! * tailored secondary access concentrates its fetch span by
+//!   `repl^1.5` (repl = average heap copies per tuple): single-pointer
+//!   entries pin ~1/repl of the heap and multi-pointer entries partially
+//!   reuse those regions — the pointer overlap Algorithm 3 exploits;
+//! * scans are `Cost_init + T_read · S_table`, scaled by histogram
+//!   selectivity for range scans.
+
+use upi::cost::{self};
+use upi::DiscreteUpi;
+use upi_storage::DiskConfig;
+
+use crate::catalog::Catalog;
+use crate::error::PlanError;
+use crate::plan::{AccessPath, CandidatePlan, PhysicalPlan};
+use crate::query::{Predicate, PtqQuery};
+
+/// `Cost_init + H · T_seek`: open a file and descend its tree.
+fn open_descend(disk: &DiskConfig, height: usize) -> f64 {
+    disk.init_ms + height as f64 * disk.seek_ms
+}
+
+/// Cost of dereferencing `k` uniformly scattered targets over a
+/// `span_bytes` file in sorted physical order (PostgreSQL-style bitmap
+/// fetch), mirroring the simulated disk's move-cost curve: each hop pays
+/// `min(seek curve, read-through)`, so sparse target sets pay seeks and
+/// dense sets degenerate into a sequential read of the span — the
+/// *saturation* mechanism of §6.3, priced from the disk parameters
+/// instead of the fitted sigmoid.
+fn bitmap_fetch_ms(disk: &DiskConfig, span_bytes: f64, page_bytes: f64, k: f64) -> f64 {
+    if k < 1.0 || span_bytes <= 0.0 {
+        return 0.0;
+    }
+    let page_bytes = page_bytes.max(512.0);
+    let pages = (span_bytes / page_bytes).max(1.0);
+    // Expected distinct pages hit by k uniform targets.
+    let distinct = (pages * (1.0 - (1.0 - 1.0 / pages).powf(k))).clamp(1.0, pages);
+    // Average gap between consecutive hit pages, net of the pages read.
+    let gap = ((span_bytes - distinct * page_bytes) / distinct).max(0.0);
+    let move_ms = if gap < 1.0 {
+        0.0
+    } else {
+        let frac = (gap / disk.stroke_bytes as f64).min(1.0);
+        let curve = disk.seek_floor_ms + (disk.seek_ms - disk.seek_floor_ms) * frac.sqrt();
+        curve.min(disk.read_cost_ms(gap as u64))
+    };
+    distinct * (move_ms + disk.read_cost_ms(page_bytes as u64))
+}
+
+/// Average heap copies per tuple — the pointer-overlap potential tailored
+/// secondary access exploits.
+fn replication_factor(upi: &DiscreteUpi) -> f64 {
+    let entries = upi.heap_stats().entries as f64;
+    (entries / upi.n_tuples().max(1) as f64).max(1.0)
+}
+
+/// Page size of a B+Tree file from its stats.
+fn page_bytes(stats: &upi_btree::TreeStats) -> f64 {
+    stats.bytes as f64 / stats.pages.max(1) as f64
+}
+
+/// Entry point: enumerate, price, rank.
+pub(crate) fn plan(q: &PtqQuery, catalog: &Catalog<'_>) -> Result<PhysicalPlan, PlanError> {
+    q.validate()?;
+    let mut cands = match q.predicate {
+        Predicate::Eq { attr, value } => enumerate_eq(q, catalog, attr, value),
+        Predicate::Range { attr, lo, hi } => enumerate_range(q, catalog, attr, lo, hi),
+        Predicate::Circle { attr, x, y, radius } => enumerate_circle(catalog, attr, x, y, radius),
+    };
+    if cands.is_empty() {
+        return Err(PlanError::NoAccessPath {
+            reason: format!(
+                "catalog has no structure answering {:?} (register an index or a heap to scan)",
+                q.predicate
+            ),
+        });
+    }
+    cands.sort_by(|a, b| a.est_ms.partial_cmp(&b.est_ms).unwrap());
+    Ok(PhysicalPlan {
+        query: q.clone(),
+        candidates: cands,
+    })
+}
+
+fn enumerate_eq(
+    q: &PtqQuery,
+    catalog: &Catalog<'_>,
+    attr: usize,
+    value: u64,
+) -> Vec<CandidatePlan> {
+    let disk = catalog.disk;
+    let qt = q.qt;
+    let mut out = Vec::new();
+
+    if let Some(upi) = catalog.upi {
+        if upi.attr() == attr {
+            let (est_ms, note) = if let Some(k) = q.top_k {
+                // §3.1 early termination: the heap run and cutoff list are
+                // probability-ordered, so at most k entries of each are
+                // read regardless of QT.
+                let hs = upi.heap_stats();
+                let avg = hs.bytes as f64 / hs.entries.max(1) as f64;
+                let mut e =
+                    open_descend(disk, hs.height) + disk.read_cost_ms((k as f64 * avg) as u64);
+                if !upi.cutoff_index().is_empty() {
+                    e += open_descend(disk, upi.cutoff_index().height())
+                        + bitmap_fetch_ms(disk, hs.bytes as f64, page_bytes(&hs), k as f64);
+                }
+                (e, format!("top-{k} early termination"))
+            } else {
+                let sel = cost::estimate_heap_selectivity(upi, value, qt);
+                let pointers = cost::estimate_cutoff_pointers(upi, value, qt);
+                (
+                    cost::estimate_query_cutoff_ms(disk, upi, value, qt),
+                    format!("sel {:.4}, est {:.0} cutoff ptrs", sel, pointers),
+                )
+            };
+            out.push(CandidatePlan {
+                path: AccessPath::UpiHeap {
+                    use_cutoff: qt < upi.config().cutoff,
+                },
+                est_ms,
+                note,
+            });
+        }
+        for (i, sec) in upi.secondaries().iter().enumerate() {
+            if sec.attr() != attr {
+                continue;
+            }
+            let n = sec.stats().est_count_ge(value, qt);
+            let hs = upi.heap_stats();
+            let opens = open_descend(disk, sec.height()) + open_descend(disk, hs.height);
+            let repl = replication_factor(upi);
+            // Tailored access (Algorithm 3) steers pointers onto shared
+            // regions: single-pointer entries pin ~1/repl of the heap
+            // outright, and multi-pointer entries reuse those regions as
+            // density allows, concentrating coverage further — between
+            // repl (pure restriction) and repl² (full reuse). The 1.5
+            // exponent is the calibrated midpoint, validated by
+            // planner_vs_forced against measured runtimes across scales.
+            let concentration = repl.powf(1.5);
+            out.push(CandidatePlan {
+                path: AccessPath::UpiSecondary {
+                    index: i,
+                    tailored: true,
+                },
+                est_ms: opens
+                    + bitmap_fetch_ms(disk, hs.bytes as f64 / concentration, page_bytes(&hs), n),
+                note: format!("{n:.0} fetches over 1/{concentration:.2} of the heap"),
+            });
+            out.push(CandidatePlan {
+                path: AccessPath::UpiSecondary {
+                    index: i,
+                    tailored: false,
+                },
+                est_ms: opens + bitmap_fetch_ms(disk, hs.bytes as f64, page_bytes(&hs), n),
+                note: format!("{n:.0} first-pointer fetches over the full heap"),
+            });
+        }
+        // Last-resort full scan of the clustered heap (any discrete attr).
+        out.push(CandidatePlan {
+            path: AccessPath::UpiFullScan,
+            est_ms: disk.init_ms + disk.read_cost_ms(upi.heap_stats().bytes),
+            note: format!("{} heap bytes sequential", upi.heap_stats().bytes),
+        });
+    }
+
+    if let Some(f) = catalog.fractured {
+        if f.main().attr() == attr {
+            out.push(CandidatePlan {
+                path: AccessPath::FracturedProbe,
+                est_ms: cost::estimate_query_fractured_ms(disk, f, value, qt),
+                note: format!("{} components", f.n_fractures() + 1),
+            });
+        }
+        for (i, sec) in f.main().secondaries().iter().enumerate() {
+            if sec.attr() != attr {
+                continue;
+            }
+            let n = sec.stats().est_count_ge(value, qt);
+            let components = (f.n_fractures() + 1) as f64;
+            let hs = f.main().heap_stats();
+            let opens =
+                components * (open_descend(disk, sec.height()) + open_descend(disk, hs.height));
+            let repl = replication_factor(f.main());
+            out.push(CandidatePlan {
+                path: AccessPath::FracturedSecondary {
+                    index: i,
+                    tailored: true,
+                },
+                est_ms: opens
+                    + bitmap_fetch_ms(disk, hs.bytes as f64 / repl.powf(1.5), page_bytes(&hs), n),
+                note: format!("{n:.0} entries over {components:.0} components"),
+            });
+        }
+    }
+
+    if let Some(heap) = catalog.heap {
+        for (i, pii) in catalog.piis.iter().enumerate() {
+            if pii.attr() != attr {
+                continue;
+            }
+            let n = pii.stats().est_count_ge(value, qt);
+            let hs = heap.stats();
+            out.push(CandidatePlan {
+                path: AccessPath::PiiProbe { index: i },
+                est_ms: open_descend(disk, pii.height())
+                    + open_descend(disk, hs.height)
+                    + bitmap_fetch_ms(disk, hs.bytes as f64, page_bytes(&hs), n),
+                note: format!("{n:.0} bitmap-order heap fetches"),
+            });
+        }
+        out.push(CandidatePlan {
+            path: AccessPath::HeapScan,
+            est_ms: disk.init_ms + disk.read_cost_ms(heap.stats().bytes),
+            note: format!("{} heap bytes sequential", heap.stats().bytes),
+        });
+    }
+
+    if let Some(cupi) = catalog.cupi {
+        for (i, cs) in catalog.cont_secondaries.iter().enumerate() {
+            if cs.attr() != attr {
+                continue;
+            }
+            let n = cs.attr_stats().est_count_ge(value, qt);
+            let rs = cupi.rtree_stats();
+            let tuples_per_page = (cupi.n_tuples() as f64 / rs.leaf_pages.max(1) as f64).max(1.0);
+            // Spatial correlation collapses one segment's tuples onto few
+            // heap pages: effective fetches are pages, not tuples.
+            let effective = (n / tuples_per_page).max(1.0).min(n.max(1.0));
+            let heap_bytes = cupi.total_bytes() as f64;
+            let heap_page = heap_bytes / rs.leaf_pages.max(1) as f64;
+            out.push(CandidatePlan {
+                path: AccessPath::ContinuousSecondaryProbe { index: i },
+                est_ms: open_descend(disk, cs.height())
+                    + disk.init_ms
+                    + bitmap_fetch_ms(disk, heap_bytes, heap_page, effective),
+                note: format!("{n:.0} entries -> ~{effective:.0} page reads"),
+            });
+        }
+    }
+
+    out
+}
+
+fn enumerate_range(
+    q: &PtqQuery,
+    catalog: &Catalog<'_>,
+    attr: usize,
+    lo: u64,
+    hi: u64,
+) -> Vec<CandidatePlan> {
+    let disk = catalog.disk;
+    let mut out = Vec::new();
+
+    if let Some(upi) = catalog.upi {
+        if upi.attr() == attr {
+            let stats = upi.attr_stats();
+            let frac = (stats.est_count_value_range(lo, hi) / stats.total().max(1) as f64).min(1.0);
+            let hs = upi.heap_stats();
+            let mut est = open_descend(disk, hs.height) + disk.read_cost_ms(hs.bytes) * frac;
+            let cut = upi.cutoff_index();
+            if !cut.is_empty() {
+                est += open_descend(disk, cut.height()) + disk.read_cost_ms(cut.bytes()) * frac;
+            }
+            out.push(CandidatePlan {
+                path: AccessPath::UpiRange,
+                est_ms: est,
+                note: format!("range frac {frac:.4} of clustered heap"),
+            });
+        }
+        out.push(CandidatePlan {
+            path: AccessPath::UpiFullScan,
+            est_ms: disk.init_ms + disk.read_cost_ms(upi.heap_stats().bytes),
+            note: format!("{} heap bytes sequential", upi.heap_stats().bytes),
+        });
+    }
+
+    if let Some(f) = catalog.fractured {
+        if f.main().attr() == attr {
+            let stats = f.main().attr_stats();
+            let frac = (stats.est_count_value_range(lo, hi) / stats.total().max(1) as f64).min(1.0);
+            let model = cost::model_for_fractured(disk, f);
+            out.push(CandidatePlan {
+                path: AccessPath::FracturedRange,
+                est_ms: model.cost_fractured_ms(frac, f.n_fractures() + 1),
+                note: format!("range frac {frac:.4}, {} components", f.n_fractures() + 1),
+            });
+        }
+    }
+
+    if let Some(heap) = catalog.heap {
+        for (i, pii) in catalog.piis.iter().enumerate() {
+            if pii.attr() != attr {
+                continue;
+            }
+            let entries = pii.stats().est_count_value_range(lo, hi);
+            let frac = (entries / pii.stats().total().max(1) as f64).min(1.0);
+            let hs = heap.stats();
+            out.push(CandidatePlan {
+                path: AccessPath::PiiRange { index: i },
+                est_ms: open_descend(disk, pii.height())
+                    + disk.read_cost_ms(pii.bytes()) * frac
+                    + disk.init_ms
+                    + bitmap_fetch_ms(disk, hs.bytes as f64, page_bytes(&hs), entries),
+                note: format!("{entries:.0} index entries in range"),
+            });
+        }
+        out.push(CandidatePlan {
+            path: AccessPath::HeapScan,
+            est_ms: disk.init_ms + disk.read_cost_ms(heap.stats().bytes),
+            note: format!("{} heap bytes sequential", heap.stats().bytes),
+        });
+    }
+
+    let _ = q;
+    out
+}
+
+fn enumerate_circle(
+    catalog: &Catalog<'_>,
+    attr: usize,
+    x: f64,
+    y: f64,
+    radius: f64,
+) -> Vec<CandidatePlan> {
+    let disk = catalog.disk;
+    let mut out = Vec::new();
+
+    // Fraction of the spatial domain the query circle covers.
+    let circle_frac = |bounds: Option<upi_rtree::Rect>| -> f64 {
+        match bounds {
+            Some(b) => {
+                let domain = b.area().max(1e-9);
+                (std::f64::consts::PI * radius * radius / domain).min(1.0)
+            }
+            None => 1.0,
+        }
+    };
+
+    if let Some(cupi) = catalog.cupi {
+        if cupi.attr() == attr {
+            let frac = circle_frac(cupi.bounds().ok().flatten());
+            let rs = cupi.rtree_stats();
+            out.push(CandidatePlan {
+                path: AccessPath::ContinuousCircle,
+                est_ms: 2.0 * disk.init_ms
+                    + rs.height as f64 * disk.seek_ms
+                    + disk.read_cost_ms((cupi.total_bytes() as f64 * frac) as u64),
+                note: format!("circle covers {:.3} of domain, clustered read", frac),
+            });
+        }
+    }
+
+    if let (Some(utree), Some(heap)) = (catalog.utree, catalog.heap) {
+        if utree.attr() == attr {
+            let frac = circle_frac(utree.bounds().ok().flatten());
+            let candidates = utree.stats().entries as f64 * frac;
+            let hs = heap.stats();
+            out.push(CandidatePlan {
+                path: AccessPath::UTreeCircle,
+                est_ms: open_descend(disk, utree.stats().height)
+                    + disk.init_ms
+                    + bitmap_fetch_ms(disk, hs.bytes as f64, page_bytes(&hs), candidates),
+                note: format!("~{candidates:.0} per-candidate heap fetches"),
+            });
+        }
+    }
+
+    let _ = (x, y);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessPath, Catalog, PtqQuery};
+    use std::sync::Arc;
+    use upi::{Pii, UnclusteredHeap, UpiConfig};
+    use upi_storage::{SimDisk, Store};
+    use upi_uncertain::{Datum, DiscretePmf, Field, Tuple, TupleId};
+
+    fn store() -> Store {
+        Store::new(Arc::new(SimDisk::new(DiskConfig::default())), 4 << 20)
+    }
+
+    fn rows(n: u64) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                Tuple::new(
+                    TupleId(i),
+                    0.9,
+                    vec![
+                        Field::Certain(Datum::U64(i % 3)),
+                        Field::Discrete(DiscretePmf::new(vec![(i % 5, 0.7), ((i % 5) + 5, 0.2)])),
+                        Field::Discrete(DiscretePmf::new(vec![(i % 4, 0.95)])),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bitmap_fetch_regimes() {
+        let disk = DiskConfig::default();
+        let span = 64.0 * 1024.0 * 1024.0;
+        // Sparse: each fetch pays a seek-ish move plus one page read.
+        let sparse = bitmap_fetch_ms(&disk, span, 8192.0, 10.0);
+        assert!(
+            sparse > 10.0 * disk.seek_floor_ms,
+            "sparse pays seeks: {sparse}"
+        );
+        // Dense: saturates near a sequential read of the span.
+        let dense = bitmap_fetch_ms(&disk, span, 8192.0, 1e6);
+        let scan = disk.read_cost_ms(span as u64);
+        assert!(dense <= scan * 1.05, "dense ~ scan: {dense} vs {scan}");
+        assert!(dense >= scan * 0.8, "dense ~ scan: {dense} vs {scan}");
+        // Near-monotone in k (a small dip is tolerated where the move
+        // cost switches from seek-bound to read-through-bound).
+        let mut prev = 0.0;
+        for k in [1.0, 10.0, 100.0, 1000.0, 10_000.0] {
+            let c = bitmap_fetch_ms(&disk, span, 8192.0, k);
+            assert!(c >= prev * 0.9, "{c} vs {prev} at k={k}");
+            prev = prev.max(c);
+        }
+        assert_eq!(bitmap_fetch_ms(&disk, span, 8192.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn planner_enumerates_every_applicable_path() {
+        let st = store();
+        let tuples = rows(500);
+        let mut heap = UnclusteredHeap::create(st.clone(), "h", 4096).unwrap();
+        heap.bulk_load(&tuples).unwrap();
+        let mut pii = Pii::create(st.clone(), "p", 1, 4096).unwrap();
+        pii.bulk_load(&tuples).unwrap();
+        let mut upi = upi::DiscreteUpi::create(st.clone(), "u", 1, UpiConfig::default()).unwrap();
+        upi.add_secondary(2).unwrap();
+        upi.bulk_load(&tuples).unwrap();
+        let catalog = Catalog::new(st.disk.config())
+            .with_upi(&upi)
+            .with_heap(&heap)
+            .with_pii(&pii);
+
+        // Primary-attribute point query: UPI heap + PII + both scans.
+        let plan = PtqQuery::eq(1, 2).with_qt(0.3).plan(&catalog).unwrap();
+        let labels: Vec<String> = plan.candidates.iter().map(|c| c.path.label()).collect();
+        assert!(
+            labels.iter().any(|l| l.starts_with("UpiHeap")),
+            "{labels:?}"
+        );
+        assert!(labels.contains(&"PiiProbe#0".to_string()));
+        assert!(labels.contains(&"HeapScan".to_string()));
+        assert!(labels.contains(&"UpiFullScan".to_string()));
+
+        // Secondary-attribute point query adds the two secondary variants.
+        let plan = PtqQuery::eq(2, 1).with_qt(0.3).plan(&catalog).unwrap();
+        let labels: Vec<String> = plan.candidates.iter().map(|c| c.path.label()).collect();
+        assert!(
+            labels.contains(&"UpiSecondary#0(tailored)".to_string()),
+            "{labels:?}"
+        );
+        assert!(labels.contains(&"UpiSecondary#0(plain)".to_string()));
+
+        // Candidates are ranked ascending.
+        for w in plan.candidates.windows(2) {
+            assert!(w[0].est_ms <= w[1].est_ms);
+        }
+
+        // Range on the clustered attribute uses the range paths.
+        let plan = PtqQuery::range(1, 1, 3)
+            .with_qt(0.2)
+            .plan(&catalog)
+            .unwrap();
+        assert!(plan
+            .candidates
+            .iter()
+            .any(|c| c.path == AccessPath::UpiRange));
+        assert!(plan
+            .candidates
+            .iter()
+            .any(|c| matches!(c.path, AccessPath::PiiRange { .. })));
+
+        // explain() names the chosen path and every candidate.
+        let text = plan.explain();
+        assert!(text.contains("chosen:"), "{text}");
+        assert!(text.contains("candidates:"), "{text}");
+        for c in &plan.candidates {
+            assert!(text.contains(&c.path.label()), "missing {}", c.path.label());
+        }
+    }
+
+    #[test]
+    fn executor_matches_direct_index_calls() {
+        let st = store();
+        let tuples = rows(300);
+        let mut heap = UnclusteredHeap::create(st.clone(), "h", 4096).unwrap();
+        heap.bulk_load(&tuples).unwrap();
+        let mut pii = Pii::create(st.clone(), "p", 1, 4096).unwrap();
+        pii.bulk_load(&tuples).unwrap();
+        let mut upi = upi::DiscreteUpi::create(st.clone(), "u", 1, UpiConfig::default()).unwrap();
+        upi.bulk_load(&tuples).unwrap();
+        let catalog = Catalog::new(st.disk.config())
+            .with_upi(&upi)
+            .with_heap(&heap)
+            .with_pii(&pii);
+
+        let q = PtqQuery::eq(1, 2).with_qt(0.2);
+        let out = q.run(&catalog).unwrap();
+        let direct = upi.ptq(2, 0.2).unwrap();
+        assert_eq!(out.rows.len(), direct.len());
+        for (a, b) in out.rows.iter().zip(&direct) {
+            assert_eq!(a.tuple.id, b.tuple.id);
+            assert!((a.confidence - b.confidence).abs() < 1e-12);
+        }
+
+        // Projection keeps ids/confidences but narrows fields.
+        let q = PtqQuery::eq(1, 2).with_qt(0.2).with_projection(vec![0]);
+        let out = q.run(&catalog).unwrap();
+        assert!(out.rows.iter().all(|r| r.tuple.fields.len() == 1));
+    }
+}

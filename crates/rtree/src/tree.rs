@@ -100,6 +100,16 @@ impl RTree {
         }
     }
 
+    /// Minimum bounding rectangle of all indexed entries (`None` when the
+    /// tree is empty) — the spatial-domain estimate behind circle-query
+    /// selectivity in the planner.
+    pub fn bounds(&self) -> Result<Option<Rect>> {
+        if self.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(self.read(self.root)?.mbr()))
+    }
+
     fn read(&self, pid: PageId) -> Result<RNode> {
         Ok(RNode::decode(&self.store.pool.get(pid)?))
     }
@@ -182,8 +192,7 @@ impl RTree {
                     }
                 }
                 let child_pid = children[best].1;
-                let (child_mbr, child_split, dest) =
-                    self.insert_rec(child_pid, entry, events)?;
+                let (child_mbr, child_split, dest) = self.insert_rec(child_pid, entry, events)?;
                 children[best].0 = child_mbr;
                 if let Some((r, p)) = child_split {
                     children.push((r, p));
@@ -527,9 +536,18 @@ mod tests {
         assert!(t.height() > 1);
         assert!(!events.is_empty(), "3000 entries must split 4KB leaves");
         t.check_invariants().unwrap();
-        for (cx, cy, r) in [(100.0, 100.0, 50.0), (500.0, 500.0, 120.0), (0.0, 0.0, 10.0)] {
+        for (cx, cy, r) in [
+            (100.0, 100.0, 50.0),
+            (500.0, 500.0, 120.0),
+            (0.0, 0.0, 10.0),
+        ] {
             let c = Point::new(cx, cy);
-            let mut got: Vec<u64> = t.query_circle(c, r).unwrap().iter().map(|e| e.tid).collect();
+            let mut got: Vec<u64> = t
+                .query_circle(c, r)
+                .unwrap()
+                .iter()
+                .map(|e| e.tid)
+                .collect();
             got.sort_unstable();
             assert_eq!(got, linear_hits(&entries, c, r), "query ({cx},{cy},{r})");
         }
@@ -544,7 +562,12 @@ mod tests {
         t.check_invariants().unwrap();
         for (cx, cy, r) in [(300.0, 1700.0, 80.0), (1000.0, 1000.0, 300.0)] {
             let c = Point::new(cx, cy);
-            let mut got: Vec<u64> = t.query_circle(c, r).unwrap().iter().map(|e| e.tid).collect();
+            let mut got: Vec<u64> = t
+                .query_circle(c, r)
+                .unwrap()
+                .iter()
+                .map(|e| e.tid)
+                .collect();
             got.sort_unstable();
             assert_eq!(got, linear_hits(&entries, c, r));
         }
@@ -598,15 +621,25 @@ mod tests {
     #[test]
     fn empty_tree_queries_are_empty() {
         let t = RTree::create(store(), "rt", 4096).unwrap();
-        assert!(t.query_circle(Point::new(0.0, 0.0), 100.0).unwrap().is_empty());
+        assert!(t
+            .query_circle(Point::new(0.0, 0.0), 100.0)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
     fn quadratic_split_respects_min_fill() {
-        let items: Vec<LeafEntry> = (0..57).map(|i| entry(i, i as f64 * 10.0, 0.0, 1.0)).collect();
+        let items: Vec<LeafEntry> = (0..57)
+            .map(|i| entry(i, i as f64 * 10.0, 0.0, 1.0))
+            .collect();
         let (a, b) = quadratic_split(items, |e| e.rect);
         assert_eq!(a.len() + b.len(), 57);
         let min = (57_f64 * MIN_FILL) as usize;
-        assert!(a.len() >= min && b.len() >= min, "{} / {}", a.len(), b.len());
+        assert!(
+            a.len() >= min && b.len() >= min,
+            "{} / {}",
+            a.len(),
+            b.len()
+        );
     }
 }

@@ -196,6 +196,16 @@ impl AttrStats {
         self.per_value.get(&value).map(|h| h.total()).unwrap_or(0)
     }
 
+    /// Total alternatives across every value in `[lo, hi]` (inclusive) —
+    /// range-scan selectivity for the planner. `O(distinct values)`.
+    pub fn est_count_value_range(&self, lo: u64, hi: u64) -> f64 {
+        self.per_value
+            .iter()
+            .filter(|(&v, _)| (lo..=hi).contains(&v))
+            .map(|(_, h)| h.total() as f64)
+            .sum()
+    }
+
     /// Estimated total alternatives across all values with probability
     /// `>= c` — drives the table-size-vs-cutoff estimate of §6.3.
     pub fn est_total_ge(&self, c: f64) -> f64 {

@@ -27,11 +27,7 @@ impl DiscretePmf {
             sum += p;
         }
         assert!(sum <= 1.0 + 1e-9, "probabilities sum to {sum} > 1");
-        alts.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap()
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        alts.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
         for w in alts.windows(2) {
             assert_ne!(w[0].0, w[1].0, "duplicate value id {}", w[0].0);
         }

@@ -378,7 +378,10 @@ mod tests {
             seen_high |= p > d.config.segment_confidence;
             assert!(p <= 0.95 + 1e-9);
         }
-        assert!(seen_low && seen_high, "confidence must vary per observation");
+        assert!(
+            seen_low && seen_high,
+            "confidence must vary per observation"
+        );
     }
 
     #[test]

@@ -380,7 +380,10 @@ mod tests {
                 }
             }
         }
-        assert!(low > high, "tail must outnumber head: low={low} high={high}");
+        assert!(
+            low > high,
+            "tail must outnumber head: low={low} high={high}"
+        );
     }
 
     #[test]

@@ -11,8 +11,9 @@
 
 use std::sync::Arc;
 
-use upi::{ContinuousConfig, ContinuousSecondary, ContinuousUpi, Pii, SecondaryUTree,
-          UnclusteredHeap};
+use upi::{
+    ContinuousConfig, ContinuousSecondary, ContinuousUpi, Pii, SecondaryUTree, UnclusteredHeap,
+};
 use upi_storage::{DiskConfig, SimDisk, Store};
 use upi_workloads::cartel::{self, observation_fields, CartelConfig};
 
@@ -48,13 +49,9 @@ fn main() {
     )
     .unwrap();
     cupi.bulk_load(&data.observations).unwrap();
-    let mut seg_on_cupi = ContinuousSecondary::create(
-        store.clone(),
-        "cars.seg",
-        observation_fields::SEGMENT,
-        8192,
-    )
-    .unwrap();
+    let mut seg_on_cupi =
+        ContinuousSecondary::create(store.clone(), "cars.seg", observation_fields::SEGMENT, 8192)
+            .unwrap();
     seg_on_cupi.bulk_load(&cupi, &data.observations).unwrap();
 
     // Baselines: unclustered heap + secondary U-Tree + PII on segment.

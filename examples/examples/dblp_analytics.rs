@@ -42,8 +42,13 @@ fn main() {
     // --- Author table: unclustered + PII vs UPI --------------------------
     let mut heap = UnclusteredHeap::create(store.clone(), "author.heap", 8192).unwrap();
     heap.bulk_load(&data.authors).unwrap();
-    let mut pii = Pii::create(store.clone(), "author.pii", author_fields::INSTITUTION, 8192)
-        .unwrap();
+    let mut pii = Pii::create(
+        store.clone(),
+        "author.pii",
+        author_fields::INSTITUTION,
+        8192,
+    )
+    .unwrap();
     pii.bulk_load(&data.authors).unwrap();
     let mut upi = DiscreteUpi::create(
         store.clone(),
@@ -99,12 +104,10 @@ fn main() {
             &pub_pii_inst.ptq(&pub_heap, mit, 0.3).unwrap(),
             publication_fields::JOURNAL,
         )
+        .unwrap()
     });
     let g2 = timed(&store, "UPI                    ", || {
-        group_count(
-            &pub_upi.ptq(mit, 0.3).unwrap(),
-            publication_fields::JOURNAL,
-        )
+        group_count(&pub_upi.ptq(mit, 0.3).unwrap(), publication_fields::JOURNAL).unwrap()
     });
     assert_eq!(g1, g2);
     println!("  -> {} journals in the answer", g2.len());
@@ -115,18 +118,21 @@ fn main() {
             &pub_pii_country.ptq(&pub_heap, japan, 0.3).unwrap(),
             publication_fields::JOURNAL,
         )
+        .unwrap()
     });
     let g4 = timed(&store, "UPI secondary (plain)   ", || {
         group_count(
             &pub_upi.ptq_secondary(0, japan, 0.3, false).unwrap(),
             publication_fields::JOURNAL,
         )
+        .unwrap()
     });
     let g5 = timed(&store, "UPI secondary (tailored)", || {
         group_count(
             &pub_upi.ptq_secondary(0, japan, 0.3, true).unwrap(),
             publication_fields::JOURNAL,
         )
+        .unwrap()
     });
     assert_eq!(g3, g4);
     assert_eq!(g4, g5);

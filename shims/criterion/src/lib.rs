@@ -1,0 +1,175 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace's micro-benchmarks use
+//! (`Criterion`, `benchmark_group`, `bench_function`, `iter`,
+//! `iter_batched`, `BatchSize`, `criterion_group!`, `criterion_main!`)
+//! with a simple median-of-samples wall-clock measurement instead of
+//! criterion's statistical machinery. Output is one line per benchmark:
+//! `name  median_ns/iter  (samples)`.
+
+use std::time::Instant;
+
+/// How a batched benchmark amortizes setup cost (accepted, unused — the
+/// shim always re-runs setup per batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Benchmark driver handed to `bench_function` closures.
+pub struct Bencher {
+    samples: usize,
+    iters_per_sample: usize,
+    results_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher {
+            samples,
+            iters_per_sample: 1,
+            results_ns: Vec::new(),
+        }
+    }
+
+    /// Measure `f` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate so one sample takes ≳1 ms, then sample.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        self.iters_per_sample = ((1e-3 / once) as usize).clamp(1, 100_000);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.results_ns
+                .push(t.elapsed().as_secs_f64() * 1e9 / self.iters_per_sample as f64);
+        }
+    }
+
+    /// Measure `routine` over fresh inputs produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.results_ns.push(t.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        let mut v = self.results_ns.clone();
+        if v.is_empty() {
+            return 0.0;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let ns = b.median_ns();
+    let pretty = if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    };
+    println!(
+        "{name:<40} {pretty:>12}/iter  ({} samples)",
+        b.results_ns.len()
+    );
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &b);
+        self
+    }
+
+    /// End the group (no-op; matches criterion's API).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Fresh context with the shim's default of 10 samples.
+    pub fn new() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(id, &b);
+        self
+    }
+}
+
+/// Collect benchmark functions under one runner name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,180 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy-combinator API subset this workspace's property
+//! tests use — range/tuple/`Vec`/regex-string strategies, `prop_map` /
+//! `prop_flat_map`, `prop_oneof!`, `proptest::collection::{vec,
+//! btree_set}`, `any::<T>()`, `Just`, `ProptestConfig::with_cases`, and
+//! the `proptest!` / `prop_assert*` macros — over a deterministic
+//! splitmix64 case generator.
+//!
+//! Differences from upstream, deliberately accepted for an offline build:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   printed; re-running reproduces it exactly (generation is seeded from
+//!   the test name, so streams are stable across runs and machines).
+//! * **No persistence files**, no fork, no timeout handling.
+//! * The regex string strategy supports the subset used here: character
+//!   classes `[a-z\x00]` with ranges and escapes, `\PC` (printable), and
+//!   the `*`, `+`, `{n}`, `{m,n}` quantifiers.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a property test imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Assert inside a property test; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert!({}) failed at {}:{}",
+                stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert!({}) failed at {}:{}: {}",
+                stringify!($cond), file!(), line!(), format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let left = &$a;
+        let right = &$b;
+        if !(*left == *right) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_eq! failed at {}:{}\n  left: {:?}\n right: {:?}",
+                file!(), line!(), left, right
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let left = &$a;
+        let right = &$b;
+        if !(*left == *right) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_eq! failed at {}:{}: {}\n  left: {:?}\n right: {:?}",
+                file!(), line!(), format!($($fmt)+), left, right
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let left = &$a;
+        let right = &$b;
+        if *left == *right {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_ne! failed at {}:{}\n  both: {:?}",
+                file!(),
+                line!(),
+                left
+            ));
+        }
+    }};
+}
+
+/// Bind one generated value per declared argument (internal).
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_bind {
+    ($rng:ident, $dbg:ident $(,)?) => {};
+    ($rng:ident, $dbg:ident, $var:ident: $ty:ty $(, $($rest:tt)*)?) => {
+        let __generated = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(), &mut $rng);
+        $dbg.push(format!("{} = {:?}", stringify!($var), &__generated));
+        let $var = __generated;
+        $crate::__proptest_bind!{$rng, $dbg $(, $($rest)*)?}
+    };
+    ($rng:ident, $dbg:ident, $pat:pat in $strat:expr $(, $($rest:tt)*)?) => {
+        let __generated = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $dbg.push(format!("{} = {:?}", stringify!($pat), &__generated));
+        let $pat = __generated;
+        $crate::__proptest_bind!{$rng, $dbg $(, $($rest)*)?}
+    };
+}
+
+/// Expand the test functions of a `proptest!` block (internal).
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::deterministic(concat!(file!(), "::", stringify!($name)));
+            for __case in 0..config.cases {
+                let mut __dbg: ::std::vec::Vec<::std::string::String> = ::std::vec::Vec::new();
+                let __outcome: ::std::result::Result<(), ::std::string::String> = {
+                    $crate::__proptest_bind!{__rng, __dbg, $($args)*}
+                    #[allow(clippy::redundant_closure_call)]
+                    (move || -> ::std::result::Result<(), ::std::string::String> {
+                        $body;
+                        ::std::result::Result::Ok(())
+                    })()
+                };
+                if let ::std::result::Result::Err(msg) = __outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}\ninputs:\n  {}",
+                        __case + 1, config.cases, msg, __dbg.join("\n  ")
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns!{($cfg) $($rest)*}
+    };
+}
+
+/// The `proptest!` test-block macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{($cfg) $($rest)*}
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}

@@ -1,0 +1,198 @@
+//! Regex-pattern string strategies (`"[a-z]{0,16}"` as a `Strategy`).
+//!
+//! Supports the subset of regex syntax the workspace's tests use: literal
+//! characters, `\xNN` escapes, character classes with ranges, the `\PC`
+//! (printable / non-control) class, and the `*`, `+`, `{n}`, `{m,n}`
+//! quantifiers. Unsupported syntax panics, loudly, at generation time.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A `&str` is a strategy producing `String`s matching it as a regex.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_matching(self, rng)
+    }
+}
+
+/// Characters `\PC` may produce: printable ASCII plus a few multi-byte
+/// code points so UTF-8 handling is exercised.
+fn printable_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (0x20u8..0x7f).map(|b| b as char).collect();
+    pool.extend(['é', 'Ω', '→', '日', '🦀']);
+    pool
+}
+
+#[derive(Debug)]
+enum Atom {
+    /// Choose uniformly among these characters.
+    Class(Vec<char>),
+    /// A fixed character.
+    Literal(char),
+}
+
+fn parse_escape(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> char {
+    match chars.next().expect("dangling backslash in pattern") {
+        'x' => {
+            let hi = chars.next().expect("\\x needs two hex digits");
+            let lo = chars.next().expect("\\x needs two hex digits");
+            let v = u32::from_str_radix(&format!("{hi}{lo}"), 16).expect("bad \\x escape");
+            char::from_u32(v).expect("bad \\x code point")
+        }
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        c => c,
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut members = Vec::new();
+    loop {
+        let c = chars.next().expect("unterminated character class");
+        match c {
+            ']' => break,
+            '\\' => members.push(parse_escape(chars)),
+            _ => {
+                if chars.peek() == Some(&'-') {
+                    let mut ahead = chars.clone();
+                    ahead.next(); // consume '-'
+                    match ahead.peek() {
+                        Some(&']') | None => members.push(c), // trailing '-' is literal
+                        Some(_) => {
+                            chars.next();
+                            let end = match chars.next().unwrap() {
+                                '\\' => parse_escape(chars),
+                                e => e,
+                            };
+                            assert!(c <= end, "inverted class range {c}-{end}");
+                            for v in c as u32..=end as u32 {
+                                if let Some(ch) = char::from_u32(v) {
+                                    members.push(ch);
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    members.push(c);
+                }
+            }
+        }
+    }
+    assert!(!members.is_empty(), "empty character class");
+    members
+}
+
+/// Parse one quantifier; `(min, max)` repetitions. Unbounded quantifiers
+/// are capped at 16, which is plenty for round-trip tests.
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    match chars.peek() {
+        Some('*') => {
+            chars.next();
+            (0, 16)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 16)
+        }
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad {m,n} quantifier"),
+                    n.trim().parse().expect("bad {m,n} quantifier"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad {n} quantifier");
+                    (n, n)
+                }
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => {
+                if chars.peek() == Some(&'P') {
+                    chars.next();
+                    let kind = chars.next().expect("\\P needs a category");
+                    assert_eq!(kind, 'C', "only \\PC is supported");
+                    Atom::Class(printable_pool())
+                } else {
+                    Atom::Literal(parse_escape(&mut chars))
+                }
+            }
+            '.' => Atom::Class(printable_pool()),
+            _ => Atom::Literal(c),
+        };
+        let (lo, hi) = parse_quantifier(&mut chars);
+        let n = rng.usize_in(lo, hi.max(lo));
+        for _ in 0..n {
+            match &atom {
+                Atom::Class(pool) => out.push(pool[rng.usize_in(0, pool.len() - 1)]),
+                Atom::Literal(ch) => out.push(*ch),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string-tests")
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = "[a-z]{0,16}".generate(&mut r);
+            assert!(s.len() <= 16);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn class_with_escape() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = "[a-c\\x00]{0,6}".generate(&mut r);
+            assert!(s.chars().count() <= 6);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c) || c == '\0'));
+        }
+    }
+
+    #[test]
+    fn printable_star() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = "\\PC*".generate(&mut r);
+            assert!(s.chars().count() <= 16);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn literals_and_fixed_counts() {
+        let mut r = rng();
+        assert_eq!("abc".generate(&mut r), "abc");
+        assert_eq!("a{3}".generate(&mut r), "aaa");
+    }
+}

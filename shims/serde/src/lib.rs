@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a couple of config
+//! and stats structs but never actually serializes them (no serde_json or
+//! similar consumer exists here). This shim therefore provides the two
+//! derive macros as no-ops, which keeps the `#[derive(Serialize,
+//! Deserialize)]` attributes compiling without any network dependency.
+//! If a future PR needs real serialization, replace this shim with the
+//! actual crates (or hand-write the impls).
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

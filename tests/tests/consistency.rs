@@ -201,10 +201,7 @@ fn deletes_propagate_through_every_path() {
     let value = data.popular_institution();
     for qt in [0.05, 0.3] {
         let truth = scan_truth(&remaining, attr, value, qt);
-        assert_eq!(
-            results_to_pairs(&pii.ptq(&heap, value, qt).unwrap()),
-            truth
-        );
+        assert_eq!(results_to_pairs(&pii.ptq(&heap, value, qt).unwrap()), truth);
         assert_eq!(results_to_pairs(&upi.ptq(value, qt).unwrap()), truth);
     }
 }

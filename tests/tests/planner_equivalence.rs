@@ -1,0 +1,156 @@
+//! Planner equivalence oracle: on randomized uncertain tables, the
+//! planner-chosen plan must return a result set identical to EVERY
+//! alternative access path — point, secondary, range, top-k, and
+//! group-count query shapes, across an unclustered-heap + PII baseline, a
+//! discrete UPI with a secondary index, and a fractured UPI holding the
+//! same rows.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use upi::{DiscreteUpi, FracturedConfig, FracturedUpi, Pii, UnclusteredHeap, UpiConfig};
+use upi_query::{Catalog, PhysicalPlan, PtqQuery, QueryOutput};
+use upi_storage::{DiskConfig, SimDisk, Store};
+use upi_uncertain::{Datum, DiscretePmf, Field, Tuple, TupleId};
+
+fn store() -> Store {
+    Store::new(Arc::new(SimDisk::new(DiskConfig::default())), 8 << 20)
+}
+
+/// A random PMF over a small value domain, deduped and normalized.
+fn pmf_strategy(domain: u64) -> impl Strategy<Value = DiscretePmf> {
+    proptest::collection::vec((0u64..domain, 0.01f64..1.0), 1..4).prop_map(|raw| {
+        let mut alts: Vec<(u64, f64)> = Vec::new();
+        for (v, w) in raw {
+            match alts.iter_mut().find(|(av, _)| *av == v) {
+                Some((_, aw)) => *aw += w,
+                None => alts.push((v, w)),
+            }
+        }
+        let total: f64 = alts.iter().map(|(_, w)| w).sum();
+        let scale = 0.999 / total.max(1.0);
+        DiscretePmf::new(
+            alts.into_iter()
+                .map(|(v, w)| (v, (w * scale).max(1e-6)))
+                .collect(),
+        )
+    })
+}
+
+fn tuple_strategy(id: u64) -> impl Strategy<Value = Tuple> {
+    (0.05f64..=1.0, pmf_strategy(8), pmf_strategy(6)).prop_map(move |(exist, prim, sec)| {
+        Tuple::new(
+            TupleId(id),
+            exist,
+            vec![
+                Field::Certain(Datum::U64(id % 4)),
+                Field::Discrete(prim),
+                Field::Discrete(sec),
+            ],
+        )
+    })
+}
+
+fn table_strategy() -> impl Strategy<Value = Vec<Tuple>> {
+    (1usize..30).prop_flat_map(|n| (0..n as u64).map(tuple_strategy).collect::<Vec<_>>())
+}
+
+/// Comparable fingerprint: the group table, or sorted `(tid, confidence)`.
+fn fingerprint(out: &QueryOutput) -> Vec<(u64, u64)> {
+    match &out.groups {
+        Some(g) => g.clone(),
+        None => {
+            let mut rows: Vec<(u64, u64)> = out
+                .rows
+                .iter()
+                .map(|r| (r.tuple.id.0, (r.confidence * 1e9).round() as u64))
+                .collect();
+            rows.sort_unstable();
+            rows
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn planner_equals_every_forced_path(
+        tuples in table_strategy(),
+        cutoff in 0.0f64..=0.8,
+        value in 0u64..8,
+        sec_value in 0u64..6,
+        qt in 0.0f64..=0.9,
+        lo in 0u64..8,
+        width in 0u64..4,
+    ) {
+        let st = store();
+        let cfg = UpiConfig { cutoff, ..UpiConfig::default() };
+
+        let mut heap = UnclusteredHeap::create(st.clone(), "heap", 4096).unwrap();
+        heap.bulk_load(&tuples).unwrap();
+        let mut pii_prim = Pii::create(st.clone(), "pii1", 1, 4096).unwrap();
+        pii_prim.bulk_load(&tuples).unwrap();
+        let mut pii_sec = Pii::create(st.clone(), "pii2", 2, 4096).unwrap();
+        pii_sec.bulk_load(&tuples).unwrap();
+
+        let mut upi = DiscreteUpi::create(st.clone(), "upi", 1, cfg).unwrap();
+        upi.add_secondary(2).unwrap();
+        upi.bulk_load(&tuples).unwrap();
+
+        // Same rows as main-load + buffered inserts + one flush, so the
+        // fractured paths run over multiple components.
+        let mut fractured = FracturedUpi::create(
+            st.clone(),
+            "frac",
+            1,
+            &[2],
+            FracturedConfig { upi: cfg, buffer_ops: 0 },
+        )
+        .unwrap();
+        let half = tuples.len() / 2;
+        fractured.load_initial(&tuples[..half]).unwrap();
+        for t in &tuples[half..] {
+            fractured.insert(t.clone()).unwrap();
+        }
+        if !tuples[half..].is_empty() {
+            fractured.flush().unwrap();
+        }
+
+        let catalog = Catalog::new(st.disk.config())
+            .with_upi(&upi)
+            .with_fractured(&fractured)
+            .with_heap(&heap)
+            .with_pii(&pii_prim)
+            .with_pii(&pii_sec);
+
+        let queries = vec![
+            PtqQuery::eq(1, value).with_qt(qt),
+            PtqQuery::eq(2, sec_value).with_qt(qt),
+            PtqQuery::eq(1, value).with_qt(qt).with_top_k(3),
+            PtqQuery::range(1, lo, (lo + width).min(7)).with_qt(qt),
+            PtqQuery::range(1, lo, (lo + width).min(7))
+                .with_qt(qt)
+                .with_group_count(0),
+        ];
+        for q in queries {
+            let plan = q.plan(&catalog).unwrap();
+            let reference = fingerprint(&plan.execute(&catalog).unwrap());
+            for cand in &plan.candidates {
+                let forced = PhysicalPlan {
+                    query: q.clone(),
+                    candidates: vec![cand.clone()],
+                };
+                let got = fingerprint(&forced.execute(&catalog).unwrap());
+                prop_assert_eq!(
+                    &got,
+                    &reference,
+                    "query {:?}: path {} disagrees with planner choice {}",
+                    q,
+                    cand.path.label(),
+                    plan.path().label()
+                );
+            }
+        }
+    }
+}

@@ -61,16 +61,12 @@ fn tiny_table(seed: u64, n: usize) -> Vec<Tuple> {
 fn index_confidences_equal_world_mass() {
     for seed in [3, 17, 99] {
         let tuples = tiny_table(seed, 7);
-        let worlds = enumerate_worlds(
-            &tuples.to_vec(),
-            1,
-        );
+        let worlds = enumerate_worlds(&tuples.to_vec(), 1);
         let st = store();
         let mut upi =
             DiscreteUpi::create(st.clone(), &format!("u{seed}"), 1, UpiConfig::default()).unwrap();
         upi.bulk_load(&tuples).unwrap();
-        let mut heap =
-            UnclusteredHeap::create(st.clone(), &format!("h{seed}"), 8192).unwrap();
+        let mut heap = UnclusteredHeap::create(st.clone(), &format!("h{seed}"), 8192).unwrap();
         heap.bulk_load(&tuples).unwrap();
         let mut pii = Pii::create(st.clone(), &format!("p{seed}"), 1, 8192).unwrap();
         pii.bulk_load(&tuples).unwrap();

@@ -47,11 +47,7 @@ fn tuple_strategy(id: u64) -> impl Strategy<Value = Tuple> {
 }
 
 fn table_strategy() -> impl Strategy<Value = Vec<Tuple>> {
-    (1usize..40).prop_flat_map(|n| {
-        (0..n as u64)
-            .map(tuple_strategy)
-            .collect::<Vec<_>>()
-    })
+    (1usize..40).prop_flat_map(|n| (0..n as u64).map(tuple_strategy).collect::<Vec<_>>())
 }
 
 fn oracle(tuples: &[Tuple], value: u64, qt: f64) -> Vec<u64> {
