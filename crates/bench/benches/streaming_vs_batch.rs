@@ -1,0 +1,249 @@
+//! Streaming vs batch execution: pages read and simulated time for
+//! fig05/fig06-style range and top-k workloads.
+//!
+//! The streaming executor's claim is that early-terminating,
+//! cursor-driven operators touch strictly less of the disk than
+//! materialize-then-truncate batch evaluation:
+//!
+//! * **Point top-k (fig05-style, Query 2 shape)** — `UpiPointMerge`
+//!   streams the heap run in confidence order and stops after k rows;
+//!   the batch path materializes the whole run (plus the cutoff merge)
+//!   and truncates.
+//! * **Secondary top-k (fig06-style, Query 3 shape)** — `SecondaryProbe`
+//!   reads only the k most-confident entries of the compact entry run
+//!   and dereferences k heap pointers; the batch path fetches every
+//!   qualifying tuple.
+//! * **Range (fig05-style)** — both read the same sequential run (no
+//!   sound early exit under summing semantics); reported for parity and
+//!   to show read-ahead keeping the run sequential.
+//!
+//! Pages read are **buffer-pool** counters (demand misses + read-ahead);
+//! both sides run cold. Results are asserted identical before anything
+//! is reported. A machine-readable `BENCH_streaming.json` is written for
+//! the perf-trajectory tooling (override the path with
+//! `UPI_BENCH_JSON`).
+
+use upi::PtqResult;
+use upi_bench::setups::publication_setup;
+use upi_bench::{banner, header, ms, summary};
+use upi_query::{AccessPath, Catalog, PhysicalPlan, PtqQuery};
+use upi_storage::{PoolCounters, Store};
+use upi_workloads::dblp::publication_fields;
+
+/// One cold measurement attributed through the buffer pool.
+struct PoolMeasured {
+    pool: PoolCounters,
+    sim_ms: f64,
+    bytes_read: u64,
+    rows: Vec<PtqResult>,
+}
+
+fn measure_pool(store: &Store, f: impl FnOnce() -> Vec<PtqResult>) -> PoolMeasured {
+    store.go_cold();
+    let pool_before = store.pool.counters();
+    let io_before = store.disk.stats();
+    let rows = f();
+    let io = store.disk.stats().since(&io_before);
+    PoolMeasured {
+        pool: store.pool.counters().since(&pool_before),
+        sim_ms: io.total_ms(),
+        bytes_read: io.bytes_read,
+        rows,
+    }
+}
+
+fn assert_same_rows(label: &str, a: &[PtqResult], b: &[PtqResult]) {
+    assert_eq!(a.len(), b.len(), "{label}: row counts diverge");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.tuple.id, y.tuple.id, "{label}: ids diverge");
+        assert!(
+            (x.confidence - y.confidence).abs() < 1e-9,
+            "{label}: confidences diverge"
+        );
+    }
+}
+
+/// Force a specific access path of a plan.
+fn forced(plan: &PhysicalPlan, path: &AccessPath) -> PhysicalPlan {
+    let mut p = plan.clone();
+    p.candidates.retain(|c| &c.path == path);
+    assert!(!p.candidates.is_empty(), "path {path:?} not enumerated");
+    p
+}
+
+struct Case {
+    name: &'static str,
+    streaming_pages: u64,
+    batch_pages: u64,
+    streaming_ms: f64,
+    batch_ms: f64,
+    streaming_bytes: u64,
+    batch_bytes: u64,
+    rows: usize,
+}
+
+fn main() {
+    let s = publication_setup(0.1);
+    let mit = s.data.popular_institution();
+    let japan = s.data.query_country();
+    let catalog = Catalog::new(s.store.disk.config())
+        .with_upi(&s.upi)
+        .with_pool(&s.store.pool);
+    let k = 10;
+    let mut cases: Vec<Case> = Vec::new();
+
+    banner(
+        "streaming_vs_batch",
+        "streaming executor vs materialize-then-truncate (pages via pool counters)",
+        "streaming top-k reads >=2x fewer pages; identical result sets",
+    );
+    header(&[
+        "case",
+        "stream_pages",
+        "batch_pages",
+        "ratio",
+        "stream_ms",
+        "batch_ms",
+        "rows",
+    ]);
+
+    // --- Point top-k (fig05-style): UpiPointMerge vs full run + truncate.
+    {
+        let q = PtqQuery::eq(publication_fields::INSTITUTION, mit)
+            .with_qt(0.1)
+            .with_top_k(k);
+        let plan = forced(
+            &q.plan(&catalog).unwrap(),
+            &AccessPath::UpiHeap { use_cutoff: false },
+        );
+        let streaming = measure_pool(&s.store, || plan.execute(&catalog).unwrap().rows);
+        let batch = measure_pool(&s.store, || {
+            let mut rows = s.upi.ptq(mit, 0.1).unwrap();
+            rows.truncate(k);
+            rows
+        });
+        assert_same_rows("point top-k", &streaming.rows, &batch.rows);
+        cases.push(Case {
+            name: "point_topk",
+            streaming_pages: streaming.pool.pages_read(),
+            batch_pages: batch.pool.pages_read(),
+            streaming_ms: streaming.sim_ms,
+            batch_ms: batch.sim_ms,
+            streaming_bytes: streaming.bytes_read,
+            batch_bytes: batch.bytes_read,
+            rows: streaming.rows.len(),
+        });
+    }
+
+    // --- Secondary top-k (fig06-style): SecondaryProbe with limit
+    //     pushdown vs full tailored access + truncate.
+    {
+        let q = PtqQuery::eq(publication_fields::COUNTRY, japan)
+            .with_qt(0.1)
+            .with_top_k(k);
+        let plan = forced(
+            &q.plan(&catalog).unwrap(),
+            &AccessPath::UpiSecondary {
+                index: 0,
+                tailored: true,
+            },
+        );
+        let streaming = measure_pool(&s.store, || plan.execute(&catalog).unwrap().rows);
+        let batch = measure_pool(&s.store, || {
+            let mut rows = s.upi.ptq_secondary(0, japan, 0.1, true).unwrap();
+            rows.truncate(k);
+            rows
+        });
+        assert_same_rows("secondary top-k", &streaming.rows, &batch.rows);
+        cases.push(Case {
+            name: "secondary_topk",
+            streaming_pages: streaming.pool.pages_read(),
+            batch_pages: batch.pool.pages_read(),
+            streaming_ms: streaming.sim_ms,
+            batch_ms: batch.sim_ms,
+            streaming_bytes: streaming.bytes_read,
+            batch_bytes: batch.bytes_read,
+            rows: streaming.rows.len(),
+        });
+    }
+
+    // --- Range (fig05-style): same sequential run either way; streaming
+    //     keeps memory bounded and read-ahead keeps it sequential.
+    {
+        let hi = mit + 3;
+        let q = PtqQuery::range(publication_fields::INSTITUTION, mit, hi).with_qt(0.2);
+        let plan = forced(&q.plan(&catalog).unwrap(), &AccessPath::UpiRange);
+        let streaming = measure_pool(&s.store, || plan.execute(&catalog).unwrap().rows);
+        let batch = measure_pool(&s.store, || s.upi.ptq_range(mit, hi, 0.2).unwrap());
+        assert_same_rows("range", &streaming.rows, &batch.rows);
+        cases.push(Case {
+            name: "range",
+            streaming_pages: streaming.pool.pages_read(),
+            batch_pages: batch.pool.pages_read(),
+            streaming_ms: streaming.sim_ms,
+            batch_ms: batch.sim_ms,
+            streaming_bytes: streaming.bytes_read,
+            batch_bytes: batch.bytes_read,
+            rows: streaming.rows.len(),
+        });
+    }
+
+    for c in &cases {
+        let ratio = c.batch_pages as f64 / c.streaming_pages.max(1) as f64;
+        println!(
+            "{}\t{}\t{}\t{:.1}x\t{}\t{}\t{}",
+            c.name,
+            c.streaming_pages,
+            c.batch_pages,
+            ratio,
+            ms(c.streaming_ms),
+            ms(c.batch_ms),
+            c.rows
+        );
+    }
+
+    // Machine-readable trajectory record, at the workspace root by
+    // default (cargo bench runs with the package dir as cwd).
+    let json_path = std::env::var("UPI_BENCH_JSON").unwrap_or_else(|_| {
+        std::env::var("CARGO_MANIFEST_DIR")
+            .map(|d| format!("{d}/../../BENCH_streaming.json"))
+            .unwrap_or_else(|_| "BENCH_streaming.json".to_string())
+    });
+    let mut json = String::from("{\n  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"streaming\": {{\"pages_read\": {}, \"bytes_read\": {}, \"elapsed_ms\": {:.3}}}, \"batch\": {{\"pages_read\": {}, \"bytes_read\": {}, \"elapsed_ms\": {:.3}}}, \"rows\": {}}}{}\n",
+            c.name,
+            c.streaming_pages,
+            c.streaming_bytes,
+            c.streaming_ms,
+            c.batch_pages,
+            c.batch_bytes,
+            c.batch_ms,
+            c.rows,
+            if i + 1 == cases.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&json_path, json).expect("write BENCH_streaming.json");
+    eprintln!("[json] wrote {json_path}");
+
+    // Acceptance: the top-k streaming paths must read >=2x fewer pages.
+    for c in &cases {
+        if c.name.ends_with("topk") {
+            let ratio = c.batch_pages as f64 / c.streaming_pages.max(1) as f64;
+            summary(
+                &format!("streaming.{}_page_ratio", c.name),
+                format!("{ratio:.1}x"),
+            );
+            assert!(
+                ratio >= 2.0,
+                "{}: streaming read {} pages vs batch {} — expected >=2x fewer",
+                c.name,
+                c.streaming_pages,
+                c.batch_pages
+            );
+        }
+    }
+    summary("streaming.cases", cases.len());
+}

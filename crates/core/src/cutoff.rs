@@ -114,26 +114,17 @@ impl CutoffIndex {
     /// `(value, pointer)` pairs in key order — the cutoff half of a range
     /// PTQ.
     pub fn scan_range(&self, lo: u64, hi: u64) -> Result<Vec<(u64, CutoffPointer)>> {
-        let mut out = Vec::new();
-        let mut cur = self.tree.seek(&keys::value_prefix(lo))?;
-        while cur.valid() {
-            let (v, prob, tid) = keys::decode_entry_key(cur.key());
-            if v > hi {
-                break;
-            }
-            let (first_value, first_prob) = keys::decode_pointer(cur.value());
-            out.push((
-                v,
-                CutoffPointer {
-                    tid,
-                    prob,
-                    first_value,
-                    first_prob,
-                },
-            ));
-            cur.advance()?;
-        }
-        Ok(out)
+        self.scan_range_run(lo, hi)?.collect()
+    }
+
+    /// Streaming cursor over the pointers with value in `[lo, hi]`, in
+    /// key order: one index seek, then sequential leaf-chain reads (the
+    /// cutoff half of the streaming range operator).
+    pub fn scan_range_run(&self, lo: u64, hi: u64) -> Result<CutoffRangeRun<'_>> {
+        Ok(CutoffRangeRun {
+            cur: self.tree.seek(&keys::value_prefix(lo))?,
+            hi,
+        })
     }
 
     /// Entry count.
@@ -159,6 +150,40 @@ impl CutoffIndex {
     /// The storage file backing this index.
     pub fn file(&self) -> upi_storage::FileId {
         self.tree.file()
+    }
+}
+
+/// Streaming iterator over a value range of the cutoff index (see
+/// [`CutoffIndex::scan_range_run`]).
+pub struct CutoffRangeRun<'a> {
+    cur: upi_btree::Cursor<'a>,
+    hi: u64,
+}
+
+impl Iterator for CutoffRangeRun<'_> {
+    type Item = Result<(u64, CutoffPointer)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if !self.cur.valid() {
+            return None;
+        }
+        let (v, prob, tid) = keys::decode_entry_key(self.cur.key());
+        if v > self.hi {
+            return None;
+        }
+        let (first_value, first_prob) = keys::decode_pointer(self.cur.value());
+        if let Err(e) = self.cur.advance() {
+            return Some(Err(e));
+        }
+        Some(Ok((
+            v,
+            CutoffPointer {
+                tid,
+                prob,
+                first_value,
+                first_prob,
+            },
+        )))
     }
 }
 

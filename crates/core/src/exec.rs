@@ -62,6 +62,17 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// Canonical PTQ result ordering: descending confidence, ties broken by
+/// ascending tuple id. Every access path presents rows this way.
+pub fn sort_results(rows: &mut [PtqResult]) {
+    rows.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .unwrap()
+            .then_with(|| a.tuple.id.cmp(&b.tuple.id))
+    });
+}
+
 /// Read the certain `U64` grouping key of `field` from a tuple.
 pub fn group_key(tuple: &Tuple, field: usize) -> std::result::Result<u64, ExecError> {
     match tuple.fields.get(field) {

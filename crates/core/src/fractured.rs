@@ -29,8 +29,8 @@ use upi_storage::error::Result;
 use upi_storage::Store;
 use upi_uncertain::{Tuple, TupleId};
 
-use crate::exec::PtqResult;
-use crate::upi::{DiscreteUpi, UpiConfig};
+use crate::exec::{sort_results, PtqResult};
+use crate::upi::{DiscreteUpi, PointRun, RangeRun, SecondaryRun, UpiConfig};
 
 /// Configuration of a Fractured UPI.
 #[derive(Debug, Clone, Copy)]
@@ -323,6 +323,113 @@ impl FracturedUpi {
         Ok(out)
     }
 
+    /// Fracture-parallel streaming point PTQ: a k-way merge cursor over
+    /// one confidence-ordered [`PointRun`] per on-disk component plus the
+    /// insert buffer, with delete-set suppression applied as rows
+    /// surface. The merged stream is `{confidence DESC, tid ASC}`-ordered,
+    /// so a top-k consumer stops pulling — and each component stops
+    /// *reading* — after k surviving rows.
+    pub fn ptq_run(&self, value: u64, qt: f64) -> Result<FracturedPointRun<'_>> {
+        let mut streams = vec![self.main.point_run(value, qt, None)?];
+        for fr in &self.fractures {
+            streams.push(fr.upi.point_run(value, qt, None)?);
+        }
+        let heads = streams.iter().map(|_| None).collect();
+        let mut buffered: Vec<PtqResult> = self
+            .buf_inserts
+            .values()
+            .filter_map(|t| {
+                let conf = t.confidence_eq(self.attr, value);
+                (conf >= qt && conf > 0.0).then(|| PtqResult {
+                    tuple: t.clone(),
+                    confidence: conf,
+                })
+            })
+            .collect();
+        sort_results(&mut buffered);
+        Ok(FracturedPointRun {
+            f: self,
+            streams,
+            heads,
+            buffered: buffered.into_iter(),
+            buf_head: None,
+        })
+    }
+
+    /// Fracture-parallel streaming range PTQ: per-component
+    /// [`RangeRun`]s chained (each is one seek + one sequential run),
+    /// suppression applied as rows surface, insert-buffer matches last.
+    /// Rows are unordered across components; sinks sort.
+    pub fn range_run(&self, lo: u64, hi: u64, qt: f64) -> Result<FracturedRangeRun<'_>> {
+        let mut streams = vec![self.main.range_run(lo, hi, qt)?];
+        for fr in &self.fractures {
+            streams.push(fr.upi.range_run(lo, hi, qt)?);
+        }
+        let mut buffered: Vec<PtqResult> = self
+            .buf_inserts
+            .values()
+            .filter_map(|t| {
+                let conf: f64 = t
+                    .discrete(self.attr)
+                    .alternatives()
+                    .iter()
+                    .filter(|&&(v, _)| (lo..=hi).contains(&v))
+                    .map(|&(_, p)| p * t.exist)
+                    .sum();
+                (conf >= qt && conf > 0.0).then(|| PtqResult {
+                    tuple: t.clone(),
+                    confidence: conf,
+                })
+            })
+            .collect();
+        sort_results(&mut buffered);
+        Ok(FracturedRangeRun {
+            f: self,
+            streams,
+            at: 0,
+            buffered: buffered.into_iter(),
+        })
+    }
+
+    /// Fracture-parallel streaming secondary PTQ: per-component
+    /// [`SecondaryRun`]s with suppression applied *before* pointer choice
+    /// (suppressed tuples never reach the heap), chained, insert-buffer
+    /// matches last. `limit` bounds each component's post-suppression
+    /// entry count — sound for top-k because the global top-k is a subset
+    /// of the per-component top-k unions.
+    pub fn secondary_run(
+        &self,
+        sec_idx: usize,
+        value: u64,
+        qt: f64,
+        tailored: bool,
+        limit: Option<usize>,
+    ) -> Result<FracturedSecondaryRun<'_>> {
+        let mut streams = Vec::with_capacity(self.fractures.len() + 1);
+        for (level, upi) in self.components().enumerate() {
+            let keep = |tid: u64| !self.suppressed(tid, level);
+            streams.push(upi.secondary_run_where(sec_idx, value, qt, tailored, limit, &keep)?);
+        }
+        let sec_attr = self.sec_attrs[sec_idx];
+        let mut buffered: Vec<PtqResult> = self
+            .buf_inserts
+            .values()
+            .filter_map(|t| {
+                let conf = t.confidence_eq(sec_attr, value);
+                (conf >= qt && conf > 0.0).then(|| PtqResult {
+                    tuple: t.clone(),
+                    confidence: conf,
+                })
+            })
+            .collect();
+        sort_results(&mut buffered);
+        Ok(FracturedSecondaryRun {
+            streams,
+            at: 0,
+            buffered: buffered.into_iter(),
+        })
+    }
+
     /// Merge every fracture into a fresh main UPI (§4.3): sequentially read
     /// all components, drop deleted tuples, bulk-write the result, free the
     /// old files. The insert buffer is left untouched.
@@ -420,6 +527,120 @@ impl FracturedUpi {
                 .count() as u64;
         }
         n
+    }
+}
+
+/// Confidence-ordered k-way merge cursor over a fractured UPI's
+/// components (see [`FracturedUpi::ptq_run`]).
+pub struct FracturedPointRun<'a> {
+    f: &'a FracturedUpi,
+    /// One stream per on-disk component; index == suppression level.
+    streams: Vec<PointRun<'a>>,
+    heads: Vec<Option<PtqResult>>,
+    buffered: std::vec::IntoIter<PtqResult>,
+    buf_head: Option<PtqResult>,
+}
+
+impl FracturedPointRun<'_> {
+    /// Refill every empty head with the next *surviving* (non-suppressed)
+    /// row of its component.
+    fn fill_heads(&mut self) -> Result<()> {
+        for (level, stream) in self.streams.iter_mut().enumerate() {
+            while self.heads[level].is_none() {
+                match stream.next() {
+                    None => break,
+                    Some(r) => {
+                        let r = r?;
+                        if !self.f.suppressed(r.tuple.id.0, level) {
+                            self.heads[level] = Some(r);
+                        }
+                    }
+                }
+            }
+        }
+        if self.buf_head.is_none() {
+            self.buf_head = self.buffered.next();
+        }
+        Ok(())
+    }
+}
+
+impl Iterator for FracturedPointRun<'_> {
+    type Item = Result<PtqResult>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Err(e) = self.fill_heads() {
+            return Some(Err(e));
+        }
+        // Pick the winner: highest confidence, ties by lowest tid.
+        let rank = |r: &PtqResult| (r.confidence, std::cmp::Reverse(r.tuple.id.0));
+        let mut best: Option<usize> = None;
+        for (i, h) in self.heads.iter().enumerate() {
+            if let Some(r) = h {
+                if best.is_none_or(|b| rank(r) > rank(self.heads[b].as_ref().unwrap())) {
+                    best = Some(i);
+                }
+            }
+        }
+        let buffer_wins = match (&self.buf_head, best) {
+            (None, _) => false,
+            (Some(_), None) => true,
+            (Some(r), Some(b)) => rank(r) > rank(self.heads[b].as_ref().unwrap()),
+        };
+        if buffer_wins {
+            return Some(Ok(self.buf_head.take().unwrap()));
+        }
+        best.map(|b| Ok(self.heads[b].take().unwrap()))
+    }
+}
+
+/// Chained per-component range streams with suppression (see
+/// [`FracturedUpi::range_run`]).
+pub struct FracturedRangeRun<'a> {
+    f: &'a FracturedUpi,
+    streams: Vec<RangeRun<'a>>,
+    at: usize,
+    buffered: std::vec::IntoIter<PtqResult>,
+}
+
+impl Iterator for FracturedRangeRun<'_> {
+    type Item = Result<PtqResult>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.at < self.streams.len() {
+            match self.streams[self.at].next() {
+                Some(Err(e)) => return Some(Err(e)),
+                Some(Ok(r)) => {
+                    if !self.f.suppressed(r.tuple.id.0, self.at) {
+                        return Some(Ok(r));
+                    }
+                }
+                None => self.at += 1,
+            }
+        }
+        self.buffered.next().map(Ok)
+    }
+}
+
+/// Chained per-component secondary probes (suppression already applied at
+/// entry-choice time; see [`FracturedUpi::secondary_run`]).
+pub struct FracturedSecondaryRun<'a> {
+    streams: Vec<SecondaryRun<'a>>,
+    at: usize,
+    buffered: std::vec::IntoIter<PtqResult>,
+}
+
+impl Iterator for FracturedSecondaryRun<'_> {
+    type Item = Result<PtqResult>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.at < self.streams.len() {
+            match self.streams[self.at].next() {
+                Some(r) => return Some(r),
+                None => self.at += 1,
+            }
+        }
+        self.buffered.next().map(Ok)
     }
 }
 
@@ -596,6 +817,72 @@ mod tests {
         let mut ids: Vec<u64> = res.iter().map(|r| r.tuple.id.0).collect();
         ids.sort_unstable();
         assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn streaming_runs_match_batch_across_components() {
+        // Main + one fracture + live insert buffer + deletes: every
+        // streaming cursor must agree with its batch counterpart.
+        let mut f = fresh(0);
+        let initial: Vec<Tuple> = (0..120).map(|i| author(i, i % 6, 0.8)).collect();
+        f.load_initial(&initial).unwrap();
+        for i in 0..40u64 {
+            f.insert(author(500 + i, i % 6, 0.85)).unwrap();
+        }
+        for i in 0..6u64 {
+            f.delete(TupleId(i)).unwrap();
+        }
+        f.flush().unwrap();
+        for i in 0..10u64 {
+            f.insert(author(900 + i, i % 6, 0.9)).unwrap(); // stays buffered
+        }
+        f.delete(TupleId(7)).unwrap();
+
+        let key = |r: &PtqResult| (r.tuple.id.0, (r.confidence * 1e9).round() as u64);
+        for qt in [0.0, 0.1, 0.5] {
+            // Point: the merge is confidence-ordered and equal to batch.
+            let batch = f.ptq(3, qt).unwrap();
+            let streamed: Vec<PtqResult> =
+                f.ptq_run(3, qt).unwrap().collect::<Result<_>>().unwrap();
+            assert_eq!(
+                batch.iter().map(key).collect::<Vec<_>>(),
+                streamed.iter().map(key).collect::<Vec<_>>(),
+                "point qt={qt}"
+            );
+            for w in streamed.windows(2) {
+                assert!(w[0].confidence >= w[1].confidence, "merge order broken");
+            }
+            // Range.
+            let mut batch = f.ptq_range(1, 4, qt).unwrap();
+            let mut streamed: Vec<PtqResult> = f
+                .range_run(1, 4, qt)
+                .unwrap()
+                .collect::<Result<_>>()
+                .unwrap();
+            sort_results(&mut batch);
+            sort_results(&mut streamed);
+            assert_eq!(
+                batch.iter().map(key).collect::<Vec<_>>(),
+                streamed.iter().map(key).collect::<Vec<_>>(),
+                "range qt={qt}"
+            );
+            // Secondary (tailored and plain).
+            for tailored in [true, false] {
+                let mut batch = f.ptq_secondary(0, 2, qt, tailored).unwrap();
+                let mut streamed: Vec<PtqResult> = f
+                    .secondary_run(0, 2, qt, tailored, None)
+                    .unwrap()
+                    .collect::<Result<_>>()
+                    .unwrap();
+                sort_results(&mut batch);
+                sort_results(&mut streamed);
+                assert_eq!(
+                    batch.iter().map(key).collect::<Vec<_>>(),
+                    streamed.iter().map(key).collect::<Vec<_>>(),
+                    "secondary qt={qt} tailored={tailored}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -57,12 +57,14 @@ pub mod upi;
 
 pub use continuous::{ContinuousConfig, ContinuousSecondary, ContinuousUpi, SecondaryUTree};
 pub use cost::{CostModel, CostParams};
-pub use cutoff::CutoffIndex;
-pub use exec::{group_count, top_k, ExecError, PtqResult};
-pub use fractured::{FracturedConfig, FracturedUpi};
+pub use cutoff::{CutoffIndex, CutoffRangeRun};
+pub use exec::{group_count, sort_results, top_k, ExecError, PtqResult};
+pub use fractured::{
+    FracturedConfig, FracturedPointRun, FracturedRangeRun, FracturedSecondaryRun, FracturedUpi,
+};
 pub use heap::{HeapScanRun, UnclusteredHeap};
 pub use pii::{Pii, PiiRun};
-pub use secondary::{SecEntry, SecondaryIndex};
+pub use secondary::{SecEntry, SecScanRun, SecondaryIndex};
 pub use table::{TableLayout, UncertainTable};
 pub use tuning::{CutoffChoice, TuningAdvisor, WorkloadProfile};
-pub use upi::{DiscreteUpi, DistinctScan, HeapRun, UpiConfig};
+pub use upi::{DiscreteUpi, DistinctScan, HeapRun, PointRun, RangeRun, SecondaryRun, UpiConfig};

@@ -136,21 +136,19 @@ impl SecondaryIndex {
 
     /// All entries for `value` with confidence `≥ qt`, descending.
     pub fn scan(&self, value: u64, qt: f64) -> Result<Vec<SecEntry>> {
-        let mut out = Vec::new();
-        let mut cur = self.tree.seek(&keys::value_prefix(value))?;
-        while cur.valid() {
-            let (v, prob, tid) = keys::decode_entry_key(cur.key());
-            if v != value || prob < qt {
-                break;
-            }
-            out.push(SecEntry {
-                tid,
-                prob,
-                pointers: Self::decode_payload(cur.value()),
-            });
-            cur.advance()?;
-        }
-        Ok(out)
+        self.scan_run(value, qt)?.collect()
+    }
+
+    /// Streaming cursor over the entries for `value` with confidence
+    /// `≥ qt`, in descending-confidence order: one index seek, then
+    /// sequential reads that stop at the first entry below the threshold
+    /// — so a top-k probe reads only the entries it consumes.
+    pub fn scan_run(&self, value: u64, qt: f64) -> Result<SecScanRun<'_>> {
+        Ok(SecScanRun {
+            cur: self.tree.seek(&keys::value_prefix(value))?,
+            value,
+            qt,
+        })
     }
 
     /// Entry count.
@@ -184,6 +182,37 @@ impl SecondaryIndex {
     /// granularity, so only the per-value totals are populated.
     pub fn stats(&self) -> &AttrStats {
         &self.stats
+    }
+}
+
+/// Streaming iterator over one value's secondary entries (see
+/// [`SecondaryIndex::scan_run`]).
+pub struct SecScanRun<'a> {
+    cur: upi_btree::Cursor<'a>,
+    value: u64,
+    qt: f64,
+}
+
+impl Iterator for SecScanRun<'_> {
+    type Item = Result<SecEntry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if !self.cur.valid() {
+            return None;
+        }
+        let (v, prob, tid) = keys::decode_entry_key(self.cur.key());
+        if v != self.value || prob < self.qt {
+            return None;
+        }
+        let pointers = SecondaryIndex::decode_payload(self.cur.value());
+        if let Err(e) = self.cur.advance() {
+            return Some(Err(e));
+        }
+        Some(Ok(SecEntry {
+            tid,
+            prob,
+            pointers,
+        }))
     }
 }
 

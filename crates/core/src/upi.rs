@@ -1,16 +1,16 @@
 //! The discrete UPI: clustered heap + cutoff index + secondary indexes
 //! (§§2–3, Algorithms 1–3).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use upi_btree::{BTree, Cursor, TreeStats};
-use upi_storage::codec::quantize_prob;
+use upi_storage::codec::{dequantize_prob, quantize_prob};
 use upi_storage::error::Result;
 use upi_storage::Store;
-use upi_uncertain::tuple::{decode_tuple, encode_tuple};
+use upi_uncertain::tuple::{decode_tuple, encode_tuple, peek_first_alt};
 use upi_uncertain::{AttrStats, Tuple};
 
-use crate::cutoff::CutoffIndex;
+use crate::cutoff::{CutoffIndex, CutoffPointer};
 use crate::exec::PtqResult;
 use crate::keys;
 use crate::secondary::SecondaryIndex;
@@ -261,6 +261,131 @@ impl DiscreteUpi {
             .map(|b| decode_tuple(&b)))
     }
 
+    /// Confidence-ordered streaming cursor for a point PTQ `(value, qt)`:
+    /// merges the heap run with the (lazily consulted) cutoff list so
+    /// results come out in `{confidence DESC, tid ASC}` order and a top-k
+    /// consumer can stop pulling — and therefore stop *reading* — after k
+    /// rows. The cutoff list is only opened once the run's head falls
+    /// below the cutoff threshold `C` (every cutoff entry is below `C`,
+    /// so until then the heap run wins outright, §3.1).
+    ///
+    /// `cutoff_limit` bounds how many cutoff pointers are scanned — pass
+    /// `Some(k)` for a top-k query over a standalone UPI (at most k
+    /// pointers can matter), `None` when results may be filtered
+    /// downstream (e.g. fracture suppression).
+    pub fn point_run(
+        &self,
+        value: u64,
+        qt: f64,
+        cutoff_limit: Option<usize>,
+    ) -> Result<PointRun<'_>> {
+        Ok(PointRun {
+            upi: self,
+            run: Some(self.heap_run(value, qt)?),
+            run_head: None,
+            value,
+            qt,
+            cutoff_limit,
+            pointers: None,
+        })
+    }
+
+    /// Streaming range cursor:
+    /// `SELECT * WHERE attr BETWEEN lo AND hi, confidence ≥ qt` as one
+    /// pass over the clustered heap plus the cutoff index, yielding each
+    /// qualifying tuple exactly once *as soon as it is first
+    /// encountered* (its total in-range confidence is computed from the
+    /// decoded PMF on the spot — alternatives sum under possible-world
+    /// semantics, and the tuple carries them all). Rows stream in value
+    /// order, not confidence order; sinks that need ranking sort at the
+    /// end, but I/O is a single seek + sequential run either way.
+    pub fn range_run(&self, lo: u64, hi: u64, qt: f64) -> Result<RangeRun<'_>> {
+        assert!(lo <= hi, "inverted range");
+        Ok(RangeRun {
+            upi: self,
+            cur: Some(self.heap.seek(&keys::value_prefix(lo))?),
+            lo,
+            hi,
+            qt,
+            seen: HashSet::new(),
+            pending: None,
+        })
+    }
+
+    /// Streaming secondary-index probe (Algorithm 3 when `tailored`):
+    /// scans the compact entry run, chooses one heap pointer per entry,
+    /// then dereferences lazily in heap (bitmap) order. With
+    /// `limit = Some(k)` only the k most-confident entries are read and
+    /// fetched — the secondary entry run is `{confidence DESC}`-ordered,
+    /// so a top-k query's result set is decided by its first k entries.
+    pub fn secondary_run(
+        &self,
+        sec_idx: usize,
+        value: u64,
+        qt: f64,
+        tailored: bool,
+        limit: Option<usize>,
+    ) -> Result<SecondaryRun<'_>> {
+        self.secondary_run_where(sec_idx, value, qt, tailored, limit, &|_| true)
+    }
+
+    /// [`secondary_run`](Self::secondary_run) with a tuple-id filter
+    /// applied *before* pointer choice and heap fetches — the fractured
+    /// executor uses this to drop suppressed tuples without paying their
+    /// heap I/O. `limit` counts entries that pass the filter.
+    pub(crate) fn secondary_run_where(
+        &self,
+        sec_idx: usize,
+        value: u64,
+        qt: f64,
+        tailored: bool,
+        limit: Option<usize>,
+        keep: &dyn Fn(u64) -> bool,
+    ) -> Result<SecondaryRun<'_>> {
+        let mut entries = Vec::new();
+        for e in self.secondaries[sec_idx].scan_run(value, qt)? {
+            let e = e?;
+            if !keep(e.tid) {
+                continue;
+            }
+            entries.push(e);
+            if limit.is_some_and(|k| entries.len() >= k) {
+                break;
+            }
+        }
+        // (pointer value, pointer prob, tid, result confidence)
+        let mut chosen: Vec<(u64, f64, u64, f64)> = Vec::with_capacity(entries.len());
+        if tailored {
+            let mut seen: HashSet<u64> = HashSet::new();
+            for e in &entries {
+                if e.pointers.len() == 1 {
+                    seen.insert(e.pointers[0].0);
+                }
+            }
+            for e in &entries {
+                let ptr = e
+                    .pointers
+                    .iter()
+                    .find(|p| seen.contains(&p.0))
+                    .copied()
+                    .unwrap_or(e.pointers[0]);
+                seen.insert(ptr.0);
+                chosen.push((ptr.0, ptr.1, e.tid, e.prob));
+            }
+        } else {
+            for e in &entries {
+                let ptr = e.pointers[0];
+                chosen.push((ptr.0, ptr.1, e.tid, e.prob));
+            }
+        }
+        // Bitmap-scan style: dereference in heap key order.
+        chosen.sort_unstable_by_key(|&(v, p, tid, _)| (v, u32::MAX - quantize_prob(p), tid));
+        Ok(SecondaryRun {
+            upi: self,
+            chosen: chosen.into_iter(),
+        })
+    }
+
     /// Probabilistic threshold query (Algorithm 2):
     /// `SELECT * WHERE attr = value, confidence ≥ qt`.
     ///
@@ -307,69 +432,10 @@ impl DiscreteUpi {
     /// scan reads every entry in the range: one index seek plus one
     /// sequential run over the clustered heap (the UPI's analytic-query
     /// strength), plus the below-cutoff alternatives from the cutoff
-    /// index.
+    /// index. This is the batch collection of [`range_run`](Self::range_run).
     pub fn ptq_range(&self, lo: u64, hi: u64, qt: f64) -> Result<Vec<PtqResult>> {
-        assert!(lo <= hi, "inverted range");
-        // tid -> (tuple if already materialized, accumulated confidence).
-        let mut acc: std::collections::HashMap<u64, (Option<Tuple>, f64)> =
-            std::collections::HashMap::new();
-        let mut cur = self.heap.seek(&keys::value_prefix(lo))?;
-        while cur.valid() {
-            let (v, prob, tid) = keys::decode_entry_key(cur.key());
-            if v > hi {
-                break;
-            }
-            let e = acc.entry(tid).or_insert((None, 0.0));
-            if e.0.is_none() {
-                e.0 = Some(decode_tuple(cur.value()));
-            }
-            e.1 += prob;
-            cur.advance()?;
-        }
-        // Cutoff alternatives contribute probability mass. Accumulate all
-        // sums first; tuple data is fetched only for tuples that end up
-        // qualifying and were not already materialized by the heap scan —
-        // a tuple whose in-range mass is entirely below-cutoff rarely
-        // reaches the threshold, so this usually avoids pointer chasing
-        // entirely.
-        let mut pointer_of: std::collections::HashMap<u64, (u64, f64)> =
-            std::collections::HashMap::new();
-        for (_, cp) in self.cutoff.scan_range(lo, hi)? {
-            let e = acc.entry(cp.tid).or_insert((None, 0.0));
-            e.1 += cp.prob;
-            if e.0.is_none() {
-                pointer_of.insert(cp.tid, (cp.first_value, cp.first_prob));
-            }
-        }
-        let mut pending: Vec<(u64, f64, u64)> = acc
-            .iter()
-            .filter(|(_, (tuple, conf))| tuple.is_none() && *conf >= qt)
-            .map(|(&tid, _)| {
-                let (v, p) = pointer_of[&tid];
-                (v, p, tid)
-            })
-            .collect();
-        pending.sort_unstable_by_key(|&(v, p, tid)| (v, u32::MAX - quantize_prob(p), tid));
-        for (v, p, tid) in pending {
-            let tuple = self
-                .fetch_by_pointer(v, p, tid)?
-                .expect("cutoff pointer must dereference");
-            acc.get_mut(&tid).unwrap().0 = Some(tuple);
-        }
-        let mut out: Vec<PtqResult> = acc
-            .into_values()
-            .filter(|(tuple, conf)| *conf >= qt && tuple.is_some())
-            .map(|(tuple, confidence)| PtqResult {
-                tuple: tuple.expect("qualifying tuples were materialized"),
-                confidence,
-            })
-            .collect();
-        out.sort_by(|a, b| {
-            b.confidence
-                .partial_cmp(&a.confidence)
-                .unwrap()
-                .then_with(|| a.tuple.id.cmp(&b.tuple.id))
-        });
+        let mut out: Vec<PtqResult> = self.range_run(lo, hi, qt)?.collect::<Result<_>>()?;
+        crate::exec::sort_results(&mut out);
         Ok(out)
     }
 
@@ -389,47 +455,10 @@ impl DiscreteUpi {
         qt: f64,
         tailored: bool,
     ) -> Result<Vec<PtqResult>> {
-        let entries = self.secondaries[sec_idx].scan(value, qt)?;
-        // (pointer value, pointer prob, tid, result confidence)
-        let mut chosen: Vec<(u64, f64, u64, f64)> = Vec::with_capacity(entries.len());
-        if tailored {
-            let mut seen: HashSet<u64> = HashSet::new();
-            for e in &entries {
-                if e.pointers.len() == 1 {
-                    seen.insert(e.pointers[0].0);
-                }
-            }
-            for e in &entries {
-                let ptr = e
-                    .pointers
-                    .iter()
-                    .find(|p| seen.contains(&p.0))
-                    .copied()
-                    .unwrap_or(e.pointers[0]);
-                seen.insert(ptr.0);
-                chosen.push((ptr.0, ptr.1, e.tid, e.prob));
-            }
-        } else {
-            for e in &entries {
-                let ptr = e.pointers[0];
-                chosen.push((ptr.0, ptr.1, e.tid, e.prob));
-            }
-        }
-        // Bitmap-scan style: dereference in heap key order.
-        chosen.sort_unstable_by_key(|&(v, p, tid, _)| (v, u32::MAX - quantize_prob(p), tid));
-        let mut out = Vec::with_capacity(chosen.len());
-        for (v, p, tid, confidence) in chosen {
-            let tuple = self
-                .fetch_by_pointer(v, p, tid)?
-                .expect("secondary pointer must dereference");
-            out.push(PtqResult { tuple, confidence });
-        }
-        out.sort_by(|a, b| {
-            b.confidence
-                .partial_cmp(&a.confidence)
-                .unwrap()
-                .then_with(|| a.tuple.id.cmp(&b.tuple.id))
-        });
+        let mut out: Vec<PtqResult> = self
+            .secondary_run(sec_idx, value, qt, tailored, None)?
+            .collect::<Result<_>>()?;
+        crate::exec::sort_results(&mut out);
         Ok(out)
     }
 
@@ -536,18 +565,238 @@ impl Iterator for DistinctScan<'_> {
     fn next(&mut self) -> Option<Self::Item> {
         while self.cur.valid() {
             let (v, prob, _tid) = keys::decode_entry_key(self.cur.key());
-            let t = decode_tuple(self.cur.value());
+            // Keep only the first-alternative copy, comparing on the
+            // quantized grid the key uses (as in scan_tuples). The peek
+            // reads the key fields straight off the encoded bytes, so
+            // the (payload-heavy) duplicate copies are skipped without
+            // allocating a tuple per entry.
+            let keep = match peek_first_alt(self.cur.value(), self.attr) {
+                Some((exist, (fv, fp))) => {
+                    fv == v && quantize_prob(fp * exist) == quantize_prob(prob)
+                }
+                None => true, // malformed entry: decode and let it panic
+            };
+            let t = keep.then(|| decode_tuple(self.cur.value()));
             if let Err(e) = self.cur.advance() {
                 return Some(Err(e));
             }
-            let first = t.discrete(self.attr).first();
-            // Keep only the first-alternative copy, comparing on the
-            // quantized grid the key uses (as in scan_tuples).
-            if first.0 == v && quantize_prob(first.1 * t.exist) == quantize_prob(prob) {
+            if let Some(t) = t {
+                debug_assert_eq!(t.discrete(self.attr).first().0, v);
                 return Some(Ok(t));
             }
         }
         None
+    }
+}
+
+/// Confidence-ordered point-PTQ cursor (see [`DiscreteUpi::point_run`]):
+/// a lazy merge of the heap run with the cutoff list. Cutoff targets are
+/// dereferenced one at a time as the merge emits them, so an early-
+/// terminated consumer never pays for the tail.
+pub struct PointRun<'a> {
+    upi: &'a DiscreteUpi,
+    run: Option<HeapRun<'a>>,
+    run_head: Option<PtqResult>,
+    value: u64,
+    qt: f64,
+    cutoff_limit: Option<usize>,
+    /// `None` until the cutoff list is first needed (run head below `C`
+    /// or run exhausted); then the remaining pointers, confidence order.
+    pointers: Option<std::vec::IntoIter<CutoffPointer>>,
+}
+
+impl PointRun<'_> {
+    /// Pull the next heap-run row into `run_head` if it is empty.
+    fn fill_run_head(&mut self) -> Result<()> {
+        if self.run_head.is_none() {
+            if let Some(run) = &mut self.run {
+                match run.next() {
+                    Some(r) => self.run_head = Some(r?),
+                    None => self.run = None,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Open the cutoff list if it has not been consulted yet.
+    fn ensure_pointers(&mut self) -> Result<()> {
+        if self.pointers.is_none() {
+            let list = if self.qt < self.upi.cfg.cutoff {
+                self.upi
+                    .cutoff
+                    .scan_limit(self.value, self.qt, self.cutoff_limit)?
+            } else {
+                Vec::new() // every cutoff entry is below C ≤ qt
+            };
+            self.pointers = Some(list.into_iter());
+        }
+        Ok(())
+    }
+}
+
+impl Iterator for PointRun<'_> {
+    type Item = Result<PtqResult>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Err(e) = self.fill_run_head() {
+            return Some(Err(e));
+        }
+        // While the run head is at/above C, no cutoff entry can beat it:
+        // emit without ever touching the cutoff index.
+        if let Some(head) = &self.run_head {
+            if head.confidence >= self.upi.cfg.cutoff {
+                return Some(Ok(self.run_head.take().unwrap()));
+            }
+        }
+        if let Err(e) = self.ensure_pointers() {
+            return Some(Err(e));
+        }
+        let ptr_head = self.pointers.as_mut().unwrap().as_slice().first().copied();
+        let take_ptr = match (&self.run_head, &ptr_head) {
+            (None, None) => return None,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some(r), Some(p)) => (p.prob, std::cmp::Reverse(p.tid))
+                .partial_cmp(&(r.confidence, std::cmp::Reverse(r.tuple.id.0)))
+                .unwrap()
+                .is_gt(),
+        };
+        if !take_ptr {
+            return Some(Ok(self.run_head.take().unwrap()));
+        }
+        let cp = self.pointers.as_mut().unwrap().next().unwrap();
+        match self
+            .upi
+            .fetch_by_pointer(cp.first_value, cp.first_prob, cp.tid)
+        {
+            Ok(Some(tuple)) => Some(Ok(PtqResult {
+                tuple,
+                confidence: cp.prob,
+            })),
+            Ok(None) => panic!("cutoff pointer must dereference"),
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+/// Streaming range-PTQ cursor (see [`DiscreteUpi::range_run`]). Phase 1
+/// streams the clustered heap run, emitting each tuple at its first
+/// in-range copy with its full possible-world confidence computed from
+/// the decoded PMF. Phase 2 streams the cutoff index for tuples whose
+/// in-range mass is entirely below-cutoff, fetching only qualifiers (in
+/// heap order).
+pub struct RangeRun<'a> {
+    upi: &'a DiscreteUpi,
+    cur: Option<Cursor<'a>>,
+    lo: u64,
+    hi: u64,
+    qt: f64,
+    seen: HashSet<u64>,
+    /// Phase-2 fetch list `(ptr value, ptr prob, tid, confidence)`, heap
+    /// order; built when the heap run is exhausted.
+    pending: Option<std::vec::IntoIter<(u64, f64, u64, f64)>>,
+}
+
+impl RangeRun<'_> {
+    /// Quantized-grid possible-world confidence of `tuple` for this
+    /// range, exactly as the index keys would sum it.
+    fn range_confidence(&self, tuple: &Tuple) -> f64 {
+        tuple
+            .discrete(self.upi.attr)
+            .alternatives()
+            .iter()
+            .filter(|&&(v, _)| (self.lo..=self.hi).contains(&v))
+            .map(|&(_, p)| dequantize_prob(quantize_prob(p * tuple.exist)))
+            .sum()
+    }
+
+    /// Build the phase-2 fetch list: accumulate cutoff mass per unseen
+    /// tuple, keep qualifiers, order by heap key.
+    fn build_pending(&mut self) -> Result<()> {
+        let mut acc: HashMap<u64, (u64, f64, f64)> = HashMap::new(); // tid -> (ptr v, ptr p, conf)
+        for r in self.upi.cutoff.scan_range_run(self.lo, self.hi)? {
+            let (_, cp) = r?;
+            if self.seen.contains(&cp.tid) {
+                continue; // full PMF mass already counted in phase 1
+            }
+            let e = acc
+                .entry(cp.tid)
+                .or_insert((cp.first_value, cp.first_prob, 0.0));
+            e.2 += cp.prob;
+        }
+        let mut pending: Vec<(u64, f64, u64, f64)> = acc
+            .into_iter()
+            .filter(|&(_, (_, _, conf))| conf >= self.qt)
+            .map(|(tid, (v, p, conf))| (v, p, tid, conf))
+            .collect();
+        pending.sort_unstable_by_key(|&(v, p, tid, _)| (v, u32::MAX - quantize_prob(p), tid));
+        self.pending = Some(pending.into_iter());
+        Ok(())
+    }
+}
+
+impl Iterator for RangeRun<'_> {
+    type Item = Result<PtqResult>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        // Phase 1: the clustered run.
+        while let Some(cur) = &mut self.cur {
+            if !cur.valid() {
+                self.cur = None;
+                break;
+            }
+            let (v, _prob, tid) = keys::decode_entry_key(cur.key());
+            if v > self.hi {
+                self.cur = None;
+                break;
+            }
+            let fresh = self.seen.insert(tid);
+            let tuple = fresh.then(|| decode_tuple(cur.value()));
+            if let Err(e) = cur.advance() {
+                return Some(Err(e));
+            }
+            if let Some(tuple) = tuple {
+                let confidence = self.range_confidence(&tuple);
+                if confidence >= self.qt {
+                    return Some(Ok(PtqResult { tuple, confidence }));
+                }
+            }
+        }
+        // Phase 2: tuples visible only through the cutoff index.
+        if self.pending.is_none() {
+            if let Err(e) = self.build_pending() {
+                return Some(Err(e));
+            }
+        }
+        let (v, p, tid, confidence) = self.pending.as_mut().unwrap().next()?;
+        match self.upi.fetch_by_pointer(v, p, tid) {
+            Ok(Some(tuple)) => Some(Ok(PtqResult { tuple, confidence })),
+            Ok(None) => panic!("cutoff pointer must dereference"),
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+/// Streaming secondary probe (see [`DiscreteUpi::secondary_run`]): the
+/// pointer choices are fixed up front from the compact entry run; heap
+/// tuples are fetched lazily, one per pull, in heap (bitmap) order.
+pub struct SecondaryRun<'a> {
+    upi: &'a DiscreteUpi,
+    /// `(pointer value, pointer prob, tid, confidence)`, heap key order.
+    chosen: std::vec::IntoIter<(u64, f64, u64, f64)>,
+}
+
+impl Iterator for SecondaryRun<'_> {
+    type Item = Result<PtqResult>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let (v, p, tid, confidence) = self.chosen.next()?;
+        match self.upi.fetch_by_pointer(v, p, tid) {
+            Ok(Some(tuple)) => Some(Ok(PtqResult { tuple, confidence })),
+            Ok(None) => panic!("secondary pointer must dereference"),
+            Err(e) => Some(Err(e)),
+        }
     }
 }
 
@@ -726,6 +975,79 @@ mod tests {
         // MIT has two alternatives: 0.95 and 0.18.
         assert_eq!(u.attr_stats().value_count(MIT), 2);
         assert!(u.attr_stats().est_count_ge(MIT, 0.5) >= 0.9);
+    }
+
+    #[test]
+    fn point_run_matches_ptq_in_confidence_order() {
+        // Exercise both regimes: cutoff merge needed (C=0.99 pushes all
+        // non-first alternatives into the cutoff index) and not needed.
+        for c in [0.1, 0.99] {
+            let u = upi_with(c);
+            for value in [BROWN, MIT, UCB, UTOKYO] {
+                for qt in [0.0, 0.01, 0.1, 0.5] {
+                    let batch = u.ptq(value, qt).unwrap();
+                    let streamed: Vec<PtqResult> = u
+                        .point_run(value, qt, None)
+                        .unwrap()
+                        .collect::<Result<_>>()
+                        .unwrap();
+                    assert_eq!(batch.len(), streamed.len(), "C={c} v={value} qt={qt}");
+                    for (a, b) in batch.iter().zip(&streamed) {
+                        assert_eq!(a.tuple.id, b.tuple.id);
+                        assert!((a.confidence - b.confidence).abs() < 1e-12);
+                    }
+                    // The merge must be confidence-ordered as it streams.
+                    for w in streamed.windows(2) {
+                        assert!(w[0].confidence >= w[1].confidence);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_run_matches_ptq_range() {
+        let u = upi_with(0.1);
+        for (lo, hi) in [(BROWN, MIT), (BROWN, UTOKYO), (UCB, UTOKYO), (MIT, MIT)] {
+            for qt in [0.0, 0.1, 0.4] {
+                let batch = u.ptq_range(lo, hi, qt).unwrap();
+                let mut streamed: Vec<PtqResult> = u
+                    .range_run(lo, hi, qt)
+                    .unwrap()
+                    .collect::<Result<_>>()
+                    .unwrap();
+                crate::exec::sort_results(&mut streamed);
+                assert_eq!(batch.len(), streamed.len(), "[{lo},{hi}] qt={qt}");
+                for (a, b) in batch.iter().zip(&streamed) {
+                    assert_eq!(a.tuple.id, b.tuple.id);
+                    assert!((a.confidence - b.confidence).abs() < 1e-12);
+                }
+            }
+        }
+        // Alternatives must sum: Carol (exist .8) at [US: .6, Japan: .4]
+        // on the primary attr {BROWN: .6, UTOKYO: .4} → range over both
+        // values has confidence .8 * 1.0 = .8.
+        let all = u.ptq_range(BROWN, UTOKYO, 0.0).unwrap();
+        let carol = all.iter().find(|r| r.tuple.id.0 == 3).unwrap();
+        assert!((carol.confidence - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn secondary_run_limit_truncates_to_most_confident() {
+        let u = upi_with(0.1);
+        let full = u.ptq_secondary(0, US, 0.0, true).unwrap();
+        assert!(full.len() >= 2);
+        let mut limited: Vec<PtqResult> = u
+            .secondary_run(0, US, 0.0, true, Some(2))
+            .unwrap()
+            .collect::<Result<_>>()
+            .unwrap();
+        crate::exec::sort_results(&mut limited);
+        assert_eq!(limited.len(), 2);
+        for (a, b) in full.iter().zip(&limited) {
+            assert_eq!(a.tuple.id, b.tuple.id, "limit must keep the top entries");
+            assert!((a.confidence - b.confidence).abs() < 1e-12);
+        }
     }
 
     #[test]

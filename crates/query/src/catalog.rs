@@ -4,7 +4,7 @@ use upi::{
     ContinuousSecondary, ContinuousUpi, DiscreteUpi, FracturedUpi, Pii, SecondaryUTree,
     UnclusteredHeap,
 };
-use upi_storage::DiskConfig;
+use upi_storage::{BufferPool, DiskConfig};
 
 /// Everything the planner may route a query through, with the disk
 /// parameters it prices I/O against. All references borrow the caller's
@@ -32,6 +32,11 @@ pub struct Catalog<'a> {
     pub cont_secondaries: Vec<&'a ContinuousSecondary>,
     /// A secondary U-Tree over the unclustered heap.
     pub utree: Option<&'a SecondaryUTree>,
+    /// The buffer pool the structures read through. When registered, the
+    /// executor attributes per-query hit/miss/read-ahead counters to each
+    /// run (surfaced on `QueryOutput::io` and in
+    /// `PhysicalPlan::explain_with_io`).
+    pub pool: Option<&'a BufferPool>,
 }
 
 impl<'a> Catalog<'a> {
@@ -46,6 +51,7 @@ impl<'a> Catalog<'a> {
             cupi: None,
             cont_secondaries: Vec::new(),
             utree: None,
+            pool: None,
         }
     }
 
@@ -88,6 +94,12 @@ impl<'a> Catalog<'a> {
     /// Register a secondary U-Tree over the unclustered heap.
     pub fn with_utree(mut self, utree: &'a SecondaryUTree) -> Catalog<'a> {
         self.utree = Some(utree);
+        self
+    }
+
+    /// Register the buffer pool for per-query I/O attribution.
+    pub fn with_pool(mut self, pool: &'a BufferPool) -> Catalog<'a> {
+        self.pool = Some(pool);
         self
     }
 }

@@ -2,17 +2,22 @@
 //!
 //! Rows flow as `Iterator<Item = Result<PtqResult, QueryError>>` from a
 //! source operator into the sink pipeline (`Filter` is fused into every
-//! source; `TopK`, `GroupCount`, `Project` run at the sink). Sources that
-//! have a natural streaming cursor (`IndexRun`, `CutoffMerge`, `PiiProbe`,
-//! the two full scans) stream page-at-a-time through the B+Tree cursors;
-//! algorithms that are inherently batch (tailored secondary access,
-//! fractured merges, R-Tree circle queries) delegate to the owning index
-//! structure and feed its rows through the same sinks.
+//! source; `TopK`, `GroupCount`, `Project` run at the sink). Every
+//! discrete access path is a true streaming cursor over the B+Tree leaf
+//! chains: `IndexRun`/`CutoffMerge`/`UpiPointMerge` for point probes,
+//! `UpiRange` for clustered range runs, `SecondaryProbe` for (tailored)
+//! secondary access, `FracturedMerge` for fracture-parallel merges, plus
+//! `PiiProbe` and the two full scans. Sources whose output is
+//! **confidence-ordered** (`UpiPointMerge`, the fractured point merge)
+//! let a top-k sink stop pulling — and therefore stop *reading* — after
+//! k rows. Only the R-Tree circle paths remain batch, delegating to the
+//! owning index structure and feeding rows through the same sinks.
 
 use upi::exec::group_count;
-use upi::{DiscreteUpi, HeapRun, HeapScanRun, Pii, PtqResult, UnclusteredHeap};
+use upi::{DiscreteUpi, FracturedUpi, HeapRun, HeapScanRun, Pii, PtqResult, UnclusteredHeap};
 use upi_storage::codec::{dequantize_prob, quantize_prob};
 use upi_storage::error::Result as StorageResult;
+use upi_storage::PoolCounters;
 use upi_uncertain::Tuple;
 
 use crate::catalog::Catalog;
@@ -28,6 +33,11 @@ pub struct QueryOutput {
     pub rows: Vec<PtqResult>,
     /// `(group value, count)` pairs, ascending, when the query groups.
     pub groups: Option<Vec<(u64, u64)>>,
+    /// Buffer-pool counters attributed to this execution, when the
+    /// catalog registered a pool (`Catalog::with_pool`). Feed back into
+    /// [`PhysicalPlan::explain_with_io`] to render the plan with its
+    /// measured page traffic.
+    pub io: Option<PoolCounters>,
 }
 
 impl QueryOutput {
@@ -258,6 +268,150 @@ impl Iterator for UpiFullScan<'_> {
     }
 }
 
+/// `UpiPointMerge` — confidence-ordered merge of the UPI heap run with
+/// the (lazily consulted) cutoff list. The stream is
+/// `{confidence DESC, tid ASC}`-ordered, so the top-k sink terminates it
+/// early without reading the tail of the run or dereferencing unneeded
+/// cutoff pointers.
+pub struct UpiPointMerge<'a> {
+    inner: upi::PointRun<'a>,
+}
+
+impl<'a> UpiPointMerge<'a> {
+    /// Open for a point PTQ `(value, qt)`; `limit` bounds the cutoff-list
+    /// read for top-k queries.
+    pub fn open(
+        upi: &'a DiscreteUpi,
+        value: u64,
+        qt: f64,
+        limit: Option<usize>,
+    ) -> StorageResult<UpiPointMerge<'a>> {
+        Ok(UpiPointMerge {
+            inner: upi.point_run(value, qt, limit)?,
+        })
+    }
+}
+
+impl Iterator for UpiPointMerge<'_> {
+    type Item = Result<PtqResult, QueryError>;
+    fn next(&mut self) -> Option<Self::Item> {
+        Some(self.inner.next()?.map_err(QueryError::from))
+    }
+}
+
+/// `UpiRange` — streams the clustered range run: one seek, one
+/// sequential pass over the heap emitting each qualifying tuple at its
+/// first in-range copy, then the cutoff index for tuples whose in-range
+/// mass is entirely below-cutoff. Pages stream through the buffer pool
+/// (and its read-ahead) instead of being materialized as a batch.
+pub struct UpiRange<'a> {
+    inner: upi::RangeRun<'a>,
+}
+
+impl<'a> UpiRange<'a> {
+    /// Open for a range PTQ `[lo, hi]` at threshold `qt`.
+    pub fn open(upi: &'a DiscreteUpi, lo: u64, hi: u64, qt: f64) -> StorageResult<UpiRange<'a>> {
+        Ok(UpiRange {
+            inner: upi.range_run(lo, hi, qt)?,
+        })
+    }
+}
+
+impl Iterator for UpiRange<'_> {
+    type Item = Result<PtqResult, QueryError>;
+    fn next(&mut self) -> Option<Self::Item> {
+        Some(self.inner.next()?.map_err(QueryError::from))
+    }
+}
+
+/// `SecondaryProbe` — streaming (tailored) secondary-index access: the
+/// compact entry run fixes the pointer choices (at most `limit` entries
+/// are read for a top-k query, since the entry run is confidence-
+/// ordered), then heap tuples are fetched lazily in heap (bitmap) order.
+pub struct SecondaryProbe<'a> {
+    inner: upi::SecondaryRun<'a>,
+}
+
+impl<'a> SecondaryProbe<'a> {
+    /// Open probe #`index` of `upi` for `(value, qt)`.
+    pub fn open(
+        upi: &'a DiscreteUpi,
+        index: usize,
+        value: u64,
+        qt: f64,
+        tailored: bool,
+        limit: Option<usize>,
+    ) -> StorageResult<SecondaryProbe<'a>> {
+        Ok(SecondaryProbe {
+            inner: upi.secondary_run(index, value, qt, tailored, limit)?,
+        })
+    }
+}
+
+impl Iterator for SecondaryProbe<'_> {
+    type Item = Result<PtqResult, QueryError>;
+    fn next(&mut self) -> Option<Self::Item> {
+        Some(self.inner.next()?.map_err(QueryError::from))
+    }
+}
+
+/// `FracturedMerge` — the fracture-parallel merge cursor: one streaming
+/// run per on-disk component plus the insert buffer, with delete-set
+/// suppression applied as rows surface. Point probes merge
+/// confidence-ordered (k-way, early-terminating); range and secondary
+/// probes chain per-component runs and let the sink sort.
+pub enum FracturedMerge<'a> {
+    /// Confidence-ordered k-way point merge.
+    Point(upi::FracturedPointRun<'a>),
+    /// Chained per-component range runs.
+    Range(upi::FracturedRangeRun<'a>),
+    /// Chained per-component secondary probes.
+    Secondary(upi::FracturedSecondaryRun<'a>),
+}
+
+impl<'a> FracturedMerge<'a> {
+    /// Open a point merge for `(value, qt)`.
+    pub fn point(f: &'a FracturedUpi, value: u64, qt: f64) -> StorageResult<FracturedMerge<'a>> {
+        Ok(FracturedMerge::Point(f.ptq_run(value, qt)?))
+    }
+
+    /// Open a range merge for `[lo, hi]` at `qt`.
+    pub fn range(
+        f: &'a FracturedUpi,
+        lo: u64,
+        hi: u64,
+        qt: f64,
+    ) -> StorageResult<FracturedMerge<'a>> {
+        Ok(FracturedMerge::Range(f.range_run(lo, hi, qt)?))
+    }
+
+    /// Open a secondary merge on probe #`index` for `(value, qt)`.
+    pub fn secondary(
+        f: &'a FracturedUpi,
+        index: usize,
+        value: u64,
+        qt: f64,
+        tailored: bool,
+        limit: Option<usize>,
+    ) -> StorageResult<FracturedMerge<'a>> {
+        Ok(FracturedMerge::Secondary(
+            f.secondary_run(index, value, qt, tailored, limit)?,
+        ))
+    }
+}
+
+impl Iterator for FracturedMerge<'_> {
+    type Item = Result<PtqResult, QueryError>;
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = match self {
+            FracturedMerge::Point(run) => run.next()?,
+            FracturedMerge::Range(run) => run.next()?,
+            FracturedMerge::Secondary(run) => run.next()?,
+        };
+        Some(item.map_err(QueryError::from))
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Sinks
 // ---------------------------------------------------------------------------
@@ -270,17 +424,6 @@ fn collect_stream(
         rows.push(r?);
     }
     Ok(rows)
-}
-
-/// Present rows the way every index path does: descending confidence,
-/// ties by ascending tuple id.
-fn sort_rows(rows: &mut [PtqResult]) {
-    rows.sort_by(|a, b| {
-        b.confidence
-            .partial_cmp(&a.confidence)
-            .unwrap()
-            .then_with(|| a.tuple.id.cmp(&b.tuple.id))
-    });
 }
 
 fn project_rows(rows: &mut [PtqResult], fields: &[usize]) -> Result<(), QueryError> {
@@ -322,34 +465,55 @@ fn need<T: Copy>(entry: Option<T>, what: &str) -> Result<T, QueryError> {
     })
 }
 
-/// Produce the (threshold-filtered, unsorted) row set of the chosen path.
-fn fetch_rows(
+/// A boxed row stream plus whether it is already
+/// `{confidence DESC, tid ASC}`-ordered (ordered streams let the top-k
+/// sink terminate the source early and skip the sort).
+type Source<'a> = (
+    Box<dyn Iterator<Item = Result<PtqResult, QueryError>> + 'a>,
+    bool,
+);
+
+fn range_params(q: &PtqQuery, what: &str) -> Result<(u64, u64), QueryError> {
+    match q.predicate {
+        Predicate::Range { lo, hi, .. } => Ok((lo, hi)),
+        _ => Err(QueryError::CatalogMismatch {
+            missing: format!("range predicate for {what}"),
+        }),
+    }
+}
+
+/// Open the chosen path as a streaming source.
+fn open_source<'a>(
     path: &AccessPath,
     q: &PtqQuery,
-    catalog: &Catalog<'_>,
-) -> Result<Vec<PtqResult>, QueryError> {
-    match path {
+    catalog: &Catalog<'a>,
+) -> Result<Source<'a>, QueryError> {
+    let unordered = |s: Box<dyn Iterator<Item = Result<PtqResult, QueryError>> + 'a>| (s, false);
+    let batch = |rows: Vec<PtqResult>| {
+        let s: Box<dyn Iterator<Item = Result<PtqResult, QueryError>> + 'a> =
+            Box::new(rows.into_iter().map(Ok));
+        (s, false)
+    };
+    Ok(match path {
         AccessPath::UpiHeap { use_cutoff } => {
             let upi = need(catalog.upi, "the discrete UPI")?;
             let (_, value) = eq_params(q)?;
             if let Some(k) = q.top_k {
-                // Early-terminating top-k (§3.1): the heap run and cutoff
-                // list are both probability-ordered, so at most k entries
-                // of each matter. Thresholding keeps the sorted prefix.
-                let mut rows = upi::top_k(upi, value, k)?;
-                rows.retain(|r| r.confidence >= q.qt);
-                return Ok(rows);
+                // Early-terminating top-k (§3.1): the merge streams in
+                // confidence order, so the sink stops the run (and the
+                // cutoff fetches) after k rows.
+                (
+                    Box::new(UpiPointMerge::open(upi, value, q.qt, Some(k))?),
+                    true,
+                )
+            } else {
+                unordered(Box::new(CutoffMerge::open(upi, value, q.qt, *use_cutoff)?))
             }
-            collect_stream(CutoffMerge::open(upi, value, q.qt, *use_cutoff)?)
         }
         AccessPath::UpiRange => {
             let upi = need(catalog.upi, "the discrete UPI")?;
-            match q.predicate {
-                Predicate::Range { lo, hi, .. } => Ok(upi.ptq_range(lo, hi, q.qt)?),
-                _ => Err(QueryError::CatalogMismatch {
-                    missing: "range predicate for UpiRange".into(),
-                }),
-            }
+            let (lo, hi) = range_params(q, "UpiRange")?;
+            unordered(Box::new(UpiRange::open(upi, lo, hi, q.qt)?))
         }
         AccessPath::UpiSecondary { index, tailored } => {
             let upi = need(catalog.upi, "the discrete UPI")?;
@@ -359,21 +523,19 @@ fn fetch_rows(
                 });
             }
             let (_, value) = eq_params(q)?;
-            Ok(upi.ptq_secondary(*index, value, q.qt, *tailored)?)
+            unordered(Box::new(SecondaryProbe::open(
+                upi, *index, value, q.qt, *tailored, q.top_k,
+            )?))
         }
         AccessPath::FracturedProbe => {
             let f = need(catalog.fractured, "the fractured UPI")?;
             let (_, value) = eq_params(q)?;
-            Ok(f.ptq(value, q.qt)?)
+            (Box::new(FracturedMerge::point(f, value, q.qt)?), true)
         }
         AccessPath::FracturedRange => {
             let f = need(catalog.fractured, "the fractured UPI")?;
-            match q.predicate {
-                Predicate::Range { lo, hi, .. } => Ok(f.ptq_range(lo, hi, q.qt)?),
-                _ => Err(QueryError::CatalogMismatch {
-                    missing: "range predicate for FracturedRange".into(),
-                }),
-            }
+            let (lo, hi) = range_params(q, "FracturedRange")?;
+            unordered(Box::new(FracturedMerge::range(f, lo, hi, q.qt)?))
         }
         AccessPath::FracturedSecondary { index, tailored } => {
             let f = need(catalog.fractured, "the fractured UPI")?;
@@ -383,7 +545,9 @@ fn fetch_rows(
                 });
             }
             let (_, value) = eq_params(q)?;
-            Ok(f.ptq_secondary(*index, value, q.qt, *tailored)?)
+            unordered(Box::new(FracturedMerge::secondary(
+                f, *index, value, q.qt, *tailored, q.top_k,
+            )?))
         }
         AccessPath::PiiProbe { index } => {
             let heap = need(catalog.heap, "the unclustered heap")?;
@@ -394,7 +558,7 @@ fn fetch_rows(
                     missing: format!("pii #{index}"),
                 })?;
             let (_, value) = eq_params(q)?;
-            collect_stream(PiiProbe::open(pii, heap, value, q.qt)?)
+            unordered(Box::new(PiiProbe::open(pii, heap, value, q.qt)?))
         }
         AccessPath::PiiRange { index } => {
             let heap = need(catalog.heap, "the unclustered heap")?;
@@ -404,30 +568,28 @@ fn fetch_rows(
                 .ok_or(QueryError::CatalogMismatch {
                     missing: format!("pii #{index}"),
                 })?;
-            match q.predicate {
-                Predicate::Range { lo, hi, .. } => Ok(pii.ptq_range(heap, lo, hi, q.qt)?),
-                _ => Err(QueryError::CatalogMismatch {
-                    missing: "range predicate for PiiRange".into(),
-                }),
-            }
+            let (lo, hi) = range_params(q, "PiiRange")?;
+            batch(pii.ptq_range(heap, lo, hi, q.qt)?)
         }
         AccessPath::HeapScan => {
             let heap = need(catalog.heap, "the unclustered heap")?;
-            collect_stream(HeapScan::open(heap, q.predicate.clone(), q.qt)?)
+            unordered(Box::new(HeapScan::open(heap, q.predicate.clone(), q.qt)?))
         }
         AccessPath::UpiFullScan => {
             let upi = need(catalog.upi, "the discrete UPI")?;
-            collect_stream(UpiFullScan::open(upi, q.predicate.clone(), q.qt)?)
+            unordered(Box::new(UpiFullScan::open(upi, q.predicate.clone(), q.qt)?))
         }
         AccessPath::ContinuousCircle => {
             let cupi = need(catalog.cupi, "the continuous UPI")?;
             match q.predicate {
                 Predicate::Circle { x, y, radius, .. } => {
-                    Ok(cupi.query_circle(x, y, radius, q.qt)?)
+                    batch(cupi.query_circle(x, y, radius, q.qt)?)
                 }
-                _ => Err(QueryError::CatalogMismatch {
-                    missing: "circle predicate for ContinuousCircle".into(),
-                }),
+                _ => {
+                    return Err(QueryError::CatalogMismatch {
+                        missing: "circle predicate for ContinuousCircle".into(),
+                    })
+                }
             }
         }
         AccessPath::UTreeCircle => {
@@ -435,11 +597,13 @@ fn fetch_rows(
             let heap = need(catalog.heap, "the unclustered heap")?;
             match q.predicate {
                 Predicate::Circle { x, y, radius, .. } => {
-                    Ok(utree.query_circle(heap, x, y, radius, q.qt)?)
+                    batch(utree.query_circle(heap, x, y, radius, q.qt)?)
                 }
-                _ => Err(QueryError::CatalogMismatch {
-                    missing: "circle predicate for UTreeCircle".into(),
-                }),
+                _ => {
+                    return Err(QueryError::CatalogMismatch {
+                        missing: "circle predicate for UTreeCircle".into(),
+                    })
+                }
             }
         }
         AccessPath::ContinuousSecondaryProbe { index } => {
@@ -451,31 +615,58 @@ fn fetch_rows(
                     missing: format!("continuous secondary #{index}"),
                 })?;
             let (_, value) = eq_params(q)?;
-            Ok(cs.ptq(cupi, value, q.qt)?)
+            batch(cs.ptq(cupi, value, q.qt)?)
         }
-    }
+    })
 }
 
-/// Run a plan: source → sort → top-k → group/project.
+/// Run a plan: source → (early-terminating) top-k → sort → group/project.
 pub(crate) fn execute(
     plan: &PhysicalPlan,
     catalog: &Catalog<'_>,
 ) -> Result<QueryOutput, QueryError> {
     let q = &plan.query;
-    let mut rows = fetch_rows(plan.path(), q, catalog)?;
-    sort_rows(&mut rows);
+    let pool_before = catalog.pool.map(|p| p.counters());
+    let (stream, ordered) = open_source(plan.path(), q, catalog)?;
+    let mut rows = match (q.top_k, ordered) {
+        (Some(k), true) => {
+            // The source streams in result order: take k rows and drop
+            // the source, leaving the tail of the run unread.
+            let mut out = Vec::with_capacity(k);
+            for r in stream {
+                out.push(r?);
+                if out.len() == k {
+                    break;
+                }
+            }
+            out
+        }
+        _ => collect_stream(stream)?,
+    };
+    if !ordered {
+        // The canonical ordering shared with every core cursor.
+        upi::sort_results(&mut rows);
+    }
     if let Some(k) = q.top_k {
         rows.truncate(k);
     }
+    let io = catalog
+        .pool
+        .map(|p| p.counters().since(&pool_before.unwrap()));
     if let Some(field) = q.group_count {
         // Aggregate output: rows feed the counting sink and are dropped.
         return Ok(QueryOutput {
             rows: Vec::new(),
             groups: Some(group_count(&rows, field)?),
+            io,
         });
     }
     if let Some(fields) = &q.projection {
         project_rows(&mut rows, fields)?;
     }
-    Ok(QueryOutput { rows, groups: None })
+    Ok(QueryOutput {
+        rows,
+        groups: None,
+        io,
+    })
 }

@@ -23,15 +23,19 @@
 //!    [`PhysicalPlan`] whose [`explain`](PhysicalPlan::explain) rendering
 //!    shows the operator tree and the full ranked candidate table.
 //! 3. **The executor** ([`PhysicalPlan::execute`]) — iterator-based
-//!    streaming operators (`IndexRun`, `CutoffMerge`, `PiiProbe`,
+//!    streaming operators (`IndexRun`, `CutoffMerge`, `UpiPointMerge`,
+//!    `UpiRange`, `SecondaryProbe`, `FracturedMerge`, `PiiProbe`,
 //!    `HeapScan`, `Filter`, `TopK`, `GroupCount`, `Project`) over the
-//!    streaming cursors the index crates expose (`DiscreteUpi::heap_run`,
-//!    `Pii::matching_run`, `UnclusteredHeap::scan_run`). Access paths
-//!    whose algorithms are inherently batch (tailored secondary access,
-//!    fractured multi-component probes, R-Tree circle queries) delegate to
-//!    the index structure and feed its rows through the same sink
-//!    operators, so every query — whatever its path — runs through one
-//!    engine.
+//!    streaming cursors the index crates expose
+//!    (`DiscreteUpi::{heap_run, point_run, range_run, secondary_run}`,
+//!    `FracturedUpi::{ptq_run, range_run, secondary_run}`,
+//!    `Pii::matching_run`, `UnclusteredHeap::scan_run`). Point probes
+//!    stream **confidence-ordered**, so top-k queries terminate the
+//!    source — and its I/O — after k rows; range and secondary probes
+//!    stream page-at-a-time through the buffer pool (whose sequential
+//!    read-ahead keeps clustered runs sequential even under interleaved
+//!    access). Only the R-Tree circle paths delegate to batch index
+//!    calls, feeding their rows through the same sink operators.
 //!
 //! ## Plan enumeration
 //!

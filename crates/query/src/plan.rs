@@ -148,6 +148,13 @@ impl PhysicalPlan {
     /// Human-readable plan rendering: the logical query, the operator
     /// tree of the chosen path, and the ranked candidate table.
     pub fn explain(&self) -> String {
+        self.explain_with_io(None)
+    }
+
+    /// [`explain`](Self::explain) plus the measured buffer-pool traffic
+    /// of an execution of this plan (`QueryOutput::io`, available when
+    /// the catalog registered a pool via `Catalog::with_pool`).
+    pub fn explain_with_io(&self, io: Option<&upi_storage::PoolCounters>) -> String {
         let mut out = String::new();
         out.push_str(&format!("PtqQuery: {}\n", describe_query(&self.query)));
         out.push_str(&format!(
@@ -157,6 +164,17 @@ impl PhysicalPlan {
         ));
         for line in operator_tree(&self.query, self.path()) {
             out.push_str(&format!("  {line}\n"));
+        }
+        if let Some(io) = io {
+            out.push_str(&format!(
+                "buffer pool: {} pages read ({} misses + {} readahead), {} hits ({} from readahead), {} flush errors\n",
+                io.pages_read(),
+                io.misses,
+                io.readahead,
+                io.hits,
+                io.readahead_hits,
+                io.flush_errors
+            ));
         }
         out.push_str("candidates:\n");
         for (i, c) in self.candidates.iter().enumerate() {
@@ -208,6 +226,15 @@ fn operator_tree(q: &PtqQuery, path: &AccessPath) -> Vec<String> {
     }
     ops.push(format!("Filter(confidence >= {:.2})", q.qt));
     let source = match path {
+        AccessPath::UpiHeap { use_cutoff } if q.top_k.is_some() => vec![
+            "UpiPointMerge(confidence-ordered, early-terminating)".to_string(),
+            "  IndexRun(upi.heap)".to_string(),
+            if *use_cutoff {
+                "  PointerFetch(upi.cutoff, lazy, confidence-order)".to_string()
+            } else {
+                "  PointerFetch(upi.cutoff, consulted only below C)".to_string()
+            },
+        ],
         AccessPath::UpiHeap { use_cutoff: false } => vec!["IndexRun(upi.heap)".to_string()],
         AccessPath::UpiHeap { use_cutoff: true } => vec![
             "CutoffMerge".to_string(),
@@ -215,24 +242,29 @@ fn operator_tree(q: &PtqQuery, path: &AccessPath) -> Vec<String> {
             "  PointerFetch(upi.cutoff, heap-order)".to_string(),
         ],
         AccessPath::UpiRange => vec![
-            "RangeAccumulate(sum per tuple)".to_string(),
+            "UpiRange(streaming, emit at first in-range copy)".to_string(),
             "  IndexRun(upi.heap, range)".to_string(),
-            "  PointerFetch(upi.cutoff, range)".to_string(),
+            "  PointerFetch(upi.cutoff, range, qualifiers only)".to_string(),
         ],
         AccessPath::UpiSecondary { index, tailored } => vec![format!(
-            "SecondaryFetch(upi.sec#{index}, {})",
+            "SecondaryProbe(upi.sec#{index}, {}, lazy heap-order fetch)",
             if *tailored {
                 "tailored"
             } else {
                 "first-pointer"
             }
         )],
-        AccessPath::FracturedProbe => vec!["FracturedMerge(main + fractures + buffer)".to_string()],
+        AccessPath::FracturedProbe => {
+            vec![
+                "FracturedMerge(point, k-way confidence-ordered, main + fractures + buffer)"
+                    .to_string(),
+            ]
+        }
         AccessPath::FracturedRange => {
-            vec!["FracturedMerge(range, main + fractures + buffer)".to_string()]
+            vec!["FracturedMerge(range, streaming per component + buffer)".to_string()]
         }
         AccessPath::FracturedSecondary { index, tailored } => vec![format!(
-            "FracturedMerge(sec#{index}, {})",
+            "FracturedMerge(sec#{index}, {}, suppress-before-fetch)",
             if *tailored {
                 "tailored"
             } else {

@@ -112,14 +112,22 @@ fn enumerate_eq(
             let (est_ms, note) = if let Some(k) = q.top_k {
                 // §3.1 early termination: the heap run and cutoff list are
                 // probability-ordered, so at most k entries of each are
-                // read regardless of QT.
+                // read regardless of QT. The executor's merge consults
+                // the cutoff list *lazily* — only once the run's head
+                // falls below the cutoff threshold C — so the cutoff
+                // open + pointer fetches are charged only for the
+                // expected shortfall of above-C run entries.
                 let hs = upi.heap_stats();
                 let avg = hs.bytes as f64 / hs.entries.max(1) as f64;
                 let mut e =
                     open_descend(disk, hs.height) + disk.read_cost_ms((k as f64 * avg) as u64);
-                if !upi.cutoff_index().is_empty() {
+                let above_c = upi
+                    .attr_stats()
+                    .est_count_ge(value, upi.config().cutoff.max(qt));
+                if !upi.cutoff_index().is_empty() && above_c < k as f64 {
+                    let deficit = (k as f64 - above_c).max(1.0);
                     e += open_descend(disk, upi.cutoff_index().height())
-                        + bitmap_fetch_ms(disk, hs.bytes as f64, page_bytes(&hs), k as f64);
+                        + bitmap_fetch_ms(disk, hs.bytes as f64, page_bytes(&hs), deficit);
                 }
                 (e, format!("top-{k} early termination"))
             } else {

@@ -229,8 +229,34 @@ impl<'a> KeyReader<'a> {
         dequantize_prob(u32::MAX - self.u32())
     }
 
-    /// Decode a string component.
-    pub fn str(&mut self) -> String {
+    /// Decode a string component without allocating when possible.
+    ///
+    /// Strings that contain no escaped `0x00` byte — every string in
+    /// practice; NULs only appear in adversarial keys — decode as a
+    /// borrowed slice of the key, so hot run scans stop paying one heap
+    /// allocation per string field. Escaped strings fall back to the
+    /// owned unescaping path.
+    pub fn str_ref(&mut self) -> std::borrow::Cow<'a, str> {
+        // Fast path: scan for the `00 00` terminator; any `00 FF` escape
+        // forces the owned path.
+        let mut i = 0;
+        loop {
+            if self.rest[i] != 0 {
+                i += 1;
+                continue;
+            }
+            match self.rest[i + 1] {
+                0 => {
+                    // Unescaped component: borrow it wholesale.
+                    let s = std::str::from_utf8(&self.rest[..i])
+                        .expect("encoded strings are valid utf-8");
+                    self.rest = &self.rest[i + 2..];
+                    return std::borrow::Cow::Borrowed(s);
+                }
+                0xFF => break, // escaped NUL: unescape into an owned buffer
+                bad => unreachable!("invalid string escape 00 {bad:02X}"),
+            }
+        }
         let mut out = Vec::new();
         let mut i = 0;
         loop {
@@ -250,7 +276,13 @@ impl<'a> KeyReader<'a> {
             }
         }
         self.rest = &self.rest[i..];
-        String::from_utf8(out).expect("encoded strings are valid utf-8")
+        std::borrow::Cow::Owned(String::from_utf8(out).expect("encoded strings are valid utf-8"))
+    }
+
+    /// Decode a string component into an owned `String` (thin wrapper
+    /// over [`str_ref`](Self::str_ref)).
+    pub fn str(&mut self) -> String {
+        self.str_ref().into_owned()
     }
 
     /// Bytes not yet consumed.
@@ -320,6 +352,29 @@ mod tests {
         assert!(a.as_bytes() < b.as_bytes());
         assert!(b.as_bytes() < c.as_bytes());
         assert_eq!(KeyReader::new(b.as_bytes()).str(), "ab\0c");
+    }
+
+    #[test]
+    fn str_ref_borrows_unless_escaped() {
+        let mut k = KeyBuf::new();
+        k.str("plain");
+        let bytes = k.into_bytes();
+        let mut r = KeyReader::new(&bytes);
+        match r.str_ref() {
+            std::borrow::Cow::Borrowed(s) => assert_eq!(s, "plain"),
+            other => panic!("unescaped strings must borrow, got {other:?}"),
+        }
+        assert!(r.remaining().is_empty());
+
+        let mut k = KeyBuf::new();
+        k.str("nul\0here").u64(7);
+        let bytes = k.into_bytes();
+        let mut r = KeyReader::new(&bytes);
+        match r.str_ref() {
+            std::borrow::Cow::Owned(s) => assert_eq!(s, "nul\0here"),
+            other => panic!("escaped strings must unescape owned, got {other:?}"),
+        }
+        assert_eq!(r.u64(), 7);
     }
 
     #[test]

@@ -188,6 +188,67 @@ impl SimDisk {
         Ok(())
     }
 
+    /// Pages of the same file that sit physically contiguous *after*
+    /// `pid`, in offset order, up to `max` of them. Stops at the first
+    /// gap, file change, or freed slot. This is what the buffer pool's
+    /// sequential read-ahead prefetches: the continuation of the run the
+    /// reader is currently scanning.
+    pub fn contiguous_run_after(&self, pid: PageId, max: usize) -> Vec<PageId> {
+        let g = self.inner.lock();
+        let mut out = Vec::new();
+        let idx = pid.0 as usize;
+        let Some(slot) = g.pages.get(idx) else {
+            return out;
+        };
+        let (file, mut expected) = (slot.file, slot.offset + slot.size as u64);
+        // The bump allocator assigns offsets in allocation order, so the
+        // physical successor of page i is page i+1 unless a free-list
+        // reuse broke the run.
+        for next in g.pages.iter().skip(idx + 1).take(max) {
+            if out.len() >= max || next.file != file || next.offset != expected || next.freed {
+                break;
+            }
+            expected += next.size as u64;
+            out.push(PageId((idx + 1 + out.len()) as u64));
+        }
+        out
+    }
+
+    /// Read a batch of pages in one pass: one head move to the first page,
+    /// then per-page transfers (contiguous pages charge no further moves —
+    /// the read-ahead path passes a physically contiguous run, making the
+    /// whole batch one seek + one sequential transfer).
+    pub fn read_run(&self, pids: &[PageId]) -> Result<Vec<Bytes>> {
+        let mut g = self.inner.lock();
+        let mut out = Vec::with_capacity(pids.len());
+        for &pid in pids {
+            let idx = pid.0 as usize;
+            if idx >= g.pages.len() {
+                return Err(StorageError::UnknownPage(pid));
+            }
+            if g.pages[idx].freed {
+                return Err(StorageError::FreedPage(pid));
+            }
+            let file = g.pages[idx].file;
+            Inner::charge_open(&mut g, &self.cfg, file);
+            let (offset, size) = (g.pages[idx].offset, g.pages[idx].size);
+            Inner::charge_move(&mut g, &self.cfg, offset);
+            let cost = self.cfg.read_cost_ms(size as u64);
+            g.clock_ms += cost;
+            g.stats.read_ms += cost;
+            g.stats.page_reads += 1;
+            g.stats.bytes_read += size as u64;
+            g.head = offset + size as u64;
+            out.push(
+                g.pages[idx]
+                    .data
+                    .clone()
+                    .unwrap_or_else(|| Bytes::from(vec![0u8; size as usize])),
+            );
+        }
+        Ok(out)
+    }
+
     /// Physical byte offset of a page (used by the buffer pool to flush in
     /// elevator order and by benchmarks for locality diagnostics).
     pub fn page_offset(&self, pid: PageId) -> Result<u64> {

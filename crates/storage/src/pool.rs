@@ -1,4 +1,4 @@
-//! Write-back LRU buffer pool.
+//! Write-back LRU buffer pool with sequential read-ahead.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -8,7 +8,67 @@ use parking_lot::Mutex;
 
 use crate::disk::SimDisk;
 use crate::error::Result;
+use crate::file::FileId;
 use crate::page::PageId;
+
+/// Named buffer-pool counters, cumulative since creation.
+///
+/// Snapshot with [`BufferPool::counters`] before and after a query and
+/// subtract with [`since`](PoolCounters::since) to attribute page traffic
+/// to that query (the `upi-query` executor does exactly this and threads
+/// the delta into `PhysicalPlan` explain output).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Gets served from a cached frame.
+    pub hits: u64,
+    /// Gets that had to read the device.
+    pub misses: u64,
+    /// Frames evicted to stay under capacity.
+    pub evictions: u64,
+    /// Pages prefetched by sequential read-ahead.
+    pub readahead: u64,
+    /// Hits served from a frame that read-ahead installed (the payoff).
+    pub readahead_hits: u64,
+    /// Eviction flushes that failed (e.g. the page was freed underneath
+    /// the pool). Non-zero means a write was dropped — surfaced here
+    /// instead of being silently swallowed by `put`.
+    pub flush_errors: u64,
+}
+
+impl PoolCounters {
+    /// Pages that reached the device on behalf of reads (demand misses
+    /// plus read-ahead) — the "pages read" a query is charged for.
+    pub fn pages_read(&self) -> u64 {
+        self.misses + self.readahead
+    }
+
+    /// Component-wise difference (`self - earlier`).
+    pub fn since(&self, earlier: &PoolCounters) -> PoolCounters {
+        PoolCounters {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            readahead: self.readahead - earlier.readahead,
+            readahead_hits: self.readahead_hits - earlier.readahead_hits,
+            flush_errors: self.flush_errors - earlier.flush_errors,
+        }
+    }
+}
+
+impl std::fmt::Display for PoolCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} readahead={} (ra-hits={}) evictions={} flush-errors={}",
+            self.hits,
+            self.misses,
+            self.readahead,
+            self.readahead_hits,
+            self.evictions,
+            self.flush_errors
+        )
+    }
+}
 
 /// A write-back LRU page cache in front of a [`SimDisk`].
 ///
@@ -20,6 +80,12 @@ use crate::page::PageId;
 ///   physical offset** (elevator order), so a bulk load whose frames are
 ///   contiguous pays sequential-write cost, exactly like an OS writeback
 ///   pass.
+/// * Two consecutive misses at physically adjacent offsets of one file
+///   switch the pool into **run mode** for that position: the next
+///   [`DiskConfig::readahead_pages`](crate::DiskConfig::readahead_pages)
+///   contiguous pages are prefetched in one batch while the head is
+///   already there, so a clustered run keeps streaming even when the
+///   reader interleaves accesses to other files between leaf hops.
 ///
 /// The pool must be configured *smaller* than the experimental tables to
 /// reproduce the paper's disk-bound regime; the benchmark harness does this
@@ -33,6 +99,8 @@ pub struct BufferPool {
 struct Frame {
     data: Bytes,
     dirty: bool,
+    /// Installed by read-ahead and not yet touched by a demand get.
+    prefetched: bool,
     /// LRU chain: previous (colder) / next (hotter) page ids.
     prev: Option<PageId>,
     next: Option<PageId>,
@@ -46,9 +114,11 @@ struct PoolInner {
     head: Option<PageId>,
     /// Hottest frame (most recently used).
     tail: Option<PageId>,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
+    counters: PoolCounters,
+    /// Run detection: where the next miss would land if the current read
+    /// pattern is a sequential run (file, offset just past the last
+    /// demand-missed or prefetched page).
+    run_next: Option<(FileId, u64)>,
 }
 
 impl BufferPool {
@@ -66,30 +136,85 @@ impl BufferPool {
         self.capacity
     }
 
-    /// Read a page through the cache.
+    /// Read a page through the cache. A miss reads the device; two
+    /// adjacent misses in a row trigger sequential read-ahead of the
+    /// physically contiguous continuation (see the type docs).
     pub fn get(&self, pid: PageId) -> Result<Bytes> {
         let mut g = self.inner.lock();
         if g.frames.contains_key(&pid) {
-            g.hits += 1;
+            g.counters.hits += 1;
+            let f = g.frames.get_mut(&pid).unwrap();
+            let was_prefetched = std::mem::take(&mut f.prefetched);
+            if was_prefetched {
+                g.counters.readahead_hits += 1;
+            }
             g.touch(pid);
             return Ok(g.frames[&pid].data.clone());
         }
-        g.misses += 1;
+        g.counters.misses += 1;
+        // Run detection must happen before the read resets the head.
+        let file = self.disk.page_file(pid)?;
+        let offset = self.disk.page_offset(pid)?;
+        let sequential = g.run_next == Some((file, offset));
         drop(g);
         let data = self.disk.read_page(pid)?;
+        let end = offset + data.len() as u64;
+        let depth = self.disk.config().readahead_pages;
+        let prefetch = if sequential && depth > 0 {
+            self.read_ahead(pid, depth)
+        } else {
+            Vec::new()
+        };
         let mut g = self.inner.lock();
         g.insert(pid, data.clone(), false);
+        let mut run_end = end;
+        for (ppid, pdata) in prefetch {
+            run_end += pdata.len() as u64;
+            if !g.frames.contains_key(&ppid) {
+                g.counters.readahead += 1;
+                g.insert(ppid, pdata, false);
+                g.frames.get_mut(&ppid).unwrap().prefetched = true;
+            }
+        }
+        g.run_next = Some((file, run_end));
         self.evict_overflow(&mut g)?;
         Ok(data)
     }
 
+    /// Fetch the contiguous continuation of the run at `pid` (up to
+    /// `depth` pages) in one batch: the head is already parked at the end
+    /// of `pid`, so the batch costs one contiguous transfer. The window
+    /// stops at the first page that is already cached (no device charge
+    /// for frames the pool holds). Prefetch is speculative — any failure
+    /// (e.g. a page freed between planning and reading the batch) yields
+    /// an empty result rather than failing the demand read.
+    fn read_ahead(&self, pid: PageId, depth: usize) -> Vec<(PageId, Bytes)> {
+        let mut run = self.disk.contiguous_run_after(pid, depth);
+        {
+            let g = self.inner.lock();
+            if let Some(cached) = run.iter().position(|p| g.frames.contains_key(p)) {
+                run.truncate(cached);
+            }
+        }
+        if run.is_empty() {
+            return Vec::new();
+        }
+        match self.disk.read_run(&run) {
+            Ok(datas) => run.into_iter().zip(datas).collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+
     /// Install a (dirty) frame for a page, deferring the device write.
+    /// Eviction-flush failures are recorded in
+    /// [`PoolCounters::flush_errors`] (a freed-underneath page means the
+    /// write is moot, but the drop must not be silent).
     pub fn put(&self, pid: PageId, data: Bytes) {
         let mut g = self.inner.lock();
         g.insert(pid, data, true);
-        // Eviction errors are surfaced on flush; put itself is infallible in
-        // practice because the evicted page was valid when inserted.
-        let _ = self.evict_overflow(&mut g);
+        if self.evict_overflow(&mut g).is_err() {
+            g.counters.flush_errors += 1;
+        }
     }
 
     /// Drop a page from the cache without writing it (used when a page is
@@ -126,7 +251,7 @@ impl BufferPool {
         }
     }
 
-    /// Flush then drop every frame (cold cache).
+    /// Flush then drop every frame (cold cache). Run detection resets too.
     pub fn clear(&self) {
         self.flush_all();
         let mut g = self.inner.lock();
@@ -134,12 +259,12 @@ impl BufferPool {
         g.bytes = 0;
         g.head = None;
         g.tail = None;
+        g.run_next = None;
     }
 
-    /// (hits, misses, evictions) counters since creation.
-    pub fn counters(&self) -> (u64, u64, u64) {
-        let g = self.inner.lock();
-        (g.hits, g.misses, g.evictions)
+    /// Cumulative counters since creation.
+    pub fn counters(&self) -> PoolCounters {
+        self.inner.lock().counters
     }
 
     /// Number of cached bytes right now.
@@ -156,7 +281,7 @@ impl BufferPool {
             let frame = g.frames.get(&victim).expect("lru head must exist");
             let (dirty, data) = (frame.dirty, frame.data.clone());
             g.remove(victim);
-            g.evictions += 1;
+            g.counters.evictions += 1;
             if dirty {
                 self.disk.write_page(victim, data)?;
             }
@@ -212,6 +337,7 @@ impl PoolInner {
             let old_len = self.frames[&pid].data.len();
             let f = self.frames.get_mut(&pid).unwrap();
             f.dirty = f.dirty || dirty;
+            f.prefetched = false;
             f.data = data;
             let new_len = self.frames[&pid].data.len();
             self.bytes = self.bytes - old_len + new_len;
@@ -223,6 +349,7 @@ impl PoolInner {
                 Frame {
                     data,
                     dirty,
+                    prefetched: false,
                     prev: None,
                     next: None,
                 },
@@ -263,8 +390,8 @@ mod tests {
         pool.get(p).unwrap();
         let delta = disk.stats().since(&before);
         assert_eq!(delta.page_reads, 1, "only the miss reads the device");
-        let (hits, misses, _) = pool.counters();
-        assert_eq!((hits, misses), (2, 1));
+        let c = pool.counters();
+        assert_eq!((c.hits, c.misses), (2, 1));
     }
 
     #[test]
@@ -309,8 +436,7 @@ mod tests {
         assert!(pool.cached_bytes() <= 4096 * 4);
         // The four coldest pages must have been written out.
         assert_eq!(disk.stats().page_writes, 4);
-        let (_, _, evictions) = pool.counters();
-        assert_eq!(evictions, 4);
+        assert_eq!(pool.counters().evictions, 4);
     }
 
     #[test]
@@ -348,6 +474,92 @@ mod tests {
         let data = pool.get(p).unwrap();
         assert_eq!(data[0], 5, "flushed content must survive");
         assert_eq!(disk.stats().since(&before).page_reads, 1);
+    }
+
+    #[test]
+    fn sequential_misses_trigger_readahead() {
+        let (disk, pool) = setup(1 << 20);
+        let f = disk.create_file("t", 4096);
+        let pages: Vec<_> = (0..16).map(|_| disk.alloc_page(f).unwrap()).collect();
+        for (i, &p) in pages.iter().enumerate() {
+            disk.write_page(p, Bytes::from(vec![i as u8; 4096]))
+                .unwrap();
+        }
+        // First miss: no run yet, no prefetch.
+        pool.get(pages[0]).unwrap();
+        assert_eq!(pool.counters().readahead, 0);
+        // Second adjacent miss: run detected, the continuation streams in.
+        pool.get(pages[1]).unwrap();
+        let c = pool.counters();
+        assert_eq!(c.misses, 2);
+        assert_eq!(
+            c.readahead,
+            disk.config().readahead_pages as u64,
+            "run continuation must be prefetched"
+        );
+        // The prefetched pages are hits that never touch the device again.
+        let before = disk.stats();
+        for &p in &pages[2..2 + disk.config().readahead_pages] {
+            let data = pool.get(p).unwrap();
+            assert_eq!(data.len(), 4096);
+        }
+        assert_eq!(disk.stats().since(&before).page_reads, 0);
+        assert_eq!(
+            pool.counters().readahead_hits,
+            disk.config().readahead_pages as u64
+        );
+    }
+
+    #[test]
+    fn random_misses_do_not_prefetch() {
+        let (disk, pool) = setup(1 << 20);
+        let f = disk.create_file("t", 4096);
+        let pages: Vec<_> = (0..8).map(|_| disk.alloc_page(f).unwrap()).collect();
+        for &p in &pages {
+            disk.write_page(p, Bytes::from(vec![1u8; 4096])).unwrap();
+        }
+        // Backwards access never looks sequential.
+        for &p in pages.iter().rev() {
+            pool.get(p).unwrap();
+        }
+        let c = pool.counters();
+        assert_eq!(c.readahead, 0);
+        assert_eq!(c.misses, 8);
+    }
+
+    #[test]
+    fn readahead_stops_at_file_boundary() {
+        let (disk, pool) = setup(1 << 20);
+        let f1 = disk.create_file("a", 4096);
+        let f2 = disk.create_file("b", 4096);
+        let a0 = disk.alloc_page(f1).unwrap();
+        let a1 = disk.alloc_page(f1).unwrap();
+        let _b0 = disk.alloc_page(f2).unwrap(); // physically next, other file
+        pool.get(a0).unwrap();
+        pool.get(a1).unwrap();
+        assert_eq!(pool.counters().readahead, 0, "run ends where the file does");
+    }
+
+    #[test]
+    fn eviction_flush_failure_is_counted() {
+        let (disk, pool) = setup(4096 * 2);
+        let f = disk.create_file("t", 4096);
+        // Allocate everything up front so the free list never recycles
+        // the doomed slot into a later page.
+        let doomed = disk.alloc_page(f).unwrap();
+        let p1 = disk.alloc_page(f).unwrap();
+        let p2 = disk.alloc_page(f).unwrap();
+        pool.put(doomed, Bytes::from(vec![1u8; 4096]));
+        // Free the page underneath the pool, then force it out.
+        disk.free_page(doomed).unwrap();
+        pool.put(p1, Bytes::from(vec![2u8; 4096]));
+        pool.put(p2, Bytes::from(vec![3u8; 4096]));
+        assert_eq!(
+            pool.counters().flush_errors,
+            1,
+            "dropped eviction flush must be recorded: {}",
+            pool.counters()
+        );
     }
 
     #[test]

@@ -174,6 +174,64 @@ pub fn encode_tuple(t: &Tuple) -> Vec<u8> {
     out
 }
 
+/// Borrowed peek into an encoded tuple: existence probability plus the
+/// first (most probable) alternative of discrete field `attr`, without
+/// materializing the tuple.
+///
+/// Certain fields — including strings — are skipped as borrowed slices,
+/// so hot run scans that only need to compare key fields (e.g. the
+/// distinct-scan duplicate filter) stop paying one `String` allocation
+/// per field per entry. Returns `None` when `attr` is out of bounds or
+/// not a discrete field.
+pub fn peek_first_alt(data: &[u8], attr: usize) -> Option<(f64, (u64, f64))> {
+    let exist = f64::from_le_bytes(data[8..16].try_into().unwrap());
+    let nfields = u16::from_le_bytes(data[16..18].try_into().unwrap()) as usize;
+    if attr >= nfields {
+        return None;
+    }
+    let mut at = 18usize;
+    for field in 0..=attr {
+        let tag = data[at];
+        at += 1;
+        match tag {
+            0 | 1 => {
+                if field == attr {
+                    return None;
+                }
+                at += 8;
+            }
+            2 => {
+                if field == attr {
+                    return None;
+                }
+                let len = u32::from_le_bytes(data[at..at + 4].try_into().unwrap()) as usize;
+                at += 4 + len;
+            }
+            3 => {
+                let n = u16::from_le_bytes(data[at..at + 2].try_into().unwrap()) as usize;
+                at += 2;
+                if field == attr {
+                    // Alternatives are stored in descending-probability
+                    // order, so the first encoded pair is `first()`.
+                    debug_assert!(n >= 1, "a PMF needs at least one alternative");
+                    let v = u64::from_le_bytes(data[at..at + 8].try_into().unwrap());
+                    let p = f64::from_le_bytes(data[at + 8..at + 16].try_into().unwrap());
+                    return Some((exist, (v, p)));
+                }
+                at += 16 * n;
+            }
+            4 => {
+                if field == attr {
+                    return None;
+                }
+                at += 32;
+            }
+            t => panic!("corrupt field tag {t}"),
+        }
+    }
+    None
+}
+
 /// Deserialize a tuple produced by [`encode_tuple`].
 pub fn decode_tuple(data: &[u8]) -> Tuple {
     let mut at = 0usize;
@@ -263,6 +321,32 @@ mod tests {
         let enc = encode_tuple(&t);
         assert_eq!(decode_tuple(&enc), t);
         assert_eq!(t.encoded_len(), enc.len());
+    }
+
+    #[test]
+    fn peek_first_alt_matches_full_decode() {
+        let t = Tuple::new(
+            TupleId(42),
+            0.8,
+            vec![
+                Field::Certain(Datum::Str("padding-padding".into())),
+                Field::Certain(Datum::U64(7)),
+                Field::Discrete(DiscretePmf::new(vec![(1, 0.2), (2, 0.5), (3, 0.1)])),
+                Field::Point(ConstrainedGaussian::new(1.0, 2.0, 3.0, 4.0)),
+                Field::Discrete(DiscretePmf::new(vec![(9, 0.9)])),
+            ],
+        );
+        let enc = encode_tuple(&t);
+        let (exist, first) = peek_first_alt(&enc, 2).unwrap();
+        assert_eq!(exist, 0.8);
+        assert_eq!(first, t.discrete(2).first());
+        let (_, first4) = peek_first_alt(&enc, 4).unwrap();
+        assert_eq!(first4, (9, 0.9));
+        // Non-discrete or out-of-bounds fields peek as None.
+        assert_eq!(peek_first_alt(&enc, 0), None);
+        assert_eq!(peek_first_alt(&enc, 1), None);
+        assert_eq!(peek_first_alt(&enc, 3), None);
+        assert_eq!(peek_first_alt(&enc, 9), None);
     }
 
     #[test]

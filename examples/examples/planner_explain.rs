@@ -48,11 +48,14 @@ fn main() {
     upi.add_secondary(publication_fields::COUNTRY).unwrap();
     upi.bulk_load(&data.publications).unwrap();
 
+    // Registering the pool threads per-query hit/miss/read-ahead
+    // counters through execution into the explain rendering.
     let catalog = Catalog::new(store.disk.config())
         .with_upi(&upi)
         .with_heap(&heap)
         .with_pii(&pii_inst)
-        .with_pii(&pii_country);
+        .with_pii(&pii_country)
+        .with_pool(&store.pool);
 
     // Query 1/2 shape: point PTQ on the clustered attribute.
     let mit = data.popular_institution();
@@ -60,8 +63,9 @@ fn main() {
         .with_qt(0.3)
         .with_group_count(publication_fields::JOURNAL);
     let plan = q1.plan(&catalog).unwrap();
-    println!("{}", plan.explain());
+    store.go_cold();
     let out = plan.execute(&catalog).unwrap();
+    println!("{}", plan.explain_with_io(out.io.as_ref()));
     println!("-> {} journal groups\n", out.len());
 
     // Query 3 shape: point PTQ on the secondary attribute.
@@ -70,15 +74,19 @@ fn main() {
         .with_qt(0.3)
         .with_group_count(publication_fields::JOURNAL);
     let plan = q3.plan(&catalog).unwrap();
-    println!("{}", plan.explain());
+    store.go_cold();
     let out = plan.execute(&catalog).unwrap();
+    println!("{}", plan.explain_with_io(out.io.as_ref()));
     println!("-> {} journal groups\n", out.len());
 
-    // Top-k through the same engine.
+    // Top-k through the same engine: the confidence-ordered merge lets
+    // the sink stop after 5 rows, so compare its page traffic above.
     let topk = PtqQuery::eq(publication_fields::INSTITUTION, mit).with_top_k(5);
     let plan = topk.plan(&catalog).unwrap();
-    println!("{}", plan.explain());
-    for r in plan.execute(&catalog).unwrap().rows {
+    store.go_cold();
+    let out = plan.execute(&catalog).unwrap();
+    println!("{}", plan.explain_with_io(out.io.as_ref()));
+    for r in out.rows {
         println!("  tid {:>6}  confidence {:.3}", r.tuple.id.0, r.confidence);
     }
 }

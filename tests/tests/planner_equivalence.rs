@@ -127,8 +127,22 @@ proptest! {
         let queries = vec![
             PtqQuery::eq(1, value).with_qt(qt),
             PtqQuery::eq(2, sec_value).with_qt(qt),
+            // Top-k on the clustered attribute: exercises the
+            // confidence-ordered UpiPointMerge / FracturedMerge early
+            // termination against every batch-ish alternative.
             PtqQuery::eq(1, value).with_qt(qt).with_top_k(3),
+            PtqQuery::eq(1, value).with_top_k(1),
+            // Top-k through the secondary probes: exercises the entry-run
+            // limit pushdown (standalone) and the per-component
+            // post-suppression limit (fractured).
+            PtqQuery::eq(2, sec_value).with_qt(qt).with_top_k(2),
             PtqQuery::range(1, lo, (lo + width).min(7)).with_qt(qt),
+            // Top-k over a range: no sound early exit (alternatives sum),
+            // but the streaming UpiRange/FracturedMerge sources must agree
+            // with every other path after the sink sorts.
+            PtqQuery::range(1, lo, (lo + width).min(7))
+                .with_qt(qt)
+                .with_top_k(4),
             PtqQuery::range(1, lo, (lo + width).min(7))
                 .with_qt(qt)
                 .with_group_count(0),
