@@ -12,12 +12,48 @@
 //! This is the acceptance gate for the `upi-query` subsystem: the §6 cost
 //! models, fed with live statistics, must actually pick the access path
 //! the simulated disk agrees is fastest.
+//!
+//! A machine-readable `BENCH_planner.json` is written for the
+//! perf-trajectory tooling (override the path with
+//! `UPI_BENCH_PLANNER_JSON`): the per-point chosen/best-forced cost
+//! ratios, plus the prefetch-hint experiment — the same clustered range
+//! plan executed hinted (as planned) and with the hint stripped, with
+//! the buffer-pool page/miss win recorded.
 
 use upi_bench::setups::{author_setup, cartel_setup, publication_setup};
 use upi_bench::{banner, header, measure_cold, ms, summary};
-use upi_query::{Catalog, PhysicalPlan, PtqQuery, QueryOutput};
+use upi_query::{AccessPath, Catalog, PhysicalPlan, PtqQuery, QueryOutput};
+use upi_storage::PoolCounters;
 use upi_workloads::cartel::observation_fields;
 use upi_workloads::dblp::{author_fields, publication_fields};
+
+/// One per-point record for `BENCH_planner.json`.
+struct CaseRecord {
+    name: String,
+    chosen: String,
+    chosen_ms: f64,
+    best_forced: String,
+    best_forced_ms: f64,
+}
+
+impl CaseRecord {
+    fn ratio(&self) -> f64 {
+        if self.best_forced_ms > 0.0 {
+            self.chosen_ms / self.best_forced_ms
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The prefetch-hint experiment's measurements.
+struct HintRecord {
+    query: String,
+    path: String,
+    est_run_pages: usize,
+    hinted: PoolCounters,
+    unhinted: PoolCounters,
+}
 
 /// Comparable fingerprint of an output: sorted `(tid, confidence)` rows or
 /// the group table.
@@ -37,14 +73,13 @@ fn fingerprint(out: &QueryOutput) -> Vec<(u64, u64)> {
 }
 
 /// Execute the planner's choice and each forced candidate cold; check
-/// agreement and the 10% optimality bound. Returns
-/// `(chosen_ms, best_forced_ms)`.
+/// agreement and the 10% optimality bound.
 fn run_point(
     label: &str,
     q: &PtqQuery,
     catalog: &Catalog<'_>,
     store: &upi_storage::Store,
-) -> (f64, f64) {
+) -> CaseRecord {
     let plan = q.plan(catalog).expect("planner must find a path");
     if std::env::var("UPI_PLANNER_EXPLAIN").is_ok() {
         eprintln!("--- {label}\n{}", plan.explain());
@@ -97,15 +132,128 @@ fn run_point(
         chosen.sim_ms,
         best_forced
     );
-    (chosen.sim_ms, best_forced)
+    CaseRecord {
+        name: label.to_string(),
+        chosen: chosen_label,
+        chosen_ms: chosen.sim_ms,
+        best_forced: best_label,
+        best_forced_ms: best_forced,
+    }
+}
+
+/// The prefetch-hint experiment: the planner's clustered range plan,
+/// executed cold as planned (hint armed) and again with the hint
+/// stripped. Same plan, same rows — the only difference is whether the
+/// buffer pool learns the run from the planner or from two adjacent
+/// misses, so the miss delta is exactly the hint's contribution.
+fn run_hint_experiment(
+    q: &PtqQuery,
+    label: &str,
+    catalog: &Catalog<'_>,
+    store: &upi_storage::Store,
+) -> HintRecord {
+    let plan = q.plan(catalog).expect("planner must find a path");
+    let cand = plan
+        .candidates
+        .iter()
+        .find(|c| c.path == AccessPath::UpiRange)
+        .expect("clustered range path must be enumerated");
+    let hint = cand.hint.expect("UpiRange must carry a prefetch hint");
+
+    let measure = |strip_hint: bool| -> (PoolCounters, usize) {
+        let mut cand = cand.clone();
+        if strip_hint {
+            cand.hint = None;
+        }
+        let forced = PhysicalPlan {
+            query: q.clone(),
+            candidates: vec![cand],
+        };
+        store.go_cold();
+        let before = store.pool.counters();
+        let rows = forced.execute(catalog).unwrap().len();
+        (store.pool.counters().since(&before), rows)
+    };
+    let (hinted, hinted_rows) = measure(false);
+    let (unhinted, unhinted_rows) = measure(true);
+    assert_eq!(hinted_rows, unhinted_rows, "hints must not change results");
+    assert_eq!(hinted.hinted_runs, 1, "the hint must arm: {hinted}");
+    assert!(
+        hinted.misses < unhinted.misses,
+        "hint-armed read-ahead must cut demand misses: {hinted} vs {unhinted}"
+    );
+    println!(
+        "{label}\thinted: {} pages ({} misses)\tunhinted: {} pages ({} misses)",
+        hinted.pages_read(),
+        hinted.misses,
+        unhinted.pages_read(),
+        unhinted.misses
+    );
+    HintRecord {
+        query: label.to_string(),
+        path: cand.path.label(),
+        est_run_pages: hint.est_run_pages,
+        hinted,
+        unhinted,
+    }
+}
+
+fn counters_json(c: &PoolCounters) -> String {
+    format!(
+        "{{\"pages_read\": {}, \"misses\": {}, \"readahead\": {}, \"readahead_hits\": {}}}",
+        c.pages_read(),
+        c.misses,
+        c.readahead,
+        c.readahead_hits
+    )
+}
+
+fn write_json(records: &[CaseRecord], worst_ratio: f64, hint: &HintRecord) {
+    let json_path = std::env::var("UPI_BENCH_PLANNER_JSON").unwrap_or_else(|_| {
+        std::env::var("CARGO_MANIFEST_DIR")
+            .map(|d| format!("{d}/../../BENCH_planner.json"))
+            .unwrap_or_else(|_| "BENCH_planner.json".to_string())
+    });
+    let mut json = String::from("{\n  \"cases\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"chosen\": \"{}\", \"chosen_ms\": {:.3}, \
+             \"best_forced\": \"{}\", \"best_forced_ms\": {:.3}, \"ratio\": {:.4}}}{}\n",
+            r.name,
+            r.chosen,
+            r.chosen_ms,
+            r.best_forced,
+            r.best_forced_ms,
+            r.ratio(),
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"summary\": {{\"worst_chosen_vs_best_forced\": {:.4}, \"within_10pct\": {}}},\n",
+        worst_ratio,
+        worst_ratio <= 1.10
+    ));
+    json.push_str(&format!(
+        "  \"prefetch_hint\": {{\"query\": \"{}\", \"path\": \"{}\", \"est_run_pages\": {}, \
+         \"hinted\": {}, \"unhinted\": {}}}\n}}\n",
+        hint.query,
+        hint.path,
+        hint.est_run_pages,
+        counters_json(&hint.hinted),
+        counters_json(&hint.unhinted)
+    ));
+    std::fs::write(&json_path, json).expect("write BENCH_planner.json");
+    eprintln!("[json] wrote {json_path}");
 }
 
 fn main() {
+    let mut records: Vec<CaseRecord> = Vec::new();
     let mut worst_ratio = 1.0f64;
-    let mut track = |(chosen, best): (f64, f64)| {
-        if best > 0.0 {
-            worst_ratio = worst_ratio.max(chosen / best);
-        }
+    let hint_record;
+    let mut track = |records: &mut Vec<CaseRecord>, rec: CaseRecord| {
+        worst_ratio = worst_ratio.max(rec.ratio());
+        records.push(rec);
     };
 
     banner(
@@ -121,13 +269,22 @@ fn main() {
         let catalog = Catalog::new(s.store.disk.config())
             .with_upi(&s.upi)
             .with_heap(&s.heap)
-            .with_pii(&s.pii);
+            .with_pii(&s.pii)
+            .with_pool(&s.store.pool);
         header(&["query1", "chosen", "chosen_ms", "forced..."]);
         for qt10 in [1, 3, 5, 7, 9] {
             let qt = qt10 as f64 / 10.0;
             let q = PtqQuery::eq(author_fields::INSTITUTION, mit).with_qt(qt);
-            track(run_point(&format!("q1@{qt:.1}"), &q, &catalog, &s.store));
+            track(
+                &mut records,
+                run_point(&format!("q1@{qt:.1}"), &q, &catalog, &s.store),
+            );
         }
+
+        // --- Prefetch hint win on the same setup -----------------------
+        header(&["hint", "hinted", "unhinted"]);
+        let q = PtqQuery::range(author_fields::INSTITUTION, 0, 40).with_qt(0.2);
+        hint_record = run_hint_experiment(&q, "range[0,40]@0.2", &catalog, &s.store);
     }
 
     // --- Queries 2-3 (fig05/fig06): aggregates, primary + secondary ----
@@ -146,7 +303,10 @@ fn main() {
             let q = PtqQuery::eq(publication_fields::INSTITUTION, mit)
                 .with_qt(qt)
                 .with_group_count(publication_fields::JOURNAL);
-            track(run_point(&format!("q2@{qt:.1}"), &q, &catalog, &s.store));
+            track(
+                &mut records,
+                run_point(&format!("q2@{qt:.1}"), &q, &catalog, &s.store),
+            );
         }
         header(&["query3", "chosen", "chosen_ms", "forced..."]);
         for qt10 in [1, 5, 9] {
@@ -154,7 +314,10 @@ fn main() {
             let q = PtqQuery::eq(publication_fields::COUNTRY, japan)
                 .with_qt(qt)
                 .with_group_count(publication_fields::JOURNAL);
-            track(run_point(&format!("q3@{qt:.1}"), &q, &catalog, &s.store));
+            track(
+                &mut records,
+                run_point(&format!("q3@{qt:.1}"), &q, &catalog, &s.store),
+            );
         }
     }
 
@@ -173,24 +336,37 @@ fn main() {
         for step in [2, 5, 10] {
             let radius = 100.0 * step as f64;
             let q = PtqQuery::circle(observation_fields::LOCATION, qx, qy, radius).with_qt(0.5);
-            track(run_point(
-                &format!("q4@r{radius:.0}"),
-                &q,
-                &catalog,
-                &s.store,
-            ));
+            track(
+                &mut records,
+                run_point(&format!("q4@r{radius:.0}"), &q, &catalog, &s.store),
+            );
         }
         header(&["query5", "chosen", "chosen_ms", "forced..."]);
         for qt10 in [1, 4, 8] {
             let qt = qt10 as f64 / 10.0;
             let q = PtqQuery::eq(observation_fields::SEGMENT, seg).with_qt(qt);
-            track(run_point(&format!("q5@{qt:.1}"), &q, &catalog, &s.store));
+            track(
+                &mut records,
+                run_point(&format!("q5@{qt:.1}"), &q, &catalog, &s.store),
+            );
         }
     }
 
+    let hint = hint_record;
+    write_json(&records, worst_ratio, &hint);
     summary(
         "planner.worst_chosen_vs_best_forced",
         format!("{worst_ratio:.3}x"),
     );
     summary("planner.within_10pct", worst_ratio <= 1.10);
+    summary(
+        "planner.hint_miss_reduction",
+        format!(
+            "{:.1}x ({} -> {} demand misses on {})",
+            hint.unhinted.misses as f64 / hint.hinted.misses.max(1) as f64,
+            hint.unhinted.misses,
+            hint.hinted.misses,
+            hint.query
+        ),
+    );
 }

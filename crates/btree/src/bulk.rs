@@ -29,15 +29,21 @@ impl BTree {
         let max_record = self.max_record();
 
         // ---- Leaf level ----
+        //
+        // Every leaf — the first included — gets a freshly allocated page,
+        // so the whole chain is one physically contiguous run: the
+        // create-time root page predates the load (other files typically
+        // allocated pages since), and reusing it as the first leaf would
+        // open the run with a gap that breaks sequential read-ahead (and
+        // planner prefetch hints) right at the seek target. The stale
+        // create-time page is freed once all allocations are done.
         let mut leaves: Vec<(Vec<u8>, PageId)> = Vec::new(); // (first key, page)
         let mut cur = Node::new_leaf();
-        let mut cur_pid: Option<PageId> = None;
+        let mut cur_pid = self.store.disk.alloc_page(self.file)?;
         let mut count = 0u64;
         let mut prev_key: Option<Vec<u8>> = None;
 
-        // The tree was created with one (empty) root leaf; reuse it as the
-        // first leaf so single-page loads stay trivial.
-        let first_pid = self.root_page();
+        let create_pid = self.root_page();
 
         for (k, v) in items {
             if let Some(p) = &prev_key {
@@ -53,31 +59,24 @@ impl BTree {
             let add = ENTRY_OVERHEAD + k.len() + v.len();
             if cur.used_bytes() + add > cap && !cur.entries.is_empty() {
                 // Seal this leaf and start the next; link them.
-                let pid = match cur_pid.take() {
-                    Some(p) => p,
-                    None => first_pid,
-                };
                 let next_pid = self.store.disk.alloc_page(self.file)?;
                 cur.link = next_pid;
-                leaves.push((cur.entries[0].0.to_vec(), pid));
-                self.write_node(pid, &cur);
+                leaves.push((cur.entries[0].0.to_vec(), cur_pid));
+                self.write_node(cur_pid, &cur);
                 cur = Node::new_leaf();
-                cur_pid = Some(next_pid);
+                cur_pid = next_pid;
             }
             cur.entries
                 .push((k.into_boxed_slice(), v.into_boxed_slice()));
             count += 1;
         }
         // Seal the final leaf.
-        let pid = cur_pid.unwrap_or(first_pid);
-        if !cur.entries.is_empty() || leaves.is_empty() {
-            if !cur.entries.is_empty() {
-                leaves.push((cur.entries[0].0.to_vec(), pid));
-            } else {
-                leaves.push((Vec::new(), pid));
-            }
-            self.write_node(pid, &cur);
+        if !cur.entries.is_empty() {
+            leaves.push((cur.entries[0].0.to_vec(), cur_pid));
+        } else {
+            leaves.push((Vec::new(), cur_pid));
         }
+        self.write_node(cur_pid, &cur);
         let leaf_pages = leaves.len();
 
         // ---- Internal levels ----
@@ -112,6 +111,11 @@ impl BTree {
 
         self.set_root(level[0].1, height);
         self.set_counts(count, leaf_pages, internal_pages);
+        // Drop the pre-load root page only now that every load page is
+        // allocated: freeing it earlier would let the allocator recycle
+        // its slot into the middle of the fresh contiguous run.
+        self.store.pool.discard(create_pid);
+        self.store.disk.free_page(create_pid)?;
         // Materialize the sequential write now so the load cost is charged
         // at load time (the paper measures flush/merge as a synchronous
         // sequential write).

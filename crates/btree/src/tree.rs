@@ -374,6 +374,22 @@ impl BTree {
         Ok(())
     }
 
+    /// The leaf page a [`seek`](Self::seek) for `key` would land on,
+    /// found by descending **internal** nodes only — the leaf itself is
+    /// not read. Planner prefetch hints use this to name a run's first
+    /// page before the run is opened, so the leaf's own (cold) read is
+    /// the hinted first miss; the internal reads are exactly the ones the
+    /// subsequent seek repeats against a now-warm cache.
+    pub fn leaf_page_for(&self, key: &[u8]) -> Result<PageId> {
+        let mut pid = self.root;
+        for _ in 1..self.height {
+            let node = self.read_node(pid)?;
+            debug_assert_eq!(node.kind, NodeKind::Internal);
+            pid = node.route(key);
+        }
+        Ok(pid)
+    }
+
     /// Cursor positioned at the first entry with key `>= key`.
     pub fn seek(&self, key: &[u8]) -> Result<Cursor<'_>> {
         let mut pid = self.root;
@@ -520,6 +536,27 @@ mod tests {
         // Seek past the end.
         let c = t.seek(b"999999").unwrap();
         assert!(!c.valid());
+    }
+
+    #[test]
+    fn leaf_page_for_matches_seek_landing_page() {
+        let mut t = tree(512);
+        for i in (0u32..2000).step_by(2) {
+            t.insert(format!("{:06}", i).as_bytes(), b"v").unwrap();
+        }
+        assert!(t.height() > 1);
+        // Present keys only: seeking an absent key can legitimately land
+        // one leaf later (the routed leaf's tail ends before it).
+        for i in (0u32..2000).step_by(138) {
+            let key = format!("{:06}", i);
+            let predicted = t.leaf_page_for(key.as_bytes()).unwrap();
+            let cur = t.seek(key.as_bytes()).unwrap();
+            assert!(cur.valid());
+            assert_eq!(predicted, cur.page(), "key {key}");
+        }
+        // Single-leaf tree: the root is the leaf, no pages read at all.
+        let t1 = tree(512);
+        assert_eq!(t1.leaf_page_for(b"anything").unwrap(), t1.root_page());
     }
 
     #[test]

@@ -172,6 +172,37 @@ pub fn estimate_heap_selectivity(upi: &DiscreteUpi, value: u64, qt: f64) -> f64 
     (matching / heap_entries).min(1.0)
 }
 
+/// Average heap entries per leaf page, from live tree statistics — the
+/// occupancy figure every run-length-to-pages conversion shares (also
+/// used by the planner to bound a top-k hint window to k rows' leaves).
+pub fn entries_per_leaf(upi: &DiscreteUpi) -> f64 {
+    let hs = upi.heap_stats();
+    (hs.entries as f64 / hs.leaf_pages.max(1) as f64).max(1.0)
+}
+
+/// Estimated length, in heap leaf pages, of the clustered run a point PTQ
+/// `(value, qt)` scans — the §6.1 heap selectivity translated into pages
+/// so the buffer pool's hinted read-ahead can size its window from it.
+/// Always at least 1 (the run's first leaf is read regardless).
+pub fn estimate_run_pages(upi: &DiscreteUpi, value: u64, qt: f64) -> usize {
+    let matching = upi
+        .attr_stats()
+        .est_heap_count_ge(value, qt, upi.config().cutoff);
+    let pages = (matching / entries_per_leaf(upi)).ceil() as usize;
+    pages.clamp(1, upi.heap_stats().leaf_pages.max(1))
+}
+
+/// Estimated length, in heap leaf pages, of the clustered run a range PTQ
+/// `[lo, hi]` scans. Alternatives sum under possible-world semantics, so
+/// the run covers every entry whose value falls in the range regardless
+/// of probability (see `DiscreteUpi::range_run`).
+pub fn estimate_range_run_pages(upi: &DiscreteUpi, lo: u64, hi: u64) -> usize {
+    let stats = upi.attr_stats();
+    let frac = (stats.est_count_value_range(lo, hi) / stats.total().max(1) as f64).min(1.0);
+    let leaf_pages = upi.heap_stats().leaf_pages.max(1);
+    ((frac * leaf_pages as f64).ceil() as usize).clamp(1, leaf_pages)
+}
+
 /// Estimated runtime of Query 1 on a standalone UPI with a cutoff index
 /// (the "Estimated" curves of Figure 12).
 pub fn estimate_query_cutoff_ms(disk: &DiskConfig, upi: &DiscreteUpi, value: u64, qt: f64) -> f64 {

@@ -70,6 +70,12 @@ impl UnclusteredHeap {
         })
     }
 
+    /// The first leaf page — where a full sequential scan starts (feeds
+    /// the planner's scan prefetch hint).
+    pub fn first_leaf_page(&self) -> Result<upi_storage::PageId> {
+        self.tree.leaf_page_for(&[])
+    }
+
     /// Number of tuples.
     pub fn len(&self) -> u64 {
         self.tree.len()

@@ -2,15 +2,23 @@
 //!
 //! Downstream users pick a [`TableLayout`] — the unclustered-heap + PII
 //! baseline, a [`DiscreteUpi`], or a [`FracturedUpi`] — and get one API for
-//! loading, maintenance and probabilistic threshold queries, making the
-//! paper's comparisons ("same query, different clustering") one-line
-//! configuration changes.
+//! loading and maintenance, making the paper's comparisons ("same data,
+//! different clustering") one-line configuration changes.
+//!
+//! **Queries do not run through this type.** `UncertainTable` owns the
+//! physical structures and exposes them read-only (see [`Self::as_upi`],
+//! [`Self::as_fractured`], [`Self::unclustered_parts`]); the query entry
+//! points live on `upi_query::UncertainDb`, the session layer that
+//! registers those structures in a planner `Catalog` so every query is
+//! cost-planned across whatever access paths the layout offers. This
+//! split keeps the dependency arrow pointing one way (`upi-query` builds
+//! on `upi`) while making it impossible to sneak a query past the
+//! planner: there simply is no direct-index entry point on the table.
 
 use upi_storage::error::Result;
 use upi_storage::Store;
 use upi_uncertain::{Field, FieldKind, Schema, Tuple, TupleId};
 
-use crate::exec::PtqResult;
 use crate::fractured::{FracturedConfig, FracturedUpi};
 use crate::heap::UnclusteredHeap;
 use crate::pii::Pii;
@@ -118,7 +126,8 @@ impl UncertainTable {
     }
 
     /// Attach a secondary index on a discrete column (before loading data).
-    /// Returns the index position for [`ptq_secondary`](Self::ptq_secondary).
+    /// Returns the index position (the `idx` of
+    /// `upi_query::UncertainDb::ptq_secondary`).
     pub fn add_secondary(&mut self, attr: usize) -> Result<usize> {
         assert_eq!(
             self.schema.field(attr).1,
@@ -250,48 +259,6 @@ impl UncertainTable {
         Ok(())
     }
 
-    /// Point PTQ on the primary attribute.
-    pub fn ptq(&self, value: u64, qt: f64) -> Result<Vec<PtqResult>> {
-        match &self.inner {
-            Inner::Unclustered { heap, primary, .. } => primary.ptq(heap, value, qt),
-            Inner::Upi(upi) => upi.ptq(value, qt),
-            Inner::Fractured(f) => f.ptq(value, qt),
-        }
-    }
-
-    /// Range PTQ on the primary attribute (inclusive bounds).
-    pub fn ptq_range(&self, lo: u64, hi: u64, qt: f64) -> Result<Vec<PtqResult>> {
-        match &self.inner {
-            Inner::Unclustered { heap, primary, .. } => primary.ptq_range(heap, lo, hi, qt),
-            Inner::Upi(upi) => upi.ptq_range(lo, hi, qt),
-            Inner::Fractured(f) => f.ptq_range(lo, hi, qt),
-        }
-    }
-
-    /// PTQ through secondary index `idx` (tailored access on UPI layouts).
-    pub fn ptq_secondary(&self, idx: usize, value: u64, qt: f64) -> Result<Vec<PtqResult>> {
-        match &self.inner {
-            Inner::Unclustered {
-                heap, secondaries, ..
-            } => secondaries[idx].ptq(heap, value, qt),
-            Inner::Upi(upi) => upi.ptq_secondary(idx, value, qt, true),
-            Inner::Fractured(f) => f.ptq_secondary(idx, value, qt, true),
-        }
-    }
-
-    /// Top-k most confident rows for a primary value.
-    pub fn top_k(&self, value: u64, k: usize) -> Result<Vec<PtqResult>> {
-        match &self.inner {
-            Inner::Unclustered { heap, primary, .. } => primary.top_k(heap, value, k),
-            Inner::Upi(upi) => crate::exec::top_k(upi, value, k),
-            Inner::Fractured(f) => {
-                let mut all = f.ptq(value, 0.0)?;
-                all.truncate(k);
-                Ok(all)
-            }
-        }
-    }
-
     /// Flush buffered changes (fractured layout only; no-op otherwise —
     /// the buffer pool flushes through [`Store::go_cold`] or eviction).
     pub fn flush(&mut self) -> Result<()> {
@@ -319,13 +286,52 @@ impl UncertainTable {
         self.primary_attr
     }
 
+    /// Attributes of the attached secondary indexes, in
+    /// [`add_secondary`](Self::add_secondary) position order.
+    pub fn sec_attrs(&self) -> &[usize] {
+        &self.sec_attrs
+    }
+
+    /// The store (simulated disk + shared buffer pool) this table
+    /// performs all I/O through.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
     /// Direct access to the underlying UPI, when the layout has one
     /// (for cost models and statistics).
+    ///
+    /// For fractured tables this returns the *main* component only —
+    /// suitable for statistics, **not** for queries (fractures and the
+    /// insert buffer hold rows the main component does not); query
+    /// planning must register the whole structure via
+    /// [`as_fractured`](Self::as_fractured).
     pub fn as_upi(&self) -> Option<&DiscreteUpi> {
         match &self.inner {
             Inner::Upi(upi) => Some(upi),
             Inner::Fractured(f) => Some(f.main()),
             Inner::Unclustered { .. } => None,
+        }
+    }
+
+    /// The fractured UPI, when the layout is [`TableLayout::FracturedUpi`].
+    pub fn as_fractured(&self) -> Option<&FracturedUpi> {
+        match &self.inner {
+            Inner::Fractured(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The unclustered layout's parts — `(heap, primary PII, secondary
+    /// PIIs)` — when the layout is [`TableLayout::Unclustered`].
+    pub fn unclustered_parts(&self) -> Option<(&UnclusteredHeap, &Pii, &[Pii])> {
+        match &self.inner {
+            Inner::Unclustered {
+                heap,
+                primary,
+                secondaries,
+            } => Some((heap, primary, secondaries)),
+            _ => None,
         }
     }
 }
@@ -369,49 +375,34 @@ mod tests {
         t
     }
 
-    fn layouts() -> Vec<UncertainTable> {
-        vec![
-            table(TableLayout::Unclustered),
-            table(TableLayout::Upi(UpiConfig::default())),
-            table(TableLayout::FracturedUpi(FracturedConfig {
-                upi: UpiConfig::default(),
-                buffer_ops: 0,
-            })),
-        ]
-    }
+    // Query behaviour across layouts is covered by the integration suite
+    // (`tests/tests/facade.rs`) through `upi_query::UncertainDb`, the only
+    // query entry point. The unit tests here cover what the table itself
+    // owns: schema checking, id assignment, and structure exposure.
 
     #[test]
-    fn all_layouts_answer_identically() {
-        let mut tables = layouts();
-        for t in &mut tables {
-            for i in 0..200u64 {
-                t.insert(0.9, row(i % 7, 0.6, i % 3)).unwrap();
-            }
-        }
-        let reference: Vec<u64> = tables[0]
-            .ptq(3, 0.2)
-            .unwrap()
-            .iter()
-            .map(|r| r.tuple.id.0)
-            .collect();
-        assert!(!reference.is_empty());
-        for t in &tables[1..] {
-            let mut got: Vec<u64> = t
-                .ptq(3, 0.2)
-                .unwrap()
-                .iter()
-                .map(|r| r.tuple.id.0)
-                .collect();
-            let mut want = reference.clone();
-            got.sort_unstable();
-            want.sort_unstable();
-            assert_eq!(got, want);
-        }
-        // Range queries agree too.
-        let range_ref = tables[0].ptq_range(2, 5, 0.3).unwrap().len();
-        for t in &tables[1..] {
-            assert_eq!(t.ptq_range(2, 5, 0.3).unwrap().len(), range_ref);
-        }
+    fn layout_parts_are_exposed_for_catalog_registration() {
+        let unc = table(TableLayout::Unclustered);
+        let (heap, primary, secs) = unc.unclustered_parts().expect("unclustered parts");
+        assert_eq!(primary.attr(), 1);
+        assert_eq!(secs.len(), 1);
+        assert_eq!(secs[0].attr(), 2);
+        assert!(heap.is_empty());
+        assert!(unc.as_upi().is_none());
+        assert!(unc.as_fractured().is_none());
+        assert_eq!(unc.sec_attrs(), &[2]);
+
+        let upi = table(TableLayout::Upi(UpiConfig::default()));
+        assert!(upi.as_upi().is_some());
+        assert!(upi.unclustered_parts().is_none());
+        assert_eq!(upi.as_upi().unwrap().secondaries().len(), 1);
+
+        let frac = table(TableLayout::FracturedUpi(FracturedConfig {
+            upi: UpiConfig::default(),
+            buffer_ops: 0,
+        }));
+        assert!(frac.as_fractured().is_some());
+        assert!(frac.as_upi().is_some(), "main component for statistics");
     }
 
     #[test]
@@ -423,54 +414,28 @@ mod tests {
         t.load(&preloaded).unwrap();
         let id = t.insert(1.0, row(1, 0.8, 0)).unwrap();
         assert_eq!(id, TupleId(10));
+        assert_eq!(t.as_upi().unwrap().n_tuples(), 11);
     }
 
     #[test]
-    fn secondary_and_topk_paths() {
-        let mut unc = table(TableLayout::Unclustered);
-        let mut upi = table(TableLayout::Upi(UpiConfig::default()));
-        for i in 0..150u64 {
-            let r = row(i % 5, 0.5 + (i % 4) as f64 * 0.1, i % 3);
-            unc.insert(0.9, r.clone()).unwrap();
-            upi.insert(0.9, r).unwrap();
+    fn maintenance_flows_through_every_layout() {
+        for layout in [
+            TableLayout::Unclustered,
+            TableLayout::Upi(UpiConfig::default()),
+            TableLayout::FracturedUpi(FracturedConfig {
+                upi: UpiConfig::default(),
+                buffer_ops: 0,
+            }),
+        ] {
+            let mut t = table(layout);
+            for i in 0..50u64 {
+                t.insert(0.9, row(i % 5, 0.7, i % 3)).unwrap();
+            }
+            let victim = Tuple::new(TupleId(7), 0.9, row(7 % 5, 0.7, 7 % 3));
+            t.delete(&victim).unwrap();
+            t.flush().unwrap();
+            t.merge().unwrap();
         }
-        let a: Vec<u64> = unc
-            .ptq_secondary(0, 1, 0.3)
-            .unwrap()
-            .iter()
-            .map(|r| r.tuple.id.0)
-            .collect();
-        let mut b: Vec<u64> = upi
-            .ptq_secondary(0, 1, 0.3)
-            .unwrap()
-            .iter()
-            .map(|r| r.tuple.id.0)
-            .collect();
-        let mut a = a;
-        a.sort_unstable();
-        b.sort_unstable();
-        assert_eq!(a, b);
-
-        let top = upi.top_k(2, 3).unwrap();
-        assert_eq!(top.len(), 3);
-        assert!(top.windows(2).all(|w| w[0].confidence >= w[1].confidence));
-    }
-
-    #[test]
-    fn fractured_lifecycle_through_facade() {
-        let mut t = table(TableLayout::FracturedUpi(FracturedConfig {
-            upi: UpiConfig::default(),
-            buffer_ops: 0,
-        }));
-        for i in 0..100u64 {
-            t.insert(0.9, row(i % 5, 0.7, 0)).unwrap();
-        }
-        let before = t.ptq(2, 0.3).unwrap().len();
-        t.flush().unwrap();
-        assert_eq!(t.ptq(2, 0.3).unwrap().len(), before);
-        t.merge().unwrap();
-        assert_eq!(t.ptq(2, 0.3).unwrap().len(), before);
-        assert!(t.as_upi().is_some());
     }
 
     #[test]

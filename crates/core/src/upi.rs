@@ -253,6 +253,21 @@ impl DiscreteUpi {
         })
     }
 
+    /// The heap leaf page where the clustered run for `value` begins —
+    /// i.e. the first page [`heap_run`](Self::heap_run) (or a
+    /// [`range_run`](Self::range_run) starting at `value`) will read.
+    /// Only internal pages are touched (the later seek re-reads them
+    /// warm), so the leaf's own read stays cold for the buffer pool's
+    /// hinted read-ahead to arm on.
+    pub fn run_start_page(&self, value: u64) -> Result<upi_storage::PageId> {
+        self.heap.leaf_page_for(&keys::value_prefix(value))
+    }
+
+    /// The heap's first leaf page — where a full sequential scan starts.
+    pub fn first_leaf_page(&self) -> Result<upi_storage::PageId> {
+        self.heap.leaf_page_for(&[])
+    }
+
     /// Fetch the heap copy stored under primary key `(value, prob, tid)`.
     pub fn fetch_by_pointer(&self, value: u64, prob: f64, tid: u64) -> Result<Option<Tuple>> {
         Ok(self

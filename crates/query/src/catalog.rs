@@ -56,49 +56,85 @@ impl<'a> Catalog<'a> {
     }
 
     /// Register a discrete UPI.
+    ///
+    /// Single-slot: registering a second discrete UPI is a caller bug —
+    /// the first would be silently shadowed, so debug builds assert (all
+    /// `with_*` single-slot builders behave the same; release builds keep
+    /// the documented last-wins for robustness).
     pub fn with_upi(mut self, upi: &'a DiscreteUpi) -> Catalog<'a> {
+        debug_assert!(
+            self.upi.is_none(),
+            "catalog already has a discrete UPI registered"
+        );
         self.upi = Some(upi);
         self
     }
 
-    /// Register a fractured UPI.
+    /// Register a fractured UPI (single-slot, see
+    /// [`with_upi`](Self::with_upi)).
     pub fn with_fractured(mut self, f: &'a FracturedUpi) -> Catalog<'a> {
+        debug_assert!(
+            self.fractured.is_none(),
+            "catalog already has a fractured UPI registered"
+        );
         self.fractured = Some(f);
         self
     }
 
-    /// Register an unclustered heap.
+    /// Register an unclustered heap (single-slot, see
+    /// [`with_upi`](Self::with_upi)).
     pub fn with_heap(mut self, heap: &'a UnclusteredHeap) -> Catalog<'a> {
+        debug_assert!(
+            self.heap.is_none(),
+            "catalog already has an unclustered heap registered"
+        );
         self.heap = Some(heap);
         self
     }
 
-    /// Register a PII over the unclustered heap.
+    /// Register a PII over the unclustered heap (appends — any number of
+    /// PIIs on distinct attributes may coexist).
     pub fn with_pii(mut self, pii: &'a Pii) -> Catalog<'a> {
         self.piis.push(pii);
         self
     }
 
-    /// Register a continuous UPI.
+    /// Register a continuous UPI (single-slot, see
+    /// [`with_upi`](Self::with_upi)).
     pub fn with_cupi(mut self, cupi: &'a ContinuousUpi) -> Catalog<'a> {
+        debug_assert!(
+            self.cupi.is_none(),
+            "catalog already has a continuous UPI registered"
+        );
         self.cupi = Some(cupi);
         self
     }
 
-    /// Register a segment index over the continuous UPI.
+    /// Register a segment index over the continuous UPI (appends).
     pub fn with_cont_secondary(mut self, s: &'a ContinuousSecondary) -> Catalog<'a> {
         self.cont_secondaries.push(s);
         self
     }
 
-    /// Register a secondary U-Tree over the unclustered heap.
+    /// Register a secondary U-Tree over the unclustered heap
+    /// (single-slot, see [`with_upi`](Self::with_upi)).
     pub fn with_utree(mut self, utree: &'a SecondaryUTree) -> Catalog<'a> {
+        debug_assert!(
+            self.utree.is_none(),
+            "catalog already has a secondary U-Tree registered"
+        );
         self.utree = Some(utree);
         self
     }
 
-    /// Register the buffer pool for per-query I/O attribution.
+    /// Register the buffer pool for per-query I/O attribution and
+    /// planner prefetch hints (single-slot, see
+    /// [`with_upi`](Self::with_upi)).
     pub fn with_pool(mut self, pool: &'a BufferPool) -> Catalog<'a> {
+        debug_assert!(
+            self.pool.is_none(),
+            "catalog already has a buffer pool registered"
+        );
         self.pool = Some(pool);
         self
     }

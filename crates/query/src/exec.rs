@@ -627,7 +627,30 @@ pub(crate) fn execute(
 ) -> Result<QueryOutput, QueryError> {
     let q = &plan.query;
     let pool_before = catalog.pool.map(|p| p.counters());
-    let (stream, ordered) = open_source(plan.path(), q, catalog)?;
+    // Planner-aware prefetch: run-shaped paths carry the run's start page
+    // and estimated length, so the pool arms read-ahead on the first miss
+    // with a run-length-sized window instead of waiting for two adjacent
+    // misses (pointer-chasing paths carry no hint and fall back to the
+    // pool's own detection). The hint must be armed before the source
+    // opens — the open performs the seek whose leaf read consumes it —
+    // so a failed open clears it, lest a stale hint mis-fire on a later
+    // unrelated access to that page.
+    let hinted_pool = match (plan.candidates[0].hint, catalog.pool) {
+        (Some(hint), Some(pool)) => {
+            pool.hint_run(hint);
+            Some(pool)
+        }
+        _ => None,
+    };
+    let (stream, ordered) = match open_source(plan.path(), q, catalog) {
+        Ok(source) => source,
+        Err(e) => {
+            if let Some(pool) = hinted_pool {
+                pool.clear_hint();
+            }
+            return Err(e);
+        }
+    };
     let mut rows = match (q.top_k, ordered) {
         (Some(k), true) => {
             // The source streams in result order: take k rows and drop

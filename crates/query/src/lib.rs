@@ -9,8 +9,15 @@
 //! whatever index structures exist, and executes it through one streaming
 //! engine.
 //!
-//! ## The three layers
+//! ## The four layers
 //!
+//! 0. **[`UncertainDb`]** — the planner-first session facade: owns an
+//!    `upi::UncertainTable`, builds the [`Catalog`] from its live
+//!    structures (buffer pool included) in an internal registration
+//!    step, and routes *every* query — including the classic
+//!    `ptq`/`ptq_range`/`ptq_secondary`/`top_k` shapes — through
+//!    `plan()` → streaming execution. The table type itself has no
+//!    query methods, so nothing can bypass the cost models.
 //! 1. **[`PtqQuery`]** — the logical query: a point, range, or circle
 //!    predicate, a confidence threshold `QT`, and optional top-k,
 //!    group-count, and projection clauses. Queries 1–5 of the paper's
@@ -73,12 +80,14 @@ pub mod exec;
 pub mod plan;
 pub mod planner;
 pub mod query;
+pub mod session;
 
 pub use catalog::Catalog;
 pub use error::{PlanError, QueryError};
 pub use exec::QueryOutput;
 pub use plan::{AccessPath, CandidatePlan, PhysicalPlan};
 pub use query::{Predicate, PtqQuery};
+pub use session::UncertainDb;
 
 // Re-exported for compatibility with pre-planner code paths.
 pub use upi::exec::{group_count, top_k, PtqResult};

@@ -117,6 +117,14 @@ pub struct CandidatePlan {
     pub est_ms: f64,
     /// How the estimate was assembled (for `explain()`).
     pub note: String,
+    /// Prefetch hint for run-shaped paths: the first page the path will
+    /// read and the estimated run length, derived from the same live
+    /// statistics that priced the candidate. When the catalog registers a
+    /// buffer pool, the executor passes this to
+    /// [`upi_storage::BufferPool::hint_run`] so read-ahead arms on the
+    /// run's first miss with a run-length-sized window. `None` for
+    /// pointer-chasing and batch paths.
+    pub hint: Option<upi_storage::AccessHint>,
 }
 
 /// An executable physical plan: the chosen access path plus the full
@@ -164,6 +172,12 @@ impl PhysicalPlan {
         ));
         for line in operator_tree(&self.query, self.path()) {
             out.push_str(&format!("  {line}\n"));
+        }
+        if let Some(h) = &self.candidates[0].hint {
+            out.push_str(&format!(
+                "prefetch hint: run of ~{} page(s) from page {:?}\n",
+                h.est_run_pages, h.start_page
+            ));
         }
         if let Some(io) = io {
             out.push_str(&format!(

@@ -22,8 +22,8 @@
 //!   selectivity for range scans.
 
 use upi::cost::{self};
-use upi::DiscreteUpi;
-use upi_storage::DiskConfig;
+use upi::{DiscreteUpi, UnclusteredHeap};
+use upi_storage::{AccessHint, DiskConfig};
 
 use crate::catalog::Catalog;
 use crate::error::PlanError;
@@ -72,6 +72,61 @@ fn replication_factor(upi: &DiscreteUpi) -> f64 {
 /// Page size of a B+Tree file from its stats.
 fn page_bytes(stats: &upi_btree::TreeStats) -> f64 {
     stats.bytes as f64 / stats.pages.max(1) as f64
+}
+
+// --- Prefetch hints (run-shaped paths only) --------------------------------
+//
+// The same statistics that price a candidate also tell the buffer pool
+// where the run starts and how long it is expected to be, so read-ahead
+// can arm on the first miss instead of waiting for the two-adjacent-miss
+// detector. Resolving the start page descends *internal* B+Tree pages
+// only (a handful of reads the executor's own seek repeats warm); hint
+// resolution is best-effort — an I/O error yields no hint, never a plan
+// failure. Pointer-chasing paths (secondary, PII, cutoff-heavy merges)
+// and fracture-parallel merges interleave files, so they get no hint and
+// rely on the pool's own detection.
+
+/// Hint for the clustered point run (`UpiHeap`): §2's one-seek-then-
+/// sequential access, bounded by k leaves for an early-terminating top-k.
+fn upi_point_hint(
+    upi: &DiscreteUpi,
+    value: u64,
+    qt: f64,
+    top_k: Option<usize>,
+) -> Option<AccessHint> {
+    let mut pages = cost::estimate_run_pages(upi, value, qt);
+    if let Some(k) = top_k {
+        let per_leaf = cost::entries_per_leaf(upi);
+        pages = pages.min(((k as f64 / per_leaf).ceil() as usize).max(1));
+    }
+    Some(AccessHint {
+        start_page: upi.run_start_page(value).ok()?,
+        est_run_pages: pages,
+    })
+}
+
+/// Hint for the clustered range run (`UpiRange`).
+fn upi_range_hint(upi: &DiscreteUpi, lo: u64, hi: u64) -> Option<AccessHint> {
+    Some(AccessHint {
+        start_page: upi.run_start_page(lo).ok()?,
+        est_run_pages: cost::estimate_range_run_pages(upi, lo, hi),
+    })
+}
+
+/// Hint for a full scan of the UPI's clustered heap (`UpiFullScan`).
+fn upi_scan_hint(upi: &DiscreteUpi) -> Option<AccessHint> {
+    Some(AccessHint {
+        start_page: upi.first_leaf_page().ok()?,
+        est_run_pages: upi.heap_stats().leaf_pages.max(1),
+    })
+}
+
+/// Hint for a full scan of the unclustered heap (`HeapScan`).
+fn heap_scan_hint(heap: &UnclusteredHeap) -> Option<AccessHint> {
+    Some(AccessHint {
+        start_page: heap.first_leaf_page().ok()?,
+        est_run_pages: heap.stats().leaf_pages.max(1),
+    })
 }
 
 /// Entry point: enumerate, price, rank.
@@ -144,6 +199,7 @@ fn enumerate_eq(
                 },
                 est_ms,
                 note,
+                hint: upi_point_hint(upi, value, qt, q.top_k),
             });
         }
         for (i, sec) in upi.secondaries().iter().enumerate() {
@@ -170,6 +226,7 @@ fn enumerate_eq(
                 est_ms: opens
                     + bitmap_fetch_ms(disk, hs.bytes as f64 / concentration, page_bytes(&hs), n),
                 note: format!("{n:.0} fetches over 1/{concentration:.2} of the heap"),
+                hint: None,
             });
             out.push(CandidatePlan {
                 path: AccessPath::UpiSecondary {
@@ -178,6 +235,7 @@ fn enumerate_eq(
                 },
                 est_ms: opens + bitmap_fetch_ms(disk, hs.bytes as f64, page_bytes(&hs), n),
                 note: format!("{n:.0} first-pointer fetches over the full heap"),
+                hint: None,
             });
         }
         // Last-resort full scan of the clustered heap (any discrete attr).
@@ -185,6 +243,7 @@ fn enumerate_eq(
             path: AccessPath::UpiFullScan,
             est_ms: disk.init_ms + disk.read_cost_ms(upi.heap_stats().bytes),
             note: format!("{} heap bytes sequential", upi.heap_stats().bytes),
+            hint: upi_scan_hint(upi),
         });
     }
 
@@ -194,6 +253,7 @@ fn enumerate_eq(
                 path: AccessPath::FracturedProbe,
                 est_ms: cost::estimate_query_fractured_ms(disk, f, value, qt),
                 note: format!("{} components", f.n_fractures() + 1),
+                hint: None,
             });
         }
         for (i, sec) in f.main().secondaries().iter().enumerate() {
@@ -214,6 +274,7 @@ fn enumerate_eq(
                 est_ms: opens
                     + bitmap_fetch_ms(disk, hs.bytes as f64 / repl.powf(1.5), page_bytes(&hs), n),
                 note: format!("{n:.0} entries over {components:.0} components"),
+                hint: None,
             });
         }
     }
@@ -231,12 +292,14 @@ fn enumerate_eq(
                     + open_descend(disk, hs.height)
                     + bitmap_fetch_ms(disk, hs.bytes as f64, page_bytes(&hs), n),
                 note: format!("{n:.0} bitmap-order heap fetches"),
+                hint: None,
             });
         }
         out.push(CandidatePlan {
             path: AccessPath::HeapScan,
             est_ms: disk.init_ms + disk.read_cost_ms(heap.stats().bytes),
             note: format!("{} heap bytes sequential", heap.stats().bytes),
+            hint: heap_scan_hint(heap),
         });
     }
 
@@ -259,6 +322,7 @@ fn enumerate_eq(
                     + disk.init_ms
                     + bitmap_fetch_ms(disk, heap_bytes, heap_page, effective),
                 note: format!("{n:.0} entries -> ~{effective:.0} page reads"),
+                hint: None,
             });
         }
     }
@@ -290,12 +354,14 @@ fn enumerate_range(
                 path: AccessPath::UpiRange,
                 est_ms: est,
                 note: format!("range frac {frac:.4} of clustered heap"),
+                hint: upi_range_hint(upi, lo, hi),
             });
         }
         out.push(CandidatePlan {
             path: AccessPath::UpiFullScan,
             est_ms: disk.init_ms + disk.read_cost_ms(upi.heap_stats().bytes),
             note: format!("{} heap bytes sequential", upi.heap_stats().bytes),
+            hint: upi_scan_hint(upi),
         });
     }
 
@@ -308,6 +374,7 @@ fn enumerate_range(
                 path: AccessPath::FracturedRange,
                 est_ms: model.cost_fractured_ms(frac, f.n_fractures() + 1),
                 note: format!("range frac {frac:.4}, {} components", f.n_fractures() + 1),
+                hint: None,
             });
         }
     }
@@ -327,12 +394,14 @@ fn enumerate_range(
                     + disk.init_ms
                     + bitmap_fetch_ms(disk, hs.bytes as f64, page_bytes(&hs), entries),
                 note: format!("{entries:.0} index entries in range"),
+                hint: None,
             });
         }
         out.push(CandidatePlan {
             path: AccessPath::HeapScan,
             est_ms: disk.init_ms + disk.read_cost_ms(heap.stats().bytes),
             note: format!("{} heap bytes sequential", heap.stats().bytes),
+            hint: heap_scan_hint(heap),
         });
     }
 
@@ -371,6 +440,7 @@ fn enumerate_circle(
                     + rs.height as f64 * disk.seek_ms
                     + disk.read_cost_ms((cupi.total_bytes() as f64 * frac) as u64),
                 note: format!("circle covers {:.3} of domain, clustered read", frac),
+                hint: None,
             });
         }
     }
@@ -386,6 +456,7 @@ fn enumerate_circle(
                     + disk.init_ms
                     + bitmap_fetch_ms(disk, hs.bytes as f64, page_bytes(&hs), candidates),
                 note: format!("~{candidates:.0} per-candidate heap fetches"),
+                hint: None,
             });
         }
     }

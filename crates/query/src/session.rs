@@ -1,0 +1,400 @@
+//! The session layer: a planner-first facade over an `UncertainTable`.
+//!
+//! [`UncertainDb`] owns an [`upi::UncertainTable`] and is the **only**
+//! query entry point over it. Every query — the classic
+//! [`ptq`](UncertainDb::ptq) / [`ptq_range`](UncertainDb::ptq_range) /
+//! [`ptq_secondary`](UncertainDb::ptq_secondary) /
+//! [`top_k`](UncertainDb::top_k) shapes as much as an arbitrary
+//! [`PtqQuery`] — is planned against a [`Catalog`] the session builds
+//! from the table's live structures, priced with the §6 cost models, and
+//! executed as a streaming [`PhysicalPlan`]. There is no direct-index
+//! fallback: the table type itself no longer exposes query methods.
+//!
+//! Owning the table solves the `Catalog<'a>` borrow-builder awkwardness:
+//! callers never juggle per-structure references — the internal
+//! registration step ([`catalog`](UncertainDb::catalog)) borrows the
+//! right structures for the table's layout (including the shared buffer
+//! pool, so per-query I/O counters and planner prefetch hints are wired
+//! up by construction) and hands back a ready catalog whose borrows are
+//! tied to `&self`.
+
+use upi::{PtqResult, TableLayout, UncertainTable};
+use upi_storage::error::Result as StorageResult;
+use upi_storage::Store;
+use upi_uncertain::{Field, Schema, Tuple, TupleId};
+
+use crate::catalog::Catalog;
+use crate::error::{PlanError, QueryError};
+use crate::exec::QueryOutput;
+use crate::plan::PhysicalPlan;
+use crate::query::PtqQuery;
+
+/// A planner-first session over one uncertain table.
+///
+/// # Example
+///
+/// The paper's running example (Tables 1–3), loaded into a UPI-clustered
+/// table and queried through the planner:
+///
+/// ```
+/// use std::sync::Arc;
+/// use upi::{TableLayout, UpiConfig};
+/// use upi_query::{PtqQuery, UncertainDb};
+/// use upi_storage::{DiskConfig, SimDisk, Store};
+/// use upi_uncertain::{Datum, DiscretePmf, Field, FieldKind, Schema};
+///
+/// let store = Store::new(Arc::new(SimDisk::new(DiskConfig::default())), 1 << 20);
+/// let schema = Schema::new(vec![
+///     ("name", FieldKind::Str),
+///     ("institution", FieldKind::Discrete),
+/// ]);
+/// let mut db = UncertainDb::create(
+///     store,
+///     "authors",
+///     schema,
+///     1, // cluster on Institution
+///     TableLayout::Upi(UpiConfig { cutoff: 0.10, ..UpiConfig::default() }),
+/// )
+/// .unwrap();
+///
+/// const MIT: u64 = 1;
+/// db.insert(0.9, vec![
+///     Field::Certain(Datum::Str("Alice".into())),
+///     Field::Discrete(DiscretePmf::new(vec![(0, 0.8), (MIT, 0.2)])),
+/// ])
+/// .unwrap();
+/// db.insert(1.0, vec![
+///     Field::Certain(Datum::Str("Bob".into())),
+///     Field::Discrete(DiscretePmf::new(vec![(MIT, 0.95), (2, 0.05)])),
+/// ])
+/// .unwrap();
+///
+/// // Query 1: WHERE Institution = MIT (confidence >= 0.5) — planned,
+/// // then executed as a streaming physical plan.
+/// let rows = db.ptq(MIT, 0.5).unwrap();
+/// assert_eq!(rows.len(), 1); // Bob at 95%
+///
+/// // The same query as an explicit PtqQuery, with the plan surfaced.
+/// let q = PtqQuery::eq(1, MIT).with_qt(0.5);
+/// let plan = db.plan(&q).unwrap();
+/// assert!(plan.explain().contains("chosen:"));
+/// assert_eq!(db.query(&q).unwrap().rows.len(), 1);
+/// ```
+pub struct UncertainDb {
+    table: UncertainTable,
+}
+
+impl UncertainDb {
+    /// Create an empty session-owned table (see
+    /// [`UncertainTable::create`] for the argument contract).
+    pub fn create(
+        store: Store,
+        name: &str,
+        schema: Schema,
+        primary_attr: usize,
+        layout: TableLayout,
+    ) -> StorageResult<UncertainDb> {
+        Ok(UncertainDb {
+            table: UncertainTable::create(store, name, schema, primary_attr, layout)?,
+        })
+    }
+
+    /// Adopt an existing table into a session.
+    pub fn from_table(table: UncertainTable) -> UncertainDb {
+        UncertainDb { table }
+    }
+
+    /// The owned table (schema, statistics, structure accessors).
+    pub fn table(&self) -> &UncertainTable {
+        &self.table
+    }
+
+    /// Mutable access for maintenance beyond the passthroughs below.
+    pub fn table_mut(&mut self) -> &mut UncertainTable {
+        &mut self.table
+    }
+
+    /// Release the table from the session.
+    pub fn into_table(self) -> UncertainTable {
+        self.table
+    }
+
+    // --- DML / maintenance passthrough ------------------------------------
+
+    /// Attach a secondary index (before loading data); returns the `idx`
+    /// for [`ptq_secondary`](Self::ptq_secondary).
+    pub fn add_secondary(&mut self, attr: usize) -> StorageResult<usize> {
+        self.table.add_secondary(attr)
+    }
+
+    /// Bulk-load tuples into the empty table.
+    pub fn load(&mut self, tuples: &[Tuple]) -> StorageResult<()> {
+        self.table.load(tuples)
+    }
+
+    /// Insert a row, assigning the next tuple id.
+    pub fn insert(&mut self, exist: f64, fields: Vec<Field>) -> StorageResult<TupleId> {
+        self.table.insert(exist, fields)
+    }
+
+    /// Insert a fully-formed tuple (caller manages ids).
+    pub fn insert_tuple(&mut self, t: &Tuple) -> StorageResult<()> {
+        self.table.insert_tuple(t)
+    }
+
+    /// Delete a tuple.
+    pub fn delete(&mut self, t: &Tuple) -> StorageResult<()> {
+        self.table.delete(t)
+    }
+
+    /// Flush buffered changes (fractured layout only; no-op otherwise).
+    pub fn flush(&mut self) -> StorageResult<()> {
+        self.table.flush()
+    }
+
+    /// Merge fractures (fractured layout only; no-op otherwise).
+    pub fn merge(&mut self) -> StorageResult<()> {
+        self.table.merge()
+    }
+
+    // --- Planning and execution -------------------------------------------
+
+    /// The internal registration step: a [`Catalog`] over the table's
+    /// live structures and its buffer pool. Estimates always reflect
+    /// current sizes and statistics because the borrows are taken fresh
+    /// per call. Exposed so callers can force paths or add side
+    /// structures; the query methods below all go through it.
+    pub fn catalog(&self) -> Catalog<'_> {
+        let store = self.table.store();
+        let mut c = Catalog::new(store.disk.config()).with_pool(store.pool.as_ref());
+        if let Some((heap, primary, secondaries)) = self.table.unclustered_parts() {
+            c = c.with_heap(heap).with_pii(primary);
+            for s in secondaries {
+                c = c.with_pii(s);
+            }
+        } else if let Some(f) = self.table.as_fractured() {
+            c = c.with_fractured(f);
+        } else if let Some(upi) = self.table.as_upi() {
+            c = c.with_upi(upi);
+        }
+        c
+    }
+
+    /// Plan a query against the table's structures without executing it
+    /// (inspect with [`PhysicalPlan::explain`]).
+    pub fn plan(&self, q: &PtqQuery) -> Result<PhysicalPlan, PlanError> {
+        q.plan(&self.catalog())
+    }
+
+    /// Plan and execute a query. `QueryOutput::io` carries the buffer-
+    /// pool traffic this execution caused (the session always registers
+    /// the pool).
+    pub fn query(&self, q: &PtqQuery) -> Result<QueryOutput, QueryError> {
+        let catalog = self.catalog();
+        q.plan(&catalog)?.execute(&catalog)
+    }
+
+    /// The chosen plan's `explain()` rendering, without executing.
+    pub fn explain(&self, q: &PtqQuery) -> Result<String, PlanError> {
+        Ok(self.plan(q)?.explain())
+    }
+
+    /// Plan, execute, and render the plan **with** the measured I/O of
+    /// this execution (`explain_with_io`).
+    pub fn run_explained(&self, q: &PtqQuery) -> Result<(QueryOutput, String), QueryError> {
+        let catalog = self.catalog();
+        let plan = q.plan(&catalog)?;
+        let out = plan.execute(&catalog)?;
+        let text = plan.explain_with_io(out.io.as_ref());
+        Ok((out, text))
+    }
+
+    // --- The four classic PTQ entry points --------------------------------
+    //
+    // Each is sugar for a PtqQuery through plan() → execute(): the
+    // planner chooses the access path (heap run vs. cutoff merge vs.
+    // tailored secondary vs. PII vs. scan) from the §6 cost models, per
+    // query, per layout.
+
+    /// Point PTQ on the primary attribute:
+    /// `WHERE primary = value (confidence ≥ qt)`.
+    pub fn ptq(&self, value: u64, qt: f64) -> Result<Vec<PtqResult>, QueryError> {
+        Ok(self
+            .query(&PtqQuery::eq(self.table.primary_attr(), value).with_qt(qt))?
+            .rows)
+    }
+
+    /// Range PTQ on the primary attribute (inclusive bounds).
+    pub fn ptq_range(&self, lo: u64, hi: u64, qt: f64) -> Result<Vec<PtqResult>, QueryError> {
+        Ok(self
+            .query(&PtqQuery::range(self.table.primary_attr(), lo, hi).with_qt(qt))?
+            .rows)
+    }
+
+    /// PTQ through secondary index `idx` (position returned by
+    /// [`add_secondary`](Self::add_secondary)). The planner weighs
+    /// tailored against plain secondary access — and against a scan —
+    /// instead of hard-wiring one.
+    pub fn ptq_secondary(
+        &self,
+        idx: usize,
+        value: u64,
+        qt: f64,
+    ) -> Result<Vec<PtqResult>, QueryError> {
+        let sec_attrs = self.table.sec_attrs();
+        assert!(
+            idx < sec_attrs.len(),
+            "secondary index {idx} out of range ({} attached)",
+            sec_attrs.len()
+        );
+        Ok(self
+            .query(&PtqQuery::eq(sec_attrs[idx], value).with_qt(qt))?
+            .rows)
+    }
+
+    /// Top-k most confident rows for a primary value (confidence-ordered
+    /// streaming sources let the sink stop the I/O after k rows).
+    pub fn top_k(&self, value: u64, k: usize) -> Result<Vec<PtqResult>, QueryError> {
+        Ok(self
+            .query(&PtqQuery::eq(self.table.primary_attr(), value).with_top_k(k))?
+            .rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use upi::{FracturedConfig, UpiConfig};
+    use upi_storage::{DiskConfig, SimDisk};
+    use upi_uncertain::{Datum, DiscretePmf, FieldKind};
+
+    fn store() -> Store {
+        Store::new(Arc::new(SimDisk::new(DiskConfig::default())), 8 << 20)
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("name", FieldKind::Str),
+            ("institution", FieldKind::Discrete),
+            ("country", FieldKind::Discrete),
+        ])
+    }
+
+    fn row(inst: u64, p: f64, country: u64) -> Vec<Field> {
+        vec![
+            Field::Certain(Datum::Str("x".into())),
+            Field::Discrete(DiscretePmf::new(vec![
+                (inst, p),
+                (inst + 100, (1.0 - p) * 0.5),
+            ])),
+            Field::Discrete(DiscretePmf::new(vec![(country, 1.0)])),
+        ]
+    }
+
+    fn db(layout: TableLayout) -> UncertainDb {
+        let mut db = UncertainDb::create(store(), "t", schema(), 1, layout).unwrap();
+        if db.table().as_fractured().is_none() {
+            db.add_secondary(2).unwrap();
+        }
+        for i in 0..120u64 {
+            db.insert(0.9, row(i % 5, 0.5 + (i % 4) as f64 * 0.1, i % 3))
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn catalog_registers_the_layouts_structures() {
+        let unc = db(TableLayout::Unclustered);
+        let c = unc.catalog();
+        assert!(c.heap.is_some());
+        assert_eq!(c.piis.len(), 2, "primary + one secondary PII");
+        assert!(c.upi.is_none() && c.fractured.is_none());
+        assert!(c.pool.is_some(), "session always registers the pool");
+
+        let upi = db(TableLayout::Upi(UpiConfig::default()));
+        let c = upi.catalog();
+        assert!(c.upi.is_some());
+        assert!(c.heap.is_none() && c.fractured.is_none());
+
+        let frac = db(TableLayout::FracturedUpi(FracturedConfig {
+            upi: UpiConfig::default(),
+            buffer_ops: 0,
+        }));
+        let c = frac.catalog();
+        assert!(c.fractured.is_some());
+        assert!(c.upi.is_none(), "fractured must register whole structure");
+    }
+
+    #[test]
+    fn entry_points_run_via_physical_plans() {
+        let d = db(TableLayout::Upi(UpiConfig::default()));
+        // Each sugar method's result matches planning the equivalent
+        // PtqQuery by hand.
+        let rows = d.ptq(3, 0.2).unwrap();
+        assert!(!rows.is_empty());
+        let q = PtqQuery::eq(1, 3).with_qt(0.2);
+        let planned = d.plan(&q).unwrap();
+        assert!(planned.explain().contains("chosen:"));
+        assert_eq!(d.query(&q).unwrap().rows.len(), rows.len());
+
+        let top = d.top_k(3, 4).unwrap();
+        assert_eq!(top.len(), 4);
+        assert!(top.windows(2).all(|w| w[0].confidence >= w[1].confidence));
+        assert_eq!(
+            top.iter().map(|r| r.tuple.id.0).collect::<Vec<_>>(),
+            rows.iter()
+                .take(4)
+                .map(|r| r.tuple.id.0)
+                .collect::<Vec<_>>(),
+            "top-k is the prefix of the full answer"
+        );
+
+        let sec = d.ptq_secondary(0, 1, 0.3).unwrap();
+        assert!(!sec.is_empty());
+        let range = d.ptq_range(1, 3, 0.2).unwrap();
+        assert!(range.len() >= rows.len());
+
+        // Executions report their pool traffic (the session wired it).
+        let (out, text) = d.run_explained(&q).unwrap();
+        assert!(out.io.is_some());
+        assert!(text.contains("candidates:"));
+    }
+
+    #[test]
+    fn all_layouts_answer_identically_through_the_planner() {
+        let layouts = [
+            db(TableLayout::Unclustered),
+            db(TableLayout::Upi(UpiConfig::default())),
+            db(TableLayout::FracturedUpi(FracturedConfig {
+                upi: UpiConfig::default(),
+                buffer_ops: 0,
+            })),
+        ];
+        let fingerprint = |rows: &[PtqResult]| {
+            let mut v: Vec<(u64, u64)> = rows
+                .iter()
+                .map(|r| (r.tuple.id.0, (r.confidence * 1e9).round() as u64))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let reference = fingerprint(&layouts[0].ptq(3, 0.2).unwrap());
+        assert!(!reference.is_empty());
+        for d in &layouts[1..] {
+            assert_eq!(fingerprint(&d.ptq(3, 0.2).unwrap()), reference);
+        }
+        let range_ref = layouts[0].ptq_range(2, 4, 0.3).unwrap().len();
+        for d in &layouts[1..] {
+            assert_eq!(d.ptq_range(2, 4, 0.3).unwrap().len(), range_ref);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unknown_secondary_index_is_rejected() {
+        let d = db(TableLayout::Upi(UpiConfig::default()));
+        let _ = d.ptq_secondary(5, 1, 0.3);
+    }
+}

@@ -52,7 +52,7 @@ pub use disk::SimDisk;
 pub use error::StorageError;
 pub use file::FileId;
 pub use page::{PageId, INVALID_PAGE};
-pub use pool::{BufferPool, PoolCounters};
+pub use pool::{AccessHint, BufferPool, PoolCounters};
 pub use stats::IoStats;
 
 use std::sync::Arc;

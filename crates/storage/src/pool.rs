@@ -11,6 +11,29 @@ use crate::error::Result;
 use crate::file::FileId;
 use crate::page::PageId;
 
+/// A planner-supplied prefetch hint: the chosen access path expects to
+/// read roughly `est_run_pages` physically contiguous pages starting at
+/// `start_page` (a clustered heap run, a range scan, a full scan).
+///
+/// Pass to [`BufferPool::hint_run`] *before* the run's first page is
+/// requested. A hinted run arms sequential read-ahead on its **first**
+/// cold miss — the unhinted detector needs two adjacent misses before it
+/// trusts the pattern — and sizes the prefetch window from the estimated
+/// run length instead of the fixed
+/// [`DiskConfig::readahead_pages`](crate::DiskConfig::readahead_pages)
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessHint {
+    /// First page of the expected run (e.g. the B+Tree leaf a clustered
+    /// probe will land on).
+    pub start_page: PageId,
+    /// Estimated run length in pages, **including** `start_page`. An
+    /// overestimate costs at most one over-sized (but physically
+    /// contiguous, hence cheap) prefetch batch; an underestimate degrades
+    /// gracefully into the unhinted two-miss detector.
+    pub est_run_pages: usize,
+}
+
 /// Named buffer-pool counters, cumulative since creation.
 ///
 /// Snapshot with [`BufferPool::counters`] before and after a query and
@@ -29,6 +52,10 @@ pub struct PoolCounters {
     pub readahead: u64,
     /// Hits served from a frame that read-ahead installed (the payoff).
     pub readahead_hits: u64,
+    /// Planner hints consumed: runs whose read-ahead was armed by an
+    /// [`AccessHint`] on their first miss (instead of the two-adjacent-
+    /// miss detector).
+    pub hinted_runs: u64,
     /// Eviction flushes that failed (e.g. the page was freed underneath
     /// the pool). Non-zero means a write was dropped — surfaced here
     /// instead of being silently swallowed by `put`.
@@ -50,6 +77,7 @@ impl PoolCounters {
             evictions: self.evictions - earlier.evictions,
             readahead: self.readahead - earlier.readahead,
             readahead_hits: self.readahead_hits - earlier.readahead_hits,
+            hinted_runs: self.hinted_runs - earlier.hinted_runs,
             flush_errors: self.flush_errors - earlier.flush_errors,
         }
     }
@@ -59,11 +87,12 @@ impl std::fmt::Display for PoolCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "hits={} misses={} readahead={} (ra-hits={}) evictions={} flush-errors={}",
+            "hits={} misses={} readahead={} (ra-hits={}) hinted-runs={} evictions={} flush-errors={}",
             self.hits,
             self.misses,
             self.readahead,
             self.readahead_hits,
+            self.hinted_runs,
             self.evictions,
             self.flush_errors
         )
@@ -86,6 +115,11 @@ impl std::fmt::Display for PoolCounters {
 ///   contiguous pages are prefetched in one batch while the head is
 ///   already there, so a clustered run keeps streaming even when the
 ///   reader interleaves accesses to other files between leaf hops.
+/// * A planner that *knows* the chosen access path is a long sequential
+///   run can skip the detection latency entirely:
+///   [`hint_run`](BufferPool::hint_run) arms read-ahead on the run's
+///   **first** miss and sizes the window from the estimated run length
+///   (see [`AccessHint`]).
 ///
 /// The pool must be configured *smaller* than the experimental tables to
 /// reproduce the paper's disk-bound regime; the benchmark harness does this
@@ -106,6 +140,27 @@ struct Frame {
     next: Option<PageId>,
 }
 
+/// State of the (single) sequential run the pool is currently tracking.
+#[derive(Debug, Clone, Copy)]
+struct RunState {
+    /// File the run lives in.
+    file: FileId,
+    /// Offset just past the last demand-missed or prefetched page: where
+    /// the next miss lands if the read pattern is a sequential run.
+    next: u64,
+    /// For hinted runs: estimated pages still ahead of `next`. `Some`
+    /// sizes each prefetch batch from the remaining run length (capped at
+    /// [`HINTED_BATCH_PAGES`]); `None` (unhinted, or a hint that ran out)
+    /// uses the fixed `DiskConfig::readahead_pages` window.
+    hinted_remaining: Option<usize>,
+}
+
+/// Upper bound on one hinted prefetch batch, in pages. Bounds the single
+/// contiguous transfer a hint can trigger (and the pool-capacity pressure
+/// of speculative frames) while still letting a long hinted run stream in
+/// a few large batches instead of one fixed-size window per 8 pages.
+const HINTED_BATCH_PAGES: usize = 64;
+
 #[derive(Default)]
 struct PoolInner {
     frames: HashMap<PageId, Frame>,
@@ -115,10 +170,11 @@ struct PoolInner {
     /// Hottest frame (most recently used).
     tail: Option<PageId>,
     counters: PoolCounters,
-    /// Run detection: where the next miss would land if the current read
-    /// pattern is a sequential run (file, offset just past the last
-    /// demand-missed or prefetched page).
-    run_next: Option<(FileId, u64)>,
+    /// Run detection state (see [`RunState`]).
+    run: Option<RunState>,
+    /// Pending planner hint ([`BufferPool::hint_run`]): consumed by the
+    /// next access to its start page.
+    pending_hint: Option<AccessHint>,
 }
 
 impl BufferPool {
@@ -136,13 +192,41 @@ impl BufferPool {
         self.capacity
     }
 
+    /// Arm a planner prefetch hint (see [`AccessHint`]): the next miss on
+    /// `hint.start_page` triggers read-ahead immediately — no second
+    /// adjacent miss required — with the window sized from
+    /// `hint.est_run_pages` (in batches of at most [`HINTED_BATCH_PAGES`])
+    /// instead of the fixed `readahead_pages` window.
+    ///
+    /// One hint is pending at a time; a new hint replaces the old one
+    /// (the executor hints once per query, right before opening the
+    /// chosen access path). A hint whose start page is already cached is
+    /// discharged by the hit — the run needs no arming if its head is
+    /// warm, and the ordinary detector covers any cold tail.
+    pub fn hint_run(&self, hint: AccessHint) {
+        self.inner.lock().pending_hint = Some(hint);
+    }
+
+    /// Drop a pending [`hint_run`](Self::hint_run) hint that was never
+    /// consumed — callers that armed a hint and then failed before
+    /// touching the run's start page must clear it, or the stale hint
+    /// would mis-fire on the next unrelated cold miss of that page.
+    pub fn clear_hint(&self) {
+        self.inner.lock().pending_hint = None;
+    }
+
     /// Read a page through the cache. A miss reads the device; two
-    /// adjacent misses in a row trigger sequential read-ahead of the
-    /// physically contiguous continuation (see the type docs).
+    /// adjacent misses in a row — or a single miss on a hinted run's
+    /// start page ([`hint_run`](Self::hint_run)) — trigger sequential
+    /// read-ahead of the physically contiguous continuation (see the
+    /// type docs).
     pub fn get(&self, pid: PageId) -> Result<Bytes> {
         let mut g = self.inner.lock();
         if g.frames.contains_key(&pid) {
             g.counters.hits += 1;
+            if g.pending_hint.is_some_and(|h| h.start_page == pid) {
+                g.pending_hint = None; // warm run head: hint is moot
+            }
             let f = g.frames.get_mut(&pid).unwrap();
             let was_prefetched = std::mem::take(&mut f.prefetched);
             if was_prefetched {
@@ -155,12 +239,37 @@ impl BufferPool {
         // Run detection must happen before the read resets the head.
         let file = self.disk.page_file(pid)?;
         let offset = self.disk.page_offset(pid)?;
-        let sequential = g.run_next == Some((file, offset));
+        let sequential = matches!(g.run, Some(r) if r.file == file && r.next == offset);
+        let hinted_start = g.pending_hint.is_some_and(|h| h.start_page == pid);
+        let mut hinted_remaining = None;
+        if hinted_start {
+            let hint = g.pending_hint.take().unwrap();
+            g.counters.hinted_runs += 1;
+            hinted_remaining = Some(hint.est_run_pages.saturating_sub(1));
+        } else if sequential {
+            hinted_remaining = g.run.and_then(|r| r.hinted_remaining);
+        }
         drop(g);
         let data = self.disk.read_page(pid)?;
         let end = offset + data.len() as u64;
-        let depth = self.disk.config().readahead_pages;
-        let prefetch = if sequential && depth > 0 {
+        let depth = if self.disk.config().readahead_pages == 0 {
+            0 // read-ahead disabled outright, hints included
+        } else if hinted_start {
+            hinted_remaining.unwrap_or(0).min(HINTED_BATCH_PAGES)
+        } else if sequential {
+            match hinted_remaining {
+                Some(r) if r > 0 => r.min(HINTED_BATCH_PAGES),
+                _ => {
+                    // Hint exhausted but the run evidently continues:
+                    // fall back to the unhinted window.
+                    hinted_remaining = None;
+                    self.disk.config().readahead_pages
+                }
+            }
+        } else {
+            0
+        };
+        let prefetch = if depth > 0 {
             self.read_ahead(pid, depth)
         } else {
             Vec::new()
@@ -168,15 +277,21 @@ impl BufferPool {
         let mut g = self.inner.lock();
         g.insert(pid, data.clone(), false);
         let mut run_end = end;
+        let mut prefetched = 0usize;
         for (ppid, pdata) in prefetch {
             run_end += pdata.len() as u64;
             if !g.frames.contains_key(&ppid) {
                 g.counters.readahead += 1;
                 g.insert(ppid, pdata, false);
                 g.frames.get_mut(&ppid).unwrap().prefetched = true;
+                prefetched += 1;
             }
         }
-        g.run_next = Some((file, run_end));
+        g.run = Some(RunState {
+            file,
+            next: run_end,
+            hinted_remaining: hinted_remaining.map(|r| r.saturating_sub(prefetched)),
+        });
         self.evict_overflow(&mut g)?;
         Ok(data)
     }
@@ -259,7 +374,8 @@ impl BufferPool {
         g.bytes = 0;
         g.head = None;
         g.tail = None;
-        g.run_next = None;
+        g.run = None;
+        g.pending_hint = None;
     }
 
     /// Cumulative counters since creation.
@@ -508,6 +624,128 @@ mod tests {
             pool.counters().readahead_hits,
             disk.config().readahead_pages as u64
         );
+    }
+
+    #[test]
+    fn hinted_run_arms_readahead_on_first_miss() {
+        let (disk, pool) = setup(1 << 20);
+        let f = disk.create_file("t", 4096);
+        let pages: Vec<_> = (0..32).map(|_| disk.alloc_page(f).unwrap()).collect();
+        for &p in &pages {
+            disk.write_page(p, Bytes::from(vec![1u8; 4096])).unwrap();
+        }
+        let run_len = 20;
+        pool.hint_run(AccessHint {
+            start_page: pages[0],
+            est_run_pages: run_len,
+        });
+        // One cold miss on the hinted start page prefetches the whole
+        // estimated run — no second adjacent miss needed.
+        pool.get(pages[0]).unwrap();
+        let c = pool.counters();
+        assert_eq!(c.misses, 1);
+        assert_eq!(c.hinted_runs, 1);
+        assert_eq!(
+            c.readahead,
+            (run_len - 1) as u64,
+            "window must be run-length-sized, not the fixed {} pages: {c}",
+            disk.config().readahead_pages
+        );
+        // The whole hinted window is then served without device reads.
+        let before = disk.stats();
+        for &p in &pages[1..run_len] {
+            pool.get(p).unwrap();
+        }
+        assert_eq!(disk.stats().since(&before).page_reads, 0);
+        // Past the estimate the ordinary sequential detector takes over.
+        pool.get(pages[run_len]).unwrap();
+        let c = pool.counters();
+        assert_eq!(c.misses, 2);
+        assert!(c.readahead > (run_len - 1) as u64, "run continues: {c}");
+    }
+
+    #[test]
+    fn hint_on_other_page_does_not_arm() {
+        let (disk, pool) = setup(1 << 20);
+        let f = disk.create_file("t", 4096);
+        let pages: Vec<_> = (0..8).map(|_| disk.alloc_page(f).unwrap()).collect();
+        for &p in &pages {
+            disk.write_page(p, Bytes::from(vec![1u8; 4096])).unwrap();
+        }
+        pool.hint_run(AccessHint {
+            start_page: pages[4],
+            est_run_pages: 4,
+        });
+        // A miss elsewhere must not consume or act on the hint.
+        pool.get(pages[0]).unwrap();
+        assert_eq!(pool.counters().readahead, 0);
+        assert_eq!(pool.counters().hinted_runs, 0);
+        // The hinted page itself then arms.
+        pool.get(pages[4]).unwrap();
+        assert_eq!(pool.counters().hinted_runs, 1);
+        assert_eq!(pool.counters().readahead, 3);
+    }
+
+    #[test]
+    fn warm_start_page_discharges_hint() {
+        let (disk, pool) = setup(1 << 20);
+        let f = disk.create_file("t", 4096);
+        let pages: Vec<_> = (0..4).map(|_| disk.alloc_page(f).unwrap()).collect();
+        for &p in &pages {
+            disk.write_page(p, Bytes::from(vec![1u8; 4096])).unwrap();
+        }
+        pool.get(pages[0]).unwrap(); // warm the head
+        pool.hint_run(AccessHint {
+            start_page: pages[0],
+            est_run_pages: 4,
+        });
+        pool.get(pages[0]).unwrap(); // hit: hint is moot and dropped
+        pool.get(pages[2]).unwrap(); // unrelated miss later
+        let c = pool.counters();
+        assert_eq!(c.hinted_runs, 0, "a warm head must not count as armed");
+        assert_eq!(c.readahead, 0, "{c}");
+    }
+
+    #[test]
+    fn single_page_hint_prefetches_nothing() {
+        let (disk, pool) = setup(1 << 20);
+        let f = disk.create_file("t", 4096);
+        let pages: Vec<_> = (0..4).map(|_| disk.alloc_page(f).unwrap()).collect();
+        for &p in &pages {
+            disk.write_page(p, Bytes::from(vec![1u8; 4096])).unwrap();
+        }
+        pool.hint_run(AccessHint {
+            start_page: pages[0],
+            est_run_pages: 1,
+        });
+        pool.get(pages[0]).unwrap();
+        let c = pool.counters();
+        assert_eq!(c.hinted_runs, 1);
+        assert_eq!(c.readahead, 0, "a one-page run has no continuation: {c}");
+    }
+
+    #[test]
+    fn long_hint_streams_in_capped_batches() {
+        let (disk, pool) = setup(4 << 20);
+        let f = disk.create_file("t", 4096);
+        let n = super::HINTED_BATCH_PAGES * 2 + 10;
+        let pages: Vec<_> = (0..n).map(|_| disk.alloc_page(f).unwrap()).collect();
+        for &p in &pages {
+            disk.write_page(p, Bytes::from(vec![1u8; 4096])).unwrap();
+        }
+        pool.hint_run(AccessHint {
+            start_page: pages[0],
+            est_run_pages: n,
+        });
+        for &p in &pages {
+            pool.get(p).unwrap();
+        }
+        let c = pool.counters();
+        // First batch is capped; each later boundary miss re-prefetches
+        // from the remaining estimate, so the whole run costs ~3 misses.
+        assert_eq!(c.misses, 3, "{c}");
+        assert_eq!(c.readahead as usize, n - 3, "{c}");
+        assert_eq!(c.readahead_hits as usize, n - 3, "{c}");
     }
 
     #[test]

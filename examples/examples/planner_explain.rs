@@ -1,91 +1,89 @@
-//! Cost-based planner walkthrough: build the paper's Author table three
-//! ways (unclustered heap + PII, and a UPI with a country secondary),
-//! then let `upi-query` plan Queries 1 and 3 and print the `explain()`
-//! rendering — the chosen operator tree plus every priced candidate.
+//! Cost-based planner walkthrough through the planner-first facade:
+//! load the paper's DBLP publication table twice — once as an
+//! unclustered heap + PII baseline, once UPI-clustered with a country
+//! secondary — and let each `UncertainDb` session plan Queries 1 and 3.
+//! The same logical `PtqQuery` picks a different physical story per
+//! layout, and `explain_with_io` shows the chosen operator tree, the
+//! planner's prefetch hint, every priced candidate, and the buffer-pool
+//! traffic the execution actually caused.
 //!
 //! Run: `cargo run -p upi-examples --example planner_explain`
 
 use std::sync::Arc;
 
-use upi::{DiscreteUpi, Pii, UnclusteredHeap, UpiConfig};
-use upi_query::{Catalog, PtqQuery};
+use upi::{TableLayout, UpiConfig};
+use upi_query::{PtqQuery, UncertainDb};
 use upi_storage::{DiskConfig, SimDisk, Store};
-use upi_workloads::dblp::{self, publication_fields, DblpConfig};
+use upi_workloads::dblp::{self, publication_fields, DblpConfig, DblpData};
 
 fn main() {
-    let store = Store::new(Arc::new(SimDisk::new(DiskConfig::default())), 8 << 20);
     let data = dblp::generate(&DblpConfig {
         n_authors: 5_000,
         n_publications: 20_000,
         ..DblpConfig::default()
     });
 
-    let mut heap = UnclusteredHeap::create(store.clone(), "pub.heap", 8192).unwrap();
-    heap.bulk_load(&data.publications).unwrap();
-    let mut pii_inst = Pii::create(
-        store.clone(),
-        "pub.pii_inst",
+    // Two sessions over the same rows: the evaluation's baseline layout
+    // and the UPI layout. Each session registers its own structures (and
+    // the shared buffer pool) in the planner catalog internally.
+    let baseline_store = Store::new(Arc::new(SimDisk::new(DiskConfig::default())), 8 << 20);
+    let mut baseline = UncertainDb::create(
+        baseline_store.clone(),
+        "pub_baseline",
+        DblpData::publication_schema(),
         publication_fields::INSTITUTION,
-        8192,
+        TableLayout::Unclustered,
     )
     .unwrap();
-    pii_inst.bulk_load(&data.publications).unwrap();
-    let mut pii_country = Pii::create(
-        store.clone(),
-        "pub.pii_country",
-        publication_fields::COUNTRY,
-        8192,
-    )
-    .unwrap();
-    pii_country.bulk_load(&data.publications).unwrap();
-    let mut upi = DiscreteUpi::create(
-        store.clone(),
-        "pub.upi",
+    baseline.add_secondary(publication_fields::COUNTRY).unwrap();
+    baseline.load(&data.publications).unwrap();
+
+    let upi_store = Store::new(Arc::new(SimDisk::new(DiskConfig::default())), 8 << 20);
+    let mut clustered = UncertainDb::create(
+        upi_store.clone(),
+        "pub_upi",
+        DblpData::publication_schema(),
         publication_fields::INSTITUTION,
-        UpiConfig::default(),
+        TableLayout::Upi(UpiConfig::default()),
     )
     .unwrap();
-    upi.add_secondary(publication_fields::COUNTRY).unwrap();
-    upi.bulk_load(&data.publications).unwrap();
+    clustered
+        .add_secondary(publication_fields::COUNTRY)
+        .unwrap();
+    clustered.load(&data.publications).unwrap();
 
-    // Registering the pool threads per-query hit/miss/read-ahead
-    // counters through execution into the explain rendering.
-    let catalog = Catalog::new(store.disk.config())
-        .with_upi(&upi)
-        .with_heap(&heap)
-        .with_pii(&pii_inst)
-        .with_pii(&pii_country)
-        .with_pool(&store.pool);
-
-    // Query 1/2 shape: point PTQ on the clustered attribute.
     let mit = data.popular_institution();
+    let japan = data.query_country();
+
+    // Query 1/2 shape: point PTQ on the clustered attribute, aggregated
+    // per journal. Query 3 shape: the same through the secondary
+    // attribute.
     let q1 = PtqQuery::eq(publication_fields::INSTITUTION, mit)
         .with_qt(0.3)
         .with_group_count(publication_fields::JOURNAL);
-    let plan = q1.plan(&catalog).unwrap();
-    store.go_cold();
-    let out = plan.execute(&catalog).unwrap();
-    println!("{}", plan.explain_with_io(out.io.as_ref()));
-    println!("-> {} journal groups\n", out.len());
-
-    // Query 3 shape: point PTQ on the secondary attribute.
-    let japan = data.query_country();
     let q3 = PtqQuery::eq(publication_fields::COUNTRY, japan)
         .with_qt(0.3)
         .with_group_count(publication_fields::JOURNAL);
-    let plan = q3.plan(&catalog).unwrap();
-    store.go_cold();
-    let out = plan.execute(&catalog).unwrap();
-    println!("{}", plan.explain_with_io(out.io.as_ref()));
-    println!("-> {} journal groups\n", out.len());
+
+    for (name, db, store) in [
+        ("unclustered + PII", &baseline, &baseline_store),
+        ("UPI-clustered", &clustered, &upi_store),
+    ] {
+        println!("=== layout: {name} ===\n");
+        for (label, q) in [("Query 1", &q1), ("Query 3", &q3)] {
+            store.go_cold();
+            let (out, text) = db.run_explained(q).unwrap();
+            println!("--- {label}\n{text}-> {} journal groups\n", out.len());
+        }
+    }
 
     // Top-k through the same engine: the confidence-ordered merge lets
-    // the sink stop after 5 rows, so compare its page traffic above.
+    // the sink stop after 5 rows — compare the buffer-pool line against
+    // the full Query 1 run above.
     let topk = PtqQuery::eq(publication_fields::INSTITUTION, mit).with_top_k(5);
-    let plan = topk.plan(&catalog).unwrap();
-    store.go_cold();
-    let out = plan.execute(&catalog).unwrap();
-    println!("{}", plan.explain_with_io(out.io.as_ref()));
+    upi_store.go_cold();
+    let (out, text) = clustered.run_explained(&topk).unwrap();
+    println!("=== top-5, UPI-clustered ===\n\n{text}");
     for r in out.rows {
         println!("  tid {:>6}  confidence {:.3}", r.tuple.id.0, r.confidence);
     }

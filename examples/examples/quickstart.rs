@@ -1,19 +1,27 @@
-//! Quickstart: the paper's running example (Tables 1–3) end to end.
+//! Quickstart: the paper's running example (Tables 1–3) end to end,
+//! through the planner-first facade.
 //!
-//! Builds the three-author uncertain table, clusters it with a UPI on
-//! `Institution` (cutoff C = 10%), and runs Query 1:
+//! Builds the three-author uncertain table as an `UncertainDb` session
+//! clustered with a UPI on `Institution` (cutoff C = 10%) and runs
+//! Query 1:
 //!
 //! ```sql
 //! SELECT * FROM Author WHERE Institution = MIT (confidence >= QT)
 //! ```
 //!
+//! Every query goes `PtqQuery` → `plan()` → streaming execution; the
+//! session builds the planner catalog from the table's live structures,
+//! so the access path (heap run, cutoff merge, full scan …) is a
+//! cost-model decision, not a hard-wired call.
+//!
 //! Run with: `cargo run -p upi-examples --example quickstart`
 
 use std::sync::Arc;
 
-use upi::{DiscreteUpi, UpiConfig};
+use upi::{TableLayout, UpiConfig};
+use upi_query::{PtqQuery, UncertainDb};
 use upi_storage::{DiskConfig, SimDisk, Store};
-use upi_uncertain::{Datum, DiscretePmf, Field, Tuple, TupleId};
+use upi_uncertain::{Datum, DiscretePmf, Field, FieldKind, Schema, Tuple, TupleId};
 
 const BROWN: u64 = 0;
 const MIT: u64 = 1;
@@ -45,33 +53,38 @@ fn main() {
     // One simulated machine: Table 6's 10k RPM disk + a small buffer pool.
     let store = Store::new(Arc::new(SimDisk::new(DiskConfig::default())), 1 << 20);
 
-    // Table 1: the uncertain Author table.
-    let authors = vec![
+    // Table 1: the uncertain Author table, clustered on Institution
+    // (field 1) with cutoff threshold C = 10%.
+    let schema = Schema::new(vec![
+        ("name", FieldKind::Str),
+        ("institution", FieldKind::Discrete),
+    ]);
+    let mut db = UncertainDb::create(
+        store.clone(),
+        "authors",
+        schema,
+        1,
+        TableLayout::Upi(UpiConfig {
+            cutoff: 0.10,
+            ..UpiConfig::default()
+        }),
+    )
+    .unwrap();
+    db.load(&[
         author(1, "Alice", 0.9, vec![(BROWN, 0.8), (MIT, 0.2)]),
         author(2, "Bob", 1.0, vec![(MIT, 0.95), (UCB, 0.05)]),
         author(3, "Carol", 0.8, vec![(BROWN, 0.6), (UTOKYO, 0.4)]),
-    ];
-
-    // A UPI on Institution (field 1) with cutoff threshold C = 10%.
-    let mut upi = DiscreteUpi::create(
-        store.clone(),
-        "authors",
-        1,
-        UpiConfig {
-            cutoff: 0.10,
-            ..UpiConfig::default()
-        },
-    )
+    ])
     .unwrap();
-    upi.bulk_load(&authors).unwrap();
 
+    let upi = db.table().as_upi().unwrap();
     println!("UPI heap entries (Table 3): {}", upi.heap_stats().entries);
     println!("Cutoff index entries:       {}", upi.cutoff_index().len());
     println!();
 
-    // Query 1 at two thresholds.
+    // Query 1 at two thresholds — planned, then streamed.
     for qt in [0.1, 0.5] {
-        let results = upi.ptq(MIT, qt).unwrap();
+        let results = db.ptq(MIT, qt).unwrap();
         println!("Query 1: WHERE Institution=MIT, QT = {qt}");
         for r in &results {
             let name = match &r.tuple.fields[0] {
@@ -83,10 +96,17 @@ fn main() {
         println!();
     }
 
+    // What did the planner actually decide? explain() shows the chosen
+    // operator tree and every priced candidate.
+    println!(
+        "{}",
+        db.explain(&PtqQuery::eq(1, MIT).with_qt(0.1)).unwrap()
+    );
+
     // Bob's UCB alternative (5% < C) lives in the cutoff index: visible
     // only to low-threshold queries, via one extra pointer dereference.
-    let ucb_low = upi.ptq(UCB, 0.01).unwrap();
-    let ucb_high = upi.ptq(UCB, 0.10).unwrap();
+    let ucb_low = db.ptq(UCB, 0.01).unwrap();
+    let ucb_high = db.ptq(UCB, 0.10).unwrap();
     println!(
         "WHERE Institution=UCB: QT=0.01 finds {} tuple(s) via the cutoff \
          index; QT=0.10 finds {}",
@@ -94,8 +114,9 @@ fn main() {
         ucb_high.len()
     );
 
-    // Top-2 most confident Brown affiliates straight off the index order.
-    let top = upi::exec::top_k(&upi, BROWN, 2).unwrap();
+    // Top-2 most confident Brown affiliates: the confidence-ordered
+    // merge lets the sink stop the run's I/O after two rows.
+    let top = db.top_k(BROWN, 2).unwrap();
     println!("\nTop-2 by confidence at Brown:");
     for r in &top {
         println!(

@@ -8,10 +8,12 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 
-use upi::{DiscreteUpi, FracturedConfig, FracturedUpi, Pii, UnclusteredHeap, UpiConfig};
-use upi_query::{Catalog, PhysicalPlan, PtqQuery, QueryOutput};
+use upi::{
+    DiscreteUpi, FracturedConfig, FracturedUpi, Pii, TableLayout, UnclusteredHeap, UpiConfig,
+};
+use upi_query::{Catalog, PhysicalPlan, PtqQuery, QueryOutput, UncertainDb};
 use upi_storage::{DiskConfig, SimDisk, Store};
-use upi_uncertain::{Datum, DiscretePmf, Field, Tuple, TupleId};
+use upi_uncertain::{Datum, DiscretePmf, Field, FieldKind, Schema, Tuple, TupleId};
 
 fn store() -> Store {
     Store::new(Arc::new(SimDisk::new(DiskConfig::default())), 8 << 20)
@@ -124,6 +126,26 @@ proptest! {
             .with_pii(&pii_prim)
             .with_pii(&pii_sec);
 
+        // Facade oracle: the same rows behind the planner-first facade.
+        // Every query below must come back identical to the reference the
+        // manual catalog produces — i.e. the facade's plan() → execute()
+        // pipeline is just another (always-planned) path to the same
+        // answer.
+        let mut facade = UncertainDb::create(
+            st.clone(),
+            "facade",
+            Schema::new(vec![
+                ("g", FieldKind::U64),
+                ("prim", FieldKind::Discrete),
+                ("sec", FieldKind::Discrete),
+            ]),
+            1,
+            TableLayout::Upi(cfg),
+        )
+        .unwrap();
+        facade.add_secondary(2).unwrap();
+        facade.load(&tuples).unwrap();
+
         let queries = vec![
             PtqQuery::eq(1, value).with_qt(qt),
             PtqQuery::eq(2, sec_value).with_qt(qt),
@@ -150,6 +172,16 @@ proptest! {
         for q in queries {
             let plan = q.plan(&catalog).unwrap();
             let reference = fingerprint(&plan.execute(&catalog).unwrap());
+            let via_facade = fingerprint(&facade.query(&q).unwrap());
+            prop_assert_eq!(
+                &via_facade,
+                &reference,
+                "query {:?}: facade (chose {}) disagrees with the manual \
+                 catalog's planner choice {}",
+                q,
+                facade.plan(&q).unwrap().path().label(),
+                plan.path().label()
+            );
             for cand in &plan.candidates {
                 let forced = PhysicalPlan {
                     query: q.clone(),

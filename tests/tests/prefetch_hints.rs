@@ -1,0 +1,232 @@
+//! Planner-aware prefetch hints, proven through `PoolCounters`.
+//!
+//! The unhinted buffer pool only trusts a read pattern after **two**
+//! adjacent cold misses; a planner that chose a run-shaped access path
+//! knows better *before* execution. These tests pin both behaviours:
+//!
+//! * at the pool level — a hinted start page arms read-ahead after a
+//!   **single** cold miss with a window sized from the estimated run
+//!   length, while an unhinted run still pays the two-miss detection
+//!   latency;
+//! * end-to-end — a planned clustered range run carries an
+//!   `AccessHint`, the executor arms it, and the hinted execution takes
+//!   measurably fewer demand misses than the same plan with the hint
+//!   stripped (same rows either way).
+
+use std::sync::Arc;
+
+use upi::{TableLayout, UpiConfig};
+use upi_query::{PhysicalPlan, PtqQuery, UncertainDb};
+use upi_storage::{AccessHint, DiskConfig, SimDisk, Store};
+use upi_uncertain::{Datum, DiscretePmf, Field, FieldKind, Schema};
+
+const ATTR: usize = 1;
+
+fn store() -> Store {
+    Store::new(Arc::new(SimDisk::new(DiskConfig::default())), 8 << 20)
+}
+
+/// A UPI-clustered facade table whose per-value runs span hundreds of
+/// 8 KiB pages (12k tuples, ~290-byte payloads, 5 values).
+fn build() -> UncertainDb {
+    let schema = Schema::new(vec![
+        ("pad", FieldKind::Str),
+        ("value", FieldKind::Discrete),
+    ]);
+    let mut db = UncertainDb::create(
+        store(),
+        "hinted",
+        schema,
+        ATTR,
+        TableLayout::Upi(UpiConfig::default()),
+    )
+    .unwrap();
+    let tuples: Vec<upi_uncertain::Tuple> = (0..12_000u64)
+        .map(|i| {
+            let p = 0.55 + (i % 400) as f64 / 1000.0;
+            upi_uncertain::Tuple::new(
+                upi_uncertain::TupleId(i),
+                1.0,
+                vec![
+                    Field::Certain(Datum::Str(format!("pad-{i}-{}", "x".repeat(256)))),
+                    Field::Discrete(DiscretePmf::new(vec![(i % 5, p)])),
+                ],
+            )
+        })
+        .collect();
+    db.load(&tuples).unwrap();
+    db
+}
+
+#[test]
+fn unhinted_readahead_needs_two_adjacent_misses() {
+    let st = store();
+    let f = st.disk.create_file("plain", 8192);
+    let pages: Vec<_> = (0..16).map(|_| st.disk.alloc_page(f).unwrap()).collect();
+    for &p in &pages {
+        st.disk
+            .write_page(p, bytes::Bytes::from(vec![1u8; 8192]))
+            .unwrap();
+    }
+    st.go_cold();
+    let before = st.pool.counters();
+    st.pool.get(pages[0]).unwrap();
+    let after_one = st.pool.counters().since(&before);
+    assert_eq!(after_one.misses, 1);
+    assert_eq!(
+        after_one.readahead, 0,
+        "one miss is not a run: no prefetch yet"
+    );
+    st.pool.get(pages[1]).unwrap();
+    let after_two = st.pool.counters().since(&before);
+    assert_eq!(after_two.misses, 2);
+    assert!(
+        after_two.readahead > 0,
+        "the second adjacent miss must arm read-ahead: {after_two}"
+    );
+}
+
+#[test]
+fn hinted_run_arms_on_first_miss_with_run_sized_window() {
+    let st = store();
+    let f = st.disk.create_file("hinted", 8192);
+    let pages: Vec<_> = (0..40).map(|_| st.disk.alloc_page(f).unwrap()).collect();
+    for &p in &pages {
+        st.disk
+            .write_page(p, bytes::Bytes::from(vec![2u8; 8192]))
+            .unwrap();
+    }
+    st.go_cold();
+    let before = st.pool.counters();
+    st.pool.hint_run(AccessHint {
+        start_page: pages[0],
+        est_run_pages: 30,
+    });
+    st.pool.get(pages[0]).unwrap();
+    let c = st.pool.counters().since(&before);
+    assert_eq!(c.misses, 1, "exactly one cold miss so far");
+    assert_eq!(c.hinted_runs, 1, "the hint must be consumed: {c}");
+    assert_eq!(
+        c.readahead,
+        29,
+        "window must cover the estimated run, not the fixed {}-page \
+         detector window: {c}",
+        st.disk.config().readahead_pages
+    );
+}
+
+#[test]
+fn planned_range_run_carries_and_arms_a_hint() {
+    let db = build();
+    let st = db.table().store().clone();
+
+    let q = PtqQuery::range(ATTR, 1, 3).with_qt(0.1);
+    let plan = db.plan(&q).unwrap();
+    assert_eq!(plan.path().label(), "UpiRange");
+    let hint = plan.candidates[0]
+        .hint
+        .expect("a clustered range run must carry a prefetch hint");
+    assert!(
+        hint.est_run_pages > 50,
+        "three of five values over ~430 heap pages: {}",
+        hint.est_run_pages
+    );
+    assert!(
+        plan.explain().contains("prefetch hint:"),
+        "{}",
+        plan.explain()
+    );
+
+    let catalog = db.catalog();
+
+    // Hinted (as planned): read-ahead arms on the run's first miss.
+    st.go_cold();
+    let hinted = plan.execute(&catalog).unwrap();
+    let hinted_io = hinted.io.expect("session registers the pool");
+    assert_eq!(hinted_io.hinted_runs, 1, "{hinted_io}");
+    assert!(hinted_io.readahead > 0, "{hinted_io}");
+
+    // The same physical plan with the hint stripped: identical answer,
+    // but the pool falls back to two-miss detection with its fixed
+    // window, paying a demand miss every `readahead_pages`.
+    let mut stripped = plan.candidates[0].clone();
+    stripped.hint = None;
+    let unhinted_plan = PhysicalPlan {
+        query: q.clone(),
+        candidates: vec![stripped],
+    };
+    st.go_cold();
+    let unhinted = unhinted_plan.execute(&catalog).unwrap();
+    let unhinted_io = unhinted.io.unwrap();
+    assert_eq!(unhinted_io.hinted_runs, 0, "{unhinted_io}");
+
+    assert_eq!(hinted.rows.len(), unhinted.rows.len());
+    for (a, b) in hinted.rows.iter().zip(&unhinted.rows) {
+        assert_eq!(a.tuple.id, b.tuple.id);
+    }
+    assert!(
+        hinted_io.misses * 2 < unhinted_io.misses,
+        "run-length-sized batches must cut demand misses well below the \
+         fixed-window detector: hinted {hinted_io} vs unhinted {unhinted_io}"
+    );
+    // Both read essentially the run; the hint moves pages from demand
+    // misses into large prefetch batches rather than reading more.
+    assert!(
+        hinted_io.pages_read() <= unhinted_io.pages_read() + hint.est_run_pages as u64,
+        "hinted {hinted_io} vs unhinted {unhinted_io}"
+    );
+}
+
+#[test]
+fn failed_execution_clears_its_armed_hint() {
+    let db = build();
+    let st = db.table().store().clone();
+    let q = PtqQuery::range(ATTR, 1, 3).with_qt(0.1);
+    let plan = db.plan(&q).unwrap();
+    let hint = plan.candidates[0].hint.expect("range run carries a hint");
+
+    // Execute the plan against a catalog that registers the pool but not
+    // the UPI: open_source fails after the hint was armed. The stale
+    // hint must not survive to mis-fire on a later unrelated access.
+    let mismatched = upi_query::Catalog::new(st.disk.config()).with_pool(st.pool.as_ref());
+    assert!(plan.execute(&mismatched).is_err());
+
+    let before = st.pool.counters();
+    st.pool.get(hint.start_page).unwrap();
+    let after = st.pool.counters().since(&before);
+    assert_eq!(
+        after.hinted_runs, 0,
+        "a hint armed by a failed execution must have been cleared: {after}"
+    );
+    assert_eq!(after.readahead, 0, "{after}");
+}
+
+#[test]
+fn point_and_scan_plans_carry_hints_pointer_paths_do_not() {
+    let db = build();
+    let point = db.plan(&PtqQuery::eq(ATTR, 3).with_qt(0.1)).unwrap();
+    for cand in &point.candidates {
+        let label = cand.path.label();
+        if label.starts_with("UpiHeap") || label == "UpiFullScan" {
+            let hint = cand.hint.unwrap_or_else(|| panic!("{label} needs a hint"));
+            assert!(hint.est_run_pages >= 1);
+        }
+    }
+    // A top-k plan bounds its hinted window by k rows' worth of leaves.
+    let topk = db
+        .plan(&PtqQuery::eq(ATTR, 3).with_qt(0.1).with_top_k(5))
+        .unwrap();
+    let full_hint = point.candidates[0].hint.unwrap();
+    let topk_hint = topk.candidates[0].hint.unwrap();
+    assert!(
+        topk_hint.est_run_pages <= full_hint.est_run_pages,
+        "top-k window {} must not exceed the full run's {}",
+        topk_hint.est_run_pages,
+        full_hint.est_run_pages
+    );
+    assert!(
+        topk_hint.est_run_pages <= 2,
+        "5 rows fit in a couple of leaves: {}",
+        topk_hint.est_run_pages
+    );
+}
