@@ -16,10 +16,12 @@
 //! A machine-readable `BENCH_planner.json` is written for the
 //! perf-trajectory tooling (override the path with
 //! `UPI_BENCH_PLANNER_JSON`): the per-point chosen/best-forced cost
-//! ratios, plus the prefetch-hint experiment — the same clustered range
-//! plan executed hinted (as planned) and with the hint stripped, with
-//! the buffer-pool page/miss win recorded.
+//! ratios, plus two prefetch-hint experiments — a clustered range plan
+//! (one hinted run) and a fractured range plan over three components
+//! (one hint per component), each executed hinted (as planned) and with
+//! the hints stripped, with the buffer-pool page/miss win recorded.
 
+use upi::{FracturedConfig, FracturedUpi, UpiConfig};
 use upi_bench::setups::{author_setup, cartel_setup, publication_setup};
 use upi_bench::{banner, header, measure_cold, ms, summary};
 use upi_query::{AccessPath, Catalog, PhysicalPlan, PtqQuery, QueryOutput};
@@ -46,10 +48,14 @@ impl CaseRecord {
     }
 }
 
-/// The prefetch-hint experiment's measurements.
+/// One prefetch-hint experiment's measurements (single-run or
+/// fracture-parallel multi-run).
 struct HintRecord {
     query: String,
     path: String,
+    /// Number of hinted runs the plan carries (1, or one per component).
+    runs: usize,
+    /// Estimated pages across every hinted run.
     est_run_pages: usize,
     hinted: PoolCounters,
     unhinted: PoolCounters,
@@ -141,14 +147,16 @@ fn run_point(
     }
 }
 
-/// The prefetch-hint experiment: the planner's clustered range plan,
-/// executed cold as planned (hint armed) and again with the hint
-/// stripped. Same plan, same rows — the only difference is whether the
-/// buffer pool learns the run from the planner or from two adjacent
-/// misses, so the miss delta is exactly the hint's contribution.
+/// A prefetch-hint experiment: the plan for `want_path`, executed cold
+/// as planned (hints armed — one per run, so a fracture-parallel path
+/// arms one per component) and again with every hint stripped. Same
+/// plan, same rows — the only difference is whether the buffer pool
+/// learns each run from the planner or from two adjacent misses, so the
+/// miss delta is exactly the hints' contribution.
 fn run_hint_experiment(
     q: &PtqQuery,
     label: &str,
+    want_path: &AccessPath,
     catalog: &Catalog<'_>,
     store: &upi_storage::Store,
 ) -> HintRecord {
@@ -156,14 +164,20 @@ fn run_hint_experiment(
     let cand = plan
         .candidates
         .iter()
-        .find(|c| c.path == AccessPath::UpiRange)
-        .expect("clustered range path must be enumerated");
-    let hint = cand.hint.expect("UpiRange must carry a prefetch hint");
+        .find(|c| &c.path == want_path)
+        .expect("requested path must be enumerated");
+    assert!(
+        !cand.hints.is_empty(),
+        "{} must carry prefetch hints",
+        cand.path.label()
+    );
+    let runs = cand.hints.len();
+    let est_run_pages: usize = cand.hints.iter().map(|h| h.est_run_pages).sum();
 
-    let measure = |strip_hint: bool| -> (PoolCounters, usize) {
+    let measure = |strip_hints: bool| -> (PoolCounters, usize) {
         let mut cand = cand.clone();
-        if strip_hint {
-            cand.hint = None;
+        if strip_hints {
+            cand.hints.clear();
         }
         let forced = PhysicalPlan {
             query: q.clone(),
@@ -177,13 +191,17 @@ fn run_hint_experiment(
     let (hinted, hinted_rows) = measure(false);
     let (unhinted, unhinted_rows) = measure(true);
     assert_eq!(hinted_rows, unhinted_rows, "hints must not change results");
-    assert_eq!(hinted.hinted_runs, 1, "the hint must arm: {hinted}");
+    assert_eq!(
+        hinted.hinted_runs, runs as u64,
+        "every per-run hint must arm: {hinted}"
+    );
     assert!(
         hinted.misses < unhinted.misses,
         "hint-armed read-ahead must cut demand misses: {hinted} vs {unhinted}"
     );
     println!(
-        "{label}\thinted: {} pages ({} misses)\tunhinted: {} pages ({} misses)",
+        "{label}\t{} run(s)\thinted: {} pages ({} misses)\tunhinted: {} pages ({} misses)",
+        runs,
         hinted.pages_read(),
         hinted.misses,
         unhinted.pages_read(),
@@ -192,7 +210,8 @@ fn run_hint_experiment(
     HintRecord {
         query: label.to_string(),
         path: cand.path.label(),
-        est_run_pages: hint.est_run_pages,
+        runs,
+        est_run_pages,
         hinted,
         unhinted,
     }
@@ -208,7 +227,20 @@ fn counters_json(c: &PoolCounters) -> String {
     )
 }
 
-fn write_json(records: &[CaseRecord], worst_ratio: f64, hint: &HintRecord) {
+fn hint_json(h: &HintRecord) -> String {
+    format!(
+        "{{\"query\": \"{}\", \"path\": \"{}\", \"runs\": {}, \"est_run_pages\": {}, \
+         \"hinted\": {}, \"unhinted\": {}}}",
+        h.query,
+        h.path,
+        h.runs,
+        h.est_run_pages,
+        counters_json(&h.hinted),
+        counters_json(&h.unhinted)
+    )
+}
+
+fn write_json(records: &[CaseRecord], worst_ratio: f64, hint: &HintRecord, frac: &HintRecord) {
     let json_path = std::env::var("UPI_BENCH_PLANNER_JSON").unwrap_or_else(|_| {
         std::env::var("CARGO_MANIFEST_DIR")
             .map(|d| format!("{d}/../../BENCH_planner.json"))
@@ -234,15 +266,8 @@ fn write_json(records: &[CaseRecord], worst_ratio: f64, hint: &HintRecord) {
         worst_ratio,
         worst_ratio <= 1.10
     ));
-    json.push_str(&format!(
-        "  \"prefetch_hint\": {{\"query\": \"{}\", \"path\": \"{}\", \"est_run_pages\": {}, \
-         \"hinted\": {}, \"unhinted\": {}}}\n}}\n",
-        hint.query,
-        hint.path,
-        hint.est_run_pages,
-        counters_json(&hint.hinted),
-        counters_json(&hint.unhinted)
-    ));
+    json.push_str(&format!("  \"prefetch_hint\": {},\n", hint_json(hint)));
+    json.push_str(&format!("  \"fractured_hint\": {}\n}}\n", hint_json(frac)));
     std::fs::write(&json_path, json).expect("write BENCH_planner.json");
     eprintln!("[json] wrote {json_path}");
 }
@@ -251,6 +276,7 @@ fn main() {
     let mut records: Vec<CaseRecord> = Vec::new();
     let mut worst_ratio = 1.0f64;
     let hint_record;
+    let fractured_hint_record;
     let mut track = |records: &mut Vec<CaseRecord>, rec: CaseRecord| {
         worst_ratio = worst_ratio.max(rec.ratio());
         records.push(rec);
@@ -282,9 +308,56 @@ fn main() {
         }
 
         // --- Prefetch hint win on the same setup -----------------------
-        header(&["hint", "hinted", "unhinted"]);
+        header(&["hint", "runs", "hinted", "unhinted"]);
         let q = PtqQuery::range(author_fields::INSTITUTION, 0, 40).with_qt(0.2);
-        hint_record = run_hint_experiment(&q, "range[0,40]@0.2", &catalog, &s.store);
+        hint_record = run_hint_experiment(
+            &q,
+            "range[0,40]@0.2",
+            &AccessPath::UpiRange,
+            &catalog,
+            &s.store,
+        );
+
+        // --- Fractured-hint win: the same rows as main + two fractures,
+        //     so the range merge runs over three components and the plan
+        //     carries one hint per component ----------------------------
+        let mut fractured = FracturedUpi::create(
+            s.store.clone(),
+            "author.frac",
+            author_fields::INSTITUTION,
+            &[],
+            FracturedConfig {
+                upi: UpiConfig {
+                    cutoff: 0.1,
+                    ..UpiConfig::default()
+                },
+                buffer_ops: 0,
+            },
+        )
+        .unwrap();
+        let n = s.data.authors.len();
+        fractured
+            .load_initial(&s.data.authors[..n * 3 / 5])
+            .unwrap();
+        for t in &s.data.authors[n * 3 / 5..n * 4 / 5] {
+            fractured.insert(t.clone()).unwrap();
+        }
+        fractured.flush().unwrap();
+        for t in &s.data.authors[n * 4 / 5..] {
+            fractured.insert(t.clone()).unwrap();
+        }
+        fractured.flush().unwrap();
+        assert_eq!(fractured.n_fractures(), 2);
+        let frac_catalog = Catalog::new(s.store.disk.config())
+            .with_fractured(&fractured)
+            .with_pool(&s.store.pool);
+        fractured_hint_record = run_hint_experiment(
+            &q,
+            "fractured-range[0,40]@0.2",
+            &AccessPath::FracturedRange,
+            &frac_catalog,
+            &s.store,
+        );
     }
 
     // --- Queries 2-3 (fig05/fig06): aggregates, primary + secondary ----
@@ -353,7 +426,8 @@ fn main() {
     }
 
     let hint = hint_record;
-    write_json(&records, worst_ratio, &hint);
+    let frac_hint = fractured_hint_record;
+    write_json(&records, worst_ratio, &hint, &frac_hint);
     summary(
         "planner.worst_chosen_vs_best_forced",
         format!("{worst_ratio:.3}x"),
@@ -367,6 +441,17 @@ fn main() {
             hint.unhinted.misses,
             hint.hinted.misses,
             hint.query
+        ),
+    );
+    summary(
+        "planner.fractured_hint_miss_reduction",
+        format!(
+            "{:.1}x ({} -> {} demand misses over {} hinted runs on {})",
+            frac_hint.unhinted.misses as f64 / frac_hint.hinted.misses.max(1) as f64,
+            frac_hint.unhinted.misses,
+            frac_hint.hinted.misses,
+            frac_hint.runs,
+            frac_hint.query
         ),
     );
 }

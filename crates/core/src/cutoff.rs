@@ -110,6 +110,21 @@ impl CutoffIndex {
         Ok(out)
     }
 
+    /// Streaming cursor over the pointers for `value` with probability
+    /// `≥ qt`, in descending-probability order: one index seek, then
+    /// sequential leaf-chain reads that stop at the first entry of
+    /// another value or below the threshold. Unlike
+    /// [`scan`](Self::scan), entries are read one at a time as the
+    /// consumer pulls, so a bounded consumer (top-k with a confidence
+    /// watermark) never pages in the tail of a long cutoff list.
+    pub fn scan_value_run(&self, value: u64, qt: f64) -> Result<CutoffValueRun<'_>> {
+        Ok(CutoffValueRun {
+            cur: self.tree.seek(&keys::value_prefix(value))?,
+            value,
+            qt,
+        })
+    }
+
     /// All pointers with value in `[lo, hi]` (any probability), as
     /// `(value, pointer)` pairs in key order — the cutoff half of a range
     /// PTQ.
@@ -150,6 +165,38 @@ impl CutoffIndex {
     /// The storage file backing this index.
     pub fn file(&self) -> upi_storage::FileId {
         self.tree.file()
+    }
+}
+
+/// Streaming iterator over one value's cutoff pointers in descending
+/// probability order (see [`CutoffIndex::scan_value_run`]).
+pub struct CutoffValueRun<'a> {
+    cur: upi_btree::Cursor<'a>,
+    value: u64,
+    qt: f64,
+}
+
+impl Iterator for CutoffValueRun<'_> {
+    type Item = Result<CutoffPointer>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if !self.cur.valid() {
+            return None;
+        }
+        let (v, prob, tid) = keys::decode_entry_key(self.cur.key());
+        if v != self.value || prob < self.qt {
+            return None;
+        }
+        let (first_value, first_prob) = keys::decode_pointer(self.cur.value());
+        if let Err(e) = self.cur.advance() {
+            return Some(Err(e));
+        }
+        Some(Ok(CutoffPointer {
+            tid,
+            prob,
+            first_value,
+            first_prob,
+        }))
     }
 }
 

@@ -325,11 +325,28 @@ impl FracturedUpi {
 
     /// Fracture-parallel streaming point PTQ: a k-way merge cursor over
     /// one confidence-ordered [`PointRun`] per on-disk component plus the
-    /// insert buffer, with delete-set suppression applied as rows
-    /// surface. The merged stream is `{confidence DESC, tid ASC}`-ordered,
-    /// so a top-k consumer stops pulling — and each component stops
-    /// *reading* — after k surviving rows.
-    pub fn ptq_run(&self, value: u64, qt: f64) -> Result<FracturedPointRun<'_>> {
+    /// insert buffer, with delete-set suppression applied *before* any
+    /// heap fetch (suppressed cutoff pointers are never dereferenced).
+    /// The merged stream is `{confidence DESC, tid ASC}`-ordered, so a
+    /// top-k consumer stops pulling — and each component stops *reading*
+    /// — after k surviving rows.
+    ///
+    /// `limit = Some(k)` additionally maintains a running k-th-confidence
+    /// **watermark** over the surviving rows seen so far (heads, emitted
+    /// rows, and the insert buffer — each a distinct row of the merged
+    /// output): once a component's next cutoff candidate falls below the
+    /// watermark, that component's cutoff scan stops outright. This is
+    /// sound because suppression only *removes* rows — it can never raise
+    /// another row's confidence — so k rows at/above the watermark
+    /// already prove the tail of every probability-descending component
+    /// list irrelevant. Per-component limits, by contrast, remain unsound
+    /// (a component's k-th row may be suppressed by a newer delete).
+    pub fn ptq_run(
+        &self,
+        value: u64,
+        qt: f64,
+        limit: Option<usize>,
+    ) -> Result<FracturedPointRun<'_>> {
         let mut streams = vec![self.main.point_run(value, qt, None)?];
         for fr in &self.fractures {
             streams.push(fr.upi.point_run(value, qt, None)?);
@@ -347,12 +364,22 @@ impl FracturedUpi {
             })
             .collect();
         sort_results(&mut buffered);
+        let mut seen_topk = Vec::new();
+        if let Some(k) = limit {
+            // Buffered rows are all part of the merged output: they seed
+            // the watermark before any on-disk component is read.
+            for r in &buffered {
+                note_seen(&mut seen_topk, k, r.confidence);
+            }
+        }
         Ok(FracturedPointRun {
             f: self,
             streams,
             heads,
             buffered: buffered.into_iter(),
             buf_head: None,
+            limit,
+            seen_topk,
         })
     }
 
@@ -428,6 +455,28 @@ impl FracturedUpi {
             at: 0,
             buffered: buffered.into_iter(),
         })
+    }
+
+    /// Attach a secondary index on discrete field `attr` to **every**
+    /// on-disk component — the main UPI and each existing fracture, each
+    /// backfilled from its own heap with a sequential scan + sorted bulk
+    /// load — and to every fracture flushed afterwards; insert-buffer
+    /// rows are matched in RAM at query time, as always. Returns the
+    /// secondary's position (the `sec_idx` of
+    /// [`ptq_secondary`](Self::ptq_secondary)).
+    ///
+    /// This lifts the old creation-order restriction: secondaries no
+    /// longer have to be declared at [`create`](Self::create) time.
+    /// Per-component indexes stay self-contained (each points only into
+    /// its own heap), so the fracture-parallel query paths are untouched.
+    pub fn add_secondary(&mut self, attr: usize) -> Result<usize> {
+        let idx = self.sec_attrs.len();
+        self.main.add_secondary(attr)?;
+        for f in &mut self.fractures {
+            f.upi.add_secondary(attr)?;
+        }
+        self.sec_attrs.push(attr);
+        Ok(idx)
     }
 
     /// Merge every fracture into a fresh main UPI (§4.3): sequentially read
@@ -530,6 +579,26 @@ impl FracturedUpi {
     }
 }
 
+/// Record a surviving row's confidence in the ascending running-top-k
+/// set (the watermark feeder of [`FracturedUpi::ptq_run`]).
+fn note_seen(topk: &mut Vec<f64>, k: usize, conf: f64) {
+    let at = topk.partition_point(|&c| c < conf);
+    topk.insert(at, conf);
+    if topk.len() > k {
+        topk.remove(0);
+    }
+}
+
+/// The current k-th-confidence watermark: only meaningful once k
+/// surviving rows have been seen (before that there is no bound).
+fn watermark(topk: &[f64], k: usize) -> f64 {
+    if k > 0 && topk.len() >= k {
+        topk[0]
+    } else {
+        f64::NEG_INFINITY
+    }
+}
+
 /// Confidence-ordered k-way merge cursor over a fractured UPI's
 /// components (see [`FracturedUpi::ptq_run`]).
 pub struct FracturedPointRun<'a> {
@@ -539,22 +608,34 @@ pub struct FracturedPointRun<'a> {
     heads: Vec<Option<PtqResult>>,
     buffered: std::vec::IntoIter<PtqResult>,
     buf_head: Option<PtqResult>,
+    /// Top-k bound (`None` = unbounded merge).
+    limit: Option<usize>,
+    /// Ascending confidences of the k best surviving rows seen so far
+    /// (heads + emitted + insert buffer); `[0]` is the watermark.
+    seen_topk: Vec<f64>,
 }
 
 impl FracturedPointRun<'_> {
     /// Refill every empty head with the next *surviving* (non-suppressed)
-    /// row of its component.
+    /// row of its component. Suppression and the top-k watermark are
+    /// pushed into each component's [`PointRun`], so suppressed cutoff
+    /// pointers are skipped without a heap fetch and a component whose
+    /// next candidate cannot reach the watermark stops scanning its
+    /// cutoff list entirely.
     fn fill_heads(&mut self) -> Result<()> {
+        let f = self.f;
         for (level, stream) in self.streams.iter_mut().enumerate() {
-            while self.heads[level].is_none() {
-                match stream.next() {
-                    None => break,
-                    Some(r) => {
-                        let r = r?;
-                        if !self.f.suppressed(r.tuple.id.0, level) {
-                            self.heads[level] = Some(r);
-                        }
+            if self.heads[level].is_none() {
+                let wm = match self.limit {
+                    Some(k) => watermark(&self.seen_topk, k),
+                    None => f64::NEG_INFINITY,
+                };
+                if let Some(r) = stream.next_where(wm, &|tid| !f.suppressed(tid, level)) {
+                    let r = r?;
+                    if let Some(k) = self.limit {
+                        note_seen(&mut self.seen_topk, k, r.confidence);
                     }
+                    self.heads[level] = Some(r);
                 }
             }
         }
@@ -842,8 +923,11 @@ mod tests {
         for qt in [0.0, 0.1, 0.5] {
             // Point: the merge is confidence-ordered and equal to batch.
             let batch = f.ptq(3, qt).unwrap();
-            let streamed: Vec<PtqResult> =
-                f.ptq_run(3, qt).unwrap().collect::<Result<_>>().unwrap();
+            let streamed: Vec<PtqResult> = f
+                .ptq_run(3, qt, None)
+                .unwrap()
+                .collect::<Result<_>>()
+                .unwrap();
             assert_eq!(
                 batch.iter().map(key).collect::<Vec<_>>(),
                 streamed.iter().map(key).collect::<Vec<_>>(),

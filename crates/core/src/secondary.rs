@@ -176,6 +176,20 @@ impl SecondaryIndex {
         self.tree.height()
     }
 
+    /// Leaf pages of the backing tree (entry-run length estimation).
+    pub fn leaf_pages(&self) -> usize {
+        self.tree.stats().leaf_pages
+    }
+
+    /// The leaf page where the entry run for `value` begins — the first
+    /// page a [`scan_run`](Self::scan_run) seek will read. Only internal
+    /// pages are touched (the later seek re-reads them warm), so the
+    /// leaf's own read stays cold for the buffer pool's hinted
+    /// read-ahead to arm on.
+    pub fn run_start_page(&self, value: u64) -> Result<upi_storage::PageId> {
+        self.tree.leaf_page_for(&keys::value_prefix(value))
+    }
+
     /// Histogram statistics of the secondary attribute (folded
     /// probabilities, entry granularity) — selectivity estimation for the
     /// planner. First-alternative tracking is not meaningful at entry

@@ -125,9 +125,15 @@ impl UncertainTable {
         })
     }
 
-    /// Attach a secondary index on a discrete column (before loading data).
-    /// Returns the index position (the `idx` of
-    /// `upi_query::UncertainDb::ptq_secondary`).
+    /// Attach a secondary index on a discrete column. Returns the index
+    /// position (the `idx` of `upi_query::UncertainDb::ptq_secondary`).
+    ///
+    /// Works on every layout at any point in the table's life: each
+    /// layout backfills the new index from its live heap(s) — the UPI
+    /// from its clustered heap, a fractured table across the main
+    /// component and every existing fracture (the old
+    /// must-declare-at-creation restriction is gone), and the
+    /// unclustered layout's PII from a sequential heap scan.
     pub fn add_secondary(&mut self, attr: usize) -> Result<usize> {
         assert_eq!(
             self.schema.field(attr).1,
@@ -136,23 +142,26 @@ impl UncertainTable {
         );
         let pos = self.sec_attrs.len();
         match &mut self.inner {
-            Inner::Unclustered { secondaries, .. } => {
-                secondaries.push(Pii::create(
+            Inner::Unclustered {
+                heap, secondaries, ..
+            } => {
+                let mut pii = Pii::create(
                     self.store.clone(),
                     &format!("{}.sec{}", self.name, pos),
                     attr,
                     self.page_size,
-                )?);
+                )?;
+                if !heap.is_empty() {
+                    let live: Vec<Tuple> = heap.scan_run()?.collect::<Result<_>>()?;
+                    pii.bulk_load(&live)?;
+                }
+                secondaries.push(pii);
             }
             Inner::Upi(upi) => {
                 upi.add_secondary(attr)?;
             }
-            Inner::Fractured(_) => {
-                panic!(
-                    "fractured tables must declare secondaries at creation \
-                     (see FracturedUpi::create); facade support is load-order \
-                     limited"
-                );
+            Inner::Fractured(f) => {
+                f.add_secondary(attr)?;
             }
         }
         self.sec_attrs.push(attr);

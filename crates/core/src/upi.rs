@@ -76,21 +76,36 @@ impl DiscreteUpi {
         })
     }
 
-    /// Attach a secondary index on discrete field `attr` (before loading
-    /// data). Returns its position for [`ptq_secondary`](Self::ptq_secondary).
+    /// Attach a secondary index on discrete field `attr`. Returns its
+    /// position for [`ptq_secondary`](Self::ptq_secondary).
+    ///
+    /// On an empty UPI this is free; on a loaded one the index is
+    /// **backfilled** with one sequential distinct scan of the heap
+    /// followed by a sorted bulk load — the same sequential-write path a
+    /// fracture flush uses — so secondaries are no longer restricted to
+    /// the load order (fractured tables grow them across every component,
+    /// see `FracturedUpi::add_secondary`).
     pub fn add_secondary(&mut self, attr: usize) -> Result<usize> {
-        assert!(
-            self.n_tuples == 0,
-            "secondary indexes must be added before data is loaded"
-        );
         let idx = self.secondaries.len();
-        self.secondaries.push(SecondaryIndex::create(
+        let mut sec = SecondaryIndex::create(
             self.store.clone(),
             &format!("{}.sec{}", self.name, idx),
             attr,
             self.cfg.page_size,
             self.cfg.max_secondary_pointers,
-        )?);
+        )?;
+        if self.n_tuples > 0 {
+            let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+            for t in self.distinct_scan()? {
+                let t = t?;
+                let alts = self.folded_alts(&t);
+                let (heap_alts, _) = self.partition(&alts);
+                sec.prepare_entries(&t, &heap_alts, &mut entries);
+            }
+            entries.sort();
+            sec.bulk_load(entries)?;
+        }
+        self.secondaries.push(sec);
         Ok(idx)
     }
 
@@ -301,7 +316,10 @@ impl DiscreteUpi {
             value,
             qt,
             cutoff_limit,
+            consulted: false,
             pointers: None,
+            ptr_head: None,
+            ptr_taken: 0,
         })
     }
 
@@ -605,9 +623,12 @@ impl Iterator for DistinctScan<'_> {
 }
 
 /// Confidence-ordered point-PTQ cursor (see [`DiscreteUpi::point_run`]):
-/// a lazy merge of the heap run with the cutoff list. Cutoff targets are
-/// dereferenced one at a time as the merge emits them, so an early-
-/// terminated consumer never pays for the tail.
+/// a lazy merge of the heap run with the cutoff list. The cutoff list is
+/// a streaming cursor consulted one entry at a time, and cutoff targets
+/// are dereferenced only as the merge emits them, so an early-terminated
+/// consumer never pays for the tail — and a *bounded* consumer
+/// ([`next_where`](PointRun::next_where)) can stop the cutoff scan as
+/// soon as its next candidate falls below a confidence watermark.
 pub struct PointRun<'a> {
     upi: &'a DiscreteUpi,
     run: Option<HeapRun<'a>>,
@@ -615,60 +636,120 @@ pub struct PointRun<'a> {
     value: u64,
     qt: f64,
     cutoff_limit: Option<usize>,
-    /// `None` until the cutoff list is first needed (run head below `C`
-    /// or run exhausted); then the remaining pointers, confidence order.
-    pointers: Option<std::vec::IntoIter<CutoffPointer>>,
+    /// Whether the cutoff list has been consulted yet (it is only opened
+    /// once the run's head falls below `C` or the run is exhausted).
+    consulted: bool,
+    /// The streaming cutoff cursor; dropped once exhausted, past the
+    /// limit, or below a caller-supplied watermark.
+    pointers: Option<crate::cutoff::CutoffValueRun<'a>>,
+    ptr_head: Option<CutoffPointer>,
+    /// Cutoff entries consumed so far (bounded by `cutoff_limit`).
+    ptr_taken: usize,
 }
 
 impl PointRun<'_> {
-    /// Pull the next heap-run row into `run_head` if it is empty.
-    fn fill_run_head(&mut self) -> Result<()> {
-        if self.run_head.is_none() {
-            if let Some(run) = &mut self.run {
-                match run.next() {
-                    Some(r) => self.run_head = Some(r?),
-                    None => self.run = None,
+    /// Pull the next heap-run row passing `keep` into `run_head`.
+    fn fill_run_head(&mut self, keep: &dyn Fn(u64) -> bool) -> Result<()> {
+        while self.run_head.is_none() {
+            let Some(run) = &mut self.run else { break };
+            match run.next() {
+                Some(r) => {
+                    let r = r?;
+                    if keep(r.tuple.id.0) {
+                        self.run_head = Some(r);
+                    }
+                }
+                None => self.run = None,
+            }
+        }
+        Ok(())
+    }
+
+    /// Open the cutoff cursor if it has not been consulted yet.
+    fn ensure_consulted(&mut self) -> Result<()> {
+        if !self.consulted {
+            self.consulted = true;
+            if self.qt < self.upi.cfg.cutoff {
+                // Every cutoff entry is below C; when qt ≥ C none qualify
+                // and the cursor is never opened.
+                self.pointers = Some(self.upi.cutoff.scan_value_run(self.value, self.qt)?);
+            }
+        }
+        Ok(())
+    }
+
+    /// Pull the next cutoff pointer passing `keep` into `ptr_head`,
+    /// without dereferencing it. Stops — permanently — at the limit or at
+    /// the first entry below `min_conf` (the list is probability-
+    /// descending, so nothing further can qualify; `min_conf` callers
+    /// guarantee the watermark never decreases).
+    fn fill_ptr_head(&mut self, min_conf: f64, keep: &dyn Fn(u64) -> bool) -> Result<()> {
+        while self.ptr_head.is_none() {
+            let Some(ptrs) = &mut self.pointers else {
+                break;
+            };
+            if self.cutoff_limit.is_some_and(|k| self.ptr_taken >= k) {
+                self.pointers = None;
+                break;
+            }
+            match ptrs.next() {
+                None => self.pointers = None,
+                Some(cp) => {
+                    let cp = cp?;
+                    if cp.prob < min_conf {
+                        self.pointers = None; // watermark bound: stop the scan
+                        break;
+                    }
+                    self.ptr_taken += 1;
+                    if keep(cp.tid) {
+                        self.ptr_head = Some(cp);
+                    }
                 }
             }
         }
         Ok(())
     }
 
-    /// Open the cutoff list if it has not been consulted yet.
-    fn ensure_pointers(&mut self) -> Result<()> {
-        if self.pointers.is_none() {
-            let list = if self.qt < self.upi.cfg.cutoff {
-                self.upi
-                    .cutoff
-                    .scan_limit(self.value, self.qt, self.cutoff_limit)?
-            } else {
-                Vec::new() // every cutoff entry is below C ≤ qt
-            };
-            self.pointers = Some(list.into_iter());
-        }
-        Ok(())
-    }
-}
-
-impl Iterator for PointRun<'_> {
-    type Item = Result<PtqResult>;
-
-    fn next(&mut self) -> Option<Self::Item> {
-        if let Err(e) = self.fill_run_head() {
+    /// [`Iterator::next`] with a confidence watermark and a tuple-id
+    /// filter: rows whose id fails `keep` are skipped *before* any heap
+    /// fetch (the fractured merge drops suppressed tuples this way
+    /// without paying their I/O), and `None` is returned as soon as no
+    /// remaining row can reach `min_conf` — both the heap run and the
+    /// cutoff list stream in descending confidence, so the first
+    /// below-watermark candidate proves the tail is out too. Callers must
+    /// only ever *raise* `min_conf` across calls (a top-k watermark).
+    pub fn next_where(
+        &mut self,
+        min_conf: f64,
+        keep: &dyn Fn(u64) -> bool,
+    ) -> Option<Result<PtqResult>> {
+        if let Err(e) = self.fill_run_head(keep) {
             return Some(Err(e));
         }
         // While the run head is at/above C, no cutoff entry can beat it:
         // emit without ever touching the cutoff index.
         if let Some(head) = &self.run_head {
             if head.confidence >= self.upi.cfg.cutoff {
+                if head.confidence < min_conf {
+                    return None; // run is descending: nothing can qualify
+                }
                 return Some(Ok(self.run_head.take().unwrap()));
             }
         }
-        if let Err(e) = self.ensure_pointers() {
+        if let Err(e) = self.ensure_consulted() {
             return Some(Err(e));
         }
-        let ptr_head = self.pointers.as_mut().unwrap().as_slice().first().copied();
-        let take_ptr = match (&self.run_head, &ptr_head) {
+        if let Err(e) = self.fill_ptr_head(min_conf, keep) {
+            return Some(Err(e));
+        }
+        // A head cached under an older (lower) watermark may have fallen
+        // below the current one: drop it — and the rest of the
+        // descending list with it — before paying its heap fetch.
+        if self.ptr_head.is_some_and(|p| p.prob < min_conf) {
+            self.ptr_head = None;
+            self.pointers = None;
+        }
+        let take_ptr = match (&self.run_head, &self.ptr_head) {
             (None, None) => return None,
             (None, Some(_)) => true,
             (Some(_), None) => false,
@@ -678,9 +759,18 @@ impl Iterator for PointRun<'_> {
                 .is_gt(),
         };
         if !take_ptr {
-            return Some(Ok(self.run_head.take().unwrap()));
+            let r = self.run_head.take().unwrap();
+            if r.confidence < min_conf {
+                // The winner is already below the watermark (the cutoff
+                // head, if any, is bounded too): the merge is done.
+                self.run_head = Some(r);
+                return None;
+            }
+            return Some(Ok(r));
         }
-        let cp = self.pointers.as_mut().unwrap().next().unwrap();
+        // The stale-head check above guarantees the pointer is at/above
+        // `min_conf`.
+        let cp = self.ptr_head.take().unwrap();
         match self
             .upi
             .fetch_by_pointer(cp.first_value, cp.first_prob, cp.tid)
@@ -692,6 +782,14 @@ impl Iterator for PointRun<'_> {
             Ok(None) => panic!("cutoff pointer must dereference"),
             Err(e) => Some(Err(e)),
         }
+    }
+}
+
+impl Iterator for PointRun<'_> {
+    type Item = Result<PtqResult>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_where(f64::NEG_INFINITY, &|_| true)
     }
 }
 

@@ -357,9 +357,11 @@ impl Iterator for SecondaryProbe<'_> {
 
 /// `FracturedMerge` — the fracture-parallel merge cursor: one streaming
 /// run per on-disk component plus the insert buffer, with delete-set
-/// suppression applied as rows surface. Point probes merge
-/// confidence-ordered (k-way, early-terminating); range and secondary
-/// probes chain per-component runs and let the sink sort.
+/// suppression applied *before* pointer dereferences. Point probes merge
+/// confidence-ordered (k-way, early-terminating, and — given a top-k
+/// `limit` — watermark-bounded: each component's cutoff scan stops once
+/// its next candidate falls below the running k-th confidence); range
+/// and secondary probes chain per-component runs and let the sink sort.
 pub enum FracturedMerge<'a> {
     /// Confidence-ordered k-way point merge.
     Point(upi::FracturedPointRun<'a>),
@@ -370,9 +372,17 @@ pub enum FracturedMerge<'a> {
 }
 
 impl<'a> FracturedMerge<'a> {
-    /// Open a point merge for `(value, qt)`.
-    pub fn point(f: &'a FracturedUpi, value: u64, qt: f64) -> StorageResult<FracturedMerge<'a>> {
-        Ok(FracturedMerge::Point(f.ptq_run(value, qt)?))
+    /// Open a point merge for `(value, qt)`; `limit = Some(k)` bounds
+    /// each component's cutoff scan with the merge-wide k-th-confidence
+    /// watermark (only the first k rows of the stream are then
+    /// guaranteed — exactly what the top-k sink consumes).
+    pub fn point(
+        f: &'a FracturedUpi,
+        value: u64,
+        qt: f64,
+        limit: Option<usize>,
+    ) -> StorageResult<FracturedMerge<'a>> {
+        Ok(FracturedMerge::Point(f.ptq_run(value, qt, limit)?))
     }
 
     /// Open a range merge for `[lo, hi]` at `qt`.
@@ -530,7 +540,10 @@ fn open_source<'a>(
         AccessPath::FracturedProbe => {
             let f = need(catalog.fractured, "the fractured UPI")?;
             let (_, value) = eq_params(q)?;
-            (Box::new(FracturedMerge::point(f, value, q.qt)?), true)
+            (
+                Box::new(FracturedMerge::point(f, value, q.qt, q.top_k)?),
+                true,
+            )
         }
         AccessPath::FracturedRange => {
             let f = need(catalog.fractured, "the fractured UPI")?;
@@ -627,17 +640,23 @@ pub(crate) fn execute(
 ) -> Result<QueryOutput, QueryError> {
     let q = &plan.query;
     let pool_before = catalog.pool.map(|p| p.counters());
-    // Planner-aware prefetch: run-shaped paths carry the run's start page
-    // and estimated length, so the pool arms read-ahead on the first miss
-    // with a run-length-sized window instead of waiting for two adjacent
-    // misses (pointer-chasing paths carry no hint and fall back to the
-    // pool's own detection). The hint must be armed before the source
-    // opens — the open performs the seek whose leaf read consumes it —
-    // so a failed open clears it, lest a stale hint mis-fire on a later
-    // unrelated access to that page.
-    let hinted_pool = match (plan.candidates[0].hint, catalog.pool) {
-        (Some(hint), Some(pool)) => {
-            pool.hint_run(hint);
+    // Planner-aware prefetch: run-shaped paths carry each expected run's
+    // start page and estimated length — one hint for single-structure
+    // paths, one *per component* for fracture-parallel merges — so the
+    // pool arms read-ahead on each run's first miss with a
+    // run-length-sized window instead of waiting for two adjacent misses
+    // (pointer-chasing paths carry no hint and fall back to the pool's
+    // own detection). Hints must be armed before the source opens — the
+    // opens perform the seeks whose leaf reads consume them — so a
+    // failed open clears exactly the hints this plan armed (by start
+    // page), lest a stale hint mis-fire on a later unrelated access;
+    // hints of concurrent queries are left alone.
+    let armed = &plan.candidates[0].hints;
+    let hinted_pool = match catalog.pool {
+        Some(pool) if !armed.is_empty() => {
+            for &hint in armed {
+                pool.hint_run(hint);
+            }
             Some(pool)
         }
         _ => None,
@@ -646,7 +665,9 @@ pub(crate) fn execute(
         Ok(source) => source,
         Err(e) => {
             if let Some(pool) = hinted_pool {
-                pool.clear_hint();
+                for hint in armed {
+                    pool.clear_hint(hint.start_page);
+                }
             }
             return Err(e);
         }

@@ -38,11 +38,18 @@
 //!    `FracturedUpi::{ptq_run, range_run, secondary_run}`,
 //!    `Pii::matching_run`, `UnclusteredHeap::scan_run`). Point probes
 //!    stream **confidence-ordered**, so top-k queries terminate the
-//!    source — and its I/O — after k rows; range and secondary probes
-//!    stream page-at-a-time through the buffer pool (whose sequential
-//!    read-ahead keeps clustered runs sequential even under interleaved
-//!    access). Only the R-Tree circle paths delegate to batch index
-//!    calls, feeding their rows through the same sink operators.
+//!    source — and its I/O — after k rows (the fractured point merge
+//!    additionally maintains a running k-th-confidence *watermark* that
+//!    stops each component's cutoff scan once its next candidate cannot
+//!    qualify); range and secondary probes stream page-at-a-time through
+//!    the buffer pool (whose sequential read-ahead keeps clustered runs
+//!    sequential even under interleaved access). Run-shaped candidates
+//!    carry prefetch hints — one `AccessHint` per expected run, so
+//!    fracture-parallel plans hint every component — which the executor
+//!    arms before opening the source; the pool then starts read-ahead on
+//!    each run's *first* cold miss with a run-length-sized window. Only
+//!    the R-Tree circle paths delegate to batch index calls, feeding
+//!    their rows through the same sink operators.
 //!
 //! ## Plan enumeration
 //!

@@ -117,14 +117,18 @@ pub struct CandidatePlan {
     pub est_ms: f64,
     /// How the estimate was assembled (for `explain()`).
     pub note: String,
-    /// Prefetch hint for run-shaped paths: the first page the path will
-    /// read and the estimated run length, derived from the same live
-    /// statistics that priced the candidate. When the catalog registers a
-    /// buffer pool, the executor passes this to
-    /// [`upi_storage::BufferPool::hint_run`] so read-ahead arms on the
-    /// run's first miss with a run-length-sized window. `None` for
-    /// pointer-chasing and batch paths.
-    pub hint: Option<upi_storage::AccessHint>,
+    /// Prefetch hints for run-shaped paths: each entry names the first
+    /// page of one expected sequential run and its estimated length,
+    /// derived from the same live statistics that priced the candidate.
+    /// Single-structure paths carry one hint; fracture-parallel paths
+    /// carry **one hint per component** (start page via each component's
+    /// `BTree::leaf_page_for`, length via its per-component run
+    /// estimate). When the catalog registers a buffer pool, the executor
+    /// arms every hint via [`upi_storage::BufferPool::hint_run`] before
+    /// opening the source, so each run's read-ahead arms on its own first
+    /// miss with a run-length-sized window. Empty for pointer-chasing and
+    /// batch paths.
+    pub hints: Vec<upi_storage::AccessHint>,
 }
 
 /// An executable physical plan: the chosen access path plus the full
@@ -173,11 +177,26 @@ impl PhysicalPlan {
         for line in operator_tree(&self.query, self.path()) {
             out.push_str(&format!("  {line}\n"));
         }
-        if let Some(h) = &self.candidates[0].hint {
-            out.push_str(&format!(
+        match self.candidates[0].hints.as_slice() {
+            [] => {}
+            [h] => out.push_str(&format!(
                 "prefetch hint: run of ~{} page(s) from page {:?}\n",
                 h.est_run_pages, h.start_page
-            ));
+            )),
+            hints => {
+                let total: usize = hints.iter().map(|h| h.est_run_pages).sum();
+                out.push_str(&format!(
+                    "prefetch hints: {} component runs, ~{} page(s) total\n",
+                    hints.len(),
+                    total
+                ));
+                for h in hints {
+                    out.push_str(&format!(
+                        "  run of ~{} page(s) from page {:?}\n",
+                        h.est_run_pages, h.start_page
+                    ));
+                }
+            }
         }
         if let Some(io) = io {
             out.push_str(&format!(

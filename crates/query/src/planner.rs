@@ -82,9 +82,13 @@ fn page_bytes(stats: &upi_btree::TreeStats) -> f64 {
 // detector. Resolving the start page descends *internal* B+Tree pages
 // only (a handful of reads the executor's own seek repeats warm); hint
 // resolution is best-effort — an I/O error yields no hint, never a plan
-// failure. Pointer-chasing paths (secondary, PII, cutoff-heavy merges)
-// and fracture-parallel merges interleave files, so they get no hint and
-// rely on the pool's own detection.
+// failure. Fracture-parallel paths carry one hint **per component**: the
+// pool tracks concurrent hinted runs, so the k-way merge's interleaved
+// component reads each stream independently. Pointer-chasing paths
+// (plain/tailored secondary heap fetches, PII probes, cutoff-heavy
+// merges) scatter by construction and get no hint; the fractured
+// *secondary* path hints only each component's compact entry run, not
+// the scattered heap fetches behind it.
 
 /// Hint for the clustered point run (`UpiHeap`): §2's one-seek-then-
 /// sequential access, bounded by k leaves for an early-terminating top-k.
@@ -127,6 +131,51 @@ fn heap_scan_hint(heap: &UnclusteredHeap) -> Option<AccessHint> {
         start_page: heap.first_leaf_page().ok()?,
         est_run_pages: heap.stats().leaf_pages.max(1),
     })
+}
+
+/// Per-component hints for the fracture-parallel point merge
+/// (`FracturedProbe`): each component's clustered run is an independent
+/// seek-then-sequential read, so each gets its own first-miss hint.
+fn fractured_point_hints(
+    f: &upi::FracturedUpi,
+    value: u64,
+    qt: f64,
+    top_k: Option<usize>,
+) -> Vec<AccessHint> {
+    f.components()
+        .filter_map(|u| upi_point_hint(u, value, qt, top_k))
+        .collect()
+}
+
+/// Per-component hints for the fractured range merge (`FracturedRange`).
+fn fractured_range_hints(f: &upi::FracturedUpi, lo: u64, hi: u64) -> Vec<AccessHint> {
+    f.components()
+        .filter_map(|u| upi_range_hint(u, lo, hi))
+        .collect()
+}
+
+/// Per-component hints for the fractured secondary path
+/// (`FracturedSecondary`): only each component's compact **entry run** is
+/// run-shaped (the heap fetches behind it scatter), so each hint covers
+/// the secondary tree's leaf run for the queried value.
+fn fractured_secondary_hints(
+    f: &upi::FracturedUpi,
+    sec_idx: usize,
+    value: u64,
+    qt: f64,
+) -> Vec<AccessHint> {
+    f.components()
+        .filter_map(|u| {
+            let sec = u.secondaries().get(sec_idx)?;
+            let leaf_pages = sec.leaf_pages().max(1);
+            let per_leaf = (sec.len() as f64 / leaf_pages as f64).max(1.0);
+            let entries = sec.stats().est_count_ge(value, qt);
+            Some(AccessHint {
+                start_page: sec.run_start_page(value).ok()?,
+                est_run_pages: ((entries / per_leaf).ceil() as usize).clamp(1, leaf_pages),
+            })
+        })
+        .collect()
 }
 
 /// Entry point: enumerate, price, rank.
@@ -199,7 +248,9 @@ fn enumerate_eq(
                 },
                 est_ms,
                 note,
-                hint: upi_point_hint(upi, value, qt, q.top_k),
+                hints: upi_point_hint(upi, value, qt, q.top_k)
+                    .into_iter()
+                    .collect(),
             });
         }
         for (i, sec) in upi.secondaries().iter().enumerate() {
@@ -226,7 +277,7 @@ fn enumerate_eq(
                 est_ms: opens
                     + bitmap_fetch_ms(disk, hs.bytes as f64 / concentration, page_bytes(&hs), n),
                 note: format!("{n:.0} fetches over 1/{concentration:.2} of the heap"),
-                hint: None,
+                hints: Vec::new(),
             });
             out.push(CandidatePlan {
                 path: AccessPath::UpiSecondary {
@@ -235,7 +286,7 @@ fn enumerate_eq(
                 },
                 est_ms: opens + bitmap_fetch_ms(disk, hs.bytes as f64, page_bytes(&hs), n),
                 note: format!("{n:.0} first-pointer fetches over the full heap"),
-                hint: None,
+                hints: Vec::new(),
             });
         }
         // Last-resort full scan of the clustered heap (any discrete attr).
@@ -243,7 +294,7 @@ fn enumerate_eq(
             path: AccessPath::UpiFullScan,
             est_ms: disk.init_ms + disk.read_cost_ms(upi.heap_stats().bytes),
             note: format!("{} heap bytes sequential", upi.heap_stats().bytes),
-            hint: upi_scan_hint(upi),
+            hints: upi_scan_hint(upi).into_iter().collect(),
         });
     }
 
@@ -253,7 +304,7 @@ fn enumerate_eq(
                 path: AccessPath::FracturedProbe,
                 est_ms: cost::estimate_query_fractured_ms(disk, f, value, qt),
                 note: format!("{} components", f.n_fractures() + 1),
-                hint: None,
+                hints: fractured_point_hints(f, value, qt, q.top_k),
             });
         }
         for (i, sec) in f.main().secondaries().iter().enumerate() {
@@ -274,7 +325,7 @@ fn enumerate_eq(
                 est_ms: opens
                     + bitmap_fetch_ms(disk, hs.bytes as f64 / repl.powf(1.5), page_bytes(&hs), n),
                 note: format!("{n:.0} entries over {components:.0} components"),
-                hint: None,
+                hints: fractured_secondary_hints(f, i, value, qt),
             });
         }
     }
@@ -292,14 +343,14 @@ fn enumerate_eq(
                     + open_descend(disk, hs.height)
                     + bitmap_fetch_ms(disk, hs.bytes as f64, page_bytes(&hs), n),
                 note: format!("{n:.0} bitmap-order heap fetches"),
-                hint: None,
+                hints: Vec::new(),
             });
         }
         out.push(CandidatePlan {
             path: AccessPath::HeapScan,
             est_ms: disk.init_ms + disk.read_cost_ms(heap.stats().bytes),
             note: format!("{} heap bytes sequential", heap.stats().bytes),
-            hint: heap_scan_hint(heap),
+            hints: heap_scan_hint(heap).into_iter().collect(),
         });
     }
 
@@ -322,7 +373,7 @@ fn enumerate_eq(
                     + disk.init_ms
                     + bitmap_fetch_ms(disk, heap_bytes, heap_page, effective),
                 note: format!("{n:.0} entries -> ~{effective:.0} page reads"),
-                hint: None,
+                hints: Vec::new(),
             });
         }
     }
@@ -354,14 +405,14 @@ fn enumerate_range(
                 path: AccessPath::UpiRange,
                 est_ms: est,
                 note: format!("range frac {frac:.4} of clustered heap"),
-                hint: upi_range_hint(upi, lo, hi),
+                hints: upi_range_hint(upi, lo, hi).into_iter().collect(),
             });
         }
         out.push(CandidatePlan {
             path: AccessPath::UpiFullScan,
             est_ms: disk.init_ms + disk.read_cost_ms(upi.heap_stats().bytes),
             note: format!("{} heap bytes sequential", upi.heap_stats().bytes),
-            hint: upi_scan_hint(upi),
+            hints: upi_scan_hint(upi).into_iter().collect(),
         });
     }
 
@@ -374,7 +425,7 @@ fn enumerate_range(
                 path: AccessPath::FracturedRange,
                 est_ms: model.cost_fractured_ms(frac, f.n_fractures() + 1),
                 note: format!("range frac {frac:.4}, {} components", f.n_fractures() + 1),
-                hint: None,
+                hints: fractured_range_hints(f, lo, hi),
             });
         }
     }
@@ -394,14 +445,14 @@ fn enumerate_range(
                     + disk.init_ms
                     + bitmap_fetch_ms(disk, hs.bytes as f64, page_bytes(&hs), entries),
                 note: format!("{entries:.0} index entries in range"),
-                hint: None,
+                hints: Vec::new(),
             });
         }
         out.push(CandidatePlan {
             path: AccessPath::HeapScan,
             est_ms: disk.init_ms + disk.read_cost_ms(heap.stats().bytes),
             note: format!("{} heap bytes sequential", heap.stats().bytes),
-            hint: heap_scan_hint(heap),
+            hints: heap_scan_hint(heap).into_iter().collect(),
         });
     }
 
@@ -440,7 +491,7 @@ fn enumerate_circle(
                     + rs.height as f64 * disk.seek_ms
                     + disk.read_cost_ms((cupi.total_bytes() as f64 * frac) as u64),
                 note: format!("circle covers {:.3} of domain, clustered read", frac),
-                hint: None,
+                hints: Vec::new(),
             });
         }
     }
@@ -456,7 +507,7 @@ fn enumerate_circle(
                     + disk.init_ms
                     + bitmap_fetch_ms(disk, hs.bytes as f64, page_bytes(&hs), candidates),
                 note: format!("~{candidates:.0} per-candidate heap fetches"),
-                hint: None,
+                hints: Vec::new(),
             });
         }
     }

@@ -18,7 +18,13 @@
 //!   modelled in §6.3 of the paper).
 //! * [`BufferPool`] is a write-back LRU page cache layered over the disk.
 //!   Flushing writes dirty pages in physical-offset order (elevator style),
-//!   so bulk loads cost sequential-write time.
+//!   so bulk loads cost sequential-write time. It detects sequential read
+//!   runs (two adjacent misses) and prefetches their continuation, tracks
+//!   **several runs concurrently** so k-way merges that interleave
+//!   component files keep every run streaming, and accepts planner
+//!   [`AccessHint`]s — up to one pending hint per expected run, armed,
+//!   discharged, and cleared independently — so a hinted run's read-ahead
+//!   arms on its *first* miss with a run-length-sized window.
 //! * [`codec`] provides order-preserving byte encodings for composite index
 //!   keys such as `(value ASC, probability DESC, tuple-id ASC)`.
 //!

@@ -110,16 +110,22 @@ impl std::fmt::Display for PoolCounters {
 ///   contiguous pays sequential-write cost, exactly like an OS writeback
 ///   pass.
 /// * Two consecutive misses at physically adjacent offsets of one file
-///   switch the pool into **run mode** for that position: the next
+///   switch that position into **run mode**: the next
 ///   [`DiskConfig::readahead_pages`](crate::DiskConfig::readahead_pages)
 ///   contiguous pages are prefetched in one batch while the head is
-///   already there, so a clustered run keeps streaming even when the
-///   reader interleaves accesses to other files between leaf hops.
+///   already there. Up to [`MAX_TRACKED_RUNS`] runs are tracked
+///   concurrently, so a k-way merge that interleaves reads across k
+///   component files (a fractured UPI probe) keeps every component's run
+///   streaming — a switch to another file no longer resets the detector.
 /// * A planner that *knows* the chosen access path is a long sequential
 ///   run can skip the detection latency entirely:
 ///   [`hint_run`](BufferPool::hint_run) arms read-ahead on the run's
 ///   **first** miss and sizes the window from the estimated run length
-///   (see [`AccessHint`]).
+///   (see [`AccessHint`]). Up to [`MAX_PENDING_HINTS`] hints may be
+///   pending at once — one per component of a fracture-parallel plan —
+///   each armed, discharged, or cleared
+///   ([`clear_hint`](BufferPool::clear_hint)) independently of its
+///   siblings.
 ///
 /// The pool must be configured *smaller* than the experimental tables to
 /// reproduce the paper's disk-bound regime; the benchmark harness does this
@@ -140,7 +146,11 @@ struct Frame {
     next: Option<PageId>,
 }
 
-/// State of the (single) sequential run the pool is currently tracking.
+/// State of one sequential run the pool is tracking. The pool keeps up to
+/// [`MAX_TRACKED_RUNS`] of these concurrently, so a k-way merge that
+/// interleaves reads across k component files (a fractured UPI's
+/// fracture-parallel probe) keeps each component's run streaming instead
+/// of resetting the detector on every file switch.
 #[derive(Debug, Clone, Copy)]
 struct RunState {
     /// File the run lives in.
@@ -161,6 +171,15 @@ struct RunState {
 /// a few large batches instead of one fixed-size window per 8 pages.
 const HINTED_BATCH_PAGES: usize = 64;
 
+/// How many concurrent sequential runs the pool tracks (LRU-evicted).
+/// Sized for a fractured UPI's k-way merge — main + a handful of
+/// fractures, each with a heap and a cutoff file in flight.
+const MAX_TRACKED_RUNS: usize = 16;
+
+/// How many planner hints may be pending at once (LRU-evicted). One per
+/// component of the largest plausible fracture-parallel plan.
+const MAX_PENDING_HINTS: usize = 16;
+
 #[derive(Default)]
 struct PoolInner {
     frames: HashMap<PageId, Frame>,
@@ -170,11 +189,34 @@ struct PoolInner {
     /// Hottest frame (most recently used).
     tail: Option<PageId>,
     counters: PoolCounters,
-    /// Run detection state (see [`RunState`]).
-    run: Option<RunState>,
-    /// Pending planner hint ([`BufferPool::hint_run`]): consumed by the
-    /// next access to its start page.
-    pending_hint: Option<AccessHint>,
+    /// Concurrently tracked runs (see [`RunState`]), oldest first.
+    runs: Vec<RunState>,
+    /// Pending planner hints ([`BufferPool::hint_run`]), oldest first:
+    /// each is consumed by the next access to its start page,
+    /// independently of the others.
+    pending_hints: Vec<AccessHint>,
+}
+
+impl PoolInner {
+    /// Index of the pending hint whose run starts at `pid`, if any.
+    fn hint_index(&self, pid: PageId) -> Option<usize> {
+        self.pending_hints.iter().position(|h| h.start_page == pid)
+    }
+
+    /// Replace (or insert) the tracked run continuing at `(file, at)`.
+    fn note_run(&mut self, file: FileId, at: u64, state: RunState) {
+        if let Some(i) = self
+            .runs
+            .iter()
+            .position(|r| r.file == file && r.next == at)
+        {
+            self.runs.remove(i);
+        }
+        self.runs.push(state);
+        if self.runs.len() > MAX_TRACKED_RUNS {
+            self.runs.remove(0);
+        }
+    }
 }
 
 impl BufferPool {
@@ -198,21 +240,35 @@ impl BufferPool {
     /// `hint.est_run_pages` (in batches of at most [`HINTED_BATCH_PAGES`])
     /// instead of the fixed `readahead_pages` window.
     ///
-    /// One hint is pending at a time; a new hint replaces the old one
-    /// (the executor hints once per query, right before opening the
-    /// chosen access path). A hint whose start page is already cached is
-    /// discharged by the hit — the run needs no arming if its head is
-    /// warm, and the ordinary detector covers any cold tail.
+    /// Up to [`MAX_PENDING_HINTS`] hints may be pending concurrently, one
+    /// per expected run — a fracture-parallel merge arms one per
+    /// component — and each is consumed (or discharged) independently: a
+    /// new hint for the same start page replaces the old one, and a hint
+    /// whose start page is already cached is discharged by the hit — the
+    /// run needs no arming if its head is warm, and the ordinary detector
+    /// covers any cold tail.
     pub fn hint_run(&self, hint: AccessHint) {
-        self.inner.lock().pending_hint = Some(hint);
+        let mut g = self.inner.lock();
+        if let Some(i) = g.hint_index(hint.start_page) {
+            g.pending_hints.remove(i);
+        }
+        g.pending_hints.push(hint);
+        if g.pending_hints.len() > MAX_PENDING_HINTS {
+            g.pending_hints.remove(0);
+        }
     }
 
-    /// Drop a pending [`hint_run`](Self::hint_run) hint that was never
-    /// consumed — callers that armed a hint and then failed before
-    /// touching the run's start page must clear it, or the stale hint
-    /// would mis-fire on the next unrelated cold miss of that page.
-    pub fn clear_hint(&self) {
-        self.inner.lock().pending_hint = None;
+    /// Drop the pending [`hint_run`](Self::hint_run) hint starting at
+    /// `start_page`, if one was never consumed — a caller that armed a
+    /// hint and then failed before touching the run's start page must
+    /// clear it, or the stale hint would mis-fire on the next unrelated
+    /// cold miss of that page. Clearing is per-run: other pending hints
+    /// (e.g. sibling components of the same fractured plan) are untouched.
+    pub fn clear_hint(&self, start_page: PageId) {
+        let mut g = self.inner.lock();
+        if let Some(i) = g.hint_index(start_page) {
+            g.pending_hints.remove(i);
+        }
     }
 
     /// Read a page through the cache. A miss reads the device; two
@@ -224,8 +280,8 @@ impl BufferPool {
         let mut g = self.inner.lock();
         if g.frames.contains_key(&pid) {
             g.counters.hits += 1;
-            if g.pending_hint.is_some_and(|h| h.start_page == pid) {
-                g.pending_hint = None; // warm run head: hint is moot
+            if let Some(i) = g.hint_index(pid) {
+                g.pending_hints.remove(i); // warm run head: hint is moot
             }
             let f = g.frames.get_mut(&pid).unwrap();
             let was_prefetched = std::mem::take(&mut f.prefetched);
@@ -239,15 +295,20 @@ impl BufferPool {
         // Run detection must happen before the read resets the head.
         let file = self.disk.page_file(pid)?;
         let offset = self.disk.page_offset(pid)?;
-        let sequential = matches!(g.run, Some(r) if r.file == file && r.next == offset);
-        let hinted_start = g.pending_hint.is_some_and(|h| h.start_page == pid);
+        let sequential = g.runs.iter().any(|r| r.file == file && r.next == offset);
+        let hinted_start = g.hint_index(pid).is_some();
         let mut hinted_remaining = None;
         if hinted_start {
-            let hint = g.pending_hint.take().unwrap();
+            let i = g.hint_index(pid).unwrap();
+            let hint = g.pending_hints.remove(i);
             g.counters.hinted_runs += 1;
             hinted_remaining = Some(hint.est_run_pages.saturating_sub(1));
         } else if sequential {
-            hinted_remaining = g.run.and_then(|r| r.hinted_remaining);
+            hinted_remaining = g
+                .runs
+                .iter()
+                .find(|r| r.file == file && r.next == offset)
+                .and_then(|r| r.hinted_remaining);
         }
         drop(g);
         let data = self.disk.read_page(pid)?;
@@ -287,11 +348,15 @@ impl BufferPool {
                 prefetched += 1;
             }
         }
-        g.run = Some(RunState {
+        g.note_run(
             file,
-            next: run_end,
-            hinted_remaining: hinted_remaining.map(|r| r.saturating_sub(prefetched)),
-        });
+            offset,
+            RunState {
+                file,
+                next: run_end,
+                hinted_remaining: hinted_remaining.map(|r| r.saturating_sub(prefetched)),
+            },
+        );
         self.evict_overflow(&mut g)?;
         Ok(data)
     }
@@ -374,8 +439,8 @@ impl BufferPool {
         g.bytes = 0;
         g.head = None;
         g.tail = None;
-        g.run = None;
-        g.pending_hint = None;
+        g.runs.clear();
+        g.pending_hints.clear();
     }
 
     /// Cumulative counters since creation.
@@ -746,6 +811,96 @@ mod tests {
         assert_eq!(c.misses, 3, "{c}");
         assert_eq!(c.readahead as usize, n - 3, "{c}");
         assert_eq!(c.readahead_hits as usize, n - 3, "{c}");
+    }
+
+    #[test]
+    fn concurrent_hints_arm_independently() {
+        let (disk, pool) = setup(4 << 20);
+        let files: Vec<_> = (0..3)
+            .map(|i| disk.create_file(&format!("f{i}"), 4096))
+            .collect();
+        let runs: Vec<Vec<_>> = files
+            .iter()
+            .map(|&f| {
+                let pages: Vec<_> = (0..12).map(|_| disk.alloc_page(f).unwrap()).collect();
+                for &p in &pages {
+                    disk.write_page(p, Bytes::from(vec![1u8; 4096])).unwrap();
+                }
+                pages
+            })
+            .collect();
+        for run in &runs {
+            pool.hint_run(AccessHint {
+                start_page: run[0],
+                est_run_pages: run.len(),
+            });
+        }
+        // Interleave the three runs round-robin, the way a k-way merge
+        // pulls one row per component: each run must still arm on its own
+        // first miss and then stream entirely from read-ahead.
+        for i in 0..runs[0].len() {
+            for run in &runs {
+                pool.get(run[i]).unwrap();
+            }
+        }
+        let c = pool.counters();
+        assert_eq!(c.hinted_runs, 3, "{c}");
+        assert_eq!(c.misses, 3, "one cold miss per run: {c}");
+        assert_eq!(c.readahead, 3 * 11, "{c}");
+        assert_eq!(c.readahead_hits, 3 * 11, "{c}");
+    }
+
+    #[test]
+    fn interleaved_unhinted_runs_each_detect() {
+        let (disk, pool) = setup(4 << 20);
+        let fa = disk.create_file("a", 4096);
+        let fb = disk.create_file("b", 4096);
+        let a: Vec<_> = (0..12).map(|_| disk.alloc_page(fa).unwrap()).collect();
+        let b: Vec<_> = (0..12).map(|_| disk.alloc_page(fb).unwrap()).collect();
+        for &p in a.iter().chain(&b) {
+            disk.write_page(p, Bytes::from(vec![1u8; 4096])).unwrap();
+        }
+        // a0 b0 a1 b1: each file's second miss is adjacent *within its
+        // own run*; both runs must arm despite the interleaving.
+        pool.get(a[0]).unwrap();
+        pool.get(b[0]).unwrap();
+        pool.get(a[1]).unwrap();
+        pool.get(b[1]).unwrap();
+        let c = pool.counters();
+        assert_eq!(c.misses, 4);
+        assert_eq!(
+            c.readahead,
+            2 * disk.config().readahead_pages as u64,
+            "both interleaved runs must detect: {c}"
+        );
+    }
+
+    #[test]
+    fn clear_hint_is_per_run() {
+        let (disk, pool) = setup(1 << 20);
+        let f = disk.create_file("t", 4096);
+        let pages: Vec<_> = (0..16).map(|_| disk.alloc_page(f).unwrap()).collect();
+        for &p in &pages {
+            disk.write_page(p, Bytes::from(vec![1u8; 4096])).unwrap();
+        }
+        pool.hint_run(AccessHint {
+            start_page: pages[0],
+            est_run_pages: 4,
+        });
+        pool.hint_run(AccessHint {
+            start_page: pages[8],
+            est_run_pages: 4,
+        });
+        pool.clear_hint(pages[8]);
+        pool.get(pages[8]).unwrap();
+        let c = pool.counters();
+        assert_eq!(c.hinted_runs, 0, "cleared hint must not arm: {c}");
+        assert_eq!(c.readahead, 0, "{c}");
+        // The sibling hint is untouched and still arms.
+        pool.get(pages[0]).unwrap();
+        let c = pool.counters();
+        assert_eq!(c.hinted_runs, 1, "{c}");
+        assert_eq!(c.readahead, 3, "{c}");
     }
 
     #[test]

@@ -39,9 +39,9 @@ fn row(inst: u64, p: f64, country: u64) -> Vec<Field> {
 
 fn db(layout: TableLayout) -> UncertainDb {
     let mut db = UncertainDb::create(store(), "t", schema(), 1, layout).unwrap();
-    if db.table().as_fractured().is_none() {
-        db.add_secondary(2).unwrap();
-    }
+    // Every layout supports secondaries now — fractured tables build
+    // them across components instead of panicking.
+    db.add_secondary(2).unwrap();
     db
 }
 
@@ -140,6 +140,123 @@ fn fractured_lifecycle_through_facade() {
     d.merge().unwrap();
     assert_eq!(d.ptq(2, 0.3).unwrap().len(), before);
     assert!(d.table().as_upi().is_some());
+}
+
+#[test]
+fn fractured_secondary_added_after_fractures_is_planned_through() {
+    // The old creation-order restriction made this panic: a secondary
+    // declared only *after* the table already has a main component, an
+    // on-disk fracture, and live buffered rows. It must now be built
+    // across every existing component and answer exactly like the same
+    // rows in a UPI table whose secondary existed from the start.
+    let mut frac = UncertainDb::create(
+        store(),
+        "late",
+        schema(),
+        1,
+        TableLayout::FracturedUpi(FracturedConfig {
+            upi: UpiConfig::default(),
+            buffer_ops: 0,
+        }),
+    )
+    .unwrap();
+    let mut reference = db(TableLayout::Upi(UpiConfig::default()));
+    for i in 0..80u64 {
+        let r = row(i % 5, 0.5 + (i % 4) as f64 * 0.1, i % 3);
+        frac.insert(0.9, r.clone()).unwrap();
+        reference.insert(0.9, r).unwrap();
+    }
+    frac.flush().unwrap(); // first fracture event
+    for i in 80..120u64 {
+        let r = row(i % 5, 0.5 + (i % 4) as f64 * 0.1, i % 3);
+        frac.insert(0.9, r.clone()).unwrap();
+        reference.insert(0.9, r).unwrap();
+    }
+    frac.flush().unwrap(); // second fracture event
+    assert_eq!(frac.table().as_fractured().unwrap().n_fractures(), 2);
+
+    // Declare the secondary only now, then add buffered-only rows on top.
+    let idx = frac.add_secondary(2).unwrap();
+    assert_eq!(idx, 0);
+    for i in 120..140u64 {
+        let r = row(i % 5, 0.5 + (i % 4) as f64 * 0.1, i % 3);
+        frac.insert(0.9, r.clone()).unwrap();
+        reference.insert(0.9, r).unwrap();
+    }
+
+    for country in 0..3u64 {
+        for qt in [0.1, 0.5, 0.9] {
+            assert_eq!(
+                ids(&frac.ptq_secondary(0, country, qt).unwrap()),
+                ids(&reference.ptq_secondary(0, country, qt).unwrap()),
+                "country={country} qt={qt}"
+            );
+        }
+    }
+
+    // The planner really routes it through the cross-component secondary:
+    // the fractured path is enumerated and agrees with the chosen plan.
+    let q = PtqQuery::eq(2, 1).with_qt(0.2);
+    let catalog = frac.catalog();
+    let plan = q.plan(&catalog).unwrap();
+    let labels: Vec<String> = plan.candidates.iter().map(|c| c.path.label()).collect();
+    assert!(
+        labels.iter().any(|l| l.starts_with("FracturedSecondary#0")),
+        "{labels:?}"
+    );
+    let reference_rows = ids(&plan.execute(&catalog).unwrap().rows);
+    for cand in &plan.candidates {
+        let forced = PhysicalPlan {
+            query: q.clone(),
+            candidates: vec![cand.clone()],
+        };
+        assert_eq!(
+            ids(&forced.execute(&catalog).unwrap().rows),
+            reference_rows,
+            "forced {} diverges",
+            cand.path.label()
+        );
+    }
+}
+
+#[test]
+fn secondary_added_after_load_matches_declared_up_front_on_every_layout() {
+    // Each layout must backfill a late secondary from its live rows:
+    // the unclustered PII from a heap scan, the UPI from its clustered
+    // heap, the fractured table across components. Reference: the same
+    // rows with the secondary declared before any data.
+    for layout in [
+        TableLayout::Unclustered,
+        TableLayout::Upi(UpiConfig::default()),
+        TableLayout::FracturedUpi(FracturedConfig {
+            upi: UpiConfig::default(),
+            buffer_ops: 0,
+        }),
+    ] {
+        let mut late =
+            UncertainDb::create(store(), "late_sec", schema(), 1, layout.clone()).unwrap();
+        let mut reference = db(layout);
+        for i in 0..100u64 {
+            let r = row(i % 5, 0.5 + (i % 4) as f64 * 0.1, i % 3);
+            late.insert(0.9, r.clone()).unwrap();
+            reference.insert(0.9, r).unwrap();
+        }
+        late.flush().unwrap();
+        late.add_secondary(2).unwrap();
+        for country in 0..3u64 {
+            for qt in [0.1, 0.5, 0.9] {
+                assert_eq!(
+                    ids(&late.ptq_secondary(0, country, qt).unwrap()),
+                    ids(&reference.ptq_secondary(0, country, qt).unwrap()),
+                    "country={country} qt={qt}"
+                );
+                assert!(
+                    qt > 0.5 || !late.ptq_secondary(0, country, qt).unwrap().is_empty(),
+                    "backfilled secondary must see the loaded rows"
+                );
+            }
+        }
+    }
 }
 
 #[test]

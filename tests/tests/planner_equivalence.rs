@@ -4,8 +4,16 @@
 //! group-count query shapes, across an unclustered-heap + PII baseline, a
 //! discrete UPI with a secondary index, and a fractured UPI holding the
 //! same rows.
+//!
+//! The second oracle is **suppression-heavy**: randomized fractured
+//! tables built from interleaved inserts, deletes, and updates across
+//! 1–4 fracture events (with an optionally live insert buffer), where
+//! the facade, every forced fractured path (including the
+//! watermark-bounded top-k merge), and a forced full scan of the live
+//! row set must agree on ptq / range / secondary / top-k result sets.
 
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use upi::{
@@ -55,6 +63,25 @@ fn tuple_strategy(id: u64) -> impl Strategy<Value = Tuple> {
 
 fn table_strategy() -> impl Strategy<Value = Vec<Tuple>> {
     (1usize..30).prop_flat_map(|n| (0..n as u64).map(tuple_strategy).collect::<Vec<_>>())
+}
+
+/// A tuple with a random id from a small domain, so later rounds update
+/// (same id, newer component shadows) or revive (delete then re-insert)
+/// earlier rows as often as they add fresh ones.
+fn any_tuple_strategy() -> impl Strategy<Value = Tuple> {
+    (0u64..40).prop_flat_map(tuple_strategy)
+}
+
+/// One maintenance round: tuples to insert/update, then ids to delete.
+/// Each round ends in a fracture event (flush), except possibly the last.
+fn rounds_strategy() -> impl Strategy<Value = Vec<(Vec<Tuple>, Vec<u64>)>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(any_tuple_strategy(), 0..8),
+            proptest::collection::vec(0u64..40, 0..6),
+        ),
+        1..=4,
+    )
 }
 
 /// Comparable fingerprint: the group table, or sorted `(tid, confidence)`.
@@ -195,6 +222,148 @@ proptest! {
                     q,
                     cand.path.label(),
                     plan.path().label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn suppression_heavy_fractured_oracle(
+        initial in table_strategy(),
+        rounds in rounds_strategy(),
+        flush_last_bit in 0u8..2,
+        cutoff in 0.0f64..=0.8,
+        value in 0u64..8,
+        sec_value in 0u64..6,
+        qt in 0.0f64..=0.9,
+        k in 1usize..6,
+        lo in 0u64..8,
+        width in 0u64..4,
+    ) {
+        let st = store();
+        let cfg = UpiConfig { cutoff, ..UpiConfig::default() };
+
+        // The structure under test: a fractured UPI taking the full
+        // insert/delete/update history, one fracture event per round.
+        let mut fractured = FracturedUpi::create(
+            st.clone(),
+            "frac",
+            1,
+            &[2],
+            FracturedConfig { upi: cfg, buffer_ops: 0 },
+        )
+        .unwrap();
+
+        // The same history through the planner-first facade. Its
+        // secondary is added *after* load + first flush below, so the
+        // cross-component backfill path is exercised against the
+        // declared-at-creation secondary of `fractured`.
+        let mut facade = UncertainDb::create(
+            st.clone(),
+            "facade",
+            Schema::new(vec![
+                ("g", FieldKind::U64),
+                ("prim", FieldKind::Discrete),
+                ("sec", FieldKind::Discrete),
+            ]),
+            1,
+            TableLayout::FracturedUpi(FracturedConfig { upi: cfg, buffer_ops: 0 }),
+        )
+        .unwrap();
+
+        // Model of the live row set (the scan ground truth).
+        let mut model: BTreeMap<u64, Tuple> = BTreeMap::new();
+
+        fractured.load_initial(&initial).unwrap();
+        facade.load(&initial).unwrap();
+        for t in &initial {
+            model.insert(t.id.0, t.clone());
+        }
+        fractured.flush().unwrap();
+        facade.flush().unwrap();
+        facade.add_secondary(2).unwrap();
+
+        let n_rounds = rounds.len();
+        for (i, (inserts, deletes)) in rounds.into_iter().enumerate() {
+            for t in inserts {
+                fractured.insert(t.clone()).unwrap();
+                facade.insert_tuple(&t).unwrap();
+                model.insert(t.id.0, t);
+            }
+            for id in deletes {
+                // Deleting an absent id buffers a (harmless) delete-set
+                // entry in both structures; the model just ignores it.
+                if let Some(old) = model.remove(&id) {
+                    fractured.delete(TupleId(id)).unwrap();
+                    facade.delete(&old).unwrap();
+                } else {
+                    fractured.delete(TupleId(id)).unwrap();
+                    facade.delete(&Tuple::new(
+                        TupleId(id),
+                        1.0,
+                        vec![
+                            Field::Certain(Datum::U64(0)),
+                            Field::Discrete(DiscretePmf::certain(0)),
+                            Field::Discrete(DiscretePmf::certain(0)),
+                        ],
+                    )).unwrap();
+                }
+            }
+            if i + 1 < n_rounds || flush_last_bit == 1 {
+                fractured.flush().unwrap();
+                facade.flush().unwrap();
+            }
+        }
+
+        // Ground truth: a full scan over exactly the live rows.
+        let live: Vec<Tuple> = model.values().cloned().collect();
+        let mut heap = UnclusteredHeap::create(st.clone(), "live", 4096).unwrap();
+        heap.bulk_load(&live).unwrap();
+
+        let catalog = Catalog::new(st.disk.config())
+            .with_fractured(&fractured)
+            .with_heap(&heap);
+
+        let hi = (lo + width).min(7);
+        let queries = vec![
+            PtqQuery::eq(1, value).with_qt(qt),
+            // Watermark-bounded fracture-parallel top-k vs the scan.
+            PtqQuery::eq(1, value).with_qt(qt).with_top_k(k),
+            PtqQuery::eq(1, value).with_top_k(1),
+            PtqQuery::eq(2, sec_value).with_qt(qt),
+            PtqQuery::eq(2, sec_value).with_qt(qt).with_top_k(k),
+            PtqQuery::range(1, lo, hi).with_qt(qt),
+            PtqQuery::range(1, lo, hi).with_qt(qt).with_top_k(k),
+        ];
+        for q in queries {
+            let plan = q.plan(&catalog).unwrap();
+            let reference = fingerprint(&plan.execute(&catalog).unwrap());
+            let via_facade = fingerprint(&facade.query(&q).unwrap());
+            prop_assert_eq!(
+                &via_facade,
+                &reference,
+                "query {:?}: facade (chose {}) disagrees with the manual \
+                 catalog's planner choice {}",
+                q,
+                facade.plan(&q).unwrap().path().label(),
+                plan.path().label()
+            );
+            for cand in &plan.candidates {
+                let forced = PhysicalPlan {
+                    query: q.clone(),
+                    candidates: vec![cand.clone()],
+                };
+                let got = fingerprint(&forced.execute(&catalog).unwrap());
+                prop_assert_eq!(
+                    &got,
+                    &reference,
+                    "query {:?}: path {} disagrees with planner choice {} \
+                     ({} fractures, {} buffered ops)",
+                    q,
+                    cand.path.label(),
+                    plan.path().label(),
+                    fractured.n_fractures(),
+                    fractured.buffered_ops()
                 );
             }
         }

@@ -123,8 +123,9 @@ fn planned_range_run_carries_and_arms_a_hint() {
     let q = PtqQuery::range(ATTR, 1, 3).with_qt(0.1);
     let plan = db.plan(&q).unwrap();
     assert_eq!(plan.path().label(), "UpiRange");
-    let hint = plan.candidates[0]
-        .hint
+    let hint = *plan.candidates[0]
+        .hints
+        .first()
         .expect("a clustered range run must carry a prefetch hint");
     assert!(
         hint.est_run_pages > 50,
@@ -150,7 +151,7 @@ fn planned_range_run_carries_and_arms_a_hint() {
     // but the pool falls back to two-miss detection with its fixed
     // window, paying a demand miss every `readahead_pages`.
     let mut stripped = plan.candidates[0].clone();
-    stripped.hint = None;
+    stripped.hints.clear();
     let unhinted_plan = PhysicalPlan {
         query: q.clone(),
         candidates: vec![stripped],
@@ -183,7 +184,10 @@ fn failed_execution_clears_its_armed_hint() {
     let st = db.table().store().clone();
     let q = PtqQuery::range(ATTR, 1, 3).with_qt(0.1);
     let plan = db.plan(&q).unwrap();
-    let hint = plan.candidates[0].hint.expect("range run carries a hint");
+    let hint = *plan.candidates[0]
+        .hints
+        .first()
+        .expect("range run carries a hint");
 
     // Execute the plan against a catalog that registers the pool but not
     // the UPI: open_source fails after the hint was armed. The stale
@@ -208,7 +212,10 @@ fn point_and_scan_plans_carry_hints_pointer_paths_do_not() {
     for cand in &point.candidates {
         let label = cand.path.label();
         if label.starts_with("UpiHeap") || label == "UpiFullScan" {
-            let hint = cand.hint.unwrap_or_else(|| panic!("{label} needs a hint"));
+            let hint = *cand
+                .hints
+                .first()
+                .unwrap_or_else(|| panic!("{label} needs a hint"));
             assert!(hint.est_run_pages >= 1);
         }
     }
@@ -216,8 +223,8 @@ fn point_and_scan_plans_carry_hints_pointer_paths_do_not() {
     let topk = db
         .plan(&PtqQuery::eq(ATTR, 3).with_qt(0.1).with_top_k(5))
         .unwrap();
-    let full_hint = point.candidates[0].hint.unwrap();
-    let topk_hint = topk.candidates[0].hint.unwrap();
+    let full_hint = point.candidates[0].hints[0];
+    let topk_hint = topk.candidates[0].hints[0];
     assert!(
         topk_hint.est_run_pages <= full_hint.est_run_pages,
         "top-k window {} must not exceed the full run's {}",
