@@ -21,6 +21,69 @@ use upi_storage::DiskConfig;
 use crate::fractured::FracturedUpi;
 use crate::upi::DiscreteUpi;
 
+/// The device coefficients every cost formula is parameterized over —
+/// Table 6's constants plus the two seek-curve extensions of
+/// [`DiskConfig`] — as a plain value type the calibration layer can copy,
+/// adjust, and feed back in, instead of formulas reading the disk
+/// configuration directly.
+///
+/// Units are part of the contract:
+///
+/// | coefficient | unit | Table 6 name |
+/// |---|---|---|
+/// | `t_seek_ms` | ms per full random seek | `T_seek` |
+/// | `seek_floor_ms` | ms, minimum discontiguous move | — (settle + rotation) |
+/// | `t_read_ms_per_mb` | ms per MiB sequentially read | `T_read` |
+/// | `t_write_ms_per_mb` | ms per MiB sequentially written | `T_write` |
+/// | `cost_init_ms` | ms per file open | `Cost_init` |
+/// | `stroke_bytes` | bytes of head travel costing a full seek | — |
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceCoeffs {
+    /// Full random seek cost, ms (`T_seek`).
+    pub t_seek_ms: f64,
+    /// Minimum cost of any discontiguous head move, ms (settle +
+    /// rotational latency; the seek curve's floor).
+    pub seek_floor_ms: f64,
+    /// Sequential read rate, ms/MiB (`T_read`).
+    pub t_read_ms_per_mb: f64,
+    /// Sequential write rate, ms/MiB (`T_write`).
+    pub t_write_ms_per_mb: f64,
+    /// File open cost, ms (`Cost_init`).
+    pub cost_init_ms: f64,
+    /// Seek-distance normalization: a move of this many bytes (or more)
+    /// costs the full `t_seek_ms`.
+    pub stroke_bytes: f64,
+}
+
+impl DeviceCoeffs {
+    /// Lift the simulated disk's configuration into coefficients.
+    pub fn from_disk(disk: &DiskConfig) -> DeviceCoeffs {
+        DeviceCoeffs {
+            t_seek_ms: disk.seek_ms,
+            seek_floor_ms: disk.seek_floor_ms,
+            t_read_ms_per_mb: disk.read_ms_per_mb,
+            t_write_ms_per_mb: disk.write_ms_per_mb,
+            cost_init_ms: disk.init_ms,
+            stroke_bytes: disk.stroke_bytes as f64,
+        }
+    }
+
+    /// Milliseconds to sequentially read `bytes`.
+    pub fn read_cost_ms(&self, bytes: f64) -> f64 {
+        bytes * self.t_read_ms_per_mb / (1024.0 * 1024.0)
+    }
+
+    /// Milliseconds to sequentially write `bytes`.
+    pub fn write_cost_ms(&self, bytes: f64) -> f64 {
+        bytes * self.t_write_ms_per_mb / (1024.0 * 1024.0)
+    }
+
+    /// `Cost_init + H · T_seek`: open a file and descend its tree.
+    pub fn open_descend_ms(&self, height: usize) -> f64 {
+        self.cost_init_ms + height as f64 * self.t_seek_ms
+    }
+}
+
 /// Inputs of the cost formulas (Table 6).
 #[derive(Debug, Clone, Copy)]
 pub struct CostParams {
@@ -43,11 +106,23 @@ pub struct CostParams {
 impl CostParams {
     /// Assemble from the disk configuration plus heap-tree statistics.
     pub fn new(disk: &DiskConfig, height: usize, table_bytes: u64, n_leaf: u64) -> CostParams {
+        CostParams::with_coeffs(&DeviceCoeffs::from_disk(disk), height, table_bytes, n_leaf)
+    }
+
+    /// Assemble from explicit device coefficients — the
+    /// coefficient-parameterized entry point the calibrating planner uses
+    /// (the formulas below never read a [`DiskConfig`] directly).
+    pub fn with_coeffs(
+        coeffs: &DeviceCoeffs,
+        height: usize,
+        table_bytes: u64,
+        n_leaf: u64,
+    ) -> CostParams {
         CostParams {
-            t_seek_ms: disk.seek_ms,
-            t_read_ms_per_mb: disk.read_ms_per_mb,
-            t_write_ms_per_mb: disk.write_ms_per_mb,
-            cost_init_ms: disk.init_ms,
+            t_seek_ms: coeffs.t_seek_ms,
+            t_read_ms_per_mb: coeffs.t_read_ms_per_mb,
+            t_write_ms_per_mb: coeffs.t_write_ms_per_mb,
+            cost_init_ms: coeffs.cost_init_ms,
             height,
             table_bytes,
             n_leaf: n_leaf.max(1),
@@ -132,9 +207,15 @@ impl CostModel {
 
 /// Cost model for a standalone (non-fractured) UPI, using its heap size.
 pub fn model_for_upi(disk: &DiskConfig, upi: &DiscreteUpi) -> CostModel {
+    model_for_upi_coeffs(&DeviceCoeffs::from_disk(disk), upi)
+}
+
+/// [`model_for_upi`] over explicit device coefficients (the calibrating
+/// planner's entry point).
+pub fn model_for_upi_coeffs(coeffs: &DeviceCoeffs, upi: &DiscreteUpi) -> CostModel {
     let heap = upi.heap_stats();
-    CostModel::new(CostParams::new(
-        disk,
+    CostModel::new(CostParams::with_coeffs(
+        coeffs,
         heap.height,
         heap.bytes,
         heap.leaf_pages as u64,
@@ -143,9 +224,14 @@ pub fn model_for_upi(disk: &DiskConfig, upi: &DiscreteUpi) -> CostModel {
 
 /// Cost model for a fractured UPI, sized over all components' heaps.
 pub fn model_for_fractured(disk: &DiskConfig, f: &FracturedUpi) -> CostModel {
+    model_for_fractured_coeffs(&DeviceCoeffs::from_disk(disk), f)
+}
+
+/// [`model_for_fractured`] over explicit device coefficients.
+pub fn model_for_fractured_coeffs(coeffs: &DeviceCoeffs, f: &FracturedUpi) -> CostModel {
     let heap = f.main().heap_stats();
-    CostModel::new(CostParams::new(
-        disk,
+    CostModel::new(CostParams::with_coeffs(
+        coeffs,
         heap.height,
         f.total_bytes(),
         heap.leaf_pages as u64,
@@ -203,29 +289,70 @@ pub fn estimate_range_run_pages(upi: &DiscreteUpi, lo: u64, hi: u64) -> usize {
     ((frac * leaf_pages as f64).ceil() as usize).clamp(1, leaf_pages)
 }
 
-/// Estimated runtime of Query 1 on a standalone UPI with a cutoff index
-/// (the "Estimated" curves of Figure 12).
-pub fn estimate_query_cutoff_ms(disk: &DiskConfig, upi: &DiscreteUpi, value: u64, qt: f64) -> f64 {
-    let model = model_for_upi(disk, upi);
+/// The §6.3 cutoff-query cost split into its calibration halves:
+/// `(fixed, dominant)` where fixed = file opens + tree descents (device
+/// constants) and dominant = the data-dependent selectivity-scaled scan
+/// plus the saturating pointer dereferences. The single source both the
+/// calibrating planner (which rescales only the dominant half) and
+/// [`estimate_query_cutoff_ms`] (their sum) derive from — so the two can
+/// never drift apart.
+pub fn cutoff_query_cost_parts(
+    coeffs: &DeviceCoeffs,
+    upi: &DiscreteUpi,
+    value: u64,
+    qt: f64,
+) -> (f64, f64) {
+    let model = model_for_upi_coeffs(coeffs, upi);
     let sel = estimate_heap_selectivity(upi, value, qt);
+    let opens = coeffs.open_descend_ms(upi.heap_stats().height);
     if qt >= upi.config().cutoff {
         // Heap-only path: one file open + descent + sequential run.
-        model.params.cost_scan_ms() * sel
-            + (model.params.cost_init_ms + model.params.height as f64 * model.params.t_seek_ms)
+        (opens, model.params.cost_scan_ms() * sel)
     } else {
-        model.cost_cutoff_ms(sel, estimate_cutoff_pointers(upi, value, qt))
+        // `Cost_cut`: two opens (heap + cutoff index) + scan + f(x).
+        (
+            2.0 * opens,
+            model.params.cost_scan_ms() * sel
+                + model.pointer_fetch_ms(estimate_cutoff_pointers(upi, value, qt)),
+        )
     }
 }
 
+/// Estimated runtime of Query 1 on a standalone UPI with a cutoff index
+/// (the "Estimated" curves of Figure 12) — the sum of
+/// [`cutoff_query_cost_parts`].
+pub fn estimate_query_cutoff_ms(disk: &DiskConfig, upi: &DiscreteUpi, value: u64, qt: f64) -> f64 {
+    let (fixed, dominant) = cutoff_query_cost_parts(&DeviceCoeffs::from_disk(disk), upi, value, qt);
+    fixed + dominant
+}
+
+/// The §6.2 fractured cost for a given selectivity, split into its
+/// calibration halves: `(fixed, dominant)` where fixed = one open +
+/// descent per component (`N_frac + 1`) and dominant = the
+/// selectivity-scaled scan over all components' bytes (see
+/// [`cutoff_query_cost_parts`] for why the split is shared).
+pub fn fractured_cost_parts(
+    coeffs: &DeviceCoeffs,
+    f: &FracturedUpi,
+    selectivity: f64,
+) -> (f64, f64) {
+    let model = model_for_fractured_coeffs(coeffs, f);
+    let components = (f.n_fractures() + 1) as f64;
+    (
+        components * coeffs.open_descend_ms(f.main().heap_stats().height),
+        model.params.cost_scan_ms() * selectivity,
+    )
+}
+
 /// Estimated runtime of Query 1 on a fractured UPI (the "Estimated" series
-/// of Figure 10).
+/// of Figure 10) — the sum of [`fractured_cost_parts`] at the point
+/// query's heap selectivity.
 pub fn estimate_query_fractured_ms(
     disk: &DiskConfig,
     f: &FracturedUpi,
     value: u64,
     qt: f64,
 ) -> f64 {
-    let model = model_for_fractured(disk, f);
     let main = f.main();
     let heap_entries = main.heap_stats().entries.max(1) as f64;
     let sel = (main
@@ -233,7 +360,8 @@ pub fn estimate_query_fractured_ms(
         .est_heap_count_ge(value, qt, main.config().cutoff)
         / heap_entries)
         .min(1.0);
-    model.cost_fractured_ms(sel, f.n_fractures() + 1)
+    let (fixed, dominant) = fractured_cost_parts(&DeviceCoeffs::from_disk(disk), f, sel);
+    fixed + dominant
 }
 
 #[cfg(test)]

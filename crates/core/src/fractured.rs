@@ -334,13 +334,17 @@ impl FracturedUpi {
     /// `limit = Some(k)` additionally maintains a running k-th-confidence
     /// **watermark** over the surviving rows seen so far (heads, emitted
     /// rows, and the insert buffer — each a distinct row of the merged
-    /// output): once a component's next cutoff candidate falls below the
-    /// watermark, that component's cutoff scan stops outright. This is
-    /// sound because suppression only *removes* rows — it can never raise
-    /// another row's confidence — so k rows at/above the watermark
-    /// already prove the tail of every probability-descending component
-    /// list irrelevant. Per-component limits, by contrast, remain unsound
-    /// (a component's k-th row may be suppressed by a newer delete).
+    /// output): once a component's next cutoff candidate — or next
+    /// **keyed heap entry** — falls below the watermark, that component's
+    /// scan stops outright; suppressed rows and below-watermark tails are
+    /// skipped *before their tuples are decoded* (the heap key carries
+    /// the confidence), so a long suppressed heap stretch costs no
+    /// decodes and no extra leaf reads. This is sound because suppression
+    /// only *removes* rows — it can never raise another row's confidence
+    /// — so k rows at/above the watermark already prove the tail of every
+    /// probability-descending component list irrelevant. Per-component
+    /// limits, by contrast, remain unsound (a component's k-th row may be
+    /// suppressed by a newer delete).
     pub fn ptq_run(
         &self,
         value: u64,

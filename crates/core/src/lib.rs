@@ -56,7 +56,7 @@ pub mod tuning;
 pub mod upi;
 
 pub use continuous::{ContinuousConfig, ContinuousSecondary, ContinuousUpi, SecondaryUTree};
-pub use cost::{CostModel, CostParams};
+pub use cost::{CostModel, CostParams, DeviceCoeffs};
 pub use cutoff::{CutoffIndex, CutoffRangeRun};
 pub use exec::{group_count, sort_results, top_k, ExecError, PtqResult};
 pub use fractured::{
@@ -64,7 +64,7 @@ pub use fractured::{
 };
 pub use heap::{HeapScanRun, UnclusteredHeap};
 pub use pii::{Pii, PiiRun};
-pub use secondary::{SecEntry, SecScanRun, SecondaryIndex};
+pub use secondary::{PointerHistogram, SecEntry, SecScanRun, SecondaryIndex};
 pub use table::{TableLayout, UncertainTable};
 pub use tuning::{CutoffChoice, TuningAdvisor, WorkloadProfile};
 pub use upi::{DiscreteUpi, DistinctScan, HeapRun, PointRun, RangeRun, SecondaryRun, UpiConfig};

@@ -14,6 +14,8 @@
 //! Algorithm 3 — lives in [`crate::upi::DiscreteUpi::ptq_secondary`]
 //! because it needs the UPI heap.
 
+use std::collections::HashMap;
+
 use upi_btree::BTree;
 use upi_storage::error::Result;
 use upi_storage::Store;
@@ -33,12 +35,209 @@ pub struct SecEntry {
     pub pointers: Vec<(u64, f64)>,
 }
 
+/// Maximum number of page-region buckets a [`PointerHistogram`] keeps.
+/// When the observed primary-value range outgrows this, bucket width
+/// doubles and adjacent buckets fold — coarse regions are the point: each
+/// bucket stands for a contiguous slice of the (value-clustered) heap.
+const REGION_BUCKETS: usize = 256;
+
+/// Maximum distinct secondary values tracked with their own per-region
+/// distribution; beyond this, new values fall back to the global
+/// population (bounds the histogram's memory on adversarial key sets).
+const MAX_TRACKED_VALUES: usize = 4096;
+
+/// A coarse histogram of where a secondary index's heap pointers land in
+/// **primary-value space** — and, because the UPI heap is clustered by
+/// primary value, approximately where they land *physically*.
+///
+/// Regions are contiguous primary-value ranges of width `2^shift`,
+/// addressed by their absolute bucket number `value >> shift` and kept to
+/// at most [`REGION_BUCKETS`] occupied-span buckets (width doubles and
+/// buckets fold when the range grows). Counts are maintained at insert /
+/// bulk-load / delete time, **per secondary value**: tailored secondary
+/// access fetches one value's entries, and real datasets correlate the
+/// secondary attribute with the clustering attribute (one country's
+/// institutions), so one value's pointers typically occupy a small slice
+/// of the heap that a population-wide histogram would smear away.
+///
+/// The planner's coverage term reads it through
+/// [`covered_fraction`](Self::covered_fraction): the expected number of
+/// distinct heap regions `n` dereferences of `value`'s entries touch,
+/// over the whole population's span — the measured replacement for the
+/// old `repl^1.5` concentration guess, which assumed pointer overlap
+/// instead of observing it.
+#[derive(Debug, Clone, Default)]
+pub struct PointerHistogram {
+    /// Region width is `1 << shift` primary-value units.
+    shift: u32,
+    /// Pointer counts per absolute region id (`primary value >> shift`),
+    /// whole population.
+    buckets: HashMap<u64, u64>,
+    /// Pointer counts per region, keyed by **secondary value**.
+    per_value: HashMap<u64, HashMap<u64, u64>>,
+    /// Total pointers recorded (= Σ buckets, kept for O(1) reads).
+    total: u64,
+}
+
+impl PointerHistogram {
+    /// Quantize a pointer's weight into integer mass units. Callers pass
+    /// `entry confidence × pointer probability`: a probe for some value
+    /// fetches an entry in proportion to the entry's own confidence, and
+    /// then targets a copy in proportion to the copy's probability — so a
+    /// tuple that barely matches the value (or a rare spill copy)
+    /// contributes almost nothing to the value's region footprint.
+    fn mass(weight: f64) -> u64 {
+        ((weight * 4096.0).round() as u64).max(1)
+    }
+
+    /// Record one pointer to primary value `pv` carried by an entry of
+    /// secondary value `value`, weighted by
+    /// `entry confidence × pointer probability` (see [`Self::mass`]).
+    pub fn add(&mut self, value: u64, pv: u64, weight: f64) {
+        let w = Self::mass(weight);
+        self.total += w;
+        let b = pv >> self.shift;
+        *self.buckets.entry(b).or_insert(0) += w;
+        if self.per_value.contains_key(&value) || self.per_value.len() < MAX_TRACKED_VALUES {
+            *self
+                .per_value
+                .entry(value)
+                .or_default()
+                .entry(b)
+                .or_insert(0) += w;
+        }
+        if self.span() > REGION_BUCKETS {
+            self.coarsen();
+        }
+    }
+
+    /// Remove one previously recorded pointer (saturating — widths may
+    /// have coarsened since it was added).
+    pub fn remove(&mut self, value: u64, pv: u64, weight: f64) {
+        let w = Self::mass(weight);
+        let b = pv >> self.shift;
+        if let Some(c) = self.buckets.get_mut(&b) {
+            let taken = w.min(*c);
+            *c -= taken;
+            self.total -= taken;
+            if *c == 0 {
+                self.buckets.remove(&b);
+            }
+        }
+        if let Some(m) = self.per_value.get_mut(&value) {
+            if let Some(c) = m.get_mut(&b) {
+                *c = c.saturating_sub(w);
+                if *c == 0 {
+                    m.remove(&b);
+                }
+            }
+            if m.is_empty() {
+                self.per_value.remove(&value);
+            }
+        }
+    }
+
+    /// Double the region width, folding adjacent buckets (absolute ids
+    /// halve).
+    fn coarsen(&mut self) {
+        self.shift += 1;
+        let fold = |m: &HashMap<u64, u64>| {
+            let mut out: HashMap<u64, u64> = HashMap::new();
+            for (&b, &c) in m {
+                *out.entry(b >> 1).or_insert(0) += c;
+            }
+            out
+        };
+        self.buckets = fold(&self.buckets);
+        self.per_value = self.per_value.iter().map(|(&v, m)| (v, fold(m))).collect();
+    }
+
+    /// Total pointer mass recorded (probability-weighted units).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Regions spanned from the first to the last occupied one
+    /// (inclusive) — the heap slice the whole pointer population covers.
+    pub fn span(&self) -> usize {
+        let lo = self.buckets.keys().min();
+        let hi = self.buckets.keys().max();
+        match (lo, hi) {
+            (Some(&lo), Some(&hi)) => (hi - lo + 1) as usize,
+            _ => 0,
+        }
+    }
+
+    /// Expected number of **distinct** regions hit by `n` dereferences of
+    /// `value`'s entries: `Σ_b 1 − (1 − c_b/total_v)^n` over `value`'s
+    /// own region distribution (the whole population's when `value` is
+    /// untracked). Correlated values occupy few regions; skewed pointer
+    /// populations (the overlap Algorithm 3 exploits) concentrate
+    /// further.
+    pub fn expected_regions(&self, value: u64, n: f64) -> f64 {
+        if n < 1.0 {
+            return 0.0;
+        }
+        let dist = self.per_value.get(&value).unwrap_or(&self.buckets);
+        let total: u64 = dist.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        dist.values()
+            .map(|&c| 1.0 - (1.0 - c as f64 / total as f64).powf(n))
+            .sum()
+    }
+
+    /// The **effective** number of regions `value`'s pointer mass
+    /// occupies: the perplexity `exp(H)` of its region distribution.
+    /// Tailored access is not random draws — entries *steer* their fetch
+    /// into already-pinned regions — so for large fetch counts the span
+    /// is bounded by where the bulk of the mass lives, and perplexity
+    /// discounts the rare-tail regions the steering avoids (a tuple's
+    /// low-probability spill alternatives).
+    pub fn effective_regions(&self, value: u64) -> f64 {
+        let dist = self.per_value.get(&value).unwrap_or(&self.buckets);
+        let total: u64 = dist.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let entropy: f64 = dist
+            .values()
+            .map(|&c| {
+                let p = c as f64 / total as f64;
+                -p * p.ln()
+            })
+            .sum();
+        entropy.exp()
+    }
+
+    /// Fraction of the covered value range (hence, approximately, of the
+    /// clustered heap) that `n` tailored dereferences of `value`'s
+    /// entries are expected to touch —
+    /// `min(expected_regions(value, n), effective_regions(value)) / span`,
+    /// in `(0, 1]`: the n-draw expectation bounds small fetches, the
+    /// effective support bounds large ones (see
+    /// [`effective_regions`](Self::effective_regions)). Returns 1.0 (no
+    /// concentration claim) when nothing is recorded.
+    pub fn covered_fraction(&self, value: u64, n: f64) -> f64 {
+        let span = self.span();
+        if span == 0 || self.total == 0 || n < 1.0 {
+            return 1.0;
+        }
+        let regions = self
+            .expected_regions(value, n)
+            .min(self.effective_regions(value));
+        (regions / span as f64).clamp(f64::MIN_POSITIVE, 1.0)
+    }
+}
+
 /// A secondary index on one discrete uncertain attribute of a UPI table.
 pub struct SecondaryIndex {
     attr: usize,
     tree: BTree,
     max_pointers: usize,
     stats: AttrStats,
+    regions: PointerHistogram,
 }
 
 impl SecondaryIndex {
@@ -57,6 +256,7 @@ impl SecondaryIndex {
             tree: BTree::create(store, name, page_size)?,
             max_pointers,
             stats: AttrStats::new(),
+            regions: PointerHistogram::default(),
         })
     }
 
@@ -107,9 +307,12 @@ impl SecondaryIndex {
 
     /// Bulk-load prepared entries (must be sorted by key).
     pub fn bulk_load(&mut self, entries: Vec<(Vec<u8>, Vec<u8>)>) -> Result<u64> {
-        for (key, _) in &entries {
+        for (key, payload) in &entries {
             let (v, p, _tid) = keys::decode_entry_key(key);
             self.stats.add(v, p, false);
+            for (pv, pp) in Self::decode_payload(payload) {
+                self.regions.add(v, pv, p * pp);
+            }
         }
         self.tree.bulk_load(entries)
     }
@@ -117,19 +320,38 @@ impl SecondaryIndex {
     /// Index one tuple.
     pub fn insert_for(&mut self, t: &Tuple, heap_ptrs: &[(u64, f64)]) -> Result<()> {
         let payload = self.payload(heap_ptrs);
+        let kept = &heap_ptrs[..heap_ptrs.len().min(self.max_pointers)];
         for &(v, p) in t.discrete(self.attr).alternatives() {
             self.tree
                 .insert(&keys::entry_key(v, p * t.exist, t.id.0), &payload)?;
             self.stats.add(v, p * t.exist, false);
+            for &(pv, pp) in kept {
+                self.regions.add(v, pv, p * t.exist * pp);
+            }
         }
         Ok(())
     }
 
     /// Remove a tuple's entries.
     pub fn delete_for(&mut self, t: &Tuple) -> Result<()> {
+        // The stored pointer list (needed to un-count its regions) is the
+        // payload of any of the tuple's entries; read it off the first
+        // alternative before the keys disappear. The page is the same one
+        // the delete below touches, so this costs no extra cold I/O.
+        let pointers = match t.discrete(self.attr).alternatives().first() {
+            Some(&(v, p)) => self
+                .tree
+                .get(&keys::entry_key(v, p * t.exist, t.id.0))?
+                .map(|payload| Self::decode_payload(&payload))
+                .unwrap_or_default(),
+            None => Vec::new(),
+        };
         for &(v, p) in t.discrete(self.attr).alternatives() {
             self.tree.delete(&keys::entry_key(v, p * t.exist, t.id.0))?;
             self.stats.remove(v, p * t.exist, false);
+            for &(pv, pp) in &pointers {
+                self.regions.remove(v, pv, p * t.exist * pp);
+            }
         }
         Ok(())
     }
@@ -196,6 +418,13 @@ impl SecondaryIndex {
     /// granularity, so only the per-value totals are populated.
     pub fn stats(&self) -> &AttrStats {
         &self.stats
+    }
+
+    /// Where this index's heap pointers land, as a coarse per-region
+    /// histogram over primary-value space — the planner's coverage term
+    /// for tailored secondary access (see [`PointerHistogram`]).
+    pub fn pointer_regions(&self) -> &PointerHistogram {
+        &self.regions
     }
 }
 

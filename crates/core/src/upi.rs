@@ -563,25 +563,53 @@ pub struct HeapRun<'a> {
     qt: f64,
 }
 
+impl HeapRun<'_> {
+    /// [`Iterator::next`] with a confidence watermark and a tuple-id
+    /// filter, both applied to the **keyed** entry before the tuple bytes
+    /// are decoded: the key carries `(value, prob, tid)`, so a row failing
+    /// `keep` (e.g. a fracture-suppressed tuple) is skipped without
+    /// decoding its payload, and the first entry below `min_conf` ends the
+    /// run without reading further leaves — the run is probability-
+    /// descending, so a long suppressed (or below-watermark) tail costs
+    /// zero decodes and no extra page I/O. Callers must only ever *raise*
+    /// `min_conf` across calls.
+    pub fn next_where(
+        &mut self,
+        min_conf: f64,
+        keep: &dyn Fn(u64) -> bool,
+    ) -> Option<Result<PtqResult>> {
+        loop {
+            if !self.cur.valid() {
+                return None;
+            }
+            let (v, prob, tid) = keys::decode_entry_key(self.cur.key());
+            if v != self.value || prob < self.qt || prob < min_conf {
+                return None;
+            }
+            if !keep(tid) {
+                // Suppressed: skip past it pre-decode.
+                if let Err(e) = self.cur.advance() {
+                    return Some(Err(e));
+                }
+                continue;
+            }
+            let tuple = decode_tuple(self.cur.value());
+            if let Err(e) = self.cur.advance() {
+                return Some(Err(e));
+            }
+            return Some(Ok(PtqResult {
+                tuple,
+                confidence: prob,
+            }));
+        }
+    }
+}
+
 impl Iterator for HeapRun<'_> {
     type Item = Result<PtqResult>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        if !self.cur.valid() {
-            return None;
-        }
-        let (v, prob, _tid) = keys::decode_entry_key(self.cur.key());
-        if v != self.value || prob < self.qt {
-            return None;
-        }
-        let tuple = decode_tuple(self.cur.value());
-        if let Err(e) = self.cur.advance() {
-            return Some(Err(e));
-        }
-        Some(Ok(PtqResult {
-            tuple,
-            confidence: prob,
-        }))
+        self.next_where(f64::NEG_INFINITY, &|_| true)
     }
 }
 
@@ -648,17 +676,17 @@ pub struct PointRun<'a> {
 }
 
 impl PointRun<'_> {
-    /// Pull the next heap-run row passing `keep` into `run_head`.
-    fn fill_run_head(&mut self, keep: &dyn Fn(u64) -> bool) -> Result<()> {
+    /// Pull the next heap-run row passing `keep` into `run_head`. The
+    /// filter and the watermark are pushed down into
+    /// [`HeapRun::next_where`], so suppressed rows are skipped before
+    /// their payload is decoded and a below-`min_conf` stretch ends the
+    /// run without scanning it entry-by-entry (sound: the run descends in
+    /// confidence and callers only ever raise the watermark).
+    fn fill_run_head(&mut self, min_conf: f64, keep: &dyn Fn(u64) -> bool) -> Result<()> {
         while self.run_head.is_none() {
             let Some(run) = &mut self.run else { break };
-            match run.next() {
-                Some(r) => {
-                    let r = r?;
-                    if keep(r.tuple.id.0) {
-                        self.run_head = Some(r);
-                    }
-                }
+            match run.next_where(min_conf, keep) {
+                Some(r) => self.run_head = Some(r?),
                 None => self.run = None,
             }
         }
@@ -723,7 +751,7 @@ impl PointRun<'_> {
         min_conf: f64,
         keep: &dyn Fn(u64) -> bool,
     ) -> Option<Result<PtqResult>> {
-        if let Err(e) = self.fill_run_head(keep) {
+        if let Err(e) = self.fill_run_head(min_conf, keep) {
             return Some(Err(e));
         }
         // While the run head is at/above C, no cutoff entry can beat it:

@@ -6,6 +6,8 @@ use upi::{
 };
 use upi_storage::{BufferPool, DiskConfig};
 
+use crate::cost::CostModel;
+
 /// Everything the planner may route a query through, with the disk
 /// parameters it prices I/O against. All references borrow the caller's
 /// live structures, so estimates always reflect current sizes and
@@ -18,6 +20,12 @@ use upi_storage::{BufferPool, DiskConfig};
 pub struct Catalog<'a> {
     /// Disk cost parameters (Table 6).
     pub disk: &'a DiskConfig,
+    /// The pricing authority every candidate's `est_ms` comes from:
+    /// device coefficients plus per-path-kind calibration scales.
+    /// Defaults to the uncalibrated model over `disk`; a session that has
+    /// refit from observed executions injects its calibrated copy via
+    /// [`with_cost_model`](Self::with_cost_model).
+    pub cost: CostModel,
     /// A discrete UPI (clustered heap + cutoff index + secondaries).
     pub upi: Option<&'a DiscreteUpi>,
     /// A fractured (LSM-maintained) UPI.
@@ -40,10 +48,12 @@ pub struct Catalog<'a> {
 }
 
 impl<'a> Catalog<'a> {
-    /// Empty catalog over the given disk parameters.
+    /// Empty catalog over the given disk parameters, priced with the
+    /// uncalibrated cost model.
     pub fn new(disk: &'a DiskConfig) -> Catalog<'a> {
         Catalog {
             disk,
+            cost: CostModel::from_disk(disk),
             upi: None,
             fractured: None,
             heap: None,
@@ -124,6 +134,14 @@ impl<'a> Catalog<'a> {
             "catalog already has a secondary U-Tree registered"
         );
         self.utree = Some(utree);
+        self
+    }
+
+    /// Replace the pricing model (e.g. with a session's calibrated copy).
+    /// Unlike the structure slots this is a plain overwrite — the catalog
+    /// always starts with the uncalibrated default.
+    pub fn with_cost_model(mut self, model: CostModel) -> Catalog<'a> {
+        self.cost = model;
         self
     }
 

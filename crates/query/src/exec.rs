@@ -17,7 +17,7 @@ use upi::exec::group_count;
 use upi::{DiscreteUpi, FracturedUpi, HeapRun, HeapScanRun, Pii, PtqResult, UnclusteredHeap};
 use upi_storage::codec::{dequantize_prob, quantize_prob};
 use upi_storage::error::Result as StorageResult;
-use upi_storage::PoolCounters;
+use upi_storage::{IoStats, PoolCounters};
 use upi_uncertain::Tuple;
 
 use crate::catalog::Catalog;
@@ -36,11 +36,22 @@ pub struct QueryOutput {
     /// Buffer-pool counters attributed to this execution, when the
     /// catalog registered a pool (`Catalog::with_pool`). Feed back into
     /// [`PhysicalPlan::explain_with_io`] to render the plan with its
-    /// measured page traffic.
+    /// measured page traffic (the demand-miss / read-ahead split is on
+    /// the counters: `demand_pages()` / `sequential_pages()`).
     pub io: Option<PoolCounters>,
+    /// Simulated device time attributed to this execution (seek +
+    /// transfer + open milliseconds), when the catalog registered a pool.
+    /// This is the **observed side** of cost-model calibration: the same
+    /// quantity the benchmarks call "measured runtime", per query.
+    pub device: Option<IoStats>,
 }
 
 impl QueryOutput {
+    /// Measured simulated milliseconds of this execution, if the catalog
+    /// registered a pool.
+    pub fn observed_ms(&self) -> Option<f64> {
+        self.device.as_ref().map(|d| d.total_ms())
+    }
     /// Row count (or number of groups for aggregates).
     pub fn len(&self) -> usize {
         match &self.groups {
@@ -640,6 +651,7 @@ pub(crate) fn execute(
 ) -> Result<QueryOutput, QueryError> {
     let q = &plan.query;
     let pool_before = catalog.pool.map(|p| p.counters());
+    let device_before = catalog.pool.map(|p| p.device_stats());
     // Planner-aware prefetch: run-shaped paths carry each expected run's
     // start page and estimated length — one hint for single-structure
     // paths, one *per component* for fracture-parallel merges — so the
@@ -697,12 +709,16 @@ pub(crate) fn execute(
     let io = catalog
         .pool
         .map(|p| p.counters().since(&pool_before.unwrap()));
+    let device = catalog
+        .pool
+        .map(|p| p.device_stats().since(&device_before.unwrap()));
     if let Some(field) = q.group_count {
         // Aggregate output: rows feed the counting sink and are dropped.
         return Ok(QueryOutput {
             rows: Vec::new(),
             groups: Some(group_count(&rows, field)?),
             io,
+            device,
         });
     }
     if let Some(fields) = &q.projection {
@@ -712,5 +728,6 @@ pub(crate) fn execute(
         rows,
         groups: None,
         io,
+        device,
     })
 }

@@ -24,11 +24,17 @@
 //!    evaluation are all expressible.
 //! 2. **The planner** ([`PtqQuery::plan`]) — enumerates every *candidate*
 //!    access path the [`Catalog`] supports for the predicate, prices each
-//!    with the §6 cost models (`upi::CostModel`) fed by **live
+//!    through the catalog's **self-calibrating [`CostModel`]** (the §6
+//!    formulas over `upi::DeviceCoeffs` plus per-path-kind scales refit
+//!    from observed executions — see [`cost`]) fed by **live
 //!    statistics** (tree heights, live bytes, leaf counts, the §6.1
-//!    probability histograms, fracture counts), and returns a
-//!    [`PhysicalPlan`] whose [`explain`](PhysicalPlan::explain) rendering
-//!    shows the operator tree and the full ranked candidate table.
+//!    probability histograms, per-value pointer-region histograms,
+//!    fracture counts), and returns a [`PhysicalPlan`] whose
+//!    [`explain`](PhysicalPlan::explain) rendering shows the operator
+//!    tree, raw vs. calibrated cost, and the full ranked candidate
+//!    table. [`UncertainDb`] closes the loop automatically: each
+//!    executed query records an `(estimated, observed)` sample and
+//!    [`UncertainDb::recalibrate`] refits.
 //! 3. **The executor** ([`PhysicalPlan::execute`]) — iterator-based
 //!    streaming operators (`IndexRun`, `CutoffMerge`, `UpiPointMerge`,
 //!    `UpiRange`, `SecondaryProbe`, `FracturedMerge`, `PiiProbe`,
@@ -82,6 +88,7 @@
 //! `upi::exec` and are re-exported here unchanged.
 
 pub mod catalog;
+pub mod cost;
 pub mod error;
 pub mod exec;
 pub mod plan;
@@ -90,6 +97,7 @@ pub mod query;
 pub mod session;
 
 pub use catalog::Catalog;
+pub use cost::{CalibrationStore, CostModel, PathCost, PathKind, RefitOutcome};
 pub use error::{PlanError, QueryError};
 pub use exec::QueryOutput;
 pub use plan::{AccessPath, CandidatePlan, PhysicalPlan};

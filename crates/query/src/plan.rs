@@ -1,6 +1,7 @@
 //! Physical plans: access paths, cost-ranked candidates, `explain()`.
 
 use crate::catalog::Catalog;
+use crate::cost::{PathCost, PathKind};
 use crate::error::QueryError;
 use crate::exec::QueryOutput;
 use crate::query::{Predicate, PtqQuery};
@@ -63,6 +64,25 @@ pub enum AccessPath {
 }
 
 impl AccessPath {
+    /// The calibration family this path is priced (and refit) under.
+    pub fn kind(&self) -> PathKind {
+        match self {
+            AccessPath::UpiHeap { .. } => PathKind::PointMerge,
+            AccessPath::UpiRange => PathKind::RangeRun,
+            AccessPath::UpiSecondary { .. } => PathKind::SecondaryProbe,
+            AccessPath::FracturedProbe
+            | AccessPath::FracturedRange
+            | AccessPath::FracturedSecondary { .. } => PathKind::FracturedMerge,
+            AccessPath::PiiProbe { .. }
+            | AccessPath::PiiRange { .. }
+            | AccessPath::UTreeCircle
+            | AccessPath::ContinuousSecondaryProbe { .. } => PathKind::PiiProbe,
+            AccessPath::HeapScan | AccessPath::UpiFullScan | AccessPath::ContinuousCircle => {
+                PathKind::Scan
+            }
+        }
+    }
+
     /// Short display name for candidate tables.
     pub fn label(&self) -> String {
         match self {
@@ -113,8 +133,13 @@ impl AccessPath {
 pub struct CandidatePlan {
     /// The access path.
     pub path: AccessPath,
-    /// Estimated simulated-disk milliseconds.
+    /// Estimated simulated-disk milliseconds (calibrated:
+    /// `cost.est_ms()`).
     pub est_ms: f64,
+    /// The estimate's decomposition — path kind, fixed vs. dominant term,
+    /// and the calibration scale in force — so an executed plan can feed
+    /// the exact pricing ingredients back into the `CalibrationStore`.
+    pub cost: PathCost,
     /// How the estimate was assembled (for `explain()`).
     pub note: String,
     /// Prefetch hints for run-shaped paths: each entry names the first
@@ -174,6 +199,16 @@ impl PhysicalPlan {
             self.path().label(),
             self.est_ms()
         ));
+        let cost = &self.candidates[0].cost;
+        out.push_str(&format!(
+            "cost model: {} raw {:.1} ms -> calibrated {:.1} ms (scale {:.2}, {} sample{})\n",
+            cost.kind.label(),
+            cost.raw_ms(),
+            cost.est_ms(),
+            cost.scale,
+            cost.samples,
+            if cost.samples == 1 { "" } else { "s" }
+        ));
         for line in operator_tree(&self.query, self.path()) {
             out.push_str(&format!("  {line}\n"));
         }
@@ -200,10 +235,10 @@ impl PhysicalPlan {
         }
         if let Some(io) = io {
             out.push_str(&format!(
-                "buffer pool: {} pages read ({} misses + {} readahead), {} hits ({} from readahead), {} flush errors\n",
+                "buffer pool: {} pages read ({} demand + {} sequential read-ahead), {} hits ({} from readahead), {} flush errors\n",
                 io.pages_read(),
-                io.misses,
-                io.readahead,
+                io.demand_pages(),
+                io.sequential_pages(),
                 io.hits,
                 io.readahead_hits,
                 io.flush_errors

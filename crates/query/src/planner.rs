@@ -1,77 +1,97 @@
 //! Plan enumeration and costing.
 //!
 //! Every candidate an access structure in the [`Catalog`] supports for the
-//! query's predicate is priced in **simulated-disk milliseconds** with the
-//! §6 cost models over live statistics:
+//! query's predicate is priced in **simulated-disk milliseconds** by the
+//! catalog's [`CostModel`](crate::cost::CostModel) — the single pricing
+//! authority — with the §6 cost models over live statistics:
 //!
-//! * clustered-probe paths reuse `upi::cost::estimate_query_cutoff_ms` /
-//!   `estimate_query_fractured_ms` verbatim (those are the models Figures
-//!   10/12 validate against measurements);
+//! * clustered-probe paths derive from the shared
+//!   `upi::cost::cutoff_query_cost_parts` / `fractured_cost_parts`
+//!   `(fixed, dominant)` decompositions — the same functions whose sums
+//!   are `estimate_query_cutoff_ms` / `estimate_query_fractured_ms`
+//!   (the models Figures 10/12 validate against measurements), so the
+//!   planner and the figure estimates cannot drift;
 //! * pointer-chasing paths (PII probe, secondary access, U-Tree circle)
-//!   use [`bitmap_fetch_ms`], a bitmap-scan model derived from the
-//!   simulated disk's own move-cost curve — sparse target sets pay seeks,
-//!   dense sets degenerate into a sequential read of the span (the §6.3
-//!   saturation mechanism, priced from disk parameters instead of the
-//!   fitted sigmoid) — with pointer counts from the structure's
-//!   probability histogram;
-//! * tailored secondary access concentrates its fetch span by
-//!   `repl^1.5` (repl = average heap copies per tuple): single-pointer
-//!   entries pin ~1/repl of the heap and multi-pointer entries partially
-//!   reuse those regions — the pointer overlap Algorithm 3 exploits;
+//!   use [`CostModel::bitmap_fetch_ms`](crate::cost::CostModel::bitmap_fetch_ms),
+//!   a bitmap-scan model derived from the simulated disk's own move-cost
+//!   curve — sparse target sets pay seeks, dense sets degenerate into a
+//!   sequential read of the span (the §6.3 saturation mechanism, priced
+//!   from device coefficients instead of the fitted sigmoid) — with
+//!   pointer counts from the structure's probability histogram;
+//! * tailored secondary access concentrates its fetch span by the
+//!   **measured** pointer-region coverage: each `SecondaryIndex` keeps a
+//!   coarse per-region histogram of where its heap pointers land
+//!   (`upi::PointerHistogram`), and the span is the heap fraction the
+//!   expected distinct regions of the query's fetches cover — replacing
+//!   the old `repl^1.5` concentration guess with an observed quantity;
 //! * scans are `Cost_init + T_read · S_table`, scaled by histogram
 //!   selectivity for range scans.
+//!
+//! ## Coefficients, units, and calibration
+//!
+//! Every estimate decomposes as `est = fixed + scale(kind) · dominant`
+//! (see [`crate::cost`] for the full contract):
+//!
+//! * **Device coefficients** (`upi::DeviceCoeffs`, all unit-documented on
+//!   the type): `t_seek_ms` [ms/seek], `seek_floor_ms` [ms/move],
+//!   `t_read_ms_per_mb` / `t_write_ms_per_mb` [ms/MiB], `cost_init_ms`
+//!   [ms/open], `stroke_bytes` [bytes/full-stroke]. These price the
+//!   *fixed* term (opens + descents) and the shape of the dominant term;
+//!   they are never refit — the simulator charges them exactly.
+//! * **Per-path-kind scales** [dimensionless], initially 1.0: the
+//!   calibrated coefficients. After each executed plan the session
+//!   records `(kind, fixed, dominant, observed device ms)` into a
+//!   `CalibrationStore`; `CostModel::refit` solves the per-kind
+//!   least-squares scale on the dominant term, **bounded** to at most
+//!   [`REFIT_MAX_STEP`](crate::cost::REFIT_MAX_STEP)× movement per pass
+//!   and hard-clamped to
+//!   [`SCALE_MIN`](crate::cost::SCALE_MIN)..[`SCALE_MAX`](crate::cost::SCALE_MAX),
+//!   so feedback cannot oscillate the plan choice. `explain()` shows raw
+//!   next to calibrated cost with the sample count behind the scale.
 
 use upi::cost::{self};
-use upi::{DiscreteUpi, UnclusteredHeap};
-use upi_storage::{AccessHint, DiskConfig};
+use upi::{DiscreteUpi, SecondaryIndex, UnclusteredHeap};
+use upi_storage::AccessHint;
 
 use crate::catalog::Catalog;
+use crate::cost::CostModel;
 use crate::error::PlanError;
 use crate::plan::{AccessPath, CandidatePlan, PhysicalPlan};
 use crate::query::{Predicate, PtqQuery};
 
-/// `Cost_init + H · T_seek`: open a file and descend its tree.
-fn open_descend(disk: &DiskConfig, height: usize) -> f64 {
-    disk.init_ms + height as f64 * disk.seek_ms
-}
-
-/// Cost of dereferencing `k` uniformly scattered targets over a
-/// `span_bytes` file in sorted physical order (PostgreSQL-style bitmap
-/// fetch), mirroring the simulated disk's move-cost curve: each hop pays
-/// `min(seek curve, read-through)`, so sparse target sets pay seeks and
-/// dense sets degenerate into a sequential read of the span — the
-/// *saturation* mechanism of §6.3, priced from the disk parameters
-/// instead of the fitted sigmoid.
-fn bitmap_fetch_ms(disk: &DiskConfig, span_bytes: f64, page_bytes: f64, k: f64) -> f64 {
-    if k < 1.0 || span_bytes <= 0.0 {
-        return 0.0;
-    }
-    let page_bytes = page_bytes.max(512.0);
-    let pages = (span_bytes / page_bytes).max(1.0);
-    // Expected distinct pages hit by k uniform targets.
-    let distinct = (pages * (1.0 - (1.0 - 1.0 / pages).powf(k))).clamp(1.0, pages);
-    // Average gap between consecutive hit pages, net of the pages read.
-    let gap = ((span_bytes - distinct * page_bytes) / distinct).max(0.0);
-    let move_ms = if gap < 1.0 {
-        0.0
-    } else {
-        let frac = (gap / disk.stroke_bytes as f64).min(1.0);
-        let curve = disk.seek_floor_ms + (disk.seek_ms - disk.seek_floor_ms) * frac.sqrt();
-        curve.min(disk.read_cost_ms(gap as u64))
-    };
-    distinct * (move_ms + disk.read_cost_ms(page_bytes as u64))
-}
-
-/// Average heap copies per tuple — the pointer-overlap potential tailored
-/// secondary access exploits.
-fn replication_factor(upi: &DiscreteUpi) -> f64 {
-    let entries = upi.heap_stats().entries as f64;
-    (entries / upi.n_tuples().max(1) as f64).max(1.0)
-}
-
 /// Page size of a B+Tree file from its stats.
 fn page_bytes(stats: &upi_btree::TreeStats) -> f64 {
     stats.bytes as f64 / stats.pages.max(1) as f64
+}
+
+/// The heap-span fraction a (tailored) secondary probe for `value` with
+/// `n` qualifying entries is expected to touch, from the index's measured
+/// per-region pointer histogram: tailored access (Algorithm 3) steers
+/// every fetch into the regions `value`'s own pointer population
+/// occupies — typically a small, correlated slice of the clustered heap —
+/// so the expected distinct regions of `n` draws bound the span. Falls
+/// back to the full span (1.0) when the histogram is empty.
+fn tailored_coverage(sec: &SecondaryIndex, value: u64, n: f64) -> f64 {
+    sec.pointer_regions().covered_fraction(value, n)
+}
+
+/// Build a [`CandidatePlan`] from a priced decomposition.
+fn candidate(
+    model: &CostModel,
+    path: AccessPath,
+    fixed_ms: f64,
+    dominant_ms: f64,
+    note: String,
+    hints: Vec<AccessHint>,
+) -> CandidatePlan {
+    let cost = model.price(path.kind(), fixed_ms, dominant_ms);
+    CandidatePlan {
+        path,
+        est_ms: cost.est_ms(),
+        cost,
+        note,
+        hints,
+    }
 }
 
 // --- Prefetch hints (run-shaped paths only) --------------------------------
@@ -207,13 +227,14 @@ fn enumerate_eq(
     attr: usize,
     value: u64,
 ) -> Vec<CandidatePlan> {
-    let disk = catalog.disk;
+    let model = &catalog.cost;
     let qt = q.qt;
     let mut out = Vec::new();
 
     if let Some(upi) = catalog.upi {
         if upi.attr() == attr {
-            let (est_ms, note) = if let Some(k) = q.top_k {
+            let hs = upi.heap_stats();
+            let (fixed, dominant, note) = if let Some(k) = q.top_k {
                 // §3.1 early termination: the heap run and cutoff list are
                 // probability-ordered, so at most k entries of each are
                 // read regardless of QT. The executor's merge consults
@@ -221,37 +242,43 @@ fn enumerate_eq(
                 // falls below the cutoff threshold C — so the cutoff
                 // open + pointer fetches are charged only for the
                 // expected shortfall of above-C run entries.
-                let hs = upi.heap_stats();
                 let avg = hs.bytes as f64 / hs.entries.max(1) as f64;
-                let mut e =
-                    open_descend(disk, hs.height) + disk.read_cost_ms((k as f64 * avg) as u64);
+                let mut fixed = model.open_descend(hs.height);
+                let mut dom = model.read_ms(k as f64 * avg);
                 let above_c = upi
                     .attr_stats()
                     .est_count_ge(value, upi.config().cutoff.max(qt));
                 if !upi.cutoff_index().is_empty() && above_c < k as f64 {
                     let deficit = (k as f64 - above_c).max(1.0);
-                    e += open_descend(disk, upi.cutoff_index().height())
-                        + bitmap_fetch_ms(disk, hs.bytes as f64, page_bytes(&hs), deficit);
+                    fixed += model.open_descend(upi.cutoff_index().height());
+                    dom += model.bitmap_fetch_ms(hs.bytes as f64, page_bytes(&hs), deficit);
                 }
-                (e, format!("top-{k} early termination"))
+                (fixed, dom, format!("top-{k} early termination"))
             } else {
+                // §6.3 `Cost_cut` (or the heap-only run when QT ≥ C),
+                // split by the shared `cutoff_query_cost_parts` so the
+                // planner and `estimate_query_cutoff_ms` can never drift.
                 let sel = cost::estimate_heap_selectivity(upi, value, qt);
                 let pointers = cost::estimate_cutoff_pointers(upi, value, qt);
+                let (fixed, dom) = cost::cutoff_query_cost_parts(&model.coeffs, upi, value, qt);
                 (
-                    cost::estimate_query_cutoff_ms(disk, upi, value, qt),
+                    fixed,
+                    dom,
                     format!("sel {:.4}, est {:.0} cutoff ptrs", sel, pointers),
                 )
             };
-            out.push(CandidatePlan {
-                path: AccessPath::UpiHeap {
+            out.push(candidate(
+                model,
+                AccessPath::UpiHeap {
                     use_cutoff: qt < upi.config().cutoff,
                 },
-                est_ms,
+                fixed,
+                dominant,
                 note,
-                hints: upi_point_hint(upi, value, qt, q.top_k)
+                upi_point_hint(upi, value, qt, q.top_k)
                     .into_iter()
                     .collect(),
-            });
+            ));
         }
         for (i, sec) in upi.secondaries().iter().enumerate() {
             if sec.attr() != attr {
@@ -259,53 +286,67 @@ fn enumerate_eq(
             }
             let n = sec.stats().est_count_ge(value, qt);
             let hs = upi.heap_stats();
-            let opens = open_descend(disk, sec.height()) + open_descend(disk, hs.height);
-            let repl = replication_factor(upi);
+            let opens = model.open_descend(sec.height()) + model.open_descend(hs.height);
             // Tailored access (Algorithm 3) steers pointers onto shared
-            // regions: single-pointer entries pin ~1/repl of the heap
-            // outright, and multi-pointer entries reuse those regions as
-            // density allows, concentrating coverage further — between
-            // repl (pure restriction) and repl² (full reuse). The 1.5
-            // exponent is the calibrated midpoint, validated by
-            // planner_vs_forced against measured runtimes across scales.
-            let concentration = repl.powf(1.5);
-            out.push(CandidatePlan {
-                path: AccessPath::UpiSecondary {
+            // regions; the span it can touch is measured by the index's
+            // pointer-region histogram instead of guessed from the
+            // replication factor.
+            let coverage = tailored_coverage(sec, value, n);
+            out.push(candidate(
+                model,
+                AccessPath::UpiSecondary {
                     index: i,
                     tailored: true,
                 },
-                est_ms: opens
-                    + bitmap_fetch_ms(disk, hs.bytes as f64 / concentration, page_bytes(&hs), n),
-                note: format!("{n:.0} fetches over 1/{concentration:.2} of the heap"),
-                hints: Vec::new(),
-            });
-            out.push(CandidatePlan {
-                path: AccessPath::UpiSecondary {
+                opens,
+                model.bitmap_fetch_ms(hs.bytes as f64 * coverage, page_bytes(&hs), n),
+                format!("{n:.0} fetches over {coverage:.3} of the heap (measured regions)"),
+                Vec::new(),
+            ));
+            out.push(candidate(
+                model,
+                AccessPath::UpiSecondary {
                     index: i,
                     tailored: false,
                 },
-                est_ms: opens + bitmap_fetch_ms(disk, hs.bytes as f64, page_bytes(&hs), n),
-                note: format!("{n:.0} first-pointer fetches over the full heap"),
-                hints: Vec::new(),
-            });
+                opens,
+                model.bitmap_fetch_ms(hs.bytes as f64, page_bytes(&hs), n),
+                format!("{n:.0} first-pointer fetches over the full heap"),
+                Vec::new(),
+            ));
         }
         // Last-resort full scan of the clustered heap (any discrete attr).
-        out.push(CandidatePlan {
-            path: AccessPath::UpiFullScan,
-            est_ms: disk.init_ms + disk.read_cost_ms(upi.heap_stats().bytes),
-            note: format!("{} heap bytes sequential", upi.heap_stats().bytes),
-            hints: upi_scan_hint(upi).into_iter().collect(),
-        });
+        out.push(candidate(
+            model,
+            AccessPath::UpiFullScan,
+            model.coeffs.cost_init_ms,
+            model.read_ms(upi.heap_stats().bytes as f64),
+            format!("{} heap bytes sequential", upi.heap_stats().bytes),
+            upi_scan_hint(upi).into_iter().collect(),
+        ));
     }
 
     if let Some(f) = catalog.fractured {
         if f.main().attr() == attr {
-            out.push(CandidatePlan {
-                path: AccessPath::FracturedProbe,
-                est_ms: cost::estimate_query_fractured_ms(disk, f, value, qt),
-                note: format!("{} components", f.n_fractures() + 1),
-                hints: fractured_point_hints(f, value, qt, q.top_k),
-            });
+            // §6.2 `Cost_frac`, split by the shared
+            // `fractured_cost_parts`: per-component opens are fixed, the
+            // selectivity-scaled scan over all components is dominant.
+            let main = f.main();
+            let heap_entries = main.heap_stats().entries.max(1) as f64;
+            let sel = (main
+                .attr_stats()
+                .est_heap_count_ge(value, qt, main.config().cutoff)
+                / heap_entries)
+                .min(1.0);
+            let (fixed, dom) = cost::fractured_cost_parts(&model.coeffs, f, sel);
+            out.push(candidate(
+                model,
+                AccessPath::FracturedProbe,
+                fixed,
+                dom,
+                format!("{} components", f.n_fractures() + 1),
+                fractured_point_hints(f, value, qt, q.top_k),
+            ));
         }
         for (i, sec) in f.main().secondaries().iter().enumerate() {
             if sec.attr() != attr {
@@ -315,18 +356,19 @@ fn enumerate_eq(
             let components = (f.n_fractures() + 1) as f64;
             let hs = f.main().heap_stats();
             let opens =
-                components * (open_descend(disk, sec.height()) + open_descend(disk, hs.height));
-            let repl = replication_factor(f.main());
-            out.push(CandidatePlan {
-                path: AccessPath::FracturedSecondary {
+                components * (model.open_descend(sec.height()) + model.open_descend(hs.height));
+            let coverage = tailored_coverage(sec, value, n);
+            out.push(candidate(
+                model,
+                AccessPath::FracturedSecondary {
                     index: i,
                     tailored: true,
                 },
-                est_ms: opens
-                    + bitmap_fetch_ms(disk, hs.bytes as f64 / repl.powf(1.5), page_bytes(&hs), n),
-                note: format!("{n:.0} entries over {components:.0} components"),
-                hints: fractured_secondary_hints(f, i, value, qt),
-            });
+                opens,
+                model.bitmap_fetch_ms(hs.bytes as f64 * coverage, page_bytes(&hs), n),
+                format!("{n:.0} entries over {components:.0} components"),
+                fractured_secondary_hints(f, i, value, qt),
+            ));
         }
     }
 
@@ -337,21 +379,23 @@ fn enumerate_eq(
             }
             let n = pii.stats().est_count_ge(value, qt);
             let hs = heap.stats();
-            out.push(CandidatePlan {
-                path: AccessPath::PiiProbe { index: i },
-                est_ms: open_descend(disk, pii.height())
-                    + open_descend(disk, hs.height)
-                    + bitmap_fetch_ms(disk, hs.bytes as f64, page_bytes(&hs), n),
-                note: format!("{n:.0} bitmap-order heap fetches"),
-                hints: Vec::new(),
-            });
+            out.push(candidate(
+                model,
+                AccessPath::PiiProbe { index: i },
+                model.open_descend(pii.height()) + model.open_descend(hs.height),
+                model.bitmap_fetch_ms(hs.bytes as f64, page_bytes(&hs), n),
+                format!("{n:.0} bitmap-order heap fetches"),
+                Vec::new(),
+            ));
         }
-        out.push(CandidatePlan {
-            path: AccessPath::HeapScan,
-            est_ms: disk.init_ms + disk.read_cost_ms(heap.stats().bytes),
-            note: format!("{} heap bytes sequential", heap.stats().bytes),
-            hints: heap_scan_hint(heap).into_iter().collect(),
-        });
+        out.push(candidate(
+            model,
+            AccessPath::HeapScan,
+            model.coeffs.cost_init_ms,
+            model.read_ms(heap.stats().bytes as f64),
+            format!("{} heap bytes sequential", heap.stats().bytes),
+            heap_scan_hint(heap).into_iter().collect(),
+        ));
     }
 
     if let Some(cupi) = catalog.cupi {
@@ -367,14 +411,14 @@ fn enumerate_eq(
             let effective = (n / tuples_per_page).max(1.0).min(n.max(1.0));
             let heap_bytes = cupi.total_bytes() as f64;
             let heap_page = heap_bytes / rs.leaf_pages.max(1) as f64;
-            out.push(CandidatePlan {
-                path: AccessPath::ContinuousSecondaryProbe { index: i },
-                est_ms: open_descend(disk, cs.height())
-                    + disk.init_ms
-                    + bitmap_fetch_ms(disk, heap_bytes, heap_page, effective),
-                note: format!("{n:.0} entries -> ~{effective:.0} page reads"),
-                hints: Vec::new(),
-            });
+            out.push(candidate(
+                model,
+                AccessPath::ContinuousSecondaryProbe { index: i },
+                model.open_descend(cs.height()) + model.coeffs.cost_init_ms,
+                model.bitmap_fetch_ms(heap_bytes, heap_page, effective),
+                format!("{n:.0} entries -> ~{effective:.0} page reads"),
+                Vec::new(),
+            ));
         }
     }
 
@@ -388,7 +432,7 @@ fn enumerate_range(
     lo: u64,
     hi: u64,
 ) -> Vec<CandidatePlan> {
-    let disk = catalog.disk;
+    let model = &catalog.cost;
     let mut out = Vec::new();
 
     if let Some(upi) = catalog.upi {
@@ -396,37 +440,45 @@ fn enumerate_range(
             let stats = upi.attr_stats();
             let frac = (stats.est_count_value_range(lo, hi) / stats.total().max(1) as f64).min(1.0);
             let hs = upi.heap_stats();
-            let mut est = open_descend(disk, hs.height) + disk.read_cost_ms(hs.bytes) * frac;
+            let mut fixed = model.open_descend(hs.height);
+            let mut dom = model.read_ms(hs.bytes as f64) * frac;
             let cut = upi.cutoff_index();
             if !cut.is_empty() {
-                est += open_descend(disk, cut.height()) + disk.read_cost_ms(cut.bytes()) * frac;
+                fixed += model.open_descend(cut.height());
+                dom += model.read_ms(cut.bytes() as f64) * frac;
             }
-            out.push(CandidatePlan {
-                path: AccessPath::UpiRange,
-                est_ms: est,
-                note: format!("range frac {frac:.4} of clustered heap"),
-                hints: upi_range_hint(upi, lo, hi).into_iter().collect(),
-            });
+            out.push(candidate(
+                model,
+                AccessPath::UpiRange,
+                fixed,
+                dom,
+                format!("range frac {frac:.4} of clustered heap"),
+                upi_range_hint(upi, lo, hi).into_iter().collect(),
+            ));
         }
-        out.push(CandidatePlan {
-            path: AccessPath::UpiFullScan,
-            est_ms: disk.init_ms + disk.read_cost_ms(upi.heap_stats().bytes),
-            note: format!("{} heap bytes sequential", upi.heap_stats().bytes),
-            hints: upi_scan_hint(upi).into_iter().collect(),
-        });
+        out.push(candidate(
+            model,
+            AccessPath::UpiFullScan,
+            model.coeffs.cost_init_ms,
+            model.read_ms(upi.heap_stats().bytes as f64),
+            format!("{} heap bytes sequential", upi.heap_stats().bytes),
+            upi_scan_hint(upi).into_iter().collect(),
+        ));
     }
 
     if let Some(f) = catalog.fractured {
         if f.main().attr() == attr {
             let stats = f.main().attr_stats();
             let frac = (stats.est_count_value_range(lo, hi) / stats.total().max(1) as f64).min(1.0);
-            let model = cost::model_for_fractured(disk, f);
-            out.push(CandidatePlan {
-                path: AccessPath::FracturedRange,
-                est_ms: model.cost_fractured_ms(frac, f.n_fractures() + 1),
-                note: format!("range frac {frac:.4}, {} components", f.n_fractures() + 1),
-                hints: fractured_range_hints(f, lo, hi),
-            });
+            let (fixed, dom) = cost::fractured_cost_parts(&model.coeffs, f, frac);
+            out.push(candidate(
+                model,
+                AccessPath::FracturedRange,
+                fixed,
+                dom,
+                format!("range frac {frac:.4}, {} components", f.n_fractures() + 1),
+                fractured_range_hints(f, lo, hi),
+            ));
         }
     }
 
@@ -438,22 +490,24 @@ fn enumerate_range(
             let entries = pii.stats().est_count_value_range(lo, hi);
             let frac = (entries / pii.stats().total().max(1) as f64).min(1.0);
             let hs = heap.stats();
-            out.push(CandidatePlan {
-                path: AccessPath::PiiRange { index: i },
-                est_ms: open_descend(disk, pii.height())
-                    + disk.read_cost_ms(pii.bytes()) * frac
-                    + disk.init_ms
-                    + bitmap_fetch_ms(disk, hs.bytes as f64, page_bytes(&hs), entries),
-                note: format!("{entries:.0} index entries in range"),
-                hints: Vec::new(),
-            });
+            out.push(candidate(
+                model,
+                AccessPath::PiiRange { index: i },
+                model.open_descend(pii.height()) + model.coeffs.cost_init_ms,
+                model.read_ms(pii.bytes() as f64) * frac
+                    + model.bitmap_fetch_ms(hs.bytes as f64, page_bytes(&hs), entries),
+                format!("{entries:.0} index entries in range"),
+                Vec::new(),
+            ));
         }
-        out.push(CandidatePlan {
-            path: AccessPath::HeapScan,
-            est_ms: disk.init_ms + disk.read_cost_ms(heap.stats().bytes),
-            note: format!("{} heap bytes sequential", heap.stats().bytes),
-            hints: heap_scan_hint(heap).into_iter().collect(),
-        });
+        out.push(candidate(
+            model,
+            AccessPath::HeapScan,
+            model.coeffs.cost_init_ms,
+            model.read_ms(heap.stats().bytes as f64),
+            format!("{} heap bytes sequential", heap.stats().bytes),
+            heap_scan_hint(heap).into_iter().collect(),
+        ));
     }
 
     let _ = q;
@@ -467,7 +521,7 @@ fn enumerate_circle(
     y: f64,
     radius: f64,
 ) -> Vec<CandidatePlan> {
-    let disk = catalog.disk;
+    let model = &catalog.cost;
     let mut out = Vec::new();
 
     // Fraction of the spatial domain the query circle covers.
@@ -485,14 +539,14 @@ fn enumerate_circle(
         if cupi.attr() == attr {
             let frac = circle_frac(cupi.bounds().ok().flatten());
             let rs = cupi.rtree_stats();
-            out.push(CandidatePlan {
-                path: AccessPath::ContinuousCircle,
-                est_ms: 2.0 * disk.init_ms
-                    + rs.height as f64 * disk.seek_ms
-                    + disk.read_cost_ms((cupi.total_bytes() as f64 * frac) as u64),
-                note: format!("circle covers {:.3} of domain, clustered read", frac),
-                hints: Vec::new(),
-            });
+            out.push(candidate(
+                model,
+                AccessPath::ContinuousCircle,
+                2.0 * model.coeffs.cost_init_ms + rs.height as f64 * model.coeffs.t_seek_ms,
+                model.read_ms(cupi.total_bytes() as f64 * frac),
+                format!("circle covers {:.3} of domain, clustered read", frac),
+                Vec::new(),
+            ));
         }
     }
 
@@ -501,14 +555,14 @@ fn enumerate_circle(
             let frac = circle_frac(utree.bounds().ok().flatten());
             let candidates = utree.stats().entries as f64 * frac;
             let hs = heap.stats();
-            out.push(CandidatePlan {
-                path: AccessPath::UTreeCircle,
-                est_ms: open_descend(disk, utree.stats().height)
-                    + disk.init_ms
-                    + bitmap_fetch_ms(disk, hs.bytes as f64, page_bytes(&hs), candidates),
-                note: format!("~{candidates:.0} per-candidate heap fetches"),
-                hints: Vec::new(),
-            });
+            out.push(candidate(
+                model,
+                AccessPath::UTreeCircle,
+                model.open_descend(utree.stats().height) + model.coeffs.cost_init_ms,
+                model.bitmap_fetch_ms(hs.bytes as f64, page_bytes(&hs), candidates),
+                format!("~{candidates:.0} per-candidate heap fetches"),
+                Vec::new(),
+            ));
         }
     }
 
@@ -518,11 +572,10 @@ fn enumerate_circle(
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::{AccessPath, Catalog, PtqQuery};
     use std::sync::Arc;
     use upi::{Pii, UnclusteredHeap, UpiConfig};
-    use upi_storage::{SimDisk, Store};
+    use upi_storage::{DiskConfig, SimDisk, Store};
     use upi_uncertain::{Datum, DiscretePmf, Field, Tuple, TupleId};
 
     fn store() -> Store {
@@ -543,32 +596,6 @@ mod tests {
                 )
             })
             .collect()
-    }
-
-    #[test]
-    fn bitmap_fetch_regimes() {
-        let disk = DiskConfig::default();
-        let span = 64.0 * 1024.0 * 1024.0;
-        // Sparse: each fetch pays a seek-ish move plus one page read.
-        let sparse = bitmap_fetch_ms(&disk, span, 8192.0, 10.0);
-        assert!(
-            sparse > 10.0 * disk.seek_floor_ms,
-            "sparse pays seeks: {sparse}"
-        );
-        // Dense: saturates near a sequential read of the span.
-        let dense = bitmap_fetch_ms(&disk, span, 8192.0, 1e6);
-        let scan = disk.read_cost_ms(span as u64);
-        assert!(dense <= scan * 1.05, "dense ~ scan: {dense} vs {scan}");
-        assert!(dense >= scan * 0.8, "dense ~ scan: {dense} vs {scan}");
-        // Near-monotone in k (a small dip is tolerated where the move
-        // cost switches from seek-bound to read-through-bound).
-        let mut prev = 0.0;
-        for k in [1.0, 10.0, 100.0, 1000.0, 10_000.0] {
-            let c = bitmap_fetch_ms(&disk, span, 8192.0, k);
-            assert!(c >= prev * 0.9, "{c} vs {prev} at k={k}");
-            prev = prev.max(c);
-        }
-        assert_eq!(bitmap_fetch_ms(&disk, span, 8192.0, 0.0), 0.0);
     }
 
     #[test]
@@ -607,9 +634,15 @@ mod tests {
         );
         assert!(labels.contains(&"UpiSecondary#0(plain)".to_string()));
 
-        // Candidates are ranked ascending.
+        // Candidates are ranked ascending, and every estimate matches its
+        // decomposition.
         for w in plan.candidates.windows(2) {
             assert!(w[0].est_ms <= w[1].est_ms);
+        }
+        for c in &plan.candidates {
+            assert!((c.est_ms - c.cost.est_ms()).abs() < 1e-9);
+            assert_eq!(c.cost.kind, c.path.kind());
+            assert_eq!(c.cost.scale, 1.0, "fresh catalog is uncalibrated");
         }
 
         // Range on the clustered attribute uses the range paths.
@@ -626,14 +659,60 @@ mod tests {
             .iter()
             .any(|c| matches!(c.path, AccessPath::PiiRange { .. })));
 
-        // explain() names the chosen path and every candidate.
+        // explain() names the chosen path, its calibration state, and
+        // every candidate.
         let text = plan.explain();
         assert!(text.contains("chosen:"), "{text}");
+        assert!(text.contains("cost model:"), "{text}");
+        assert!(text.contains("raw"), "{text}");
         assert!(text.contains("candidates:"), "{text}");
         for c in &plan.candidates {
             assert!(text.contains(&c.path.label()), "missing {}", c.path.label());
         }
     }
+
+    #[test]
+    fn calibrated_scales_reorder_candidates() {
+        use crate::cost::PathKind;
+        let st = store();
+        let tuples = rows(400);
+        let mut upi = upi::DiscreteUpi::create(st.clone(), "u", 1, UpiConfig::default()).unwrap();
+        upi.add_secondary(2).unwrap();
+        upi.bulk_load(&tuples).unwrap();
+        let q = PtqQuery::eq(2, 1).with_qt(0.3);
+
+        let raw_catalog = Catalog::new(st.disk.config()).with_upi(&upi);
+        let raw = q.plan(&raw_catalog).unwrap();
+        let sec_raw = raw
+            .candidates
+            .iter()
+            .find(|c| matches!(c.path, AccessPath::UpiSecondary { tailored: true, .. }))
+            .unwrap()
+            .est_ms;
+
+        // A model that learned secondary probes run 10x cheaper must price
+        // (and potentially rank) them accordingly.
+        let model = raw_catalog
+            .cost
+            .with_scale(PathKind::SecondaryProbe, SCALE_MIN);
+        let cal_catalog = Catalog::new(st.disk.config())
+            .with_cost_model(model)
+            .with_upi(&upi);
+        let cal = q.plan(&cal_catalog).unwrap();
+        let sec_cal = cal
+            .candidates
+            .iter()
+            .find(|c| matches!(c.path, AccessPath::UpiSecondary { tailored: true, .. }))
+            .unwrap();
+        assert!(
+            sec_cal.est_ms < sec_raw,
+            "calibration must lower the estimate: {} vs {sec_raw}",
+            sec_cal.est_ms
+        );
+        assert!((sec_cal.cost.raw_ms() - sec_raw).abs() < 1e-9, "raw kept");
+    }
+
+    use crate::cost::SCALE_MIN;
 
     #[test]
     fn executor_matches_direct_index_calls() {

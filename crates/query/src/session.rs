@@ -18,12 +18,14 @@
 //! up by construction) and hands back a ready catalog whose borrows are
 //! tied to `&self`.
 
+use parking_lot::Mutex;
 use upi::{PtqResult, TableLayout, UncertainTable};
 use upi_storage::error::Result as StorageResult;
 use upi_storage::Store;
 use upi_uncertain::{Field, Schema, Tuple, TupleId};
 
 use crate::catalog::Catalog;
+use crate::cost::{CalibrationStore, CostModel, PathKind, RefitOutcome};
 use crate::error::{PlanError, QueryError};
 use crate::exec::QueryOutput;
 use crate::plan::PhysicalPlan;
@@ -82,6 +84,16 @@ use crate::query::PtqQuery;
 /// ```
 pub struct UncertainDb {
     table: UncertainTable,
+    /// The self-calibrating pricing state: the cost model the catalog is
+    /// stamped with on every [`catalog`](Self::catalog) call, plus the
+    /// observed `(estimated, measured)` samples every executed query
+    /// feeds ([`recalibrate`](Self::recalibrate) refits from them).
+    calibration: Mutex<CalibrationState>,
+}
+
+struct CalibrationState {
+    model: CostModel,
+    store: CalibrationStore,
 }
 
 impl UncertainDb {
@@ -94,14 +106,25 @@ impl UncertainDb {
         primary_attr: usize,
         layout: TableLayout,
     ) -> StorageResult<UncertainDb> {
-        Ok(UncertainDb {
-            table: UncertainTable::create(store, name, schema, primary_attr, layout)?,
-        })
+        Ok(UncertainDb::from_table(UncertainTable::create(
+            store,
+            name,
+            schema,
+            primary_attr,
+            layout,
+        )?))
     }
 
     /// Adopt an existing table into a session.
     pub fn from_table(table: UncertainTable) -> UncertainDb {
-        UncertainDb { table }
+        let model = CostModel::from_disk(table.store().disk.config());
+        UncertainDb {
+            table,
+            calibration: Mutex::new(CalibrationState {
+                model,
+                store: CalibrationStore::new(),
+            }),
+        }
     }
 
     /// The owned table (schema, statistics, structure accessors).
@@ -166,7 +189,9 @@ impl UncertainDb {
     /// structures; the query methods below all go through it.
     pub fn catalog(&self) -> Catalog<'_> {
         let store = self.table.store();
-        let mut c = Catalog::new(store.disk.config()).with_pool(store.pool.as_ref());
+        let mut c = Catalog::new(store.disk.config())
+            .with_cost_model(self.calibration.lock().model)
+            .with_pool(store.pool.as_ref());
         if let Some((heap, primary, secondaries)) = self.table.unclustered_parts() {
             c = c.with_heap(heap).with_pii(primary);
             for s in secondaries {
@@ -188,10 +213,16 @@ impl UncertainDb {
 
     /// Plan and execute a query. `QueryOutput::io` carries the buffer-
     /// pool traffic this execution caused (the session always registers
-    /// the pool).
+    /// the pool), and the execution's `(estimated, observed)` pair is
+    /// recorded as a calibration sample for
+    /// [`recalibrate`](Self::recalibrate).
     pub fn query(&self, q: &PtqQuery) -> Result<QueryOutput, QueryError> {
+        let before = self.table.store().pool.device_stats();
         let catalog = self.catalog();
-        q.plan(&catalog)?.execute(&catalog)
+        let plan = q.plan(&catalog)?;
+        let out = plan.execute(&catalog)?;
+        self.feed_sample(&plan, before);
+        Ok(out)
     }
 
     /// The chosen plan's `explain()` rendering, without executing.
@@ -200,13 +231,77 @@ impl UncertainDb {
     }
 
     /// Plan, execute, and render the plan **with** the measured I/O of
-    /// this execution (`explain_with_io`).
+    /// this execution (`explain_with_io`). Feeds the calibration store
+    /// like [`query`](Self::query).
     pub fn run_explained(&self, q: &PtqQuery) -> Result<(QueryOutput, String), QueryError> {
+        let before = self.table.store().pool.device_stats();
         let catalog = self.catalog();
         let plan = q.plan(&catalog)?;
         let out = plan.execute(&catalog)?;
+        self.feed_sample(&plan, before);
         let text = plan.explain_with_io(out.io.as_ref());
         Ok((out, text))
+    }
+
+    // --- Cost-model calibration -------------------------------------------
+
+    /// Record one executed plan's `(estimated, observed)` pair. The
+    /// estimate's decomposition rides on the chosen candidate; the
+    /// observed side is the measured simulated device time since
+    /// `before`, snapshotted **ahead of planning** — the estimate prices
+    /// file opens and descents, and on a cold cache some of those are
+    /// paid during planning (hint resolution, statistics reads), so the
+    /// sample window must cover plan + execute to compare like with like.
+    ///
+    /// The device clock is shared per [`Store`]: queries racing on the
+    /// same store (another thread on this session, or a second session
+    /// over the same disk) inflate each other's windows. Calibration
+    /// tolerates occasional outliers (bounded refit over a sample
+    /// history), but a deliberately concurrent workload should drive
+    /// [`recalibrate`](Self::recalibrate) from a quiesced phase.
+    /// Warm-cache executions are filtered out by the store itself
+    /// (see `CalibrationStore::record`).
+    fn feed_sample(&self, plan: &PhysicalPlan, before: upi_storage::IoStats) {
+        let observed = self
+            .table
+            .store()
+            .pool
+            .device_stats()
+            .since(&before)
+            .total_ms();
+        let cost = &plan.candidates[0].cost;
+        self.calibration
+            .lock()
+            .store
+            .record(cost.kind, cost.fixed_ms, cost.dominant_ms, observed);
+    }
+
+    /// One bounded refit pass over the samples collected so far:
+    /// per-path-kind least-squares on the dominant cost term (see
+    /// [`crate::cost`] for the bounds). Subsequent [`plan`](Self::plan) /
+    /// [`query`](Self::query) calls price with the updated coefficients.
+    /// Returns what changed, one entry per kind that had enough samples.
+    pub fn recalibrate(&self) -> Vec<RefitOutcome> {
+        let mut g = self.calibration.lock();
+        let CalibrationState { model, store } = &mut *g;
+        model.refit(&*store)
+    }
+
+    /// The cost model currently pricing this session's plans.
+    pub fn cost_model(&self) -> CostModel {
+        self.calibration.lock().model
+    }
+
+    /// Replace the session's cost model (e.g. seed a deliberately
+    /// mispriced one to test convergence, or restore a saved calibration).
+    /// Collected samples are kept.
+    pub fn set_cost_model(&self, model: CostModel) {
+        self.calibration.lock().model = model;
+    }
+
+    /// Calibration samples collected so far for `kind`.
+    pub fn calibration_samples(&self, kind: PathKind) -> usize {
+        self.calibration.lock().store.len(kind)
     }
 
     // --- The four classic PTQ entry points --------------------------------

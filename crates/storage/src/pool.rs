@@ -69,6 +69,22 @@ impl PoolCounters {
         self.misses + self.readahead
     }
 
+    /// Pages fetched on **demand** (cold misses): each is potentially a
+    /// scattered read that pays a head move. One half of the per-query
+    /// read split an observed-cost model wants.
+    pub fn demand_pages(&self) -> u64 {
+        self.misses
+    }
+
+    /// Pages fetched **speculatively** by sequential read-ahead: batched
+    /// contiguous transfers that pay (at most) one head move per batch.
+    /// The other half of the per-query read split — a query whose reads
+    /// are mostly sequential lands here, so an observed-cost model can
+    /// price the two halves differently.
+    pub fn sequential_pages(&self) -> u64 {
+        self.readahead
+    }
+
     /// Component-wise difference (`self - earlier`).
     pub fn since(&self, earlier: &PoolCounters) -> PoolCounters {
         PoolCounters {
@@ -446,6 +462,18 @@ impl BufferPool {
     /// Cumulative counters since creation.
     pub fn counters(&self) -> PoolCounters {
         self.inner.lock().counters
+    }
+
+    /// Cumulative I/O statistics of the underlying simulated device.
+    ///
+    /// Everything that reads through this pool shares one device clock;
+    /// snapshotting before and after an operation (and subtracting with
+    /// [`IoStats::since`](crate::IoStats::since)) attributes *measured
+    /// simulated milliseconds* — seek + transfer + open time — to that
+    /// operation. The `upi-query` executor does exactly this to produce
+    /// the observed side of cost-model calibration samples.
+    pub fn device_stats(&self) -> crate::IoStats {
+        self.disk.stats()
     }
 
     /// Number of cached bytes right now.

@@ -1,0 +1,268 @@
+//! Cost-model calibration convergence oracle.
+//!
+//! The session (`UncertainDb`) records an `(estimated, observed)` sample
+//! after every executed query and `recalibrate()` refits the per-path-kind
+//! scales (bounded least squares on the dominant term, in log space).
+//! Asserted here:
+//!
+//! 1. a deliberately **mispriced** model converges: the estimated/observed
+//!    ratio per exercised path kind tightens monotonically across refit
+//!    passes on a fixed workload (the simulator is deterministic, so the
+//!    observed side is identical each round — all movement is the model's);
+//! 2. an **already-calibrated** model is a fixed point: refitting again on
+//!    the same samples changes no coefficient (the bounded refit does not
+//!    oscillate);
+//! 3. calibration never changes answers — only plan pricing.
+
+use std::sync::Arc;
+
+use upi::{TableLayout, UpiConfig};
+use upi_query::{PathKind, PtqQuery, UncertainDb};
+use upi_storage::{DiskConfig, SimDisk, Store};
+use upi_uncertain::{Datum, DiscretePmf, Field, FieldKind, Schema, Tuple, TupleId};
+
+fn store() -> Store {
+    Store::new(Arc::new(SimDisk::new(DiskConfig::default())), 8 << 20)
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        ("payload", FieldKind::Str),
+        ("institution", FieldKind::Discrete),
+        ("country", FieldKind::Discrete),
+    ])
+}
+
+/// A UPI-clustered table big enough that the data-dependent (dominant)
+/// cost terms outweigh the file opens, with a skewed clustering value
+/// (so a point run is long), and a secondary whose attribute correlates
+/// with the clustering attribute (institution -> country), like the
+/// paper's Query 3 setup.
+fn calibration_db() -> UncertainDb {
+    let mut db = UncertainDb::create(
+        store(),
+        "t",
+        schema(),
+        1,
+        TableLayout::Upi(UpiConfig::default()),
+    )
+    .unwrap();
+    db.add_secondary(2).unwrap();
+    let tuples: Vec<Tuple> = (0..12_000u64)
+        .map(|i| {
+            // A sixth of the rows cluster on the hot institution 3: long
+            // enough that the run read dominates the opens, short enough
+            // that a 2x-overpriced run still beats the full scan.
+            let inst = if i % 6 == 0 { 3 } else { i % 40 };
+            let country = inst % 12;
+            let p = 0.55 + (i % 4) as f64 * 0.1;
+            Tuple::new(
+                TupleId(i),
+                0.95,
+                vec![
+                    Field::Certain(Datum::Str(format!("pad-{i}-{}", "x".repeat(400)))),
+                    Field::Discrete(DiscretePmf::new(vec![
+                        (inst, p),
+                        (inst + 40, (1.0 - p) / 2.0),
+                    ])),
+                    Field::Discrete(DiscretePmf::new(vec![(country, 1.0)])),
+                ],
+            )
+        })
+        .collect();
+    // Bulk-load so the clustered runs are physically contiguous, like
+    // every benchmark setup — the §6 models price clustered runs as
+    // sequential reads.
+    db.load(&tuples).unwrap();
+    db
+}
+
+/// The fixed workload: one query per discrete path kind the session can
+/// exercise on this layout.
+fn workload() -> Vec<(PathKind, PtqQuery)> {
+    vec![
+        (PathKind::PointMerge, PtqQuery::eq(1, 3).with_qt(0.2)),
+        (PathKind::RangeRun, PtqQuery::range(1, 5, 20).with_qt(0.2)),
+        (PathKind::SecondaryProbe, PtqQuery::eq(2, 2).with_qt(0.3)),
+    ]
+}
+
+/// Mean absolute log-error of estimate vs. observation per kind, one
+/// calibration round. Queries run cold so the observed side is the real
+/// device cost (and identical across rounds — the simulator is
+/// deterministic).
+fn run_round(db: &UncertainDb) -> Vec<(PathKind, f64, Vec<u64>)> {
+    let mut out = Vec::new();
+    for (kind, q) in workload() {
+        let plan = db.plan(&q).unwrap();
+        assert_eq!(
+            plan.path().kind(),
+            kind,
+            "workload query must exercise its kind:\n{}",
+            plan.explain()
+        );
+        let est = plan.est_ms();
+        if std::env::var("DBG_CAL").is_ok() {
+            for c in &plan.candidates {
+                eprintln!(
+                    "{:?} {} fixed={:.1} dom={:.1} scale={:.2} est={:.1}",
+                    kind,
+                    c.path.label(),
+                    c.cost.fixed_ms,
+                    c.cost.dominant_ms,
+                    c.cost.scale,
+                    c.est_ms
+                );
+            }
+        }
+        db.table().store().go_cold();
+        // Observe plan + execute, the same window the session samples:
+        // on a cold cache the plan phase pays some of the opens/descents
+        // the estimate prices.
+        let before = db.table().store().pool.device_stats();
+        let out_q = db.query(&q).unwrap();
+        let obs = db
+            .table()
+            .store()
+            .pool
+            .device_stats()
+            .since(&before)
+            .total_ms();
+        assert!(obs > 0.0, "cold query must charge the device");
+        assert!(out_q.observed_ms().is_some(), "session registers the pool");
+        if std::env::var("DBG_CAL").is_ok() {
+            eprintln!("{kind:?} est={est:.1} obs={obs:.1} io={:?}", out_q.io);
+        }
+        // Two more identical cold executions so every round leaves each
+        // kind with enough samples to clear MIN_REFIT_SAMPLES.
+        for _ in 0..2 {
+            db.table().store().go_cold();
+            db.query(&q).unwrap();
+        }
+        let mut ids: Vec<u64> = out_q.rows.iter().map(|r| r.tuple.id.0).collect();
+        ids.sort_unstable();
+        out.push(((kind), (est / obs).ln().abs(), ids));
+    }
+    out
+}
+
+#[test]
+fn mispriced_model_converges_monotonically() {
+    let db = calibration_db();
+    // Seed a deliberately mispriced model: every exercised kind overpriced
+    // 2x (small enough that the index paths still beat the scans, so the
+    // chosen path — and therefore the observed side — stays comparable).
+    let mispriced = db
+        .cost_model()
+        .with_scale(PathKind::PointMerge, 2.0)
+        .with_scale(PathKind::RangeRun, 2.0)
+        .with_scale(PathKind::SecondaryProbe, 2.0);
+    db.set_cost_model(mispriced);
+
+    let mut history: Vec<Vec<(PathKind, f64, Vec<u64>)>> = Vec::new();
+    for _ in 0..4 {
+        history.push(run_round(&db));
+        let outcomes = db.recalibrate();
+        if std::env::var("DBG_CAL").is_ok() {
+            for o in &outcomes {
+                eprintln!(
+                    "refit {:?}: {:.3} -> {:.3} ({} samples)",
+                    o.kind, o.old_scale, o.new_scale, o.samples
+                );
+            }
+        }
+        assert!(
+            !outcomes.is_empty(),
+            "every round feeds samples, so refits must happen"
+        );
+    }
+
+    // Answers never change across calibration rounds.
+    for round in &history[1..] {
+        for (a, b) in history[0].iter().zip(round) {
+            assert_eq!(a.2, b.2, "calibration must not change {:?} answers", a.0);
+        }
+    }
+
+    // Per kind, the |ln(est/obs)| error tightens monotonically (small
+    // epsilon for float noise) and ends strictly tighter than it began.
+    for i in 0..workload().len() {
+        let kind = history[0][i].0;
+        let errs: Vec<f64> = history.iter().map(|r| r[i].1).collect();
+        for w in errs.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "{kind:?}: error must not regress across refits: {errs:?}"
+            );
+        }
+        assert!(
+            *errs.last().unwrap() <= errs[0] * 0.67 + 0.02,
+            "{kind:?}: error must tighten materially: {errs:?}"
+        );
+    }
+}
+
+#[test]
+fn calibrated_model_is_a_refit_fixed_point() {
+    let db = calibration_db();
+    // Converge: run the workload and refit until the scales settle.
+    for _ in 0..6 {
+        for (_, q) in workload() {
+            db.table().store().go_cold();
+            db.query(&q).unwrap();
+        }
+        db.recalibrate();
+    }
+    let settled = db.cost_model();
+
+    // No new samples, repeated refits: every coefficient must stay put —
+    // the bounded refit has a fixed point, it does not oscillate.
+    for _ in 0..3 {
+        db.recalibrate();
+        let again = db.cost_model();
+        for kind in upi_query::cost::PathKind::ALL {
+            assert_eq!(
+                again.scale(kind),
+                settled.scale(kind),
+                "{kind:?} scale moved without new evidence"
+            );
+        }
+    }
+}
+
+#[test]
+fn session_records_samples_per_kind_automatically() {
+    let db = calibration_db();
+    assert_eq!(db.calibration_samples(PathKind::PointMerge), 0);
+    db.table().store().go_cold();
+    db.query(&PtqQuery::eq(1, 3).with_qt(0.2)).unwrap();
+    assert_eq!(
+        db.calibration_samples(PathKind::PointMerge),
+        1,
+        "query() must feed the store"
+    );
+    // A warm repeat is NOT evidence: the observed window shows a
+    // cache-served execution and the store drops it.
+    db.query(&PtqQuery::eq(1, 3).with_qt(0.2)).unwrap();
+    assert_eq!(
+        db.calibration_samples(PathKind::PointMerge),
+        1,
+        "warm-cache executions must be filtered"
+    );
+    db.table().store().go_cold();
+    let (_, text) = db.run_explained(&PtqQuery::eq(1, 3).with_qt(0.2)).unwrap();
+    assert_eq!(db.calibration_samples(PathKind::PointMerge), 2);
+    assert!(text.contains("cost model:"), "{text}");
+    // A third sample clears MIN_REFIT_SAMPLES; after a refit, explain
+    // surfaces the calibrated scale and the sample count behind it.
+    db.table().store().go_cold();
+    db.query(&PtqQuery::eq(1, 3).with_qt(0.2)).unwrap();
+    let outcomes = db.recalibrate();
+    assert!(outcomes.iter().any(|o| o.kind == PathKind::PointMerge));
+    let text = db.explain(&PtqQuery::eq(1, 3).with_qt(0.2)).unwrap();
+    assert!(
+        text.contains("raw") && text.contains("calibrated"),
+        "{text}"
+    );
+    assert!(text.contains("3 samples"), "{text}");
+}

@@ -237,3 +237,78 @@ fn watermark_cuts_cutoff_page_reads_under_suppression() {
          unbounded {unbounded_pages}"
     );
 }
+
+#[test]
+fn watermark_cuts_suppressed_heap_run_reads_pre_decode() {
+    // The companion bound on the *heap run*: a long stretch of a
+    // component's heap run whose tuples a newer delete suppressed used to
+    // be scanned entry-by-entry (decode, test, discard) while hunting the
+    // next survivor. The keyed entries carry their confidence, so the
+    // below-watermark cutoff applies **before decoding**: the first keyed
+    // entry under the watermark ends the component's run outright, page
+    // reads included.
+    let st = store();
+    let cfg = UpiConfig {
+        cutoff: 0.5,
+        page_size: 4096,
+        ..UpiConfig::default()
+    };
+    let mut f = FracturedUpi::create(
+        st.clone(),
+        "wmheap",
+        1,
+        &[],
+        FracturedConfig {
+            upi: cfg,
+            buffer_ops: 0,
+        },
+    )
+    .unwrap();
+
+    // Main: a long heap run at QV — 3000 single-alternative tuples with
+    // confidences descending 0.45 → 0.01 (first alternatives are always
+    // heap-resident; no second alternatives, so the cutoff list is empty
+    // and every page the query reads belongs to the heap run).
+    const N_RUN: u64 = 3_000;
+    let initial: Vec<Tuple> = (0..N_RUN)
+        .map(|i| tuple(i, QV, 0.45 - 0.44 * i as f64 / N_RUN as f64, None))
+        .collect();
+    f.load_initial(&initial).unwrap();
+
+    // Buffered deletes suppress the ENTIRE run; buffered survivors above
+    // it seed the watermark (k of them, all at confidence > 0.45).
+    for i in 0..N_RUN {
+        f.delete(TupleId(i)).unwrap();
+    }
+    const K: usize = 4;
+    for i in 0..K as u64 {
+        f.insert(tuple(300_000 + i, QV, 0.95 - i as f64 * 0.02, None))
+            .unwrap();
+    }
+
+    let measure = |bounded: bool| -> (Vec<(u64, u64)>, u64) {
+        st.go_cold();
+        let before = st.pool.counters();
+        let rows = first_k(&f, 0.0, K, bounded);
+        (rows, st.pool.counters().since(&before).pages_read())
+    };
+    let (unbounded_rows, unbounded_pages) = measure(false);
+    let (bounded_rows, bounded_pages) = measure(true);
+
+    assert_eq!(
+        bounded_rows, unbounded_rows,
+        "the pre-decode bound must not change the top-{K} answer"
+    );
+    assert_eq!(bounded_rows.len(), K, "the buffered survivors qualify");
+    assert!(
+        bounded_pages < unbounded_pages,
+        "the suppressed heap stretch must not be scanned: bounded \
+         {bounded_pages} vs unbounded {unbounded_pages}"
+    );
+    assert!(
+        unbounded_pages - bounded_pages >= 10,
+        "3000 suppressed heap entries span dozens of pages; the bound \
+         should read at most the run's first leaf: bounded {bounded_pages} \
+         vs unbounded {unbounded_pages}"
+    );
+}
