@@ -37,8 +37,10 @@
 use upi::{FracturedConfig, FracturedUpi, UpiConfig};
 use upi_bench::setups::{author_setup, cartel_setup, publication_setup};
 use upi_bench::{banner, header, measure_cold, ms, scale, summary};
+use upi_query::cost::N_PATH_KINDS;
 use upi_query::{
-    AccessPath, CalibrationStore, Catalog, CostModel, PathKind, PhysicalPlan, PtqQuery, QueryOutput,
+    AccessPath, CalibrationStore, Catalog, CostModel, MetricsRegistry, PathKind, PhysicalPlan,
+    PtqQuery, QueryOutput,
 };
 use upi_storage::{DiskConfig, PoolCounters};
 use upi_workloads::cartel::observation_fields;
@@ -110,6 +112,7 @@ fn run_point(
     store: &upi_storage::Store,
     mut samples: Option<&mut CalibrationStore>,
     max_ratio: f64,
+    metrics: &mut MetricsRegistry,
 ) -> CaseRecord {
     let plan = q.plan(catalog).expect("planner must find a path");
     if std::env::var("UPI_PLANNER_EXPLAIN").is_ok() {
@@ -124,7 +127,32 @@ fn run_point(
         chosen_out = Some(out);
         n
     });
-    let reference = fingerprint(&chosen_out.expect("measured closure ran"));
+    let chosen_out = chosen_out.expect("measured closure ran");
+
+    // Every chosen execution feeds the bench-wide metrics registry (the
+    // same registry `UncertainDb` owns per session) — the snapshot
+    // becomes BENCH_metrics.json.
+    let cost = &plan.candidates[0].cost;
+    metrics.record_query(
+        cost.kind,
+        plan.est_ms(),
+        chosen.sim_ms,
+        chosen_out.len() as u64,
+        chosen_out.io.as_ref(),
+    );
+
+    // EXPLAIN ANALYZE coverage: every figure point's chosen plan must
+    // render an executed span tree.
+    let analyze = plan.render_analyze(&chosen_out);
+    assert!(
+        analyze.contains("trace ("),
+        "{label}: render_analyze must include the span tree:\n{analyze}"
+    );
+    if std::env::var("UPI_PLANNER_EXPLAIN").is_ok() {
+        eprintln!("--- {label} (analyze)\n{analyze}");
+    }
+
+    let reference = fingerprint(&chosen_out);
 
     let mut best_forced = f64::INFINITY;
     let mut best_label = String::new();
@@ -273,6 +301,16 @@ fn hint_json(h: &HintRecord) -> String {
     )
 }
 
+/// Mirror a refit model's per-kind scales into the metrics registry
+/// (what `UncertainDb::recalibrate` does for a session).
+fn record_refit_scales(metrics: &mut MetricsRegistry, model: &CostModel) {
+    let mut scales = [1.0f64; N_PATH_KINDS];
+    for k in PathKind::ALL {
+        scales[k.index()] = model.scale(k);
+    }
+    metrics.record_refit(scales);
+}
+
 #[allow(clippy::too_many_arguments)]
 fn write_json(
     cold: &[CaseRecord],
@@ -347,6 +385,9 @@ fn main() {
     // (and its own simulated machine), exactly like one `UncertainDb`
     // session calibrating itself.
     let mut blocks: Vec<(String, CostModel, CalibrationStore)> = Vec::new();
+    // One registry across the whole bench: every chosen execution and
+    // every refit pass lands here, snapshotted as BENCH_metrics.json.
+    let mut metrics = MetricsRegistry::new();
     let hint_record;
     let fractured_hint_record;
 
@@ -386,9 +427,11 @@ fn main() {
                 &s.store,
                 Some(&mut cal_store),
                 COLD_GATE,
+                &mut metrics,
             ));
         }
         model.refit(&cal_store);
+        record_refit_scales(&mut metrics, &model);
         let calibrated = Catalog::new(s.store.disk.config())
             .with_cost_model(model)
             .with_upi(&s.upi)
@@ -397,7 +440,15 @@ fn main() {
             .with_pool(&s.store.pool);
         header(&["query1(calibrated)", "chosen", "chosen_ms", "forced..."]);
         for (label, q) in &points {
-            cal_records.push(run_point(label, q, &calibrated, &s.store, None, CAL_GATE));
+            cal_records.push(run_point(
+                label,
+                q,
+                &calibrated,
+                &s.store,
+                None,
+                CAL_GATE,
+                &mut metrics,
+            ));
         }
         blocks.push(("q1".to_string(), model, cal_store));
 
@@ -494,11 +545,13 @@ fn main() {
                 &s.store,
                 Some(&mut cal_store),
                 COLD_GATE,
+                &mut metrics,
             ));
         }
         // One calibration pass over this setup's observations — the pass
         // the q3@0.5 crossover gate below rides on.
         model.refit(&cal_store);
+        record_refit_scales(&mut metrics, &model);
         let calibrated = Catalog::new(s.store.disk.config())
             .with_cost_model(model)
             .with_upi(&s.upi)
@@ -507,7 +560,15 @@ fn main() {
             .with_pii(&s.pii_country);
         header(&["query2-3(calibrated)", "chosen", "chosen_ms", "forced..."]);
         for (label, q) in &points {
-            cal_records.push(run_point(label, q, &calibrated, &s.store, None, CAL_GATE));
+            cal_records.push(run_point(
+                label,
+                q,
+                &calibrated,
+                &s.store,
+                None,
+                CAL_GATE,
+                &mut metrics,
+            ));
         }
         blocks.push(("q2-q3".to_string(), model, cal_store));
     }
@@ -549,9 +610,11 @@ fn main() {
                 &s.store,
                 Some(&mut cal_store),
                 COLD_GATE,
+                &mut metrics,
             ));
         }
         model.refit(&cal_store);
+        record_refit_scales(&mut metrics, &model);
         // Same registration as the cold pass (no pool): cold vs.
         // calibrated must differ only in the pricing model, never in
         // the execution protocol.
@@ -564,7 +627,15 @@ fn main() {
             .with_pii(&s.seg_on_heap);
         header(&["query4-5(calibrated)", "chosen", "chosen_ms", "forced..."]);
         for (label, q) in &points {
-            cal_records.push(run_point(label, q, &calibrated, &s.store, None, CAL_GATE));
+            cal_records.push(run_point(
+                label,
+                q,
+                &calibrated,
+                &s.store,
+                None,
+                CAL_GATE,
+                &mut metrics,
+            ));
         }
         blocks.push(("q4-q5".to_string(), model, cal_store));
     }
@@ -604,6 +675,19 @@ fn main() {
         &hint,
         &frac_hint,
     );
+    // Session-metrics snapshot: per-kind query counts and device-ms
+    // quantiles, pool ratios, refit count, misestimation quantiles.
+    let snap = metrics.snapshot();
+    let metrics_path = std::env::var("UPI_BENCH_METRICS_JSON").unwrap_or_else(|_| {
+        std::env::var("CARGO_MANIFEST_DIR")
+            .map(|d| format!("{d}/../../BENCH_metrics.json"))
+            .unwrap_or_else(|_| "BENCH_metrics.json".to_string())
+    });
+    std::fs::write(&metrics_path, snap.to_json()).expect("write BENCH_metrics.json");
+    eprintln!("[json] wrote {metrics_path}");
+    summary("planner.metrics_queries", snap.queries);
+    summary("planner.metrics_refits", snap.refits);
+
     summary(
         "planner.worst_chosen_vs_best_forced",
         format!("{cal_worst:.3}x (calibrated; cold {cold_worst:.3}x)"),

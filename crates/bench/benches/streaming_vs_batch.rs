@@ -25,7 +25,7 @@
 
 use upi::PtqResult;
 use upi_bench::setups::publication_setup;
-use upi_bench::{banner, header, ms, summary};
+use upi_bench::{banner, header, ms, scale, summary};
 use upi_query::{AccessPath, Catalog, PhysicalPlan, PtqQuery};
 use upi_storage::{PoolCounters, Store};
 use upi_workloads::dblp::publication_fields;
@@ -79,7 +79,46 @@ struct Case {
     batch_ms: f64,
     streaming_bytes: u64,
     batch_bytes: u64,
+    /// Read-ahead pages prefetched by the streaming side but evicted
+    /// unused — nonzero means the pool speculated past what the plan
+    /// consumed (the scatter-shaped regression this bench gates on).
+    streaming_wasted: u64,
     rows: usize,
+}
+
+/// The instrumented executor must not cost I/O or device time: within
+/// 5% of the committed baseline, per case.
+const OVERHEAD_GATE: f64 = 1.05;
+
+/// Pull `"key": <number>` out of a one-line JSON object (fixed-shape
+/// extractor for the committed baseline, not a JSON parser).
+fn extract_num(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The committed baseline for case `name`: streaming `(pages_read,
+/// elapsed_ms)`.
+fn baseline_case(json: &str, name: &str) -> Option<(f64, f64)> {
+    let pat = format!("\"name\": \"{name}\"");
+    let start = json.find(&pat)?;
+    let line_end = json[start..]
+        .find('\n')
+        .map(|e| start + e)
+        .unwrap_or(json.len());
+    let obj = &json[start..line_end];
+    let spos = obj.find("\"streaming\"")?;
+    let send = obj[spos..].find('}').map(|e| spos + e).unwrap_or(obj.len());
+    let sobj = &obj[spos..send];
+    Some((
+        extract_num(sobj, "pages_read")?,
+        extract_num(sobj, "elapsed_ms")?,
+    ))
 }
 
 fn main() {
@@ -131,6 +170,7 @@ fn main() {
             batch_ms: batch.sim_ms,
             streaming_bytes: streaming.bytes_read,
             batch_bytes: batch.bytes_read,
+            streaming_wasted: streaming.pool.readahead_wasted,
             rows: streaming.rows.len(),
         });
     }
@@ -163,6 +203,7 @@ fn main() {
             batch_ms: batch.sim_ms,
             streaming_bytes: streaming.bytes_read,
             batch_bytes: batch.bytes_read,
+            streaming_wasted: streaming.pool.readahead_wasted,
             rows: streaming.rows.len(),
         });
     }
@@ -184,6 +225,7 @@ fn main() {
             batch_ms: batch.sim_ms,
             streaming_bytes: streaming.bytes_read,
             batch_bytes: batch.bytes_read,
+            streaming_wasted: streaming.pool.readahead_wasted,
             rows: streaming.rows.len(),
         });
     }
@@ -209,14 +251,62 @@ fn main() {
             .map(|d| format!("{d}/../../BENCH_streaming.json"))
             .unwrap_or_else(|_| "BENCH_streaming.json".to_string())
     });
-    let mut json = String::from("{\n  \"cases\": [\n");
+    // Overhead gate: the always-on trace/attribution instrumentation may
+    // not cost I/O or simulated time — every streaming measurement must
+    // stay within 5% of the committed baseline (one-sided: improvements,
+    // like the scatter-shaped read-ahead fix, pass). Read the committed
+    // file *before* overwriting it.
+    match std::fs::read_to_string(&json_path) {
+        // Page counts and simulated times are only comparable at the
+        // same dataset scale. Baselines predating the scale field were
+        // recorded at 0.05 (see CHANGES.md, PR 4).
+        Ok(baseline)
+            if (extract_num(&baseline, "scale").unwrap_or(0.05) - scale()).abs() < 1e-9 =>
+        {
+            for c in &cases {
+                let Some((base_pages, base_ms)) = baseline_case(&baseline, c.name) else {
+                    eprintln!("[gate] no baseline entry for {}; skipped", c.name);
+                    continue;
+                };
+                assert!(
+                    c.streaming_pages as f64 <= base_pages * OVERHEAD_GATE + 1.0,
+                    "{}: instrumented streaming read {} pages vs baseline {} (5% gate)",
+                    c.name,
+                    c.streaming_pages,
+                    base_pages
+                );
+                assert!(
+                    c.streaming_ms <= base_ms * OVERHEAD_GATE + 1.0,
+                    "{}: instrumented streaming took {:.3} ms vs baseline {:.3} (5% gate)",
+                    c.name,
+                    c.streaming_ms,
+                    base_ms
+                );
+                summary(
+                    &format!("streaming.{}_vs_baseline", c.name),
+                    format!(
+                        "{} pages vs {:.0} baseline, {:.1} ms vs {:.1}",
+                        c.streaming_pages, base_pages, c.streaming_ms, base_ms
+                    ),
+                );
+            }
+        }
+        Ok(_) => eprintln!(
+            "[gate] baseline at a different scale than {}; overhead gate skipped",
+            scale()
+        ),
+        Err(_) => eprintln!("[gate] no committed baseline at {json_path}; overhead gate skipped"),
+    }
+
+    let mut json = format!("{{\n  \"scale\": {:.3},\n  \"cases\": [\n", scale());
     for (i, c) in cases.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"streaming\": {{\"pages_read\": {}, \"bytes_read\": {}, \"elapsed_ms\": {:.3}}}, \"batch\": {{\"pages_read\": {}, \"bytes_read\": {}, \"elapsed_ms\": {:.3}}}, \"rows\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"streaming\": {{\"pages_read\": {}, \"bytes_read\": {}, \"elapsed_ms\": {:.3}, \"readahead_wasted\": {}}}, \"batch\": {{\"pages_read\": {}, \"bytes_read\": {}, \"elapsed_ms\": {:.3}}}, \"rows\": {}}}{}\n",
             c.name,
             c.streaming_pages,
             c.streaming_bytes,
             c.streaming_ms,
+            c.streaming_wasted,
             c.batch_pages,
             c.batch_bytes,
             c.batch_ms,

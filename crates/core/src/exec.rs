@@ -21,6 +21,38 @@ pub struct PtqResult {
     pub confidence: f64,
 }
 
+/// Per-cursor instrumentation counters, accumulated by every streaming
+/// cursor (`HeapRun`, `PointRun`, `RangeRun`, `SecondaryRun`, scans and
+/// the fractured merges) as it pulls rows. Allocation-free — plain
+/// increments on the cursor — and harvested by the query layer's trace
+/// spans after execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CursorStats {
+    /// Rows emitted to the consumer.
+    pub rows: u64,
+    /// Tuples decoded from heap pages.
+    pub decodes: u64,
+    /// Candidates skipped by a suppression / residual predicate before
+    /// any heap fetch.
+    pub suppressed: u64,
+    /// Pointer dereferences into the clustered heap (cutoff or secondary
+    /// entries resolved to their tuple).
+    pub pointer_fetches: u64,
+}
+
+impl CursorStats {
+    /// Component-wise sum (merging a child cursor's counters into its
+    /// parent's).
+    pub fn merged(self, other: CursorStats) -> CursorStats {
+        CursorStats {
+            rows: self.rows + other.rows,
+            decodes: self.decodes + other.decodes,
+            suppressed: self.suppressed + other.suppressed,
+            pointer_fetches: self.pointer_fetches + other.pointer_fetches,
+        }
+    }
+}
+
 /// Typed executor errors (library code must not panic on malformed
 /// queries — a bad field index or type comes from the caller, not a bug).
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -29,7 +29,7 @@ use upi_storage::error::Result;
 use upi_storage::Store;
 use upi_uncertain::{Tuple, TupleId};
 
-use crate::exec::{sort_results, PtqResult};
+use crate::exec::{sort_results, CursorStats, PtqResult};
 use crate::upi::{DiscreteUpi, PointRun, RangeRun, SecondaryRun, UpiConfig};
 
 /// Configuration of a Fractured UPI.
@@ -414,11 +414,13 @@ impl FracturedUpi {
             })
             .collect();
         sort_results(&mut buffered);
+        let suppressed = vec![0; streams.len()];
         Ok(FracturedRangeRun {
             f: self,
             streams,
             at: 0,
             buffered: buffered.into_iter(),
+            suppressed,
         })
     }
 
@@ -620,6 +622,13 @@ pub struct FracturedPointRun<'a> {
 }
 
 impl FracturedPointRun<'_> {
+    /// Per-component instrumentation counters (index 0 = the main UPI,
+    /// then one entry per fracture; suppression and decode work are
+    /// pushed into each component cursor, so they land here).
+    pub fn component_stats(&self) -> Vec<CursorStats> {
+        self.streams.iter().map(|s| s.stats()).collect()
+    }
+
     /// Refill every empty head with the next *surviving* (non-suppressed)
     /// row of its component. Suppression and the top-k watermark are
     /// pushed into each component's [`PointRun`], so suppressed cutoff
@@ -686,6 +695,26 @@ pub struct FracturedRangeRun<'a> {
     streams: Vec<RangeRun<'a>>,
     at: usize,
     buffered: std::vec::IntoIter<PtqResult>,
+    /// Rows dropped by suppression *after* surfacing from each component
+    /// (range suppression is checked post-pull, unlike the point merge).
+    suppressed: Vec<u64>,
+}
+
+impl FracturedRangeRun<'_> {
+    /// Per-component instrumentation counters (index 0 = the main UPI,
+    /// then one entry per fracture), including post-pull suppressions.
+    pub fn component_stats(&self) -> Vec<CursorStats> {
+        self.streams
+            .iter()
+            .zip(&self.suppressed)
+            .map(|(s, &sup)| {
+                let mut st = s.stats();
+                st.suppressed += sup;
+                st.rows -= sup; // suppressed rows never reached the consumer
+                st
+            })
+            .collect()
+    }
 }
 
 impl Iterator for FracturedRangeRun<'_> {
@@ -699,6 +728,7 @@ impl Iterator for FracturedRangeRun<'_> {
                     if !self.f.suppressed(r.tuple.id.0, self.at) {
                         return Some(Ok(r));
                     }
+                    self.suppressed[self.at] += 1;
                 }
                 None => self.at += 1,
             }
@@ -713,6 +743,15 @@ pub struct FracturedSecondaryRun<'a> {
     streams: Vec<SecondaryRun<'a>>,
     at: usize,
     buffered: std::vec::IntoIter<PtqResult>,
+}
+
+impl FracturedSecondaryRun<'_> {
+    /// Per-component instrumentation counters (index 0 = the main UPI,
+    /// then one entry per fracture; suppression was applied at
+    /// entry-choice time, so it is already counted inside each stream).
+    pub fn component_stats(&self) -> Vec<CursorStats> {
+        self.streams.iter().map(|s| s.stats()).collect()
+    }
 }
 
 impl Iterator for FracturedSecondaryRun<'_> {

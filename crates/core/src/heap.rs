@@ -7,6 +7,8 @@
 //! file.
 
 use upi_btree::{BTree, Cursor, TreeStats};
+
+use crate::exec::CursorStats;
 use upi_storage::error::Result;
 use upi_storage::Store;
 use upi_uncertain::tuple::{decode_tuple, encode_tuple};
@@ -67,6 +69,7 @@ impl UnclusteredHeap {
     pub fn scan_run(&self) -> Result<HeapScanRun<'_>> {
         Ok(HeapScanRun {
             cur: self.tree.first()?,
+            stats: CursorStats::default(),
         })
     }
 
@@ -106,6 +109,14 @@ impl UnclusteredHeap {
 /// Streaming full-scan iterator (see [`UnclusteredHeap::scan_run`]).
 pub struct HeapScanRun<'a> {
     cur: Cursor<'a>,
+    stats: CursorStats,
+}
+
+impl HeapScanRun<'_> {
+    /// Instrumentation counters accumulated so far.
+    pub fn stats(&self) -> CursorStats {
+        self.stats
+    }
 }
 
 impl Iterator for HeapScanRun<'_> {
@@ -116,9 +127,11 @@ impl Iterator for HeapScanRun<'_> {
             return None;
         }
         let tuple = decode_tuple(self.cur.value());
+        self.stats.decodes += 1;
         if let Err(e) = self.cur.advance() {
             return Some(Err(e));
         }
+        self.stats.rows += 1;
         Some(Ok(tuple))
     }
 }

@@ -58,7 +58,7 @@ pub mod upi;
 pub use continuous::{ContinuousConfig, ContinuousSecondary, ContinuousUpi, SecondaryUTree};
 pub use cost::{CostModel, CostParams, DeviceCoeffs};
 pub use cutoff::{CutoffIndex, CutoffRangeRun};
-pub use exec::{group_count, sort_results, top_k, ExecError, PtqResult};
+pub use exec::{group_count, sort_results, top_k, CursorStats, ExecError, PtqResult};
 pub use fractured::{
     FracturedConfig, FracturedPointRun, FracturedRangeRun, FracturedSecondaryRun, FracturedUpi,
 };

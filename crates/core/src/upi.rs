@@ -11,7 +11,7 @@ use upi_uncertain::tuple::{decode_tuple, encode_tuple, peek_first_alt};
 use upi_uncertain::{AttrStats, Tuple};
 
 use crate::cutoff::{CutoffIndex, CutoffPointer};
-use crate::exec::PtqResult;
+use crate::exec::{CursorStats, PtqResult};
 use crate::keys;
 use crate::secondary::SecondaryIndex;
 
@@ -254,7 +254,12 @@ impl DiscreteUpi {
     /// its `IndexRun` operator on.
     pub fn heap_run(&self, value: u64, qt: f64) -> Result<HeapRun<'_>> {
         let cur = self.heap.seek(&keys::value_prefix(value))?;
-        Ok(HeapRun { cur, value, qt })
+        Ok(HeapRun {
+            cur,
+            value,
+            qt,
+            stats: CursorStats::default(),
+        })
     }
 
     /// Streaming scan of the whole heap yielding each distinct tuple once
@@ -265,6 +270,7 @@ impl DiscreteUpi {
         Ok(DistinctScan {
             cur,
             attr: self.attr,
+            stats: CursorStats::default(),
         })
     }
 
@@ -320,6 +326,7 @@ impl DiscreteUpi {
             pointers: None,
             ptr_head: None,
             ptr_taken: 0,
+            stats: CursorStats::default(),
         })
     }
 
@@ -342,6 +349,7 @@ impl DiscreteUpi {
             qt,
             seen: HashSet::new(),
             pending: None,
+            stats: CursorStats::default(),
         })
     }
 
@@ -376,9 +384,11 @@ impl DiscreteUpi {
         keep: &dyn Fn(u64) -> bool,
     ) -> Result<SecondaryRun<'_>> {
         let mut entries = Vec::new();
+        let mut suppressed = 0u64;
         for e in self.secondaries[sec_idx].scan_run(value, qt)? {
             let e = e?;
             if !keep(e.tid) {
+                suppressed += 1;
                 continue;
             }
             entries.push(e);
@@ -416,6 +426,10 @@ impl DiscreteUpi {
         Ok(SecondaryRun {
             upi: self,
             chosen: chosen.into_iter(),
+            stats: CursorStats {
+                suppressed,
+                ..CursorStats::default()
+            },
         })
     }
 
@@ -561,9 +575,15 @@ pub struct HeapRun<'a> {
     cur: Cursor<'a>,
     value: u64,
     qt: f64,
+    stats: CursorStats,
 }
 
 impl HeapRun<'_> {
+    /// Instrumentation counters accumulated so far.
+    pub fn stats(&self) -> CursorStats {
+        self.stats
+    }
+
     /// [`Iterator::next`] with a confidence watermark and a tuple-id
     /// filter, both applied to the **keyed** entry before the tuple bytes
     /// are decoded: the key carries `(value, prob, tid)`, so a row failing
@@ -588,15 +608,18 @@ impl HeapRun<'_> {
             }
             if !keep(tid) {
                 // Suppressed: skip past it pre-decode.
+                self.stats.suppressed += 1;
                 if let Err(e) = self.cur.advance() {
                     return Some(Err(e));
                 }
                 continue;
             }
             let tuple = decode_tuple(self.cur.value());
+            self.stats.decodes += 1;
             if let Err(e) = self.cur.advance() {
                 return Some(Err(e));
             }
+            self.stats.rows += 1;
             return Some(Ok(PtqResult {
                 tuple,
                 confidence: prob,
@@ -618,6 +641,14 @@ impl Iterator for HeapRun<'_> {
 pub struct DistinctScan<'a> {
     cur: Cursor<'a>,
     attr: usize,
+    stats: CursorStats,
+}
+
+impl DistinctScan<'_> {
+    /// Instrumentation counters accumulated so far.
+    pub fn stats(&self) -> CursorStats {
+        self.stats
+    }
 }
 
 impl Iterator for DistinctScan<'_> {
@@ -638,11 +669,15 @@ impl Iterator for DistinctScan<'_> {
                 None => true, // malformed entry: decode and let it panic
             };
             let t = keep.then(|| decode_tuple(self.cur.value()));
+            if t.is_some() {
+                self.stats.decodes += 1;
+            }
             if let Err(e) = self.cur.advance() {
                 return Some(Err(e));
             }
             if let Some(t) = t {
                 debug_assert_eq!(t.discrete(self.attr).first().0, v);
+                self.stats.rows += 1;
                 return Some(Ok(t));
             }
         }
@@ -673,9 +708,31 @@ pub struct PointRun<'a> {
     ptr_head: Option<CutoffPointer>,
     /// Cutoff entries consumed so far (bounded by `cutoff_limit`).
     ptr_taken: usize,
+    /// Merge-level counters; the live heap run keeps its own, folded in
+    /// by [`stats`](Self::stats) (and harvested when the run ends).
+    stats: CursorStats,
 }
 
 impl PointRun<'_> {
+    /// Instrumentation counters accumulated so far, including the child
+    /// heap run's decode/suppression work. `rows` counts rows *this*
+    /// merge emitted (a pulled-but-buffered run head is not a row yet).
+    pub fn stats(&self) -> CursorStats {
+        match &self.run {
+            Some(run) => self.stats.merged(Self::child_contrib(run)),
+            None => self.stats,
+        }
+    }
+
+    /// A child run's counters minus its `rows`: rows are counted at this
+    /// operator's own emit points, not at the pull into `run_head`.
+    fn child_contrib(run: &HeapRun<'_>) -> CursorStats {
+        CursorStats {
+            rows: 0,
+            ..run.stats()
+        }
+    }
+
     /// Pull the next heap-run row passing `keep` into `run_head`. The
     /// filter and the watermark are pushed down into
     /// [`HeapRun::next_where`], so suppressed rows are skipped before
@@ -687,7 +744,11 @@ impl PointRun<'_> {
             let Some(run) = &mut self.run else { break };
             match run.next_where(min_conf, keep) {
                 Some(r) => self.run_head = Some(r?),
-                None => self.run = None,
+                None => {
+                    // Harvest the exhausted run's counters before dropping it.
+                    self.stats = self.stats.merged(Self::child_contrib(run));
+                    self.run = None;
+                }
             }
         }
         Ok(())
@@ -731,6 +792,8 @@ impl PointRun<'_> {
                     self.ptr_taken += 1;
                     if keep(cp.tid) {
                         self.ptr_head = Some(cp);
+                    } else {
+                        self.stats.suppressed += 1;
                     }
                 }
             }
@@ -761,6 +824,7 @@ impl PointRun<'_> {
                 if head.confidence < min_conf {
                     return None; // run is descending: nothing can qualify
                 }
+                self.stats.rows += 1;
                 return Some(Ok(self.run_head.take().unwrap()));
             }
         }
@@ -794,19 +858,24 @@ impl PointRun<'_> {
                 self.run_head = Some(r);
                 return None;
             }
+            self.stats.rows += 1;
             return Some(Ok(r));
         }
         // The stale-head check above guarantees the pointer is at/above
         // `min_conf`.
         let cp = self.ptr_head.take().unwrap();
+        self.stats.pointer_fetches += 1;
         match self
             .upi
             .fetch_by_pointer(cp.first_value, cp.first_prob, cp.tid)
         {
-            Ok(Some(tuple)) => Some(Ok(PtqResult {
-                tuple,
-                confidence: cp.prob,
-            })),
+            Ok(Some(tuple)) => {
+                self.stats.rows += 1;
+                Some(Ok(PtqResult {
+                    tuple,
+                    confidence: cp.prob,
+                }))
+            }
             Ok(None) => panic!("cutoff pointer must dereference"),
             Err(e) => Some(Err(e)),
         }
@@ -837,9 +906,15 @@ pub struct RangeRun<'a> {
     /// Phase-2 fetch list `(ptr value, ptr prob, tid, confidence)`, heap
     /// order; built when the heap run is exhausted.
     pending: Option<std::vec::IntoIter<(u64, f64, u64, f64)>>,
+    stats: CursorStats,
 }
 
 impl RangeRun<'_> {
+    /// Instrumentation counters accumulated so far.
+    pub fn stats(&self) -> CursorStats {
+        self.stats
+    }
+
     /// Quantized-grid possible-world confidence of `tuple` for this
     /// range, exactly as the index keys would sum it.
     fn range_confidence(&self, tuple: &Tuple) -> f64 {
@@ -894,12 +969,16 @@ impl Iterator for RangeRun<'_> {
             }
             let fresh = self.seen.insert(tid);
             let tuple = fresh.then(|| decode_tuple(cur.value()));
+            if tuple.is_some() {
+                self.stats.decodes += 1;
+            }
             if let Err(e) = cur.advance() {
                 return Some(Err(e));
             }
             if let Some(tuple) = tuple {
                 let confidence = self.range_confidence(&tuple);
                 if confidence >= self.qt {
+                    self.stats.rows += 1;
                     return Some(Ok(PtqResult { tuple, confidence }));
                 }
             }
@@ -911,8 +990,12 @@ impl Iterator for RangeRun<'_> {
             }
         }
         let (v, p, tid, confidence) = self.pending.as_mut().unwrap().next()?;
+        self.stats.pointer_fetches += 1;
         match self.upi.fetch_by_pointer(v, p, tid) {
-            Ok(Some(tuple)) => Some(Ok(PtqResult { tuple, confidence })),
+            Ok(Some(tuple)) => {
+                self.stats.rows += 1;
+                Some(Ok(PtqResult { tuple, confidence }))
+            }
             Ok(None) => panic!("cutoff pointer must dereference"),
             Err(e) => Some(Err(e)),
         }
@@ -926,6 +1009,14 @@ pub struct SecondaryRun<'a> {
     upi: &'a DiscreteUpi,
     /// `(pointer value, pointer prob, tid, confidence)`, heap key order.
     chosen: std::vec::IntoIter<(u64, f64, u64, f64)>,
+    stats: CursorStats,
+}
+
+impl SecondaryRun<'_> {
+    /// Instrumentation counters accumulated so far.
+    pub fn stats(&self) -> CursorStats {
+        self.stats
+    }
 }
 
 impl Iterator for SecondaryRun<'_> {
@@ -933,8 +1024,12 @@ impl Iterator for SecondaryRun<'_> {
 
     fn next(&mut self) -> Option<Self::Item> {
         let (v, p, tid, confidence) = self.chosen.next()?;
+        self.stats.pointer_fetches += 1;
         match self.upi.fetch_by_pointer(v, p, tid) {
-            Ok(Some(tuple)) => Some(Ok(PtqResult { tuple, confidence })),
+            Ok(Some(tuple)) => {
+                self.stats.rows += 1;
+                Some(Ok(PtqResult { tuple, confidence }))
+            }
             Ok(None) => panic!("secondary pointer must dereference"),
             Err(e) => Some(Err(e)),
         }

@@ -45,6 +45,11 @@ pub struct Catalog<'a> {
     /// run (surfaced on `QueryOutput::io` and in
     /// `PhysicalPlan::explain_with_io`).
     pub pool: Option<&'a BufferPool>,
+    /// The attribution id the executor should charge device time under.
+    /// A session sets this so plan-time and execute-time I/O land on one
+    /// per-query slot; when absent the executor allocates a fresh id per
+    /// execution.
+    pub query_id: Option<upi_storage::QueryId>,
 }
 
 impl<'a> Catalog<'a> {
@@ -62,6 +67,7 @@ impl<'a> Catalog<'a> {
             cont_secondaries: Vec::new(),
             utree: None,
             pool: None,
+            query_id: None,
         }
     }
 
@@ -154,6 +160,13 @@ impl<'a> Catalog<'a> {
             "catalog already has a buffer pool registered"
         );
         self.pool = Some(pool);
+        self
+    }
+
+    /// Pin the attribution id queries through this catalog are charged
+    /// under (plain overwrite — a session re-pins per query).
+    pub fn with_query_id(mut self, qid: upi_storage::QueryId) -> Catalog<'a> {
+        self.query_id = Some(qid);
         self
     }
 }

@@ -12,16 +12,25 @@
 //! let a top-k sink stop pulling — and therefore stop *reading* — after
 //! k rows. Only the R-Tree circle paths remain batch, delegating to the
 //! owning index structure and feeding rows through the same sinks.
+//!
+//! Every execution is observed: the concrete [`SourceOp`] wrapper keeps
+//! per-operator [`CursorStats`], device time is attributed to a
+//! [`QueryId`](upi_storage::QueryId) via the pool's scoped attribution
+//! guard, and the harvested span tree lands on
+//! [`QueryOutput::trace`].
 
 use upi::exec::group_count;
-use upi::{DiscreteUpi, FracturedUpi, HeapRun, HeapScanRun, Pii, PtqResult, UnclusteredHeap};
+use upi::{
+    CursorStats, DiscreteUpi, FracturedUpi, HeapRun, HeapScanRun, Pii, PtqResult, UnclusteredHeap,
+};
 use upi_storage::codec::{dequantize_prob, quantize_prob};
 use upi_storage::error::Result as StorageResult;
-use upi_storage::{IoStats, PoolCounters};
+use upi_storage::{IoStats, PoolCounters, QueryId};
 use upi_uncertain::Tuple;
 
 use crate::catalog::Catalog;
 use crate::error::QueryError;
+use crate::obs::{QueryTrace, TraceSpan};
 use crate::plan::{AccessPath, PhysicalPlan};
 use crate::query::{Predicate, PtqQuery};
 
@@ -41,9 +50,16 @@ pub struct QueryOutput {
     pub io: Option<PoolCounters>,
     /// Simulated device time attributed to this execution (seek +
     /// transfer + open milliseconds), when the catalog registered a pool.
-    /// This is the **observed side** of cost-model calibration: the same
-    /// quantity the benchmarks call "measured runtime", per query.
+    /// Measured on the **per-query attribution slot** — concurrent
+    /// queries on one pool each observe only their own I/O. This is the
+    /// observed side of cost-model calibration: the same quantity the
+    /// benchmarks call "measured runtime", per query.
     pub device: Option<IoStats>,
+    /// The executed span tree: per-operator rows / decodes / suppressed /
+    /// pointer fetches, plus attributed pages and device ms on the source
+    /// root. Always populated by `execute` (instrumentation is always
+    /// on); `None` only on hand-built outputs.
+    pub trace: Option<QueryTrace>,
 }
 
 impl QueryOutput {
@@ -64,6 +80,21 @@ impl QueryOutput {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Warning line when the buffer pool hit eviction write-back failures
+    /// during this query — surfaced here (and in `explain_analyze`) so
+    /// lost-durability incidents are visible at the query level, not only
+    /// in store-wide counters.
+    pub fn flush_warning(&self) -> Option<String> {
+        match &self.io {
+            Some(io) if io.flush_errors > 0 => Some(format!(
+                "WARNING: {} eviction write-back failure(s) during this query; \
+                 evicted dirty pages may not be durable",
+                io.flush_errors
+            )),
+            _ => None,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -82,6 +113,11 @@ impl<'a> IndexRun<'a> {
             inner: upi.heap_run(value, qt)?,
         })
     }
+
+    /// Cursor counters accumulated so far.
+    pub fn stats(&self) -> CursorStats {
+        self.inner.stats()
+    }
 }
 
 impl Iterator for IndexRun<'_> {
@@ -99,6 +135,10 @@ pub struct CutoffMerge<'a> {
     upi: &'a DiscreteUpi,
     /// `(first_value, first_prob, tid, confidence)` in heap key order.
     pending: std::vec::IntoIter<(u64, f64, u64, f64)>,
+    /// Heap-run counters, harvested when the run phase ends.
+    run_stats: CursorStats,
+    /// Pointer-phase counters (fetches + rows emitted from pointers).
+    ptr_stats: CursorStats,
 }
 
 impl<'a> CutoffMerge<'a> {
@@ -124,7 +164,16 @@ impl<'a> CutoffMerge<'a> {
             run: Some(run),
             upi,
             pending: pointers.into_iter(),
+            run_stats: CursorStats::default(),
+            ptr_stats: CursorStats::default(),
         })
+    }
+
+    fn heap_run_stats(&self) -> CursorStats {
+        match &self.run {
+            Some(run) => run.stats(),
+            None => self.run_stats,
+        }
     }
 }
 
@@ -134,12 +183,19 @@ impl Iterator for CutoffMerge<'_> {
         if let Some(run) = &mut self.run {
             match run.next() {
                 Some(item) => return Some(item),
-                None => self.run = None,
+                None => {
+                    self.run_stats = run.stats();
+                    self.run = None;
+                }
             }
         }
         let (v, p, tid, confidence) = self.pending.next()?;
+        self.ptr_stats.pointer_fetches += 1;
         match self.upi.fetch_by_pointer(v, p, tid) {
-            Ok(Some(tuple)) => Some(Ok(PtqResult { tuple, confidence })),
+            Ok(Some(tuple)) => {
+                self.ptr_stats.rows += 1;
+                Some(Ok(PtqResult { tuple, confidence }))
+            }
             Ok(None) => Some(Err(QueryError::CatalogMismatch {
                 missing: format!("heap copy for cutoff pointer ({v}, {p}, {tid})"),
             })),
@@ -153,6 +209,9 @@ impl Iterator for CutoffMerge<'_> {
 pub struct PiiProbe<'a> {
     heap: &'a UnclusteredHeap,
     pending: std::vec::IntoIter<(u64, f64)>,
+    /// Inverted-list matches read at open (the list is compact and eager).
+    list_rows: u64,
+    stats: CursorStats,
 }
 
 impl<'a> PiiProbe<'a> {
@@ -170,7 +229,9 @@ impl<'a> PiiProbe<'a> {
         matches.sort_unstable_by_key(|&(tid, _)| tid);
         Ok(PiiProbe {
             heap,
+            list_rows: matches.len() as u64,
             pending: matches.into_iter(),
+            stats: CursorStats::default(),
         })
     }
 }
@@ -180,9 +241,17 @@ impl Iterator for PiiProbe<'_> {
     fn next(&mut self) -> Option<Self::Item> {
         loop {
             let (tid, confidence) = self.pending.next()?;
+            self.stats.pointer_fetches += 1;
             match self.heap.get(upi_uncertain::TupleId(tid)) {
-                Ok(Some(tuple)) => return Some(Ok(PtqResult { tuple, confidence })),
-                Ok(None) => continue, // tuple deleted under the index
+                Ok(Some(tuple)) => {
+                    self.stats.rows += 1;
+                    return Some(Ok(PtqResult { tuple, confidence }));
+                }
+                Ok(None) => {
+                    // Tuple deleted under the index.
+                    self.stats.suppressed += 1;
+                    continue;
+                }
                 Err(e) => return Some(Err(e.into())),
             }
         }
@@ -211,6 +280,7 @@ pub struct HeapScan<'a> {
     inner: HeapScanRun<'a>,
     pred: Predicate,
     qt: f64,
+    emitted: u64,
 }
 
 impl<'a> HeapScan<'a> {
@@ -224,7 +294,19 @@ impl<'a> HeapScan<'a> {
             inner: heap.scan_run()?,
             pred,
             qt,
+            emitted: 0,
         })
+    }
+
+    fn stats(&self) -> CursorStats {
+        let inner = self.inner.stats();
+        CursorStats {
+            rows: self.emitted,
+            decodes: inner.decodes,
+            // Scanned tuples the fused filter dropped.
+            suppressed: inner.rows - self.emitted,
+            pointer_fetches: 0,
+        }
     }
 }
 
@@ -238,6 +320,7 @@ impl Iterator for HeapScan<'_> {
             };
             let confidence = scan_confidence(&tuple, &self.pred);
             if confidence > 0.0 && confidence >= self.qt {
+                self.emitted += 1;
                 return Some(Ok(PtqResult { tuple, confidence }));
             }
         }
@@ -250,6 +333,7 @@ pub struct UpiFullScan<'a> {
     inner: upi::DistinctScan<'a>,
     pred: Predicate,
     qt: f64,
+    emitted: u64,
 }
 
 impl<'a> UpiFullScan<'a> {
@@ -259,7 +343,18 @@ impl<'a> UpiFullScan<'a> {
             inner: upi.distinct_scan()?,
             pred,
             qt,
+            emitted: 0,
         })
+    }
+
+    fn stats(&self) -> CursorStats {
+        let inner = self.inner.stats();
+        CursorStats {
+            rows: self.emitted,
+            decodes: inner.decodes,
+            suppressed: inner.rows - self.emitted,
+            pointer_fetches: 0,
+        }
     }
 }
 
@@ -273,6 +368,7 @@ impl Iterator for UpiFullScan<'_> {
             };
             let confidence = scan_confidence(&tuple, &self.pred);
             if confidence > 0.0 && confidence >= self.qt {
+                self.emitted += 1;
                 return Some(Ok(PtqResult { tuple, confidence }));
             }
         }
@@ -301,6 +397,11 @@ impl<'a> UpiPointMerge<'a> {
             inner: upi.point_run(value, qt, limit)?,
         })
     }
+
+    /// Cursor counters accumulated so far (merge + live heap run).
+    pub fn stats(&self) -> CursorStats {
+        self.inner.stats()
+    }
 }
 
 impl Iterator for UpiPointMerge<'_> {
@@ -325,6 +426,11 @@ impl<'a> UpiRange<'a> {
         Ok(UpiRange {
             inner: upi.range_run(lo, hi, qt)?,
         })
+    }
+
+    /// Cursor counters accumulated so far.
+    pub fn stats(&self) -> CursorStats {
+        self.inner.stats()
     }
 }
 
@@ -357,6 +463,11 @@ impl<'a> SecondaryProbe<'a> {
             inner: upi.secondary_run(index, value, qt, tailored, limit)?,
         })
     }
+
+    /// Cursor counters accumulated so far.
+    pub fn stats(&self) -> CursorStats {
+        self.inner.stats()
+    }
 }
 
 impl Iterator for SecondaryProbe<'_> {
@@ -366,6 +477,16 @@ impl Iterator for SecondaryProbe<'_> {
     }
 }
 
+/// Which fractured merge is running (streams are per-component).
+enum FracturedKind<'a> {
+    /// Confidence-ordered k-way point merge.
+    Point(upi::FracturedPointRun<'a>),
+    /// Chained per-component range runs.
+    Range(upi::FracturedRangeRun<'a>),
+    /// Chained per-component secondary probes.
+    Secondary(upi::FracturedSecondaryRun<'a>),
+}
+
 /// `FracturedMerge` — the fracture-parallel merge cursor: one streaming
 /// run per on-disk component plus the insert buffer, with delete-set
 /// suppression applied *before* pointer dereferences. Point probes merge
@@ -373,13 +494,12 @@ impl Iterator for SecondaryProbe<'_> {
 /// `limit` — watermark-bounded: each component's cutoff scan stops once
 /// its next candidate falls below the running k-th confidence); range
 /// and secondary probes chain per-component runs and let the sink sort.
-pub enum FracturedMerge<'a> {
-    /// Confidence-ordered k-way point merge.
-    Point(upi::FracturedPointRun<'a>),
-    /// Chained per-component range runs.
-    Range(upi::FracturedRangeRun<'a>),
-    /// Chained per-component secondary probes.
-    Secondary(upi::FracturedSecondaryRun<'a>),
+pub struct FracturedMerge<'a> {
+    kind: FracturedKind<'a>,
+    /// Rows this merge handed to its consumer (component streams count
+    /// their own pulls separately — under early termination the merge may
+    /// have pulled rows it never emitted).
+    emitted: u64,
 }
 
 impl<'a> FracturedMerge<'a> {
@@ -393,7 +513,10 @@ impl<'a> FracturedMerge<'a> {
         qt: f64,
         limit: Option<usize>,
     ) -> StorageResult<FracturedMerge<'a>> {
-        Ok(FracturedMerge::Point(f.ptq_run(value, qt, limit)?))
+        Ok(FracturedMerge {
+            kind: FracturedKind::Point(f.ptq_run(value, qt, limit)?),
+            emitted: 0,
+        })
     }
 
     /// Open a range merge for `[lo, hi]` at `qt`.
@@ -403,7 +526,10 @@ impl<'a> FracturedMerge<'a> {
         hi: u64,
         qt: f64,
     ) -> StorageResult<FracturedMerge<'a>> {
-        Ok(FracturedMerge::Range(f.range_run(lo, hi, qt)?))
+        Ok(FracturedMerge {
+            kind: FracturedKind::Range(f.range_run(lo, hi, qt)?),
+            emitted: 0,
+        })
     }
 
     /// Open a secondary merge on probe #`index` for `(value, qt)`.
@@ -415,21 +541,211 @@ impl<'a> FracturedMerge<'a> {
         tailored: bool,
         limit: Option<usize>,
     ) -> StorageResult<FracturedMerge<'a>> {
-        Ok(FracturedMerge::Secondary(
-            f.secondary_run(index, value, qt, tailored, limit)?,
-        ))
+        Ok(FracturedMerge {
+            kind: FracturedKind::Secondary(f.secondary_run(index, value, qt, tailored, limit)?),
+            emitted: 0,
+        })
+    }
+
+    /// Per-component cursor counters (index 0 is the main component,
+    /// the rest are fractures; buffered in-RAM rows do no I/O and carry
+    /// no counters).
+    pub fn component_stats(&self) -> Vec<CursorStats> {
+        match &self.kind {
+            FracturedKind::Point(run) => run.component_stats(),
+            FracturedKind::Range(run) => run.component_stats(),
+            FracturedKind::Secondary(run) => run.component_stats(),
+        }
     }
 }
 
 impl Iterator for FracturedMerge<'_> {
     type Item = Result<PtqResult, QueryError>;
     fn next(&mut self) -> Option<Self::Item> {
-        let item = match self {
-            FracturedMerge::Point(run) => run.next()?,
-            FracturedMerge::Range(run) => run.next()?,
-            FracturedMerge::Secondary(run) => run.next()?,
+        let item = match &mut self.kind {
+            FracturedKind::Point(run) => run.next()?,
+            FracturedKind::Range(run) => run.next()?,
+            FracturedKind::Secondary(run) => run.next()?,
         };
+        if item.is_ok() {
+            self.emitted += 1;
+        }
         Some(item.map_err(QueryError::from))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source operator wrapper (concrete, so stats survive iteration)
+// ---------------------------------------------------------------------------
+
+/// Batch delegate: paths answered by the owning index structure in one
+/// call, streamed through the sinks afterwards.
+pub struct BatchRows {
+    label: &'static str,
+    pending: std::vec::IntoIter<PtqResult>,
+    emitted: u64,
+}
+
+impl Iterator for BatchRows {
+    type Item = Result<PtqResult, QueryError>;
+    fn next(&mut self) -> Option<Self::Item> {
+        let r = self.pending.next()?;
+        self.emitted += 1;
+        Some(Ok(r))
+    }
+}
+
+/// The concrete source operator of an executing plan. A plain enum (not
+/// a boxed trait object) so the executor can harvest every operator's
+/// [`CursorStats`] **after** the row loop finishes — the trace needs the
+/// cursors alive once iteration is done.
+pub enum SourceOp<'a> {
+    /// Plain UPI heap run.
+    IndexRun(IndexRun<'a>),
+    /// Heap run + lazy cutoff-pointer dereference (Algorithm 2).
+    CutoffMerge(CutoffMerge<'a>),
+    /// Confidence-ordered point merge (early-terminating).
+    UpiPointMerge(UpiPointMerge<'a>),
+    /// Streaming clustered range run.
+    UpiRange(UpiRange<'a>),
+    /// (Tailored) secondary probe.
+    SecondaryProbe(SecondaryProbe<'a>),
+    /// Fracture-parallel merge.
+    Fractured(FracturedMerge<'a>),
+    /// Inverted-list probe + bitmap heap fetch.
+    PiiProbe(PiiProbe<'a>),
+    /// Sequential unclustered scan + fused filter.
+    HeapScan(HeapScan<'a>),
+    /// Sequential UPI distinct scan + fused filter.
+    UpiFullScan(UpiFullScan<'a>),
+    /// Batch delegate (circle paths, PII range).
+    Batch(BatchRows),
+}
+
+impl Iterator for SourceOp<'_> {
+    type Item = Result<PtqResult, QueryError>;
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            SourceOp::IndexRun(op) => op.next(),
+            SourceOp::CutoffMerge(op) => op.next(),
+            SourceOp::UpiPointMerge(op) => op.next(),
+            SourceOp::UpiRange(op) => op.next(),
+            SourceOp::SecondaryProbe(op) => op.next(),
+            SourceOp::Fractured(op) => op.next(),
+            SourceOp::PiiProbe(op) => op.next(),
+            SourceOp::HeapScan(op) => op.next(),
+            SourceOp::UpiFullScan(op) => op.next(),
+            SourceOp::Batch(op) => op.next(),
+        }
+    }
+}
+
+impl SourceOp<'_> {
+    /// Harvest the operator spans of this source: `(label, relative
+    /// depth, counters)`, pre-order, depth 0 = the source root.
+    pub fn spans(&self) -> Vec<(String, usize, CursorStats)> {
+        match self {
+            SourceOp::IndexRun(op) => {
+                vec![("IndexRun(upi.heap)".into(), 0, op.stats())]
+            }
+            SourceOp::CutoffMerge(op) => {
+                let run = op.heap_run_stats();
+                let ptr = op.ptr_stats;
+                vec![
+                    ("CutoffMerge".into(), 0, run.merged(ptr)),
+                    ("IndexRun(upi.heap)".into(), 1, run),
+                    ("PointerFetch(upi.cutoff, heap-order)".into(), 1, ptr),
+                ]
+            }
+            SourceOp::UpiPointMerge(op) => {
+                vec![(
+                    "UpiPointMerge(confidence-ordered, early-terminating)".into(),
+                    0,
+                    op.stats(),
+                )]
+            }
+            SourceOp::UpiRange(op) => {
+                vec![(
+                    "UpiRange(streaming, emit at first in-range copy)".into(),
+                    0,
+                    op.stats(),
+                )]
+            }
+            SourceOp::SecondaryProbe(op) => {
+                vec![(
+                    "SecondaryProbe(lazy heap-order fetch)".into(),
+                    0,
+                    op.stats(),
+                )]
+            }
+            SourceOp::Fractured(op) => {
+                let comps = op.component_stats();
+                let mut parent = comps
+                    .iter()
+                    .fold(CursorStats::default(), |acc, &s| acc.merged(s));
+                // The merge's own emit count, not the sum of component
+                // pulls (early termination pulls more than it emits).
+                parent.rows = op.emitted;
+                let label = match op.kind {
+                    FracturedKind::Point(_) => "FracturedMerge(point, k-way confidence-ordered)",
+                    FracturedKind::Range(_) => "FracturedMerge(range, streaming per component)",
+                    FracturedKind::Secondary(_) => {
+                        "FracturedMerge(secondary, suppress-before-fetch)"
+                    }
+                };
+                let mut spans = vec![(label.to_string(), 0, parent)];
+                for (i, s) in comps.into_iter().enumerate() {
+                    let name = if i == 0 {
+                        "Component#0(main)".to_string()
+                    } else {
+                        format!("Component#{i}(fracture)")
+                    };
+                    spans.push((name, 1, s));
+                }
+                spans
+            }
+            SourceOp::PiiProbe(op) => {
+                vec![
+                    (
+                        "BitmapHeapFetch(unclustered heap, tid-order)".into(),
+                        0,
+                        op.stats,
+                    ),
+                    (
+                        "PiiProbe(inverted list)".into(),
+                        1,
+                        CursorStats {
+                            rows: op.list_rows,
+                            ..CursorStats::default()
+                        },
+                    ),
+                ]
+            }
+            SourceOp::HeapScan(op) => {
+                vec![(
+                    "HeapScan(unclustered heap, sequential)".into(),
+                    0,
+                    op.stats(),
+                )]
+            }
+            SourceOp::UpiFullScan(op) => {
+                vec![(
+                    "HeapScan(upi.heap distinct, sequential)".into(),
+                    0,
+                    op.stats(),
+                )]
+            }
+            SourceOp::Batch(op) => {
+                vec![(
+                    format!("Batch({})", op.label),
+                    0,
+                    CursorStats {
+                        rows: op.emitted,
+                        ..CursorStats::default()
+                    },
+                )]
+            }
+        }
     }
 }
 
@@ -486,14 +802,6 @@ fn need<T: Copy>(entry: Option<T>, what: &str) -> Result<T, QueryError> {
     })
 }
 
-/// A boxed row stream plus whether it is already
-/// `{confidence DESC, tid ASC}`-ordered (ordered streams let the top-k
-/// sink terminate the source early and skip the sort).
-type Source<'a> = (
-    Box<dyn Iterator<Item = Result<PtqResult, QueryError>> + 'a>,
-    bool,
-);
-
 fn range_params(q: &PtqQuery, what: &str) -> Result<(u64, u64), QueryError> {
     match q.predicate {
         Predicate::Range { lo, hi, .. } => Ok((lo, hi)),
@@ -503,17 +811,24 @@ fn range_params(q: &PtqQuery, what: &str) -> Result<(u64, u64), QueryError> {
     }
 }
 
-/// Open the chosen path as a streaming source.
+/// Open the chosen path as a streaming source; the `bool` says whether
+/// the stream is already `{confidence DESC, tid ASC}`-ordered (ordered
+/// streams let the top-k sink terminate the source early and skip the
+/// sort).
 fn open_source<'a>(
     path: &AccessPath,
     q: &PtqQuery,
     catalog: &Catalog<'a>,
-) -> Result<Source<'a>, QueryError> {
-    let unordered = |s: Box<dyn Iterator<Item = Result<PtqResult, QueryError>> + 'a>| (s, false);
-    let batch = |rows: Vec<PtqResult>| {
-        let s: Box<dyn Iterator<Item = Result<PtqResult, QueryError>> + 'a> =
-            Box::new(rows.into_iter().map(Ok));
-        (s, false)
+) -> Result<(SourceOp<'a>, bool), QueryError> {
+    let batch = |rows: Vec<PtqResult>, label: &'static str| {
+        (
+            SourceOp::Batch(BatchRows {
+                label,
+                pending: rows.into_iter(),
+                emitted: 0,
+            }),
+            false,
+        )
     };
     Ok(match path {
         AccessPath::UpiHeap { use_cutoff } => {
@@ -524,17 +839,23 @@ fn open_source<'a>(
                 // confidence order, so the sink stops the run (and the
                 // cutoff fetches) after k rows.
                 (
-                    Box::new(UpiPointMerge::open(upi, value, q.qt, Some(k))?),
+                    SourceOp::UpiPointMerge(UpiPointMerge::open(upi, value, q.qt, Some(k))?),
                     true,
                 )
             } else {
-                unordered(Box::new(CutoffMerge::open(upi, value, q.qt, *use_cutoff)?))
+                (
+                    SourceOp::CutoffMerge(CutoffMerge::open(upi, value, q.qt, *use_cutoff)?),
+                    false,
+                )
             }
         }
         AccessPath::UpiRange => {
             let upi = need(catalog.upi, "the discrete UPI")?;
             let (lo, hi) = range_params(q, "UpiRange")?;
-            unordered(Box::new(UpiRange::open(upi, lo, hi, q.qt)?))
+            (
+                SourceOp::UpiRange(UpiRange::open(upi, lo, hi, q.qt)?),
+                false,
+            )
         }
         AccessPath::UpiSecondary { index, tailored } => {
             let upi = need(catalog.upi, "the discrete UPI")?;
@@ -544,22 +865,28 @@ fn open_source<'a>(
                 });
             }
             let (_, value) = eq_params(q)?;
-            unordered(Box::new(SecondaryProbe::open(
-                upi, *index, value, q.qt, *tailored, q.top_k,
-            )?))
+            (
+                SourceOp::SecondaryProbe(SecondaryProbe::open(
+                    upi, *index, value, q.qt, *tailored, q.top_k,
+                )?),
+                false,
+            )
         }
         AccessPath::FracturedProbe => {
             let f = need(catalog.fractured, "the fractured UPI")?;
             let (_, value) = eq_params(q)?;
             (
-                Box::new(FracturedMerge::point(f, value, q.qt, q.top_k)?),
+                SourceOp::Fractured(FracturedMerge::point(f, value, q.qt, q.top_k)?),
                 true,
             )
         }
         AccessPath::FracturedRange => {
             let f = need(catalog.fractured, "the fractured UPI")?;
             let (lo, hi) = range_params(q, "FracturedRange")?;
-            unordered(Box::new(FracturedMerge::range(f, lo, hi, q.qt)?))
+            (
+                SourceOp::Fractured(FracturedMerge::range(f, lo, hi, q.qt)?),
+                false,
+            )
         }
         AccessPath::FracturedSecondary { index, tailored } => {
             let f = need(catalog.fractured, "the fractured UPI")?;
@@ -569,9 +896,12 @@ fn open_source<'a>(
                 });
             }
             let (_, value) = eq_params(q)?;
-            unordered(Box::new(FracturedMerge::secondary(
-                f, *index, value, q.qt, *tailored, q.top_k,
-            )?))
+            (
+                SourceOp::Fractured(FracturedMerge::secondary(
+                    f, *index, value, q.qt, *tailored, q.top_k,
+                )?),
+                false,
+            )
         }
         AccessPath::PiiProbe { index } => {
             let heap = need(catalog.heap, "the unclustered heap")?;
@@ -582,7 +912,10 @@ fn open_source<'a>(
                     missing: format!("pii #{index}"),
                 })?;
             let (_, value) = eq_params(q)?;
-            unordered(Box::new(PiiProbe::open(pii, heap, value, q.qt)?))
+            (
+                SourceOp::PiiProbe(PiiProbe::open(pii, heap, value, q.qt)?),
+                false,
+            )
         }
         AccessPath::PiiRange { index } => {
             let heap = need(catalog.heap, "the unclustered heap")?;
@@ -593,22 +926,29 @@ fn open_source<'a>(
                     missing: format!("pii #{index}"),
                 })?;
             let (lo, hi) = range_params(q, "PiiRange")?;
-            batch(pii.ptq_range(heap, lo, hi, q.qt)?)
+            batch(pii.ptq_range(heap, lo, hi, q.qt)?, "PiiRange")
         }
         AccessPath::HeapScan => {
             let heap = need(catalog.heap, "the unclustered heap")?;
-            unordered(Box::new(HeapScan::open(heap, q.predicate.clone(), q.qt)?))
+            (
+                SourceOp::HeapScan(HeapScan::open(heap, q.predicate.clone(), q.qt)?),
+                false,
+            )
         }
         AccessPath::UpiFullScan => {
             let upi = need(catalog.upi, "the discrete UPI")?;
-            unordered(Box::new(UpiFullScan::open(upi, q.predicate.clone(), q.qt)?))
+            (
+                SourceOp::UpiFullScan(UpiFullScan::open(upi, q.predicate.clone(), q.qt)?),
+                false,
+            )
         }
         AccessPath::ContinuousCircle => {
             let cupi = need(catalog.cupi, "the continuous UPI")?;
             match q.predicate {
-                Predicate::Circle { x, y, radius, .. } => {
-                    batch(cupi.query_circle(x, y, radius, q.qt)?)
-                }
+                Predicate::Circle { x, y, radius, .. } => batch(
+                    cupi.query_circle(x, y, radius, q.qt)?,
+                    "ContinuousCircle delegate",
+                ),
                 _ => {
                     return Err(QueryError::CatalogMismatch {
                         missing: "circle predicate for ContinuousCircle".into(),
@@ -620,9 +960,10 @@ fn open_source<'a>(
             let utree = need(catalog.utree, "the secondary U-Tree")?;
             let heap = need(catalog.heap, "the unclustered heap")?;
             match q.predicate {
-                Predicate::Circle { x, y, radius, .. } => {
-                    batch(utree.query_circle(heap, x, y, radius, q.qt)?)
-                }
+                Predicate::Circle { x, y, radius, .. } => batch(
+                    utree.query_circle(heap, x, y, radius, q.qt)?,
+                    "UTreeCircle delegate",
+                ),
                 _ => {
                     return Err(QueryError::CatalogMismatch {
                         missing: "circle predicate for UTreeCircle".into(),
@@ -639,9 +980,81 @@ fn open_source<'a>(
                     missing: format!("continuous secondary #{index}"),
                 })?;
             let (_, value) = eq_params(q)?;
-            batch(cs.ptq(cupi, value, q.qt)?)
+            batch(
+                cs.ptq(cupi, value, q.qt)?,
+                "ContinuousSecondaryProbe delegate",
+            )
         }
     })
+}
+
+/// Build the executed span tree: sink operators (outermost first), then
+/// the harvested source spans; attributed I/O and the planner's estimates
+/// attach to the source root span.
+#[allow(clippy::too_many_arguments)]
+fn build_trace(
+    plan: &PhysicalPlan,
+    source: &SourceOp<'_>,
+    out_rows: u64,
+    io: Option<&PoolCounters>,
+    device: Option<&IoStats>,
+    start_ms: f64,
+    query_id: QueryId,
+) -> QueryTrace {
+    let q = &plan.query;
+    let chosen = &plan.candidates[0];
+    let mut spans: Vec<TraceSpan> = Vec::with_capacity(8);
+    let mut depth = 0usize;
+    let mut push_sink = |spans: &mut Vec<TraceSpan>, label: String| {
+        let mut s = TraceSpan::label_only(label, depth);
+        if depth == 0 {
+            // The outermost sink is what the query returns.
+            s.stats = Some(CursorStats {
+                rows: out_rows,
+                ..CursorStats::default()
+            });
+        }
+        spans.push(s);
+        depth += 1;
+    };
+    if let Some(f) = q.group_count {
+        push_sink(&mut spans, format!("GroupCount(field#{f})"));
+    }
+    if let Some(p) = &q.projection {
+        push_sink(&mut spans, format!("Project({p:?})"));
+    }
+    if let Some(k) = q.top_k {
+        push_sink(&mut spans, format!("TopK({k})"));
+    }
+    push_sink(&mut spans, format!("Filter(confidence >= {:.2})", q.qt));
+    let root_depth = depth;
+    let device_ms = device.map(|d| d.total_ms());
+    for (i, (label, rel, stats)) in source.spans().into_iter().enumerate() {
+        let mut span = TraceSpan {
+            label,
+            depth: root_depth + rel,
+            stats: Some(stats),
+            ..TraceSpan::default()
+        };
+        if i == 0 {
+            span.est_rows = chosen.est_rows;
+            span.est_pages = chosen.est_pages;
+            span.est_ms = Some(chosen.est_ms);
+            if let Some(io) = io {
+                span.demand_pages = Some(io.demand_pages());
+                span.prefetch_pages = Some(io.sequential_pages());
+            }
+            span.device_ms = device_ms;
+            span.start_ms = start_ms;
+            span.end_ms = start_ms + device_ms.unwrap_or(0.0);
+        }
+        spans.push(span);
+    }
+    QueryTrace {
+        query_id: query_id.0,
+        path: chosen.path.label(),
+        spans,
+    }
 }
 
 /// Run a plan: source → (early-terminating) top-k → sort → group/project.
@@ -650,8 +1063,31 @@ pub(crate) fn execute(
     catalog: &Catalog<'_>,
 ) -> Result<QueryOutput, QueryError> {
     let q = &plan.query;
+    let chosen = &plan.candidates[0];
+    // Per-query attribution: every device charge issued while the guard
+    // is alive lands on this query's slot, so concurrent queries on one
+    // pool each observe only their own I/O. The session threads its own
+    // id through the catalog (covering plan-time I/O too); stand-alone
+    // executions allocate one here and consume the slot on exit.
+    let qid = catalog.query_id.unwrap_or_else(QueryId::next);
+    let own_qid = catalog.query_id.is_none();
+    let _guard = catalog.pool.map(|p| {
+        let g = p.attributed(qid);
+        if chosen.hints.is_empty() {
+            // Pointer-chasing plan: its scattered misses are not runs.
+            // Keep the pool's two-adjacent-miss detector from arming
+            // read-ahead windows this access pattern would waste
+            // (hinted runs of concurrent queries still stream).
+            g.suppress_run_detection()
+        } else {
+            g
+        }
+    });
     let pool_before = catalog.pool.map(|p| p.counters());
-    let device_before = catalog.pool.map(|p| p.device_stats());
+    let attr_before = catalog
+        .pool
+        .map(|p| p.attributed_stats(qid))
+        .unwrap_or_default();
     // Planner-aware prefetch: run-shaped paths carry each expected run's
     // start page and estimated length — one hint for single-structure
     // paths, one *per component* for fracture-parallel merges — so the
@@ -663,7 +1099,7 @@ pub(crate) fn execute(
     // failed open clears exactly the hints this plan armed (by start
     // page), lest a stale hint mis-fire on a later unrelated access;
     // hints of concurrent queries are left alone.
-    let armed = &plan.candidates[0].hints;
+    let armed = &chosen.hints;
     let hinted_pool = match catalog.pool {
         Some(pool) if !armed.is_empty() => {
             for &hint in armed {
@@ -673,12 +1109,17 @@ pub(crate) fn execute(
         }
         _ => None,
     };
-    let (stream, ordered) = match open_source(plan.path(), q, catalog) {
+    let (mut source, ordered) = match open_source(plan.path(), q, catalog) {
         Ok(source) => source,
         Err(e) => {
             if let Some(pool) = hinted_pool {
                 for hint in armed {
                     pool.clear_hint(hint.start_page);
+                }
+            }
+            if own_qid {
+                if let Some(pool) = catalog.pool {
+                    pool.take_attributed(qid);
                 }
             }
             return Err(e);
@@ -689,7 +1130,7 @@ pub(crate) fn execute(
             // The source streams in result order: take k rows and drop
             // the source, leaving the tail of the run unread.
             let mut out = Vec::with_capacity(k);
-            for r in stream {
+            for r in &mut source {
                 out.push(r?);
                 if out.len() == k {
                     break;
@@ -697,7 +1138,7 @@ pub(crate) fn execute(
             }
             out
         }
-        _ => collect_stream(stream)?,
+        _ => collect_stream(&mut source)?,
     };
     if !ordered {
         // The canonical ordering shared with every core cursor.
@@ -709,25 +1150,53 @@ pub(crate) fn execute(
     let io = catalog
         .pool
         .map(|p| p.counters().since(&pool_before.unwrap()));
-    let device = catalog
-        .pool
-        .map(|p| p.device_stats().since(&device_before.unwrap()));
+    let device = catalog.pool.map(|p| {
+        let now = if own_qid {
+            // Stand-alone execution: consume the slot so the disk's
+            // bounded attribution table is not littered.
+            p.take_attributed(qid)
+        } else {
+            p.attributed_stats(qid)
+        };
+        now.since(&attr_before)
+    });
     if let Some(field) = q.group_count {
         // Aggregate output: rows feed the counting sink and are dropped.
+        let groups = group_count(&rows, field)?;
+        let trace = build_trace(
+            plan,
+            &source,
+            groups.len() as u64,
+            io.as_ref(),
+            device.as_ref(),
+            attr_before.total_ms(),
+            qid,
+        );
         return Ok(QueryOutput {
             rows: Vec::new(),
-            groups: Some(group_count(&rows, field)?),
+            groups: Some(groups),
             io,
             device,
+            trace: Some(trace),
         });
     }
     if let Some(fields) = &q.projection {
         project_rows(&mut rows, fields)?;
     }
+    let trace = build_trace(
+        plan,
+        &source,
+        rows.len() as u64,
+        io.as_ref(),
+        device.as_ref(),
+        attr_before.total_ms(),
+        qid,
+    );
     Ok(QueryOutput {
         rows,
         groups: None,
         io,
         device,
+        trace: Some(trace),
     })
 }

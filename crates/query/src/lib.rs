@@ -91,6 +91,8 @@ pub mod catalog;
 pub mod cost;
 pub mod error;
 pub mod exec;
+pub mod metrics;
+pub mod obs;
 pub mod plan;
 pub mod planner;
 pub mod query;
@@ -100,6 +102,8 @@ pub use catalog::Catalog;
 pub use cost::{CalibrationStore, CostModel, PathCost, PathKind, RefitOutcome};
 pub use error::{PlanError, QueryError};
 pub use exec::QueryOutput;
+pub use metrics::{KindSnapshot, Log2Histogram, MetricsRegistry, MetricsSnapshot};
+pub use obs::{QueryTrace, TraceSpan};
 pub use plan::{AccessPath, CandidatePlan, PhysicalPlan};
 pub use query::{Predicate, PtqQuery};
 pub use session::UncertainDb;

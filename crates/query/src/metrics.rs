@@ -1,0 +1,412 @@
+//! Session metrics registry: monotonic counters, gauges, and fixed-bucket
+//! log-scale latency histograms keyed by [`PathKind`].
+//!
+//! An [`UncertainDb`](crate::UncertainDb) owns one [`MetricsRegistry`];
+//! every query routed through the session records its chosen path kind,
+//! attributed device milliseconds, result rows, and buffer-pool delta.
+//! [`MetricsRegistry::snapshot`] freezes the registry into a
+//! [`MetricsSnapshot`] — a plain value with a hand-rolled JSON rendering
+//! (the workspace `serde` shim derives are structural no-ops) that the
+//! benches emit as `BENCH_metrics.json` and `examples/metrics_dump`
+//! prints.
+//!
+//! All latencies are **simulated device milliseconds** (the attributed
+//! per-query clock), so the histograms are deterministic across runs.
+
+use serde::Serialize;
+use upi_storage::PoolCounters;
+
+use crate::cost::{PathKind, N_PATH_KINDS};
+
+/// Number of log2 buckets: values from `2^-16` ms up to `2^17` ms; values
+/// outside clamp into the edge buckets.
+const HIST_BUCKETS: usize = 34;
+/// Exponent of the lowest bucket's lower bound.
+const HIST_MIN_EXP: i32 = -16;
+
+/// Fixed-bucket log2-scale histogram (power-of-two bucket bounds).
+///
+/// Allocation-free: 34 fixed `u64` buckets. Quantiles are resolved to the
+/// upper bound of the bucket containing the requested rank, which bounds
+/// the relative error at 2x — adequate for p50/p95/p99 trend lines.
+#[derive(Debug, Clone, Copy)]
+pub struct Log2Histogram {
+    counts: [u64; HIST_BUCKETS],
+    total: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Log2Histogram {
+        Log2Histogram {
+            counts: [0; HIST_BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    fn bucket(v: f64) -> usize {
+        if v <= 0.0 || !v.is_finite() {
+            return 0;
+        }
+        let idx = v.log2().floor() as i64 - HIST_MIN_EXP as i64;
+        idx.clamp(0, HIST_BUCKETS as i64 - 1) as usize
+    }
+
+    /// Upper bound of bucket `i` (`2^(i + HIST_MIN_EXP + 1)`).
+    fn bucket_upper(i: usize) -> f64 {
+        (2.0f64).powi(i as i32 + HIST_MIN_EXP + 1)
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: f64) {
+        self.counts[Self::bucket(v)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Quantile `q` in `[0, 1]`, resolved to the containing bucket's
+    /// upper bound; `0.0` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(i);
+            }
+        }
+        Self::bucket_upper(HIST_BUCKETS - 1)
+    }
+}
+
+/// Per-[`PathKind`] slice of the registry.
+#[derive(Debug, Clone, Copy, Default)]
+struct KindMetrics {
+    queries: u64,
+    device_ms: Log2Histogram,
+}
+
+/// Session-owned metrics: counters, gauges, and latency histograms.
+///
+/// Updated by the session on every query; never reset (monotonic), so a
+/// snapshot is a consistent prefix of the session's history.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    kinds: [KindMetrics; N_PATH_KINDS],
+    /// `observed_ms / estimated_ms` per query — the misestimation ratio.
+    misest: Log2Histogram,
+    /// Sum of per-query buffer-pool deltas (only queries that saw a pool).
+    io: PoolCounters,
+    /// Total rows returned to consumers.
+    rows: u64,
+    /// Queries whose pool delta included eviction-flush errors.
+    flush_error_queries: u64,
+    /// Completed `recalibrate()` passes.
+    refits: u64,
+    /// Latest calibration scale per kind (gauge).
+    scales: [f64; N_PATH_KINDS],
+}
+
+fn add_counters(acc: &mut PoolCounters, d: &PoolCounters) {
+    acc.hits += d.hits;
+    acc.misses += d.misses;
+    acc.evictions += d.evictions;
+    acc.readahead += d.readahead;
+    acc.readahead_hits += d.readahead_hits;
+    acc.hinted_runs += d.hinted_runs;
+    acc.flush_errors += d.flush_errors;
+    acc.readahead_wasted += d.readahead_wasted;
+}
+
+impl MetricsRegistry {
+    /// Fresh registry with unit calibration scales.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            scales: [1.0; N_PATH_KINDS],
+            ..MetricsRegistry::default()
+        }
+    }
+
+    /// Record one executed query.
+    pub fn record_query(
+        &mut self,
+        kind: PathKind,
+        est_ms: f64,
+        observed_ms: f64,
+        rows: u64,
+        io: Option<&PoolCounters>,
+    ) {
+        let k = &mut self.kinds[kind.index()];
+        k.queries += 1;
+        k.device_ms.record(observed_ms);
+        if est_ms > 0.0 {
+            self.misest.record(observed_ms / est_ms);
+        }
+        self.rows += rows;
+        if let Some(d) = io {
+            add_counters(&mut self.io, d);
+            if d.flush_errors > 0 {
+                self.flush_error_queries += 1;
+            }
+        }
+    }
+
+    /// Record a completed calibration refit and the resulting scales.
+    pub fn record_refit(&mut self, scales: [f64; N_PATH_KINDS]) {
+        self.refits += 1;
+        self.scales = scales;
+    }
+
+    /// Update the calibration-scale gauges without counting a refit.
+    pub fn set_scales(&mut self, scales: [f64; N_PATH_KINDS]) {
+        self.scales = scales;
+    }
+
+    /// Freeze the registry into a serializable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let kinds = PathKind::ALL
+            .iter()
+            .map(|&kind| {
+                let k = &self.kinds[kind.index()];
+                KindSnapshot {
+                    kind: kind.label().to_string(),
+                    queries: k.queries,
+                    device_ms_p50: k.device_ms.quantile(0.50),
+                    device_ms_p95: k.device_ms.quantile(0.95),
+                    device_ms_p99: k.device_ms.quantile(0.99),
+                    calibration_scale: self.scales[kind.index()],
+                }
+            })
+            .collect();
+        let io = &self.io;
+        let lookups = io.hits + io.misses;
+        MetricsSnapshot {
+            queries: self.kinds.iter().map(|k| k.queries).sum(),
+            rows: self.rows,
+            kinds,
+            pool_hit_ratio: ratio(io.hits, lookups),
+            readahead_efficiency: ratio(io.readahead_hits, io.readahead),
+            readahead_wasted: io.readahead_wasted,
+            flush_errors: io.flush_errors,
+            flush_error_queries: self.flush_error_queries,
+            refits: self.refits,
+            misest_p50: self.misest.quantile(0.50),
+            misest_p95: self.misest.quantile(0.95),
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Frozen per-kind metrics.
+#[derive(Debug, Clone, Serialize)]
+pub struct KindSnapshot {
+    /// Path-kind label.
+    pub kind: String,
+    /// Queries that chose this kind.
+    pub queries: u64,
+    /// Median attributed device ms (log2-bucket upper bound).
+    pub device_ms_p50: f64,
+    /// 95th percentile attributed device ms.
+    pub device_ms_p95: f64,
+    /// 99th percentile attributed device ms.
+    pub device_ms_p99: f64,
+    /// Current calibration scale applied to this kind's dominant term.
+    pub calibration_scale: f64,
+}
+
+/// Frozen registry state; [`to_json`](Self::to_json) renders it (the
+/// `serde` derive is the workspace shim, so JSON is hand-rolled).
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsSnapshot {
+    /// Total queries recorded.
+    pub queries: u64,
+    /// Total rows returned.
+    pub rows: u64,
+    /// Per-path-kind counters and latency quantiles.
+    pub kinds: Vec<KindSnapshot>,
+    /// `hits / (hits + misses)` over all recorded pool deltas.
+    pub pool_hit_ratio: f64,
+    /// `readahead_hits / readahead` — fraction of prefetched pages used.
+    pub readahead_efficiency: f64,
+    /// Prefetched pages evicted before any use.
+    pub readahead_wasted: u64,
+    /// Eviction write-back failures observed across queries.
+    pub flush_errors: u64,
+    /// Queries whose I/O delta included flush errors.
+    pub flush_error_queries: u64,
+    /// Completed calibration refits.
+    pub refits: u64,
+    /// Median `observed/estimated` ms ratio (1.0 = perfectly priced).
+    pub misest_p50: f64,
+    /// 95th percentile misestimation ratio.
+    pub misest_p95: f64,
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl MetricsSnapshot {
+    /// Render as a JSON object (stable key order, 6-decimal floats).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"queries\": {},\n", self.queries));
+        s.push_str(&format!("  \"rows\": {},\n", self.rows));
+        s.push_str("  \"kinds\": [\n");
+        for (i, k) in self.kinds.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"kind\": \"{}\", \"queries\": {}, \"device_ms_p50\": {}, \"device_ms_p95\": {}, \"device_ms_p99\": {}, \"calibration_scale\": {}}}{}\n",
+                k.kind,
+                k.queries,
+                json_f64(k.device_ms_p50),
+                json_f64(k.device_ms_p95),
+                json_f64(k.device_ms_p99),
+                json_f64(k.calibration_scale),
+                if i + 1 < self.kinds.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"pool_hit_ratio\": {},\n",
+            json_f64(self.pool_hit_ratio)
+        ));
+        s.push_str(&format!(
+            "  \"readahead_efficiency\": {},\n",
+            json_f64(self.readahead_efficiency)
+        ));
+        s.push_str(&format!(
+            "  \"readahead_wasted\": {},\n",
+            self.readahead_wasted
+        ));
+        s.push_str(&format!("  \"flush_errors\": {},\n", self.flush_errors));
+        s.push_str(&format!(
+            "  \"flush_error_queries\": {},\n",
+            self.flush_error_queries
+        ));
+        s.push_str(&format!("  \"refits\": {},\n", self.refits));
+        s.push_str(&format!(
+            "  \"misest_p50\": {},\n",
+            json_f64(self.misest_p50)
+        ));
+        s.push_str(&format!(
+            "  \"misest_p95\": {}\n",
+            json_f64(self.misest_p95)
+        ));
+        s.push('}');
+        s
+    }
+
+    /// Compact human rendering (one line per kind plus totals).
+    pub fn render(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push_str(&format!(
+            "queries={} rows={} refits={} pool-hit={:.1}% ra-eff={:.1}% ra-wasted={} flush-errors={}\n",
+            self.queries,
+            self.rows,
+            self.refits,
+            100.0 * self.pool_hit_ratio,
+            100.0 * self.readahead_efficiency,
+            self.readahead_wasted,
+            self.flush_errors,
+        ));
+        s.push_str(&format!(
+            "misestimation ratio p50={:.3} p95={:.3}\n",
+            self.misest_p50, self.misest_p95
+        ));
+        for k in &self.kinds {
+            if k.queries == 0 {
+                continue;
+            }
+            s.push_str(&format!(
+                "  {:<24} queries={:<5} device_ms p50={:<10.3} p95={:<10.3} p99={:<10.3} scale={:.3}\n",
+                k.kind, k.queries, k.device_ms_p50, k.device_ms_p95, k.device_ms_p99, k.calibration_scale,
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_resolve_to_bucket_upper_bounds() {
+        let mut h = Log2Histogram::default();
+        for _ in 0..90 {
+            h.record(1.5); // bucket [1, 2)
+        }
+        for _ in 0..10 {
+            h.record(100.0); // bucket [64, 128)
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.50), 2.0);
+        assert_eq!(h.quantile(0.90), 2.0);
+        assert_eq!(h.quantile(0.95), 128.0);
+        assert_eq!(h.quantile(0.99), 128.0);
+    }
+
+    #[test]
+    fn histogram_clamps_degenerate_values() {
+        let mut h = Log2Histogram::default();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(f64::NAN);
+        h.record(1e30);
+        assert_eq!(h.count(), 4);
+        // Everything landed in the edge buckets without panicking.
+        assert!(h.quantile(0.0) > 0.0);
+    }
+
+    #[test]
+    fn registry_accumulates_and_snapshots() {
+        let mut r = MetricsRegistry::new();
+        let io = PoolCounters {
+            hits: 8,
+            misses: 2,
+            readahead: 4,
+            readahead_hits: 3,
+            flush_errors: 1,
+            ..PoolCounters::default()
+        };
+        r.record_query(PathKind::PointMerge, 10.0, 12.0, 5, Some(&io));
+        r.record_query(PathKind::PointMerge, 10.0, 45.0, 3, None);
+        r.record_query(PathKind::Scan, 100.0, 90.0, 1000, None);
+        r.record_refit([2.0; N_PATH_KINDS]);
+        let snap = r.snapshot();
+        assert_eq!(snap.queries, 3);
+        assert_eq!(snap.rows, 1008);
+        assert_eq!(snap.flush_error_queries, 1);
+        assert_eq!(snap.flush_errors, 1);
+        assert_eq!(snap.refits, 1);
+        assert!((snap.pool_hit_ratio - 0.8).abs() < 1e-12);
+        assert!((snap.readahead_efficiency - 0.75).abs() < 1e-12);
+        let upi = snap.kinds.iter().find(|k| k.queries == 2).unwrap();
+        assert!(upi.device_ms_p50 >= 12.0);
+        assert!((upi.calibration_scale - 2.0).abs() < 1e-12);
+        let json = snap.to_json();
+        assert!(json.contains("\"queries\": 3"));
+        assert!(json.contains("\"pool_hit_ratio\": 0.800000"));
+        assert!(json.ends_with('}'));
+    }
+}

@@ -154,6 +154,32 @@ pub struct CandidatePlan {
     /// miss with a run-length-sized window. Empty for pointer-chasing and
     /// batch paths.
     pub hints: Vec<upi_storage::AccessHint>,
+    /// Planner-estimated result rows (pre-top-k qualifying rows), when
+    /// the statistics support an estimate. Rendered next to the observed
+    /// row count by `explain_analyze`.
+    pub est_rows: Option<f64>,
+    /// Planner-estimated pages read, when the statistics support an
+    /// estimate. Rendered next to the observed page count by
+    /// `explain_analyze`.
+    pub est_pages: Option<f64>,
+}
+
+impl CandidatePlan {
+    /// Attach row/page cardinality estimates (chainable; used by the
+    /// planner at enumeration time so `explain_analyze` can show
+    /// estimated-vs-observed columns).
+    pub fn with_est(mut self, rows: f64, pages: f64) -> CandidatePlan {
+        self.est_rows = Some(rows);
+        self.est_pages = Some(pages);
+        self
+    }
+
+    /// Attach a page estimate only (scans: pages are known from tree
+    /// stats, qualifying rows depend on the residual filter).
+    pub fn with_est_pages(mut self, pages: f64) -> CandidatePlan {
+        self.est_pages = Some(pages);
+        self
+    }
 }
 
 /// An executable physical plan: the chosen access path plus the full
@@ -180,6 +206,34 @@ impl PhysicalPlan {
     /// Execute the plan against the catalog it was planned over.
     pub fn execute(&self, catalog: &Catalog<'_>) -> Result<QueryOutput, QueryError> {
         crate::exec::execute(self, catalog)
+    }
+
+    /// Execute the plan and render the **analyzed** explain: the plan as
+    /// [`explain_with_io`](Self::explain_with_io), a warning line when
+    /// eviction-flush errors occurred during the query, and the executed
+    /// span tree with per-operator estimated-vs-observed columns (rows,
+    /// pages, simulated ms — flagged `!` when off by more than 2x).
+    pub fn execute_analyzed(
+        &self,
+        catalog: &Catalog<'_>,
+    ) -> Result<(QueryOutput, String), QueryError> {
+        let out = self.execute(catalog)?;
+        let text = self.render_analyze(&out);
+        Ok((out, text))
+    }
+
+    /// Render the analyzed explain for an already-obtained execution of
+    /// this plan (see [`execute_analyzed`](Self::execute_analyzed)).
+    pub fn render_analyze(&self, out: &QueryOutput) -> String {
+        let mut text = self.explain_with_io(out.io.as_ref());
+        if let Some(w) = out.flush_warning() {
+            text.push_str(&w);
+            text.push('\n');
+        }
+        if let Some(trace) = &out.trace {
+            text.push_str(&trace.render());
+        }
+        text
     }
 
     /// Human-readable plan rendering: the logical query, the operator

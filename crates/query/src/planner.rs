@@ -91,7 +91,19 @@ fn candidate(
         cost,
         note,
         hints,
+        est_rows: None,
+        est_pages: None,
     }
+}
+
+/// Total pages across a candidate's prefetch hints (the planner's page
+/// estimate for run-shaped paths), floored at one page.
+fn hint_pages(hints: &[AccessHint]) -> f64 {
+    hints
+        .iter()
+        .map(|h| h.est_run_pages as f64)
+        .sum::<f64>()
+        .max(1.0)
 }
 
 // --- Prefetch hints (run-shaped paths only) --------------------------------
@@ -267,18 +279,28 @@ fn enumerate_eq(
                     format!("sel {:.4}, est {:.0} cutoff ptrs", sel, pointers),
                 )
             };
-            out.push(candidate(
-                model,
-                AccessPath::UpiHeap {
-                    use_cutoff: qt < upi.config().cutoff,
-                },
-                fixed,
-                dominant,
-                note,
-                upi_point_hint(upi, value, qt, q.top_k)
-                    .into_iter()
-                    .collect(),
-            ));
+            let qualifying = upi.attr_stats().est_count_ge(value, qt);
+            let est_rows = match q.top_k {
+                Some(k) => qualifying.min(k as f64),
+                None => qualifying,
+            };
+            let hints: Vec<AccessHint> = upi_point_hint(upi, value, qt, q.top_k)
+                .into_iter()
+                .collect();
+            let est_pages = hint_pages(&hints);
+            out.push(
+                candidate(
+                    model,
+                    AccessPath::UpiHeap {
+                        use_cutoff: qt < upi.config().cutoff,
+                    },
+                    fixed,
+                    dominant,
+                    note,
+                    hints,
+                )
+                .with_est(est_rows, est_pages),
+            );
         }
         for (i, sec) in upi.secondaries().iter().enumerate() {
             if sec.attr() != attr {
@@ -292,38 +314,52 @@ fn enumerate_eq(
             // pointer-region histogram instead of guessed from the
             // replication factor.
             let coverage = tailored_coverage(sec, value, n);
-            out.push(candidate(
-                model,
-                AccessPath::UpiSecondary {
-                    index: i,
-                    tailored: true,
-                },
-                opens,
-                model.bitmap_fetch_ms(hs.bytes as f64 * coverage, page_bytes(&hs), n),
-                format!("{n:.0} fetches over {coverage:.3} of the heap (measured regions)"),
-                Vec::new(),
-            ));
-            out.push(candidate(
-                model,
-                AccessPath::UpiSecondary {
-                    index: i,
-                    tailored: false,
-                },
-                opens,
-                model.bitmap_fetch_ms(hs.bytes as f64, page_bytes(&hs), n),
-                format!("{n:.0} first-pointer fetches over the full heap"),
-                Vec::new(),
-            ));
+            let fetch_rows = match q.top_k {
+                Some(k) => n.min(k as f64),
+                None => n,
+            };
+            out.push(
+                candidate(
+                    model,
+                    AccessPath::UpiSecondary {
+                        index: i,
+                        tailored: true,
+                    },
+                    opens,
+                    model.bitmap_fetch_ms(hs.bytes as f64 * coverage, page_bytes(&hs), n),
+                    format!("{n:.0} fetches over {coverage:.3} of the heap (measured regions)"),
+                    Vec::new(),
+                )
+                // One scattered heap page per fetched entry, worst case.
+                .with_est(fetch_rows, fetch_rows.max(1.0)),
+            );
+            out.push(
+                candidate(
+                    model,
+                    AccessPath::UpiSecondary {
+                        index: i,
+                        tailored: false,
+                    },
+                    opens,
+                    model.bitmap_fetch_ms(hs.bytes as f64, page_bytes(&hs), n),
+                    format!("{n:.0} first-pointer fetches over the full heap"),
+                    Vec::new(),
+                )
+                .with_est(fetch_rows, fetch_rows.max(1.0)),
+            );
         }
         // Last-resort full scan of the clustered heap (any discrete attr).
-        out.push(candidate(
-            model,
-            AccessPath::UpiFullScan,
-            model.coeffs.cost_init_ms,
-            model.read_ms(upi.heap_stats().bytes as f64),
-            format!("{} heap bytes sequential", upi.heap_stats().bytes),
-            upi_scan_hint(upi).into_iter().collect(),
-        ));
+        out.push(
+            candidate(
+                model,
+                AccessPath::UpiFullScan,
+                model.coeffs.cost_init_ms,
+                model.read_ms(upi.heap_stats().bytes as f64),
+                format!("{} heap bytes sequential", upi.heap_stats().bytes),
+                upi_scan_hint(upi).into_iter().collect(),
+            )
+            .with_est_pages(upi.heap_stats().leaf_pages.max(1) as f64),
+        );
     }
 
     if let Some(f) = catalog.fractured {
@@ -339,14 +375,24 @@ fn enumerate_eq(
                 / heap_entries)
                 .min(1.0);
             let (fixed, dom) = cost::fractured_cost_parts(&model.coeffs, f, sel);
-            out.push(candidate(
-                model,
-                AccessPath::FracturedProbe,
-                fixed,
-                dom,
-                format!("{} components", f.n_fractures() + 1),
-                fractured_point_hints(f, value, qt, q.top_k),
-            ));
+            let qualifying = sel * heap_entries;
+            let est_rows = match q.top_k {
+                Some(k) => qualifying.min(k as f64),
+                None => qualifying,
+            };
+            let hints = fractured_point_hints(f, value, qt, q.top_k);
+            let est_pages = hint_pages(&hints);
+            out.push(
+                candidate(
+                    model,
+                    AccessPath::FracturedProbe,
+                    fixed,
+                    dom,
+                    format!("{} components", f.n_fractures() + 1),
+                    hints,
+                )
+                .with_est(est_rows, est_pages),
+            );
         }
         for (i, sec) in f.main().secondaries().iter().enumerate() {
             if sec.attr() != attr {
@@ -358,17 +404,28 @@ fn enumerate_eq(
             let opens =
                 components * (model.open_descend(sec.height()) + model.open_descend(hs.height));
             let coverage = tailored_coverage(sec, value, n);
-            out.push(candidate(
-                model,
-                AccessPath::FracturedSecondary {
-                    index: i,
-                    tailored: true,
-                },
-                opens,
-                model.bitmap_fetch_ms(hs.bytes as f64 * coverage, page_bytes(&hs), n),
-                format!("{n:.0} entries over {components:.0} components"),
-                fractured_secondary_hints(f, i, value, qt),
-            ));
+            let fetch_rows = match q.top_k {
+                Some(k) => n.min(k as f64),
+                None => n,
+            };
+            let hints = fractured_secondary_hints(f, i, value, qt);
+            // Entry-run pages (hinted) plus one scattered heap page per
+            // fetched entry.
+            let est_pages = hint_pages(&hints) + fetch_rows;
+            out.push(
+                candidate(
+                    model,
+                    AccessPath::FracturedSecondary {
+                        index: i,
+                        tailored: true,
+                    },
+                    opens,
+                    model.bitmap_fetch_ms(hs.bytes as f64 * coverage, page_bytes(&hs), n),
+                    format!("{n:.0} entries over {components:.0} components"),
+                    hints,
+                )
+                .with_est(fetch_rows, est_pages),
+            );
         }
     }
 
@@ -379,23 +436,29 @@ fn enumerate_eq(
             }
             let n = pii.stats().est_count_ge(value, qt);
             let hs = heap.stats();
-            out.push(candidate(
-                model,
-                AccessPath::PiiProbe { index: i },
-                model.open_descend(pii.height()) + model.open_descend(hs.height),
-                model.bitmap_fetch_ms(hs.bytes as f64, page_bytes(&hs), n),
-                format!("{n:.0} bitmap-order heap fetches"),
-                Vec::new(),
-            ));
+            out.push(
+                candidate(
+                    model,
+                    AccessPath::PiiProbe { index: i },
+                    model.open_descend(pii.height()) + model.open_descend(hs.height),
+                    model.bitmap_fetch_ms(hs.bytes as f64, page_bytes(&hs), n),
+                    format!("{n:.0} bitmap-order heap fetches"),
+                    Vec::new(),
+                )
+                .with_est(n, n.max(1.0)),
+            );
         }
-        out.push(candidate(
-            model,
-            AccessPath::HeapScan,
-            model.coeffs.cost_init_ms,
-            model.read_ms(heap.stats().bytes as f64),
-            format!("{} heap bytes sequential", heap.stats().bytes),
-            heap_scan_hint(heap).into_iter().collect(),
-        ));
+        out.push(
+            candidate(
+                model,
+                AccessPath::HeapScan,
+                model.coeffs.cost_init_ms,
+                model.read_ms(heap.stats().bytes as f64),
+                format!("{} heap bytes sequential", heap.stats().bytes),
+                heap_scan_hint(heap).into_iter().collect(),
+            )
+            .with_est_pages(heap.stats().leaf_pages.max(1) as f64),
+        );
     }
 
     if let Some(cupi) = catalog.cupi {
@@ -411,14 +474,17 @@ fn enumerate_eq(
             let effective = (n / tuples_per_page).max(1.0).min(n.max(1.0));
             let heap_bytes = cupi.total_bytes() as f64;
             let heap_page = heap_bytes / rs.leaf_pages.max(1) as f64;
-            out.push(candidate(
-                model,
-                AccessPath::ContinuousSecondaryProbe { index: i },
-                model.open_descend(cs.height()) + model.coeffs.cost_init_ms,
-                model.bitmap_fetch_ms(heap_bytes, heap_page, effective),
-                format!("{n:.0} entries -> ~{effective:.0} page reads"),
-                Vec::new(),
-            ));
+            out.push(
+                candidate(
+                    model,
+                    AccessPath::ContinuousSecondaryProbe { index: i },
+                    model.open_descend(cs.height()) + model.coeffs.cost_init_ms,
+                    model.bitmap_fetch_ms(heap_bytes, heap_page, effective),
+                    format!("{n:.0} entries -> ~{effective:.0} page reads"),
+                    Vec::new(),
+                )
+                .with_est(n, effective),
+            );
         }
     }
 
@@ -447,23 +513,31 @@ fn enumerate_range(
                 fixed += model.open_descend(cut.height());
                 dom += model.read_ms(cut.bytes() as f64) * frac;
             }
-            out.push(candidate(
-                model,
-                AccessPath::UpiRange,
-                fixed,
-                dom,
-                format!("range frac {frac:.4} of clustered heap"),
-                upi_range_hint(upi, lo, hi).into_iter().collect(),
-            ));
+            let hints: Vec<AccessHint> = upi_range_hint(upi, lo, hi).into_iter().collect();
+            let est_pages = hint_pages(&hints);
+            out.push(
+                candidate(
+                    model,
+                    AccessPath::UpiRange,
+                    fixed,
+                    dom,
+                    format!("range frac {frac:.4} of clustered heap"),
+                    hints,
+                )
+                .with_est(stats.est_count_value_range(lo, hi), est_pages),
+            );
         }
-        out.push(candidate(
-            model,
-            AccessPath::UpiFullScan,
-            model.coeffs.cost_init_ms,
-            model.read_ms(upi.heap_stats().bytes as f64),
-            format!("{} heap bytes sequential", upi.heap_stats().bytes),
-            upi_scan_hint(upi).into_iter().collect(),
-        ));
+        out.push(
+            candidate(
+                model,
+                AccessPath::UpiFullScan,
+                model.coeffs.cost_init_ms,
+                model.read_ms(upi.heap_stats().bytes as f64),
+                format!("{} heap bytes sequential", upi.heap_stats().bytes),
+                upi_scan_hint(upi).into_iter().collect(),
+            )
+            .with_est_pages(upi.heap_stats().leaf_pages.max(1) as f64),
+        );
     }
 
     if let Some(f) = catalog.fractured {
@@ -471,14 +545,19 @@ fn enumerate_range(
             let stats = f.main().attr_stats();
             let frac = (stats.est_count_value_range(lo, hi) / stats.total().max(1) as f64).min(1.0);
             let (fixed, dom) = cost::fractured_cost_parts(&model.coeffs, f, frac);
-            out.push(candidate(
-                model,
-                AccessPath::FracturedRange,
-                fixed,
-                dom,
-                format!("range frac {frac:.4}, {} components", f.n_fractures() + 1),
-                fractured_range_hints(f, lo, hi),
-            ));
+            let hints = fractured_range_hints(f, lo, hi);
+            let est_pages = hint_pages(&hints);
+            out.push(
+                candidate(
+                    model,
+                    AccessPath::FracturedRange,
+                    fixed,
+                    dom,
+                    format!("range frac {frac:.4}, {} components", f.n_fractures() + 1),
+                    hints,
+                )
+                .with_est(stats.est_count_value_range(lo, hi), est_pages),
+            );
         }
     }
 
@@ -490,24 +569,30 @@ fn enumerate_range(
             let entries = pii.stats().est_count_value_range(lo, hi);
             let frac = (entries / pii.stats().total().max(1) as f64).min(1.0);
             let hs = heap.stats();
-            out.push(candidate(
-                model,
-                AccessPath::PiiRange { index: i },
-                model.open_descend(pii.height()) + model.coeffs.cost_init_ms,
-                model.read_ms(pii.bytes() as f64) * frac
-                    + model.bitmap_fetch_ms(hs.bytes as f64, page_bytes(&hs), entries),
-                format!("{entries:.0} index entries in range"),
-                Vec::new(),
-            ));
+            out.push(
+                candidate(
+                    model,
+                    AccessPath::PiiRange { index: i },
+                    model.open_descend(pii.height()) + model.coeffs.cost_init_ms,
+                    model.read_ms(pii.bytes() as f64) * frac
+                        + model.bitmap_fetch_ms(hs.bytes as f64, page_bytes(&hs), entries),
+                    format!("{entries:.0} index entries in range"),
+                    Vec::new(),
+                )
+                .with_est(entries, entries.max(1.0)),
+            );
         }
-        out.push(candidate(
-            model,
-            AccessPath::HeapScan,
-            model.coeffs.cost_init_ms,
-            model.read_ms(heap.stats().bytes as f64),
-            format!("{} heap bytes sequential", heap.stats().bytes),
-            heap_scan_hint(heap).into_iter().collect(),
-        ));
+        out.push(
+            candidate(
+                model,
+                AccessPath::HeapScan,
+                model.coeffs.cost_init_ms,
+                model.read_ms(heap.stats().bytes as f64),
+                format!("{} heap bytes sequential", heap.stats().bytes),
+                heap_scan_hint(heap).into_iter().collect(),
+            )
+            .with_est_pages(heap.stats().leaf_pages.max(1) as f64),
+        );
     }
 
     let _ = q;
@@ -539,14 +624,20 @@ fn enumerate_circle(
         if cupi.attr() == attr {
             let frac = circle_frac(cupi.bounds().ok().flatten());
             let rs = cupi.rtree_stats();
-            out.push(candidate(
-                model,
-                AccessPath::ContinuousCircle,
-                2.0 * model.coeffs.cost_init_ms + rs.height as f64 * model.coeffs.t_seek_ms,
-                model.read_ms(cupi.total_bytes() as f64 * frac),
-                format!("circle covers {:.3} of domain, clustered read", frac),
-                Vec::new(),
-            ));
+            out.push(
+                candidate(
+                    model,
+                    AccessPath::ContinuousCircle,
+                    2.0 * model.coeffs.cost_init_ms + rs.height as f64 * model.coeffs.t_seek_ms,
+                    model.read_ms(cupi.total_bytes() as f64 * frac),
+                    format!("circle covers {:.3} of domain, clustered read", frac),
+                    Vec::new(),
+                )
+                .with_est(
+                    cupi.n_tuples() as f64 * frac,
+                    (rs.leaf_pages.max(1) as f64 * frac).max(1.0),
+                ),
+            );
         }
     }
 
@@ -555,14 +646,17 @@ fn enumerate_circle(
             let frac = circle_frac(utree.bounds().ok().flatten());
             let candidates = utree.stats().entries as f64 * frac;
             let hs = heap.stats();
-            out.push(candidate(
-                model,
-                AccessPath::UTreeCircle,
-                model.open_descend(utree.stats().height) + model.coeffs.cost_init_ms,
-                model.bitmap_fetch_ms(hs.bytes as f64, page_bytes(&hs), candidates),
-                format!("~{candidates:.0} per-candidate heap fetches"),
-                Vec::new(),
-            ));
+            out.push(
+                candidate(
+                    model,
+                    AccessPath::UTreeCircle,
+                    model.open_descend(utree.stats().height) + model.coeffs.cost_init_ms,
+                    model.bitmap_fetch_ms(hs.bytes as f64, page_bytes(&hs), candidates),
+                    format!("~{candidates:.0} per-candidate heap fetches"),
+                    Vec::new(),
+                )
+                .with_est(candidates, candidates.max(1.0)),
+            );
         }
     }
 

@@ -25,11 +25,13 @@ use upi_storage::Store;
 use upi_uncertain::{Field, Schema, Tuple, TupleId};
 
 use crate::catalog::Catalog;
-use crate::cost::{CalibrationStore, CostModel, PathKind, RefitOutcome};
+use crate::cost::{CalibrationStore, CostModel, PathKind, RefitOutcome, N_PATH_KINDS};
 use crate::error::{PlanError, QueryError};
 use crate::exec::QueryOutput;
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::plan::PhysicalPlan;
 use crate::query::PtqQuery;
+use upi_storage::QueryId;
 
 /// A planner-first session over one uncertain table.
 ///
@@ -89,6 +91,10 @@ pub struct UncertainDb {
     /// observed `(estimated, measured)` samples every executed query
     /// feeds ([`recalibrate`](Self::recalibrate) refits from them).
     calibration: Mutex<CalibrationState>,
+    /// Session metrics: per-path-kind query counts and latency
+    /// histograms, pool traffic totals, calibration gauges. Snapshot via
+    /// [`metrics`](Self::metrics).
+    metrics: Mutex<MetricsRegistry>,
 }
 
 struct CalibrationState {
@@ -124,6 +130,7 @@ impl UncertainDb {
                 model,
                 store: CalibrationStore::new(),
             }),
+            metrics: Mutex::new(MetricsRegistry::new()),
         }
     }
 
@@ -211,18 +218,59 @@ impl UncertainDb {
         q.plan(&self.catalog())
     }
 
+    /// The shared plan-and-execute core: every query path below runs
+    /// through here, under one **per-query attribution id**.
+    ///
+    /// The attribution guard is pushed before planning, so plan-time I/O
+    /// (hint resolution, statistics reads — on a cold cache some of the
+    /// opens the estimate prices are paid here) and execute-time I/O land
+    /// on the same slot; the slot is consumed afterwards, and its total
+    /// is both the observed side of calibration and the query's
+    /// `QueryOutput::device`. Concurrent queries on this session each
+    /// observe only their own device time — the shared-store-clock
+    /// cross-talk the old store-wide snapshot window suffered is gone.
+    /// Warm-cache executions are still filtered out by the calibration
+    /// store itself (see `CalibrationStore::record`).
+    fn run_query(&self, q: &PtqQuery) -> Result<(QueryOutput, PhysicalPlan), QueryError> {
+        let store = self.table.store();
+        let qid = QueryId::next();
+        let result = {
+            let _guard = store.pool.attributed(qid);
+            let catalog = self.catalog().with_query_id(qid);
+            q.plan(&catalog)
+                .map_err(QueryError::from)
+                .and_then(|plan| plan.execute(&catalog).map(|out| (plan, out)))
+        };
+        // Consume the attribution slot whether or not execution succeeded.
+        let attributed = store.pool.take_attributed(qid);
+        let (plan, mut out) = result?;
+        // The calibration window covers plan + execute, so the per-query
+        // device view the session reports is the same quantity.
+        out.device = Some(attributed);
+        let observed = attributed.total_ms();
+        let cost = &plan.candidates[0].cost;
+        self.calibration
+            .lock()
+            .store
+            .record(cost.kind, cost.fixed_ms, cost.dominant_ms, observed);
+        self.metrics.lock().record_query(
+            cost.kind,
+            plan.est_ms(),
+            observed,
+            out.len() as u64,
+            out.io.as_ref(),
+        );
+        Ok((out, plan))
+    }
+
     /// Plan and execute a query. `QueryOutput::io` carries the buffer-
-    /// pool traffic this execution caused (the session always registers
-    /// the pool), and the execution's `(estimated, observed)` pair is
-    /// recorded as a calibration sample for
-    /// [`recalibrate`](Self::recalibrate).
+    /// pool traffic this execution caused, `QueryOutput::device` the
+    /// device time attributed to **this query alone** (the session
+    /// always registers the pool and an attribution id), and the
+    /// execution's `(estimated, observed)` pair is recorded as a
+    /// calibration sample for [`recalibrate`](Self::recalibrate).
     pub fn query(&self, q: &PtqQuery) -> Result<QueryOutput, QueryError> {
-        let before = self.table.store().pool.device_stats();
-        let catalog = self.catalog();
-        let plan = q.plan(&catalog)?;
-        let out = plan.execute(&catalog)?;
-        self.feed_sample(&plan, before);
-        Ok(out)
+        Ok(self.run_query(q)?.0)
     }
 
     /// The chosen plan's `explain()` rendering, without executing.
@@ -234,47 +282,23 @@ impl UncertainDb {
     /// this execution (`explain_with_io`). Feeds the calibration store
     /// like [`query`](Self::query).
     pub fn run_explained(&self, q: &PtqQuery) -> Result<(QueryOutput, String), QueryError> {
-        let before = self.table.store().pool.device_stats();
-        let catalog = self.catalog();
-        let plan = q.plan(&catalog)?;
-        let out = plan.execute(&catalog)?;
-        self.feed_sample(&plan, before);
+        let (out, plan) = self.run_query(q)?;
         let text = plan.explain_with_io(out.io.as_ref());
         Ok((out, text))
     }
 
-    // --- Cost-model calibration -------------------------------------------
-
-    /// Record one executed plan's `(estimated, observed)` pair. The
-    /// estimate's decomposition rides on the chosen candidate; the
-    /// observed side is the measured simulated device time since
-    /// `before`, snapshotted **ahead of planning** — the estimate prices
-    /// file opens and descents, and on a cold cache some of those are
-    /// paid during planning (hint resolution, statistics reads), so the
-    /// sample window must cover plan + execute to compare like with like.
-    ///
-    /// The device clock is shared per [`Store`]: queries racing on the
-    /// same store (another thread on this session, or a second session
-    /// over the same disk) inflate each other's windows. Calibration
-    /// tolerates occasional outliers (bounded refit over a sample
-    /// history), but a deliberately concurrent workload should drive
-    /// [`recalibrate`](Self::recalibrate) from a quiesced phase.
-    /// Warm-cache executions are filtered out by the store itself
-    /// (see `CalibrationStore::record`).
-    fn feed_sample(&self, plan: &PhysicalPlan, before: upi_storage::IoStats) {
-        let observed = self
-            .table
-            .store()
-            .pool
-            .device_stats()
-            .since(&before)
-            .total_ms();
-        let cost = &plan.candidates[0].cost;
-        self.calibration
-            .lock()
-            .store
-            .record(cost.kind, cost.fixed_ms, cost.dominant_ms, observed);
+    /// EXPLAIN ANALYZE: plan, execute, and render the plan **with** the
+    /// executed span tree — per-operator estimated-vs-observed rows,
+    /// pages, and simulated device ms (flagged `!` beyond 2x), plus a
+    /// warning line if eviction-flush errors occurred. Feeds calibration
+    /// and session metrics like [`query`](Self::query).
+    pub fn explain_analyze(&self, q: &PtqQuery) -> Result<(QueryOutput, String), QueryError> {
+        let (out, plan) = self.run_query(q)?;
+        let text = plan.render_analyze(&out);
+        Ok((out, text))
     }
+
+    // --- Cost-model calibration -------------------------------------------
 
     /// One bounded refit pass over the samples collected so far:
     /// per-path-kind least-squares on the dominant cost term (see
@@ -282,9 +306,33 @@ impl UncertainDb {
     /// [`query`](Self::query) calls price with the updated coefficients.
     /// Returns what changed, one entry per kind that had enough samples.
     pub fn recalibrate(&self) -> Vec<RefitOutcome> {
-        let mut g = self.calibration.lock();
-        let CalibrationState { model, store } = &mut *g;
-        model.refit(&*store)
+        let outcomes = {
+            let mut g = self.calibration.lock();
+            let CalibrationState { model, store } = &mut *g;
+            model.refit(&*store)
+        };
+        // Mirror the post-refit scales into the metrics registry so the
+        // snapshot always reports current pricing.
+        let model = self.cost_model();
+        let mut scales = [1.0f64; N_PATH_KINDS];
+        for k in PathKind::ALL {
+            scales[k.index()] = model.scale(k);
+        }
+        let mut m = self.metrics.lock();
+        if outcomes.is_empty() {
+            m.set_scales(scales);
+        } else {
+            m.record_refit(scales);
+        }
+        outcomes
+    }
+
+    /// Snapshot the session metrics registry: query counts and device-ms
+    /// latency quantiles per path kind, pool hit ratio, read-ahead
+    /// efficiency, flush errors, refit count, misestimation quantiles.
+    /// Cheap (copies counters); the registry keeps accumulating.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.lock().snapshot()
     }
 
     /// The cost model currently pricing this session's plans.

@@ -6,8 +6,14 @@ use parking_lot::Mutex;
 use crate::config::DiskConfig;
 use crate::error::{Result, StorageError};
 use crate::file::{FileId, FileMeta};
+use crate::obs::{self, QueryId};
 use crate::page::PageId;
 use crate::stats::IoStats;
+
+/// Upper bound on concurrently tracked per-query attribution slots
+/// (oldest evicted): bounds memory for callers that never collect their
+/// attributed stats.
+const MAX_ATTRIBUTED_QUERIES: usize = 64;
 
 /// A byte-addressed simulated disk.
 ///
@@ -47,6 +53,10 @@ struct Inner {
     next_offset: u64,
     clock_ms: f64,
     stats: IoStats,
+    /// Per-query attribution slots (see [`crate::obs`]): while a thread
+    /// holds an attribution guard, every charge also accrues to its
+    /// query's slot here. Oldest-first, bounded.
+    attributed: Vec<(QueryId, IoStats)>,
 }
 
 impl SimDisk {
@@ -61,6 +71,7 @@ impl SimDisk {
                 next_offset: 0,
                 clock_ms: 0.0,
                 stats: IoStats::default(),
+                attributed: Vec::new(),
             }),
         }
     }
@@ -148,6 +159,11 @@ impl SimDisk {
         g.stats.read_ms += cost;
         g.stats.page_reads += 1;
         g.stats.bytes_read += size as u64;
+        if let Some(a) = g.attributed_slot() {
+            a.read_ms += cost;
+            a.page_reads += 1;
+            a.bytes_read += size as u64;
+        }
         g.head = offset + size as u64;
         Ok(g.pages[idx]
             .data
@@ -183,6 +199,11 @@ impl SimDisk {
         g.stats.write_ms += cost;
         g.stats.page_writes += 1;
         g.stats.bytes_written += size as u64;
+        if let Some(a) = g.attributed_slot() {
+            a.write_ms += cost;
+            a.page_writes += 1;
+            a.bytes_written += size as u64;
+        }
         g.head = offset + size as u64;
         g.pages[idx].data = Some(data);
         Ok(())
@@ -238,6 +259,11 @@ impl SimDisk {
             g.stats.read_ms += cost;
             g.stats.page_reads += 1;
             g.stats.bytes_read += size as u64;
+            if let Some(a) = g.attributed_slot() {
+                a.read_ms += cost;
+                a.page_reads += 1;
+                a.bytes_read += size as u64;
+            }
             g.head = offset + size as u64;
             out.push(
                 g.pages[idx]
@@ -342,6 +368,30 @@ impl SimDisk {
         self.inner.lock().stats
     }
 
+    /// Snapshot of the I/O attributed to `qid` so far (see
+    /// [`crate::obs`]); zero stats if the query never charged anything.
+    /// Non-consuming: the slot keeps accruing.
+    pub fn attributed_stats(&self, qid: QueryId) -> IoStats {
+        let g = self.inner.lock();
+        g.attributed
+            .iter()
+            .find(|(q, _)| *q == qid)
+            .map(|(_, s)| *s)
+            .unwrap_or_default()
+    }
+
+    /// Remove and return the I/O attributed to `qid` (zero stats if the
+    /// query never charged anything). Callers collect their slot when the
+    /// query finishes so the bounded slot table never fills with
+    /// completed queries.
+    pub fn take_attributed(&self, qid: QueryId) -> IoStats {
+        let mut g = self.inner.lock();
+        match g.attributed.iter().position(|(q, _)| *q == qid) {
+            Some(i) => g.attributed.remove(i).1,
+            None => IoStats::default(),
+        }
+    }
+
     /// Charge an explicit number of simulated milliseconds (used by the CPU
     /// cost hooks in the executor; kept out of the I/O breakdown).
     pub fn charge_ms(&self, ms: f64) {
@@ -366,6 +416,20 @@ impl SimDisk {
 }
 
 impl Inner {
+    /// The attribution slot of the query currently on this thread's
+    /// attribution stack, if any (find-or-create, oldest evicted).
+    fn attributed_slot(&mut self) -> Option<&mut IoStats> {
+        let qid = obs::current_query()?;
+        if let Some(i) = self.attributed.iter().position(|(q, _)| *q == qid) {
+            return Some(&mut self.attributed[i].1);
+        }
+        if self.attributed.len() >= MAX_ATTRIBUTED_QUERIES {
+            self.attributed.remove(0);
+        }
+        self.attributed.push((qid, IoStats::default()));
+        Some(&mut self.attributed.last_mut().unwrap().1)
+    }
+
     fn charge_open(g: &mut Inner, cfg: &DiskConfig, file: FileId) {
         let f = &mut g.files[file.0 as usize];
         if !f.open {
@@ -373,6 +437,10 @@ impl Inner {
             g.clock_ms += cfg.init_ms;
             g.stats.init_ms += cfg.init_ms;
             g.stats.file_opens += 1;
+            if let Some(a) = g.attributed_slot() {
+                a.init_ms += cfg.init_ms;
+                a.file_opens += 1;
+            }
         }
     }
 
@@ -382,6 +450,10 @@ impl Inner {
             g.clock_ms += cost;
             g.stats.seek_ms += cost;
             g.stats.seeks += 1;
+            if let Some(a) = g.attributed_slot() {
+                a.seek_ms += cost;
+                a.seeks += 1;
+            }
         }
     }
 }

@@ -49,6 +49,7 @@ pub mod config;
 pub mod disk;
 pub mod error;
 pub mod file;
+pub mod obs;
 pub mod page;
 pub mod pool;
 pub mod stats;
@@ -57,8 +58,9 @@ pub use config::DiskConfig;
 pub use disk::SimDisk;
 pub use error::StorageError;
 pub use file::FileId;
+pub use obs::QueryId;
 pub use page::{PageId, INVALID_PAGE};
-pub use pool::{AccessHint, BufferPool, PoolCounters};
+pub use pool::{AccessHint, AttributedGuard, BufferPool, PoolCounters};
 pub use stats::IoStats;
 
 use std::sync::Arc;

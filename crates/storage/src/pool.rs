@@ -9,7 +9,9 @@ use parking_lot::Mutex;
 use crate::disk::SimDisk;
 use crate::error::Result;
 use crate::file::FileId;
+use crate::obs::{self, QueryId};
 use crate::page::PageId;
+use crate::stats::IoStats;
 
 /// A planner-supplied prefetch hint: the chosen access path expects to
 /// read roughly `est_run_pages` physically contiguous pages starting at
@@ -60,6 +62,11 @@ pub struct PoolCounters {
     /// the pool). Non-zero means a write was dropped — surfaced here
     /// instead of being silently swallowed by `put`.
     pub flush_errors: u64,
+    /// Prefetched pages that left the cache (evicted, or dropped by a
+    /// cold reset) without ever serving a demand get: speculative reads
+    /// whose device time bought nothing. Non-zero means read-ahead armed
+    /// on an access pattern that was not actually a run.
+    pub readahead_wasted: u64,
 }
 
 impl PoolCounters {
@@ -95,6 +102,7 @@ impl PoolCounters {
             readahead_hits: self.readahead_hits - earlier.readahead_hits,
             hinted_runs: self.hinted_runs - earlier.hinted_runs,
             flush_errors: self.flush_errors - earlier.flush_errors,
+            readahead_wasted: self.readahead_wasted - earlier.readahead_wasted,
         }
     }
 }
@@ -103,11 +111,12 @@ impl std::fmt::Display for PoolCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "hits={} misses={} readahead={} (ra-hits={}) hinted-runs={} evictions={} flush-errors={}",
+            "hits={} misses={} readahead={} (ra-hits={} ra-wasted={}) hinted-runs={} evictions={} flush-errors={}",
             self.hits,
             self.misses,
             self.readahead,
             self.readahead_hits,
+            self.readahead_wasted,
             self.hinted_runs,
             self.evictions,
             self.flush_errors
@@ -211,6 +220,13 @@ struct PoolInner {
     /// each is consumed by the next access to its start page,
     /// independently of the others.
     pending_hints: Vec<AccessHint>,
+    /// While non-zero, raw misses do not create new run-tracker state
+    /// (see [`BufferPool::attributed`] /
+    /// [`AttributedGuard::suppress_run_detection`]): a scatter-shaped
+    /// access pattern whose plan carries no hints cannot arm speculative
+    /// read-ahead. Hinted runs — and continuations of already-armed
+    /// runs — still stream.
+    suppress_runs: u32,
 }
 
 impl PoolInner {
@@ -311,6 +327,7 @@ impl BufferPool {
         // Run detection must happen before the read resets the head.
         let file = self.disk.page_file(pid)?;
         let offset = self.disk.page_offset(pid)?;
+        let suppress = g.suppress_runs > 0;
         let sequential = g.runs.iter().any(|r| r.file == file && r.next == offset);
         let hinted_start = g.hint_index(pid).is_some();
         let mut hinted_remaining = None;
@@ -364,15 +381,20 @@ impl BufferPool {
                 prefetched += 1;
             }
         }
-        g.note_run(
-            file,
-            offset,
-            RunState {
+        // Under suppression a raw miss leaves no run state behind — only
+        // hinted arming and the continuation of an already-armed run keep
+        // tracking, so two adjacent scatter misses can never arm.
+        if !suppress || hinted_start || sequential {
+            g.note_run(
                 file,
-                next: run_end,
-                hinted_remaining: hinted_remaining.map(|r| r.saturating_sub(prefetched)),
-            },
-        );
+                offset,
+                RunState {
+                    file,
+                    next: run_end,
+                    hinted_remaining: hinted_remaining.map(|r| r.saturating_sub(prefetched)),
+                },
+            );
+        }
         self.evict_overflow(&mut g)?;
         Ok(data)
     }
@@ -447,10 +469,15 @@ impl BufferPool {
         }
     }
 
-    /// Flush then drop every frame (cold cache). Run detection resets too.
+    /// Flush then drop every frame (cold cache). Run detection resets
+    /// too. Prefetched frames that never served a demand get are counted
+    /// as [`PoolCounters::readahead_wasted`] — the speculation is
+    /// provably dead once the cache resets.
     pub fn clear(&self) {
         self.flush_all();
         let mut g = self.inner.lock();
+        let wasted = g.frames.values().filter(|f| f.prefetched).count() as u64;
+        g.counters.readahead_wasted += wasted;
         g.frames.clear();
         g.bytes = 0;
         g.head = None;
@@ -476,6 +503,36 @@ impl BufferPool {
         self.disk.stats()
     }
 
+    /// Open a scoped per-query attribution window (see [`crate::obs`]):
+    /// until the returned guard drops, every device charge this thread
+    /// causes — through the pool or directly on the disk — also accrues
+    /// to `qid`'s slot, readable via
+    /// [`attributed_stats`](Self::attributed_stats) /
+    /// [`take_attributed`](Self::take_attributed). Guards nest (innermost
+    /// id wins) and are per-thread: concurrent queries on other threads
+    /// attribute to their own ids, so each query observes only its own
+    /// device time instead of the store-wide clock delta.
+    ///
+    /// The guard must be dropped on the thread that created it.
+    pub fn attributed(&self, qid: QueryId) -> AttributedGuard<'_> {
+        obs::push_query(qid);
+        AttributedGuard {
+            pool: self,
+            qid,
+            suppressing: false,
+        }
+    }
+
+    /// Snapshot of the I/O attributed to `qid` so far (non-consuming).
+    pub fn attributed_stats(&self, qid: QueryId) -> IoStats {
+        self.disk.attributed_stats(qid)
+    }
+
+    /// Remove and return the I/O attributed to `qid`.
+    pub fn take_attributed(&self, qid: QueryId) -> IoStats {
+        self.disk.take_attributed(qid)
+    }
+
     /// Number of cached bytes right now.
     pub fn cached_bytes(&self) -> usize {
         self.inner.lock().bytes
@@ -488,14 +545,63 @@ impl BufferPool {
                 None => break,
             };
             let frame = g.frames.get(&victim).expect("lru head must exist");
-            let (dirty, data) = (frame.dirty, frame.data.clone());
+            let (dirty, data, prefetched) = (frame.dirty, frame.data.clone(), frame.prefetched);
             g.remove(victim);
             g.counters.evictions += 1;
+            if prefetched {
+                g.counters.readahead_wasted += 1;
+            }
             if dirty {
                 self.disk.write_page(victim, data)?;
             }
         }
         Ok(())
+    }
+}
+
+/// RAII attribution window from [`BufferPool::attributed`]: pushes its
+/// [`QueryId`] onto the thread's attribution stack on creation and pops
+/// it on drop. Optionally also suppresses run-detection arming for its
+/// lifetime ([`suppress_run_detection`](Self::suppress_run_detection)).
+pub struct AttributedGuard<'a> {
+    pool: &'a BufferPool,
+    qid: QueryId,
+    suppressing: bool,
+}
+
+impl AttributedGuard<'_> {
+    /// Additionally suppress run-detection arming while this guard
+    /// lives: raw cache misses no longer create run-tracker state, so a
+    /// scatter-shaped access pattern (a plan whose chosen candidate
+    /// carries no [`AccessHint`]s) cannot trick the two-adjacent-miss
+    /// detector into speculative read-ahead. Planner hints — and runs
+    /// they already armed — still stream normally.
+    pub fn suppress_run_detection(mut self) -> Self {
+        if !self.suppressing {
+            self.pool.inner.lock().suppress_runs += 1;
+            self.suppressing = true;
+        }
+        self
+    }
+
+    /// The query this guard attributes to.
+    pub fn query_id(&self) -> QueryId {
+        self.qid
+    }
+
+    /// Snapshot of the I/O attributed to this guard's query so far.
+    pub fn stats(&self) -> IoStats {
+        self.pool.attributed_stats(self.qid)
+    }
+}
+
+impl Drop for AttributedGuard<'_> {
+    fn drop(&mut self) {
+        if self.suppressing {
+            let mut g = self.pool.inner.lock();
+            g.suppress_runs = g.suppress_runs.saturating_sub(1);
+        }
+        obs::pop_query();
     }
 }
 
@@ -992,5 +1098,153 @@ mod tests {
         pool.discard(p);
         pool.flush_all();
         assert_eq!(disk.stats().page_writes, 0);
+    }
+
+    #[test]
+    fn suppression_blocks_two_miss_arming() {
+        let (disk, pool) = setup(1 << 20);
+        let f = disk.create_file("t", 4096);
+        let pages: Vec<_> = (0..16).map(|_| disk.alloc_page(f).unwrap()).collect();
+        for &p in &pages {
+            disk.write_page(p, Bytes::from(vec![1u8; 4096])).unwrap();
+        }
+        {
+            let _guard = pool.attributed(QueryId::next()).suppress_run_detection();
+            // Two adjacent misses would normally arm read-ahead; under
+            // suppression they must not.
+            pool.get(pages[0]).unwrap();
+            pool.get(pages[1]).unwrap();
+            pool.get(pages[2]).unwrap();
+            assert_eq!(pool.counters().readahead, 0, "{}", pool.counters());
+        }
+        // Guard dropped: the detector works again for the next query.
+        pool.clear();
+        pool.get(pages[0]).unwrap();
+        pool.get(pages[1]).unwrap();
+        assert_eq!(
+            pool.counters().readahead,
+            disk.config().readahead_pages as u64
+        );
+    }
+
+    #[test]
+    fn suppression_still_honors_hints() {
+        let (disk, pool) = setup(1 << 20);
+        let f = disk.create_file("t", 4096);
+        let pages: Vec<_> = (0..16).map(|_| disk.alloc_page(f).unwrap()).collect();
+        for &p in &pages {
+            disk.write_page(p, Bytes::from(vec![1u8; 4096])).unwrap();
+        }
+        let _guard = pool.attributed(QueryId::next()).suppress_run_detection();
+        pool.hint_run(AccessHint {
+            start_page: pages[0],
+            est_run_pages: 8,
+        });
+        pool.get(pages[0]).unwrap();
+        let c = pool.counters();
+        assert_eq!(c.hinted_runs, 1, "{c}");
+        assert_eq!(c.readahead, 7, "hint must stream despite suppression: {c}");
+    }
+
+    #[test]
+    fn wasted_prefetch_is_counted_on_eviction_and_clear() {
+        let (disk, pool) = setup(4096 * 4);
+        let f = disk.create_file("t", 4096);
+        let pages: Vec<_> = (0..16).map(|_| disk.alloc_page(f).unwrap()).collect();
+        for &p in &pages {
+            disk.write_page(p, Bytes::from(vec![1u8; 4096])).unwrap();
+        }
+        // Arm a hinted run larger than the pool: prefetched frames evict
+        // each other before any demand get touches them.
+        pool.hint_run(AccessHint {
+            start_page: pages[0],
+            est_run_pages: 12,
+        });
+        pool.get(pages[0]).unwrap();
+        let c = pool.counters();
+        assert!(c.readahead > 0, "{c}");
+        assert!(
+            c.readahead_wasted > 0,
+            "evicted-unread prefetch must count: {c}"
+        );
+        // Whatever prefetched frames remain cached die unread at clear().
+        let before = pool.counters();
+        pool.clear();
+        let after = pool.counters();
+        assert_eq!(
+            after.readahead - after.readahead_wasted,
+            before.readahead_hits,
+            "every prefetched page is either a hit or wasted: {after}"
+        );
+    }
+
+    #[test]
+    fn attribution_isolates_two_queries_on_one_pool() {
+        let (disk, pool) = setup(1 << 20);
+        let fa = disk.create_file("a", 4096);
+        let fb = disk.create_file("b", 4096);
+        let a: Vec<_> = (0..4).map(|_| disk.alloc_page(fa).unwrap()).collect();
+        let b: Vec<_> = (0..4).map(|_| disk.alloc_page(fb).unwrap()).collect();
+        for &p in a.iter().chain(&b) {
+            disk.write_page(p, Bytes::from(vec![1u8; 4096])).unwrap();
+        }
+        disk.close_all_files();
+        disk.reset_head();
+        let total_before = pool.device_stats();
+
+        let qa = QueryId::next();
+        let qb = QueryId::next();
+        // Interleave the two "queries" statement by statement, the way
+        // two sessions would race on one store.
+        for i in 0..a.len() {
+            {
+                let _g = pool.attributed(qa);
+                pool.get(a[i]).unwrap();
+            }
+            {
+                let _g = pool.attributed(qb);
+                pool.get(b[i]).unwrap();
+            }
+        }
+
+        let sa = pool.take_attributed(qa);
+        let sb = pool.take_attributed(qb);
+        let total = pool.device_stats().since(&total_before);
+        assert_eq!(sa.page_reads, 4);
+        assert_eq!(sb.page_reads, 4);
+        assert_eq!(sa.file_opens, 1, "each query pays only its own open");
+        assert_eq!(sb.file_opens, 1);
+        assert!(sa.total_ms() > 0.0 && sb.total_ms() > 0.0);
+        // Sum of attributed time == store-wide delta: nothing leaks.
+        assert!(
+            (sa.total_ms() + sb.total_ms() - total.total_ms()).abs() < 1e-9,
+            "attributed {} + {} != store delta {}",
+            sa.total_ms(),
+            sb.total_ms(),
+            total.total_ms()
+        );
+        // Slots were consumed.
+        assert_eq!(pool.take_attributed(qa).page_reads, 0);
+    }
+
+    #[test]
+    fn nested_guards_attribute_to_the_innermost_query() {
+        let (disk, pool) = setup(1 << 20);
+        let f = disk.create_file("t", 4096);
+        let p0 = disk.alloc_page(f).unwrap();
+        let p1 = disk.alloc_page(f).unwrap();
+        disk.write_page(p0, Bytes::from(vec![1u8; 4096])).unwrap();
+        disk.write_page(p1, Bytes::from(vec![1u8; 4096])).unwrap();
+        pool.clear();
+        let outer = QueryId::next();
+        let inner = QueryId::next();
+        let _og = pool.attributed(outer);
+        pool.get(p0).unwrap();
+        {
+            let _ig = pool.attributed(inner);
+            pool.get(p1).unwrap();
+        }
+        assert_eq!(pool.take_attributed(outer).page_reads, 1);
+        assert_eq!(pool.take_attributed(inner).page_reads, 1);
     }
 }

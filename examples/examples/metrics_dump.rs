@@ -1,0 +1,81 @@
+//! Session metrics dump: a mixed PTQ workload through an `UncertainDb`
+//! session, then the observability surface end to end —
+//!
+//! 1. **EXPLAIN ANALYZE** for one query: the chosen plan with the
+//!    executed span tree (per-operator rows / decodes / pages / device
+//!    ms next to the planner's estimates, flagged `!` beyond 2x);
+//! 2. the session **metrics snapshot**: per-path-kind query counts and
+//!    device-ms latency quantiles, pool hit ratio, read-ahead
+//!    efficiency, calibration scales and refit count, misestimation
+//!    quantiles — as the human table and as the machine JSON (the same
+//!    shape `planner_vs_forced` commits as `BENCH_metrics.json`).
+//!
+//! Run with: `cargo run --release -p upi-examples --example metrics_dump`
+
+use std::sync::Arc;
+
+use upi::{TableLayout, UpiConfig};
+use upi_query::{PtqQuery, UncertainDb};
+use upi_storage::{DiskConfig, SimDisk, Store};
+use upi_workloads::dblp::{self, author_fields, DblpConfig, DblpData};
+
+fn main() {
+    let cfg = DblpConfig {
+        n_authors: 8_000,
+        n_publications: 1_000,
+        payload_bytes: 64,
+        ..DblpConfig::default()
+    };
+    let data = dblp::generate(&cfg);
+    let mit = data.popular_institution();
+    let rare = data.selective_institution();
+
+    let store = Store::new(Arc::new(SimDisk::new(DiskConfig::default())), 1 << 20);
+    let mut db = UncertainDb::create(
+        store.clone(),
+        "authors",
+        DblpData::author_schema(),
+        author_fields::INSTITUTION,
+        TableLayout::Upi(UpiConfig::default()),
+    )
+    .unwrap();
+    let country_idx = db.add_secondary(author_fields::COUNTRY).unwrap();
+    db.load(&data.authors).unwrap();
+
+    // A mixed workload: every query lands its own attributed device time
+    // and I/O on the session registry, keyed by the chosen path kind.
+    for qt in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        db.ptq(mit, qt).unwrap();
+        db.ptq(rare, qt).unwrap();
+    }
+    db.ptq_range(0, 10, 0.3).unwrap();
+    db.top_k(mit, 5).unwrap();
+    for qt in [0.2, 0.6] {
+        db.ptq_secondary(country_idx, data.query_country(), qt)
+            .unwrap();
+    }
+
+    // One refit pass over the samples those executions recorded; the
+    // post-refit scales land in the snapshot below.
+    let refit = db.recalibrate();
+    println!("recalibrate: {} path kind(s) adjusted\n", refit.len());
+
+    // A few more queries under calibrated pricing.
+    db.ptq(mit, 0.5).unwrap();
+    db.top_k(mit, 3).unwrap();
+
+    // EXPLAIN ANALYZE: the plan rendering plus the executed span tree.
+    let (_, text) = db
+        .explain_analyze(
+            &PtqQuery::eq(author_fields::INSTITUTION, mit)
+                .with_qt(0.5)
+                .with_top_k(5),
+        )
+        .unwrap();
+    println!("{text}");
+
+    let snap = db.metrics();
+    println!("{}", snap.render());
+    println!("--- MetricsSnapshot JSON ---");
+    println!("{}", snap.to_json());
+}

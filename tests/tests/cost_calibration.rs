@@ -266,3 +266,71 @@ fn session_records_samples_per_kind_automatically() {
     );
     assert!(text.contains("3 samples"), "{text}");
 }
+
+// --- CalibrationStore edge behaviour ------------------------------------
+
+#[test]
+fn sample_cap_evicts_oldest_first() {
+    use upi_query::cost::CalibrationStore;
+    use upi_query::CostModel;
+
+    let mut store = CalibrationStore::new();
+    let kind = PathKind::Scan;
+    // 256 "old" observations at 4x the estimate, then 512 "new" ones at
+    // 0.25x. The per-kind ring holds 512: if eviction is oldest-first,
+    // every old sample is gone and the fit sees a uniform 0.25 ratio.
+    for _ in 0..256 {
+        store.record(kind, 0.0, 10.0, 40.0);
+    }
+    for _ in 0..512 {
+        store.record(kind, 0.0, 10.0, 2.5);
+    }
+    assert_eq!(store.len(kind), 512, "ring must cap at 512 per kind");
+
+    let mut model = CostModel::from_disk(&DiskConfig::default());
+    model.refit(&store);
+    assert!(
+        (model.scale(kind) - 0.25).abs() < 1e-9,
+        "a surviving old 4x sample would drag the geometric mean above \
+         0.25: got {}",
+        model.scale(kind)
+    );
+}
+
+#[test]
+fn warm_filter_keeps_the_exact_half_estimate_boundary() {
+    use upi_query::cost::CalibrationStore;
+
+    let mut store = CalibrationStore::new();
+    let kind = PathKind::PiiProbe;
+    // The filter drops observed < 0.5 * fixed; exactly half is evidence.
+    store.record(kind, 100.0, 50.0, 50.0);
+    assert_eq!(store.len(kind), 1, "observed == fixed/2 must be kept");
+    store.record(kind, 100.0, 50.0, 49.999);
+    assert_eq!(store.len(kind), 1, "observed just below fixed/2 is warm");
+}
+
+#[test]
+fn refit_below_min_samples_is_a_noop() {
+    use upi_query::cost::{CalibrationStore, MIN_REFIT_SAMPLES};
+    use upi_query::CostModel;
+
+    let mut store = CalibrationStore::new();
+    let kind = PathKind::RangeRun;
+    for _ in 0..MIN_REFIT_SAMPLES - 1 {
+        store.record(kind, 0.0, 10.0, 40.0); // wildly mispriced, but...
+    }
+    let mut model = CostModel::from_disk(&DiskConfig::default());
+    let outcomes = model.refit(&store);
+    assert!(
+        outcomes.is_empty(),
+        "{} samples are below the refit minimum",
+        MIN_REFIT_SAMPLES - 1
+    );
+    assert_eq!(model.scale(kind), 1.0, "no kind's scale may move");
+    // One more sample crosses the threshold and the same refit acts.
+    store.record(kind, 0.0, 10.0, 40.0);
+    let outcomes = model.refit(&store);
+    assert_eq!(outcomes.len(), 1);
+    assert!(model.scale(kind) > 1.0);
+}
