@@ -301,6 +301,84 @@ fn hint_json(h: &HintRecord) -> String {
     )
 }
 
+/// Group-commit experiment: the same logged DML workload against two
+/// durability configurations differing only in `wal_group_ops`.
+struct WalCommitRecord {
+    ops: u64,
+    per_op_ms: f64,
+    per_op_batches: u64,
+    batched_ms: f64,
+    batched_batches: u64,
+    batched_mean_batch: f64,
+}
+
+impl WalCommitRecord {
+    fn speedup(&self) -> f64 {
+        if self.batched_ms > 0.0 {
+            self.per_op_ms / self.batched_ms
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Run `ops` logged inserts (sync every 50, then a final sync) on a
+/// durable session whose WAL flushes every `group_ops` appends, and
+/// report the device milliseconds the commit path charged.
+fn wal_commit_run(group_ops: usize, ops: u64) -> (f64, upi_storage::WalCounters) {
+    use std::sync::Arc;
+    use upi::TableLayout;
+    use upi_storage::{SimDisk, Store};
+    use upi_uncertain::{Datum, DiscretePmf, Field, FieldKind, Schema, Tuple, TupleId};
+
+    let cfg = DiskConfig {
+        wal_group_ops: group_ops,
+        ..DiskConfig::default()
+    };
+    let store = Store::new(Arc::new(SimDisk::new(cfg)), 4 << 20);
+    let schema = Schema::new(vec![("tag", FieldKind::U64), ("attr", FieldKind::Discrete)]);
+    let mut db = upi_query::UncertainDb::create(
+        store.clone(),
+        "commit",
+        schema,
+        1,
+        TableLayout::Upi(UpiConfig::default()),
+    )
+    .unwrap();
+    db.enable_durability().unwrap();
+    let before = store.disk.clock_ms();
+    for i in 0..ops {
+        let t = Tuple::new(
+            TupleId(i),
+            0.9,
+            vec![
+                Field::Certain(Datum::U64(i)),
+                Field::Discrete(DiscretePmf::new(vec![(i % 32, 0.7), (32 + i % 7, 0.2)])),
+            ],
+        );
+        db.insert_tuple(&t).unwrap();
+        if (i + 1) % 50 == 0 {
+            db.sync_wal().unwrap();
+        }
+    }
+    db.sync_wal().unwrap();
+    (store.disk.clock_ms() - before, db.table().wal_counters())
+}
+
+fn wal_commit_experiment() -> WalCommitRecord {
+    let ops = 600;
+    let (per_op_ms, per_op) = wal_commit_run(1, ops);
+    let (batched_ms, batched) = wal_commit_run(32, ops);
+    WalCommitRecord {
+        ops,
+        per_op_ms,
+        per_op_batches: per_op.batches,
+        batched_ms,
+        batched_batches: batched.batches,
+        batched_mean_batch: batched.mean_batch(),
+    }
+}
+
 /// Mirror a refit model's per-kind scales into the metrics registry
 /// (what `UncertainDb::recalibrate` does for a session).
 fn record_refit_scales(metrics: &mut MetricsRegistry, model: &CostModel) {
@@ -320,6 +398,7 @@ fn write_json(
     blocks: &[(String, CostModel, CalibrationStore)],
     hint: &HintRecord,
     frac: &HintRecord,
+    wal: &WalCommitRecord,
 ) {
     let json_path = std::env::var("UPI_BENCH_PLANNER_JSON").unwrap_or_else(|_| {
         std::env::var("CARGO_MANIFEST_DIR")
@@ -372,7 +451,19 @@ fn write_json(
     }
     json.push_str("  ],\n");
     json.push_str(&format!("  \"prefetch_hint\": {},\n", hint_json(hint)));
-    json.push_str(&format!("  \"fractured_hint\": {}\n}}\n", hint_json(frac)));
+    json.push_str(&format!("  \"fractured_hint\": {},\n", hint_json(frac)));
+    json.push_str(&format!(
+        "  \"wal_group_commit\": {{\"ops\": {}, \"per_op\": {{\"device_ms\": {:.3}, \
+         \"batches\": {}}}, \"batched\": {{\"device_ms\": {:.3}, \"batches\": {}, \
+         \"mean_batch\": {:.2}}}, \"speedup\": {:.3}}}\n}}\n",
+        wal.ops,
+        wal.per_op_ms,
+        wal.per_op_batches,
+        wal.batched_ms,
+        wal.batched_batches,
+        wal.batched_mean_batch,
+        wal.speedup()
+    ));
     std::fs::write(&json_path, json).expect("write BENCH_planner.json");
     eprintln!("[json] wrote {json_path}");
 }
@@ -664,6 +755,31 @@ fn main() {
         );
     }
 
+    // Group commit: the same 600-insert logged workload, per-op commit
+    // (wal_group_ops=1, one fsync-priced barrier per append) vs batched
+    // (32). Same records end up durable either way; only the barrier
+    // count — and therefore the commit-path device time — changes.
+    let wal = wal_commit_experiment();
+    summary(
+        "planner.wal_group_commit",
+        format!(
+            "{:.0} ms per-op ({} batches) vs {:.0} ms batched ({} batches, mean {:.1}) = {:.1}x",
+            wal.per_op_ms,
+            wal.per_op_batches,
+            wal.batched_ms,
+            wal.batched_batches,
+            wal.batched_mean_batch,
+            wal.speedup()
+        ),
+    );
+    assert!(
+        wal.batched_ms < wal.per_op_ms * 0.8,
+        "group commit must materially beat per-op commit on the same \
+         workload: {:.1} ms batched vs {:.1} ms per-op",
+        wal.batched_ms,
+        wal.per_op_ms
+    );
+
     let hint = hint_record;
     let frac_hint = fractured_hint_record;
     write_json(
@@ -674,6 +790,7 @@ fn main() {
         &blocks,
         &hint,
         &frac_hint,
+        &wal,
     );
     // Session-metrics snapshot: per-kind query counts and device-ms
     // quantiles, pool ratios, refit count, misestimation quantiles.

@@ -23,12 +23,12 @@
 //! the perf-trajectory tooling (override the path with
 //! `UPI_BENCH_JSON`).
 
-use upi::PtqResult;
+use upi::{PtqResult, TableLayout, UpiConfig};
 use upi_bench::setups::publication_setup;
-use upi_bench::{banner, header, ms, scale, summary};
-use upi_query::{AccessPath, Catalog, PhysicalPlan, PtqQuery};
+use upi_bench::{banner, fresh_store, header, ms, scale, summary};
+use upi_query::{AccessPath, Catalog, PhysicalPlan, PtqQuery, UncertainDb};
 use upi_storage::{PoolCounters, Store};
-use upi_workloads::dblp::publication_fields;
+use upi_workloads::dblp::{publication_fields, DblpData};
 
 /// One cold measurement attributed through the buffer pool.
 struct PoolMeasured {
@@ -83,6 +83,10 @@ struct Case {
     /// unused — nonzero means the pool speculated past what the plan
     /// consumed (the scatter-shaped regression this bench gates on).
     streaming_wasted: u64,
+    /// The same streaming plan on the durability-enabled twin table:
+    /// reads never touch the WAL, so these must price like `streaming_*`.
+    wal_pages: u64,
+    wal_ms: f64,
     rows: usize,
 }
 
@@ -130,6 +134,7 @@ fn main() {
         .with_pool(&s.store.pool);
     let k = 10;
     let mut cases: Vec<Case> = Vec::new();
+    let mut kept_rows: Vec<Vec<PtqResult>> = Vec::new();
 
     banner(
         "streaming_vs_batch",
@@ -171,8 +176,11 @@ fn main() {
             streaming_bytes: streaming.bytes_read,
             batch_bytes: batch.bytes_read,
             streaming_wasted: streaming.pool.readahead_wasted,
+            wal_pages: 0,
+            wal_ms: 0.0,
             rows: streaming.rows.len(),
         });
+        kept_rows.push(streaming.rows);
     }
 
     // --- Secondary top-k (fig06-style): SecondaryProbe with limit
@@ -204,8 +212,11 @@ fn main() {
             streaming_bytes: streaming.bytes_read,
             batch_bytes: batch.bytes_read,
             streaming_wasted: streaming.pool.readahead_wasted,
+            wal_pages: 0,
+            wal_ms: 0.0,
             rows: streaming.rows.len(),
         });
+        kept_rows.push(streaming.rows);
     }
 
     // --- Range (fig05-style): same sequential run either way; streaming
@@ -226,8 +237,93 @@ fn main() {
             streaming_bytes: streaming.bytes_read,
             batch_bytes: batch.bytes_read,
             streaming_wasted: streaming.pool.readahead_wasted,
+            wal_pages: 0,
+            wal_ms: 0.0,
             rows: streaming.rows.len(),
         });
+        kept_rows.push(streaming.rows);
+    }
+
+    // --- WAL-on twin: the same data behind a durability-enabled session.
+    //     Queries never touch the log, so every streaming read path must
+    //     price within the same 5% gate as the instrumented executor —
+    //     durability may tax writes, never reads.
+    {
+        let wal_store = fresh_store();
+        let mut wdb = UncertainDb::create(
+            wal_store.clone(),
+            "pub_wal",
+            DblpData::publication_schema(),
+            publication_fields::INSTITUTION,
+            TableLayout::Upi(UpiConfig {
+                cutoff: 0.1,
+                ..UpiConfig::default()
+            }),
+        )
+        .unwrap();
+        wdb.add_secondary(publication_fields::COUNTRY).unwrap();
+        wdb.enable_durability().unwrap();
+        wdb.load(&s.data.publications).unwrap();
+        wdb.sync_wal().unwrap();
+        let wal_catalog = Catalog::new(wal_store.disk.config())
+            .with_upi(wdb.table().as_upi().unwrap())
+            .with_pool(&wal_store.pool);
+        let shapes: Vec<(PtqQuery, AccessPath)> = vec![
+            (
+                PtqQuery::eq(publication_fields::INSTITUTION, mit)
+                    .with_qt(0.1)
+                    .with_top_k(k),
+                AccessPath::UpiHeap { use_cutoff: false },
+            ),
+            (
+                PtqQuery::eq(publication_fields::COUNTRY, japan)
+                    .with_qt(0.1)
+                    .with_top_k(k),
+                AccessPath::UpiSecondary {
+                    index: 0,
+                    tailored: true,
+                },
+            ),
+            (
+                PtqQuery::range(publication_fields::INSTITUTION, mit, mit + 3).with_qt(0.2),
+                AccessPath::UpiRange,
+            ),
+        ];
+        for (i, (q, path)) in shapes.into_iter().enumerate() {
+            let plan = forced(&q.plan(&wal_catalog).unwrap(), &path);
+            let m = measure_pool(&wal_store, || plan.execute(&wal_catalog).unwrap().rows);
+            assert_same_rows(
+                &format!("{} (wal twin)", cases[i].name),
+                &m.rows,
+                &kept_rows[i],
+            );
+            cases[i].wal_pages = m.pool.pages_read();
+            cases[i].wal_ms = m.sim_ms;
+        }
+        for c in &cases {
+            assert!(
+                c.wal_pages as f64 <= c.streaming_pages as f64 * OVERHEAD_GATE + 1.0,
+                "{}: WAL-on read path touched {} pages vs {} without a log \
+                 (5% gate) — durability must not tax reads",
+                c.name,
+                c.wal_pages,
+                c.streaming_pages
+            );
+            assert!(
+                c.wal_ms <= c.streaming_ms * OVERHEAD_GATE + 1.0,
+                "{}: WAL-on read path took {:.3} ms vs {:.3} without a log (5% gate)",
+                c.name,
+                c.wal_ms,
+                c.streaming_ms
+            );
+            summary(
+                &format!("streaming.{}_wal_on", c.name),
+                format!(
+                    "{} pages vs {} wal-off, {:.1} ms vs {:.1}",
+                    c.wal_pages, c.streaming_pages, c.wal_ms, c.streaming_ms
+                ),
+            );
+        }
     }
 
     for c in &cases {
@@ -301,7 +397,7 @@ fn main() {
     let mut json = format!("{{\n  \"scale\": {:.3},\n  \"cases\": [\n", scale());
     for (i, c) in cases.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"streaming\": {{\"pages_read\": {}, \"bytes_read\": {}, \"elapsed_ms\": {:.3}, \"readahead_wasted\": {}}}, \"batch\": {{\"pages_read\": {}, \"bytes_read\": {}, \"elapsed_ms\": {:.3}}}, \"rows\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"streaming\": {{\"pages_read\": {}, \"bytes_read\": {}, \"elapsed_ms\": {:.3}, \"readahead_wasted\": {}}}, \"batch\": {{\"pages_read\": {}, \"bytes_read\": {}, \"elapsed_ms\": {:.3}}}, \"wal_on\": {{\"pages_read\": {}, \"elapsed_ms\": {:.3}}}, \"rows\": {}}}{}\n",
             c.name,
             c.streaming_pages,
             c.streaming_bytes,
@@ -310,6 +406,8 @@ fn main() {
             c.batch_pages,
             c.batch_bytes,
             c.batch_ms,
+            c.wal_pages,
+            c.wal_ms,
             c.rows,
             if i + 1 == cases.len() { "" } else { "," }
         ));

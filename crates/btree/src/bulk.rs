@@ -115,7 +115,7 @@ impl BTree {
         // allocated: freeing it earlier would let the allocator recycle
         // its slot into the middle of the fresh contiguous run.
         self.store.pool.discard(create_pid);
-        self.store.disk.free_page(create_pid)?;
+        self.store.free_page(create_pid)?;
         // Materialize the sequential write now so the load cost is charged
         // at load time (the paper measures flush/merge as a synchronous
         // sequential write).

@@ -277,7 +277,7 @@ impl BTree {
                     self.height -= 1;
                     self.internal_pages -= 1;
                     self.store.pool.discard(old);
-                    self.store.disk.free_page(old)?;
+                    self.store.free_page(old)?;
                 } else {
                     break;
                 }
@@ -366,7 +366,7 @@ impl BTree {
         self.write_node(child_pid, &child);
         self.write_node(parent_pid, parent);
         self.store.pool.discard(right_pid);
-        self.store.disk.free_page(right_pid)?;
+        self.store.free_page(right_pid)?;
         match child.kind {
             NodeKind::Leaf => self.leaf_pages -= 1,
             NodeKind::Internal => self.internal_pages -= 1,

@@ -263,7 +263,7 @@ impl ContinuousUpi {
         for pid in &old_chain {
             all.extend(decode_heap_page(&self.store.pool.get(*pid)?));
             self.store.pool.discard(*pid);
-            self.store.disk.free_page(*pid)?;
+            self.store.free_page(*pid)?;
         }
         let moved: std::collections::HashSet<u64> = ev.moved.iter().copied().collect();
         let (stay, go): (Vec<Tuple>, Vec<Tuple>) =

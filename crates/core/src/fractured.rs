@@ -128,8 +128,16 @@ impl FracturedUpi {
     }
 
     /// Buffer a delete by tuple id.
+    ///
+    /// Dropping a buffered insert is not sufficient on its own: the
+    /// buffered version was itself shadowing any older on-disk version of
+    /// the same id (update = delete + insert re-uses ids, §3.1), so the
+    /// delete must still leave a marker behind whenever an older component
+    /// holds the id — otherwise the old version resurrects.
     pub fn delete(&mut self, id: TupleId) -> Result<()> {
-        if self.buf_inserts.remove(&id.0).is_none() {
+        let on_disk =
+            self.main_ids.contains(&id.0) || self.fractures.iter().any(|f| f.ids.contains(&id.0));
+        if self.buf_inserts.remove(&id.0).is_none() || on_disk {
             self.buf_deletes.insert(id.0);
         }
         self.maybe_autoflush()
@@ -528,9 +536,34 @@ impl FracturedUpi {
         for f in self.fractures.drain(..) {
             let file = f.delete_tree.file();
             f.upi.destroy()?;
-            self.store.disk.free_file_pages(file)?;
+            self.store.free_file_pages(file)?;
         }
         Ok(())
+    }
+
+    /// The live possible-worlds content: every tuple a query can see,
+    /// across main, fractures and the insert buffer, minus everything a
+    /// newer delete set suppresses. Non-mutating (unlike
+    /// [`merge`](Self::merge), which uses the same enumeration to rebuild
+    /// the main component) — this is what a checkpoint snapshots.
+    pub fn live_tuples(&self) -> Result<Vec<Tuple>> {
+        let mut live: BTreeMap<u64, Tuple> = BTreeMap::new();
+        for t in self.main.scan_tuples()? {
+            if !self.suppressed(t.id.0, 0) {
+                live.insert(t.id.0, t);
+            }
+        }
+        for i in 0..self.fractures.len() {
+            for t in self.fractures[i].upi.scan_tuples()? {
+                if !self.suppressed(t.id.0, i + 1) {
+                    live.insert(t.id.0, t);
+                }
+            }
+        }
+        for (id, t) in &self.buf_inserts {
+            live.insert(*id, t.clone());
+        }
+        Ok(live.into_values().collect())
     }
 
     /// Number of on-disk fractures (`N_frac` of the cost model).
@@ -1025,5 +1058,45 @@ mod tests {
         assert_eq!(f.n_live_tuples(), 100);
         f.merge().unwrap();
         assert_eq!(f.n_live_tuples(), 100);
+    }
+
+    /// Deleting a *buffered* version of a tuple must not resurrect an
+    /// older on-disk version of the same id. Regression: the buffered
+    /// insert was shadowing the flushed original, and delete used to drop
+    /// the buffer entry without leaving a marker behind.
+    #[test]
+    fn delete_of_buffered_update_suppresses_older_versions() {
+        let mut f = fresh(0);
+        f.insert(author(7, 1, 0.8)).unwrap();
+        f.flush().unwrap(); // v1 lives in fracture 0
+
+        // Update: delete v1 + insert v2, both while v2 stays buffered.
+        f.delete(TupleId(7)).unwrap();
+        f.insert(author(7, 2, 0.9)).unwrap();
+        assert_eq!(f.n_live_tuples(), 1);
+
+        // Delete the buffered v2 — id 7 must now be gone everywhere.
+        f.delete(TupleId(7)).unwrap();
+        assert_eq!(f.n_live_tuples(), 0);
+        assert!(f.live_tuples().unwrap().is_empty());
+        assert!(f.ptq(1, 0.0).unwrap().is_empty(), "v1 resurrected");
+        assert!(f.ptq(2, 0.0).unwrap().is_empty(), "v2 survived its delete");
+
+        // And the emptiness must survive a flush of the delete marker.
+        f.flush().unwrap();
+        assert!(f.ptq(1, 0.0).unwrap().is_empty());
+        assert_eq!(f.n_live_tuples(), 0);
+
+        // Same shape against a version living in *main* (not a fracture).
+        let mut g = fresh(0);
+        g.load_initial(&[author(3, 1, 0.8)]).unwrap();
+        g.delete(TupleId(3)).unwrap();
+        g.insert(author(3, 2, 0.9)).unwrap();
+        g.delete(TupleId(3)).unwrap();
+        assert!(
+            g.ptq(1, 0.0).unwrap().is_empty(),
+            "main version resurrected"
+        );
+        assert_eq!(g.n_live_tuples(), 0);
     }
 }

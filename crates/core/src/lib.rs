@@ -45,6 +45,7 @@
 pub mod continuous;
 pub mod cost;
 pub mod cutoff;
+pub mod durability;
 pub mod exec;
 pub mod fractured;
 pub mod heap;
@@ -58,6 +59,7 @@ pub mod upi;
 pub use continuous::{ContinuousConfig, ContinuousSecondary, ContinuousUpi, SecondaryUTree};
 pub use cost::{CostModel, CostParams, DeviceCoeffs};
 pub use cutoff::{CutoffIndex, CutoffRangeRun};
+pub use durability::{CheckpointImage, RecoveryInfo, WalRecord};
 pub use exec::{group_count, sort_results, top_k, CursorStats, ExecError, PtqResult};
 pub use fractured::{
     FracturedConfig, FracturedPointRun, FracturedRangeRun, FracturedSecondaryRun, FracturedUpi,

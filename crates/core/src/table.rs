@@ -15,10 +15,11 @@
 //! on `upi`) while making it impossible to sneak a query past the
 //! planner: there simply is no direct-index entry point on the table.
 
-use upi_storage::error::Result;
-use upi_storage::Store;
+use upi_storage::error::{Result, StorageError};
+use upi_storage::{wal, Lsn, Store, Wal, WalCounters};
 use upi_uncertain::{Field, FieldKind, Schema, Tuple, TupleId};
 
+use crate::durability::{find_checkpoint, CheckpointImage, RecoveryInfo, TableWal, WalRecord};
 use crate::fractured::{FracturedConfig, FracturedUpi};
 use crate::heap::UnclusteredHeap;
 use crate::pii::Pii;
@@ -53,15 +54,34 @@ enum Inner {
 }
 
 /// A schema-checked uncertain table over one of the three layouts.
+///
+/// ## Durability (opt-in)
+///
+/// [`enable_durability`](Self::enable_durability) attaches a write-ahead
+/// log: every DML operation is logged as a logical record *before* it is
+/// applied, group-committed per
+/// [`DiskConfig::wal_group_ops`](upi_storage::DiskConfig::wal_group_ops),
+/// and [`checkpoint`](Self::checkpoint) seals the current possible-worlds
+/// state into a CRC-validated blob. After a crash,
+/// [`recover`](Self::recover) rebuilds the whole table — heap, cutoff
+/// index, secondaries, PII, fracture components, pointer histograms —
+/// from the last durable checkpoint plus the durable log suffix (see
+/// [`crate::durability`] for the protocol and its invariants). If the WAL
+/// cannot advance past a persistent fault the table degrades to
+/// read-only ([`read_only_reason`](Self::read_only_reason)) instead of
+/// acknowledging writes it cannot make durable.
 pub struct UncertainTable {
     name: String,
     store: Store,
     schema: Schema,
+    layout: TableLayout,
     primary_attr: usize,
     sec_attrs: Vec<usize>,
     inner: Inner,
     next_id: u64,
     page_size: u32,
+    /// Durability state; `None` until `enable_durability`.
+    wal: Option<TableWal>,
 }
 
 impl UncertainTable {
@@ -88,7 +108,7 @@ impl UncertainTable {
             TableLayout::FracturedUpi(cfg) => cfg.upi.page_size,
             TableLayout::Unclustered => 8192,
         };
-        let inner = match layout {
+        let inner = match layout.clone() {
             TableLayout::Unclustered => Inner::Unclustered {
                 heap: UnclusteredHeap::create(store.clone(), &format!("{name}.heap"), page_size)?,
                 primary: Pii::create(
@@ -117,11 +137,13 @@ impl UncertainTable {
             name: name.to_string(),
             store,
             schema,
+            layout,
             primary_attr,
             sec_attrs: Vec::new(),
             inner,
             next_id: 0,
             page_size,
+            wal: None,
         })
     }
 
@@ -140,6 +162,7 @@ impl UncertainTable {
             FieldKind::Discrete,
             "secondary indexes require a discrete-uncertain column"
         );
+        self.log_dml(&WalRecord::AddSecondary(attr as u32))?;
         let pos = self.sec_attrs.len();
         match &mut self.inner {
             Inner::Unclustered {
@@ -198,6 +221,11 @@ impl UncertainTable {
             self.check(t);
             self.next_id = self.next_id.max(t.id.0 + 1);
         }
+        if self.wal.is_some() {
+            for t in tuples {
+                self.log_dml(&WalRecord::Insert(t.clone()))?;
+            }
+        }
         match &mut self.inner {
             Inner::Unclustered {
                 heap,
@@ -229,6 +257,11 @@ impl UncertainTable {
     /// repeat except to supersede a deleted tuple on fractured tables).
     pub fn insert_tuple(&mut self, t: &Tuple) -> Result<()> {
         self.check(t);
+        self.log_dml(&WalRecord::Insert(t.clone()))?;
+        self.apply_insert(t)
+    }
+
+    fn apply_insert(&mut self, t: &Tuple) -> Result<()> {
         self.next_id = self.next_id.max(t.id.0 + 1);
         match &mut self.inner {
             Inner::Unclustered {
@@ -250,6 +283,11 @@ impl UncertainTable {
 
     /// Delete a tuple.
     pub fn delete(&mut self, t: &Tuple) -> Result<()> {
+        self.log_dml(&WalRecord::Delete(t.clone()))?;
+        self.apply_delete(t)
+    }
+
+    fn apply_delete(&mut self, t: &Tuple) -> Result<()> {
         match &mut self.inner {
             Inner::Unclustered {
                 heap,
@@ -268,9 +306,24 @@ impl UncertainTable {
         Ok(())
     }
 
+    /// Replace `old` with `new` as one logical operation (a single WAL
+    /// record, so recovery never observes the half-applied state).
+    pub fn update(&mut self, old: &Tuple, new: &Tuple) -> Result<()> {
+        self.check(new);
+        self.log_dml(&WalRecord::Update {
+            old: old.clone(),
+            new: new.clone(),
+        })?;
+        self.apply_delete(old)?;
+        self.apply_insert(new)
+    }
+
     /// Flush buffered changes (fractured layout only; no-op otherwise —
     /// the buffer pool flushes through [`Store::go_cold`] or eviction).
     pub fn flush(&mut self) -> Result<()> {
+        if matches!(self.inner, Inner::Fractured(_)) {
+            self.log_dml(&WalRecord::Flush)?;
+        }
         if let Inner::Fractured(f) = &mut self.inner {
             f.flush()?;
         }
@@ -279,10 +332,231 @@ impl UncertainTable {
 
     /// Merge fractures (fractured layout only; no-op otherwise).
     pub fn merge(&mut self) -> Result<()> {
+        if matches!(self.inner, Inner::Fractured(_)) {
+            self.log_dml(&WalRecord::Merge)?;
+        }
         if let Inner::Fractured(f) = &mut self.inner {
             f.merge()?;
         }
         Ok(())
+    }
+
+    /// Log one logical record if durability is on (no-op otherwise).
+    fn log_dml(&mut self, rec: &WalRecord) -> Result<()> {
+        if let Some(tw) = self.wal.as_mut() {
+            tw.log(&self.store, rec)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Durability
+    // ------------------------------------------------------------------
+
+    /// Attach a WAL to this table and write the initial checkpoint.
+    /// `extra` is an opaque session payload stored inside the checkpoint
+    /// (the query layer keeps its serialized calibration there). Returns
+    /// the LSN of the sealing checkpoint record.
+    pub fn enable_durability(&mut self, extra: &[u8]) -> Result<Lsn> {
+        assert!(self.wal.is_none(), "durability already enabled");
+        let w = Wal::create(
+            self.store.disk.clone(),
+            &format!("{}.wal", self.name),
+            self.page_size,
+            1,
+        );
+        self.wal = Some(TableWal {
+            wal: w,
+            read_only: None,
+            ckpt_file: None,
+        });
+        self.checkpoint(extra)
+    }
+
+    /// Snapshot the live possible-worlds state into a checkpoint blob and
+    /// seal it with a synced `Checkpoint` WAL record; the superseded
+    /// blob (if any) is freed only after the new one is authoritative.
+    pub fn checkpoint(&mut self, extra: &[u8]) -> Result<Lsn> {
+        assert!(self.wal.is_some(), "enable_durability first");
+        let image = CheckpointImage {
+            schema: self.schema.clone(),
+            layout: self.layout.clone(),
+            primary_attr: self.primary_attr as u32,
+            sec_attrs: self.sec_attrs.iter().map(|&a| a as u32).collect(),
+            next_id: self.next_id,
+            tuples: self.live_tuples()?,
+            extra: extra.to_vec(),
+        };
+        let file = wal::write_blob(
+            &self.store.disk,
+            &format!("{}.ckpt", self.name),
+            self.page_size,
+            &image.encode(),
+        )?;
+        let tw = self.wal.as_mut().unwrap();
+        let lsn = tw.log(&self.store, &WalRecord::Checkpoint { file: file.0 })?;
+        if let Err(e) = tw.wal.sync() {
+            let reason = format!("WAL cannot sync: {e}");
+            self.store.pool.poison(&reason);
+            tw.read_only = Some(reason.clone());
+            return Err(StorageError::ReadOnly(reason));
+        }
+        let old = tw.ckpt_file.replace(file);
+        if let Some(old) = old {
+            self.store.free_file_pages(old)?;
+        }
+        Ok(lsn)
+    }
+
+    /// Force the group-commit buffer to the device (one fsync barrier).
+    /// Returns the new durable LSN; `Lsn(0)` when durability is off.
+    pub fn sync_wal(&mut self) -> Result<Lsn> {
+        let Some(tw) = self.wal.as_mut() else {
+            return Ok(Lsn(0));
+        };
+        if let Some(reason) = &tw.read_only {
+            return Err(StorageError::ReadOnly(reason.clone()));
+        }
+        match tw.wal.sync() {
+            Ok(lsn) => Ok(lsn),
+            Err(e) => {
+                let reason = format!("WAL cannot sync: {e}");
+                self.store.pool.poison(&reason);
+                tw.read_only = Some(reason.clone());
+                Err(StorageError::ReadOnly(reason))
+            }
+        }
+    }
+
+    /// Rebuild a table after a crash: reboot the store (dropping every
+    /// unflushed frame — volatile memory is gone), read the durable log,
+    /// load the last sealed checkpoint, replay the durable suffix through
+    /// the ordinary DML paths, then start a fresh WAL generation with an
+    /// immediate re-checkpoint so the old generation's pages are
+    /// reclaimed. See [`crate::durability`] for the protocol.
+    pub fn recover(store: Store, name: &str) -> Result<(UncertainTable, RecoveryInfo)> {
+        let faults_survived = store.disk.fault_counters().transients();
+        store.reboot();
+        let wal_file = store
+            .disk
+            .find_file(&format!("{name}.wal"))
+            .ok_or_else(|| StorageError::Corrupted(format!("no WAL for table '{name}'")))?;
+        let (records, log_truncated) = wal::read_log(&store.disk, wal_file)?;
+        let (ckpt_idx, image) = find_checkpoint(&store, &records)?;
+        let durable_lsn = records.last().map(|r| r.lsn).unwrap_or(Lsn(0));
+
+        // Everything durable is now in memory; free every file of the
+        // crashed incarnation so the rebuild starts a fresh generation
+        // (`find_file` resolves re-created names to the newest file).
+        let prefix = format!("{name}.");
+        for (fid, fname, _) in store.disk.file_inventory() {
+            if fname == name || fname.starts_with(&prefix) {
+                store.free_file_pages(fid)?;
+            }
+        }
+
+        let mut t = UncertainTable::create(
+            store.clone(),
+            name,
+            image.schema.clone(),
+            image.primary_attr as usize,
+            image.layout.clone(),
+        )?;
+        for &a in &image.sec_attrs {
+            t.add_secondary(a as usize)?;
+        }
+        t.load(&image.tuples)?;
+        t.next_id = t.next_id.max(image.next_id);
+
+        let mut replayed = 0usize;
+        for r in &records[ckpt_idx + 1..] {
+            match WalRecord::decode(&r.payload)? {
+                WalRecord::Insert(tp) => t.insert_tuple(&tp)?,
+                WalRecord::Delete(tp) => t.delete(&tp)?,
+                WalRecord::Update { old, new } => t.update(&old, &new)?,
+                WalRecord::AddSecondary(a) => {
+                    t.add_secondary(a as usize)?;
+                }
+                WalRecord::Flush => t.flush()?,
+                WalRecord::Merge => t.merge()?,
+                WalRecord::Checkpoint { .. } => continue,
+            }
+            replayed += 1;
+        }
+
+        let w = Wal::create(
+            store.disk.clone(),
+            &format!("{name}.wal"),
+            t.page_size,
+            durable_lsn.0 + 1,
+        );
+        t.wal = Some(TableWal {
+            wal: w,
+            read_only: None,
+            ckpt_file: None,
+        });
+        t.checkpoint(&image.extra)?;
+
+        Ok((
+            t,
+            RecoveryInfo {
+                durable_lsn,
+                replayed,
+                log_truncated,
+                extra: image.extra,
+                faults_survived,
+            },
+        ))
+    }
+
+    /// The live possible-worlds tuple set (what a checkpoint snapshots).
+    pub fn live_tuples(&self) -> Result<Vec<Tuple>> {
+        match &self.inner {
+            Inner::Unclustered { heap, .. } => {
+                if heap.is_empty() {
+                    Ok(Vec::new())
+                } else {
+                    heap.scan_run()?.collect()
+                }
+            }
+            Inner::Upi(upi) => upi.scan_tuples(),
+            Inner::Fractured(f) => f.live_tuples(),
+        }
+    }
+
+    /// Whether `enable_durability` has been called.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Highest acknowledged-durable LSN (`Lsn(0)` when durability is off).
+    pub fn durable_lsn(&self) -> Lsn {
+        self.wal
+            .as_ref()
+            .map(|tw| tw.wal.durable_lsn())
+            .unwrap_or(Lsn(0))
+    }
+
+    /// LSN of the last logged (possibly not yet durable) record.
+    pub fn last_lsn(&self) -> Lsn {
+        self.wal
+            .as_ref()
+            .map(|tw| Lsn(tw.wal.next_lsn().0 - 1))
+            .unwrap_or(Lsn(0))
+    }
+
+    /// WAL counters (zeroed when durability is off).
+    pub fn wal_counters(&self) -> WalCounters {
+        self.wal
+            .as_ref()
+            .map(|tw| tw.wal.counters())
+            .unwrap_or_default()
+    }
+
+    /// `Some(reason)` once the table has degraded to read-only because
+    /// the WAL could not advance past a persistent device fault.
+    pub fn read_only_reason(&self) -> Option<String> {
+        self.wal.as_ref().and_then(|tw| tw.read_only.clone())
     }
 
     /// The table schema.
@@ -445,6 +719,79 @@ mod tests {
             t.flush().unwrap();
             t.merge().unwrap();
         }
+    }
+
+    fn sorted_by_id(mut v: Vec<Tuple>) -> Vec<Tuple> {
+        v.sort_by_key(|t| t.id.0);
+        v
+    }
+
+    #[test]
+    fn durable_tables_recover_after_reboot() {
+        for layout in [
+            TableLayout::Unclustered,
+            TableLayout::Upi(UpiConfig::default()),
+            TableLayout::FracturedUpi(FracturedConfig {
+                upi: UpiConfig::default(),
+                buffer_ops: 4,
+            }),
+        ] {
+            let st = store();
+            let mut t = UncertainTable::create(st.clone(), "t", schema(), 1, layout).unwrap();
+            t.add_secondary(2).unwrap();
+            t.enable_durability(b"cal").unwrap();
+            for i in 0..40u64 {
+                t.insert(0.9, row(i % 5, 0.7, i % 3)).unwrap();
+            }
+            let live = sorted_by_id(t.live_tuples().unwrap());
+            t.delete(&live[3]).unwrap();
+            let fresh = Tuple::new(live[5].id, 0.8, row(9, 0.6, 1));
+            t.update(&live[5], &fresh).unwrap();
+            t.sync_wal().unwrap();
+            let expect = sorted_by_id(t.live_tuples().unwrap());
+            assert_eq!(t.durable_lsn(), t.last_lsn(), "sync drained the group");
+
+            let (r, info) = UncertainTable::recover(st.clone(), "t").unwrap();
+            assert_eq!(info.extra, b"cal");
+            assert!(info.replayed >= 42, "40 inserts + delete + update");
+            assert!(!info.log_truncated, "clean shutdown leaves no damage");
+            assert_eq!(sorted_by_id(r.live_tuples().unwrap()), expect);
+            assert_eq!(r.sec_attrs(), &[2]);
+            assert!(r.is_durable() && r.read_only_reason().is_none());
+
+            // The recovered incarnation keeps accepting (and logging) DML
+            // with ids that never collide with recovered ones.
+            let mut r = r;
+            let id = r.insert(1.0, row(2, 0.9, 0)).unwrap();
+            assert!(id.0 >= 40, "auto-id resumes past the recovered horizon");
+        }
+    }
+
+    #[test]
+    fn unsynced_tail_can_be_lost_but_never_acknowledged_state() {
+        // Group commit buffers records in volatile memory: a crash before
+        // the group flushes loses them, and recovery restores exactly a
+        // durable prefix (here: the checkpoint plus any flushed groups).
+        let st = store();
+        let mut t =
+            UncertainTable::create(st.clone(), "t", schema(), 1, TableLayout::Unclustered).unwrap();
+        t.enable_durability(&[]).unwrap();
+        for i in 0..5u64 {
+            t.insert(0.9, row(i, 0.7, 0)).unwrap();
+        }
+        let acked = t.durable_lsn();
+        assert!(t.last_lsn().0 > acked.0, "5 ops sit in the group buffer");
+
+        let (r, info) = UncertainTable::recover(st, "t").unwrap();
+        assert!(
+            info.durable_lsn.0 >= acked.0,
+            "never less than acknowledged"
+        );
+        assert_eq!(
+            r.live_tuples().unwrap().len(),
+            info.replayed,
+            "exactly the durable suffix was replayed onto an empty checkpoint"
+        );
     }
 
     #[test]

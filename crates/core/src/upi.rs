@@ -558,7 +558,7 @@ impl DiscreteUpi {
         let mut files = vec![self.heap.file(), self.cutoff.file()];
         files.extend(self.secondaries.iter().map(|s| s.file()));
         for f in files {
-            self.store.disk.free_file_pages(f)?;
+            self.store.free_file_pages(f)?;
         }
         // Drop any cached frames of the freed pages; flush errors on freed
         // pages are ignored by the pool.

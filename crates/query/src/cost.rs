@@ -233,6 +233,59 @@ impl CalibrationStore {
         }
     }
 
+    /// Serialize the sample rings (for the durability checkpoint's
+    /// session payload). Format: version byte, then per kind a `u32`
+    /// count followed by `(dominant_ms, excess_ms)` little-endian `f64`
+    /// pairs.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![1u8];
+        for v in &self.samples {
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            for s in v {
+                out.extend_from_slice(&s.dominant_ms.to_le_bytes());
+                out.extend_from_slice(&s.excess_ms.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`to_bytes`](Self::to_bytes); `None` on any malformed
+    /// or version-mismatched payload (the caller falls back to an empty
+    /// store — losing calibration history is degraded, not fatal).
+    pub fn from_bytes(data: &[u8]) -> Option<CalibrationStore> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = data.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(s)
+        };
+        if *take(&mut pos, 1)?.first()? != 1 {
+            return None;
+        }
+        let mut store = CalibrationStore::new();
+        for v in &mut store.samples {
+            let n = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+            if n > MAX_SAMPLES_PER_KIND {
+                return None;
+            }
+            for _ in 0..n {
+                let dominant_ms = f64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
+                let excess_ms = f64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
+                if !dominant_ms.is_finite() || !excess_ms.is_finite() {
+                    return None;
+                }
+                v.push(CalSample {
+                    dominant_ms,
+                    excess_ms,
+                });
+            }
+        }
+        if pos != data.len() {
+            return None;
+        }
+        Some(store)
+    }
+
     /// The least-squares scale for `kind`, unbounded. A multiplicative
     /// coefficient has *relative* error, so the fit is in log space:
     /// minimizing `Σ (ln excess − ln(s·dominant))²` gives the geometric
@@ -356,6 +409,30 @@ impl CostModel {
             curve.min(c.read_cost_ms(gap))
         };
         distinct * (move_ms + c.read_cost_ms(page_bytes))
+    }
+
+    /// Export the per-kind `(scale, samples)` pairs, in
+    /// [`PathKind::ALL`] order (for the durability checkpoint payload).
+    pub fn export_scales(&self) -> [(f64, usize); N_PATH_KINDS] {
+        let mut out = [(1.0, 0); N_PATH_KINDS];
+        for kind in PathKind::ALL {
+            out[kind.index()] = (self.scales[kind.index()], self.samples[kind.index()]);
+        }
+        out
+    }
+
+    /// Restore previously exported scales (clamped to the hard bounds,
+    /// so a corrupted payload cannot smuggle in a wild coefficient).
+    pub fn import_scales(&mut self, scales: &[(f64, usize); N_PATH_KINDS]) {
+        for kind in PathKind::ALL {
+            let (s, n) = scales[kind.index()];
+            self.scales[kind.index()] = if s.is_finite() {
+                s.clamp(SCALE_MIN, SCALE_MAX)
+            } else {
+                1.0
+            };
+            self.samples[kind.index()] = n;
+        }
     }
 
     /// One bounded refit pass over the store (see the module docs).

@@ -60,6 +60,11 @@ pub struct QueryOutput {
     /// root. Always populated by `execute` (instrumentation is always
     /// on); `None` only on hand-built outputs.
     pub trace: Option<QueryTrace>,
+    /// `Some(reason)` when the store was in read-only degraded mode at
+    /// the end of this execution (a persistent device fault defeated
+    /// write-back retry, or the WAL could not advance). Set by the
+    /// session layer, which knows the pool.
+    pub degraded: Option<String>,
 }
 
 impl QueryOutput {
@@ -81,16 +86,29 @@ impl QueryOutput {
         self.len() == 0
     }
 
-    /// Warning line when the buffer pool hit eviction write-back failures
-    /// during this query — surfaced here (and in `explain_analyze`) so
-    /// lost-durability incidents are visible at the query level, not only
-    /// in store-wide counters.
+    /// Warning line when write-back trouble touched this query —
+    /// surfaced here (and in `explain_analyze`) so durability incidents
+    /// are visible at the query level, not only in store-wide counters.
+    /// Distinguishes the three severities: degraded read-only mode
+    /// (persistent fault), genuine flush failures (possible data loss),
+    /// and transient faults fully absorbed by retry (no loss).
     pub fn flush_warning(&self) -> Option<String> {
+        if let Some(reason) = &self.degraded {
+            return Some(format!(
+                "WARNING: store degraded to read-only — {reason}; writes are rejected \
+                 until recovery"
+            ));
+        }
         match &self.io {
             Some(io) if io.flush_errors > 0 => Some(format!(
                 "WARNING: {} eviction write-back failure(s) during this query; \
                  evicted dirty pages may not be durable",
                 io.flush_errors
+            )),
+            Some(io) if io.flush_retries > 0 => Some(format!(
+                "WARNING: {} transient write-back fault(s) during this query, \
+                 all absorbed by retry; no durability was lost",
+                io.flush_retries
             )),
             _ => None,
         }
@@ -1178,6 +1196,7 @@ pub(crate) fn execute(
             io,
             device,
             trace: Some(trace),
+            degraded: None,
         });
     }
     if let Some(fields) = &q.projection {
@@ -1198,5 +1217,6 @@ pub(crate) fn execute(
         io,
         device,
         trace: Some(trace),
+        degraded: None,
     })
 }

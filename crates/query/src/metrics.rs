@@ -14,7 +14,7 @@
 //! per-query clock), so the histograms are deterministic across runs.
 
 use serde::Serialize;
-use upi_storage::PoolCounters;
+use upi_storage::{PoolCounters, WalCounters};
 
 use crate::cost::{PathKind, N_PATH_KINDS};
 
@@ -113,6 +113,13 @@ pub struct MetricsRegistry {
     refits: u64,
     /// Latest calibration scale per kind (gauge).
     scales: [f64; N_PATH_KINDS],
+    /// Latest WAL counters of the session's table (gauge: the WAL keeps
+    /// its own monotonic totals; the session mirrors them on snapshot).
+    wal: WalCounters,
+    /// Crash recoveries this session performed.
+    recoveries: u64,
+    /// Injected transient faults survived across those recoveries.
+    faults_survived: u64,
 }
 
 fn add_counters(acc: &mut PoolCounters, d: &PoolCounters) {
@@ -123,6 +130,7 @@ fn add_counters(acc: &mut PoolCounters, d: &PoolCounters) {
     acc.readahead_hits += d.readahead_hits;
     acc.hinted_runs += d.hinted_runs;
     acc.flush_errors += d.flush_errors;
+    acc.flush_retries += d.flush_retries;
     acc.readahead_wasted += d.readahead_wasted;
 }
 
@@ -170,6 +178,18 @@ impl MetricsRegistry {
         self.scales = scales;
     }
 
+    /// Mirror the table's WAL counters (gauge semantics).
+    pub fn set_wal(&mut self, wal: WalCounters) {
+        self.wal = wal;
+    }
+
+    /// Record one completed crash recovery and the transient faults the
+    /// crashed incarnation had survived.
+    pub fn record_recovery(&mut self, faults_survived: u64) {
+        self.recoveries += 1;
+        self.faults_survived += faults_survived;
+    }
+
     /// Freeze the registry into a serializable snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let kinds = PathKind::ALL
@@ -196,10 +216,17 @@ impl MetricsRegistry {
             readahead_efficiency: ratio(io.readahead_hits, io.readahead),
             readahead_wasted: io.readahead_wasted,
             flush_errors: io.flush_errors,
+            flush_retries: io.flush_retries,
             flush_error_queries: self.flush_error_queries,
             refits: self.refits,
             misest_p50: self.misest.quantile(0.50),
             misest_p95: self.misest.quantile(0.95),
+            wal_records: self.wal.records,
+            wal_batches: self.wal.batches,
+            wal_mean_batch: self.wal.mean_batch(),
+            wal_retries: self.wal.retries,
+            recoveries: self.recoveries,
+            faults_survived: self.faults_survived,
         }
     }
 }
@@ -247,6 +274,8 @@ pub struct MetricsSnapshot {
     pub readahead_wasted: u64,
     /// Eviction write-back failures observed across queries.
     pub flush_errors: u64,
+    /// Transient write-back faults absorbed by retry (no data loss).
+    pub flush_retries: u64,
     /// Queries whose I/O delta included flush errors.
     pub flush_error_queries: u64,
     /// Completed calibration refits.
@@ -255,6 +284,18 @@ pub struct MetricsSnapshot {
     pub misest_p50: f64,
     /// 95th percentile misestimation ratio.
     pub misest_p95: f64,
+    /// Logical WAL records appended so far.
+    pub wal_records: u64,
+    /// Group-commit batches flushed.
+    pub wal_batches: u64,
+    /// Mean records per flushed batch (the group-commit amortization).
+    pub wal_mean_batch: f64,
+    /// Transient WAL write faults absorbed by retry.
+    pub wal_retries: u64,
+    /// Crash recoveries performed by this session.
+    pub recoveries: u64,
+    /// Injected transient faults survived across recoveries.
+    pub faults_survived: u64,
 }
 
 fn json_f64(v: f64) -> String {
@@ -299,6 +340,7 @@ impl MetricsSnapshot {
             self.readahead_wasted
         ));
         s.push_str(&format!("  \"flush_errors\": {},\n", self.flush_errors));
+        s.push_str(&format!("  \"flush_retries\": {},\n", self.flush_retries));
         s.push_str(&format!(
             "  \"flush_error_queries\": {},\n",
             self.flush_error_queries
@@ -309,8 +351,20 @@ impl MetricsSnapshot {
             json_f64(self.misest_p50)
         ));
         s.push_str(&format!(
-            "  \"misest_p95\": {}\n",
+            "  \"misest_p95\": {},\n",
             json_f64(self.misest_p95)
+        ));
+        s.push_str(&format!("  \"wal_records\": {},\n", self.wal_records));
+        s.push_str(&format!("  \"wal_batches\": {},\n", self.wal_batches));
+        s.push_str(&format!(
+            "  \"wal_mean_batch\": {},\n",
+            json_f64(self.wal_mean_batch)
+        ));
+        s.push_str(&format!("  \"wal_retries\": {},\n", self.wal_retries));
+        s.push_str(&format!("  \"recoveries\": {},\n", self.recoveries));
+        s.push_str(&format!(
+            "  \"faults_survived\": {}\n",
+            self.faults_survived
         ));
         s.push('}');
         s
@@ -333,6 +387,18 @@ impl MetricsSnapshot {
             "misestimation ratio p50={:.3} p95={:.3}\n",
             self.misest_p50, self.misest_p95
         ));
+        if self.wal_records > 0 || self.recoveries > 0 {
+            s.push_str(&format!(
+                "wal records={} batches={} mean-batch={:.1} retries={} flush-retries={} recoveries={} faults-survived={}\n",
+                self.wal_records,
+                self.wal_batches,
+                self.wal_mean_batch,
+                self.wal_retries,
+                self.flush_retries,
+                self.recoveries,
+                self.faults_survived,
+            ));
+        }
         for k in &self.kinds {
             if k.queries == 0 {
                 continue;

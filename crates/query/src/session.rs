@@ -19,9 +19,9 @@
 //! tied to `&self`.
 
 use parking_lot::Mutex;
-use upi::{PtqResult, TableLayout, UncertainTable};
+use upi::{PtqResult, RecoveryInfo, TableLayout, UncertainTable};
 use upi_storage::error::Result as StorageResult;
-use upi_storage::Store;
+use upi_storage::{Lsn, Store};
 use upi_uncertain::{Field, Schema, Tuple, TupleId};
 
 use crate::catalog::Catalog;
@@ -100,6 +100,39 @@ pub struct UncertainDb {
 struct CalibrationState {
     model: CostModel,
     store: CalibrationStore,
+}
+
+/// Serialize the session's calibration (per-kind scales plus the sample
+/// rings) into the opaque checkpoint payload.
+fn calibration_payload(state: &CalibrationState) -> Vec<u8> {
+    let mut out = vec![1u8];
+    for (scale, samples) in state.model.export_scales() {
+        out.extend_from_slice(&scale.to_le_bytes());
+        out.extend_from_slice(&(samples as u64).to_le_bytes());
+    }
+    out.extend(state.store.to_bytes());
+    out
+}
+
+/// Inverse of [`calibration_payload`]; `false` (state untouched) on any
+/// malformed payload — losing calibration is degraded, never fatal.
+fn restore_calibration(state: &mut CalibrationState, data: &[u8]) -> bool {
+    let header = 1 + N_PATH_KINDS * 16;
+    if data.len() < header || data[0] != 1 {
+        return false;
+    }
+    let mut scales = [(1.0f64, 0usize); N_PATH_KINDS];
+    for (i, sc) in scales.iter_mut().enumerate() {
+        let off = 1 + i * 16;
+        sc.0 = f64::from_le_bytes(data[off..off + 8].try_into().unwrap());
+        sc.1 = u64::from_le_bytes(data[off + 8..off + 16].try_into().unwrap()) as usize;
+    }
+    let Some(store) = CalibrationStore::from_bytes(&data[header..]) else {
+        return false;
+    };
+    state.model.import_scales(&scales);
+    state.store = store;
+    true
 }
 
 impl UncertainDb {
@@ -187,6 +220,56 @@ impl UncertainDb {
         self.table.merge()
     }
 
+    /// Replace `old` with `new` as one logical (singly-logged) operation.
+    pub fn update(&mut self, old: &Tuple, new: &Tuple) -> StorageResult<()> {
+        self.table.update(old, new)
+    }
+
+    // --- Durability --------------------------------------------------------
+
+    /// Attach a WAL to the table and write the initial checkpoint. The
+    /// checkpoint's session payload carries this session's serialized
+    /// cost-model calibration, so a reopened session prices plans with
+    /// the scales it had already learned.
+    pub fn enable_durability(&mut self) -> StorageResult<Lsn> {
+        let payload = calibration_payload(&self.calibration.lock());
+        self.table.enable_durability(&payload)
+    }
+
+    /// Checkpoint the table (live tuples + current calibration) and seal
+    /// it in the WAL. Post-checkpoint recovery replays only later records.
+    pub fn checkpoint(&mut self) -> StorageResult<Lsn> {
+        let payload = calibration_payload(&self.calibration.lock());
+        let lsn = self.table.checkpoint(&payload)?;
+        self.metrics.lock().set_wal(self.table.wal_counters());
+        Ok(lsn)
+    }
+
+    /// Force the WAL group-commit buffer durable (one fsync barrier).
+    pub fn sync_wal(&mut self) -> StorageResult<Lsn> {
+        self.table.sync_wal()
+    }
+
+    /// Rebuild a crashed session: recover the table from its durable
+    /// WAL and checkpoint (see [`UncertainTable::recover`]) and restore
+    /// the serialized calibration from the checkpoint payload, so the
+    /// recovered planner prices exactly like the pre-crash one at its
+    /// last checkpoint.
+    pub fn recover(store: Store, name: &str) -> StorageResult<(UncertainDb, RecoveryInfo)> {
+        let (table, info) = UncertainTable::recover(store, name)?;
+        let db = UncertainDb::from_table(table);
+        {
+            let mut g = db.calibration.lock();
+            restore_calibration(&mut g, &info.extra);
+        }
+        {
+            let mut m = db.metrics.lock();
+            m.record_recovery(info.faults_survived);
+            m.set_wal(db.table.wal_counters());
+        }
+        Ok((db, info))
+    }
+
     // --- Planning and execution -------------------------------------------
 
     /// The internal registration step: a [`Catalog`] over the table's
@@ -247,6 +330,10 @@ impl UncertainDb {
         // The calibration window covers plan + execute, so the per-query
         // device view the session reports is the same quantity.
         out.device = Some(attributed);
+        // Surface degraded (read-only) mode on the output so
+        // `flush_warning` / `explain_analyze` can distinguish it from a
+        // transient, retried fault.
+        out.degraded = store.pool.degraded();
         let observed = attributed.total_ms();
         let cost = &plan.candidates[0].cost;
         self.calibration
@@ -332,7 +419,9 @@ impl UncertainDb {
     /// efficiency, flush errors, refit count, misestimation quantiles.
     /// Cheap (copies counters); the registry keeps accumulating.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.lock().snapshot()
+        let mut m = self.metrics.lock();
+        m.set_wal(self.table.wal_counters());
+        m.snapshot()
     }
 
     /// The cost model currently pricing this session's plans.

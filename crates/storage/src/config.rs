@@ -61,6 +61,21 @@ pub struct DiskConfig {
     /// enough that an early-terminating top-k run over-reads at most 8
     /// pages.
     pub readahead_pages: usize,
+    /// Cost of one `fsync`-equivalent durability barrier, ms. The WAL
+    /// charges this once per group-commit flush (on top of the ordinary
+    /// write-transfer cost of the log pages), so the §6 device model
+    /// prices commit latency: the default is half a revolution of a
+    /// 10k RPM spindle — the platter must come around for the drive to
+    /// acknowledge the forced write.
+    pub fsync_ms: f64,
+    /// Group-commit batch size: WAL appends are buffered in memory and
+    /// flushed to the device — one contiguous write plus one
+    /// [`fsync_ms`](DiskConfig::fsync_ms) barrier — every this many
+    /// records (or earlier, on an explicit sync/checkpoint). `1` degrades
+    /// to per-operation commit; larger values amortize the barrier across
+    /// the batch at the cost of a longer window of acknowledged-but-
+    /// volatile operations.
+    pub wal_group_ops: usize,
 }
 
 impl Default for DiskConfig {
@@ -76,6 +91,10 @@ impl Default for DiskConfig {
             init_ms: 100.0,
             stroke_bytes: 10 << 30, // 10 GiB, Table 6's S_table
             readahead_pages: 8,
+            // Same physics as `seek_floor_ms`: the barrier completes when
+            // the platter comes around (half a 10k RPM revolution).
+            fsync_ms: 3.0,
+            wal_group_ops: 32,
         }
     }
 }

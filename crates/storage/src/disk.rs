@@ -5,6 +5,7 @@ use parking_lot::Mutex;
 
 use crate::config::DiskConfig;
 use crate::error::{Result, StorageError};
+use crate::fault::{FaultCounters, FaultOutcome, FaultPlan, FaultState};
 use crate::file::{FileId, FileMeta};
 use crate::obs::{self, QueryId};
 use crate::page::PageId;
@@ -57,6 +58,8 @@ struct Inner {
     /// holds an attribution guard, every charge also accrues to its
     /// query's slot here. Oldest-first, bounded.
     attributed: Vec<(QueryId, IoStats)>,
+    /// Armed fault-injection schedule, if any (see [`crate::fault`]).
+    fault: Option<FaultState>,
 }
 
 impl SimDisk {
@@ -72,6 +75,7 @@ impl SimDisk {
                 clock_ms: 0.0,
                 stats: IoStats::default(),
                 attributed: Vec::new(),
+                fault: None,
             }),
         }
     }
@@ -150,6 +154,11 @@ impl SimDisk {
         if g.pages[idx].freed {
             return Err(StorageError::FreedPage(pid));
         }
+        match g.check_fault(false) {
+            FaultOutcome::Crashed => return Err(StorageError::Crashed),
+            FaultOutcome::Transient => return Err(StorageError::Transient("read_page")),
+            _ => {}
+        }
         let file = g.pages[idx].file;
         Inner::charge_open(&mut g, &self.cfg, file);
         let (offset, size) = (g.pages[idx].offset, g.pages[idx].size);
@@ -190,6 +199,12 @@ impl SimDisk {
                 got: data.len(),
             });
         }
+        let torn = match g.check_fault(true) {
+            FaultOutcome::Crashed => return Err(StorageError::Crashed),
+            FaultOutcome::Transient => return Err(StorageError::Transient("write_page")),
+            FaultOutcome::Torn(frac) => Some(frac),
+            FaultOutcome::Ok => None,
+        };
         let file = g.pages[idx].file;
         Inner::charge_open(&mut g, &self.cfg, file);
         let offset = g.pages[idx].offset;
@@ -205,7 +220,23 @@ impl SimDisk {
             a.bytes_written += size as u64;
         }
         g.head = offset + size as u64;
-        g.pages[idx].data = Some(data);
+        g.pages[idx].data = Some(match torn {
+            // A torn write persists only the leading sectors of the new
+            // buffer; the tail keeps whatever was on the platter (stale
+            // bytes, or zeroes for a never-written page). The device still
+            // reports success — only checksums can catch this.
+            Some(frac) => {
+                let cut = ((size as f64 * frac) as usize).min(size as usize);
+                let old = g.pages[idx]
+                    .data
+                    .clone()
+                    .unwrap_or_else(|| Bytes::from(vec![0u8; size as usize]));
+                let mut merged = data[..cut].to_vec();
+                merged.extend_from_slice(&old[cut..]);
+                Bytes::from(merged)
+            }
+            None => data,
+        });
         Ok(())
     }
 
@@ -249,6 +280,11 @@ impl SimDisk {
             }
             if g.pages[idx].freed {
                 return Err(StorageError::FreedPage(pid));
+            }
+            match g.check_fault(false) {
+                FaultOutcome::Crashed => return Err(StorageError::Crashed),
+                FaultOutcome::Transient => return Err(StorageError::Transient("read_run")),
+                _ => {}
             }
             let file = g.pages[idx].file;
             Inner::charge_open(&mut g, &self.cfg, file);
@@ -398,6 +434,55 @@ impl SimDisk {
         self.inner.lock().clock_ms += ms;
     }
 
+    /// Arm a deterministic [`FaultPlan`]: from now on page operations are
+    /// counted and may crash, tear, or fail transiently according to the
+    /// plan (see [`crate::fault`]). Replaces any previous plan and resets
+    /// the op cursor and [`FaultCounters`].
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.inner.lock().fault = Some(FaultState::new(plan));
+    }
+
+    /// Disarm fault injection — the "reboot" half of a crash test. The
+    /// accumulated [`FaultCounters`] are discarded with the plan, so read
+    /// them first if the test asserts on them.
+    pub fn clear_fault_plan(&self) {
+        self.inner.lock().fault = None;
+    }
+
+    /// What the armed plan has injected so far (zeroes when no plan is
+    /// armed).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.inner
+            .lock()
+            .fault
+            .as_ref()
+            .map(|f| f.counters)
+            .unwrap_or_default()
+    }
+
+    /// The most recently created file with this exact name, if any.
+    /// Recovery uses this to locate a table's WAL and checkpoint files:
+    /// names may repeat across incarnations (recovery creates fresh files
+    /// under the old names), and the latest one is the live one.
+    pub fn find_file(&self, name: &str) -> Option<FileId> {
+        let g = self.inner.lock();
+        g.files
+            .iter()
+            .rposition(|f| f.name == name)
+            .map(|i| FileId(i as u32))
+    }
+
+    /// Pages of a file in allocation order (freed slots included — the
+    /// WAL never frees individual pages, so its readers see the log in
+    /// append order).
+    pub fn file_pages(&self, file: FileId) -> Result<Vec<PageId>> {
+        let g = self.inner.lock();
+        g.files
+            .get(file.0 as usize)
+            .map(|f| f.pages.clone())
+            .ok_or(StorageError::UnknownFile(file))
+    }
+
     /// Names and live sizes of all files, for reports.
     pub fn file_inventory(&self) -> Vec<(FileId, String, u64)> {
         let g = self.inner.lock();
@@ -416,6 +501,14 @@ impl SimDisk {
 }
 
 impl Inner {
+    /// Consult the armed fault plan (if any) about one page operation.
+    fn check_fault(&mut self, write: bool) -> FaultOutcome {
+        match self.fault.as_mut() {
+            Some(f) => f.check_op(write),
+            None => FaultOutcome::Ok,
+        }
+    }
+
     /// The attribution slot of the query currently on this thread's
     /// attribution stack, if any (find-or-create, oldest evicted).
     fn attributed_slot(&mut self) -> Option<&mut IoStats> {

@@ -33,6 +33,20 @@ pub enum StorageError {
         /// Hard per-page limit.
         max: usize,
     },
+    /// The device has crashed (a [`FaultPlan`](crate::fault::FaultPlan)
+    /// kill point fired). Every subsequent operation fails with this until
+    /// the plan is cleared — the simulated machine is off.
+    Crashed,
+    /// A transient device fault (injected): the operation failed but an
+    /// immediate retry may succeed. The payload names the operation.
+    Transient(&'static str),
+    /// The store is in read-only degraded mode: the WAL could not advance
+    /// past a persistent fault, so mutations are rejected rather than
+    /// silently losing durability. Reads still work.
+    ReadOnly(String),
+    /// Durable state failed validation during recovery (bad checksum,
+    /// truncated record, impossible length).
+    Corrupted(String),
 }
 
 impl std::fmt::Display for StorageError {
@@ -52,6 +66,12 @@ impl std::fmt::Display for StorageError {
             StorageError::RecordTooLarge { len, max } => {
                 write!(f, "record of {len} bytes exceeds page capacity {max}")
             }
+            StorageError::Crashed => write!(f, "device crashed (fault-plan kill point)"),
+            StorageError::Transient(op) => write!(f, "transient device fault during {op}"),
+            StorageError::ReadOnly(reason) => {
+                write!(f, "store is read-only (degraded): {reason}")
+            }
+            StorageError::Corrupted(what) => write!(f, "corrupted durable state: {what}"),
         }
     }
 }

@@ -1,0 +1,197 @@
+//! Deterministic fault injection for the simulated device.
+//!
+//! A [`FaultPlan`] is armed on a [`SimDisk`](crate::SimDisk) with
+//! [`set_fault_plan`](crate::SimDisk::set_fault_plan) and describes, fully
+//! deterministically, how the device misbehaves from that point on:
+//!
+//! * **kill-at-op-N** — after `kill_at_op` page operations (reads and
+//!   writes, demand or speculative, WAL or data), the machine is off:
+//!   every further operation fails with
+//!   [`StorageError::Crashed`](crate::StorageError::Crashed) until the
+//!   plan is cleared ([`clear_fault_plan`](crate::SimDisk::clear_fault_plan)
+//!   = reboot). Whatever the device had acknowledged before the kill
+//!   point is exactly what recovery gets to work with.
+//! * **torn page on the k-th write** — the k-th page write after arming
+//!   applies only a *prefix* of the buffer (the sectors the platter got
+//!   to) and keeps the old content for the rest, then reports success:
+//!   silent corruption, detectable only by checksums. This is the classic
+//!   torn-write failure a WAL's record CRCs must catch.
+//! * **transient read/write faults** — each page operation independently
+//!   fails with [`StorageError::Transient`](crate::StorageError::Transient)
+//!   with the configured probability, drawn from a seeded xorshift
+//!   generator so a given `(seed, plan)` always faults the same ops.
+//!   Retrying the operation re-rolls.
+//!
+//! Counters ([`FaultCounters`]) record every injection so tests and the
+//! metrics registry can assert *how many* faults a workload survived.
+
+/// Deterministic misbehaviour schedule for a [`SimDisk`](crate::SimDisk).
+///
+/// The default plan injects nothing; set only the fields you need. Op
+/// indices count page reads and writes (in either direction) from the
+/// moment the plan is armed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Crash after this many page operations: the op with this (0-based)
+    /// index — and everything after it — fails with `Crashed`.
+    pub kill_at_op: Option<u64>,
+    /// Tear the k-th page *write* after arming (0-based): apply only the
+    /// first `torn_fraction` of the buffer, keep the stale tail, report
+    /// success.
+    pub torn_write_at: Option<u64>,
+    /// Fraction of the buffer a torn write actually persists (0..1).
+    pub torn_fraction: f64,
+    /// Per-operation probability that a page read fails transiently.
+    pub transient_read_p: f64,
+    /// Per-operation probability that a page write fails transiently.
+    pub transient_write_p: f64,
+    /// Seed of the deterministic generator behind the transient rolls.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            kill_at_op: None,
+            torn_write_at: None,
+            torn_fraction: 0.5,
+            transient_read_p: 0.0,
+            transient_write_p: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that only kills the device at op `n`.
+    pub fn kill_at(n: u64) -> Self {
+        FaultPlan {
+            kill_at_op: Some(n),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that only tears the k-th write.
+    pub fn torn_write(k: u64) -> Self {
+        FaultPlan {
+            torn_write_at: Some(k),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that only injects transient faults at the given rates.
+    pub fn transient(read_p: f64, write_p: f64, seed: u64) -> Self {
+        FaultPlan {
+            transient_read_p: read_p,
+            transient_write_p: write_p,
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// Cumulative record of what a [`FaultPlan`] actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Page operations observed since the plan was armed.
+    pub ops: u64,
+    /// Operations refused with `Crashed`.
+    pub crashed_ops: u64,
+    /// Writes silently torn.
+    pub torn_writes: u64,
+    /// Reads failed with `Transient`.
+    pub transient_reads: u64,
+    /// Writes failed with `Transient`.
+    pub transient_writes: u64,
+}
+
+impl FaultCounters {
+    /// Total transient faults injected (the number a resilient caller
+    /// must have retried through to get this far).
+    pub fn transients(&self) -> u64 {
+        self.transient_reads + self.transient_writes
+    }
+}
+
+/// Live injection state: the plan plus the op cursor and RNG stream.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FaultState {
+    pub plan: FaultPlan,
+    pub counters: FaultCounters,
+    rng: u64,
+    /// Successful (platter-reaching) writes so far — the index space of
+    /// `torn_write_at`.
+    write_cursor: u64,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        // splitmix64 of the seed so that seed 0 still produces a lively
+        // xorshift stream.
+        let mut z = plan.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        FaultState {
+            plan,
+            counters: FaultCounters::default(),
+            rng: z ^ (z >> 31),
+            write_cursor: 0,
+        }
+    }
+
+    /// Next uniform draw in `[0, 1)` (xorshift64*).
+    fn roll(&mut self) -> f64 {
+        self.rng ^= self.rng >> 12;
+        self.rng ^= self.rng << 25;
+        self.rng ^= self.rng >> 27;
+        let x = self.rng.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Account one page operation and decide its fate. `write` selects
+    /// the write-side transient rate and torn-write eligibility.
+    pub(crate) fn check_op(&mut self, write: bool) -> FaultOutcome {
+        let op = self.counters.ops;
+        self.counters.ops += 1;
+        if let Some(kill) = self.plan.kill_at_op {
+            if op >= kill {
+                self.counters.crashed_ops += 1;
+                return FaultOutcome::Crashed;
+            }
+        }
+        let p = if write {
+            self.plan.transient_write_p
+        } else {
+            self.plan.transient_read_p
+        };
+        if p > 0.0 && self.roll() < p {
+            if write {
+                self.counters.transient_writes += 1;
+            } else {
+                self.counters.transient_reads += 1;
+            }
+            return FaultOutcome::Transient;
+        }
+        if write {
+            // Only writes that reach the platter advance the torn index:
+            // the k-th *successful* write is the one that tears.
+            let cursor = self.write_cursor;
+            self.write_cursor += 1;
+            if self.plan.torn_write_at == Some(cursor) {
+                self.counters.torn_writes += 1;
+                return FaultOutcome::Torn(self.plan.torn_fraction);
+            }
+        }
+        FaultOutcome::Ok
+    }
+}
+
+/// What [`FaultState::check_op`] decided for one operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum FaultOutcome {
+    Ok,
+    Crashed,
+    Transient,
+    /// Apply only this fraction of the buffer; keep the stale tail.
+    Torn(f64),
+}

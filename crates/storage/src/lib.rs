@@ -48,20 +48,24 @@ pub mod codec;
 pub mod config;
 pub mod disk;
 pub mod error;
+pub mod fault;
 pub mod file;
 pub mod obs;
 pub mod page;
 pub mod pool;
 pub mod stats;
+pub mod wal;
 
 pub use config::DiskConfig;
 pub use disk::SimDisk;
 pub use error::StorageError;
+pub use fault::{FaultCounters, FaultPlan};
 pub use file::FileId;
 pub use obs::QueryId;
 pub use page::{PageId, INVALID_PAGE};
 pub use pool::{AccessHint, AttributedGuard, BufferPool, PoolCounters};
 pub use stats::IoStats;
+pub use wal::{Lsn, Wal, WalCounters};
 
 use std::sync::Arc;
 
@@ -93,6 +97,37 @@ impl Store {
     /// benchmarks call this between runs.
     pub fn go_cold(&self) {
         self.pool.clear();
+        self.disk.close_all_files();
+        self.disk.reset_head();
+    }
+
+    /// Free a page, first discarding any pooled frame for it. Structure
+    /// code must free through this (not `disk.free_page` directly):
+    /// otherwise a stale dirty frame for the freed page sits in the pool
+    /// until eviction, whose write-back then fails and reads as a
+    /// spurious [`PoolCounters::flush_errors`] data-loss signal.
+    pub fn free_page(&self, pid: PageId) -> error::Result<()> {
+        self.pool.discard(pid);
+        self.disk.free_page(pid)
+    }
+
+    /// Free every live page of a file (see [`free_page`](Self::free_page)
+    /// for why the pooled frames must be discarded first).
+    pub fn free_file_pages(&self, file: FileId) -> error::Result<()> {
+        for pid in self.disk.file_pages(file)? {
+            self.pool.discard(pid);
+        }
+        self.disk.free_file_pages(file)
+    }
+
+    /// Simulate a crash + reboot: every cached frame is lost **without**
+    /// being flushed (volatile memory), degraded-mode poisoning is
+    /// lifted, files are closed (the next touch re-charges `Cost_init`)
+    /// and the head parks at zero. Unlike [`go_cold`](Self::go_cold)
+    /// nothing is written — this is the state recovery starts from.
+    pub fn reboot(&self) {
+        self.pool.drop_all();
+        self.disk.clear_fault_plan();
         self.disk.close_all_files();
         self.disk.reset_head();
     }

@@ -62,6 +62,11 @@ pub struct PoolCounters {
     /// the pool). Non-zero means a write was dropped — surfaced here
     /// instead of being silently swallowed by `put`.
     pub flush_errors: u64,
+    /// Transient device faults that an eviction or flush write-back
+    /// retried through successfully. Non-zero means the device
+    /// misbehaved but no data was lost — the distinction
+    /// `explain_analyze` draws against `flush_errors`/degraded mode.
+    pub flush_retries: u64,
     /// Prefetched pages that left the cache (evicted, or dropped by a
     /// cold reset) without ever serving a demand get: speculative reads
     /// whose device time bought nothing. Non-zero means read-ahead armed
@@ -102,6 +107,7 @@ impl PoolCounters {
             readahead_hits: self.readahead_hits - earlier.readahead_hits,
             hinted_runs: self.hinted_runs - earlier.hinted_runs,
             flush_errors: self.flush_errors - earlier.flush_errors,
+            flush_retries: self.flush_retries - earlier.flush_retries,
             readahead_wasted: self.readahead_wasted - earlier.readahead_wasted,
         }
     }
@@ -111,7 +117,7 @@ impl std::fmt::Display for PoolCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "hits={} misses={} readahead={} (ra-hits={} ra-wasted={}) hinted-runs={} evictions={} flush-errors={}",
+            "hits={} misses={} readahead={} (ra-hits={} ra-wasted={}) hinted-runs={} evictions={} flush-errors={} flush-retries={}",
             self.hits,
             self.misses,
             self.readahead,
@@ -119,7 +125,8 @@ impl std::fmt::Display for PoolCounters {
             self.readahead_wasted,
             self.hinted_runs,
             self.evictions,
-            self.flush_errors
+            self.flush_errors,
+            self.flush_retries
         )
     }
 }
@@ -227,7 +234,19 @@ struct PoolInner {
     /// read-ahead. Hinted runs — and continuations of already-armed
     /// runs — still stream.
     suppress_runs: u32,
+    /// Degraded read-only mode: `Some(reason)` after a write-back failed
+    /// persistently (not transiently) or the durability layer could not
+    /// advance the WAL. Reads keep working; the session layer rejects
+    /// mutations while this is set instead of silently bumping a counter.
+    poisoned: Option<String>,
 }
+
+/// Bounded retries a write-back attempts against transient device faults
+/// before declaring the failure persistent.
+const WRITEBACK_RETRIES: u32 = 4;
+
+/// Per-retry backoff charged to the simulated clock, ms.
+const RETRY_BACKOFF_MS: f64 = 0.2;
 
 impl PoolInner {
     /// Index of the pending hint whose run starts at `pid`, if any.
@@ -425,14 +444,14 @@ impl BufferPool {
 
     /// Install a (dirty) frame for a page, deferring the device write.
     /// Eviction-flush failures are recorded in
-    /// [`PoolCounters::flush_errors`] (a freed-underneath page means the
-    /// write is moot, but the drop must not be silent).
+    /// [`PoolCounters::flush_errors`] and — unless the page was simply
+    /// freed underneath the pool — poison the pool into degraded mode
+    /// (see [`degraded`](Self::degraded)); transient faults are retried
+    /// with backoff first ([`PoolCounters::flush_retries`]).
     pub fn put(&self, pid: PageId, data: Bytes) {
         let mut g = self.inner.lock();
         g.insert(pid, data, true);
-        if self.evict_overflow(&mut g).is_err() {
-            g.counters.flush_errors += 1;
-        }
+        let _ = self.evict_overflow(&mut g); // failures counted inside
     }
 
     /// Drop a page from the cache without writing it (used when a page is
@@ -464,9 +483,49 @@ impl BufferPool {
                 _ => continue,
             };
             drop(g);
-            // The page may have been freed after being cached; ignore.
-            let _ = self.disk.write_page(pid, data);
+            // Same retry/poison discipline as eviction write-backs. A
+            // freed-underneath page no longer happens on the free paths
+            // (they discard their frames first), but stays tolerated as
+            // a moot write.
+            let mut g = self.inner.lock();
+            let _ = self.write_back(&mut g, pid, data);
         }
+    }
+
+    /// Drop every frame **without writing anything** — the cache contents
+    /// are gone, as after a crash or power loss. This is the recovery
+    /// path's reset: `clear()` would flush dirty frames, quietly making
+    /// un-logged data durable and masking recovery bugs. Also lifts any
+    /// degraded-mode poisoning (the reboot replaced the faulty device
+    /// conditions) and resets run/hint tracking.
+    pub fn drop_all(&self) {
+        let mut g = self.inner.lock();
+        let wasted = g.frames.values().filter(|f| f.prefetched).count() as u64;
+        g.counters.readahead_wasted += wasted;
+        g.frames.clear();
+        g.bytes = 0;
+        g.head = None;
+        g.tail = None;
+        g.runs.clear();
+        g.pending_hints.clear();
+        g.poisoned = None;
+    }
+
+    /// Put the pool into degraded read-only mode with a reason (the
+    /// durability layer calls this when the WAL cannot advance). The
+    /// first reason wins; later calls are no-ops.
+    pub fn poison(&self, reason: &str) {
+        self.inner
+            .lock()
+            .poisoned
+            .get_or_insert_with(|| reason.to_string());
+    }
+
+    /// The degraded-mode reason, if the pool is poisoned. Reads keep
+    /// working while this is `Some`; the session layer rejects mutations
+    /// and `explain_analyze` surfaces the reason.
+    pub fn degraded(&self) -> Option<String> {
+        self.inner.lock().poisoned.clone()
     }
 
     /// Flush then drop every frame (cold cache). Run detection resets
@@ -552,10 +611,37 @@ impl BufferPool {
                 g.counters.readahead_wasted += 1;
             }
             if dirty {
-                self.disk.write_page(victim, data)?;
+                self.write_back(g, victim, data)?;
             }
         }
         Ok(())
+    }
+
+    /// One dirty write-back: retry transient faults with backoff; a
+    /// persistent failure is counted and (for anything but a
+    /// freed-underneath page, which means the write is moot) poisons the
+    /// pool into degraded mode.
+    fn write_back(&self, g: &mut PoolInner, pid: PageId, data: Bytes) -> Result<()> {
+        let mut attempt = 0u32;
+        loop {
+            match self.disk.write_page(pid, data.clone()) {
+                Ok(()) => return Ok(()),
+                Err(crate::StorageError::Transient(_)) if attempt < WRITEBACK_RETRIES => {
+                    attempt += 1;
+                    g.counters.flush_retries += 1;
+                    self.disk.charge_ms(RETRY_BACKOFF_MS * attempt as f64);
+                }
+                Err(e) => {
+                    g.counters.flush_errors += 1;
+                    if !matches!(e, crate::StorageError::FreedPage(_)) {
+                        g.poisoned.get_or_insert_with(|| {
+                            format!("dirty write-back of {pid:?} failed: {e}")
+                        });
+                    }
+                    return Err(e);
+                }
+            }
+        }
     }
 }
 
@@ -1087,6 +1173,71 @@ mod tests {
             "dropped eviction flush must be recorded: {}",
             pool.counters()
         );
+    }
+
+    #[test]
+    fn store_free_page_discards_pooled_frame() {
+        // Regression for the freed-underneath wart: freeing through
+        // `Store::free_page` must invalidate the pooled frame, so a
+        // legitimate free can never resurface as a spurious flush error
+        // when the dead frame is later evicted.
+        let disk = Arc::new(SimDisk::new(DiskConfig::default()));
+        let store = crate::Store::new(disk.clone(), 4096 * 2);
+        let f = disk.create_file("t", 4096);
+        let doomed = disk.alloc_page(f).unwrap();
+        let p1 = disk.alloc_page(f).unwrap();
+        let p2 = disk.alloc_page(f).unwrap();
+        store.pool.put(doomed, Bytes::from(vec![1u8; 4096]));
+        store.free_page(doomed).unwrap();
+        // Force evictions past where the doomed frame sat.
+        store.pool.put(p1, Bytes::from(vec![2u8; 4096]));
+        store.pool.put(p2, Bytes::from(vec![3u8; 4096]));
+        let c = store.pool.counters();
+        assert_eq!(c.flush_errors, 0, "legitimate free must not count: {c}");
+        assert!(store.pool.degraded().is_none());
+    }
+
+    #[test]
+    fn transient_writeback_faults_are_retried_not_fatal() {
+        use crate::fault::FaultPlan;
+        let (disk, pool) = setup(4096 * 2);
+        let f = disk.create_file("t", 4096);
+        let pages: Vec<_> = (0..8).map(|_| disk.alloc_page(f).unwrap()).collect();
+        disk.set_fault_plan(FaultPlan::transient(0.0, 0.4, 7));
+        for &p in &pages {
+            pool.put(p, Bytes::from(vec![1u8; 4096]));
+        }
+        pool.flush_all();
+        let c = pool.counters();
+        assert!(c.flush_retries > 0, "faults must have been retried: {c}");
+        assert_eq!(c.flush_errors, 0, "retries must absorb transients: {c}");
+        assert!(pool.degraded().is_none());
+        disk.clear_fault_plan();
+        // Every page must actually have reached the device.
+        for &p in &pages {
+            assert_eq!(disk.read_page(p).unwrap()[0], 1);
+        }
+    }
+
+    #[test]
+    fn persistent_writeback_failure_poisons_the_pool() {
+        use crate::fault::FaultPlan;
+        let (disk, pool) = setup(4096 * 2);
+        let f = disk.create_file("t", 4096);
+        let pages: Vec<_> = (0..4).map(|_| disk.alloc_page(f).unwrap()).collect();
+        pool.put(pages[0], Bytes::from(vec![1u8; 4096]));
+        disk.set_fault_plan(FaultPlan::kill_at(0));
+        // Evicting the dirty frame now hits a dead device.
+        pool.put(pages[1], Bytes::from(vec![2u8; 4096]));
+        pool.put(pages[2], Bytes::from(vec![3u8; 4096]));
+        let c = pool.counters();
+        assert!(c.flush_errors > 0, "{c}");
+        let reason = pool.degraded().expect("pool must be poisoned");
+        assert!(reason.contains("crashed"), "reason: {reason}");
+        // Reboot lifts the poisoning.
+        disk.clear_fault_plan();
+        pool.drop_all();
+        assert!(pool.degraded().is_none());
     }
 
     #[test]

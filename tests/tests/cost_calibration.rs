@@ -267,6 +267,121 @@ fn session_records_samples_per_kind_automatically() {
     assert!(text.contains("3 samples"), "{text}");
 }
 
+// --- Calibration persistence across checkpoints -------------------------
+
+/// A reopened session restores the checkpointed scales *and* the sample
+/// store behind them: recovery lands exactly on the settled model, and a
+/// refit with no new evidence is the same fixed point it was before the
+/// restart (test 2's property, now across a durability boundary).
+#[test]
+fn reopened_session_restores_calibration_as_a_refit_fixed_point() {
+    let mut db = calibration_db();
+    db.enable_durability().unwrap();
+    for _ in 0..4 {
+        for (_, q) in workload() {
+            db.table().store().go_cold();
+            db.query(&q).unwrap();
+        }
+        db.recalibrate();
+    }
+    let settled = db.cost_model();
+    db.checkpoint().unwrap();
+    let store = db.table().store().clone();
+    drop(db);
+
+    let (rdb, _info) = UncertainDb::recover(store, "t").unwrap();
+    for kind in PathKind::ALL {
+        assert_eq!(
+            rdb.cost_model().scale(kind),
+            settled.scale(kind),
+            "{kind:?} scale must survive the reopen exactly"
+        );
+    }
+    // The persisted samples came along too: refitting the reopened
+    // session without new evidence must not move any coefficient.
+    rdb.recalibrate();
+    for kind in PathKind::ALL {
+        assert_eq!(
+            rdb.cost_model().scale(kind),
+            settled.scale(kind),
+            "{kind:?} scale moved on reopen without new evidence"
+        );
+    }
+}
+
+/// Recovery from an *older* checkpoint (scales persisted before the
+/// session converged) restores the stale model — and the reopened
+/// session re-converges on the same workload to the same place.
+#[test]
+fn recovery_from_an_older_checkpoint_reconverges() {
+    let mut db = calibration_db();
+    db.enable_durability().unwrap();
+    let mispriced = db
+        .cost_model()
+        .with_scale(PathKind::PointMerge, 2.0)
+        .with_scale(PathKind::RangeRun, 2.0)
+        .with_scale(PathKind::SecondaryProbe, 2.0);
+    db.set_cost_model(mispriced);
+    db.checkpoint().unwrap(); // the "older" checkpoint: still mispriced
+
+    // Converge in RAM only — nothing after the checkpoint is persisted.
+    let start_errs: Vec<f64> = run_round(&db).iter().map(|r| r.1).collect();
+    db.recalibrate();
+    for _ in 0..3 {
+        run_round(&db);
+        db.recalibrate();
+    }
+    let settled = db.cost_model();
+    let store = db.table().store().clone();
+    drop(db);
+
+    let (rdb, _info) = UncertainDb::recover(store, "t").unwrap();
+    for kind in [
+        PathKind::PointMerge,
+        PathKind::RangeRun,
+        PathKind::SecondaryProbe,
+    ] {
+        assert!(
+            (rdb.cost_model().scale(kind) - 2.0).abs() < 1e-9,
+            "recovery must restore the checkpoint's stale {kind:?} scale, \
+             not the in-RAM converged one: got {}",
+            rdb.cost_model().scale(kind)
+        );
+    }
+
+    // Same deterministic workload, same bounded refit: the reopened
+    // session walks back to (essentially) the settled coefficients.
+    let mut final_errs = Vec::new();
+    for round in 0..4 {
+        final_errs = run_round(&rdb).iter().map(|r| r.1).collect();
+        rdb.recalibrate();
+        let _ = round;
+    }
+    for (i, kind) in [
+        PathKind::PointMerge,
+        PathKind::RangeRun,
+        PathKind::SecondaryProbe,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let got = rdb.cost_model().scale(kind);
+        let want = settled.scale(kind);
+        assert!(
+            (got - want).abs() / want < 0.25,
+            "{kind:?}: reopened session must re-converge near the settled \
+             scale (got {got}, settled {want})"
+        );
+        assert!(
+            final_errs[i] <= start_errs[i] * 0.67 + 0.02,
+            "{kind:?}: pricing error must tighten after re-convergence: \
+             {:.3} -> {:.3}",
+            start_errs[i],
+            final_errs[i]
+        );
+    }
+}
+
 // --- CalibrationStore edge behaviour ------------------------------------
 
 #[test]
