@@ -392,13 +392,18 @@ impl FracturedUpi {
             buf_head: None,
             limit,
             seen_topk,
+            ext_floor: f64::NEG_INFINITY,
         })
     }
 
     /// Fracture-parallel streaming range PTQ: per-component
-    /// [`RangeRun`]s chained (each is one seek + one sequential run),
-    /// suppression applied as rows surface, insert-buffer matches last.
-    /// Rows are unordered across components; sinks sort.
+    /// [`RangeRun`]s pulled **round-robin** (each is one seek + one
+    /// sequential run; the buffer pool tracks every hinted run
+    /// concurrently, so interleaving keeps each component's prefetched
+    /// window hot instead of letting it age out while an earlier
+    /// component drains), suppression applied as rows surface,
+    /// insert-buffer matches last. Rows are unordered across components;
+    /// sinks sort.
     pub fn range_run(&self, lo: u64, hi: u64, qt: f64) -> Result<FracturedRangeRun<'_>> {
         let mut streams = vec![self.main.range_run(lo, hi, qt)?];
         for fr in &self.fractures {
@@ -423,10 +428,11 @@ impl FracturedUpi {
             .collect();
         sort_results(&mut buffered);
         let suppressed = vec![0; streams.len()];
+        let rr = RoundRobin::new(streams.len());
         Ok(FracturedRangeRun {
             f: self,
             streams,
-            at: 0,
+            rr,
             buffered: buffered.into_iter(),
             suppressed,
         })
@@ -434,10 +440,11 @@ impl FracturedUpi {
 
     /// Fracture-parallel streaming secondary PTQ: per-component
     /// [`SecondaryRun`]s with suppression applied *before* pointer choice
-    /// (suppressed tuples never reach the heap), chained, insert-buffer
-    /// matches last. `limit` bounds each component's post-suppression
-    /// entry count — sound for top-k because the global top-k is a subset
-    /// of the per-component top-k unions.
+    /// (suppressed tuples never reach the heap), pulled round-robin so
+    /// every component's heap-order fetch stream advances together,
+    /// insert-buffer matches last. `limit` bounds each component's
+    /// post-suppression entry count — sound for top-k because the global
+    /// top-k is a subset of the per-component top-k unions.
     pub fn secondary_run(
         &self,
         sec_idx: usize,
@@ -464,9 +471,10 @@ impl FracturedUpi {
             })
             .collect();
         sort_results(&mut buffered);
+        let rr = RoundRobin::new(streams.len());
         Ok(FracturedSecondaryRun {
             streams,
-            at: 0,
+            rr,
             buffered: buffered.into_iter(),
         })
     }
@@ -618,9 +626,54 @@ impl FracturedUpi {
     }
 }
 
+/// Round-robin scheduler over N still-active streams: the interleaving
+/// kernel shared by the fractured range/secondary merges (and, one level
+/// up, the shard scatter-gather merge). Advancing after every pull keeps
+/// all concurrently-hinted prefetch windows hot in the buffer pool
+/// instead of draining one component while the others' windows age out.
+pub(crate) struct RoundRobin {
+    at: usize,
+    live: Vec<bool>,
+    n_live: usize,
+}
+
+impl RoundRobin {
+    pub(crate) fn new(n: usize) -> RoundRobin {
+        RoundRobin {
+            at: 0,
+            live: vec![true; n],
+            n_live: n,
+        }
+    }
+
+    /// The stream to pull from next, `None` once every stream retired.
+    pub(crate) fn current(&mut self) -> Option<usize> {
+        if self.n_live == 0 {
+            return None;
+        }
+        while !self.live[self.at] {
+            self.at = (self.at + 1) % self.live.len();
+        }
+        Some(self.at)
+    }
+
+    /// Move on to the next live stream (after a successful pull).
+    pub(crate) fn advance(&mut self) {
+        self.at = (self.at + 1) % self.live.len();
+    }
+
+    /// Retire an exhausted stream.
+    pub(crate) fn retire(&mut self, i: usize) {
+        if std::mem::replace(&mut self.live[i], false) {
+            self.n_live -= 1;
+        }
+    }
+}
+
 /// Record a surviving row's confidence in the ascending running-top-k
-/// set (the watermark feeder of [`FracturedUpi::ptq_run`]).
-fn note_seen(topk: &mut Vec<f64>, k: usize, conf: f64) {
+/// set (the watermark feeder of [`FracturedUpi::ptq_run`] and of the
+/// shard-level scatter-gather merge).
+pub(crate) fn note_seen(topk: &mut Vec<f64>, k: usize, conf: f64) {
     let at = topk.partition_point(|&c| c < conf);
     topk.insert(at, conf);
     if topk.len() > k {
@@ -630,11 +683,46 @@ fn note_seen(topk: &mut Vec<f64>, k: usize, conf: f64) {
 
 /// The current k-th-confidence watermark: only meaningful once k
 /// surviving rows have been seen (before that there is no bound).
-fn watermark(topk: &[f64], k: usize) -> f64 {
+pub(crate) fn watermark(topk: &[f64], k: usize) -> f64 {
     if k > 0 && topk.len() >= k {
         topk[0]
     } else {
         f64::NEG_INFINITY
+    }
+}
+
+/// A running top-k confidence watermark — the early-exit kernel of the
+/// fractured point merge ([`FracturedUpi::ptq_run`]), packaged so a
+/// scatter-gather merge one level up (`upi_query`'s shard merge) can
+/// share **one** global watermark across many independent cursors:
+/// every surviving row's confidence is [`note`](Self::note)d, and any
+/// cursor whose best remaining confidence falls below
+/// [`floor`](Self::floor) can stop its source I/O — rows strictly below
+/// the k-th best seen so far can never reach the top k.
+#[derive(Debug, Clone)]
+pub struct TopKWatermark {
+    topk: Vec<f64>,
+    k: usize,
+}
+
+impl TopKWatermark {
+    /// Watermark over the `k` best confidences seen so far.
+    pub fn new(k: usize) -> TopKWatermark {
+        TopKWatermark {
+            topk: Vec::new(),
+            k,
+        }
+    }
+
+    /// Record one surviving row's confidence.
+    pub fn note(&mut self, conf: f64) {
+        note_seen(&mut self.topk, self.k, conf);
+    }
+
+    /// The current k-th-best confidence — `NEG_INFINITY` until `k` rows
+    /// have been seen (before that there is no bound). Only ever rises.
+    pub fn floor(&self) -> f64 {
+        watermark(&self.topk, self.k)
     }
 }
 
@@ -652,6 +740,10 @@ pub struct FracturedPointRun<'a> {
     /// Ascending confidences of the k best surviving rows seen so far
     /// (heads + emitted + insert buffer); `[0]` is the watermark.
     seen_topk: Vec<f64>,
+    /// External confidence floor (a *global* top-k watermark shared
+    /// across sibling merges, e.g. other shards of a sharded table);
+    /// combined with the internal watermark via `max`. Raise-only.
+    ext_floor: f64,
 }
 
 impl FracturedPointRun<'_> {
@@ -660,6 +752,17 @@ impl FracturedPointRun<'_> {
     /// pushed into each component cursor, so they land here).
     pub fn component_stats(&self) -> Vec<CursorStats> {
         self.streams.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Raise the external confidence floor: rows strictly below `floor`
+    /// are dropped and component cursors stop their source I/O once
+    /// nothing at/above it can remain. Used by a sharded scatter-gather
+    /// merge to propagate the *global* top-k watermark into this shard's
+    /// merge; only ever raises (a watermark cannot recede).
+    pub fn raise_conf_floor(&mut self, floor: f64) {
+        if floor > self.ext_floor {
+            self.ext_floor = floor;
+        }
     }
 
     /// Refill every empty head with the next *surviving* (non-suppressed)
@@ -675,7 +778,8 @@ impl FracturedPointRun<'_> {
                 let wm = match self.limit {
                     Some(k) => watermark(&self.seen_topk, k),
                     None => f64::NEG_INFINITY,
-                };
+                }
+                .max(self.ext_floor);
                 if let Some(r) = stream.next_where(wm, &|tid| !f.suppressed(tid, level)) {
                     let r = r?;
                     if let Some(k) = self.limit {
@@ -721,12 +825,12 @@ impl Iterator for FracturedPointRun<'_> {
     }
 }
 
-/// Chained per-component range streams with suppression (see
-/// [`FracturedUpi::range_run`]).
+/// Round-robin-interleaved per-component range streams with suppression
+/// (see [`FracturedUpi::range_run`]).
 pub struct FracturedRangeRun<'a> {
     f: &'a FracturedUpi,
     streams: Vec<RangeRun<'a>>,
-    at: usize,
+    rr: RoundRobin,
     buffered: std::vec::IntoIter<PtqResult>,
     /// Rows dropped by suppression *after* surfacing from each component
     /// (range suppression is checked post-pull, unlike the point merge).
@@ -754,27 +858,29 @@ impl Iterator for FracturedRangeRun<'_> {
     type Item = Result<PtqResult>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        while self.at < self.streams.len() {
-            match self.streams[self.at].next() {
+        while let Some(i) = self.rr.current() {
+            match self.streams[i].next() {
                 Some(Err(e)) => return Some(Err(e)),
                 Some(Ok(r)) => {
-                    if !self.f.suppressed(r.tuple.id.0, self.at) {
+                    self.rr.advance();
+                    if !self.f.suppressed(r.tuple.id.0, i) {
                         return Some(Ok(r));
                     }
-                    self.suppressed[self.at] += 1;
+                    self.suppressed[i] += 1;
                 }
-                None => self.at += 1,
+                None => self.rr.retire(i),
             }
         }
         self.buffered.next().map(Ok)
     }
 }
 
-/// Chained per-component secondary probes (suppression already applied at
-/// entry-choice time; see [`FracturedUpi::secondary_run`]).
+/// Round-robin-interleaved per-component secondary probes (suppression
+/// already applied at entry-choice time; see
+/// [`FracturedUpi::secondary_run`]).
 pub struct FracturedSecondaryRun<'a> {
     streams: Vec<SecondaryRun<'a>>,
-    at: usize,
+    rr: RoundRobin,
     buffered: std::vec::IntoIter<PtqResult>,
 }
 
@@ -791,10 +897,13 @@ impl Iterator for FracturedSecondaryRun<'_> {
     type Item = Result<PtqResult>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        while self.at < self.streams.len() {
-            match self.streams[self.at].next() {
-                Some(r) => return Some(r),
-                None => self.at += 1,
+        while let Some(i) = self.rr.current() {
+            match self.streams[i].next() {
+                Some(r) => {
+                    self.rr.advance();
+                    return Some(r);
+                }
+                None => self.rr.retire(i),
             }
         }
         self.buffered.next().map(Ok)
