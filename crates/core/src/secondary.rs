@@ -229,6 +229,27 @@ impl PointerHistogram {
             .min(self.effective_regions(value));
         (regions / span as f64).clamp(f64::MIN_POSITIVE, 1.0)
     }
+
+    /// Expected number of distinct region **visits** `n` tailored
+    /// dereferences of `value`'s entries pay a positioning move for:
+    /// `min(expected_regions(value, n), effective_regions(value))`,
+    /// clamped to `[1, n]`. Inside one contiguous measured region the
+    /// sorted fetches advance in short strokes; only crossing to the
+    /// next region costs a real head move, so this — not the fetch
+    /// count — is the seek multiplier of a tailored probe. Returns `n`
+    /// (every fetch repositions; no concentration claim) when nothing
+    /// is recorded.
+    pub fn expected_visits(&self, value: u64, n: f64) -> f64 {
+        if n < 1.0 {
+            return 1.0;
+        }
+        if self.span() == 0 || self.total == 0 {
+            return n;
+        }
+        self.expected_regions(value, n)
+            .min(self.effective_regions(value))
+            .clamp(1.0, n)
+    }
 }
 
 /// A secondary index on one discrete uncertain attribute of a UPI table.

@@ -132,7 +132,7 @@ impl TuningAdvisor {
                         if qt >= c {
                             model.params.cost_scan_ms() * heap_sel
                                 + model.params.cost_init_ms
-                                + model.params.height as f64 * model.params.t_seek_ms
+                                + model.params.height as f64 * model.params.t_descend_ms
                         } else {
                             let pointers = stats.est_cutoff_pointers(hot_key, qt, c);
                             model.cost_cutoff_ms(heap_sel, pointers)

@@ -17,9 +17,9 @@
 //! est_ms = fixed_ms + scale(kind) · dominant_ms
 //! ```
 //!
-//! * `fixed_ms` — file opens and tree descents (`Cost_init + H·T_seek`
-//!   terms): device constants the simulator charges exactly, never
-//!   rescaled.
+//! * `fixed_ms` — file opens and tree descents (`Cost_init + H·T_descend`
+//!   terms, descents priced at the device's short-move cost): device
+//!   constants the simulator charges exactly, never rescaled.
 //! * `dominant_ms` — the data-dependent term (sequential run reads,
 //!   bitmap fetches, saturating pointer dereferences): where model error
 //!   lives, and the only term calibration touches.
@@ -373,7 +373,8 @@ impl CostModel {
         }
     }
 
-    /// `Cost_init + H · T_seek`: open a file and descend its tree.
+    /// `Cost_init + H · T_descend`: open a file and descend its tree
+    /// (descents priced at the calibrated short-move coefficient).
     pub fn open_descend(&self, height: usize) -> f64 {
         self.coeffs.open_descend_ms(height)
     }
@@ -409,6 +410,36 @@ impl CostModel {
             curve.min(c.read_cost_ms(gap))
         };
         distinct * (move_ms + c.read_cost_ms(page_bytes))
+    }
+
+    /// [`bitmap_fetch_ms`](Self::bitmap_fetch_ms) for **tailored**
+    /// access (Algorithm 3), whose fetches are steered into `visits`
+    /// measured contiguous regions of the heap: the head pays one
+    /// positioning move per region visit — crossing the space between
+    /// measured slices — while inside a region the sorted fetches
+    /// advance in short strokes the readahead window absorbs, leaving
+    /// only the page reads. Degenerates to per-fetch moves (exactly
+    /// `bitmap_fetch_ms`) as `visits` approaches the distinct page
+    /// count, so an index with no measured concentration prices no
+    /// cheaper than a plain probe.
+    pub fn clustered_fetch_ms(&self, span_bytes: f64, page_bytes: f64, k: f64, visits: f64) -> f64 {
+        if k < 1.0 || span_bytes <= 0.0 {
+            return 0.0;
+        }
+        let c = &self.coeffs;
+        let page_bytes = page_bytes.max(512.0);
+        let pages = (span_bytes / page_bytes).max(1.0);
+        let distinct = (pages * (1.0 - (1.0 - 1.0 / pages).powf(k))).clamp(1.0, pages);
+        let visits = visits.clamp(1.0, distinct);
+        let gap = ((span_bytes - distinct * page_bytes) / visits).max(0.0);
+        let move_ms = if gap < 1.0 {
+            0.0
+        } else {
+            let frac = (gap / c.stroke_bytes).min(1.0);
+            let curve = c.seek_floor_ms + (c.t_seek_ms - c.seek_floor_ms) * frac.sqrt();
+            curve.min(c.read_cost_ms(gap))
+        };
+        visits * move_ms + distinct * c.read_cost_ms(page_bytes)
     }
 
     /// Export the per-kind `(scale, samples)` pairs, in
@@ -494,6 +525,31 @@ mod tests {
             prev = prev.max(c);
         }
         assert_eq!(m.bitmap_fetch_ms(span, 8192.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn clustered_fetches_pay_seeks_per_region_visit() {
+        let disk = DiskConfig::default();
+        let m = CostModel::from_disk(&disk);
+        let span = 400.0 * 1024.0 * 1024.0;
+        // With one move per fetch the price is exactly the plain bitmap
+        // fetch; fewer region visits shed move cost but never the page
+        // reads.
+        let plain = m.bitmap_fetch_ms(span, 8192.0, 400.0);
+        assert_eq!(m.clustered_fetch_ms(span, 8192.0, 400.0, 400.0), plain);
+        let clustered = m.clustered_fetch_ms(span, 8192.0, 400.0, 20.0);
+        assert!(clustered < plain, "{clustered} vs {plain}");
+        let reads = 400.0 * disk.read_cost_ms(8192);
+        assert!(
+            clustered > reads,
+            "moves never free: {clustered} vs {reads}"
+        );
+        // Out-of-range visit counts clamp instead of extrapolating.
+        assert_eq!(
+            m.clustered_fetch_ms(span, 8192.0, 400.0, 1e9),
+            m.clustered_fetch_ms(span, 8192.0, 400.0, 400.0)
+        );
+        assert_eq!(m.clustered_fetch_ms(span, 8192.0, 0.0, 5.0), 0.0);
     }
 
     #[test]

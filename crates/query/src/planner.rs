@@ -75,6 +75,15 @@ fn tailored_coverage(sec: &SecondaryIndex, value: u64, n: f64) -> f64 {
     sec.pointer_regions().covered_fraction(value, n)
 }
 
+/// The number of region **visits** (seek-priced head moves) the same
+/// tailored probe is expected to pay — the companion multiplier for
+/// [`CostModel::clustered_fetch_ms`]. Falls back to `n` (one move per
+/// fetch, pricing identical to a plain probe) when the histogram is
+/// empty.
+fn tailored_visits(sec: &SecondaryIndex, value: u64, n: f64) -> f64 {
+    sec.pointer_regions().expected_visits(value, n)
+}
+
 /// Build a [`CandidatePlan`] from a priced decomposition.
 fn candidate(
     model: &CostModel,
@@ -314,6 +323,7 @@ fn enumerate_eq(
             // pointer-region histogram instead of guessed from the
             // replication factor.
             let coverage = tailored_coverage(sec, value, n);
+            let visits = tailored_visits(sec, value, n);
             let fetch_rows = match q.top_k {
                 Some(k) => n.min(k as f64),
                 None => n,
@@ -326,8 +336,15 @@ fn enumerate_eq(
                         tailored: true,
                     },
                     opens,
-                    model.bitmap_fetch_ms(hs.bytes as f64 * coverage, page_bytes(&hs), n),
-                    format!("{n:.0} fetches over {coverage:.3} of the heap (measured regions)"),
+                    model.clustered_fetch_ms(
+                        hs.bytes as f64 * coverage,
+                        page_bytes(&hs),
+                        n,
+                        visits,
+                    ),
+                    format!(
+                        "{n:.0} fetches over {coverage:.3} of the heap ({visits:.0} region visits)"
+                    ),
                     Vec::new(),
                 )
                 // One scattered heap page per fetched entry, worst case.
@@ -404,6 +421,7 @@ fn enumerate_eq(
             let opens =
                 components * (model.open_descend(sec.height()) + model.open_descend(hs.height));
             let coverage = tailored_coverage(sec, value, n);
+            let visits = tailored_visits(sec, value, n);
             let fetch_rows = match q.top_k {
                 Some(k) => n.min(k as f64),
                 None => n,
@@ -420,7 +438,12 @@ fn enumerate_eq(
                         tailored: true,
                     },
                     opens,
-                    model.bitmap_fetch_ms(hs.bytes as f64 * coverage, page_bytes(&hs), n),
+                    model.clustered_fetch_ms(
+                        hs.bytes as f64 * coverage,
+                        page_bytes(&hs),
+                        n,
+                        visits,
+                    ),
                     format!("{n:.0} entries over {components:.0} components"),
                     hints,
                 )
@@ -628,7 +651,7 @@ fn enumerate_circle(
                 candidate(
                     model,
                     AccessPath::ContinuousCircle,
-                    2.0 * model.coeffs.cost_init_ms + rs.height as f64 * model.coeffs.t_seek_ms,
+                    2.0 * model.coeffs.cost_init_ms + rs.height as f64 * model.coeffs.t_descend_ms,
                     model.read_ms(cupi.total_bytes() as f64 * frac),
                     format!("circle covers {:.3} of domain, clustered read", frac),
                     Vec::new(),
