@@ -52,6 +52,7 @@ pub mod heap;
 mod keys;
 pub mod pii;
 pub mod secondary;
+pub mod shard;
 pub mod table;
 pub mod tuning;
 pub mod upi;
@@ -63,10 +64,12 @@ pub use durability::{CheckpointImage, RecoveryInfo, WalRecord};
 pub use exec::{group_count, sort_results, top_k, CursorStats, ExecError, PtqResult};
 pub use fractured::{
     FracturedConfig, FracturedPointRun, FracturedRangeRun, FracturedSecondaryRun, FracturedUpi,
+    TopKWatermark,
 };
 pub use heap::{HeapScanRun, UnclusteredHeap};
 pub use pii::{Pii, PiiRun};
 pub use secondary::{PointerHistogram, SecEntry, SecScanRun, SecondaryIndex};
+pub use shard::{ShardLayout, ShardedTable};
 pub use table::{TableLayout, UncertainTable};
 pub use tuning::{CutoffChoice, TuningAdvisor, WorkloadProfile};
 pub use upi::{DiscreteUpi, DistinctScan, HeapRun, PointRun, RangeRun, SecondaryRun, UpiConfig};

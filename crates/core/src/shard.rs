@@ -1,0 +1,392 @@
+//! Horizontal partitioning: one logical table over N independent stores.
+//!
+//! A [`ShardedTable`] splits one logical [`UncertainTable`] across N
+//! shards, each a full table over its **own** [`Store`] — its own
+//! simulated disk, buffer pool, WAL, statistics, and (one level up, in
+//! `upi_query`) its own calibrated cost model. The split is by **tuple
+//! id**, never by attribute value: a tuple's alternatives must stay
+//! together (possible-world semantics are per tuple), and id routing
+//! keeps every layout — unclustered, UPI, fractured — valid per shard
+//! with zero cross-shard coordination on DML.
+//!
+//! Queries do not run through this type either (see [`crate::table`]
+//! for the rationale): `upi_query`'s sharded session plans per shard
+//! and scatter-gathers, sharing one global top-k watermark
+//! ([`crate::fractured::TopKWatermark`]) so cold shards stop their
+//! source I/O early.
+
+use upi_storage::error::Result;
+use upi_storage::{Lsn, Store};
+use upi_uncertain::{Field, Schema, Tuple, TupleId};
+
+use crate::table::{TableLayout, UncertainTable};
+
+/// How tuple ids map to shards. Both variants are pure functions of the
+/// id, so routing is deterministic across sessions and recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardLayout {
+    /// Multiplicative hashing of the tuple id over `n` shards — spreads
+    /// any id sequence (dense auto-increment included) evenly.
+    HashTid(usize),
+    /// Range partitioning by ascending id boundaries: shard `i` holds
+    /// ids below `boundaries[i]`; one final shard holds the rest, so
+    /// `boundaries.len() + 1` shards total.
+    RangeTid(Vec<u64>),
+}
+
+impl ShardLayout {
+    /// Number of shards this layout routes over.
+    pub fn n_shards(&self) -> usize {
+        match self {
+            ShardLayout::HashTid(n) => *n,
+            ShardLayout::RangeTid(bounds) => bounds.len() + 1,
+        }
+    }
+
+    /// The shard holding tuple `tid`.
+    pub fn route(&self, tid: u64) -> usize {
+        match self {
+            ShardLayout::HashTid(n) => {
+                // Fibonacci hashing: multiply by 2^64/phi, take the top
+                // bits' remainder — cheap, deterministic, well-spread.
+                (tid.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) as usize % n.max(&1)
+            }
+            ShardLayout::RangeTid(bounds) => bounds.partition_point(|&b| b <= tid),
+        }
+    }
+}
+
+/// One logical uncertain table partitioned across N shard tables (see
+/// the module docs). Construction-and-maintenance facade: DML routes by
+/// tuple id, structural operations fan out to every shard.
+pub struct ShardedTable {
+    shards: Vec<UncertainTable>,
+    layout: ShardLayout,
+    next_id: u64,
+}
+
+impl ShardedTable {
+    /// Create `layout.n_shards()` empty shard tables named `{name}.s{i}`,
+    /// one per store (`stores.len()` must match), every shard with the
+    /// same schema and physical [`TableLayout`].
+    pub fn create(
+        stores: Vec<Store>,
+        name: &str,
+        schema: Schema,
+        primary_attr: usize,
+        table_layout: TableLayout,
+        layout: ShardLayout,
+    ) -> Result<ShardedTable> {
+        assert_eq!(
+            stores.len(),
+            layout.n_shards(),
+            "one store per shard: {} stores for {} shards",
+            stores.len(),
+            layout.n_shards()
+        );
+        assert!(layout.n_shards() > 0, "a sharded table needs >= 1 shard");
+        let shards = stores
+            .into_iter()
+            .enumerate()
+            .map(|(i, store)| {
+                UncertainTable::create(
+                    store,
+                    &format!("{name}.s{i}"),
+                    schema.clone(),
+                    primary_attr,
+                    table_layout.clone(),
+                )
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardedTable {
+            shards,
+            layout,
+            next_id: 0,
+        })
+    }
+
+    /// The routing layout.
+    pub fn layout(&self) -> &ShardLayout {
+        &self.layout
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard tables, in shard order.
+    pub fn shards(&self) -> &[UncertainTable] {
+        &self.shards
+    }
+
+    /// One shard, mutable (per-shard maintenance).
+    pub fn shard_mut(&mut self, i: usize) -> &mut UncertainTable {
+        &mut self.shards[i]
+    }
+
+    /// Release the shard tables (the query layer adopts each into its
+    /// own session), plus the routing layout and the id horizon.
+    pub fn into_parts(self) -> (Vec<UncertainTable>, ShardLayout, u64) {
+        (self.shards, self.layout, self.next_id)
+    }
+
+    /// Attach a secondary index on `attr` to every shard. The returned
+    /// position is identical across shards (each shard table assigns
+    /// positions densely in call order).
+    pub fn add_secondary(&mut self, attr: usize) -> Result<usize> {
+        let mut pos = 0;
+        for s in &mut self.shards {
+            pos = s.add_secondary(attr)?;
+        }
+        Ok(pos)
+    }
+
+    /// Bulk-load tuples: partition by routed shard, one bulk load per
+    /// shard (ids must be ascending, as for [`UncertainTable::load`]).
+    pub fn load(&mut self, tuples: &[Tuple]) -> Result<()> {
+        let mut per_shard: Vec<Vec<Tuple>> = vec![Vec::new(); self.shards.len()];
+        for t in tuples {
+            self.next_id = self.next_id.max(t.id.0 + 1);
+            per_shard[self.layout.route(t.id.0)].push(t.clone());
+        }
+        for (s, batch) in self.shards.iter_mut().zip(&per_shard) {
+            if !batch.is_empty() {
+                s.load(batch)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert a row, assigning the next **global** tuple id (the sharded
+    /// table owns the id sequence; per-shard counters would collide).
+    pub fn insert(&mut self, exist: f64, fields: Vec<Field>) -> Result<TupleId> {
+        let id = TupleId(self.next_id);
+        let t = Tuple::new(id, exist, fields);
+        self.insert_tuple(&t)?;
+        Ok(id)
+    }
+
+    /// Insert a fully-formed tuple (caller manages ids), routed to its
+    /// shard.
+    pub fn insert_tuple(&mut self, t: &Tuple) -> Result<()> {
+        self.next_id = self.next_id.max(t.id.0 + 1);
+        self.shards[self.layout.route(t.id.0)].insert_tuple(t)
+    }
+
+    /// Delete a tuple from its shard.
+    pub fn delete(&mut self, t: &Tuple) -> Result<()> {
+        self.shards[self.layout.route(t.id.0)].delete(t)
+    }
+
+    /// Replace `old` with `new` as one logical operation. Updates keep
+    /// the tuple id, so old and new land on the same shard (asserted:
+    /// a cross-shard move would need a distributed transaction this
+    /// layer deliberately does not have).
+    pub fn update(&mut self, old: &Tuple, new: &Tuple) -> Result<()> {
+        assert_eq!(
+            self.layout.route(old.id.0),
+            self.layout.route(new.id.0),
+            "an update must stay on its shard (same tuple id)"
+        );
+        self.next_id = self.next_id.max(new.id.0 + 1);
+        self.shards[self.layout.route(old.id.0)].update(old, new)
+    }
+
+    /// Flush buffered changes on every shard (fractured layout only).
+    pub fn flush(&mut self) -> Result<()> {
+        for s in &mut self.shards {
+            s.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Merge fractures on every shard (fractured layout only).
+    pub fn merge(&mut self) -> Result<()> {
+        for s in &mut self.shards {
+            s.merge()?;
+        }
+        Ok(())
+    }
+
+    /// Attach a WAL to every shard (each logs to its own store) and
+    /// write each shard's initial checkpoint. Returns the per-shard
+    /// sealing LSNs — the shards' logs are independent sequences.
+    pub fn enable_durability(&mut self, extra: &[u8]) -> Result<Vec<Lsn>> {
+        self.shards
+            .iter_mut()
+            .map(|s| s.enable_durability(extra))
+            .collect()
+    }
+
+    /// Checkpoint every shard.
+    pub fn checkpoint(&mut self, extra: &[u8]) -> Result<Vec<Lsn>> {
+        self.shards
+            .iter_mut()
+            .map(|s| s.checkpoint(extra))
+            .collect()
+    }
+
+    /// Force every shard's WAL group-commit buffer durable.
+    pub fn sync_wal(&mut self) -> Result<Vec<Lsn>> {
+        self.shards.iter_mut().map(|s| s.sync_wal()).collect()
+    }
+
+    /// The live possible-worlds tuple set across all shards, in tuple-id
+    /// order (each shard holds a disjoint id subset).
+    pub fn live_tuples(&self) -> Result<Vec<Tuple>> {
+        let mut all = Vec::new();
+        for s in &self.shards {
+            all.extend(s.live_tuples()?);
+        }
+        all.sort_by_key(|t| t.id.0);
+        Ok(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fractured::FracturedConfig;
+    use crate::upi::UpiConfig;
+    use std::sync::Arc;
+    use upi_storage::{DiskConfig, SimDisk};
+    use upi_uncertain::{Datum, DiscretePmf, FieldKind};
+
+    fn stores(n: usize) -> Vec<Store> {
+        (0..n)
+            .map(|_| Store::new(Arc::new(SimDisk::new(DiskConfig::default())), 8 << 20))
+            .collect()
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("name", FieldKind::Str),
+            ("institution", FieldKind::Discrete),
+            ("country", FieldKind::Discrete),
+        ])
+    }
+
+    fn row(inst: u64, p: f64, country: u64) -> Vec<Field> {
+        vec![
+            Field::Certain(Datum::Str("x".into())),
+            Field::Discrete(DiscretePmf::new(vec![
+                (inst, p),
+                (inst + 100, (1.0 - p) * 0.5),
+            ])),
+            Field::Discrete(DiscretePmf::new(vec![(country, 1.0)])),
+        ]
+    }
+
+    #[test]
+    fn routing_is_deterministic_total_and_balanced() {
+        for layout in [
+            ShardLayout::HashTid(4),
+            ShardLayout::RangeTid(vec![250, 500, 750]),
+        ] {
+            assert_eq!(layout.n_shards(), 4);
+            let mut per_shard = [0usize; 4];
+            for tid in 0..1000u64 {
+                let s = layout.route(tid);
+                assert_eq!(s, layout.route(tid), "routing must be a pure function");
+                per_shard[s] += 1;
+            }
+            for (i, &n) in per_shard.iter().enumerate() {
+                assert!(
+                    n > 150,
+                    "{layout:?}: shard {i} got {n}/1000 — unbalanced split"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_routing_honors_boundaries() {
+        let l = ShardLayout::RangeTid(vec![10, 20]);
+        assert_eq!(l.route(0), 0);
+        assert_eq!(l.route(9), 0);
+        assert_eq!(l.route(10), 1);
+        assert_eq!(l.route(19), 1);
+        assert_eq!(l.route(20), 2);
+        assert_eq!(l.route(u64::MAX), 2);
+    }
+
+    #[test]
+    fn dml_routes_by_id_and_shards_partition_the_table() {
+        for table_layout in [
+            TableLayout::Upi(UpiConfig::default()),
+            TableLayout::FracturedUpi(FracturedConfig {
+                upi: UpiConfig::default(),
+                buffer_ops: 0,
+            }),
+            TableLayout::Unclustered,
+        ] {
+            let mut t = ShardedTable::create(
+                stores(3),
+                "s",
+                schema(),
+                1,
+                table_layout,
+                ShardLayout::HashTid(3),
+            )
+            .unwrap();
+            t.add_secondary(2).unwrap();
+            let preload: Vec<Tuple> = (0..40u64)
+                .map(|i| Tuple::new(TupleId(i), 0.9, row(i % 5, 0.7, i % 3)))
+                .collect();
+            t.load(&preload).unwrap();
+            for i in 0..20u64 {
+                let id = t.insert(0.9, row(i % 5, 0.7, i % 3)).unwrap();
+                assert_eq!(id.0, 40 + i, "global id sequence continues past load");
+            }
+            let victim = Tuple::new(TupleId(7), 0.9, row(7 % 5, 0.7, 7 % 3));
+            t.delete(&victim).unwrap();
+            t.flush().unwrap();
+            t.merge().unwrap();
+
+            let live = t.live_tuples().unwrap();
+            assert_eq!(live.len(), 59, "60 inserted - 1 deleted");
+            // Each live tuple sits on exactly the shard the layout names.
+            let mut shard_counts = vec![0usize; 3];
+            for (i, s) in t.shards().iter().enumerate() {
+                for tuple in s.live_tuples().unwrap() {
+                    assert_eq!(t.layout().route(tuple.id.0), i, "misrouted {:?}", tuple.id);
+                    shard_counts[i] += 1;
+                }
+            }
+            assert_eq!(shard_counts.iter().sum::<usize>(), 59);
+            assert!(shard_counts.iter().all(|&n| n > 0), "{shard_counts:?}");
+        }
+    }
+
+    #[test]
+    fn per_shard_durability_recovers_the_partition() {
+        let sts = stores(2);
+        let mut t = ShardedTable::create(
+            sts.clone(),
+            "d",
+            schema(),
+            1,
+            TableLayout::Upi(UpiConfig::default()),
+            ShardLayout::HashTid(2),
+        )
+        .unwrap();
+        t.enable_durability(b"cal").unwrap();
+        for i in 0..30u64 {
+            t.insert(0.9, row(i % 5, 0.7, i % 3)).unwrap();
+        }
+        t.sync_wal().unwrap();
+        let expect = t.live_tuples().unwrap();
+
+        let mut recovered = Vec::new();
+        for (i, st) in sts.into_iter().enumerate() {
+            let (shard, _) = UncertainTable::recover(st, &format!("d.s{i}")).unwrap();
+            recovered.extend(shard.live_tuples().unwrap());
+        }
+        recovered.sort_by_key(|t| t.id.0);
+        assert_eq!(recovered.len(), expect.len());
+        for (a, b) in recovered.iter().zip(&expect) {
+            assert_eq!(a.id, b.id);
+        }
+    }
+}

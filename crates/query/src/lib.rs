@@ -97,6 +97,7 @@ pub mod plan;
 pub mod planner;
 pub mod query;
 pub mod session;
+pub mod sharded;
 
 pub use catalog::Catalog;
 pub use cost::{CalibrationStore, CostModel, PathCost, PathKind, RefitOutcome};
@@ -107,6 +108,7 @@ pub use obs::{QueryTrace, TraceSpan};
 pub use plan::{AccessPath, CandidatePlan, PhysicalPlan};
 pub use query::{Predicate, PtqQuery};
 pub use session::UncertainDb;
+pub use sharded::ShardedDb;
 
 // Re-exported for compatibility with pre-planner code paths.
 pub use upi::exec::{group_count, top_k, PtqResult};

@@ -441,6 +441,31 @@ impl UncertainDb {
         self.calibration.lock().store.len(kind)
     }
 
+    /// Feed one externally driven execution into this session's
+    /// calibration store and metrics registry. The sharded scatter-gather
+    /// facade drives shard cursors itself (so [`run_query`](Self::query)
+    /// never runs on the shard session), but each shard's plan was priced
+    /// by *this* session's model — its observation belongs here, exactly
+    /// as [`query`](Self::query) would have recorded it.
+    pub(crate) fn note_external_execution(
+        &self,
+        cost: &crate::cost::PathCost,
+        est_ms: f64,
+        observed_ms: f64,
+        rows: u64,
+        io: Option<&upi_storage::PoolCounters>,
+    ) {
+        self.calibration.lock().store.record(
+            cost.kind,
+            cost.fixed_ms,
+            cost.dominant_ms,
+            observed_ms,
+        );
+        self.metrics
+            .lock()
+            .record_query(cost.kind, est_ms, observed_ms, rows, io);
+    }
+
     // --- The four classic PTQ entry points --------------------------------
     //
     // Each is sugar for a PtqQuery through plan() → execute(): the

@@ -1,0 +1,829 @@
+//! Sharded scatter-gather PTQ: one logical table over N session shards.
+//!
+//! [`ShardedDb`] partitions a logical uncertain table across N
+//! independent [`UncertainDb`] sessions by tuple id (see
+//! [`upi::ShardLayout`]). Each shard is a complete vertical slice — its
+//! own `Store` (SimDisk + buffer pool), WAL, statistics, and
+//! self-calibrating cost model — so planning is **per shard**: the same
+//! logical query may run a cutoff merge on one shard and a plain heap
+//! run on another, priced by each shard's own observed scales.
+//!
+//! Execution is scatter-gather. Top-k point queries take the fast path:
+//! every shard whose chosen plan streams in confidence order
+//! (`UpiHeap`, `FracturedProbe`) is opened as a raw cursor, and a
+//! `ShardMerge` loop interleaves all shards' heads through one shared
+//! [`TopKWatermark`](upi::TopKWatermark). The k-th best confidence seen
+//! *anywhere* becomes every cursor's pull watermark, so a shard whose
+//! best remaining confidence falls below the global k-th stops its
+//! source I/O early — cold shards pay O(1) pages instead of O(run).
+//! Shards whose chosen plan is not confidence-ordered fall back to a
+//! full per-shard execution and join the merge as a pre-sorted batch;
+//! every other query shape scatters whole queries and gathers
+//! (re-sorts, re-aggregates, truncates) at the facade.
+//!
+//! Observability keeps the partition identity: the facade runs the
+//! whole query under **one** attribution id with a window on every
+//! shard's pool, so the per-shard attributed device windows sum to
+//! exactly the query's total device time, each shard's
+//! `(estimated, observed)` pair feeds *that shard's* calibration store,
+//! and the merged trace carries one child span per shard.
+
+use upi::{PtqResult, RecoveryInfo, ShardLayout, TableLayout, TopKWatermark};
+use upi_storage::error::Result as StorageResult;
+use upi_storage::{IoStats, Lsn, PoolCounters, QueryId, Store};
+use upi_uncertain::{Field, Schema, Tuple, TupleId};
+
+use crate::error::QueryError;
+use crate::exec::QueryOutput;
+use crate::obs::{QueryTrace, TraceSpan};
+use crate::plan::{AccessPath, PhysicalPlan};
+use crate::query::{Predicate, PtqQuery};
+use crate::session::UncertainDb;
+
+/// Component-wise sum of two attributed device windows.
+fn add_stats(a: IoStats, b: &IoStats) -> IoStats {
+    IoStats {
+        page_reads: a.page_reads + b.page_reads,
+        page_writes: a.page_writes + b.page_writes,
+        seeks: a.seeks + b.seeks,
+        bytes_read: a.bytes_read + b.bytes_read,
+        bytes_written: a.bytes_written + b.bytes_written,
+        file_opens: a.file_opens + b.file_opens,
+        seek_ms: a.seek_ms + b.seek_ms,
+        read_ms: a.read_ms + b.read_ms,
+        write_ms: a.write_ms + b.write_ms,
+        init_ms: a.init_ms + b.init_ms,
+    }
+}
+
+/// Component-wise sum of two pool-counter deltas.
+fn add_counters(a: PoolCounters, b: &PoolCounters) -> PoolCounters {
+    PoolCounters {
+        hits: a.hits + b.hits,
+        misses: a.misses + b.misses,
+        evictions: a.evictions + b.evictions,
+        readahead: a.readahead + b.readahead,
+        readahead_hits: a.readahead_hits + b.readahead_hits,
+        hinted_runs: a.hinted_runs + b.hinted_runs,
+        flush_errors: a.flush_errors + b.flush_errors,
+        flush_retries: a.flush_retries + b.flush_retries,
+        readahead_wasted: a.readahead_wasted + b.readahead_wasted,
+    }
+}
+
+/// `(confidence desc, tuple id asc)` — the canonical result order every
+/// cursor streams in; the merge picks the head that sorts first.
+fn beats(a: &PtqResult, b: &PtqResult) -> bool {
+    a.confidence > b.confidence || (a.confidence == b.confidence && a.tuple.id < b.tuple.id)
+}
+
+/// One shard's contribution to the scatter-gather merge.
+enum ShardCursor<'a> {
+    /// Confidence-ordered UPI point merge (heap run + lazy cutoff).
+    Upi(upi::PointRun<'a>),
+    /// Confidence-ordered fractured point merge; the global watermark is
+    /// pushed in through
+    /// [`raise_conf_floor`](upi::FracturedPointRun::raise_conf_floor).
+    Frac(upi::FracturedPointRun<'a>),
+    /// Pre-executed fallback shard (chosen plan was not
+    /// confidence-ordered): rows already sorted canonically.
+    Batch(std::vec::IntoIter<PtqResult>),
+}
+
+impl ShardCursor<'_> {
+    /// Next row at/above `floor` (confidence ties survive; the watermark
+    /// only ever rises, which is what the underlying cursors require).
+    fn next_above(&mut self, floor: f64) -> Result<Option<PtqResult>, QueryError> {
+        match self {
+            ShardCursor::Upi(run) => match run.next_where(floor, &|_| true) {
+                Some(Ok(r)) => Ok(Some(r)),
+                Some(Err(e)) => Err(e.into()),
+                None => Ok(None),
+            },
+            ShardCursor::Frac(run) => {
+                run.raise_conf_floor(floor);
+                match run.next() {
+                    Some(Ok(r)) => Ok(Some(r)),
+                    Some(Err(e)) => Err(e.into()),
+                    None => Ok(None),
+                }
+            }
+            // Exact rows, already paid for — the floor saves no I/O here
+            // and dropping sub-floor rows would be wrong when fewer than
+            // k rows exist globally.
+            ShardCursor::Batch(it) => Ok(it.next()),
+        }
+    }
+}
+
+/// A sharded planner-first session: one logical uncertain table
+/// partitioned by tuple id across N [`UncertainDb`] shards (see the
+/// module docs for the execution model).
+pub struct ShardedDb {
+    shards: Vec<UncertainDb>,
+    layout: ShardLayout,
+    next_id: u64,
+}
+
+impl ShardedDb {
+    /// Create one empty shard per store. Shard `i` lives in `stores[i]`
+    /// under the name `{name}.s{i}` with the same schema and physical
+    /// layout; `layout` routes tuple ids to shards.
+    pub fn create(
+        stores: Vec<Store>,
+        name: &str,
+        schema: Schema,
+        primary_attr: usize,
+        table_layout: TableLayout,
+        layout: ShardLayout,
+    ) -> StorageResult<ShardedDb> {
+        assert_eq!(
+            stores.len(),
+            layout.n_shards(),
+            "one store per shard required"
+        );
+        assert!(!stores.is_empty(), "at least one shard required");
+        let shards = stores
+            .into_iter()
+            .enumerate()
+            .map(|(i, store)| {
+                UncertainDb::create(
+                    store,
+                    &format!("{name}.s{i}"),
+                    schema.clone(),
+                    primary_attr,
+                    table_layout.clone(),
+                )
+            })
+            .collect::<StorageResult<Vec<_>>>()?;
+        Ok(ShardedDb {
+            shards,
+            layout,
+            next_id: 0,
+        })
+    }
+
+    /// Adopt the shards of a core [`upi::ShardedTable`] into a sharded
+    /// session (each shard gets its own fresh calibration and metrics).
+    pub fn from_sharded_table(table: upi::ShardedTable) -> ShardedDb {
+        let (shards, layout, next_id) = table.into_parts();
+        ShardedDb {
+            shards: shards.into_iter().map(UncertainDb::from_table).collect(),
+            layout,
+            next_id,
+        }
+    }
+
+    /// The id-routing layout.
+    pub fn layout(&self) -> &ShardLayout {
+        &self.layout
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard sessions (per-shard metrics, cost models, tables).
+    pub fn shards(&self) -> &[UncertainDb] {
+        &self.shards
+    }
+
+    /// One shard session, mutably (per-shard maintenance).
+    pub fn shard_mut(&mut self, i: usize) -> &mut UncertainDb {
+        &mut self.shards[i]
+    }
+
+    fn primary_attr(&self) -> usize {
+        self.shards[0].table().primary_attr()
+    }
+
+    // --- DML / maintenance (routed) ---------------------------------------
+
+    /// Attach the same secondary index to every shard; returns the index
+    /// position (identical on all shards).
+    pub fn add_secondary(&mut self, attr: usize) -> StorageResult<usize> {
+        let mut idx = 0;
+        for s in &mut self.shards {
+            idx = s.add_secondary(attr)?;
+        }
+        Ok(idx)
+    }
+
+    /// Bulk-load tuples, partitioned by the layout's id routing.
+    pub fn load(&mut self, tuples: &[Tuple]) -> StorageResult<()> {
+        let mut parts: Vec<Vec<Tuple>> = vec![Vec::new(); self.shards.len()];
+        for t in tuples {
+            parts[self.layout.route(t.id.0)].push(t.clone());
+            self.next_id = self.next_id.max(t.id.0 + 1);
+        }
+        for (s, part) in self.shards.iter_mut().zip(&parts) {
+            s.load(part)?;
+        }
+        Ok(())
+    }
+
+    /// Insert a row: the facade assigns the next global tuple id and
+    /// routes the tuple to its shard.
+    pub fn insert(&mut self, exist: f64, fields: Vec<Field>) -> StorageResult<TupleId> {
+        let id = TupleId(self.next_id);
+        self.next_id += 1;
+        let t = Tuple::new(id, exist, fields);
+        self.shards[self.layout.route(id.0)].insert_tuple(&t)?;
+        Ok(id)
+    }
+
+    /// Insert a fully-formed tuple (caller manages ids).
+    pub fn insert_tuple(&mut self, t: &Tuple) -> StorageResult<()> {
+        self.next_id = self.next_id.max(t.id.0 + 1);
+        self.shards[self.layout.route(t.id.0)].insert_tuple(t)
+    }
+
+    /// Delete a tuple from its shard.
+    pub fn delete(&mut self, t: &Tuple) -> StorageResult<()> {
+        self.shards[self.layout.route(t.id.0)].delete(t)
+    }
+
+    /// Replace `old` with `new` (same tuple id, hence same shard).
+    pub fn update(&mut self, old: &Tuple, new: &Tuple) -> StorageResult<()> {
+        assert_eq!(old.id, new.id, "update must keep the tuple id");
+        self.shards[self.layout.route(old.id.0)].update(old, new)
+    }
+
+    /// Flush every shard's insert buffer (fractured layout only).
+    pub fn flush(&mut self) -> StorageResult<()> {
+        for s in &mut self.shards {
+            s.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Merge every shard's fractures (fractured layout only).
+    pub fn merge(&mut self) -> StorageResult<()> {
+        for s in &mut self.shards {
+            s.merge()?;
+        }
+        Ok(())
+    }
+
+    // --- Durability (per shard) -------------------------------------------
+
+    /// Attach a WAL to every shard (each shard checkpoints its own
+    /// calibration payload). Returns one LSN per shard.
+    pub fn enable_durability(&mut self) -> StorageResult<Vec<Lsn>> {
+        self.shards
+            .iter_mut()
+            .map(|s| s.enable_durability())
+            .collect()
+    }
+
+    /// Checkpoint every shard.
+    pub fn checkpoint(&mut self) -> StorageResult<Vec<Lsn>> {
+        self.shards.iter_mut().map(|s| s.checkpoint()).collect()
+    }
+
+    /// Force every shard's WAL group-commit buffer durable.
+    pub fn sync_wal(&mut self) -> StorageResult<Vec<Lsn>> {
+        self.shards.iter_mut().map(|s| s.sync_wal()).collect()
+    }
+
+    /// Recover every shard (`{name}.s{i}` from `stores[i]`) and
+    /// reassemble the facade. The next insert id resumes past the
+    /// largest recovered tuple id.
+    pub fn recover(
+        stores: Vec<Store>,
+        name: &str,
+        layout: ShardLayout,
+    ) -> StorageResult<(ShardedDb, Vec<RecoveryInfo>)> {
+        assert_eq!(stores.len(), layout.n_shards());
+        let mut shards = Vec::with_capacity(stores.len());
+        let mut infos = Vec::with_capacity(stores.len());
+        let mut next_id = 0;
+        for (i, store) in stores.into_iter().enumerate() {
+            let (db, info) = UncertainDb::recover(store, &format!("{name}.s{i}"))?;
+            for t in db.table().live_tuples()? {
+                next_id = next_id.max(t.id.0 + 1);
+            }
+            shards.push(db);
+            infos.push(info);
+        }
+        Ok((
+            ShardedDb {
+                shards,
+                layout,
+                next_id,
+            },
+            infos,
+        ))
+    }
+
+    /// All live tuples across shards, ascending by tuple id.
+    pub fn live_tuples(&self) -> StorageResult<Vec<Tuple>> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            out.extend(s.table().live_tuples()?);
+        }
+        out.sort_by_key(|t| t.id);
+        Ok(out)
+    }
+
+    /// Refit every shard's cost model from its own observed samples.
+    pub fn recalibrate(&self) -> Vec<Vec<crate::cost::RefitOutcome>> {
+        self.shards.iter().map(|s| s.recalibrate()).collect()
+    }
+
+    // --- Queries -----------------------------------------------------------
+
+    /// Plan and execute a query across all shards (see the module docs
+    /// for the two execution modes). Output is byte-identical to the
+    /// same query on an unsharded table holding the union of the
+    /// shards' tuples.
+    pub fn query(&self, q: &PtqQuery) -> Result<QueryOutput, QueryError> {
+        match (&q.predicate, q.top_k) {
+            (Predicate::Eq { attr, value }, Some(k))
+                if *attr == self.primary_attr()
+                    && q.group_count.is_none()
+                    && q.projection.is_none()
+                    && k > 0 =>
+            {
+                self.scatter_topk(q, *value, k)
+            }
+            _ => self.scatter_whole(q),
+        }
+    }
+
+    /// Point PTQ on the primary attribute.
+    pub fn ptq(&self, value: u64, qt: f64) -> Result<Vec<PtqResult>, QueryError> {
+        Ok(self
+            .query(&PtqQuery::eq(self.primary_attr(), value).with_qt(qt))?
+            .rows)
+    }
+
+    /// Range PTQ on the primary attribute (inclusive bounds).
+    pub fn ptq_range(&self, lo: u64, hi: u64, qt: f64) -> Result<Vec<PtqResult>, QueryError> {
+        Ok(self
+            .query(&PtqQuery::range(self.primary_attr(), lo, hi).with_qt(qt))?
+            .rows)
+    }
+
+    /// PTQ through secondary index `idx` (scattered to every shard's
+    /// own planner: one shard may go tailored, another plain).
+    pub fn ptq_secondary(
+        &self,
+        idx: usize,
+        value: u64,
+        qt: f64,
+    ) -> Result<Vec<PtqResult>, QueryError> {
+        let sec_attrs = self.shards[0].table().sec_attrs();
+        assert!(
+            idx < sec_attrs.len(),
+            "secondary index {idx} out of range ({} attached)",
+            sec_attrs.len()
+        );
+        Ok(self
+            .query(&PtqQuery::eq(sec_attrs[idx], value).with_qt(qt))?
+            .rows)
+    }
+
+    /// Top-k most confident rows for a primary value — the scatter-
+    /// gather fast path with the shared watermark.
+    pub fn top_k(&self, value: u64, k: usize) -> Result<Vec<PtqResult>, QueryError> {
+        Ok(self
+            .query(&PtqQuery::eq(self.primary_attr(), value).with_top_k(k))?
+            .rows)
+    }
+
+    // --- Scatter-gather execution -----------------------------------------
+
+    /// The fast path: per-shard plans, confidence-ordered cursors, one
+    /// shared top-k watermark (module docs). Wraps the inner body so
+    /// attribution slots are drained even on error.
+    fn scatter_topk(&self, q: &PtqQuery, value: u64, k: usize) -> Result<QueryOutput, QueryError> {
+        let qid = QueryId::next();
+        let result = self.scatter_topk_inner(q, value, k, qid);
+        if result.is_err() {
+            for s in &self.shards {
+                s.table().store().pool.take_attributed(qid);
+            }
+        }
+        result
+    }
+
+    fn scatter_topk_inner(
+        &self,
+        q: &PtqQuery,
+        value: u64,
+        k: usize,
+        qid: QueryId,
+    ) -> Result<QueryOutput, QueryError> {
+        let n = self.shards.len();
+        let pools: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.table().store().pool.as_ref())
+            .collect();
+        let before: Vec<PoolCounters> = pools.iter().map(|p| p.counters()).collect();
+        // One attribution window per shard pool, all under the same
+        // query id: each shard's device slot observes exactly this
+        // query's I/O on that shard. Guards share one thread-local
+        // stack; every entry is `qid`, so drop order is irrelevant.
+        let _guards: Vec<_> = pools.iter().map(|p| p.attributed(qid)).collect();
+
+        // Scatter: plan each shard with its own catalog and cost model;
+        // open a confidence-ordered cursor where the chosen path
+        // supports it, execute-and-buffer otherwise.
+        let mut plans: Vec<PhysicalPlan> = Vec::with_capacity(n);
+        let mut cursors: Vec<ShardCursor<'_>> = Vec::with_capacity(n);
+        let mut fallback_devices: Vec<Option<IoStats>> = vec![None; n];
+        for (i, s) in self.shards.iter().enumerate() {
+            let catalog = s.catalog().with_query_id(qid);
+            let plan = q.plan(&catalog)?;
+            let cursor = match plan.candidates[0].path {
+                AccessPath::UpiHeap { .. } => {
+                    for &hint in &plan.candidates[0].hints {
+                        pools[i].hint_run(hint);
+                    }
+                    let upi = s.table().as_upi().expect("UpiHeap plan on non-UPI shard");
+                    match upi.point_run(value, q.qt, Some(k)) {
+                        Ok(run) => ShardCursor::Upi(run),
+                        Err(e) => {
+                            for hint in &plan.candidates[0].hints {
+                                pools[i].clear_hint(hint.start_page);
+                            }
+                            return Err(e.into());
+                        }
+                    }
+                }
+                AccessPath::FracturedProbe => {
+                    for &hint in &plan.candidates[0].hints {
+                        pools[i].hint_run(hint);
+                    }
+                    let f = s
+                        .table()
+                        .as_fractured()
+                        .expect("FracturedProbe plan on non-fractured shard");
+                    match f.ptq_run(value, q.qt, Some(k)) {
+                        Ok(run) => ShardCursor::Frac(run),
+                        Err(e) => {
+                            for hint in &plan.candidates[0].hints {
+                                pools[i].clear_hint(hint.start_page);
+                            }
+                            return Err(e.into());
+                        }
+                    }
+                }
+                // Not confidence-ordered (e.g. a full scan won on a tiny
+                // shard): execute the whole shard query — it pushes its
+                // own inner attribution window, records its own
+                // calibration sample — and merge its exact rows.
+                _ => {
+                    let out = s.query(q)?;
+                    fallback_devices[i] = out.device;
+                    ShardCursor::Batch(out.rows.into_iter())
+                }
+            };
+            plans.push(plan);
+            cursors.push(cursor);
+        }
+
+        // Gather: k-way merge under one shared watermark. Every row
+        // *seen* (not just emitted) tightens the floor, and the floor is
+        // pushed into every subsequent pull, so a shard whose best
+        // remaining confidence is below the global k-th stops reading.
+        let mut wm = TopKWatermark::new(k);
+        let mut heads: Vec<Option<PtqResult>> = Vec::with_capacity(n);
+        for c in &mut cursors {
+            let h = c.next_above(wm.floor())?;
+            if let Some(r) = &h {
+                wm.note(r.confidence);
+            }
+            heads.push(h);
+        }
+        let mut rows: Vec<PtqResult> = Vec::with_capacity(k);
+        let mut emitted = vec![0u64; n];
+        while rows.len() < k {
+            let Some(best) = heads
+                .iter()
+                .enumerate()
+                .filter_map(|(i, h)| h.as_ref().map(|_| i))
+                .reduce(|a, b| {
+                    if beats(heads[b].as_ref().unwrap(), heads[a].as_ref().unwrap()) {
+                        b
+                    } else {
+                        a
+                    }
+                })
+            else {
+                break; // all shards exhausted before k rows
+            };
+            rows.push(heads[best].take().unwrap());
+            emitted[best] += 1;
+            let h = cursors[best].next_above(wm.floor())?;
+            if let Some(r) = &h {
+                wm.note(r.confidence);
+            }
+            heads[best] = h;
+        }
+        drop(cursors);
+        drop(_guards);
+
+        // Attribute, observe, and assemble: per-shard windows feed each
+        // shard's calibration; their sum is the query's device view.
+        let mut io = PoolCounters::default();
+        let mut device = IoStats::default();
+        let mut degraded = None;
+        let mut spans = vec![TraceSpan::label_only(format!("ShardMerge(k={k})"), 0)];
+        for (i, s) in self.shards.iter().enumerate() {
+            let attributed = pools[i].take_attributed(qid);
+            let shard_io = pools[i].counters().since(&before[i]);
+            let shard_device = match &fallback_devices[i] {
+                // Fallback shards attributed their execution to their own
+                // inner window; the outer slot holds only plan-time I/O.
+                Some(d) => add_stats(attributed, d),
+                None => {
+                    s.note_external_execution(
+                        &plans[i].candidates[0].cost,
+                        plans[i].est_ms(),
+                        attributed.total_ms(),
+                        emitted[i],
+                        Some(&shard_io),
+                    );
+                    attributed
+                }
+            };
+            let mut span = TraceSpan::label_only(
+                format!("shard{i}: {}", plans[i].candidates[0].path.label()),
+                1,
+            );
+            span.stats = Some(upi::CursorStats {
+                rows: emitted[i],
+                ..Default::default()
+            });
+            span.demand_pages = Some(shard_io.demand_pages());
+            span.prefetch_pages = Some(shard_io.sequential_pages());
+            span.device_ms = Some(shard_device.total_ms());
+            span.est_ms = Some(plans[i].est_ms());
+            spans.push(span);
+            io = add_counters(io, &shard_io);
+            device = add_stats(device, &shard_device);
+            if degraded.is_none() {
+                degraded = pools[i].degraded();
+            }
+        }
+        spans[0].device_ms = Some(device.total_ms());
+        spans[0].end_ms = device.total_ms();
+        spans[0].stats = Some(upi::CursorStats {
+            rows: rows.len() as u64,
+            ..Default::default()
+        });
+        Ok(QueryOutput {
+            rows,
+            groups: None,
+            io: Some(io),
+            device: Some(device),
+            trace: Some(QueryTrace {
+                query_id: qid.0,
+                path: format!("ShardMerge({n} shards)"),
+                spans,
+            }),
+            degraded,
+        })
+    }
+
+    /// The general path: scatter the whole query to every shard, gather
+    /// by re-sorting (and re-aggregating / truncating) the shard
+    /// outputs. Tuple-id partitioning makes the union exact — no row
+    /// can appear on two shards, and per-group counts add.
+    fn scatter_whole(&self, q: &PtqQuery) -> Result<QueryOutput, QueryError> {
+        let outs = self
+            .shards
+            .iter()
+            .map(|s| s.query(q))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut rows: Vec<PtqResult> = Vec::new();
+        let mut groups: Option<std::collections::BTreeMap<u64, u64>> = None;
+        let mut io = PoolCounters::default();
+        let mut device = IoStats::default();
+        let mut degraded = None;
+        let n = outs.len();
+        let mut spans = vec![TraceSpan::label_only(
+            format!("ShardScatter({n} shards)"),
+            0,
+        )];
+        for (i, out) in outs.into_iter().enumerate() {
+            let mut span = TraceSpan::label_only(
+                format!(
+                    "shard{i}: {}",
+                    out.trace.as_ref().map(|t| t.path.as_str()).unwrap_or("?")
+                ),
+                1,
+            );
+            if let Some(io_i) = &out.io {
+                io = add_counters(io, io_i);
+                span.demand_pages = Some(io_i.demand_pages());
+                span.prefetch_pages = Some(io_i.sequential_pages());
+            }
+            if let Some(d) = &out.device {
+                device = add_stats(device, d);
+                span.device_ms = Some(d.total_ms());
+            }
+            if degraded.is_none() {
+                degraded = out.degraded;
+            }
+            if let Some(g) = out.groups {
+                let acc = groups.get_or_insert_with(Default::default);
+                for (key, count) in g {
+                    *acc.entry(key).or_insert(0) += count;
+                }
+            }
+            span.stats = Some(upi::CursorStats {
+                rows: out.rows.len() as u64,
+                ..Default::default()
+            });
+            rows.extend(out.rows);
+            spans.push(span);
+        }
+        upi::sort_results(&mut rows);
+        if let Some(k) = q.top_k {
+            rows.truncate(k);
+        }
+        spans[0].stats = Some(upi::CursorStats {
+            rows: rows.len() as u64,
+            ..Default::default()
+        });
+        spans[0].device_ms = Some(device.total_ms());
+        spans[0].end_ms = device.total_ms();
+        Ok(QueryOutput {
+            rows,
+            groups: groups.map(|g| g.into_iter().collect()),
+            io: Some(io),
+            device: Some(device),
+            trace: Some(QueryTrace {
+                query_id: 0,
+                path: format!("ShardScatter({n} shards)"),
+                spans,
+            }),
+            degraded,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use upi::{FracturedConfig, UpiConfig};
+    use upi_storage::{DiskConfig, SimDisk};
+    use upi_uncertain::{Datum, DiscretePmf, FieldKind};
+
+    fn stores(n: usize) -> Vec<Store> {
+        (0..n)
+            .map(|_| Store::new(Arc::new(SimDisk::new(DiskConfig::default())), 8 << 20))
+            .collect()
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("name", FieldKind::Str),
+            ("institution", FieldKind::Discrete),
+            ("country", FieldKind::Discrete),
+            ("region", FieldKind::U64),
+        ])
+    }
+
+    fn row(inst: u64, p: f64, country: u64) -> Vec<Field> {
+        vec![
+            Field::Certain(Datum::Str("x".into())),
+            Field::Discrete(DiscretePmf::new(vec![
+                (inst, p),
+                (inst + 100, (1.0 - p) * 0.5),
+            ])),
+            Field::Discrete(DiscretePmf::new(vec![(country, 1.0)])),
+            Field::Certain(Datum::U64(country)),
+        ]
+    }
+
+    /// Build the same logical table sharded and unsharded. Both are
+    /// flushed at the end: a row still in a fractured insert buffer
+    /// carries its *exact* confidence while flushed rows carry the
+    /// quantized one, and auto-flush boundaries legitimately differ
+    /// between one table and N shards — flushing puts every tuple in
+    /// the quantized state so answers compare byte-for-byte.
+    fn filled(n_shards: usize, table_layout: TableLayout, rows_n: u64) -> (ShardedDb, UncertainDb) {
+        let mut sharded = ShardedDb::create(
+            stores(n_shards),
+            "t",
+            schema(),
+            1,
+            table_layout.clone(),
+            ShardLayout::HashTid(n_shards),
+        )
+        .unwrap();
+        let mut single =
+            UncertainDb::create(stores(1).remove(0), "t", schema(), 1, table_layout).unwrap();
+        if single.table().as_fractured().is_none() {
+            sharded.add_secondary(2).unwrap();
+            single.add_secondary(2).unwrap();
+        }
+        for i in 0..rows_n {
+            let f = row(i % 7, 0.35 + (i % 6) as f64 * 0.1, i % 3);
+            sharded.insert(0.9, f.clone()).unwrap();
+            single.insert(0.9, f).unwrap();
+        }
+        sharded.flush().unwrap();
+        single.flush().unwrap();
+        (sharded, single)
+    }
+
+    fn fingerprint(rows: &[PtqResult]) -> Vec<(u64, u64)> {
+        rows.iter()
+            .map(|r| (r.tuple.id.0, r.confidence.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn all_query_shapes_match_the_unsharded_answer() {
+        for layout in [
+            TableLayout::Upi(UpiConfig::default()),
+            TableLayout::Unclustered,
+            TableLayout::FracturedUpi(FracturedConfig {
+                upi: UpiConfig::default(),
+                buffer_ops: 40,
+            }),
+        ] {
+            let (sharded, single) = filled(3, layout, 180);
+            for qt in [0.0, 0.3, 0.6] {
+                assert_eq!(
+                    fingerprint(&sharded.ptq(3, qt).unwrap()),
+                    fingerprint(&single.ptq(3, qt).unwrap())
+                );
+            }
+            assert_eq!(
+                fingerprint(&sharded.ptq_range(1, 5, 0.3).unwrap()),
+                fingerprint(&single.ptq_range(1, 5, 0.3).unwrap())
+            );
+            for k in [1, 4, 17, 500] {
+                assert_eq!(
+                    fingerprint(&sharded.top_k(3, k).unwrap()),
+                    fingerprint(&single.top_k(3, k).unwrap()),
+                    "top-{k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn secondary_and_grouped_queries_match() {
+        let (sharded, single) = filled(4, TableLayout::Upi(UpiConfig::default()), 160);
+        assert_eq!(
+            fingerprint(&sharded.ptq_secondary(0, 1, 0.4).unwrap()),
+            fingerprint(&single.ptq_secondary(0, 1, 0.4).unwrap())
+        );
+        let q = PtqQuery::eq(1, 3).with_qt(0.2).with_group_count(3);
+        assert_eq!(
+            sharded.query(&q).unwrap().groups,
+            single.query(&q).unwrap().groups
+        );
+    }
+
+    #[test]
+    fn top_k_attribution_and_trace_cover_every_shard() {
+        let (sharded, _) = filled(3, TableLayout::Upi(UpiConfig::default()), 150);
+        let out = sharded.query(&PtqQuery::eq(1, 3).with_top_k(5)).unwrap();
+        assert_eq!(out.rows.len(), 5);
+        let trace = out.trace.unwrap();
+        assert!(trace.path.starts_with("ShardMerge"));
+        assert_eq!(trace.spans.len(), 1 + 3, "root + one span per shard");
+        // Σ per-shard device windows = the reported total.
+        let total: f64 = trace.spans[1..].iter().map(|s| s.device_ms.unwrap()).sum();
+        assert!((total - out.device.unwrap().total_ms()).abs() < 1e-9);
+        // The fast path fed each shard's own metrics registry (the
+        // calibration store may drop the sample as warm-cache, but the
+        // registry records every observation).
+        for s in sharded.shards() {
+            assert_eq!(s.metrics().queries, 1);
+        }
+    }
+
+    #[test]
+    fn dml_routes_and_recovers_per_shard() {
+        let mut sharded = ShardedDb::create(
+            stores(2),
+            "d",
+            schema(),
+            1,
+            TableLayout::Upi(UpiConfig::default()),
+            ShardLayout::RangeTid(vec![50]),
+        )
+        .unwrap();
+        for i in 0..80u64 {
+            sharded.insert(0.9, row(i % 5, 0.6, i % 2)).unwrap();
+        }
+        let all = sharded.live_tuples().unwrap();
+        assert_eq!(all.len(), 80);
+        let victim = all[10].clone();
+        sharded.delete(&victim).unwrap();
+        assert_eq!(sharded.live_tuples().unwrap().len(), 79);
+        assert_eq!(sharded.shards()[0].table().live_tuples().unwrap().len(), 49);
+    }
+}

@@ -15,8 +15,8 @@
 
 use std::sync::Arc;
 
-use upi::{TableLayout, UpiConfig};
-use upi_query::{PtqQuery, UncertainDb};
+use upi::{ShardLayout, TableLayout, UpiConfig};
+use upi_query::{PtqQuery, ShardedDb, UncertainDb};
 use upi_storage::{DiskConfig, QueryId, SimDisk, Store};
 use upi_uncertain::{Datum, DiscretePmf, Field, FieldKind, Schema};
 
@@ -203,6 +203,109 @@ fn concurrent_queries_on_one_pool_partition_the_device_clock() {
     for t in &totals {
         assert!(*t >= 0.0 && *t <= delta.total_ms() + 1e-6);
     }
+}
+
+/// Sharded scatter-gather level: one logical table partitioned across
+/// three stores, each with its own simulated device clock, raced by two
+/// session threads mixing the watermark-bounded top-k fast path with
+/// full scatter PTQs. Every `QueryOutput.device` window is the sum of
+/// that query's per-shard attributed slots, so across the whole racing
+/// phase **Σ per-query windows = Σ per-shard store-wide deltas** — the
+/// partition identity survives the scatter-gather fan-out.
+#[test]
+fn racing_sharded_queries_partition_every_shard_clock() {
+    let schema = Schema::new(vec![
+        ("pad", FieldKind::Str),
+        ("value", FieldKind::Discrete),
+    ]);
+    let mut db = ShardedDb::create(
+        (0..3).map(|_| store()).collect(),
+        "attrib_sh",
+        schema,
+        ATTR,
+        TableLayout::Upi(UpiConfig::default()),
+        ShardLayout::HashTid(3),
+    )
+    .unwrap();
+    let tuples: Vec<upi_uncertain::Tuple> = (0..12_000u64)
+        .map(|i| {
+            let p = 0.55 + (i % 400) as f64 / 1000.0;
+            upi_uncertain::Tuple::new(
+                upi_uncertain::TupleId(i),
+                1.0,
+                vec![
+                    Field::Certain(Datum::Str(format!("pad-{i}-{}", "x".repeat(256)))),
+                    Field::Discrete(DiscretePmf::new(vec![(i % 5, p)])),
+                ],
+            )
+        })
+        .collect();
+    db.load(&tuples).unwrap();
+
+    let stores: Vec<Store> = db
+        .shards()
+        .iter()
+        .map(|s| s.table().store().clone())
+        .collect();
+    for st in &stores {
+        st.go_cold();
+    }
+
+    let before: Vec<_> = stores.iter().map(|st| st.disk.stats()).collect();
+    let totals: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2u64)
+            .map(|t| {
+                let db = &db;
+                scope.spawn(move || {
+                    let mut sum = 0.0;
+                    for round in 0..3u64 {
+                        // The shared-watermark top-k fast path...
+                        let topk = db
+                            .query(
+                                &PtqQuery::eq(ATTR, (2 * round + t) % 5)
+                                    .with_qt(0.56)
+                                    .with_top_k(5),
+                            )
+                            .unwrap();
+                        // ...racing a full scatter over every shard.
+                        let full = db
+                            .query(&PtqQuery::eq(ATTR, (2 * round + t + 1) % 5).with_qt(0.56))
+                            .unwrap();
+                        for out in [&topk, &full] {
+                            let dev = out.device.expect("scatter attributes device time");
+                            // As in the single-pool race, a zero window
+                            // is legitimate (the rival's read-ahead may
+                            // serve a whole shard from RAM).
+                            sum += dev.total_ms();
+                        }
+                    }
+                    sum
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let deltas: Vec<_> = stores
+        .iter()
+        .zip(&before)
+        .map(|(st, b)| st.disk.stats().since(b))
+        .collect();
+    let delta_sum: f64 = deltas.iter().map(|d| d.total_ms()).sum();
+    let delta_pages: u64 = deltas.iter().map(|d| d.page_reads).sum();
+    assert!(delta_pages > 0, "the racing phase must do real I/O");
+    for d in &deltas {
+        assert!(
+            d.page_reads > 0,
+            "every shard must be touched by the scatter phase"
+        );
+    }
+    let sum: f64 = totals.iter().sum();
+    assert!(
+        (sum - delta_sum).abs() < 1e-6,
+        "across two racing sessions and three shard clocks the attributed \
+         windows must partition the combined store delta: {sum} vs {delta_sum}"
+    );
 }
 
 /// Satellite: trace timestamps come from the per-query attributed device
