@@ -16,14 +16,27 @@
 //!    N stores, each shard's share fits its own pool and the second
 //!    pass runs from RAM. Total demand pages over the workload must be
 //!    **strictly lower at 4 shards than at 1** — the acceptance gate.
+//! 3. **Parallel scatter latency** — shard workers run concurrently on
+//!    independent devices, so a query's latency is the *max* of its
+//!    per-shard attributed windows while calibration keeps seeing the
+//!    *sum*. Over the workload, Σ max (`parallel_ms`) must undercut
+//!    Σ sum (`device_ms`, the serial-drain cost) by ≥ 40% at 4 shards.
+//! 4. **Pruned cold shards** — on a skewed range layout whose last
+//!    shard holds only low-confidence rows, the per-shard `ShardStats`
+//!    bounds let every scatter skip *opening* it: the pruned shard's
+//!    device sees zero page reads while the answers stay byte-equal to
+//!    an exhaustive scatter. Checked at every scale (routing is
+//!    deterministic).
 //!
 //! Emits `BENCH_shard.json` (override the path with
 //! `UPI_BENCH_SHARD_JSON`): per shard count, demand pages per pass,
-//! prefetched pages, simulated device milliseconds, and the cold
-//! top-k-vs-full-run page counts.
+//! prefetched pages, simulated device milliseconds (serial sum and
+//! parallel max-composed), the cold top-k-vs-full-run page counts, and
+//! the skewed-workload pruning record.
 //!
-//! Gates are enforced at `UPI_BENCH_SCALE` ≥ 0.5 (at smoke scales the
-//! table fits every pool and the curve flattens by design).
+//! Page/latency gates are enforced at `UPI_BENCH_SCALE` ≥ 0.5 (at smoke
+//! scales the table fits every pool and the curve flattens by design);
+//! the pruning gate is enforced at every scale.
 
 use std::sync::Arc;
 
@@ -49,8 +62,18 @@ struct Series {
     pass2_pages: u64,
     prefetch_pages: u64,
     device_ms: f64,
+    parallel_ms: f64,
     cold_topk_pages: u64,
     full_run_pages: u64,
+}
+
+/// The skewed-workload pruning record: 4 range shards, the last holding
+/// only low-confidence rows, every primary value queried once.
+struct Skew {
+    queries: u64,
+    shards_skipped: u64,
+    pruned_shard_pages: u64,
+    answers_match: bool,
 }
 
 fn rows(n: usize) -> Vec<Tuple> {
@@ -159,12 +182,16 @@ fn run_series(tuples: &[Tuple], n_shards: usize, buffer_ops: usize) -> Series {
     let before = disk_stats(&db);
     let mut pass_pages = [0u64; 2];
     let mut prefetch_pages = 0u64;
+    let mut parallel_ms = 0.0f64;
     for (pass, pages) in pass_pages.iter_mut().enumerate() {
         for v in 0..VALUES {
             let out = db.query(&topk(v)).unwrap();
             let io = out.io.as_ref().expect("scatter reports io");
             *pages += io.misses;
             prefetch_pages += io.readahead;
+            // Workers drain shards concurrently: the query's wall-clock
+            // cost is the max per-shard window, not their sum.
+            parallel_ms += out.latency_ms.expect("scatter reports parallel latency");
             assert_eq!(
                 out.rows.len(),
                 K,
@@ -181,12 +208,100 @@ fn run_series(tuples: &[Tuple], n_shards: usize, buffer_ops: usize) -> Series {
         pass2_pages: pass_pages[1],
         prefetch_pages,
         device_ms,
+        parallel_ms,
         cold_topk_pages,
         full_run_pages,
     }
 }
 
-fn write_json(series: &[Series], gate_enforced: bool) {
+/// Skewed pruning experiment, always at 4 shards: range layout whose
+/// last shard stores only confidences ≤ ~0.3, so its `ShardStats`
+/// bounds sit strictly below the workload's `qt = 0.5` and every
+/// scatter skips opening it. Routing and bounds are deterministic, so
+/// this holds at any scale.
+fn run_skew(n_rows: usize) -> Skew {
+    let quarter = (n_rows / 4).max(1) as u64;
+    let layout = ShardLayout::RangeTid(vec![quarter, 2 * quarter, 3 * quarter]);
+    let stores: Vec<Store> = (0..4)
+        .map(|_| Store::new(Arc::new(SimDisk::new(DiskConfig::default())), POOL_BYTES))
+        .collect();
+    let schema = Schema::new(vec![
+        ("pad", FieldKind::Str),
+        ("value", FieldKind::Discrete),
+    ]);
+    let mut db = ShardedDb::create(
+        stores,
+        "shard_skew",
+        schema,
+        1,
+        TableLayout::Upi(UpiConfig::default()),
+        layout,
+    )
+    .unwrap();
+    let tuples: Vec<Tuple> = (0..n_rows as u64)
+        .map(|i| {
+            let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40;
+            // The last quarter of the id range — shard 3 — holds only
+            // low-confidence alternatives; the rest mirror `rows()`.
+            let p = if i >= 3 * quarter {
+                0.05 + (h % 2500) as f64 / 10_000.0
+            } else {
+                0.50 + (h % 4500) as f64 / 10_000.0
+            };
+            Tuple::new(
+                TupleId(i),
+                1.0,
+                vec![
+                    Field::Certain(Datum::Str(format!("pad-{i}-{}", "x".repeat(224)))),
+                    Field::Discrete(DiscretePmf::new(vec![(i % VALUES, p)])),
+                ],
+            )
+        })
+        .collect();
+    db.load(&tuples).unwrap();
+    assert!(
+        db.stats()[3].max_conf() < 0.5,
+        "the skewed shard's bound must sit below qt"
+    );
+
+    let topk = |v: u64| PtqQuery::eq(1, v).with_qt(0.5).with_top_k(K);
+    let fp = |out: &upi_query::QueryOutput| -> Vec<(u64, u64)> {
+        out.rows
+            .iter()
+            .map(|r| (r.tuple.id.0, r.confidence.to_bits()))
+            .collect()
+    };
+
+    // Exhaustive baseline first, then the pruned run from cold.
+    db.set_pruning(false);
+    go_cold(&db);
+    let baseline: Vec<_> = (0..VALUES)
+        .map(|v| fp(&db.query(&topk(v)).unwrap()))
+        .collect();
+
+    db.set_pruning(true);
+    go_cold(&db);
+    let skipped_before = db.shards_skipped();
+    let cold_before = db.shards()[3].table().store().disk.stats();
+    let mut answers_match = true;
+    for v in 0..VALUES {
+        answers_match &= fp(&db.query(&topk(v)).unwrap()) == baseline[v as usize];
+    }
+    Skew {
+        queries: VALUES,
+        shards_skipped: db.shards_skipped() - skipped_before,
+        pruned_shard_pages: db.shards()[3]
+            .table()
+            .store()
+            .disk
+            .stats()
+            .since(&cold_before)
+            .page_reads,
+        answers_match,
+    }
+}
+
+fn write_json(series: &[Series], skew: &Skew, gate_enforced: bool) {
     let json_path = std::env::var("UPI_BENCH_SHARD_JSON").unwrap_or_else(|_| {
         std::env::var("CARGO_MANIFEST_DIR")
             .map(|d| format!("{d}/../../BENCH_shard.json"))
@@ -199,7 +314,9 @@ fn write_json(series: &[Series], gate_enforced: bool) {
         json.push_str(&format!(
             "    {{\"shards\": {}, \"components\": {}, \"demand_pages\": {}, \
              \"pass1_pages\": {}, \"pass2_pages\": {}, \"prefetch_pages\": {}, \
-             \"device_ms\": {:.1}, \"cold_topk_pages\": {}, \"full_run_pages\": {}}}{}\n",
+             \"device_ms\": {:.1}, \"parallel_ms\": {:.1}, \
+             \"parallel_vs_serial\": {:.4}, \
+             \"cold_topk_pages\": {}, \"full_run_pages\": {}}}{}\n",
             s.shards,
             s.components,
             s.pass1_pages + s.pass2_pages,
@@ -207,6 +324,8 @@ fn write_json(series: &[Series], gate_enforced: bool) {
             s.pass2_pages,
             s.prefetch_pages,
             s.device_ms,
+            s.parallel_ms,
+            s.parallel_ms / s.device_ms.max(1e-9),
             s.cold_topk_pages,
             s.full_run_pages,
             if i + 1 < series.len() { "," } else { "" }
@@ -215,10 +334,16 @@ fn write_json(series: &[Series], gate_enforced: bool) {
     json.push_str("  ],\n");
     let pages = |s: &Series| s.pass1_pages + s.pass2_pages;
     json.push_str(&format!(
+        "  \"skew\": {{\"shards\": 4, \"queries\": {}, \"shards_skipped\": {}, \
+         \"pruned_shard_pages\": {}, \"answers_match\": {}}},\n",
+        skew.queries, skew.shards_skipped, skew.pruned_shard_pages, skew.answers_match,
+    ));
+    json.push_str(&format!(
         "  \"summary\": {{\"scale\": {}, \"gate_enforced\": {}, \
          \"pages_4_shards\": {}, \"pages_1_shard\": {}, \
          \"four_shards_fewer_pages\": {}, \
          \"device_ms_4_vs_1\": {:.4}, \
+         \"parallel_vs_serial_4_shards\": {:.4}, \
          \"worst_cold_topk_vs_full_run\": {:.4}}}\n",
         scale(),
         gate_enforced,
@@ -226,6 +351,7 @@ fn write_json(series: &[Series], gate_enforced: bool) {
         pages(one),
         pages(four) < pages(one),
         four.device_ms / one.device_ms.max(1e-9),
+        four.parallel_ms / four.device_ms.max(1e-9),
         series
             .iter()
             .map(|s| s.cold_topk_pages as f64 / (s.full_run_pages as f64).max(1.0))
@@ -240,7 +366,7 @@ fn main() {
     banner(
         "shard_scaling",
         "scatter-gather top-k over N partitioned stores",
-        "demand pages and simulated device-ms vs shard count; 4 shards < 1 shard",
+        "demand pages, serial vs parallel device-ms, and pruned cold shards",
     );
     let s = scale();
     let n_rows = ((80_000.0 * s) as usize).max(2_000);
@@ -258,6 +384,7 @@ fn main() {
         "demand_pages",
         "prefetch",
         "device_ms",
+        "parallel_ms",
         "cold_topk",
         "full_run",
     ]);
@@ -265,7 +392,7 @@ fn main() {
     for n in [1usize, 2, 4, 8] {
         let rec = run_series(&tuples, n, buffer_ops);
         println!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{:.1}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{:.1}\t{:.1}\t{}\t{}",
             rec.shards,
             rec.components,
             rec.pass1_pages,
@@ -273,6 +400,7 @@ fn main() {
             rec.pass1_pages + rec.pass2_pages,
             rec.prefetch_pages,
             rec.device_ms,
+            rec.parallel_ms,
             rec.cold_topk_pages,
             rec.full_run_pages
         );
@@ -288,6 +416,34 @@ fn main() {
         "device_ms_4_vs_1",
         format!("{:.3}", four.device_ms / one.device_ms.max(1e-9)),
     );
+    summary(
+        "parallel_vs_serial_4_shards",
+        format!("{:.3}", four.parallel_ms / four.device_ms.max(1e-9)),
+    );
+
+    // The pruning record is deterministic (static bounds, fixed
+    // routing): gate it at every scale, smoke runs included.
+    let skew = run_skew(n_rows);
+    summary("skew_shards_skipped", skew.shards_skipped);
+    summary("skew_pruned_shard_pages", skew.pruned_shard_pages);
+    assert!(
+        skew.shards_skipped > 0,
+        "the skewed workload must skip the cold shard at least once"
+    );
+    assert!(
+        skew.shards_skipped >= skew.queries,
+        "every skewed query must statically skip the cold shard          ({} skips over {} queries)",
+        skew.shards_skipped,
+        skew.queries
+    );
+    assert_eq!(
+        skew.pruned_shard_pages, 0,
+        "the pruned shard must never be opened"
+    );
+    assert!(
+        skew.answers_match,
+        "pruned scatters must stay byte-equal to exhaustive ones"
+    );
 
     let gate_enforced = s >= 0.5;
     if gate_enforced {
@@ -297,6 +453,12 @@ fn main() {
              total demand pages than 1 shard ({} vs {})",
             pages(four),
             pages(one)
+        );
+        assert!(
+            four.parallel_ms <= 0.6 * four.device_ms,
+            "acceptance gate: at 4 shards the parallel scatter latency              (max-composed, {:.1} ms) must be ≤ 0.6x the serial drain              ({:.1} ms)",
+            four.parallel_ms,
+            four.device_ms
         );
         for rec in &series {
             assert!(
@@ -308,9 +470,15 @@ fn main() {
                 rec.full_run_pages
             );
         }
-        summary("gate", "PASS (4 shards strictly fewer demand pages)");
+        summary(
+            "gate",
+            "PASS (fewer pages and ≤ 0.6x serial latency at 4 shards)",
+        );
     } else {
-        summary("gate", format!("skipped at scale {s} (< 0.5)"));
+        summary(
+            "gate",
+            format!("page/latency gates skipped at scale {s} (< 0.5)"),
+        );
     }
-    write_json(&series, gate_enforced);
+    write_json(&series, &skew, gate_enforced);
 }

@@ -69,7 +69,7 @@ pub use fractured::{
 pub use heap::{HeapScanRun, UnclusteredHeap};
 pub use pii::{Pii, PiiRun};
 pub use secondary::{PointerHistogram, SecEntry, SecScanRun, SecondaryIndex};
-pub use shard::{ShardLayout, ShardedTable};
+pub use shard::{ShardLayout, ShardStats, ShardedTable};
 pub use table::{TableLayout, UncertainTable};
 pub use tuning::{CutoffChoice, TuningAdvisor, WorkloadProfile};
 pub use upi::{DiscreteUpi, DistinctScan, HeapRun, PointRun, RangeRun, SecondaryRun, UpiConfig};

@@ -15,6 +15,7 @@
 //! ([`crate::fractured::TopKWatermark`]) so cold shards stop their
 //! source I/O early.
 
+use upi_storage::codec::{dequantize_prob, quantize_prob};
 use upi_storage::error::Result;
 use upi_storage::{Lsn, Store};
 use upi_uncertain::{Field, Schema, Tuple, TupleId};
@@ -56,6 +57,95 @@ impl ShardLayout {
     }
 }
 
+/// Buckets in the per-value max-confidence sketch: small enough to sit
+/// in RAM per shard (2 KB), wide enough that a handful of hot values
+/// rarely collide.
+const SKETCH_BUCKETS: usize = 256;
+
+/// Per-shard pruning statistics: the maximum confidence any alternative
+/// on the shard could reach, overall and per hashed primary value.
+///
+/// Both are **sound upper bounds**, never exact: every insert/load/update
+/// raises them, deletes and updates never lower them (rebuilding from
+/// live tuples is the only tightening operation). A scatter-gather query
+/// may therefore skip *opening* a shard whose bound is **strictly**
+/// below the confidence it still needs — qualifying rows have
+/// `confidence >= qt`, so a bound equal to the threshold must still be
+/// visited. Bounds are rounded up to the storage quantization grid
+/// ([`quantize_prob`] rounds to nearest, so a flushed row's stored
+/// confidence can exceed the exact in-buffer one).
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    max_conf: f64,
+    sketch: [f64; SKETCH_BUCKETS],
+}
+
+impl Default for ShardStats {
+    fn default() -> ShardStats {
+        ShardStats {
+            max_conf: 0.0,
+            sketch: [0.0; SKETCH_BUCKETS],
+        }
+    }
+}
+
+impl ShardStats {
+    /// Empty statistics (bound 0 everywhere: a fresh shard can be
+    /// skipped by any query with `qt > 0`).
+    pub fn new() -> ShardStats {
+        ShardStats::default()
+    }
+
+    fn bucket(value: u64) -> usize {
+        // Same fibonacci-hash family as ShardLayout::HashTid, taking the
+        // top 8 bits.
+        (value.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as usize % SKETCH_BUCKETS
+    }
+
+    /// Raise the bounds for one `(value, confidence)` alternative.
+    pub fn note(&mut self, value: u64, conf: f64) {
+        // A stored confidence is quantized to-nearest and may round UP:
+        // bound the quantized form too, or a flushed row could beat the
+        // sketch by half a quantum and a sound-looking skip would drop it.
+        let conf = conf.max(dequantize_prob(quantize_prob(conf)));
+        if conf > self.max_conf {
+            self.max_conf = conf;
+        }
+        let b = Self::bucket(value);
+        if conf > self.sketch[b] {
+            self.sketch[b] = conf;
+        }
+    }
+
+    /// Raise the bounds for every alternative of `t`'s attribute `attr`.
+    /// Non-discrete or out-of-range attributes saturate every bound to
+    /// 1.0 — no pruning rather than unsound pruning.
+    pub fn note_tuple(&mut self, attr: usize, t: &Tuple) {
+        match t.fields.get(attr) {
+            Some(Field::Discrete(pmf)) => {
+                for &(v, p) in pmf.alternatives() {
+                    self.note(v, t.exist * p);
+                }
+            }
+            _ => {
+                self.max_conf = 1.0;
+                self.sketch = [1.0; SKETCH_BUCKETS];
+            }
+        }
+    }
+
+    /// Upper bound on the confidence any row with primary value `value`
+    /// on this shard can reach.
+    pub fn bound(&self, value: u64) -> f64 {
+        self.sketch[Self::bucket(value)]
+    }
+
+    /// Upper bound on any confidence on this shard, regardless of value.
+    pub fn max_conf(&self) -> f64 {
+        self.max_conf
+    }
+}
+
 /// One logical uncertain table partitioned across N shard tables (see
 /// the module docs). Construction-and-maintenance facade: DML routes by
 /// tuple id, structural operations fan out to every shard.
@@ -63,6 +153,7 @@ pub struct ShardedTable {
     shards: Vec<UncertainTable>,
     layout: ShardLayout,
     next_id: u64,
+    stats: Vec<ShardStats>,
 }
 
 impl ShardedTable {
@@ -98,10 +189,12 @@ impl ShardedTable {
                 )
             })
             .collect::<Result<Vec<_>>>()?;
+        let stats = vec![ShardStats::new(); layout.n_shards()];
         Ok(ShardedTable {
             shards,
             layout,
             next_id: 0,
+            stats,
         })
     }
 
@@ -125,10 +218,20 @@ impl ShardedTable {
         &mut self.shards[i]
     }
 
+    fn primary_attr(&self) -> usize {
+        self.shards[0].primary_attr()
+    }
+
+    /// Per-shard pruning statistics, in shard order.
+    pub fn stats(&self) -> &[ShardStats] {
+        &self.stats
+    }
+
     /// Release the shard tables (the query layer adopts each into its
-    /// own session), plus the routing layout and the id horizon.
-    pub fn into_parts(self) -> (Vec<UncertainTable>, ShardLayout, u64) {
-        (self.shards, self.layout, self.next_id)
+    /// own session), plus the routing layout, the id horizon, and the
+    /// per-shard pruning statistics.
+    pub fn into_parts(self) -> (Vec<UncertainTable>, ShardLayout, u64, Vec<ShardStats>) {
+        (self.shards, self.layout, self.next_id, self.stats)
     }
 
     /// Attach a secondary index on `attr` to every shard. The returned
@@ -145,10 +248,13 @@ impl ShardedTable {
     /// Bulk-load tuples: partition by routed shard, one bulk load per
     /// shard (ids must be ascending, as for [`UncertainTable::load`]).
     pub fn load(&mut self, tuples: &[Tuple]) -> Result<()> {
+        let attr = self.primary_attr();
         let mut per_shard: Vec<Vec<Tuple>> = vec![Vec::new(); self.shards.len()];
         for t in tuples {
             self.next_id = self.next_id.max(t.id.0 + 1);
-            per_shard[self.layout.route(t.id.0)].push(t.clone());
+            let shard = self.layout.route(t.id.0);
+            self.stats[shard].note_tuple(attr, t);
+            per_shard[shard].push(t.clone());
         }
         for (s, batch) in self.shards.iter_mut().zip(&per_shard) {
             if !batch.is_empty() {
@@ -171,7 +277,10 @@ impl ShardedTable {
     /// shard.
     pub fn insert_tuple(&mut self, t: &Tuple) -> Result<()> {
         self.next_id = self.next_id.max(t.id.0 + 1);
-        self.shards[self.layout.route(t.id.0)].insert_tuple(t)
+        let attr = self.primary_attr();
+        let shard = self.layout.route(t.id.0);
+        self.stats[shard].note_tuple(attr, t);
+        self.shards[shard].insert_tuple(t)
     }
 
     /// Delete a tuple from its shard.
@@ -190,7 +299,12 @@ impl ShardedTable {
             "an update must stay on its shard (same tuple id)"
         );
         self.next_id = self.next_id.max(new.id.0 + 1);
-        self.shards[self.layout.route(old.id.0)].update(old, new)
+        let attr = self.primary_attr();
+        let shard = self.layout.route(old.id.0);
+        // Bounds are raise-only: the replaced row's alternatives stay in
+        // the sketch as slack, never as unsoundness.
+        self.stats[shard].note_tuple(attr, new);
+        self.shards[shard].update(old, new)
     }
 
     /// Flush buffered changes on every shard (fractured layout only).
@@ -357,6 +471,56 @@ mod tests {
             assert_eq!(shard_counts.iter().sum::<usize>(), 59);
             assert!(shard_counts.iter().all(|&n| n > 0), "{shard_counts:?}");
         }
+    }
+
+    #[test]
+    fn shard_stats_bound_rows_and_round_up_to_the_quantization_grid() {
+        let mut st = ShardStats::new();
+        assert_eq!(st.bound(7), 0.0);
+        let t = Tuple::new(TupleId(0), 0.9, row(7, 0.61, 1));
+        st.note_tuple(1, &t);
+        // Every alternative is bounded: 7 at 0.9*0.61, 107 at the rest.
+        assert!(st.bound(7) >= 0.9 * 0.61);
+        assert!(st.bound(107) >= 0.9 * (1.0 - 0.61) * 0.5);
+        assert!(st.max_conf() >= 0.9 * 0.61);
+        // The bound also covers the quantized (stored) confidence, which
+        // rounds to nearest and may exceed the exact one.
+        let q = dequantize_prob(quantize_prob(0.9 * 0.61));
+        assert!(st.bound(7) >= q);
+        // Raise-only: noting a weaker row never lowers a bound.
+        let before = st.bound(7);
+        st.note_tuple(1, &Tuple::new(TupleId(1), 0.1, row(7, 0.2, 1)));
+        assert!(st.bound(7) >= before);
+        // Non-discrete primary attribute: saturate, never prune.
+        let mut s2 = ShardStats::new();
+        s2.note_tuple(0, &t);
+        assert_eq!(s2.bound(12345), 1.0);
+        assert_eq!(s2.max_conf(), 1.0);
+    }
+
+    #[test]
+    fn sharded_table_maintains_per_shard_stats() {
+        let mut t = ShardedTable::create(
+            stores(2),
+            "st",
+            schema(),
+            1,
+            TableLayout::Upi(UpiConfig::default()),
+            ShardLayout::RangeTid(vec![10]),
+        )
+        .unwrap();
+        t.load(&[Tuple::new(TupleId(1), 1.0, row(3, 0.8, 0))])
+            .unwrap();
+        t.insert_tuple(&Tuple::new(TupleId(20), 1.0, row(4, 0.9, 0)))
+            .unwrap();
+        // Shard 0 saw only value 3; shard 1 only value 4.
+        assert!(t.stats()[0].bound(3) >= 0.8);
+        assert!(t.stats()[0].bound(4) < 0.5);
+        assert!(t.stats()[1].bound(4) >= 0.9);
+        assert!(t.stats()[1].bound(3) < 0.5);
+        let (_, _, next_id, stats) = t.into_parts();
+        assert_eq!(next_id, 21);
+        assert_eq!(stats.len(), 2);
     }
 
     #[test]

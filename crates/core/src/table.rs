@@ -581,6 +581,15 @@ impl UncertainTable {
         &self.store
     }
 
+    /// The id this table would assign to its next [`insert`](Self::insert)
+    /// — one past the largest id ever inserted, loaded, or recovered.
+    /// Sharded facades re-seed their **global** id sequence from the max
+    /// of this across shards, which (unlike scanning live tuples) still
+    /// covers ids whose rows have since been deleted.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
     /// Direct access to the underlying UPI, when the layout has one
     /// (for cost models and statistics).
     ///

@@ -55,6 +55,13 @@ pub struct QueryOutput {
     /// observed side of cost-model calibration: the same quantity the
     /// benchmarks call "measured runtime", per query.
     pub device: Option<IoStats>,
+    /// Wall-clock-shaped latency of this query in simulated device
+    /// milliseconds. On a single store this equals `device.total_ms()`;
+    /// on a sharded scatter it is the **max** over the per-shard
+    /// attributed windows — shards run on independent devices in
+    /// parallel, so the slowest shard bounds the query while `device`
+    /// keeps the per-device **sum** for calibration and attribution.
+    pub latency_ms: Option<f64>,
     /// The executed span tree: per-operator rows / decodes / suppressed /
     /// pointer fetches, plus attributed pages and device ms on the source
     /// root. Always populated by `execute` (instrumentation is always
@@ -1195,6 +1202,7 @@ pub(crate) fn execute(
             groups: Some(groups),
             io,
             device,
+            latency_ms: None,
             trace: Some(trace),
             degraded: None,
         });
@@ -1216,6 +1224,7 @@ pub(crate) fn execute(
         groups: None,
         io,
         device,
+        latency_ms: None,
         trace: Some(trace),
         degraded: None,
     })

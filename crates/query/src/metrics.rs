@@ -111,6 +111,9 @@ pub struct MetricsRegistry {
     flush_error_queries: u64,
     /// Completed `recalibrate()` passes.
     refits: u64,
+    /// Scatter-gather queries that skipped this shard via its pruning
+    /// statistics (no plan, no cursor, zero pages).
+    shards_skipped: u64,
     /// Latest calibration scale per kind (gauge).
     scales: [f64; N_PATH_KINDS],
     /// Latest WAL counters of the session's table (gauge: the WAL keeps
@@ -167,6 +170,12 @@ impl MetricsRegistry {
         }
     }
 
+    /// Record that a scatter-gather query pruned this shard: its
+    /// statistics proved no qualifying row, so the shard was never opened.
+    pub fn record_shard_skip(&mut self) {
+        self.shards_skipped += 1;
+    }
+
     /// Record a completed calibration refit and the resulting scales.
     pub fn record_refit(&mut self, scales: [f64; N_PATH_KINDS]) {
         self.refits += 1;
@@ -219,6 +228,7 @@ impl MetricsRegistry {
             flush_retries: io.flush_retries,
             flush_error_queries: self.flush_error_queries,
             refits: self.refits,
+            shards_skipped: self.shards_skipped,
             misest_p50: self.misest.quantile(0.50),
             misest_p95: self.misest.quantile(0.95),
             wal_records: self.wal.records,
@@ -280,6 +290,8 @@ pub struct MetricsSnapshot {
     pub flush_error_queries: u64,
     /// Completed calibration refits.
     pub refits: u64,
+    /// Times a scatter-gather query pruned this shard without opening it.
+    pub shards_skipped: u64,
     /// Median `observed/estimated` ms ratio (1.0 = perfectly priced).
     pub misest_p50: f64,
     /// 95th percentile misestimation ratio.
@@ -346,6 +358,7 @@ impl MetricsSnapshot {
             self.flush_error_queries
         ));
         s.push_str(&format!("  \"refits\": {},\n", self.refits));
+        s.push_str(&format!("  \"shards_skipped\": {},\n", self.shards_skipped));
         s.push_str(&format!(
             "  \"misest_p50\": {},\n",
             json_f64(self.misest_p50)
@@ -387,6 +400,12 @@ impl MetricsSnapshot {
             "misestimation ratio p50={:.3} p95={:.3}\n",
             self.misest_p50, self.misest_p95
         ));
+        if self.shards_skipped > 0 {
+            s.push_str(&format!(
+                "shards skipped by pruning={}\n",
+                self.shards_skipped
+            ));
+        }
         if self.wal_records > 0 || self.recoveries > 0 {
             s.push_str(&format!(
                 "wal records={} batches={} mean-batch={:.1} retries={} flush-retries={} recoveries={} faults-survived={}\n",

@@ -328,8 +328,10 @@ impl UncertainDb {
         let attributed = store.pool.take_attributed(qid);
         let (plan, mut out) = result?;
         // The calibration window covers plan + execute, so the per-query
-        // device view the session reports is the same quantity.
+        // device view the session reports is the same quantity. One
+        // store means one device: latency and device time coincide.
         out.device = Some(attributed);
+        out.latency_ms = Some(attributed.total_ms());
         // Surface degraded (read-only) mode on the output so
         // `flush_warning` / `explain_analyze` can distinguish it from a
         // transient, retried fault.
@@ -464,6 +466,13 @@ impl UncertainDb {
         self.metrics
             .lock()
             .record_query(cost.kind, est_ms, observed_ms, rows, io);
+    }
+
+    /// Record that a scatter-gather query skipped this shard outright:
+    /// its pruning statistics proved no row could qualify, so neither a
+    /// plan nor a cursor was opened and no calibration sample exists.
+    pub(crate) fn note_shard_skip(&self) {
+        self.metrics.lock().record_shard_skip();
     }
 
     // --- The four classic PTQ entry points --------------------------------

@@ -8,29 +8,50 @@
 //! logical query may run a cutoff merge on one shard and a plain heap
 //! run on another, priced by each shard's own observed scales.
 //!
-//! Execution is scatter-gather. Top-k point queries take the fast path:
-//! every shard whose chosen plan streams in confidence order
-//! (`UpiHeap`, `FracturedProbe`) is opened as a raw cursor, and a
-//! `ShardMerge` loop interleaves all shards' heads through one shared
-//! [`TopKWatermark`](upi::TopKWatermark). The k-th best confidence seen
-//! *anywhere* becomes every cursor's pull watermark, so a shard whose
-//! best remaining confidence falls below the global k-th stops its
-//! source I/O early — cold shards pay O(1) pages instead of O(run).
-//! Shards whose chosen plan is not confidence-ordered fall back to a
-//! full per-shard execution and join the merge as a pre-sorted batch;
-//! every other query shape scatters whole queries and gathers
+//! Execution is scatter-gather and **genuinely parallel**: every shard
+//! runs its plan-and-drain on its own worker thread
+//! (`std::thread::scope`), against its own simulated device. Top-k
+//! point queries take the fast path: every shard whose chosen plan
+//! streams in confidence order (`UpiHeap`, `FracturedProbe`) is opened
+//! as a raw cursor, and all workers share one
+//! [`TopKWatermark`](upi::TopKWatermark) behind a lock. The k-th best
+//! confidence seen *anywhere* becomes every cursor's pull watermark, so
+//! a shard whose best remaining confidence falls below the global k-th
+//! stops its source I/O early — even when the floor was raised by a
+//! faster shard mid-drain. Shards whose chosen plan is not
+//! confidence-ordered (or names a path this shard's layout cannot
+//! serve — see [`ShardedDb::from_shards`]) fall back to a full
+//! per-shard execution and join the merge as a pre-sorted batch; every
+//! other query shape scatters whole queries in parallel and gathers
 //! (re-sorts, re-aggregates, truncates) at the facade.
 //!
+//! **Pruning.** The facade maintains one [`upi::ShardStats`] per shard —
+//! a raise-only max-confidence sketch per primary value — so an
+//! `Eq`-on-primary scatter skips *opening* shards whose bound is
+//! strictly below the confidence still needed (`qt`, or the current
+//! watermark floor): no plan, no descent, zero pages. Skips are counted
+//! on the facade ([`shards_skipped`](ShardedDb::shards_skipped)) and on
+//! each skipped shard's metrics registry, and can be disabled with
+//! [`set_pruning`](ShardedDb::set_pruning).
+//!
 //! Observability keeps the partition identity: the facade runs the
-//! whole query under **one** attribution id with a window on every
-//! shard's pool, so the per-shard attributed device windows sum to
-//! exactly the query's total device time, each shard's
-//! `(estimated, observed)` pair feeds *that shard's* calibration store,
-//! and the merged trace carries one child span per shard.
+//! whole query under **one** attribution id; the attribution stack is
+//! thread-local, so every worker re-pins its shard's window on its own
+//! thread. The per-shard attributed device windows still sum to exactly
+//! the query's total device time (`QueryOutput::device`), each shard's
+//! `(estimated, observed)` pair feeds *that shard's* calibration store
+//! with its own clock, and the merged trace carries one child span per
+//! shard. Because the devices run concurrently, the query's
+//! wall-clock-shaped latency is the **max** over the shard windows —
+//! reported as `QueryOutput::latency_ms`, with the sum preserved in
+//! `device` for calibration.
 
-use upi::{PtqResult, RecoveryInfo, ShardLayout, TableLayout, TopKWatermark};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use upi::{PtqResult, RecoveryInfo, ShardLayout, ShardStats, TableLayout, TopKWatermark};
 use upi_storage::error::Result as StorageResult;
-use upi_storage::{IoStats, Lsn, PoolCounters, QueryId, Store};
+use upi_storage::{BufferPool, IoStats, Lsn, PoolCounters, QueryId, Store};
 use upi_uncertain::{Field, Schema, Tuple, TupleId};
 
 use crate::error::QueryError;
@@ -71,23 +92,25 @@ fn add_counters(a: PoolCounters, b: &PoolCounters) -> PoolCounters {
     }
 }
 
-/// `(confidence desc, tuple id asc)` — the canonical result order every
-/// cursor streams in; the merge picks the head that sorts first.
-fn beats(a: &PtqResult, b: &PtqResult) -> bool {
-    a.confidence > b.confidence || (a.confidence == b.confidence && a.tuple.id < b.tuple.id)
+/// The gather merge's total, explicit order: confidence descending,
+/// then ascending tuple id, then ascending shard index. Tuple ids are
+/// globally unique (id routing), so the shard key never actually
+/// decides — it exists so the order is *stated* to be total and stable,
+/// and `total_cmp` keeps the comparison panic-free even on NaN.
+fn merge_cmp(a: &(usize, PtqResult), b: &(usize, PtqResult)) -> std::cmp::Ordering {
+    b.1.confidence
+        .total_cmp(&a.1.confidence)
+        .then_with(|| a.1.tuple.id.cmp(&b.1.tuple.id))
+        .then_with(|| a.0.cmp(&b.0))
 }
 
-/// One shard's contribution to the scatter-gather merge.
+/// A confidence-ordered per-shard cursor on the top-k fast path.
 enum ShardCursor<'a> {
-    /// Confidence-ordered UPI point merge (heap run + lazy cutoff).
+    /// Clustered UPI point merge (heap run + lazy cutoff).
     Upi(upi::PointRun<'a>),
-    /// Confidence-ordered fractured point merge; the global watermark is
-    /// pushed in through
+    /// Fractured point merge; the global watermark is pushed in through
     /// [`raise_conf_floor`](upi::FracturedPointRun::raise_conf_floor).
     Frac(upi::FracturedPointRun<'a>),
-    /// Pre-executed fallback shard (chosen plan was not
-    /// confidence-ordered): rows already sorted canonically.
-    Batch(std::vec::IntoIter<PtqResult>),
 }
 
 impl ShardCursor<'_> {
@@ -108,10 +131,116 @@ impl ShardCursor<'_> {
                     None => Ok(None),
                 }
             }
-            // Exact rows, already paid for — the floor saves no I/O here
-            // and dropping sub-floor rows would be wrong when fewer than
-            // k rows exist globally.
-            ShardCursor::Batch(it) => Ok(it.next()),
+        }
+    }
+}
+
+/// The layout a shard actually has, for [`upi::ExecError::LayoutMismatch`].
+fn layout_label(t: &upi::UncertainTable) -> &'static str {
+    if t.as_fractured().is_some() {
+        "fractured UPI"
+    } else if t.unclustered_parts().is_some() {
+        "unclustered heap"
+    } else {
+        "clustered UPI"
+    }
+}
+
+/// Open the confidence-ordered cursor the fast path needs for `path` on
+/// shard `s` — or a **typed** refusal.
+///
+/// `Ok(None)` means the chosen path is simply not confidence-ordered
+/// (secondary, scan, PII …): the caller executes the whole shard query
+/// instead. `Err(LayoutMismatch)` means the plan named a streaming path
+/// this shard's physical layout cannot serve — possible once shards
+/// have heterogeneous layouts ([`ShardedDb::from_shards`]) or a plan
+/// was built against a foreign catalog — and the caller falls back the
+/// same way rather than panicking. Note `UpiHeap` must also *reject* a
+/// fractured shard: `as_upi()` would happily return the main component,
+/// silently dropping buffered and fractured rows from the answer.
+fn open_fast_cursor<'a>(
+    s: &'a UncertainDb,
+    path: &AccessPath,
+    hints: &[upi_storage::AccessHint],
+    pool: &BufferPool,
+    value: u64,
+    qt: f64,
+    k: usize,
+) -> Result<Option<ShardCursor<'a>>, QueryError> {
+    let mismatch = |path: &AccessPath| {
+        QueryError::Exec(upi::ExecError::LayoutMismatch {
+            path: path.label(),
+            layout: layout_label(s.table()).to_string(),
+        })
+    };
+    match path {
+        AccessPath::UpiHeap { .. } => {
+            if s.table().as_fractured().is_some() {
+                return Err(mismatch(path));
+            }
+            let Some(upi) = s.table().as_upi() else {
+                return Err(mismatch(path));
+            };
+            for &hint in hints {
+                pool.hint_run(hint);
+            }
+            match upi.point_run(value, qt, Some(k)) {
+                Ok(run) => Ok(Some(ShardCursor::Upi(run))),
+                Err(e) => {
+                    for hint in hints {
+                        pool.clear_hint(hint.start_page);
+                    }
+                    Err(e.into())
+                }
+            }
+        }
+        AccessPath::FracturedProbe => {
+            let Some(f) = s.table().as_fractured() else {
+                return Err(mismatch(path));
+            };
+            for &hint in hints {
+                pool.hint_run(hint);
+            }
+            match f.ptq_run(value, qt, Some(k)) {
+                Ok(run) => Ok(Some(ShardCursor::Frac(run))),
+                Err(e) => {
+                    for hint in hints {
+                        pool.clear_hint(hint.start_page);
+                    }
+                    Err(e.into())
+                }
+            }
+        }
+        _ => Ok(None),
+    }
+}
+
+/// What one shard worker brings back to the gather (everything here
+/// crosses the thread boundary; cursors and guards never do).
+struct ShardOutcome {
+    /// This shard's qualifying rows, canonically ordered, at most k.
+    rows: Vec<PtqResult>,
+    /// The shard's chosen plan; `None` when the shard was skipped.
+    plan: Option<PhysicalPlan>,
+    /// Span label: the path label, a fallback annotation, or the skip
+    /// reason.
+    label: String,
+    /// Set when the shard executed the whole query itself (its inner
+    /// attribution window is this device view; the outer slot holds only
+    /// plan-time I/O).
+    fallback_device: Option<IoStats>,
+    /// The shard was pruned: no plan, no cursor, zero pages.
+    skipped: bool,
+}
+
+impl ShardOutcome {
+    fn skipped(reason: String) -> ShardOutcome {
+        ShardOutcome {
+            rows: Vec::new(),
+            plan: None,
+            label: reason,
+            fallback_device: None,
+            skipped: true,
         }
     }
 }
@@ -123,6 +252,13 @@ pub struct ShardedDb {
     shards: Vec<UncertainDb>,
     layout: ShardLayout,
     next_id: u64,
+    /// Per-shard pruning bounds, maintained by every DML entry point.
+    stats: Vec<ShardStats>,
+    /// Pruning switch (on by default); tests and benches flip it to
+    /// compare skipped vs. exhaustive scatters.
+    prune: AtomicBool,
+    /// Shard openings avoided by pruning, across all queries.
+    skipped: AtomicU64,
 }
 
 impl ShardedDb {
@@ -156,22 +292,65 @@ impl ShardedDb {
                 )
             })
             .collect::<StorageResult<Vec<_>>>()?;
+        let stats = vec![ShardStats::new(); layout.n_shards()];
         Ok(ShardedDb {
             shards,
             layout,
             next_id: 0,
+            stats,
+            prune: AtomicBool::new(true),
+            skipped: AtomicU64::new(0),
         })
     }
 
     /// Adopt the shards of a core [`upi::ShardedTable`] into a sharded
-    /// session (each shard gets its own fresh calibration and metrics).
+    /// session (each shard gets its own fresh calibration and metrics;
+    /// the table's pruning statistics carry over).
     pub fn from_sharded_table(table: upi::ShardedTable) -> ShardedDb {
-        let (shards, layout, next_id) = table.into_parts();
+        let (shards, layout, next_id, stats) = table.into_parts();
         ShardedDb {
             shards: shards.into_iter().map(UncertainDb::from_table).collect(),
             layout,
             next_id,
+            stats,
+            prune: AtomicBool::new(true),
+            skipped: AtomicU64::new(0),
         }
+    }
+
+    /// Assemble a facade over existing shard sessions — the shards may
+    /// have **heterogeneous physical layouts** (one clustered, one
+    /// fractured, one unclustered …); the fast path falls back per shard
+    /// where a layout cannot stream in confidence order. The id horizon
+    /// is re-seeded from the max over shard id horizons and the pruning
+    /// statistics are rebuilt from live tuples.
+    pub fn from_shards(shards: Vec<UncertainDb>, layout: ShardLayout) -> StorageResult<ShardedDb> {
+        assert_eq!(
+            shards.len(),
+            layout.n_shards(),
+            "one shard session per routing slot required"
+        );
+        assert!(!shards.is_empty(), "at least one shard required");
+        let primary = shards[0].table().primary_attr();
+        assert!(
+            shards.iter().all(|s| s.table().primary_attr() == primary),
+            "shards must agree on the primary attribute"
+        );
+        let next_id = shards
+            .iter()
+            .map(|s| s.table().next_id())
+            .max()
+            .unwrap_or(0);
+        let mut db = ShardedDb {
+            shards,
+            layout,
+            next_id,
+            stats: Vec::new(),
+            prune: AtomicBool::new(true),
+            skipped: AtomicU64::new(0),
+        };
+        db.rebuild_stats()?;
+        Ok(db)
     }
 
     /// The id-routing layout.
@@ -194,6 +373,36 @@ impl ShardedDb {
         &mut self.shards[i]
     }
 
+    /// Per-shard pruning statistics, in shard order.
+    pub fn stats(&self) -> &[ShardStats] {
+        &self.stats
+    }
+
+    /// Enable or disable statistics-based shard pruning (on by default).
+    pub fn set_pruning(&self, on: bool) {
+        self.prune.store(on, Ordering::Relaxed);
+    }
+
+    /// Total shard openings avoided by pruning, across all queries.
+    pub fn shards_skipped(&self) -> u64 {
+        self.skipped.load(Ordering::Relaxed)
+    }
+
+    /// Rebuild every shard's pruning statistics from its live tuples —
+    /// the only *tightening* operation (DML maintenance is raise-only,
+    /// so deletes and down-updates accumulate slack until a rebuild).
+    pub fn rebuild_stats(&mut self) -> StorageResult<()> {
+        let attr = self.primary_attr();
+        let mut stats = vec![ShardStats::new(); self.shards.len()];
+        for (st, s) in stats.iter_mut().zip(&self.shards) {
+            for t in s.table().live_tuples()? {
+                st.note_tuple(attr, &t);
+            }
+        }
+        self.stats = stats;
+        Ok(())
+    }
+
     fn primary_attr(&self) -> usize {
         self.shards[0].table().primary_attr()
     }
@@ -212,9 +421,12 @@ impl ShardedDb {
 
     /// Bulk-load tuples, partitioned by the layout's id routing.
     pub fn load(&mut self, tuples: &[Tuple]) -> StorageResult<()> {
+        let attr = self.primary_attr();
         let mut parts: Vec<Vec<Tuple>> = vec![Vec::new(); self.shards.len()];
         for t in tuples {
-            parts[self.layout.route(t.id.0)].push(t.clone());
+            let shard = self.layout.route(t.id.0);
+            self.stats[shard].note_tuple(attr, t);
+            parts[shard].push(t.clone());
             self.next_id = self.next_id.max(t.id.0 + 1);
         }
         for (s, part) in self.shards.iter_mut().zip(&parts) {
@@ -227,19 +439,23 @@ impl ShardedDb {
     /// routes the tuple to its shard.
     pub fn insert(&mut self, exist: f64, fields: Vec<Field>) -> StorageResult<TupleId> {
         let id = TupleId(self.next_id);
-        self.next_id += 1;
         let t = Tuple::new(id, exist, fields);
-        self.shards[self.layout.route(id.0)].insert_tuple(&t)?;
+        self.insert_tuple(&t)?;
         Ok(id)
     }
 
     /// Insert a fully-formed tuple (caller manages ids).
     pub fn insert_tuple(&mut self, t: &Tuple) -> StorageResult<()> {
         self.next_id = self.next_id.max(t.id.0 + 1);
-        self.shards[self.layout.route(t.id.0)].insert_tuple(t)
+        let attr = self.primary_attr();
+        let shard = self.layout.route(t.id.0);
+        self.stats[shard].note_tuple(attr, t);
+        self.shards[shard].insert_tuple(t)
     }
 
-    /// Delete a tuple from its shard.
+    /// Delete a tuple from its shard. The shard's pruning bounds keep
+    /// the deleted row's confidence as slack (raise-only; see
+    /// [`rebuild_stats`](Self::rebuild_stats)).
     pub fn delete(&mut self, t: &Tuple) -> StorageResult<()> {
         self.shards[self.layout.route(t.id.0)].delete(t)
     }
@@ -247,7 +463,10 @@ impl ShardedDb {
     /// Replace `old` with `new` (same tuple id, hence same shard).
     pub fn update(&mut self, old: &Tuple, new: &Tuple) -> StorageResult<()> {
         assert_eq!(old.id, new.id, "update must keep the tuple id");
-        self.shards[self.layout.route(old.id.0)].update(old, new)
+        let attr = self.primary_attr();
+        let shard = self.layout.route(old.id.0);
+        self.stats[shard].note_tuple(attr, new);
+        self.shards[shard].update(old, new)
     }
 
     /// Flush every shard's insert buffer (fractured layout only).
@@ -288,8 +507,14 @@ impl ShardedDb {
     }
 
     /// Recover every shard (`{name}.s{i}` from `stores[i]`) and
-    /// reassemble the facade. The next insert id resumes past the
-    /// largest recovered tuple id.
+    /// reassemble the facade.
+    ///
+    /// The global id sequence resumes from the **max over shard id
+    /// horizons** (`UncertainTable::next_id`), not from the max live
+    /// tuple id: a recovered shard whose largest-id rows were deleted
+    /// still reserves those ids, and on a hash layout a reused id would
+    /// route back to the same shard and collide with its WAL history.
+    /// Pruning statistics are rebuilt from live tuples.
     pub fn recover(
         stores: Vec<Store>,
         name: &str,
@@ -298,23 +523,26 @@ impl ShardedDb {
         assert_eq!(stores.len(), layout.n_shards());
         let mut shards = Vec::with_capacity(stores.len());
         let mut infos = Vec::with_capacity(stores.len());
-        let mut next_id = 0;
         for (i, store) in stores.into_iter().enumerate() {
             let (db, info) = UncertainDb::recover(store, &format!("{name}.s{i}"))?;
-            for t in db.table().live_tuples()? {
-                next_id = next_id.max(t.id.0 + 1);
-            }
             shards.push(db);
             infos.push(info);
         }
-        Ok((
-            ShardedDb {
-                shards,
-                layout,
-                next_id,
-            },
-            infos,
-        ))
+        let next_id = shards
+            .iter()
+            .map(|s| s.table().next_id())
+            .max()
+            .unwrap_or(0);
+        let mut db = ShardedDb {
+            shards,
+            layout,
+            next_id,
+            stats: Vec::new(),
+            prune: AtomicBool::new(true),
+            skipped: AtomicU64::new(0),
+        };
+        db.rebuild_stats()?;
+        Ok((db, infos))
     }
 
     /// All live tuples across shards, ascending by tuple id.
@@ -423,138 +651,174 @@ impl ShardedDb {
             .map(|s| s.table().store().pool.as_ref())
             .collect();
         let before: Vec<PoolCounters> = pools.iter().map(|p| p.counters()).collect();
-        // One attribution window per shard pool, all under the same
-        // query id: each shard's device slot observes exactly this
-        // query's I/O on that shard. Guards share one thread-local
-        // stack; every entry is `qid`, so drop order is irrelevant.
-        let _guards: Vec<_> = pools.iter().map(|p| p.attributed(qid)).collect();
+        let prune_on = self.prune.load(Ordering::Relaxed);
+        // Static pruning, decided before any worker starts so it is
+        // deterministic: a shard whose per-value bound cannot reach `qt`
+        // holds no qualifying row (qualifying means confidence >= qt, so
+        // only a *strictly* lower bound may skip).
+        let bounds: Vec<f64> = self.stats.iter().map(|st| st.bound(value)).collect();
+        // One shared floor for all workers: the lock is held only for a
+        // note() or floor() read, never across I/O.
+        let wm = Mutex::new(TopKWatermark::new(k));
 
-        // Scatter: plan each shard with its own catalog and cost model;
-        // open a confidence-ordered cursor where the chosen path
-        // supports it, execute-and-buffer otherwise.
-        let mut plans: Vec<PhysicalPlan> = Vec::with_capacity(n);
-        let mut cursors: Vec<ShardCursor<'_>> = Vec::with_capacity(n);
-        let mut fallback_devices: Vec<Option<IoStats>> = vec![None; n];
-        for (i, s) in self.shards.iter().enumerate() {
+        // Scatter: one worker per shard. Only `Send` data crosses the
+        // boundary — plans and rows come back in a `ShardOutcome`;
+        // cursors, catalogs, and attribution guards live and die on the
+        // worker. The attribution stack is thread-local, so each worker
+        // re-pins its shard's window (same `qid`) on its own thread.
+        let run_shard = |i: usize, s: &UncertainDb| -> Result<ShardOutcome, QueryError> {
+            if prune_on && bounds[i] < q.qt {
+                return Ok(ShardOutcome::skipped(format!(
+                    "skipped (bound {:.3} < qt {:.3})",
+                    bounds[i], q.qt
+                )));
+            }
+            let pool = s.table().store().pool.as_ref();
+            let _guard = pool.attributed(qid);
+            // Dynamic pruning: a faster shard may already have raised the
+            // k-th floor above this shard's best possible row.
+            if prune_on {
+                let floor = wm.lock().floor();
+                if bounds[i] < floor {
+                    return Ok(ShardOutcome::skipped(format!(
+                        "skipped (bound {:.3} < floor {:.3})",
+                        bounds[i], floor
+                    )));
+                }
+            }
             let catalog = s.catalog().with_query_id(qid);
             let plan = q.plan(&catalog)?;
-            let cursor = match plan.candidates[0].path {
-                AccessPath::UpiHeap { .. } => {
-                    for &hint in &plan.candidates[0].hints {
-                        pools[i].hint_run(hint);
+            let chosen = &plan.candidates[0];
+            let mut label = chosen.path.label();
+            let cursor =
+                match open_fast_cursor(s, &chosen.path, &chosen.hints, pool, value, q.qt, k) {
+                    Ok(c) => c,
+                    // The plan named a streaming path this shard's layout
+                    // cannot serve: typed and recoverable — run the whole
+                    // shard query instead of panicking.
+                    Err(QueryError::Exec(e @ upi::ExecError::LayoutMismatch { .. })) => {
+                        label = format!("{label} [fallback: {e}]");
+                        None
                     }
-                    let upi = s.table().as_upi().expect("UpiHeap plan on non-UPI shard");
-                    match upi.point_run(value, q.qt, Some(k)) {
-                        Ok(run) => ShardCursor::Upi(run),
-                        Err(e) => {
-                            for hint in &plan.candidates[0].hints {
-                                pools[i].clear_hint(hint.start_page);
+                    Err(e) => return Err(e),
+                };
+            match cursor {
+                Some(mut cur) => {
+                    let mut rows = Vec::with_capacity(k);
+                    loop {
+                        let floor = wm.lock().floor();
+                        match cur.next_above(floor)? {
+                            Some(r) => {
+                                wm.lock().note(r.confidence);
+                                rows.push(r);
+                                if rows.len() >= k {
+                                    break;
+                                }
                             }
-                            return Err(e.into());
+                            None => break,
                         }
                     }
-                }
-                AccessPath::FracturedProbe => {
-                    for &hint in &plan.candidates[0].hints {
-                        pools[i].hint_run(hint);
-                    }
-                    let f = s
-                        .table()
-                        .as_fractured()
-                        .expect("FracturedProbe plan on non-fractured shard");
-                    match f.ptq_run(value, q.qt, Some(k)) {
-                        Ok(run) => ShardCursor::Frac(run),
-                        Err(e) => {
-                            for hint in &plan.candidates[0].hints {
-                                pools[i].clear_hint(hint.start_page);
-                            }
-                            return Err(e.into());
-                        }
-                    }
+                    Ok(ShardOutcome {
+                        rows,
+                        plan: Some(plan),
+                        label,
+                        fallback_device: None,
+                        skipped: false,
+                    })
                 }
                 // Not confidence-ordered (e.g. a full scan won on a tiny
-                // shard): execute the whole shard query — it pushes its
-                // own inner attribution window, records its own
-                // calibration sample — and merge its exact rows.
-                _ => {
+                // shard), or a layout mismatch: execute the whole shard
+                // query — it pushes its own inner attribution window and
+                // records its own calibration sample — and merge its
+                // exact rows (noting them so other shards' floors rise).
+                None => {
                     let out = s.query(q)?;
-                    fallback_devices[i] = out.device;
-                    ShardCursor::Batch(out.rows.into_iter())
+                    {
+                        let mut wm = wm.lock();
+                        for r in &out.rows {
+                            wm.note(r.confidence);
+                        }
+                    }
+                    Ok(ShardOutcome {
+                        rows: out.rows,
+                        plan: Some(plan),
+                        label,
+                        fallback_device: out.device,
+                        skipped: false,
+                    })
                 }
-            };
-            plans.push(plan);
-            cursors.push(cursor);
-        }
-
-        // Gather: k-way merge under one shared watermark. Every row
-        // *seen* (not just emitted) tightens the floor, and the floor is
-        // pushed into every subsequent pull, so a shard whose best
-        // remaining confidence is below the global k-th stops reading.
-        let mut wm = TopKWatermark::new(k);
-        let mut heads: Vec<Option<PtqResult>> = Vec::with_capacity(n);
-        for c in &mut cursors {
-            let h = c.next_above(wm.floor())?;
-            if let Some(r) = &h {
-                wm.note(r.confidence);
             }
-            heads.push(h);
-        }
-        let mut rows: Vec<PtqResult> = Vec::with_capacity(k);
-        let mut emitted = vec![0u64; n];
-        while rows.len() < k {
-            let Some(best) = heads
+        };
+        let results: Vec<Result<ShardOutcome, QueryError>> = std::thread::scope(|scope| {
+            let run_shard = &run_shard;
+            let handles: Vec<_> = self
+                .shards
                 .iter()
                 .enumerate()
-                .filter_map(|(i, h)| h.as_ref().map(|_| i))
-                .reduce(|a, b| {
-                    if beats(heads[b].as_ref().unwrap(), heads[a].as_ref().unwrap()) {
-                        b
-                    } else {
-                        a
-                    }
-                })
-            else {
-                break; // all shards exhausted before k rows
-            };
-            rows.push(heads[best].take().unwrap());
-            emitted[best] += 1;
-            let h = cursors[best].next_above(wm.floor())?;
-            if let Some(r) = &h {
-                wm.note(r.confidence);
-            }
-            heads[best] = h;
+                .map(|(i, s)| scope.spawn(move || run_shard(i, s)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        let mut outcomes = Vec::with_capacity(n);
+        for r in results {
+            outcomes.push(r?);
         }
-        drop(cursors);
-        drop(_guards);
+        for (o, s) in outcomes.iter().zip(&self.shards) {
+            if o.skipped {
+                self.skipped.fetch_add(1, Ordering::Relaxed);
+                s.note_shard_skip();
+            }
+        }
+
+        // Gather: merge the per-shard prefixes under the explicit total
+        // order. Per-shard rows are each canonical already; any row a
+        // worker's floor suppressed is provably outside the global top-k
+        // (k noted-and-collected rows strictly beat it).
+        let mut tagged: Vec<(usize, PtqResult)> = Vec::new();
+        for (i, o) in outcomes.iter_mut().enumerate() {
+            tagged.extend(o.rows.drain(..).map(|r| (i, r)));
+        }
+        tagged.sort_by(merge_cmp);
+        tagged.truncate(k);
+        let mut emitted = vec![0u64; n];
+        let mut rows = Vec::with_capacity(tagged.len());
+        for (i, r) in tagged {
+            emitted[i] += 1;
+            rows.push(r);
+        }
 
         // Attribute, observe, and assemble: per-shard windows feed each
-        // shard's calibration; their sum is the query's device view.
+        // shard's calibration with its own clock; their sum is the
+        // query's device view, their max its parallel latency.
         let mut io = PoolCounters::default();
         let mut device = IoStats::default();
+        let mut latency_ms = 0.0f64;
         let mut degraded = None;
         let mut spans = vec![TraceSpan::label_only(format!("ShardMerge(k={k})"), 0)];
-        for (i, s) in self.shards.iter().enumerate() {
+        for (i, (s, o)) in self.shards.iter().zip(&outcomes).enumerate() {
             let attributed = pools[i].take_attributed(qid);
             let shard_io = pools[i].counters().since(&before[i]);
-            let shard_device = match &fallback_devices[i] {
+            let shard_device = match (&o.fallback_device, &o.plan) {
                 // Fallback shards attributed their execution to their own
                 // inner window; the outer slot holds only plan-time I/O.
-                Some(d) => add_stats(attributed, d),
-                None => {
+                (Some(d), _) => add_stats(attributed, d),
+                (None, Some(plan)) => {
                     s.note_external_execution(
-                        &plans[i].candidates[0].cost,
-                        plans[i].est_ms(),
+                        &plan.candidates[0].cost,
+                        plan.est_ms(),
                         attributed.total_ms(),
                         emitted[i],
                         Some(&shard_io),
                     );
                     attributed
                 }
+                // Skipped: an empty window — the shard was never opened.
+                (None, None) => attributed,
             };
-            let mut span = TraceSpan::label_only(
-                format!("shard{i}: {}", plans[i].candidates[0].path.label()),
-                1,
-            );
+            let mut span = TraceSpan::label_only(format!("shard{i}: {}", o.label), 1);
             span.stats = Some(upi::CursorStats {
                 rows: emitted[i],
                 ..Default::default()
@@ -562,9 +826,12 @@ impl ShardedDb {
             span.demand_pages = Some(shard_io.demand_pages());
             span.prefetch_pages = Some(shard_io.sequential_pages());
             span.device_ms = Some(shard_device.total_ms());
-            span.est_ms = Some(plans[i].est_ms());
+            if let Some(plan) = &o.plan {
+                span.est_ms = Some(plan.est_ms());
+            }
             spans.push(span);
             io = add_counters(io, &shard_io);
+            latency_ms = latency_ms.max(shard_device.total_ms());
             device = add_stats(device, &shard_device);
             if degraded.is_none() {
                 degraded = pools[i].degraded();
@@ -581,6 +848,7 @@ impl ShardedDb {
             groups: None,
             io: Some(io),
             device: Some(device),
+            latency_ms: Some(latency_ms),
             trace: Some(QueryTrace {
                 query_id: qid.0,
                 path: format!("ShardMerge({n} shards)"),
@@ -590,27 +858,75 @@ impl ShardedDb {
         })
     }
 
-    /// The general path: scatter the whole query to every shard, gather
-    /// by re-sorting (and re-aggregating / truncating) the shard
-    /// outputs. Tuple-id partitioning makes the union exact — no row
-    /// can appear on two shards, and per-group counts add.
+    /// The general path: scatter the whole query to every shard **in
+    /// parallel**, gather by re-sorting (and re-aggregating /
+    /// truncating) the shard outputs. Tuple-id partitioning makes the
+    /// union exact — no row can appear on two shards, and per-group
+    /// counts add. `Eq`-on-primary scatters prune with the same
+    /// per-shard bounds as the fast path (a pruned shard's rows would
+    /// all sit below `qt`, contributing neither rows nor group counts).
     fn scatter_whole(&self, q: &PtqQuery) -> Result<QueryOutput, QueryError> {
-        let outs = self
-            .shards
-            .iter()
-            .map(|s| s.query(q))
-            .collect::<Result<Vec<_>, _>>()?;
+        let n = self.shards.len();
+        let skip: Vec<Option<f64>> = match &q.predicate {
+            Predicate::Eq { attr, value }
+                if *attr == self.primary_attr() && self.prune.load(Ordering::Relaxed) =>
+            {
+                self.stats
+                    .iter()
+                    .map(|st| {
+                        let b = st.bound(*value);
+                        (b < q.qt).then_some(b)
+                    })
+                    .collect()
+            }
+            _ => vec![None; n],
+        };
+        let results: Vec<Option<Result<QueryOutput, QueryError>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .zip(&skip)
+                .map(|(s, sk)| {
+                    if sk.is_some() {
+                        None
+                    } else {
+                        Some(scope.spawn(move || s.query(q)))
+                    }
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.map(|h| h.join().expect("shard worker panicked")))
+                .collect()
+        });
         let mut rows: Vec<PtqResult> = Vec::new();
         let mut groups: Option<std::collections::BTreeMap<u64, u64>> = None;
         let mut io = PoolCounters::default();
         let mut device = IoStats::default();
+        let mut latency_ms = 0.0f64;
         let mut degraded = None;
-        let n = outs.len();
         let mut spans = vec![TraceSpan::label_only(
             format!("ShardScatter({n} shards)"),
             0,
         )];
-        for (i, out) in outs.into_iter().enumerate() {
+        for (i, result) in results.into_iter().enumerate() {
+            let Some(result) = result else {
+                self.skipped.fetch_add(1, Ordering::Relaxed);
+                self.shards[i].note_shard_skip();
+                let mut span = TraceSpan::label_only(
+                    format!(
+                        "shard{i}: skipped (bound {:.3} < qt {:.3})",
+                        skip[i].unwrap_or(0.0),
+                        q.qt
+                    ),
+                    1,
+                );
+                span.device_ms = Some(0.0);
+                span.stats = Some(upi::CursorStats::default());
+                spans.push(span);
+                continue;
+            };
+            let out = result?;
             let mut span = TraceSpan::label_only(
                 format!(
                     "shard{i}: {}",
@@ -625,6 +941,7 @@ impl ShardedDb {
             }
             if let Some(d) = &out.device {
                 device = add_stats(device, d);
+                latency_ms = latency_ms.max(d.total_ms());
                 span.device_ms = Some(d.total_ms());
             }
             if degraded.is_none() {
@@ -658,6 +975,7 @@ impl ShardedDb {
             groups: groups.map(|g| g.into_iter().collect()),
             io: Some(io),
             device: Some(device),
+            latency_ms: Some(latency_ms),
             trace: Some(QueryTrace {
                 query_id: 0,
                 path: format!("ShardScatter({n} shards)"),
@@ -789,14 +1107,26 @@ mod tests {
     #[test]
     fn top_k_attribution_and_trace_cover_every_shard() {
         let (sharded, _) = filled(3, TableLayout::Upi(UpiConfig::default()), 150);
+        // Pruning off: this test asserts every shard was *opened* (the
+        // dynamic floor-skip is legitimately timing-dependent).
+        sharded.set_pruning(false);
         let out = sharded.query(&PtqQuery::eq(1, 3).with_top_k(5)).unwrap();
         assert_eq!(out.rows.len(), 5);
         let trace = out.trace.unwrap();
         assert!(trace.path.starts_with("ShardMerge"));
         assert_eq!(trace.spans.len(), 1 + 3, "root + one span per shard");
-        // Σ per-shard device windows = the reported total.
-        let total: f64 = trace.spans[1..].iter().map(|s| s.device_ms.unwrap()).sum();
+        // Σ per-shard device windows = the reported total (the partition
+        // identity survives concurrent workers), and the parallel
+        // latency is the max over the same windows.
+        let children: Vec<f64> = trace.spans[1..]
+            .iter()
+            .map(|s| s.device_ms.unwrap())
+            .collect();
+        let total: f64 = children.iter().sum();
         assert!((total - out.device.unwrap().total_ms()).abs() < 1e-9);
+        let max = children.iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!((max - out.latency_ms.unwrap()).abs() < 1e-9);
+        assert!(out.latency_ms.unwrap() <= total + 1e-9);
         // The fast path fed each shard's own metrics registry (the
         // calibration store may drop the sample as warm-cache, but the
         // registry records every observation).
@@ -825,5 +1155,231 @@ mod tests {
         sharded.delete(&victim).unwrap();
         assert_eq!(sharded.live_tuples().unwrap().len(), 79);
         assert_eq!(sharded.shards()[0].table().live_tuples().unwrap().len(), 49);
+    }
+
+    /// The old fast path `expect()`ed its way onto shards whose layout
+    /// differed from the plan's path. With heterogeneous shards (now
+    /// constructible via [`ShardedDb::from_shards`]) the facade must
+    /// stream where it can, fall back where it cannot, and stay
+    /// byte-equal to the unsharded answer — never panic.
+    #[test]
+    fn mixed_layout_shards_answer_top_k_without_panicking() {
+        let layouts = [
+            TableLayout::Upi(UpiConfig::default()),
+            TableLayout::FracturedUpi(FracturedConfig {
+                upi: UpiConfig::default(),
+                buffer_ops: 25,
+            }),
+            TableLayout::Unclustered,
+        ];
+        let routing = ShardLayout::HashTid(3);
+        let mut shard_dbs: Vec<UncertainDb> = layouts
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                UncertainDb::create(
+                    stores(1).remove(0),
+                    &format!("m.s{i}"),
+                    schema(),
+                    1,
+                    l.clone(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut single =
+            UncertainDb::create(stores(1).remove(0), "m", schema(), 1, layouts[0].clone()).unwrap();
+        for i in 0..200u64 {
+            let t = Tuple::new(
+                TupleId(i),
+                0.9,
+                row(i % 7, 0.35 + (i % 6) as f64 * 0.1, i % 3),
+            );
+            shard_dbs[routing.route(i)].insert_tuple(&t).unwrap();
+            single.insert_tuple(&t).unwrap();
+        }
+        for s in &mut shard_dbs {
+            s.flush().unwrap();
+        }
+        single.flush().unwrap();
+        let sharded = ShardedDb::from_shards(shard_dbs, routing).unwrap();
+        for k in [1, 5, 40] {
+            assert_eq!(
+                fingerprint(&sharded.top_k(3, k).unwrap()),
+                fingerprint(&single.top_k(3, k).unwrap()),
+                "top-{k} over mixed layouts"
+            );
+        }
+        for qt in [0.0, 0.4] {
+            assert_eq!(
+                fingerprint(&sharded.ptq(3, qt).unwrap()),
+                fingerprint(&single.ptq(3, qt).unwrap())
+            );
+        }
+    }
+
+    /// Pin the typed refusal directly: a `UpiHeap` plan cannot open a
+    /// streaming cursor on a fractured or unclustered shard, and a
+    /// `FracturedProbe` cannot open one on a plain-UPI shard.
+    #[test]
+    fn fast_cursor_open_reports_layout_mismatch_as_typed_error() {
+        let frac = UncertainDb::create(
+            stores(1).remove(0),
+            "f",
+            schema(),
+            1,
+            TableLayout::FracturedUpi(FracturedConfig {
+                upi: UpiConfig::default(),
+                buffer_ops: 0,
+            }),
+        )
+        .unwrap();
+        let plain = UncertainDb::create(
+            stores(1).remove(0),
+            "p",
+            schema(),
+            1,
+            TableLayout::Upi(UpiConfig::default()),
+        )
+        .unwrap();
+        let heap_path = AccessPath::UpiHeap { use_cutoff: false };
+        let err = open_fast_cursor(
+            &frac,
+            &heap_path,
+            &[],
+            frac.table().store().pool.as_ref(),
+            3,
+            0.0,
+            5,
+        )
+        .err()
+        .expect("UpiHeap on a fractured shard must be rejected");
+        match err {
+            QueryError::Exec(upi::ExecError::LayoutMismatch { path, layout }) => {
+                assert!(path.starts_with("UpiHeap"), "{path}");
+                assert_eq!(layout, "fractured UPI");
+            }
+            other => panic!("expected LayoutMismatch, got {other:?}"),
+        }
+        let err = open_fast_cursor(
+            &plain,
+            &AccessPath::FracturedProbe,
+            &[],
+            plain.table().store().pool.as_ref(),
+            3,
+            0.0,
+            5,
+        )
+        .err()
+        .expect("FracturedProbe on a plain UPI shard must be rejected");
+        assert!(matches!(
+            err,
+            QueryError::Exec(upi::ExecError::LayoutMismatch { .. })
+        ));
+    }
+
+    /// Pruning skips shards whose bound cannot reach qt, opens zero
+    /// pages on them, and the answer stays identical to pruning off.
+    #[test]
+    fn pruning_skips_cold_shards_and_preserves_the_answer() {
+        let routing = ShardLayout::RangeTid(vec![100]);
+        let mut sharded = ShardedDb::create(
+            stores(2),
+            "pr",
+            schema(),
+            1,
+            TableLayout::Upi(UpiConfig::default()),
+            routing,
+        )
+        .unwrap();
+        // Shard 0 (ids < 100): strong rows for value 3. Shard 1: only
+        // sub-threshold rows for value 3 (conf ≈ 0.9*0.2), plus strong
+        // rows for value 4 so the shard is not empty.
+        for i in 0..60u64 {
+            sharded
+                .insert_tuple(&Tuple::new(TupleId(i), 0.9, row(3, 0.8, i % 3)))
+                .unwrap();
+        }
+        for i in 100..160u64 {
+            let v = if i % 2 == 0 { 4 } else { 3 };
+            let p = if v == 3 { 0.2 } else { 0.8 };
+            sharded
+                .insert_tuple(&Tuple::new(TupleId(i), 0.9, row(v, p, i % 3)))
+                .unwrap();
+        }
+        let q = PtqQuery::eq(1, 3).with_qt(0.5).with_top_k(5);
+
+        sharded.set_pruning(false);
+        let unpruned = sharded.query(&q).unwrap();
+        sharded.set_pruning(true);
+        let before_skips = sharded.shards_skipped();
+        let reads_before = sharded.shards()[1].table().store().disk.stats();
+        let pruned = sharded.query(&q).unwrap();
+        assert_eq!(fingerprint(&pruned.rows), fingerprint(&unpruned.rows));
+        assert!(
+            sharded.shards_skipped() > before_skips,
+            "the cold shard must be skipped"
+        );
+        assert_eq!(sharded.shards()[1].metrics().shards_skipped, 1);
+        let delta = sharded.shards()[1]
+            .table()
+            .store()
+            .disk
+            .stats()
+            .since(&reads_before);
+        assert_eq!(delta.page_reads, 0, "a skipped shard opens zero pages");
+        // The skip is visible in the trace.
+        let trace = pruned.trace.unwrap();
+        assert!(
+            trace.spans.iter().any(|s| s.label.contains("skipped")),
+            "{:?}",
+            trace.spans.iter().map(|s| &s.label).collect::<Vec<_>>()
+        );
+        // The whole-query scatter prunes the same way.
+        let whole = sharded.query(&PtqQuery::eq(1, 3).with_qt(0.5)).unwrap();
+        sharded.set_pruning(false);
+        let whole_off = sharded.query(&PtqQuery::eq(1, 3).with_qt(0.5)).unwrap();
+        assert_eq!(fingerprint(&whole.rows), fingerprint(&whole_off.rows));
+    }
+
+    /// A recovered facade must not hand out tuple ids it already used:
+    /// the horizon comes from the shard tables' `next_id`, which covers
+    /// deleted rows that a live-tuple scan would miss.
+    #[test]
+    fn recover_reseeds_the_id_horizon_past_deleted_rows() {
+        let sts = stores(2);
+        let mut sharded = ShardedDb::create(
+            sts.clone(),
+            "r",
+            schema(),
+            1,
+            TableLayout::Upi(UpiConfig::default()),
+            ShardLayout::HashTid(2),
+        )
+        .unwrap();
+        sharded.enable_durability().unwrap();
+        let mut last = TupleId(0);
+        for i in 0..20u64 {
+            last = sharded.insert(0.9, row(i % 5, 0.7, i % 2)).unwrap();
+        }
+        // Delete the highest-id row; a live-tuple rescan would now
+        // under-seed the horizon and re-issue `last.0`.
+        let victim = sharded
+            .live_tuples()
+            .unwrap()
+            .into_iter()
+            .find(|t| t.id == last)
+            .unwrap();
+        sharded.delete(&victim).unwrap();
+        sharded.sync_wal().unwrap();
+        drop(sharded);
+        let (mut recovered, _) = ShardedDb::recover(sts, "r", ShardLayout::HashTid(2)).unwrap();
+        let id = recovered.insert(0.9, row(1, 0.7, 0)).unwrap();
+        assert!(
+            id.0 > last.0,
+            "post-recovery insert reused id {} (deleted horizon was {})",
+            id.0,
+            last.0
+        );
     }
 }

@@ -16,6 +16,15 @@
 //! attribute correctly without any coordination, and nested guards (a
 //! query executing inside an outer instrumentation scope) attribute to
 //! the innermost id.
+//!
+//! The flip side of thread-locality: a guard pinned on one thread does
+//! **not** cover I/O issued from another. A query that fans work out to
+//! worker threads (the sharded scatter-gather runs one worker per
+//! shard) must re-pin a guard — same [`QueryId`], that shard's pool —
+//! on *each* worker; the per-query slot in the pool is shared, so the
+//! windows still land on one id and
+//! [`take_attributed`](crate::BufferPool::take_attributed) may be
+//! called from any thread afterwards.
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};

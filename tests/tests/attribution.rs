@@ -205,22 +205,16 @@ fn concurrent_queries_on_one_pool_partition_the_device_clock() {
     }
 }
 
-/// Sharded scatter-gather level: one logical table partitioned across
-/// three stores, each with its own simulated device clock, raced by two
-/// session threads mixing the watermark-bounded top-k fast path with
-/// full scatter PTQs. Every `QueryOutput.device` window is the sum of
-/// that query's per-shard attributed slots, so across the whole racing
-/// phase **Σ per-query windows = Σ per-shard store-wide deltas** — the
-/// partition identity survives the scatter-gather fan-out.
-#[test]
-fn racing_sharded_queries_partition_every_shard_clock() {
+/// Three-shard twin of [`build`]: same 12k rows, hash-routed across
+/// three independent stores (own disk clocks).
+fn build_sharded(name: &str) -> ShardedDb {
     let schema = Schema::new(vec![
         ("pad", FieldKind::Str),
         ("value", FieldKind::Discrete),
     ]);
     let mut db = ShardedDb::create(
         (0..3).map(|_| store()).collect(),
-        "attrib_sh",
+        name,
         schema,
         ATTR,
         TableLayout::Upi(UpiConfig::default()),
@@ -241,6 +235,19 @@ fn racing_sharded_queries_partition_every_shard_clock() {
         })
         .collect();
     db.load(&tuples).unwrap();
+    db
+}
+
+/// Sharded scatter-gather level: one logical table partitioned across
+/// three stores, each with its own simulated device clock, raced by two
+/// session threads mixing the watermark-bounded top-k fast path with
+/// full scatter PTQs. Every `QueryOutput.device` window is the sum of
+/// that query's per-shard attributed slots, so across the whole racing
+/// phase **Σ per-query windows = Σ per-shard store-wide deltas** — the
+/// partition identity survives the scatter-gather fan-out.
+#[test]
+fn racing_sharded_queries_partition_every_shard_clock() {
+    let db = build_sharded("attrib_sh");
 
     let stores: Vec<Store> = db
         .shards()
@@ -336,4 +343,198 @@ fn identical_cold_runs_render_byte_identical_traces() {
         "same plan, same cold cache, new store-clock epoch: the rendered \
          trace may not change"
     );
+}
+
+/// Concurrency *within* one query: a scatter now runs one worker thread
+/// per shard, each re-pinning its own attribution guard on its own
+/// pool. For a single query the partition identity must hold across
+/// those racing workers — `QueryOutput.device` (the gathered sum of the
+/// per-shard slots) equals the sum of the per-shard store-wide deltas,
+/// the depth-1 trace spans partition that sum shard-by-shard, and
+/// `latency_ms` is their max, strictly below the sum when several
+/// shards do real I/O.
+#[test]
+fn shard_workers_within_one_query_partition_their_own_clocks() {
+    let db = build_sharded("attrib_par");
+    // Dynamic watermark skips are timing-dependent; disable pruning so
+    // every shard provably opens and the per-shard window comparison is
+    // deterministic.
+    db.set_pruning(false);
+    let stores: Vec<Store> = db
+        .shards()
+        .iter()
+        .map(|s| s.table().store().clone())
+        .collect();
+
+    let queries = [
+        PtqQuery::eq(ATTR, 2).with_qt(0.56),
+        PtqQuery::eq(ATTR, 4).with_qt(0.56).with_top_k(5),
+    ];
+    for q in &queries {
+        for st in &stores {
+            st.go_cold();
+        }
+        let before: Vec<_> = stores.iter().map(|st| st.disk.stats()).collect();
+        let out = db.query(q).unwrap();
+        let deltas: Vec<_> = stores
+            .iter()
+            .zip(&before)
+            .map(|(st, b)| st.disk.stats().since(b))
+            .collect();
+        for d in &deltas {
+            assert!(d.page_reads > 0, "unpruned: every shard must be opened");
+        }
+
+        let dev = out.device.expect("scatter attributes device time");
+        let delta_pages: u64 = deltas.iter().map(|d| d.page_reads).sum();
+        let delta_sum: f64 = deltas.iter().map(|d| d.total_ms()).sum();
+        let delta_max = deltas.iter().map(|d| d.total_ms()).fold(0.0, f64::max);
+        assert_eq!(
+            dev.page_reads, delta_pages,
+            "every page the workers read is attributed to this query"
+        );
+        assert!(
+            (dev.total_ms() - delta_sum).abs() < 1e-6,
+            "one query's racing workers must partition its shard clocks: \
+             {} vs {delta_sum}",
+            dev.total_ms()
+        );
+
+        // The gathered trace exposes the same partition per shard...
+        let trace = out.trace.expect("scatter traces");
+        let windows: Vec<f64> = trace
+            .spans
+            .iter()
+            .filter(|s| s.depth == 1)
+            .map(|s| s.device_ms.expect("shard spans carry device windows"))
+            .collect();
+        assert_eq!(windows.len(), stores.len());
+        let span_sum: f64 = windows.iter().sum();
+        assert!((span_sum - delta_sum).abs() < 1e-6);
+
+        // ...and latency is the max window (parallel semantics), not
+        // the calibration-facing sum.
+        let latency = out.latency_ms.expect("scatter reports parallel latency");
+        let span_max = windows.iter().copied().fold(0.0, f64::max);
+        assert!((latency - span_max).abs() < 1e-6);
+        assert!((latency - delta_max).abs() < 1e-6);
+        assert!(
+            latency < delta_sum,
+            "with three shards doing real I/O the max must undercut the sum"
+        );
+    }
+}
+
+/// Seeded pruning oracle: a range-sharded table whose second shard
+/// stores only low-confidence alternatives for a seeded mix of values.
+/// An `Eq` query above that shard's bound skips *opening* it — its disk
+/// sees zero reads — yet the answer is byte-equal (ids and confidence
+/// bits) to the same query forced to visit every shard.
+#[test]
+fn skipped_cold_shard_answers_are_byte_equal_to_unskipped() {
+    let schema = Schema::new(vec![
+        ("pad", FieldKind::Str),
+        ("value", FieldKind::Discrete),
+    ]);
+    let mut db = ShardedDb::create(
+        (0..2).map(|_| store()).collect(),
+        "attrib_cold",
+        schema,
+        ATTR,
+        TableLayout::Upi(UpiConfig::default()),
+        ShardLayout::RangeTid(vec![50_000]),
+    )
+    .unwrap();
+    // Seeded LCG (deterministic across runs) drives values and
+    // probabilities. Shard 0: hot, confidences up to ~0.95. Shard 1:
+    // the same value mix but every confidence <= 0.3, so its sketch
+    // bounds sit below qt for every value regardless of bucket
+    // collisions.
+    let mut seed = 0xDEAD_BEEFu64;
+    let mut rng = move || {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        seed >> 33
+    };
+    let mut tuples = Vec::new();
+    for i in 0..4_000u64 {
+        let hot = rng();
+        tuples.push(upi_uncertain::Tuple::new(
+            upi_uncertain::TupleId(i),
+            1.0,
+            vec![
+                Field::Certain(Datum::Str(format!("pad-{i}-{}", "x".repeat(200)))),
+                Field::Discrete(DiscretePmf::new(vec![(
+                    hot % 8,
+                    0.5 + (hot % 450) as f64 / 1000.0,
+                )])),
+            ],
+        ));
+        let cold = rng();
+        tuples.push(upi_uncertain::Tuple::new(
+            upi_uncertain::TupleId(50_000 + i),
+            1.0,
+            vec![
+                Field::Certain(Datum::Str(format!("pad-{i}-{}", "x".repeat(200)))),
+                Field::Discrete(DiscretePmf::new(vec![(
+                    cold % 8,
+                    0.05 + (cold % 250) as f64 / 1000.0,
+                )])),
+            ],
+        ));
+    }
+    db.load(&tuples).unwrap();
+    assert!(
+        db.stats()[1].max_conf() < 0.5,
+        "the seeded cold shard must bound below qt"
+    );
+
+    let stores: Vec<Store> = db
+        .shards()
+        .iter()
+        .map(|s| s.table().store().clone())
+        .collect();
+    let fp = |out: &upi_query::QueryOutput| -> Vec<(u64, u64)> {
+        out.rows
+            .iter()
+            .map(|r| (r.tuple.id.0, r.confidence.to_bits()))
+            .collect()
+    };
+    for q in [
+        PtqQuery::eq(ATTR, 3).with_qt(0.5).with_top_k(7),
+        PtqQuery::eq(ATTR, 3).with_qt(0.5),
+    ] {
+        // Exhaustive baseline first, then the pruned run on a cold
+        // cache so "zero reads" can only mean "never opened".
+        db.set_pruning(false);
+        for st in &stores {
+            st.go_cold();
+        }
+        let unskipped = db.query(&q).unwrap();
+
+        db.set_pruning(true);
+        for st in &stores {
+            st.go_cold();
+        }
+        let skipped_before = db.shards_skipped();
+        let cold_before = stores[1].disk.stats();
+        let pruned = db.query(&q).unwrap();
+
+        assert!(!pruned.rows.is_empty(), "the hot shard must qualify rows");
+        assert_eq!(
+            fp(&pruned),
+            fp(&unskipped),
+            "pruning may only skip work, never change the answer"
+        );
+        assert!(
+            db.shards_skipped() > skipped_before,
+            "the cold shard must be pruned"
+        );
+        assert_eq!(
+            stores[1].disk.stats().since(&cold_before).page_reads,
+            0,
+            "a pruned shard is never opened"
+        );
+    }
 }

@@ -134,6 +134,70 @@ fn fingerprint(rows: &[PtqResult]) -> Vec<(u64, u64)> {
         .collect()
 }
 
+/// Recovery must re-seed the global id horizon from the per-shard
+/// `next_id` high-water marks, not from the surviving rows: deleting
+/// the highest-id tuple before the crash leaves the live maximum
+/// *below* an id the table has already issued, and a post-recovery
+/// insert that rescanned live tuples would re-issue it — silently
+/// shadowing (or colliding with) history on a hash layout.
+#[test]
+fn recovered_sharded_db_never_reuses_a_deleted_id() {
+    let sts: Vec<Store> = (0..3).map(|_| store()).collect();
+    let layout = ShardLayout::HashTid(3);
+    let mut sharded = ShardedDb::create(
+        sts.clone(),
+        "rec",
+        schema(),
+        1,
+        TableLayout::Upi(UpiConfig::default()),
+        layout.clone(),
+    )
+    .unwrap();
+    sharded.enable_durability().unwrap();
+    let fields = |v: u64| {
+        vec![
+            Field::Certain(Datum::U64(0)),
+            Field::Discrete(DiscretePmf::new(vec![(v, 0.9)])),
+            Field::Discrete(DiscretePmf::new(vec![(v % 6, 0.5)])),
+        ]
+    };
+    let mut last = TupleId(0);
+    for i in 0..30u64 {
+        last = sharded.insert(1.0, fields(i % 8)).unwrap();
+    }
+    let victim = sharded
+        .live_tuples()
+        .unwrap()
+        .into_iter()
+        .max_by_key(|t| t.id.0)
+        .unwrap();
+    assert_eq!(victim.id, last, "inserts issue ascending ids");
+    sharded.delete(&victim).unwrap();
+    sharded.sync_wal().unwrap();
+    drop(sharded);
+
+    let (mut recovered, _) = ShardedDb::recover(sts, "rec", layout).unwrap();
+    let before = recovered.ptq(3, 0.0).unwrap().len();
+    let id = recovered.insert(1.0, fields(3)).unwrap();
+    assert!(
+        id.0 > last.0,
+        "post-recovery insert re-issued id {} (the deleted horizon was {})",
+        id.0,
+        last.0
+    );
+    let after = recovered.ptq(3, 0.0).unwrap();
+    assert_eq!(
+        after.len(),
+        before + 1,
+        "the fresh row must coexist with every recovered one"
+    );
+    assert_eq!(
+        after.iter().filter(|r| r.tuple.id == id).count(),
+        1,
+        "exactly one row carries the fresh id"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(50))]
 
