@@ -33,6 +33,7 @@
 //! | 5 | `Flush` | — (fractured buffer → new fracture) |
 //! | 6 | `Merge` | — (fracture merge) |
 //! | 7 | `Checkpoint{file}` | `u32` device file id of the checkpoint blob |
+//! | 8 | `MergeStep{components}` | `u32` component count compacted into one |
 //!
 //! A checkpoint is *sealed* by its WAL record: the blob is written first,
 //! the pointer record is appended and synced after, so a crash between
@@ -74,6 +75,16 @@ pub enum WalRecord {
         /// Device file holding the blob.
         file: u32,
     },
+    /// One incremental maintenance step compacted `components` adjacent
+    /// components into one (see `FracturedUpi::merge_step`). Replay is a
+    /// clamped best-effort compaction: the rebuilt layout after a crash
+    /// differs from the logged one (pre-checkpoint fractures load into
+    /// main), and *any* compaction preserves the possible-worlds state,
+    /// so the replayed step folds what the rebuilt layout has.
+    MergeStep {
+        /// Number of adjacent components merged into one (>= 2).
+        components: u32,
+    },
 }
 
 impl WalRecord {
@@ -104,6 +115,10 @@ impl WalRecord {
                 out.push(7);
                 out.extend_from_slice(&file.to_le_bytes());
             }
+            WalRecord::MergeStep { components } => {
+                out.push(8);
+                out.extend_from_slice(&components.to_le_bytes());
+            }
         }
         out
     }
@@ -122,6 +137,9 @@ impl WalRecord {
             5 => WalRecord::Flush,
             6 => WalRecord::Merge,
             7 => WalRecord::Checkpoint { file: cur.u32()? },
+            8 => WalRecord::MergeStep {
+                components: cur.u32()?,
+            },
             t => return Err(corrupt(format!("unknown WAL record tag {t}"))),
         };
         Ok(rec)
@@ -306,6 +324,64 @@ impl TableWal {
     }
 }
 
+/// Read and concatenate every durable generation of `{name}.wal`, in
+/// LSN order, into one logical log.
+///
+/// [`UncertainTable::checkpoint`](crate::table::UncertainTable::checkpoint)
+/// rotates the log to a fresh generation file after every sealed
+/// checkpoint and retires the covered one, so at most two live
+/// generations normally exist — but a crash inside the
+/// rotate→seal→retire window can leave several (including freed or
+/// still-empty files, which contribute no records). Generations are
+/// ordered by their first record's LSN; concatenation stops at any
+/// cross-generation gap or overlap (the tail past a gap is unusable,
+/// exactly like a torn record inside one file), reported via the
+/// `log_truncated` flag.
+pub(crate) fn read_wal_generations(
+    store: &Store,
+    name: &str,
+) -> Result<(Vec<wal::RecoveredRecord>, bool)> {
+    let wal_name = format!("{name}.wal");
+    let mut found = false;
+    let mut gens: Vec<(Vec<wal::RecoveredRecord>, bool)> = Vec::new();
+    for (fid, fname, live_bytes) in store.disk.file_inventory() {
+        if fname != wal_name {
+            continue;
+        }
+        found = true;
+        // A retired generation keeps its file id but every page is freed
+        // (`free_file_pages` is metadata-only); reading it would trip the
+        // freed-page tripwire, and it has nothing durable to contribute.
+        if live_bytes == 0 {
+            continue;
+        }
+        gens.push(wal::read_log(&store.disk, fid)?);
+    }
+    if !found {
+        return Err(corrupt(format!("no WAL for table '{name}'")));
+    }
+    gens.sort_by_key(|(recs, _)| recs.first().map(|r| r.lsn.0).unwrap_or(u64::MAX));
+    let mut records: Vec<wal::RecoveredRecord> = Vec::new();
+    let mut log_truncated = false;
+    for (recs, trunc) in gens {
+        if recs.is_empty() {
+            // Freed generation or a rotation the crash caught before any
+            // record landed: nothing to contribute. Its damage flag is
+            // meaningless too (the file holds no acknowledged records).
+            continue;
+        }
+        if let Some(last) = records.last() {
+            if recs[0].lsn.0 != last.lsn.0 + 1 {
+                log_truncated = true;
+                break;
+            }
+        }
+        records.extend(recs);
+        log_truncated |= trunc;
+    }
+    Ok((records, log_truncated))
+}
+
 /// Scan a recovered log for the authoritative checkpoint: the *last*
 /// `Checkpoint` record whose blob still validates (a torn blob falls back
 /// to the previous one). Returns `(record index, image)`.
@@ -428,6 +504,7 @@ mod tests {
             WalRecord::Flush,
             WalRecord::Merge,
             WalRecord::Checkpoint { file: 17 },
+            WalRecord::MergeStep { components: 3 },
         ];
         for r in records {
             assert_eq!(WalRecord::decode(&r.encode()).unwrap(), r);

@@ -29,7 +29,9 @@ use upi_storage::error::Result;
 use upi_storage::Store;
 use upi_uncertain::{Tuple, TupleId};
 
+use crate::cost::DeviceCoeffs;
 use crate::exec::{sort_results, CursorStats, PtqResult};
+use crate::maintenance::{select_compaction, CompactionPlan, CompactionStep};
 use crate::upi::{DiscreteUpi, PointRun, RangeRun, SecondaryRun, UpiConfig};
 
 /// Configuration of a Fractured UPI.
@@ -549,6 +551,184 @@ impl FracturedUpi {
         Ok(())
     }
 
+    /// Per-component on-disk sizes: main first, then fractures
+    /// oldest-to-newest, each fracture including its persisted delete
+    /// set — the input shape of
+    /// [`select_compaction`](crate::maintenance::select_compaction).
+    pub fn component_bytes(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.fractures.len() + 1);
+        out.push(self.main.total_bytes());
+        for f in &self.fractures {
+            out.push(f.upi.total_bytes() + f.delete_tree.stats().bytes);
+        }
+        out
+    }
+
+    /// Select (read-only) the best compaction step affordable within
+    /// `budget_ms` of device time — see
+    /// [`select_compaction`](crate::maintenance::select_compaction).
+    pub fn plan_compaction(&self, coeffs: &DeviceCoeffs, budget_ms: f64) -> Option<CompactionPlan> {
+        select_compaction(&self.component_bytes(), coeffs, budget_ms)
+    }
+
+    /// One incremental merge step: pick the best compaction affordable
+    /// within `budget_ms` and execute it. Returns the number of
+    /// components eliminated (0 when nothing fits the budget). Queries
+    /// between steps answer correctly against whatever layout the steps
+    /// have reached — every step preserves the possible-worlds state.
+    pub fn merge_step(&mut self, coeffs: &DeviceCoeffs, budget_ms: f64) -> Result<usize> {
+        match self.plan_compaction(coeffs, budget_ms) {
+            Some(plan) => self.apply_compaction(plan.step),
+            None => Ok(0),
+        }
+    }
+
+    /// Execute one compaction step, clamped to the current chain (a
+    /// step addressing components that no longer exist merges what it
+    /// can and reports it — the WAL-replay path needs exactly this
+    /// tolerance, since recovery rebuilds a different component layout
+    /// than the one the step was logged against). Returns the number of
+    /// components eliminated.
+    pub fn apply_compaction(&mut self, step: CompactionStep) -> Result<usize> {
+        match step {
+            CompactionStep::FoldPrefix { fractures } => {
+                let k = fractures.min(self.fractures.len());
+                if k == 0 {
+                    return Ok(0);
+                }
+                self.fold_prefix(k)?;
+                Ok(k)
+            }
+            CompactionStep::CompactRun { first, last } => {
+                let last = last.min(self.fractures.len().saturating_sub(1));
+                if first >= last {
+                    return Ok(0);
+                }
+                self.compact_run(first, last)?;
+                Ok(last - first)
+            }
+        }
+    }
+
+    /// Merge main + the `k` oldest fractures into a fresh main UPI.
+    /// The folded fractures' delete markers die with the fold: they
+    /// only suppressed rows inside the folded prefix, which the fold
+    /// applies. Remaining fractures shift down one level; their delete
+    /// sets still suppress the new main (level 0), unchanged.
+    fn fold_prefix(&mut self, k: usize) -> Result<()> {
+        debug_assert!(k >= 1 && k <= self.fractures.len());
+        // Sequential read of the folded components, full suppression
+        // applied (a row any newer component suppresses is dead now).
+        let mut live: BTreeMap<u64, Tuple> = BTreeMap::new();
+        for t in self.main.scan_tuples()? {
+            if !self.suppressed(t.id.0, 0) {
+                live.insert(t.id.0, t);
+            }
+        }
+        for i in 0..k {
+            for t in self.fractures[i].upi.scan_tuples()? {
+                if !self.suppressed(t.id.0, i + 1) {
+                    live.insert(t.id.0, t);
+                }
+            }
+        }
+        for f in &self.fractures[..k] {
+            let _ = f.delete_tree.iter()?.count();
+        }
+
+        let seq = self.seq;
+        self.seq += 1;
+        let mut new_main = DiscreteUpi::create(
+            self.store.clone(),
+            &format!("{}.m{}", self.name, seq),
+            self.attr,
+            self.cfg.upi,
+        )?;
+        for &a in &self.sec_attrs {
+            new_main.add_secondary(a)?;
+        }
+        new_main.bulk_load(live.values())?;
+
+        self.main_ids = live.keys().copied().collect();
+        let old_main = std::mem::replace(&mut self.main, new_main);
+        old_main.destroy()?;
+        for f in self.fractures.drain(..k) {
+            let file = f.delete_tree.file();
+            f.upi.destroy()?;
+            self.store.free_file_pages(file)?;
+        }
+        Ok(())
+    }
+
+    /// Merge the contiguous fracture run `first..=last` into one
+    /// fracture at position `first`. Intra-run suppression is applied
+    /// to the surviving tuples (a newer run member's delete or
+    /// re-insert wins), but the run's delete markers are **kept** —
+    /// unioned — because they still suppress components older than the
+    /// run. Sound because a fracture's own delete set never suppresses
+    /// its own ids (see [`suppressed`](Self::suppressed)'s strict
+    /// level comparison).
+    fn compact_run(&mut self, first: usize, last: usize) -> Result<()> {
+        debug_assert!(first < last && last < self.fractures.len());
+        let mut live: BTreeMap<u64, Tuple> = BTreeMap::new();
+        for i in first..=last {
+            for t in self.fractures[i].upi.scan_tuples()? {
+                if !self.suppressed(t.id.0, i + 1) {
+                    live.insert(t.id.0, t);
+                }
+            }
+        }
+        let mut deleted: HashSet<u64> = HashSet::new();
+        for f in &self.fractures[first..=last] {
+            let _ = f.delete_tree.iter()?.count();
+            deleted.extend(f.deleted.iter().copied());
+        }
+
+        let seq = self.seq;
+        self.seq += 1;
+        let mut upi = DiscreteUpi::create(
+            self.store.clone(),
+            &format!("{}.f{}", self.name, seq),
+            self.attr,
+            self.cfg.upi,
+        )?;
+        for &a in &self.sec_attrs {
+            upi.add_secondary(a)?;
+        }
+        upi.bulk_load(live.values())?;
+
+        let mut delete_tree = BTree::create(
+            self.store.clone(),
+            &format!("{}.f{}.del", self.name, seq),
+            self.cfg.upi.page_size,
+        )?;
+        let mut sorted: Vec<u64> = deleted.iter().copied().collect();
+        sorted.sort_unstable();
+        delete_tree.bulk_load(
+            sorted
+                .iter()
+                .map(|tid| (tid.to_be_bytes().to_vec(), Vec::new()))
+                .collect::<Vec<_>>(),
+        )?;
+
+        let merged = Fracture {
+            upi,
+            delete_tree,
+            deleted,
+            ids: live.keys().copied().collect(),
+        };
+        let old: Vec<Fracture> = self
+            .fractures
+            .splice(first..=last, std::iter::once(merged))
+            .collect();
+        for f in old {
+            let file = f.delete_tree.file();
+            f.upi.destroy()?;
+            self.store.free_file_pages(file)?;
+        }
+        Ok(())
+    }
+
     /// The live possible-worlds content: every tuple a query can see,
     /// across main, fractures and the insert buffer, minus everything a
     /// newer delete set suppresses. Non-mutating (unlike
@@ -587,6 +767,18 @@ impl FracturedUpi {
     /// The main UPI (for stats and cost-model inputs).
     pub fn main(&self) -> &DiscreteUpi {
         &self.main
+    }
+
+    /// Serialize the main component's statistics (the ones the cost
+    /// models read; fractures carry only their own slice and are folded
+    /// away by maintenance).
+    pub fn stats_payload(&self) -> Vec<u8> {
+        self.main.stats_payload()
+    }
+
+    /// Inverse of [`stats_payload`](Self::stats_payload).
+    pub fn restore_stats_payload(&mut self, data: &[u8]) -> bool {
+        self.main.restore_stats_payload(data)
     }
 
     /// Every on-disk component in age order (main first, then fractures
@@ -1207,5 +1399,138 @@ mod tests {
             "main version resurrected"
         );
         assert_eq!(g.n_live_tuples(), 0);
+    }
+
+    /// Build a fractured UPI with several fractures carrying inserts,
+    /// deletes and updates, plus a live insert buffer — the layout every
+    /// incremental-merge test steps over.
+    fn deteriorated() -> FracturedUpi {
+        let mut f = fresh(0);
+        let initial: Vec<Tuple> = (0..1200).map(|i| author(i, i % 8, 0.8)).collect();
+        f.load_initial(&initial).unwrap();
+        for batch in 0..4u64 {
+            for i in 0..30u64 {
+                f.insert(author(1000 + batch * 30 + i, i % 8, 0.85))
+                    .unwrap();
+            }
+            for i in 0..4u64 {
+                f.delete(TupleId(batch * 4 + i)).unwrap();
+            }
+            // An update of a row from an older component: delete + insert.
+            let vic = 100 + batch;
+            f.delete(TupleId(vic)).unwrap();
+            f.insert(author(vic, (vic % 8) + 1, 0.9)).unwrap();
+            f.flush().unwrap();
+        }
+        // Live buffered tail: inserts and a delete of an on-disk row.
+        for i in 0..7u64 {
+            f.insert(author(2000 + i, i % 8, 0.9)).unwrap();
+        }
+        f.delete(TupleId(150)).unwrap();
+        f
+    }
+
+    fn all_answers(f: &FracturedUpi) -> Vec<(u64, u64)> {
+        let key = |r: &PtqResult| (r.tuple.id.0, (r.confidence * 1e9).round() as u64);
+        let mut out = Vec::new();
+        for v in 0..9u64 {
+            out.extend(f.ptq(v, 0.1).unwrap().iter().map(key));
+            out.extend(
+                f.ptq_secondary(0, v % 7, 0.2, true)
+                    .unwrap()
+                    .iter()
+                    .map(key),
+            );
+        }
+        out.extend(f.ptq_range(2, 6, 0.0).unwrap().iter().map(key));
+        out
+    }
+
+    #[test]
+    fn merge_steps_preserve_answers_and_converge_to_one_component() {
+        let mut f = deteriorated();
+        assert_eq!(f.n_fractures(), 4);
+        let coeffs = DeviceCoeffs::from_disk(f.store.disk.config());
+        let before = all_answers(&f);
+        let live_before = f.n_live_tuples();
+        let mut steps = 0;
+        loop {
+            let eliminated = f.merge_step(&coeffs, f64::INFINITY).unwrap();
+            if eliminated == 0 {
+                break;
+            }
+            steps += 1;
+            assert_eq!(
+                all_answers(&f),
+                before,
+                "answers drifted after step {steps}"
+            );
+            assert_eq!(f.n_live_tuples(), live_before);
+            assert!(steps <= 8, "incremental merge failed to converge");
+        }
+        assert_eq!(f.n_fractures(), 0, "converged chain is a single component");
+        assert!(
+            f.buffered_ops() > 0,
+            "merge steps leave the RAM buffer alone"
+        );
+    }
+
+    #[test]
+    fn bounded_budget_compacts_fracture_runs_without_touching_main() {
+        let mut f = deteriorated();
+        let coeffs = DeviceCoeffs::from_disk(f.store.disk.config());
+        let sizes = f.component_bytes();
+        assert_eq!(sizes.len(), 5);
+        // Budget covering all four fractures but not main: the step must
+        // be a run compaction, shrinking the chain while main survives.
+        let frac_bytes: u64 = sizes[1..].iter().sum();
+        let budget = crate::maintenance::merge_slice_cost_ms(&coeffs, frac_bytes) + 1e-9;
+        assert!(crate::maintenance::merge_slice_cost_ms(&coeffs, sizes[0]) > budget);
+        let before = all_answers(&f);
+        let eliminated = f.merge_step(&coeffs, budget).unwrap();
+        assert_eq!(eliminated, 3, "all four fractures compact into one");
+        assert_eq!(f.n_fractures(), 1);
+        assert_eq!(all_answers(&f), before);
+        // Zero budget: nothing fits, the chain is untouched.
+        assert_eq!(f.merge_step(&coeffs, 0.0).unwrap(), 0);
+        assert_eq!(f.n_fractures(), 1);
+    }
+
+    #[test]
+    fn compacted_run_keeps_suppressing_older_components() {
+        // A delete marker for a main-resident row lives in fracture 1;
+        // compacting fractures 0..=1 must keep that marker, and a row
+        // deleted-then-reinserted across the run must keep exactly its
+        // newest version.
+        let mut f = fresh(0);
+        f.load_initial(&[author(1, 3, 0.8), author(2, 3, 0.8)])
+            .unwrap();
+        f.insert(author(10, 3, 0.7)).unwrap();
+        f.flush().unwrap(); // fracture 0: id 10 v1
+        f.delete(TupleId(1)).unwrap(); // suppresses main
+        f.delete(TupleId(10)).unwrap();
+        f.insert(author(10, 4, 0.9)).unwrap(); // id 10 v2
+        f.flush().unwrap(); // fracture 1
+        assert_eq!(f.n_fractures(), 2);
+
+        let coeffs = DeviceCoeffs::from_disk(f.store.disk.config());
+        let eliminated = f
+            .apply_compaction(CompactionStep::CompactRun { first: 0, last: 1 })
+            .unwrap();
+        assert_eq!(eliminated, 1);
+        assert_eq!(f.n_fractures(), 1);
+        let _ = coeffs;
+        assert!(
+            f.ptq(3, 0.0).unwrap().iter().all(|r| r.tuple.id.0 != 1),
+            "delete marker for the main-resident row was dropped"
+        );
+        assert!(
+            f.ptq(3, 0.0).unwrap().iter().all(|r| r.tuple.id.0 != 10),
+            "stale v1 of the updated row survived the run compaction"
+        );
+        let v2 = f.ptq(4, 0.0).unwrap();
+        assert_eq!(v2.len(), 1);
+        assert_eq!(v2[0].tuple.id.0, 10);
+        assert_eq!(f.n_live_tuples(), 2, "id 2 in main + id 10 v2");
     }
 }

@@ -50,6 +50,7 @@ pub mod exec;
 pub mod fractured;
 pub mod heap;
 mod keys;
+pub mod maintenance;
 pub mod pii;
 pub mod secondary;
 pub mod shard;
@@ -67,6 +68,9 @@ pub use fractured::{
     TopKWatermark,
 };
 pub use heap::{HeapScanRun, UnclusteredHeap};
+pub use maintenance::{
+    select_compaction, CompactionPlan, CompactionStep, MaintenanceDecision, MaintenancePolicy,
+};
 pub use pii::{Pii, PiiRun};
 pub use secondary::{PointerHistogram, SecEntry, SecScanRun, SecondaryIndex};
 pub use shard::{ShardLayout, ShardStats, ShardedTable};

@@ -250,6 +250,76 @@ impl PointerHistogram {
             .min(self.effective_regions(value))
             .clamp(1.0, n)
     }
+
+    /// Serialize deterministically (maps written in sorted key order) for
+    /// the checkpoint's statistics payload. `total` is redundant (the
+    /// bucket sum) and not stored.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        fn write_counts(out: &mut Vec<u8>, m: &HashMap<u64, u64>) {
+            out.extend_from_slice(&(m.len() as u32).to_le_bytes());
+            let mut keys: Vec<u64> = m.keys().copied().collect();
+            keys.sort_unstable();
+            for k in keys {
+                out.extend_from_slice(&k.to_le_bytes());
+                out.extend_from_slice(&m[&k].to_le_bytes());
+            }
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.shift.to_le_bytes());
+        write_counts(&mut out, &self.buckets);
+        out.extend_from_slice(&(self.per_value.len() as u32).to_le_bytes());
+        let mut values: Vec<u64> = self.per_value.keys().copied().collect();
+        values.sort_unstable();
+        for v in values {
+            out.extend_from_slice(&v.to_le_bytes());
+            write_counts(&mut out, &self.per_value[&v]);
+        }
+        out
+    }
+
+    /// Inverse of [`to_bytes`](Self::to_bytes); `None` on malformed or
+    /// trailing bytes.
+    pub fn from_bytes(data: &[u8]) -> Option<PointerHistogram> {
+        fn u32_at(data: &[u8], pos: &mut usize) -> Option<u32> {
+            let v = u32::from_le_bytes(data.get(*pos..*pos + 4)?.try_into().unwrap());
+            *pos += 4;
+            Some(v)
+        }
+        fn u64_at(data: &[u8], pos: &mut usize) -> Option<u64> {
+            let v = u64::from_le_bytes(data.get(*pos..*pos + 8)?.try_into().unwrap());
+            *pos += 8;
+            Some(v)
+        }
+        fn read_counts(data: &[u8], pos: &mut usize) -> Option<HashMap<u64, u64>> {
+            let n = u32_at(data, pos)? as usize;
+            let mut m = HashMap::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let k = u64_at(data, pos)?;
+                let c = u64_at(data, pos)?;
+                m.insert(k, c);
+            }
+            Some(m)
+        }
+        let mut pos = 0;
+        let shift = u32_at(data, &mut pos)?;
+        let buckets = read_counts(data, &mut pos)?;
+        let n_values = u32_at(data, &mut pos)? as usize;
+        let mut per_value = HashMap::with_capacity(n_values.min(1 << 16));
+        for _ in 0..n_values {
+            let v = u64_at(data, &mut pos)?;
+            per_value.insert(v, read_counts(data, &mut pos)?);
+        }
+        if pos != data.len() {
+            return None;
+        }
+        let total = buckets.values().sum();
+        Some(PointerHistogram {
+            shift,
+            buckets,
+            per_value,
+            total,
+        })
+    }
 }
 
 /// A secondary index on one discrete uncertain attribute of a UPI table.
@@ -447,6 +517,61 @@ impl SecondaryIndex {
     pub fn pointer_regions(&self) -> &PointerHistogram {
         &self.regions
     }
+
+    /// Serialize this index's statistics (selectivity histogram + pointer
+    /// regions) for the checkpoint payload: each blob length-prefixed.
+    pub fn stats_payload(&self) -> Vec<u8> {
+        let stats = self.stats.to_bytes();
+        let regions = self.regions.to_bytes();
+        let mut out = Vec::with_capacity(8 + stats.len() + regions.len());
+        out.extend_from_slice(&(stats.len() as u32).to_le_bytes());
+        out.extend(stats);
+        out.extend_from_slice(&(regions.len() as u32).to_le_bytes());
+        out.extend(regions);
+        out
+    }
+
+    /// Inverse of [`stats_payload`](Self::stats_payload): replace both
+    /// statistics structures. `false` (state untouched) on malformation.
+    pub fn restore_stats_payload(&mut self, data: &[u8]) -> bool {
+        let Some((stats, regions)) = decode_stats_payload(data) else {
+            return false;
+        };
+        self.stats = stats;
+        self.regions = regions;
+        true
+    }
+
+    /// Replace both statistics structures (validated-payload path; see
+    /// `DiscreteUpi::restore_stats_payload`).
+    pub(crate) fn set_stats(&mut self, stats: AttrStats, regions: PointerHistogram) {
+        self.stats = stats;
+        self.regions = regions;
+    }
+}
+
+/// Decode one [`SecondaryIndex::stats_payload`] blob without touching any
+/// index state.
+pub(crate) fn decode_stats_payload(data: &[u8]) -> Option<(AttrStats, PointerHistogram)> {
+    let (stats_bytes, rest) = take_prefixed(data)?;
+    let (region_bytes, rest) = take_prefixed(rest)?;
+    if !rest.is_empty() {
+        return None;
+    }
+    Some((
+        AttrStats::from_bytes(stats_bytes)?,
+        PointerHistogram::from_bytes(region_bytes)?,
+    ))
+}
+
+/// Split a `u32`-length-prefixed blob off the front of `data`.
+pub(crate) fn take_prefixed(data: &[u8]) -> Option<(&[u8], &[u8])> {
+    let len = u32::from_le_bytes(data.get(..4)?.try_into().unwrap()) as usize;
+    let rest = &data[4..];
+    if rest.len() < len {
+        return None;
+    }
+    Some(rest.split_at(len))
 }
 
 /// Streaming iterator over one value's secondary entries (see

@@ -315,11 +315,31 @@ impl ShardedTable {
         Ok(())
     }
 
-    /// Merge fractures on every shard (fractured layout only).
+    /// Merge fractures on every shard (fractured layout only), then
+    /// re-derive the pruning statistics: a merge visits every live tuple
+    /// anyway, so it is the natural point to shed the slack that
+    /// raise-only DML maintenance accumulates from deletes and
+    /// down-updates.
     pub fn merge(&mut self) -> Result<()> {
         for s in &mut self.shards {
             s.merge()?;
         }
+        self.rebuild_stats()
+    }
+
+    /// Rebuild every shard's pruning statistics from its live tuples —
+    /// the only *tightening* operation (DML keeps bounds sound by only
+    /// raising them, so a shard whose hot rows were deleted stays
+    /// unprunable until rebuilt).
+    pub fn rebuild_stats(&mut self) -> Result<()> {
+        let attr = self.primary_attr();
+        let mut stats = vec![ShardStats::new(); self.shards.len()];
+        for (st, s) in stats.iter_mut().zip(&self.shards) {
+            for t in s.live_tuples()? {
+                st.note_tuple(attr, &t);
+            }
+        }
+        self.stats = stats;
         Ok(())
     }
 
@@ -521,6 +541,48 @@ mod tests {
         let (_, _, next_id, stats) = t.into_parts();
         assert_eq!(next_id, 21);
         assert_eq!(stats.len(), 2);
+    }
+
+    #[test]
+    fn merge_tightens_stats_so_a_cooled_shard_prunes_again() {
+        let mut t = ShardedTable::create(
+            stores(2),
+            "cool",
+            schema(),
+            1,
+            TableLayout::FracturedUpi(FracturedConfig {
+                upi: UpiConfig::default(),
+                buffer_ops: 0,
+            }),
+            ShardLayout::RangeTid(vec![100]),
+        )
+        .unwrap();
+        // Shard 1 holds the only hot rows for value 7; shard 0 only cold.
+        t.load(&[Tuple::new(TupleId(1), 1.0, row(7, 0.2, 0))])
+            .unwrap();
+        let hot = Tuple::new(TupleId(200), 1.0, row(7, 0.95, 0));
+        t.insert_tuple(&hot).unwrap();
+        assert!(t.stats()[1].bound(7) >= 0.95);
+
+        // Delete the hot row: the raise-only sketch keeps the stale bound
+        // (sound but slack), so the shard still looks hot.
+        t.delete(&hot).unwrap();
+        assert!(
+            t.stats()[1].bound(7) >= 0.95,
+            "DML maintenance is raise-only"
+        );
+
+        // The merge visits every live tuple and rebuilds the sketch: the
+        // cooled-down shard's bound drops below any qt > 0.2 cutoff, so
+        // scatter-gather can prune it again.
+        t.merge().unwrap();
+        assert!(
+            t.stats()[1].bound(7) < 0.5,
+            "bound stayed {} after merge",
+            t.stats()[1].bound(7)
+        );
+        // The shard with a live hot row keeps its bound.
+        assert!(t.stats()[0].bound(7) >= 0.2);
     }
 
     #[test]

@@ -19,9 +19,13 @@ use upi_storage::error::{Result, StorageError};
 use upi_storage::{wal, Lsn, Store, Wal, WalCounters};
 use upi_uncertain::{Field, FieldKind, Schema, Tuple, TupleId};
 
-use crate::durability::{find_checkpoint, CheckpointImage, RecoveryInfo, TableWal, WalRecord};
+use crate::cost::DeviceCoeffs;
+use crate::durability::{
+    find_checkpoint, read_wal_generations, CheckpointImage, RecoveryInfo, TableWal, WalRecord,
+};
 use crate::fractured::{FracturedConfig, FracturedUpi};
 use crate::heap::UnclusteredHeap;
+use crate::maintenance::CompactionStep;
 use crate::pii::Pii;
 use crate::upi::{DiscreteUpi, UpiConfig};
 
@@ -341,6 +345,48 @@ impl UncertainTable {
         Ok(())
     }
 
+    /// One incremental maintenance step (fractured layout only; returns
+    /// 0 otherwise): select the best compaction affordable within
+    /// `budget_ms` of device time and execute it. The step is logged as
+    /// a `MergeStep` WAL record *after* the read-only selection and
+    /// *before* execution, so a crash mid-step replays an equivalent
+    /// (clamped) compaction on the rebuilt layout — compaction never
+    /// changes the possible-worlds state, so any replayed shape is
+    /// correct. Returns the number of components eliminated.
+    pub fn merge_step(&mut self, budget_ms: f64) -> Result<usize> {
+        let Inner::Fractured(f) = &self.inner else {
+            return Ok(0);
+        };
+        let coeffs = DeviceCoeffs::from_disk(self.store.disk.config());
+        let Some(plan) = f.plan_compaction(&coeffs, budget_ms) else {
+            return Ok(0);
+        };
+        self.apply_merge_step(plan.step)
+    }
+
+    /// Execute exactly `step` (fractured layout only; returns 0
+    /// otherwise), with the same WAL protocol as
+    /// [`merge_step`](Self::merge_step). This is how a scheduling
+    /// policy commits the candidate it priced, rather than re-selecting
+    /// under a budget and hoping the choice is stable.
+    pub fn apply_merge_step(&mut self, step: CompactionStep) -> Result<usize> {
+        let Inner::Fractured(f) = &mut self.inner else {
+            return Ok(0);
+        };
+        self.wal
+            .as_mut()
+            .map(|tw| {
+                tw.log(
+                    &self.store,
+                    &WalRecord::MergeStep {
+                        components: step.merged() as u32,
+                    },
+                )
+            })
+            .transpose()?;
+        f.apply_compaction(step)
+    }
+
     /// Log one logical record if durability is on (no-op otherwise).
     fn log_dml(&mut self, rec: &WalRecord) -> Result<()> {
         if let Some(tw) = self.wal.as_mut() {
@@ -376,6 +422,19 @@ impl UncertainTable {
     /// Snapshot the live possible-worlds state into a checkpoint blob and
     /// seal it with a synced `Checkpoint` WAL record; the superseded
     /// blob (if any) is freed only after the new one is authoritative.
+    ///
+    /// ## WAL recycling
+    ///
+    /// A sealed checkpoint makes every earlier log record redundant, so
+    /// the log then rotates to a **fresh generation**: a new `{name}.wal`
+    /// file continuing the LSN sequence, sealed with a duplicate
+    /// `Checkpoint` record, after which the retired generation's pages
+    /// are freed. Ordering makes every crash window safe — *rotate,
+    /// seal, then retire*: a crash before the new generation's seal is
+    /// durable leaves the old generation (and its checkpoint record)
+    /// intact; a crash between seal and retire leaves two generations
+    /// whose concatenation recovery reads (duplicate `Checkpoint`
+    /// records are harmless — the last valid one wins).
     pub fn checkpoint(&mut self, extra: &[u8]) -> Result<Lsn> {
         assert!(self.wal.is_some(), "enable_durability first");
         let image = CheckpointImage {
@@ -405,6 +464,28 @@ impl UncertainTable {
         if let Some(old) = old {
             self.store.free_file_pages(old)?;
         }
+        // Rotate: the sync above drained the group buffer, so the new
+        // generation continues the LSN sequence with nothing pending.
+        let retired = tw.wal.file();
+        let next_lsn = tw.wal.next_lsn();
+        tw.wal = Wal::create(
+            self.store.disk.clone(),
+            &format!("{}.wal", self.name),
+            self.page_size,
+            next_lsn.0,
+        );
+        // Seal: the new generation must be self-sufficient before the
+        // old one disappears.
+        tw.log(&self.store, &WalRecord::Checkpoint { file: file.0 })?;
+        if let Err(e) = tw.wal.sync() {
+            let reason = format!("WAL cannot sync: {e}");
+            self.store.pool.poison(&reason);
+            tw.read_only = Some(reason.clone());
+            return Err(StorageError::ReadOnly(reason));
+        }
+        // Retire: the old generation is fully covered by the sealed
+        // checkpoint; its pages go back to the device.
+        self.store.free_file_pages(retired)?;
         Ok(lsn)
     }
 
@@ -437,11 +518,7 @@ impl UncertainTable {
     pub fn recover(store: Store, name: &str) -> Result<(UncertainTable, RecoveryInfo)> {
         let faults_survived = store.disk.fault_counters().transients();
         store.reboot();
-        let wal_file = store
-            .disk
-            .find_file(&format!("{name}.wal"))
-            .ok_or_else(|| StorageError::Corrupted(format!("no WAL for table '{name}'")))?;
-        let (records, log_truncated) = wal::read_log(&store.disk, wal_file)?;
+        let (records, log_truncated) = read_wal_generations(&store, name)?;
         let (ckpt_idx, image) = find_checkpoint(&store, &records)?;
         let durable_lsn = records.last().map(|r| r.lsn).unwrap_or(Lsn(0));
 
@@ -479,6 +556,18 @@ impl UncertainTable {
                 }
                 WalRecord::Flush => t.flush()?,
                 WalRecord::Merge => t.merge()?,
+                WalRecord::MergeStep { components } => {
+                    // Clamped best-effort replay: the rebuilt layout
+                    // differs from the logged one (pre-checkpoint
+                    // fractures loaded into main), and any compaction
+                    // preserves the possible-worlds state, so fold the
+                    // oldest fractures the rebuilt chain actually has.
+                    if let Inner::Fractured(f) = &mut t.inner {
+                        f.apply_compaction(CompactionStep::FoldPrefix {
+                            fractures: components.saturating_sub(1) as usize,
+                        })?;
+                    }
+                }
                 WalRecord::Checkpoint { .. } => continue,
             }
             replayed += 1;
@@ -611,6 +700,36 @@ impl UncertainTable {
         match &self.inner {
             Inner::Fractured(f) => Some(f),
             _ => None,
+        }
+    }
+
+    /// Serialize the planner-facing statistics (primary [`AttrStats`]
+    /// plus each secondary's selectivity histogram and pointer-region
+    /// histogram) for the checkpoint's session payload — so a recovered
+    /// session prices tailored-secondary coverage without a warm-up scan.
+    /// Empty on layouts without persisted statistics (unclustered).
+    ///
+    /// [`AttrStats`]: upi_uncertain::AttrStats
+    pub fn stats_payload(&self) -> Vec<u8> {
+        match &self.inner {
+            Inner::Upi(upi) => upi.stats_payload(),
+            Inner::Fractured(f) => f.stats_payload(),
+            Inner::Unclustered { .. } => Vec::new(),
+        }
+    }
+
+    /// Inverse of [`stats_payload`](Self::stats_payload): replace the
+    /// live statistics with the checkpoint-time snapshot. `false` (state
+    /// untouched) on malformation or layout mismatch; restoring an empty
+    /// payload is a no-op success on any layout.
+    pub fn restore_stats_payload(&mut self, data: &[u8]) -> bool {
+        if data.is_empty() {
+            return true;
+        }
+        match &mut self.inner {
+            Inner::Upi(upi) => upi.restore_stats_payload(data),
+            Inner::Fractured(f) => f.restore_stats_payload(data),
+            Inner::Unclustered { .. } => false,
         }
     }
 

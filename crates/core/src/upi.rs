@@ -543,6 +543,68 @@ impl DiscreteUpi {
         &self.stats
     }
 
+    /// Serialize the primary-attribute statistics plus every secondary's
+    /// statistics (selectivity + pointer regions) for the checkpoint
+    /// payload.
+    pub fn stats_payload(&self) -> Vec<u8> {
+        let stats = self.stats.to_bytes();
+        let mut out = Vec::with_capacity(8 + stats.len());
+        out.extend_from_slice(&(stats.len() as u32).to_le_bytes());
+        out.extend(stats);
+        out.extend_from_slice(&(self.secondaries.len() as u32).to_le_bytes());
+        for sec in &self.secondaries {
+            let p = sec.stats_payload();
+            out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            out.extend(p);
+        }
+        out
+    }
+
+    /// Inverse of [`stats_payload`](Self::stats_payload): replace the
+    /// primary statistics and each attached secondary's. `false` (state
+    /// untouched) on malformation or a secondary-count mismatch.
+    pub fn restore_stats_payload(&mut self, data: &[u8]) -> bool {
+        let Some((stats_bytes, rest)) = crate::secondary::take_prefixed(data) else {
+            return false;
+        };
+        let Some(stats) = AttrStats::from_bytes(stats_bytes) else {
+            return false;
+        };
+        let Some(count_bytes) = rest.get(..4) else {
+            return false;
+        };
+        let n = u32::from_le_bytes(count_bytes.try_into().unwrap()) as usize;
+        if n != self.secondaries.len() {
+            return false;
+        }
+        let mut rest = &rest[4..];
+        let mut sec_payloads = Vec::with_capacity(n);
+        for _ in 0..n {
+            let Some((p, r)) = crate::secondary::take_prefixed(rest) else {
+                return false;
+            };
+            sec_payloads.push(p);
+            rest = r;
+        }
+        if !rest.is_empty() {
+            return false;
+        }
+        // Two-phase: validate every blob before mutating anything, so a
+        // torn payload never leaves half-replaced statistics.
+        let mut replaced = Vec::with_capacity(n);
+        for p in &sec_payloads {
+            let Some(pair) = crate::secondary::decode_stats_payload(p) else {
+                return false;
+            };
+            replaced.push(pair);
+        }
+        self.stats = stats;
+        for (sec, (s, r)) in self.secondaries.iter_mut().zip(replaced) {
+            sec.set_stats(s, r);
+        }
+        true
+    }
+
     /// Total live bytes across heap + cutoff + secondaries.
     pub fn total_bytes(&self) -> u64 {
         self.heap.stats().bytes

@@ -107,7 +107,7 @@ pub use metrics::{KindSnapshot, Log2Histogram, MetricsRegistry, MetricsSnapshot}
 pub use obs::{QueryTrace, TraceSpan};
 pub use plan::{AccessPath, CandidatePlan, PhysicalPlan};
 pub use query::{Predicate, PtqQuery};
-pub use session::UncertainDb;
+pub use session::{MaintenanceReport, MaintenanceSummary, UncertainDb};
 pub use sharded::ShardedDb;
 
 // Re-exported for compatibility with pre-planner code paths.

@@ -123,6 +123,15 @@ pub struct MetricsRegistry {
     recoveries: u64,
     /// Injected transient faults survived across those recoveries.
     faults_survived: u64,
+    /// Incremental maintenance steps committed (`maintenance_tick`).
+    merge_steps: u64,
+    /// Components (main + fractures) compacted away across those steps.
+    components_compacted: u64,
+    /// Attributed device ms spent executing maintenance steps.
+    maintenance_device_ms: f64,
+    /// Attributed device ms spent executing queries (the denominator the
+    /// maintenance budget is weighed against).
+    query_device_ms: f64,
 }
 
 fn add_counters(acc: &mut PoolCounters, d: &PoolCounters) {
@@ -158,6 +167,7 @@ impl MetricsRegistry {
         let k = &mut self.kinds[kind.index()];
         k.queries += 1;
         k.device_ms.record(observed_ms);
+        self.query_device_ms += observed_ms.max(0.0);
         if est_ms > 0.0 {
             self.misest.record(observed_ms / est_ms);
         }
@@ -199,6 +209,24 @@ impl MetricsRegistry {
         self.faults_survived += faults_survived;
     }
 
+    /// Record one committed incremental maintenance step: how many
+    /// components it compacted into one and the device ms it spent.
+    pub fn record_maintenance(&mut self, components: u64, device_ms: f64) {
+        self.merge_steps += 1;
+        self.components_compacted += components;
+        self.maintenance_device_ms += device_ms.max(0.0);
+    }
+
+    /// Total queries recorded so far (all path kinds).
+    pub fn total_queries(&self) -> u64 {
+        self.kinds.iter().map(|k| k.queries).sum()
+    }
+
+    /// Queries recorded for one path kind.
+    pub fn kind_queries(&self, kind: PathKind) -> u64 {
+        self.kinds[kind.index()].queries
+    }
+
     /// Freeze the registry into a serializable snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let kinds = PathKind::ALL
@@ -237,6 +265,10 @@ impl MetricsRegistry {
             wal_retries: self.wal.retries,
             recoveries: self.recoveries,
             faults_survived: self.faults_survived,
+            merge_steps: self.merge_steps,
+            components_compacted: self.components_compacted,
+            maintenance_device_ms: self.maintenance_device_ms,
+            query_device_ms: self.query_device_ms,
         }
     }
 }
@@ -308,6 +340,14 @@ pub struct MetricsSnapshot {
     pub recoveries: u64,
     /// Injected transient faults survived across recoveries.
     pub faults_survived: u64,
+    /// Incremental maintenance steps committed.
+    pub merge_steps: u64,
+    /// Components compacted away across those steps.
+    pub components_compacted: u64,
+    /// Attributed device ms spent on maintenance steps.
+    pub maintenance_device_ms: f64,
+    /// Attributed device ms spent on queries.
+    pub query_device_ms: f64,
 }
 
 fn json_f64(v: f64) -> String {
@@ -376,8 +416,21 @@ impl MetricsSnapshot {
         s.push_str(&format!("  \"wal_retries\": {},\n", self.wal_retries));
         s.push_str(&format!("  \"recoveries\": {},\n", self.recoveries));
         s.push_str(&format!(
-            "  \"faults_survived\": {}\n",
+            "  \"faults_survived\": {},\n",
             self.faults_survived
+        ));
+        s.push_str(&format!("  \"merge_steps\": {},\n", self.merge_steps));
+        s.push_str(&format!(
+            "  \"components_compacted\": {},\n",
+            self.components_compacted
+        ));
+        s.push_str(&format!(
+            "  \"maintenance_device_ms\": {},\n",
+            json_f64(self.maintenance_device_ms)
+        ));
+        s.push_str(&format!(
+            "  \"query_device_ms\": {}\n",
+            json_f64(self.query_device_ms)
         ));
         s.push('}');
         s
@@ -404,6 +457,15 @@ impl MetricsSnapshot {
             s.push_str(&format!(
                 "shards skipped by pruning={}\n",
                 self.shards_skipped
+            ));
+        }
+        if self.merge_steps > 0 {
+            s.push_str(&format!(
+                "maintenance steps={} components-compacted={} device-ms={:.1} (queries device-ms={:.1})\n",
+                self.merge_steps,
+                self.components_compacted,
+                self.maintenance_device_ms,
+                self.query_device_ms,
             ));
         }
         if self.wal_records > 0 || self.recoveries > 0 {

@@ -19,7 +19,8 @@
 //! tied to `&self`.
 
 use parking_lot::Mutex;
-use upi::{PtqResult, RecoveryInfo, TableLayout, UncertainTable};
+use upi::cost::DeviceCoeffs;
+use upi::{MaintenancePolicy, PtqResult, RecoveryInfo, TableLayout, UncertainTable};
 use upi_storage::error::Result as StorageResult;
 use upi_storage::{Lsn, Store};
 use upi_uncertain::{Field, Schema, Tuple, TupleId};
@@ -29,6 +30,7 @@ use crate::cost::{CalibrationStore, CostModel, PathKind, RefitOutcome, N_PATH_KI
 use crate::error::{PlanError, QueryError};
 use crate::exec::QueryOutput;
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::obs::{QueryTrace, TraceSpan};
 use crate::plan::PhysicalPlan;
 use crate::query::PtqQuery;
 use upi_storage::QueryId;
@@ -95,6 +97,10 @@ pub struct UncertainDb {
     /// histograms, pool traffic totals, calibration gauges. Snapshot via
     /// [`metrics`](Self::metrics).
     metrics: Mutex<MetricsRegistry>,
+    /// Background-maintenance scheduler state: the policy plus the
+    /// observation window [`maintenance_tick`](Self::maintenance_tick)
+    /// derives the query rate from.
+    maintenance: Mutex<MaintenanceState>,
 }
 
 struct CalibrationState {
@@ -102,24 +108,77 @@ struct CalibrationState {
     store: CalibrationStore,
 }
 
+struct MaintenanceState {
+    policy: MaintenancePolicy,
+    /// Simulated clock at the last rate observation.
+    last_clock_ms: f64,
+    /// Total session queries at the last rate observation.
+    last_queries: u64,
+}
+
+/// What one committed [`maintenance_tick`](UncertainDb::maintenance_tick)
+/// did: the step's size, its attributed device time, the traffic rate
+/// that justified it, and a renderable trace.
+#[derive(Debug, Clone)]
+pub struct MaintenanceReport {
+    /// Components (main and/or fractures) the step merged into one.
+    pub components: u64,
+    /// Fracture-chain components eliminated (`components - 1`).
+    pub eliminated: u64,
+    /// Device ms attributed to the step (plan + execute).
+    pub device_ms: f64,
+    /// Queries/second the profitability test used.
+    pub observed_qps: f64,
+    /// Estimated per-query savings the policy credited the step with.
+    pub savings_per_query_ms: f64,
+    /// The tick's span tree (path `"Maintenance"`), renderable like any
+    /// query trace.
+    pub trace: QueryTrace,
+}
+
+/// Aggregate of one [`maintain`](UncertainDb::maintain) drain: every
+/// committed step plus the checkpoint that sealed them (durable tables).
+#[derive(Debug, Clone, Default)]
+pub struct MaintenanceSummary {
+    /// Committed incremental steps.
+    pub steps: u64,
+    /// Total components compacted across those steps.
+    pub components_compacted: u64,
+    /// Total attributed maintenance device ms.
+    pub device_ms: f64,
+    /// LSN of the sealing checkpoint, when the table is durable and at
+    /// least one step ran (the checkpoint also rotates the WAL to a
+    /// fresh generation and retires the covered one).
+    pub checkpoint: Option<Lsn>,
+}
+
 /// Serialize the session's calibration (per-kind scales plus the sample
-/// rings) into the opaque checkpoint payload.
-fn calibration_payload(state: &CalibrationState) -> Vec<u8> {
-    let mut out = vec![1u8];
+/// rings) and the table's planner statistics into the opaque checkpoint
+/// payload. Layout (version 2): `[2u8]`, per-kind `(scale f64, samples
+/// u64)`, `u32` calibration-store length, store bytes, then the table's
+/// statistics payload as the tail.
+fn calibration_payload(state: &CalibrationState, table: &UncertainTable) -> Vec<u8> {
+    let mut out = vec![2u8];
     for (scale, samples) in state.model.export_scales() {
         out.extend_from_slice(&scale.to_le_bytes());
         out.extend_from_slice(&(samples as u64).to_le_bytes());
     }
-    out.extend(state.store.to_bytes());
+    let store = state.store.to_bytes();
+    out.extend_from_slice(&(store.len() as u32).to_le_bytes());
+    out.extend(store);
+    out.extend(table.stats_payload());
     out
 }
 
-/// Inverse of [`calibration_payload`]; `false` (state untouched) on any
-/// malformed payload — losing calibration is degraded, never fatal.
-fn restore_calibration(state: &mut CalibrationState, data: &[u8]) -> bool {
+/// Inverse of [`calibration_payload`]: restore the calibration and return
+/// the table-statistics tail for the caller to apply. `None` (state
+/// untouched) on any malformed payload — losing calibration is degraded,
+/// never fatal. Version-1 payloads (no length prefix, no statistics
+/// tail) are still accepted and yield an empty tail.
+fn restore_calibration<'a>(state: &mut CalibrationState, data: &'a [u8]) -> Option<&'a [u8]> {
     let header = 1 + N_PATH_KINDS * 16;
-    if data.len() < header || data[0] != 1 {
-        return false;
+    if data.len() < header || !matches!(data[0], 1 | 2) {
+        return None;
     }
     let mut scales = [(1.0f64, 0usize); N_PATH_KINDS];
     for (i, sc) in scales.iter_mut().enumerate() {
@@ -127,12 +186,23 @@ fn restore_calibration(state: &mut CalibrationState, data: &[u8]) -> bool {
         sc.0 = f64::from_le_bytes(data[off..off + 8].try_into().unwrap());
         sc.1 = u64::from_le_bytes(data[off + 8..off + 16].try_into().unwrap()) as usize;
     }
-    let Some(store) = CalibrationStore::from_bytes(&data[header..]) else {
-        return false;
+    let (store_bytes, tail) = if data[0] == 1 {
+        (&data[header..], &[][..])
+    } else {
+        let rest = &data[header..];
+        if rest.len() < 4 {
+            return None;
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+        if rest.len() - 4 < len {
+            return None;
+        }
+        (&rest[4..4 + len], &rest[4 + len..])
     };
+    let store = CalibrationStore::from_bytes(store_bytes)?;
     state.model.import_scales(&scales);
     state.store = store;
-    true
+    Some(tail)
 }
 
 impl UncertainDb {
@@ -157,6 +227,7 @@ impl UncertainDb {
     /// Adopt an existing table into a session.
     pub fn from_table(table: UncertainTable) -> UncertainDb {
         let model = CostModel::from_disk(table.store().disk.config());
+        let clock = table.store().disk.clock_ms();
         UncertainDb {
             table,
             calibration: Mutex::new(CalibrationState {
@@ -164,6 +235,11 @@ impl UncertainDb {
                 store: CalibrationStore::new(),
             }),
             metrics: Mutex::new(MetricsRegistry::new()),
+            maintenance: Mutex::new(MaintenanceState {
+                policy: MaintenancePolicy::default(),
+                last_clock_ms: clock,
+                last_queries: 0,
+            }),
         }
     }
 
@@ -225,6 +301,158 @@ impl UncertainDb {
         self.table.update(old, new)
     }
 
+    // --- Background maintenance -------------------------------------------
+
+    /// The scheduling policy [`maintenance_tick`](Self::maintenance_tick)
+    /// applies.
+    pub fn maintenance_policy(&self) -> MaintenancePolicy {
+        self.maintenance.lock().policy
+    }
+
+    /// Replace the maintenance policy (horizon, per-step budget).
+    pub fn set_maintenance_policy(&self, policy: MaintenancePolicy) {
+        self.maintenance.lock().policy = policy;
+    }
+
+    /// One cost-driven maintenance tick: observe the session's query
+    /// rate, ask the [`MaintenancePolicy`] whether an incremental
+    /// compaction step pays for itself within the horizon, and commit at
+    /// most one [`UncertainTable::merge_step`]. Returns `None` when the
+    /// layout is not fractured or no step is profitable right now.
+    ///
+    /// Every policy input comes from session state: component sizes from
+    /// the live fracture chain, the per-component descend price through
+    /// the **calibrated** `FracturedMerge` scale, the query rate from the
+    /// metrics registry over the simulated clock, and the fractured-query
+    /// fraction from the per-kind counters. The step's device time is
+    /// attributed like a query's and recorded under the maintenance
+    /// counters, with a renderable `"Maintenance"` trace.
+    pub fn maintenance_tick(&mut self) -> StorageResult<Option<MaintenanceReport>> {
+        let Some(f) = self.table.as_fractured() else {
+            return Ok(None);
+        };
+        let component_bytes = f.component_bytes();
+        let height = f.main().heap_stats().height;
+        let store = self.table.store().clone();
+        let coeffs = DeviceCoeffs::from_disk(store.disk.config());
+        let clock = store.disk.clock_ms();
+        let (total_queries, fractured_queries) = {
+            let m = self.metrics.lock();
+            (m.total_queries(), m.kind_queries(PathKind::FracturedMerge))
+        };
+        // Calibrated recurring per-component descent price (`H·T_descend`
+        // through the session's FracturedMerge scale). The policy values
+        // an eliminated component at this plus its interleave-seek tax —
+        // not the full `Cost_init + H·T_descend` cold price, which
+        // amortizes away across the sustained stream the horizon
+        // multiplies (see `MaintenancePolicy::component_overhead_ms`).
+        let model = self.cost_model();
+        let descend_ms = model
+            .price(
+                PathKind::FracturedMerge,
+                0.0,
+                model.open_descend(height) - model.open_descend(0),
+            )
+            .est_ms();
+        let (qps, decision) = {
+            let mut st = self.maintenance.lock();
+            let dq = total_queries.saturating_sub(st.last_queries);
+            let dt = clock - st.last_clock_ms;
+            // Windowed rate when the window saw traffic; lifetime average
+            // otherwise (so a drain loop after a query burst keeps the
+            // rate that justified it instead of reading an empty window).
+            let qps = if dq > 0 && dt > 0.0 {
+                st.last_queries = total_queries;
+                st.last_clock_ms = clock;
+                dq as f64 * 1_000.0 / dt
+            } else if clock > 0.0 {
+                total_queries as f64 * 1_000.0 / clock
+            } else {
+                0.0
+            };
+            let mut policy = st.policy;
+            policy.fractured_query_fraction = if total_queries > 0 {
+                fractured_queries as f64 / total_queries as f64
+            } else {
+                1.0
+            };
+            (
+                qps,
+                policy.decide(&component_bytes, &coeffs, descend_ms, qps),
+            )
+        };
+        let Some(decision) = decision else {
+            return Ok(None);
+        };
+        // Commit exactly the candidate the policy priced and approved.
+        let qid = QueryId::next();
+        let eliminated = {
+            let _guard = store.pool.attributed(qid);
+            self.table.apply_merge_step(decision.plan.step)?
+        };
+        let attributed = store.pool.take_attributed(qid);
+        if eliminated == 0 {
+            return Ok(None);
+        }
+        let device_ms = attributed.total_ms();
+        let components = eliminated as u64 + 1;
+        self.metrics
+            .lock()
+            .record_maintenance(components, device_ms);
+        let trace = QueryTrace {
+            query_id: qid.0,
+            path: "Maintenance".into(),
+            spans: vec![
+                TraceSpan::label_only(
+                    format!(
+                        "MaintenanceTick qps={qps:.2} components={}",
+                        component_bytes.len()
+                    ),
+                    0,
+                ),
+                TraceSpan {
+                    label: format!("MergeStep(components={components})"),
+                    depth: 1,
+                    device_ms: Some(device_ms),
+                    est_ms: Some(decision.plan.est_cost_ms),
+                    start_ms: 0.0,
+                    end_ms: device_ms,
+                    ..TraceSpan::default()
+                },
+            ],
+        };
+        Ok(Some(MaintenanceReport {
+            components,
+            eliminated: eliminated as u64,
+            device_ms,
+            observed_qps: qps,
+            savings_per_query_ms: decision.savings_per_query_ms,
+            trace,
+        }))
+    }
+
+    /// Drain profitable maintenance: run [`maintenance_tick`]
+    /// (Self::maintenance_tick) until the policy declines, then seal the
+    /// work with a checkpoint when the table is durable (which also
+    /// rotates the WAL to a fresh generation and retires the old one).
+    pub fn maintain(&mut self) -> StorageResult<MaintenanceSummary> {
+        let mut summary = MaintenanceSummary::default();
+        // The chain can only shrink, so this terminates; the cap is a
+        // backstop against a pathological policy.
+        while summary.steps < 64 {
+            let Some(report) = self.maintenance_tick()? else {
+                break;
+            };
+            summary.steps += 1;
+            summary.components_compacted += report.components;
+            summary.device_ms += report.device_ms;
+        }
+        if summary.steps > 0 && self.table.is_durable() {
+            summary.checkpoint = Some(self.checkpoint()?);
+        }
+        Ok(summary)
+    }
+
     // --- Durability --------------------------------------------------------
 
     /// Attach a WAL to the table and write the initial checkpoint. The
@@ -232,14 +460,14 @@ impl UncertainDb {
     /// cost-model calibration, so a reopened session prices plans with
     /// the scales it had already learned.
     pub fn enable_durability(&mut self) -> StorageResult<Lsn> {
-        let payload = calibration_payload(&self.calibration.lock());
+        let payload = calibration_payload(&self.calibration.lock(), &self.table);
         self.table.enable_durability(&payload)
     }
 
     /// Checkpoint the table (live tuples + current calibration) and seal
     /// it in the WAL. Post-checkpoint recovery replays only later records.
     pub fn checkpoint(&mut self) -> StorageResult<Lsn> {
-        let payload = calibration_payload(&self.calibration.lock());
+        let payload = calibration_payload(&self.calibration.lock(), &self.table);
         let lsn = self.table.checkpoint(&payload)?;
         self.metrics.lock().set_wal(self.table.wal_counters());
         Ok(lsn)
@@ -252,15 +480,22 @@ impl UncertainDb {
 
     /// Rebuild a crashed session: recover the table from its durable
     /// WAL and checkpoint (see [`UncertainTable::recover`]) and restore
-    /// the serialized calibration from the checkpoint payload, so the
-    /// recovered planner prices exactly like the pre-crash one at its
-    /// last checkpoint.
+    /// the serialized calibration plus the table's planner statistics
+    /// from the checkpoint payload, so the recovered planner prices
+    /// tailored-secondary coverage like the pre-crash one without a
+    /// warm-up pass. Statistics restored here are the checkpoint-time
+    /// snapshot: contributions from WAL records replayed after the
+    /// checkpoint are overwritten, a bounded staleness the next few
+    /// queries repair incrementally.
     pub fn recover(store: Store, name: &str) -> StorageResult<(UncertainDb, RecoveryInfo)> {
         let (table, info) = UncertainTable::recover(store, name)?;
-        let db = UncertainDb::from_table(table);
-        {
+        let mut db = UncertainDb::from_table(table);
+        let tail = {
             let mut g = db.calibration.lock();
-            restore_calibration(&mut g, &info.extra);
+            restore_calibration(&mut g, &info.extra).map(<[u8]>::to_vec)
+        };
+        if let Some(tail) = tail {
+            db.table.restore_stats_payload(&tail);
         }
         {
             let mut m = db.metrics.lock();
@@ -662,5 +897,73 @@ mod tests {
     fn unknown_secondary_index_is_rejected() {
         let d = db(TableLayout::Upi(UpiConfig::default()));
         let _ = d.ptq_secondary(5, 1, 0.3);
+    }
+
+    #[test]
+    fn maintenance_tick_compacts_under_traffic_and_declines_idle() {
+        let mut d = db(TableLayout::FracturedUpi(FracturedConfig {
+            upi: UpiConfig::default(),
+            buffer_ops: 0,
+        }));
+        for batch in 0..3u64 {
+            for i in 0..25u64 {
+                d.insert(0.9, row((batch * 25 + i) % 5, 0.7, i % 3))
+                    .unwrap();
+            }
+            d.flush().unwrap();
+        }
+        let fractures = d.table().as_fractured().unwrap().n_fractures();
+        assert!(fractures >= 3);
+
+        // Zero horizon: no step can ever pay for itself.
+        d.set_maintenance_policy(MaintenancePolicy {
+            horizon_ms: 0.0,
+            ..MaintenancePolicy::default()
+        });
+        assert!(d.maintenance_tick().unwrap().is_none());
+        assert_eq!(
+            d.table().as_fractured().unwrap().n_fractures(),
+            fractures,
+            "a declined tick must not touch the chain"
+        );
+
+        // Sustained queries + a generous horizon: the drain converges the
+        // chain and the metrics registry records the attributed work.
+        d.table().store().go_cold();
+        for _ in 0..20 {
+            d.ptq(3, 0.2).unwrap();
+        }
+        d.set_maintenance_policy(MaintenancePolicy {
+            horizon_ms: 1e9,
+            step_budget_ms: f64::INFINITY,
+            ..MaintenancePolicy::default()
+        });
+        let report = d.maintenance_tick().unwrap().expect("profitable step");
+        assert!(report.components >= 2);
+        assert!(report.device_ms > 0.0);
+        assert!(report.observed_qps > 0.0);
+        assert!(report.trace.render().contains("MergeStep"));
+
+        let summary = d.maintain().unwrap();
+        assert_eq!(
+            d.table().as_fractured().unwrap().n_fractures(),
+            0,
+            "drain converges to a single component"
+        );
+        assert!(summary.checkpoint.is_none(), "not durable, no checkpoint");
+        let m = d.metrics();
+        assert!(m.merge_steps >= 1);
+        assert!(m.components_compacted >= 2);
+        assert!(m.maintenance_device_ms > 0.0);
+        assert!(m.query_device_ms > 0.0);
+        assert!(m.to_json().contains("\"merge_steps\""));
+    }
+
+    #[test]
+    fn maintenance_is_a_noop_on_unfractured_layouts() {
+        let mut d = db(TableLayout::Upi(UpiConfig::default()));
+        assert!(d.maintenance_tick().unwrap().is_none());
+        let s = d.maintain().unwrap();
+        assert_eq!(s.steps, 0);
     }
 }

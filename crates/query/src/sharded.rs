@@ -477,12 +477,36 @@ impl ShardedDb {
         Ok(())
     }
 
-    /// Merge every shard's fractures (fractured layout only).
+    /// Merge every shard's fractures (fractured layout only), then
+    /// tighten the pruning statistics: the merge visits every live tuple
+    /// anyway, and a shard whose hot rows were deleted stays unprunable
+    /// until its raise-only sketch is rebuilt.
     pub fn merge(&mut self) -> StorageResult<()> {
         for s in &mut self.shards {
             s.merge()?;
         }
-        Ok(())
+        self.rebuild_stats()
+    }
+
+    /// One maintenance tick per shard. Each shard session decides
+    /// independently on its **own** clock, metrics, and calibration —
+    /// a hot shard compacts while a cold one declines — so the returned
+    /// reports are per-shard (`None` where the shard's policy declined).
+    /// Compaction never changes the live tuple set, so the pruning
+    /// statistics stay exact.
+    pub fn maintenance_tick(
+        &mut self,
+    ) -> StorageResult<Vec<Option<crate::session::MaintenanceReport>>> {
+        self.shards
+            .iter_mut()
+            .map(|s| s.maintenance_tick())
+            .collect()
+    }
+
+    /// Drain profitable maintenance on every shard (see
+    /// [`UncertainDb::maintain`]); returns one summary per shard.
+    pub fn maintain(&mut self) -> StorageResult<Vec<crate::session::MaintenanceSummary>> {
+        self.shards.iter_mut().map(|s| s.maintain()).collect()
     }
 
     // --- Durability (per shard) -------------------------------------------

@@ -93,6 +93,66 @@ impl ProbHistogram {
         }
         (self.count_ge(lo) - self.count_ge(hi)).max(0.0)
     }
+
+    /// Append a sparse encoding: bin count, then `(index, count)` pairs
+    /// for the occupied bins. `total` is redundant (the bin sum) and not
+    /// stored.
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.bins.len() as u32).to_le_bytes());
+        let occupied = self.bins.iter().filter(|&&c| c > 0).count() as u32;
+        out.extend_from_slice(&occupied.to_le_bytes());
+        for (i, &c) in self.bins.iter().enumerate() {
+            if c > 0 {
+                out.extend_from_slice(&(i as u32).to_le_bytes());
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode_from(cur: &mut Cur<'_>) -> Option<ProbHistogram> {
+        let nbins = cur.u32()? as usize;
+        if nbins == 0 || nbins > 1 << 20 {
+            return None;
+        }
+        let occupied = cur.u32()? as usize;
+        let mut h = ProbHistogram::new(nbins);
+        for _ in 0..occupied {
+            let idx = cur.u32()? as usize;
+            let count = cur.u64()?;
+            if idx >= nbins {
+                return None;
+            }
+            h.bins[idx] = count;
+            h.total += count;
+        }
+        Some(h)
+    }
+}
+
+/// Byte cursor for the statistics (de)serializers.
+struct Cur<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.data.len() {
+            return None;
+        }
+        let s = &self.data[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
 }
 
 /// Per-attribute statistics: a probability histogram per distinct value
@@ -230,6 +290,48 @@ impl AttrStats {
         }
         self.est_count_ge(value, qt) / self.global.total() as f64
     }
+
+    /// Serialize deterministically (maps written in sorted key order) for
+    /// the checkpoint's statistics payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        fn write_map(out: &mut Vec<u8>, m: &HashMap<u64, ProbHistogram>) {
+            out.extend_from_slice(&(m.len() as u32).to_le_bytes());
+            let mut keys: Vec<u64> = m.keys().copied().collect();
+            keys.sort_unstable();
+            for k in keys {
+                out.extend_from_slice(&k.to_le_bytes());
+                m[&k].encode_into(out);
+            }
+        }
+        let mut out = Vec::new();
+        write_map(&mut out, &self.per_value);
+        write_map(&mut out, &self.per_value_first);
+        self.global.encode_into(&mut out);
+        self.global_first.encode_into(&mut out);
+        out
+    }
+
+    /// Inverse of [`to_bytes`](Self::to_bytes); `None` on any malformed
+    /// or trailing bytes.
+    pub fn from_bytes(data: &[u8]) -> Option<AttrStats> {
+        fn read_map(cur: &mut Cur<'_>) -> Option<HashMap<u64, ProbHistogram>> {
+            let n = cur.u32()? as usize;
+            let mut m = HashMap::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let k = cur.u64()?;
+                m.insert(k, ProbHistogram::decode_from(cur)?);
+            }
+            Some(m)
+        }
+        let mut cur = Cur { data, pos: 0 };
+        let s = AttrStats {
+            per_value: read_map(&mut cur)?,
+            per_value_first: read_map(&mut cur)?,
+            global: ProbHistogram::decode_from(&mut cur)?,
+            global_first: ProbHistogram::decode_from(&mut cur)?,
+        };
+        (cur.pos == data.len()).then_some(s)
+    }
 }
 
 #[cfg(test)]
@@ -316,6 +418,37 @@ mod tests {
         s.remove(1, 0.06, true);
         assert_eq!(s.total(), 0);
         assert_eq!(s.est_first_below_global(1.0), 0.0);
+    }
+
+    #[test]
+    fn stats_round_trip_bytes() {
+        let mut s = AttrStats::new();
+        for i in 0..50u64 {
+            s.add(i % 7, (i % 10) as f64 / 10.0, i % 3 == 0);
+        }
+        s.remove(3, 0.3, true);
+        let bytes = s.to_bytes();
+        let r = AttrStats::from_bytes(&bytes).expect("round trip");
+        assert_eq!(r.total(), s.total());
+        assert_eq!(r.distinct_values(), s.distinct_values());
+        for v in 0..8u64 {
+            assert_eq!(r.value_count(v), s.value_count(v));
+            for qt in [0.0, 0.25, 0.7] {
+                assert!((r.est_count_ge(v, qt) - s.est_count_ge(v, qt)).abs() < 1e-12);
+                assert!(
+                    (r.est_first_between(v, qt, 0.9) - s.est_first_between(v, qt, 0.9)).abs()
+                        < 1e-12
+                );
+            }
+        }
+        // Deterministic: same stats encode to the same bytes.
+        assert_eq!(bytes, r.to_bytes());
+        // Malformed payloads are rejected, not misread.
+        assert!(AttrStats::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(AttrStats::from_bytes(&extended).is_none());
+        assert!(AttrStats::from_bytes(&[]).is_none());
     }
 
     #[test]

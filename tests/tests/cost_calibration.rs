@@ -38,6 +38,28 @@ fn schema() -> Schema {
 /// (so a point run is long), and a secondary whose attribute correlates
 /// with the clustering attribute (institution -> country), like the
 /// paper's Query 3 setup.
+/// Row `i` of the calibration workload, reconstructible for deletes.
+fn cal_tuple(i: u64) -> Tuple {
+    // A sixth of the rows cluster on the hot institution 3: long
+    // enough that the run read dominates the opens, short enough
+    // that a 2x-overpriced run still beats the full scan.
+    let inst = if i.is_multiple_of(6) { 3 } else { i % 40 };
+    let country = inst % 12;
+    let p = 0.55 + (i % 4) as f64 * 0.1;
+    Tuple::new(
+        TupleId(i),
+        0.95,
+        vec![
+            Field::Certain(Datum::Str(format!("pad-{i}-{}", "x".repeat(400)))),
+            Field::Discrete(DiscretePmf::new(vec![
+                (inst, p),
+                (inst + 40, (1.0 - p) / 2.0),
+            ])),
+            Field::Discrete(DiscretePmf::new(vec![(country, 1.0)])),
+        ],
+    )
+}
+
 fn calibration_db() -> UncertainDb {
     let mut db = UncertainDb::create(
         store(),
@@ -48,28 +70,7 @@ fn calibration_db() -> UncertainDb {
     )
     .unwrap();
     db.add_secondary(2).unwrap();
-    let tuples: Vec<Tuple> = (0..12_000u64)
-        .map(|i| {
-            // A sixth of the rows cluster on the hot institution 3: long
-            // enough that the run read dominates the opens, short enough
-            // that a 2x-overpriced run still beats the full scan.
-            let inst = if i % 6 == 0 { 3 } else { i % 40 };
-            let country = inst % 12;
-            let p = 0.55 + (i % 4) as f64 * 0.1;
-            Tuple::new(
-                TupleId(i),
-                0.95,
-                vec![
-                    Field::Certain(Datum::Str(format!("pad-{i}-{}", "x".repeat(400)))),
-                    Field::Discrete(DiscretePmf::new(vec![
-                        (inst, p),
-                        (inst + 40, (1.0 - p) / 2.0),
-                    ])),
-                    Field::Discrete(DiscretePmf::new(vec![(country, 1.0)])),
-                ],
-            )
-        })
-        .collect();
+    let tuples: Vec<Tuple> = (0..12_000u64).map(cal_tuple).collect();
     // Bulk-load so the clustered runs are physically contiguous, like
     // every benchmark setup — the §6 models price clustered runs as
     // sequential reads.
@@ -380,6 +381,66 @@ fn recovery_from_an_older_checkpoint_reconverges() {
             final_errs[i]
         );
     }
+}
+
+/// The checkpoint payload carries the table's planner statistics
+/// (primary `AttrStats` plus each secondary's selectivity and
+/// pointer-region histograms) beside the calibration scales, and session
+/// recovery restores them — the reopened planner prices
+/// tailored-secondary coverage from the checkpoint-time snapshot, not
+/// from a from-scratch rebuild that forgets DML history.
+#[test]
+fn recovered_session_restores_planner_statistics_without_warmup() {
+    let mut db = calibration_db();
+    db.enable_durability().unwrap();
+    // Delete every row of institution 7 (i ≡ 7 mod 40 never collides
+    // with the i % 6 == 0 hot-value rewrite). The cumulative statistics
+    // keep the emptied per-value entries for 7 and its alternative 47;
+    // a from-scratch rebuild over the surviving tuples would never
+    // create them — so byte equality below proves the snapshot was
+    // *restored*, not re-derived.
+    for i in (7..12_000u64).step_by(40) {
+        db.delete(&cal_tuple(i)).unwrap();
+    }
+    for (_, q) in workload() {
+        db.table().store().go_cold();
+        db.query(&q).unwrap();
+    }
+    db.checkpoint().unwrap();
+    let snapshot = db.table().stats_payload();
+    assert!(!snapshot.is_empty(), "UPI layouts persist statistics");
+    let upi = db.table().as_upi().unwrap();
+    let want_heap = upi.attr_stats().est_count_ge(3, 0.2);
+    let want_sec = upi.secondaries()[0].stats().est_count_ge(2, 0.3);
+    assert!(want_heap > 0.0 && want_sec > 0.0);
+    let store = db.table().store().clone();
+    drop(db);
+
+    // Control arm: core-level recovery alone (no session payload
+    // restore) rebuilds statistics from the surviving tuples and lands
+    // on a structurally different snapshot — the deleted institution's
+    // tombstoned entries are gone.
+    let (t, _info) = upi::UncertainTable::recover(store.clone(), "t").unwrap();
+    assert_ne!(
+        t.stats_payload(),
+        snapshot,
+        "a rebuild must not accidentally equal the cumulative snapshot \
+         (the restore test below would be vacuous)"
+    );
+    drop(t);
+
+    let (rdb, _info) = UncertainDb::recover(store, "t").unwrap();
+    assert_eq!(
+        rdb.table().stats_payload(),
+        snapshot,
+        "session recovery must restore the checkpoint-time statistics"
+    );
+    let rupi = rdb.table().as_upi().unwrap();
+    assert!((rupi.attr_stats().est_count_ge(3, 0.2) - want_heap).abs() < 1e-9);
+    assert!(
+        (rupi.secondaries()[0].stats().est_count_ge(2, 0.3) - want_sec).abs() < 1e-9,
+        "secondary selectivity must price like the pre-crash session"
+    );
 }
 
 // --- CalibrationStore edge behaviour ------------------------------------
